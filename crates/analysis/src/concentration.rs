@@ -1,0 +1,173 @@
+//! Concentration and anti-concentration bound evaluators.
+//!
+//! These are the inequalities the paper's appendix relies on (Chernoff,
+//! Hoeffding, and the Klein–Young anti-concentration bound of Lemma 22).
+//! Evaluating them numerically lets the experiments annotate measured failure
+//! rates with the theoretical guarantees they are being compared against.
+
+/// Multiplicative Chernoff upper-tail bound (Theorem 4):
+/// `Pr[X > (1+δ)µ] ≤ exp(−µδ²/3)` for `0 < δ ≤ 1`.
+///
+/// # Panics
+///
+/// Panics if `delta` is not in `(0, 1]` or `mu < 0`.
+#[must_use]
+pub fn chernoff_upper_tail(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0, 1]");
+    assert!(mu >= 0.0, "mean must be non-negative");
+    (-mu * delta * delta / 3.0).exp().min(1.0)
+}
+
+/// Multiplicative Chernoff lower-tail bound (Theorem 4):
+/// `Pr[X < (1−δ)µ] ≤ exp(−µδ²/2)` for `0 < δ < 1`.
+///
+/// # Panics
+///
+/// Panics if `delta` is not in `(0, 1)` or `mu < 0`.
+#[must_use]
+pub fn chernoff_lower_tail(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    assert!(mu >= 0.0, "mean must be non-negative");
+    (-mu * delta * delta / 2.0).exp().min(1.0)
+}
+
+/// Hoeffding bound (Theorem 5) for a sum of `n` independent variables each
+/// confined to an interval of width `range`: `Pr[S − E[S] ≥ λ] ≤
+/// exp(−2λ²/(n·range²))`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `range <= 0`, or `lambda < 0`.
+#[must_use]
+pub fn hoeffding_tail(n: u64, range: f64, lambda: f64) -> f64 {
+    assert!(n > 0, "need at least one variable");
+    assert!(range > 0.0, "range must be positive");
+    assert!(lambda >= 0.0, "deviation must be non-negative");
+    (-2.0 * lambda * lambda / (n as f64 * range * range)).exp().min(1.0)
+}
+
+/// Anti-concentration bound of Lemma 22 (Klein–Young): for a binomial with
+/// mean `µ = np`, `δ ∈ (0, 1/2]`, `p ≤ 1/2` and `δ²µ ≥ 3`,
+/// `Pr[X ≥ (1+δ)µ] ≥ exp(−9δ²µ)`.  This is the *lower* bound on the upper
+/// tail used in Phase 2 to show two tied opinions drift apart.
+///
+/// Returns `None` if the preconditions `δ ≤ 1/2`, `p ≤ 1/2`, `δ²µ ≥ 3` fail.
+#[must_use]
+pub fn anti_concentration_lower_bound(n: u64, p: f64, delta: f64) -> Option<f64> {
+    let mu = n as f64 * p;
+    if !(0.0 < delta && delta <= 0.5) || !(0.0 < p && p <= 0.5) || delta * delta * mu < 3.0 {
+        return None;
+    }
+    Some((-9.0 * delta * delta * mu).exp())
+}
+
+/// The additive-bias threshold `α·√(n·ln n)` that recurs throughout the paper
+/// (significance margin, approximate-majority threshold, Lemma 2).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn bias_threshold(n: u64, alpha: f64) -> f64 {
+    assert!(n >= 2, "population too small");
+    let n_f = n as f64;
+    alpha * (n_f * n_f.ln()).sqrt()
+}
+
+/// The paper's upper bound on the number of opinions, `k ≤ c·√n / log²n`
+/// (Theorem 2).  Returns the largest admissible `k` for a given `n` and `c`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn max_admissible_opinions(n: u64, c: f64) -> u64 {
+    assert!(n >= 3, "population too small");
+    let n_f = n as f64;
+    let log2 = n_f.log2();
+    (c * n_f.sqrt() / (log2 * log2)).floor().max(2.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chernoff_bounds_shrink_with_mu() {
+        assert!(chernoff_upper_tail(100.0, 0.5) < chernoff_upper_tail(10.0, 0.5));
+        assert!(chernoff_lower_tail(100.0, 0.5) < chernoff_lower_tail(10.0, 0.5));
+        assert!(chernoff_upper_tail(0.0, 0.5) == 1.0);
+    }
+
+    #[test]
+    fn chernoff_upper_tail_holds_empirically() {
+        // Binomial(1000, 0.3), mean 300, delta 0.2 => bound exp(-300*0.04/3)=e^-4.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (n, p, delta) = (1000u32, 0.3, 0.2);
+        let mu = f64::from(n) * p;
+        let bound = chernoff_upper_tail(mu, delta);
+        let trials = 20_000;
+        let mut exceed = 0u32;
+        for _ in 0..trials {
+            let x = (0..n).filter(|_| rng.gen_bool(p)).count() as f64;
+            if x > (1.0 + delta) * mu {
+                exceed += 1;
+            }
+        }
+        let freq = f64::from(exceed) / f64::from(trials);
+        assert!(freq <= bound + 0.01, "freq {freq} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn hoeffding_is_one_at_zero_deviation() {
+        assert_eq!(hoeffding_tail(10, 1.0, 0.0), 1.0);
+        assert!(hoeffding_tail(10, 1.0, 5.0) < 1e-2);
+    }
+
+    #[test]
+    fn anti_concentration_preconditions() {
+        assert!(anti_concentration_lower_bound(10, 0.5, 0.5).is_none()); // δ²µ = 1.25 < 3
+        assert!(anti_concentration_lower_bound(1000, 0.6, 0.1).is_none()); // p > 1/2
+        let b = anti_concentration_lower_bound(10_000, 0.5, 0.1).unwrap();
+        assert!(b > 0.0 && b < 1.0);
+    }
+
+    #[test]
+    fn anti_concentration_is_a_valid_lower_bound_empirically() {
+        // Binomial(4000, 0.5): check Pr[X >= (1+0.05)µ] >= exp(-9·δ²µ).
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (n, p, delta) = (4000u32, 0.5, 0.05);
+        let mu = f64::from(n) * p;
+        let bound = anti_concentration_lower_bound(u64::from(n), p, delta).unwrap();
+        let trials = 5_000;
+        let mut exceed = 0u32;
+        for _ in 0..trials {
+            let x = (0..n).filter(|_| rng.gen_bool(p)).count() as f64;
+            if x >= (1.0 + delta) * mu {
+                exceed += 1;
+            }
+        }
+        let freq = f64::from(exceed) / f64::from(trials);
+        assert!(freq >= bound, "freq {freq} below anti-concentration bound {bound}");
+    }
+
+    #[test]
+    fn bias_threshold_scales_like_sqrt_n_log_n() {
+        let t1 = bias_threshold(10_000, 1.0);
+        let t2 = bias_threshold(40_000, 1.0);
+        // Quadrupling n should slightly more than double the threshold.
+        assert!(t2 / t1 > 2.0 && t2 / t1 < 2.4, "ratio = {}", t2 / t1);
+    }
+
+    #[test]
+    fn admissible_opinions_grow_with_n() {
+        let k1 = max_admissible_opinions(10_000, 10.0);
+        let k2 = max_admissible_opinions(1_000_000, 10.0);
+        assert!(k2 > k1, "k1 = {k1}, k2 = {k2}");
+        assert!(k1 >= 2);
+        // With a small constant the floor of 2 opinions kicks in.
+        assert_eq!(max_admissible_opinions(100, 0.01), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Fixed-width histograms for reporting distributions of convergence times.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// counted in underflow/overflow bins.
+///
+/// # Examples
+///
+/// ```
+/// use pp_analysis::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [1.0, 2.5, 2.6, 7.0, 11.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.bin_count(1), 2); // [2, 4)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// Returns `None` if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if bins == 0 || hi <= lo || !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        Some(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of observations (including under/overflow).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Number of observations in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The half-open range `[lo, hi)` covered by bin `i`.
+    #[must_use]
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i as f64 + 1.0))
+    }
+
+    /// Observations smaller than the histogram range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the histogram range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Renders a simple ASCII bar chart (one line per bin), used by the
+    /// experiment reports.
+    #[must_use]
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!("[{lo:>12.1}, {hi:>12.1})  {:>8}  {}\n", c, "#".repeat(bar_len)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_ranges() {
+        assert!(Histogram::new(0.0, 0.0, 4).is_none());
+        assert!(Histogram::new(1.0, 0.0, 4).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        for i in 0..100 {
+            h.add(i as f64);
+        }
+        for b in 0..10 {
+            assert_eq!(h.bin_count(b), 10);
+        }
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-0.1);
+        h.add(1.0);
+        h.add(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn bin_ranges_are_contiguous() {
+        let h = Histogram::new(10.0, 20.0, 4).unwrap();
+        let mut last_hi = 10.0;
+        for i in 0..4 {
+            let (lo, hi) = h.bin_range(i);
+            assert!((lo - last_hi).abs() < 1e-12);
+            last_hi = hi;
+        }
+        assert!((last_hi - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.add(0.5);
+        h.add(1.5);
+        let s = h.render_ascii(20);
+        assert_eq!(s.lines().count(), 4);
+    }
+}

@@ -1,0 +1,337 @@
+//! One-dimensional random walk theory.
+//!
+//! The paper's phase analysis repeatedly reduces the evolution of support
+//! differences (and of the undecided count) to one-dimensional biased random
+//! walks:
+//!
+//! * the gambler's ruin problem (Lemma 20) bounds the probability that a bias
+//!   doubles before it halves,
+//! * a reflecting-barrier walk (Lemma 18) bounds the excursion of the
+//!   undecided count above its equilibrium `u*`,
+//! * Lemma 19 (Feller) bounds the probability that failures ever exceed
+//!   successes by a given margin,
+//! * and Lemma 21 analyzes the "consecutive successful subphases" walk used
+//!   in Phase 2.
+//!
+//! This module provides the exact formulas together with simulators for the
+//! same walks, so the experiments can validate the reductions empirically.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exact gambler's-ruin win probability (Lemma 20 of the paper, classical):
+/// a walk on `[0, b]` starting at `a` with up-probability `p` and
+/// down-probability `1-p`; returns the probability of being absorbed at `b`
+/// (the "win") rather than at `0` (the "ruin").
+///
+/// # Panics
+///
+/// Panics if `a > b` or `p` is outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_analysis::random_walk::gamblers_ruin_win_probability;
+/// // A fair walk starting in the middle wins with probability 1/2.
+/// let p = gamblers_ruin_win_probability(5, 10, 0.5);
+/// assert!((p - 0.5).abs() < 1e-12);
+/// // An upward-biased walk starting near the top almost surely wins.
+/// assert!(gamblers_ruin_win_probability(9, 10, 0.6) > 0.95);
+/// ```
+#[must_use]
+pub fn gamblers_ruin_win_probability(a: u64, b: u64, p: f64) -> f64 {
+    assert!(a <= b, "start {a} must not exceed target {b}");
+    assert!(p > 0.0 && p < 1.0, "step probability must be in (0, 1)");
+    if b == 0 {
+        return 1.0;
+    }
+    if a == 0 {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let q = 1.0 - p;
+    if (p - q).abs() < 1e-12 {
+        return a as f64 / b as f64;
+    }
+    let r = q / p;
+    // (r^a - 1) / (r^b - 1), computed in a numerically careful way.
+    let num = r.powi(a as i32) - 1.0;
+    let den = r.powi(b as i32) - 1.0;
+    if !den.is_finite() {
+        // r > 1 and b huge: win probability ≈ r^(a-b) → 0.
+        return r.powf(a as f64 - b as f64);
+    }
+    num / den
+}
+
+/// Expected absorption time of the gambler's-ruin walk on `[0, b]` starting at
+/// `a` with up-probability `p` (standard closed form).
+///
+/// # Panics
+///
+/// Panics under the same conditions as
+/// [`gamblers_ruin_win_probability`].
+#[must_use]
+pub fn gamblers_ruin_expected_duration(a: u64, b: u64, p: f64) -> f64 {
+    assert!(a <= b, "start {a} must not exceed target {b}");
+    assert!(p > 0.0 && p < 1.0, "step probability must be in (0, 1)");
+    let q = 1.0 - p;
+    let (a, b) = (a as f64, b as f64);
+    if (p - q).abs() < 1e-12 {
+        return a * (b - a);
+    }
+    let r = q / p;
+    (a / (q - p)) - (b / (q - p)) * ((1.0 - r.powf(a)) / (1.0 - r.powf(b)))
+}
+
+/// Lemma 19 (Feller): in an unbounded sequence of independent trials with
+/// success probability at least `p > 1/2`, the probability that the number of
+/// failures *ever* exceeds the number of successes by `b` is at most
+/// `((1-p)/p)^b`.  This function evaluates that bound.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0.5, 1)`.
+#[must_use]
+pub fn excess_failure_probability_bound(p: f64, b: u64) -> f64 {
+    assert!(p > 0.5 && p < 1.0, "bound requires p in (0.5, 1)");
+    ((1.0 - p) / p).powi(b as i32).min(1.0)
+}
+
+/// Lemma 18: for a reflecting-barrier walk on the non-negative integers with
+/// up-probability `p`, down-probability `q > p` (except at the origin), the
+/// probability of reaching level `m` within `steps` steps is at most
+/// `steps · (p/q)^m`.  This function evaluates that bound.
+///
+/// # Panics
+///
+/// Panics if `q <= p` or the probabilities are not in `(0, 1)`.
+#[must_use]
+pub fn reflecting_walk_excursion_bound(p: f64, q: f64, m: u64, steps: u64) -> f64 {
+    assert!(p > 0.0 && q > 0.0 && p + q <= 1.0 + 1e-12, "invalid step probabilities");
+    assert!(q > p, "bound requires a downward drift (q > p)");
+    (steps as f64 * (p / q).powi(m as i32)).min(1.0)
+}
+
+/// The outcome of a simulated absorbing random walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkOutcome {
+    /// The walk hit the upper absorbing barrier.
+    Win,
+    /// The walk hit the lower absorbing barrier (0).
+    Ruin,
+    /// The step budget ran out first.
+    Timeout,
+}
+
+/// Simulates a gambler's-ruin walk on `[0, b]` starting at `a` with
+/// up-probability `p`; lazy steps are not modelled (every step moves).
+///
+/// Returns the outcome and the number of steps taken.
+pub fn simulate_gamblers_ruin<R: Rng + ?Sized>(
+    a: u64,
+    b: u64,
+    p: f64,
+    max_steps: u64,
+    rng: &mut R,
+) -> (WalkOutcome, u64) {
+    let mut pos = a;
+    let mut steps = 0;
+    while steps < max_steps {
+        if pos == 0 {
+            return (WalkOutcome::Ruin, steps);
+        }
+        if pos >= b {
+            return (WalkOutcome::Win, steps);
+        }
+        steps += 1;
+        if rng.gen_bool(p) {
+            pos += 1;
+        } else {
+            pos -= 1;
+        }
+    }
+    match pos {
+        0 => (WalkOutcome::Ruin, steps),
+        x if x >= b => (WalkOutcome::Win, steps),
+        _ => (WalkOutcome::Timeout, steps),
+    }
+}
+
+/// Simulates the Lemma 21 subphase walk: state space `[0, levels]`, state 0 is
+/// reflecting, state `levels` is absorbing; from state 0 the walk moves up
+/// with probability `p0`, from state `ℓ ≥ 1` it moves up with probability
+/// `1 − exp(−2^ℓ)` and falls back to 0 otherwise.  Returns the number of
+/// steps until absorption, or `None` if `max_steps` was not enough.
+///
+/// The paper shows this walk absorbs within `O(log n)` steps w.h.p.; the
+/// drift-and-coupling experiment checks that claim.
+pub fn simulate_subphase_walk<R: Rng + ?Sized>(
+    levels: u32,
+    p0: f64,
+    max_steps: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    let mut state = 0u32;
+    for step in 1..=max_steps {
+        if state == 0 {
+            if rng.gen_bool(p0) {
+                state = 1;
+            }
+        } else {
+            let fail = (-(2f64.powi(state as i32))).exp();
+            if rng.gen_bool(1.0 - fail) {
+                state += 1;
+            } else {
+                state = 0;
+            }
+        }
+        if state >= levels {
+            return Some(step);
+        }
+    }
+    None
+}
+
+/// Statistics of a batch of simulated gambler's-ruin walks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuinBatch {
+    /// Fraction of walks that won.
+    pub win_fraction: f64,
+    /// Mean number of steps until absorption (timeouts included at budget).
+    pub mean_steps: f64,
+    /// Number of walks that timed out.
+    pub timeouts: u64,
+}
+
+/// Runs `trials` independent gambler's-ruin walks and summarizes them.
+pub fn batch_gamblers_ruin<R: Rng + ?Sized>(
+    a: u64,
+    b: u64,
+    p: f64,
+    max_steps: u64,
+    trials: u64,
+    rng: &mut R,
+) -> RuinBatch {
+    let mut wins = 0u64;
+    let mut total_steps = 0u64;
+    let mut timeouts = 0u64;
+    for _ in 0..trials {
+        let (outcome, steps) = simulate_gamblers_ruin(a, b, p, max_steps, rng);
+        total_steps += steps;
+        match outcome {
+            WalkOutcome::Win => wins += 1,
+            WalkOutcome::Ruin => {}
+            WalkOutcome::Timeout => timeouts += 1,
+        }
+    }
+    RuinBatch {
+        win_fraction: wins as f64 / trials as f64,
+        mean_steps: total_steps as f64 / trials as f64,
+        timeouts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fair_walk_win_probability_is_linear_in_start() {
+        for a in 0..=10u64 {
+            let p = gamblers_ruin_win_probability(a, 10, 0.5);
+            assert!((p - a as f64 / 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn biased_walk_formula_limits() {
+        assert_eq!(gamblers_ruin_win_probability(0, 10, 0.7), 0.0);
+        assert_eq!(gamblers_ruin_win_probability(10, 10, 0.7), 1.0);
+        // Strong upward bias from the middle.
+        assert!(gamblers_ruin_win_probability(50, 100, 0.6) > 0.999);
+        // Strong downward bias from the middle.
+        assert!(gamblers_ruin_win_probability(50, 100, 0.4) < 1e-3);
+    }
+
+    #[test]
+    fn simulation_matches_closed_form() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (a, b, p) = (5u64, 15u64, 0.55);
+        let batch = batch_gamblers_ruin(a, b, p, 1_000_000, 4_000, &mut rng);
+        let exact = gamblers_ruin_win_probability(a, b, p);
+        assert_eq!(batch.timeouts, 0);
+        assert!(
+            (batch.win_fraction - exact).abs() < 0.03,
+            "empirical {} vs exact {exact}",
+            batch.win_fraction
+        );
+    }
+
+    #[test]
+    fn expected_duration_fair_walk() {
+        // Fair walk: E[T] = a(b-a).
+        assert!((gamblers_ruin_expected_duration(3, 10, 0.5) - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_duration_matches_simulation_for_biased_walk() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (a, b, p) = (10u64, 20u64, 0.6);
+        let batch = batch_gamblers_ruin(a, b, p, 1_000_000, 4_000, &mut rng);
+        let exact = gamblers_ruin_expected_duration(a, b, p);
+        assert!(
+            (batch.mean_steps - exact).abs() / exact < 0.1,
+            "empirical {} vs exact {exact}",
+            batch.mean_steps
+        );
+    }
+
+    #[test]
+    fn excess_failure_bound_decreases_geometrically() {
+        let b1 = excess_failure_probability_bound(0.75, 1);
+        let b2 = excess_failure_probability_bound(0.75, 2);
+        assert!((b1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((b2 - b1 * b1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflecting_bound_is_clamped_to_one() {
+        assert_eq!(reflecting_walk_excursion_bound(0.4, 0.6, 0, 100), 1.0);
+        assert!(reflecting_walk_excursion_bound(0.4, 0.6, 50, 1000) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "downward drift")]
+    fn reflecting_bound_requires_drift() {
+        let _ = reflecting_walk_excursion_bound(0.6, 0.4, 5, 10);
+    }
+
+    #[test]
+    fn subphase_walk_absorbs_quickly_with_constant_p0() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let levels = 4; // ~ log log n for realistic n
+        let mut absorbed = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            if simulate_subphase_walk(levels, 0.5, 10_000, &mut rng).is_some() {
+                absorbed += 1;
+            }
+        }
+        assert_eq!(absorbed, trials, "every walk should absorb well within the budget");
+    }
+
+    #[test]
+    fn walk_outcome_on_degenerate_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (outcome, steps) = simulate_gamblers_ruin(0, 10, 0.5, 100, &mut rng);
+        assert_eq!(outcome, WalkOutcome::Ruin);
+        assert_eq!(steps, 0);
+        let (outcome, _) = simulate_gamblers_ruin(10, 10, 0.5, 100, &mut rng);
+        assert_eq!(outcome, WalkOutcome::Win);
+    }
+}

@@ -1,0 +1,247 @@
+//! Least-squares fits used to verify scaling laws.
+//!
+//! The paper predicts interaction counts of the form `Θ(n log n)`,
+//! `Θ(k·n log n)` and `Θ(n log n + n·k)`.  The experiments verify those
+//! *shapes* by fitting measured convergence times against candidate models
+//! and comparing exponents / goodness of fit.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a regression cannot be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FitError {
+    /// Fewer than two distinct x-values were supplied.
+    NotEnoughData,
+    /// The x and y slices have different lengths.
+    LengthMismatch {
+        /// Length of the x slice.
+        xs: usize,
+        /// Length of the y slice.
+        ys: usize,
+    },
+    /// A log-log fit was requested but an input was not strictly positive.
+    NonPositiveValue,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::NotEnoughData => write!(f, "need at least two distinct x-values"),
+            FitError::LengthMismatch { xs, ys } => {
+                write!(f, "x and y have different lengths ({xs} vs {ys})")
+            }
+            FitError::NonPositiveValue => {
+                write!(f, "log-log fit requires strictly positive values")
+            }
+        }
+    }
+}
+
+impl Error for FitError {}
+
+/// The result of an ordinary least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares for `y ≈ a·x + b`.
+///
+/// # Errors
+///
+/// Returns an error if the slices have different lengths or fewer than two
+/// distinct x-values.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+    }
+    if xs.len() < 2 {
+        return Err(FitError::NotEnoughData);
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return Err(FitError::NotEnoughData);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Ok(LinearFit { slope, intercept, r_squared })
+}
+
+/// Fits a power law `y ≈ C·x^slope` by regressing `ln y` on `ln x`.
+///
+/// The returned [`LinearFit`] is in log-space: `slope` is the power-law
+/// exponent and `exp(intercept)` is the constant `C`.
+///
+/// # Errors
+///
+/// Returns an error for mismatched lengths, insufficient data, or non-positive
+/// inputs.
+///
+/// # Examples
+///
+/// ```
+/// use pp_analysis::regression::log_log_fit;
+/// let xs = [10.0, 100.0, 1000.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+/// let fit = log_log_fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-9);
+/// ```
+pub fn log_log_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
+    if xs.iter().chain(ys.iter()).any(|&v| v <= 0.0) {
+        return Err(FitError::NonPositiveValue);
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    linear_fit(&lx, &ly)
+}
+
+/// Fits `y ≈ c · model(x)` for a known model function by least squares over
+/// the single coefficient `c`, and reports the relative root-mean-square
+/// error of the fit.  Used to check measurements against the paper's
+/// predicted running-time expressions (e.g. `model(n) = n·ln n`).
+///
+/// # Errors
+///
+/// Returns an error if the slices have different lengths, are empty, or the
+/// model evaluates to zero everywhere.
+pub fn proportionality_fit<F: Fn(f64) -> f64>(
+    xs: &[f64],
+    ys: &[f64],
+    model: F,
+) -> Result<ProportionalFit, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+    }
+    if xs.is_empty() {
+        return Err(FitError::NotEnoughData);
+    }
+    let m: Vec<f64> = xs.iter().map(|&x| model(x)).collect();
+    let denom: f64 = m.iter().map(|v| v * v).sum();
+    if denom == 0.0 {
+        return Err(FitError::NotEnoughData);
+    }
+    let num: f64 = m.iter().zip(ys).map(|(mv, &y)| mv * y).sum();
+    let c = num / denom;
+    let mut sq_rel_err = 0.0;
+    let mut used = 0usize;
+    for (mv, &y) in m.iter().zip(ys) {
+        let pred = c * mv;
+        if y != 0.0 {
+            let rel = (pred - y) / y;
+            sq_rel_err += rel * rel;
+            used += 1;
+        }
+    }
+    let rel_rmse = if used == 0 { 0.0 } else { (sq_rel_err / used as f64).sqrt() };
+    Ok(ProportionalFit { coefficient: c, relative_rmse: rel_rmse })
+}
+
+/// Result of a single-coefficient proportionality fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionalFit {
+    /// The fitted constant `c` in `y ≈ c·model(x)`.
+    pub coefficient: f64,
+    /// Root-mean-square of the relative residuals `(pred - y)/y`.
+    pub relative_rmse: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_reasonable_r_squared() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| 3.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(linear_fit(&[1.0], &[1.0]), Err(FitError::NotEnoughData)));
+        assert!(matches!(
+            linear_fit(&[1.0, 2.0], &[1.0]),
+            Err(FitError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            linear_fit(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(FitError::NotEnoughData)
+        ));
+        assert!(matches!(log_log_fit(&[0.0, 1.0], &[1.0, 1.0]), Err(FitError::NonPositiveValue)));
+    }
+
+    #[test]
+    fn log_log_recovers_power_law_exponent() {
+        let xs: [f64; 4] = [100.0, 1_000.0, 10_000.0, 100_000.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.7 * x.powf(1.5)).collect();
+        let fit = log_log_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 1.5).abs() < 1e-9);
+        assert!((fit.intercept.exp() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n_log_n_data_has_exponent_just_above_one() {
+        let xs: [f64; 4] = [1e3, 1e4, 1e5, 1e6];
+        let ys: Vec<f64> = xs.iter().map(|&x| 4.0 * x * x.ln()).collect();
+        let fit = log_log_fit(&xs, &ys).unwrap();
+        assert!(fit.slope > 1.05 && fit.slope < 1.25, "slope = {}", fit.slope);
+    }
+
+    #[test]
+    fn proportionality_fit_recovers_constant() {
+        let xs: [f64; 4] = [1_000.0, 2_000.0, 4_000.0, 8_000.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 6.9 * x * x.ln()).collect();
+        let fit = proportionality_fit(&xs, &ys, |x| x * x.ln()).unwrap();
+        assert!((fit.coefficient - 6.9).abs() < 1e-9);
+        assert!(fit.relative_rmse < 1e-12);
+    }
+
+    #[test]
+    fn proportionality_fit_detects_wrong_model() {
+        // Quadratic data fitted with a linear model must show large error.
+        let xs = [10.0, 20.0, 40.0, 80.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let fit = proportionality_fit(&xs, &ys, |x| x).unwrap();
+        assert!(fit.relative_rmse > 0.3, "rmse = {}", fit.relative_rmse);
+    }
+}

@@ -1,0 +1,329 @@
+//! Descriptive statistics for experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// A five-number-plus summary of a sample: count, mean, standard deviation,
+/// standard error, min/max and selected quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use pp_analysis::Summary;
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// assert!((s.median() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    std_dev: f64,
+    min: f64,
+    max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from a slice of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains a NaN.
+    #[must_use]
+    pub fn from_slice(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        assert!(data.iter().all(|x| !x.is_nan()), "sample contains NaN");
+        let count = data.len();
+        let mean = data.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample contains NaN"));
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            sorted,
+        }
+    }
+
+    /// Builds a summary from an iterator of `u64` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty.
+    #[must_use]
+    pub fn from_u64<I: IntoIterator<Item = u64>>(data: I) -> Self {
+        let v: Vec<f64> = data.into_iter().map(|x| x as f64).collect();
+        Summary::from_slice(&v)
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (unbiased, `n-1` denominator).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        self.std_dev / (self.count as f64).sqrt()
+    }
+
+    /// Smallest observation.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sample median.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Empirical quantile by linear interpolation between order statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (self.count as f64 - 1.0);
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// A normal-approximation confidence interval for the mean at the given
+    /// z-score (1.96 for 95%, 2.58 for 99%).
+    #[must_use]
+    pub fn mean_confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_error();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Coefficient of variation (`std_dev / mean`), or `None` if the mean is 0.
+    #[must_use]
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std_dev / self.mean)
+        }
+    }
+}
+
+/// Computes the empirical probability of a Boolean event together with a
+/// Wilson-score 95% confidence interval, which behaves sensibly even when the
+/// observed proportion is 0 or 1 (common for w.h.p. statements).
+///
+/// # Examples
+///
+/// ```
+/// use pp_analysis::stats::proportion_with_wilson;
+/// let (p, lo, hi) = proportion_with_wilson(95, 100);
+/// assert!((p - 0.95).abs() < 1e-12);
+/// assert!(lo > 0.88 && hi < 0.99);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials`.
+#[must_use]
+pub fn proportion_with_wilson(successes: u64, trials: u64) -> (f64, f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = 1.96f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    (p, (center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Welford-style online accumulator for mean/variance without storing the
+/// observations, used by long-running recorders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations pushed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Running sample variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Running sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample std-dev with n-1 denominator: sqrt(32/7).
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.quantile(1.0) - 4.0).abs() < 1e-12);
+        assert!((s.quantile(0.5) - 2.5).abs() < 1e-12);
+        assert!((s.quantile(1.0 / 3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty_sample() {
+        let _ = Summary::from_slice(&[]);
+    }
+
+    #[test]
+    fn single_observation_summary() {
+        let s = Summary::from_slice(&[3.5]);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.median(), 3.5);
+        assert_eq!(s.quantile(0.9), 3.5);
+    }
+
+    #[test]
+    fn confidence_interval_is_symmetric() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (lo, hi) = s.mean_confidence_interval(1.96);
+        assert!((s.mean() - lo - (hi - s.mean())).abs() < 1e-12);
+        assert!(lo < s.mean() && s.mean() < hi);
+    }
+
+    #[test]
+    fn wilson_interval_handles_extremes() {
+        let (p, lo, hi) = proportion_with_wilson(100, 100);
+        assert_eq!(p, 1.0);
+        assert!(lo > 0.95 && hi <= 1.0);
+        let (p, lo, _hi) = proportion_with_wilson(0, 50);
+        assert_eq!(p, 0.0);
+        assert_eq!(lo, 0.0);
+    }
+
+    #[test]
+    fn running_stats_match_batch_summary() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut r = RunningStats::new();
+        for &x in &data {
+            r.push(x);
+        }
+        let s = Summary::from_slice(&data);
+        assert_eq!(r.count(), data.len() as u64);
+        assert!((r.mean() - s.mean()).abs() < 1e-12);
+        assert!((r.std_dev() - s.std_dev()).abs() < 1e-12);
+        assert_eq!(r.min(), s.min());
+        assert_eq!(r.max(), s.max());
+    }
+
+    #[test]
+    fn from_u64_converts() {
+        let s = Summary::from_u64([1u64, 2, 3]);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::from_slice(&[0.0, 0.0, 0.0]);
+        assert_eq!(s.coefficient_of_variation(), None);
+        let s = Summary::from_slice(&[2.0, 4.0]);
+        assert!(s.coefficient_of_variation().unwrap() > 0.0);
+    }
+}

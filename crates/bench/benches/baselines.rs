@@ -1,0 +1,71 @@
+//! E8 bench — the USD against the related-work baselines from the same
+//! biased start (asynchronous sequential execution).
+
+use consensus_dynamics::{MedianRule, SequentialSampler, ThreeMajority, TwoChoices, Voter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::{SimSeed, StopCondition};
+use pp_workloads::InitialConfig;
+use usd_bench::BENCH_SEED;
+use usd_core::UsdSimulator;
+
+fn baseline_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8/baselines");
+    group.sample_size(10);
+    let n = 4_000u64;
+    let k = 4;
+    let budget = (600.0 * k as f64 * n as f64 * (n as f64).ln()) as u64;
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(2.0)
+        .build(SimSeed::from_u64(BENCH_SEED))
+        .unwrap();
+    let stop = StopCondition::consensus().or_max_interactions(budget);
+
+    group.bench_function(BenchmarkId::new("usd", n), |b| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            let mut sim = UsdSimulator::new(config.clone(), SimSeed::from_u64(BENCH_SEED + trial));
+            sim.run_to_consensus(budget).interactions()
+        });
+    });
+    group.bench_function(BenchmarkId::new("voter", n), |b| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            SequentialSampler::new(Voter::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED + trial))
+                .run(stop)
+                .interactions()
+        });
+    });
+    group.bench_function(BenchmarkId::new("two_choices", n), |b| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            SequentialSampler::new(TwoChoices::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED + trial))
+                .run(stop)
+                .interactions()
+        });
+    });
+    group.bench_function(BenchmarkId::new("three_majority", n), |b| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            SequentialSampler::new(ThreeMajority::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED + trial))
+                .run(stop)
+                .interactions()
+        });
+    });
+    group.bench_function(BenchmarkId::new("median_rule", n), |b| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            SequentialSampler::new(MedianRule::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED + trial))
+                .run(stop)
+                .interactions()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, baseline_comparison);
+criterion_main!(benches);

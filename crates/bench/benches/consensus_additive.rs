@@ -1,0 +1,37 @@
+//! E3 bench — Theorem 2.2: time to plurality consensus from an additive bias
+//! of `2·√(n ln n)`, swept over the population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::SimSeed;
+use pp_workloads::InitialConfig;
+use usd_bench::{BENCH_POPULATIONS, BENCH_SEED};
+use usd_core::UsdSimulator;
+
+fn additive_bias_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3/consensus_additive_bias");
+    group.sample_size(10);
+    let k = 8;
+    for &n in BENCH_POPULATIONS {
+        let n = n as u64;
+        let budget = (400.0 * k as f64 * n as f64 * (n as f64).ln()) as u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let seed = SimSeed::from_u64(BENCH_SEED + trial);
+                let config = InitialConfig::new(n, k)
+                    .additive_bias_in_sqrt_n_log_n(2.0)
+                    .build(seed)
+                    .unwrap();
+                let mut sim = UsdSimulator::new(config, seed.child(1));
+                let result = sim.run_to_consensus(budget);
+                assert!(result.reached_consensus());
+                result.interactions()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, additive_bias_consensus);
+criterion_main!(benches);

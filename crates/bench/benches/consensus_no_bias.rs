@@ -1,0 +1,33 @@
+//! E4 bench — Theorem 2 (third case): time to consensus from the uniform
+//! (no-bias) start, swept over the number of opinions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::SimSeed;
+use pp_workloads::InitialConfig;
+use usd_bench::{BENCH_OPINIONS, BENCH_SEED};
+use usd_core::UsdSimulator;
+
+fn no_bias_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/consensus_no_bias");
+    group.sample_size(10);
+    let n = 4_000u64;
+    for &k in BENCH_OPINIONS {
+        let budget = (600.0 * k as f64 * n as f64 * (n as f64).ln()) as u64;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let seed = SimSeed::from_u64(BENCH_SEED + trial);
+                let config = InitialConfig::new(n, k).build(seed).unwrap();
+                let mut sim = UsdSimulator::new(config, seed.child(1));
+                let result = sim.run_to_consensus(budget);
+                assert!(result.reached_consensus());
+                result.interactions()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, no_bias_consensus);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E10 bench — the Lemma 17 coupling and the Lemma 1 drift measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::{Configuration, SimSeed};
+use usd_bench::BENCH_SEED;
+use usd_core::CoupledUsd;
+
+fn coupled_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10/coupled_run");
+    group.sample_size(10);
+    for &n in &[2_000u64, 8_000] {
+        let k = 4usize;
+        let x1 = 2 * n / 3 + 1;
+        let share = (n - x1) / (k as u64 - 1);
+        let mut counts = vec![share; k];
+        counts[0] = x1;
+        counts[k - 1] = n - x1 - share * (k as u64 - 2);
+        let config = Configuration::from_counts(counts, 0).unwrap();
+        let budget = (200.0 * n as f64 * (n as f64).ln()) as u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let mut coupled = CoupledUsd::new(&config, SimSeed::from_u64(BENCH_SEED + trial));
+                let report = coupled.run(budget);
+                assert_eq!(report.invariant_violations, 0);
+                report.interactions
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, coupled_run);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the simulation engines themselves: interactions per
+//! second for the count-based engine (as a function of `k`), the agent-level
+//! engine, and the gossip round engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pp_core::{AgentSimulator, Configuration, CountSimulator, SimSeed};
+use usd_bench::BENCH_SEED;
+use usd_core::UndecidedStateDynamics;
+
+fn count_simulator_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/count_simulator_step");
+    group.sample_size(20);
+    for &k in &[2usize, 8, 32, 128] {
+        let n = 100_000u64;
+        let config = Configuration::uniform(n, k).unwrap();
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter_batched(
+                || CountSimulator::new(UndecidedStateDynamics::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED)),
+                |mut sim| {
+                    for _ in 0..10_000 {
+                        sim.step();
+                    }
+                    sim
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn agent_simulator_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/agent_simulator_step");
+    group.sample_size(20);
+    for &n in &[1_000u64, 10_000, 100_000] {
+        let k = 8;
+        let config = Configuration::uniform(n, k).unwrap();
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || AgentSimulator::new(UndecidedStateDynamics::new(k), &config, SimSeed::from_u64(BENCH_SEED)),
+                |mut sim| {
+                    for _ in 0..10_000 {
+                        sim.step();
+                    }
+                    sim
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn gossip_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/gossip_round");
+    group.sample_size(20);
+    for &n in &[1_000u64, 10_000] {
+        let config = Configuration::uniform(n, 8).unwrap();
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || gossip_model::UsdGossip::new(&config, SimSeed::from_u64(BENCH_SEED)),
+                |mut sim| {
+                    sim.round();
+                    sim
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, count_simulator_steps, agent_simulator_steps, gossip_rounds);
+criterion_main!(benches);

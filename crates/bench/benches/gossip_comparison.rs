@@ -1,0 +1,46 @@
+//! E7 bench — Appendix D: the same biased configuration run in the population
+//! protocol model and in the synchronous gossip model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_model::UsdGossip;
+use pp_core::SimSeed;
+use pp_workloads::InitialConfig;
+use usd_bench::BENCH_SEED;
+use usd_core::UsdSimulator;
+
+fn population_vs_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7/population_vs_gossip");
+    group.sample_size(10);
+    let n = 8_000u64;
+    let k = 8;
+    let budget = (400.0 * k as f64 * n as f64 * (n as f64).ln()) as u64;
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(2.0)
+        .build(SimSeed::from_u64(BENCH_SEED))
+        .unwrap();
+
+    group.bench_with_input(BenchmarkId::new("population", n), &n, |b, _| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            let mut sim = UsdSimulator::new(config.clone(), SimSeed::from_u64(BENCH_SEED + trial));
+            let result = sim.run_to_consensus(budget);
+            assert!(result.reached_consensus());
+            result.parallel_time()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("gossip", n), &n, |b, _| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            let mut sim = UsdGossip::new(&config, SimSeed::from_u64(BENCH_SEED + 10_000 + trial));
+            let result = sim.run(1_000_000);
+            assert!(result.reached_consensus());
+            result.interactions()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, population_vs_gossip);
+criterion_main!(benches);

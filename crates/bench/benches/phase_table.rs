@@ -1,0 +1,34 @@
+//! E1 bench — regenerates the Section 2.1 phase table: cost of a full phased
+//! run (uniform start) as the population grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::SimSeed;
+use pp_workloads::InitialConfig;
+use usd_bench::{BENCH_POPULATIONS, BENCH_SEED};
+use usd_core::UsdSimulator;
+
+fn phased_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/phased_run_uniform");
+    group.sample_size(10);
+    let k = 4;
+    for &n in BENCH_POPULATIONS {
+        let n = n as u64;
+        let budget = (400.0 * k as f64 * n as f64 * (n as f64).ln()) as u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let seed = SimSeed::from_u64(BENCH_SEED + trial);
+                let config = InitialConfig::new(n, k).build(seed).unwrap();
+                let mut sim = UsdSimulator::new(config, seed.child(1));
+                let result = sim.run_with_phases(1.0, budget);
+                assert!(result.phases.completed());
+                result.run.interactions()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, phased_run);
+criterion_main!(benches);

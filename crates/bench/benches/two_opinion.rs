@@ -1,0 +1,34 @@
+//! E6 bench — the k = 2 recovery: approximate-majority runs at and above the
+//! `√(n log n)` bias threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::SimSeed;
+use usd_bench::BENCH_SEED;
+use usd_core::ApproximateMajority;
+
+fn approximate_majority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/approximate_majority");
+    group.sample_size(10);
+    let n = 16_000u64;
+    let n_f = n as f64;
+    let unit = (n_f * n_f.ln()).sqrt();
+    for &mult in &[0.0f64, 1.0, 4.0] {
+        let bias = (mult * unit).round() as u64;
+        let majority = (n + bias) / 2;
+        let budget = (400.0 * n_f * n_f.ln()) as u64;
+        group.bench_with_input(BenchmarkId::from_parameter(mult), &mult, |b, _| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let am = ApproximateMajority::new(majority, n - majority, 0).unwrap();
+                let (outcome, result) = am.run(SimSeed::from_u64(BENCH_SEED + trial), budget);
+                assert!(result.reached_consensus());
+                outcome
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, approximate_majority);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 bench — Lemma 3 / Lemma 4: cost of tracking the undecided-count
+//! envelope over a fixed horizon of interactions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::{SimSeed, StopCondition, TraceRecorder};
+use pp_workloads::InitialConfig;
+use usd_bench::{BENCH_POPULATIONS, BENCH_SEED};
+use usd_core::UsdSimulator;
+
+fn undecided_envelope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/undecided_envelope");
+    group.sample_size(10);
+    let k = 4;
+    for &n in BENCH_POPULATIONS {
+        let n = n as u64;
+        // Fixed horizon: 20 parallel-time units of interactions.
+        let horizon = 20 * n;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let seed = SimSeed::from_u64(BENCH_SEED + trial);
+                let config = InitialConfig::new(n, k).build(seed).unwrap();
+                let mut sim = UsdSimulator::new(config, seed.child(1));
+                let mut recorder = TraceRecorder::per_parallel_time(n);
+                sim.run_recorded(StopCondition::after_interactions(horizon), &mut recorder);
+                let max_u = recorder.max_undecided().unwrap_or(0);
+                assert!(max_u <= n / 2, "Lemma 3 upper bound violated in bench run");
+                max_u
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, undecided_envelope);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E9 bench — the plurality win-probability curve: settlement runs at biases
+//! below, at, and above the `√(n log n)` threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::SimSeed;
+use pp_workloads::InitialConfig;
+use usd_bench::BENCH_SEED;
+use usd_core::UsdSimulator;
+
+fn winner_probability_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/winner_probability");
+    group.sample_size(10);
+    let n = 4_000u64;
+    let k = 4;
+    let budget = (600.0 * k as f64 * n as f64 * (n as f64).ln()) as u64;
+    for &mult in &[0.0f64, 0.5, 2.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(mult), &mult, |b, &mult| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let seed = SimSeed::from_u64(BENCH_SEED + trial);
+                let config = InitialConfig::new(n, k)
+                    .additive_bias_in_sqrt_n_log_n(mult)
+                    .build(seed)
+                    .unwrap();
+                let mut sim = UsdSimulator::new(config, seed.child(1));
+                let result = sim.run_to_settlement(budget);
+                result.winner().map(|w| w.index() == 0)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, winner_probability_points);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The real benchmark code lives in `benches/`; this library crate only hosts
+//! small utilities shared by several bench targets.
+
+/// Standard population sizes used by the "small" bench configurations.
+pub const BENCH_POPULATIONS: &[usize] = &[1_000, 4_000, 16_000];
+
+/// Standard opinion counts used by the bench configurations.
+pub const BENCH_OPINIONS: &[usize] = &[2, 4, 8, 16];
+
+/// A fixed master seed so bench runs are comparable across invocations.
+pub const BENCH_SEED: u64 = 0xC0FFEE_5EED;

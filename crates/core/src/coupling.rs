@@ -1,0 +1,343 @@
+//! The Lemma 17 coupling between the k-opinion USD and a 2-opinion USD.
+//!
+//! Phase 5 of the paper bounds the time from an absolute majority
+//! (`x₁ ≥ 2n/3`) to consensus by coupling the k-opinion process `X` with a
+//! 2-opinion process `X̃` started from `x̃₁(0) = x₁(0)`,
+//! `x̃₂(0) = Σ_{i≥2} x_i(0)`, `ũ(0) = u(0)`.  Under the identity coupling both
+//! processes draw the same ordered pair of agent *indices*; the agents of each
+//! process are laid out in the specific order given in the paper's proof so
+//! that the invariant
+//!
+//! ```text
+//! x₁(t) ≥ x̃₁(t)      and      x₁(t) + u(t) ≥ x̃₁(t) + ũ(t)
+//! ```
+//!
+//! is maintained deterministically.  [`CoupledUsd`] implements exactly that
+//! coupling and checks the invariant after every interaction, providing an
+//! executable witness for Lemma 17 (and the basis of the drift/coupling
+//! experiment E10).
+
+use crate::protocol::UndecidedStateDynamics;
+use pp_core::{AgentState, Configuration, OpinionProtocol, SimSeed};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single coupled step's classification of both processes' agent states at
+/// one index, following the layout of the proof of Lemma 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CoupledStates {
+    /// State in the k-opinion process.
+    k_state: AgentState,
+    /// State in the 2-opinion process.
+    two_state: AgentState,
+}
+
+/// Summary of a coupled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CouplingReport {
+    /// Interactions simulated.
+    pub interactions: u64,
+    /// Number of interactions after which the majorization invariant was
+    /// violated (0 is the Lemma 17 claim).
+    pub invariant_violations: u64,
+    /// Interaction at which the k-opinion process reached consensus, if it did.
+    pub k_consensus_at: Option<u64>,
+    /// Interaction at which the 2-opinion process reached consensus on
+    /// opinion 1, if it did.
+    pub two_consensus_at: Option<u64>,
+}
+
+/// The identity coupling of the k-opinion USD with its 2-opinion projection.
+///
+/// # Examples
+///
+/// ```
+/// use usd_core::CoupledUsd;
+/// use pp_core::{Configuration, SimSeed};
+///
+/// // A 2/3-majority configuration (the Phase 5 precondition).
+/// let config = Configuration::from_counts(vec![700, 150, 100], 50).unwrap();
+/// let mut coupled = CoupledUsd::new(&config, SimSeed::from_u64(5));
+/// let report = coupled.run(2_000_000);
+/// assert_eq!(report.invariant_violations, 0);
+/// ```
+#[derive(Debug)]
+pub struct CoupledUsd {
+    k_protocol: UndecidedStateDynamics,
+    two_protocol: UndecidedStateDynamics,
+    k_config: Configuration,
+    two_config: Configuration,
+    interactions: u64,
+    violations: u64,
+    rng: SmallRng,
+}
+
+impl CoupledUsd {
+    /// Creates the coupled pair of processes from a k-opinion initial
+    /// configuration.  Opinion 0 of the k-process plays the role of the
+    /// paper's "Opinion 1"; all other opinions are projected onto opinion 2 of
+    /// the 2-opinion process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has fewer than two opinions.
+    #[must_use]
+    pub fn new(config: &Configuration, seed: SimSeed) -> Self {
+        assert!(config.num_opinions() >= 2, "the coupling needs at least two opinions");
+        let x1 = config.support(0);
+        let rest: u64 = config.supports().iter().skip(1).sum();
+        let two_config = Configuration::from_counts(vec![x1, rest], config.undecided())
+            .expect("projection of a valid configuration is valid");
+        CoupledUsd {
+            k_protocol: UndecidedStateDynamics::new(config.num_opinions()),
+            two_protocol: UndecidedStateDynamics::new(2),
+            k_config: config.clone(),
+            two_config,
+            interactions: 0,
+            violations: 0,
+            rng: seed.rng(),
+        }
+    }
+
+    /// The k-opinion process's current configuration.
+    #[must_use]
+    pub fn k_configuration(&self) -> &Configuration {
+        &self.k_config
+    }
+
+    /// The 2-opinion process's current configuration.
+    #[must_use]
+    pub fn two_configuration(&self) -> &Configuration {
+        &self.two_config
+    }
+
+    /// Number of coupled interactions performed so far.
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Number of interactions after which the invariant did not hold.
+    #[must_use]
+    pub fn invariant_violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Whether the Lemma 17 majorization invariant currently holds:
+    /// `x₁ ≥ x̃₁` and `x₁ + u ≥ x̃₁ + ũ`.
+    #[must_use]
+    pub fn invariant_holds(&self) -> bool {
+        let x1 = self.k_config.support(0);
+        let u = self.k_config.undecided();
+        let tx1 = self.two_config.support(0);
+        let tu = self.two_config.undecided();
+        x1 >= tx1 && x1 + u >= tx1 + tu
+    }
+
+    /// Maps an agent index to its state in both processes according to the
+    /// layout in the proof of Lemma 17.
+    fn classify(&self, index: u64) -> CoupledStates {
+        let x1 = self.k_config.support(0);
+        let u = self.k_config.undecided();
+        let tx1 = self.two_config.support(0);
+        let tu = self.two_config.undecided();
+        let shared_undecided = u.min(tu);
+        let rest_total: u64 = self.k_config.supports().iter().skip(1).sum();
+
+        let mut i = index;
+        // Segment A: agents holding opinion 1 in both processes.
+        if i < tx1 {
+            return CoupledStates { k_state: AgentState::decided(0), two_state: AgentState::decided(0) };
+        }
+        i -= tx1;
+        // Segment B: agents undecided in both processes.
+        if i < shared_undecided {
+            return CoupledStates { k_state: AgentState::Undecided, two_state: AgentState::Undecided };
+        }
+        i -= shared_undecided;
+        // Segment C: agents holding opinions 2..k in the k-process, opinion 2
+        // in the 2-process; laid out in opinion blocks.
+        if i < rest_total {
+            let mut offset = i;
+            for op in 1..self.k_config.num_opinions() {
+                let s = self.k_config.support(op);
+                if offset < s {
+                    return CoupledStates {
+                        k_state: AgentState::decided(op),
+                        two_state: AgentState::decided(1),
+                    };
+                }
+                offset -= s;
+            }
+            unreachable!("offset {i} exceeds the total support of opinions 2..k");
+        }
+        i -= rest_total;
+        if tu >= u {
+            // Case 1: the 2-process has extra undecided agents.  The
+            // k-process's surplus of opinion-1 agents is aligned first with
+            // those extra ⊥'s, then with 2's.
+            let extra_undecided = tu - u;
+            if i < extra_undecided {
+                CoupledStates { k_state: AgentState::decided(0), two_state: AgentState::Undecided }
+            } else {
+                CoupledStates { k_state: AgentState::decided(0), two_state: AgentState::decided(1) }
+            }
+        } else {
+            // Case 2: the k-process has extra undecided agents.  The surplus
+            // opinion-1 agents come first, then the extra ⊥'s, all aligned
+            // with 2's of the 2-process.
+            let surplus_ones = x1 - tx1;
+            if i < surplus_ones {
+                CoupledStates { k_state: AgentState::decided(0), two_state: AgentState::decided(1) }
+            } else {
+                CoupledStates { k_state: AgentState::Undecided, two_state: AgentState::decided(1) }
+            }
+        }
+    }
+
+    /// Performs one coupled interaction (both processes see the same ordered
+    /// pair of agent indices).  Returns `true` if the invariant holds after
+    /// the step.
+    pub fn step(&mut self) -> bool {
+        let n = self.k_config.population();
+        let responder_idx = self.rng.gen_range(0..n);
+        let initiator_idx = self.rng.gen_range(0..n);
+        self.interactions += 1;
+
+        let responder = self.classify(responder_idx);
+        let initiator = self.classify(initiator_idx);
+
+        let k_new = self.k_protocol.respond(responder.k_state, initiator.k_state);
+        if k_new != responder.k_state {
+            self.k_config
+                .apply_move(responder.k_state, k_new)
+                .expect("coupled k-process move must be valid");
+        }
+        let two_new = self.two_protocol.respond(responder.two_state, initiator.two_state);
+        if two_new != responder.two_state {
+            self.two_config
+                .apply_move(responder.two_state, two_new)
+                .expect("coupled 2-process move must be valid");
+        }
+        let ok = self.invariant_holds();
+        if !ok {
+            self.violations += 1;
+        }
+        ok
+    }
+
+    /// Runs up to `max_interactions` coupled interactions (stopping early once
+    /// *both* processes have reached consensus) and reports invariant
+    /// violations and consensus times.
+    pub fn run(&mut self, max_interactions: u64) -> CouplingReport {
+        let mut k_consensus_at = None;
+        let mut two_consensus_at = None;
+        for _ in 0..max_interactions {
+            if k_consensus_at.is_some() && two_consensus_at.is_some() {
+                break;
+            }
+            self.step();
+            if k_consensus_at.is_none() && self.k_config.is_consensus() {
+                k_consensus_at = Some(self.interactions);
+            }
+            if two_consensus_at.is_none()
+                && self.two_config.is_consensus()
+                && self.two_config.support(0) == self.two_config.population()
+            {
+                two_consensus_at = Some(self.interactions);
+            }
+        }
+        CouplingReport {
+            interactions: self.interactions,
+            invariant_violations: self.violations,
+            k_consensus_at,
+            two_consensus_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_sums_trailing_opinions() {
+        let config = Configuration::from_counts(vec![500, 200, 200, 50], 50).unwrap();
+        let c = CoupledUsd::new(&config, SimSeed::from_u64(1));
+        assert_eq!(c.two_configuration().supports(), &[500, 450]);
+        assert_eq!(c.two_configuration().undecided(), 50);
+        assert!(c.invariant_holds());
+    }
+
+    #[test]
+    fn classification_covers_every_index_consistently() {
+        let config = Configuration::from_counts(vec![400, 150, 150], 300).unwrap();
+        let c = CoupledUsd::new(&config, SimSeed::from_u64(2));
+        let n = config.population();
+        let mut k_counts = vec![0u64; 3];
+        let mut k_undecided = 0u64;
+        let mut two_counts = vec![0u64; 2];
+        let mut two_undecided = 0u64;
+        for i in 0..n {
+            let s = c.classify(i);
+            match s.k_state {
+                AgentState::Decided(o) => k_counts[o.index()] += 1,
+                AgentState::Undecided => k_undecided += 1,
+            }
+            match s.two_state {
+                AgentState::Decided(o) => two_counts[o.index()] += 1,
+                AgentState::Undecided => two_undecided += 1,
+            }
+        }
+        assert_eq!(k_counts, vec![400, 150, 150]);
+        assert_eq!(k_undecided, 300);
+        assert_eq!(two_counts, vec![400, 300]);
+        assert_eq!(two_undecided, 300);
+    }
+
+    #[test]
+    fn invariant_holds_throughout_a_majority_run() {
+        // Phase 5 precondition: x1 >= 2n/3.
+        let config = Configuration::from_counts(vec![700, 200, 100], 0).unwrap();
+        let mut c = CoupledUsd::new(&config, SimSeed::from_u64(3));
+        let report = c.run(3_000_000);
+        assert_eq!(report.invariant_violations, 0);
+        // The coupled k-process must finish no later than the 2-process
+        // whenever both finish (that is the point of the majorization).
+        if let (Some(k), Some(two)) = (report.k_consensus_at, report.two_consensus_at) {
+            assert!(k <= two, "k-process ({k}) finished after the 2-process ({two})");
+        }
+    }
+
+    #[test]
+    fn invariant_holds_even_without_a_majority() {
+        // The coupling construction itself never violates majorization,
+        // regardless of the starting bias.
+        let config = Configuration::uniform(600, 4).unwrap();
+        let mut c = CoupledUsd::new(&config, SimSeed::from_u64(4));
+        for _ in 0..200_000 {
+            assert!(c.step(), "invariant violated at interaction {}", c.interactions());
+        }
+    }
+
+    #[test]
+    fn populations_are_conserved_in_both_processes() {
+        let config = Configuration::from_counts(vec![350, 250, 150, 50], 200).unwrap();
+        let mut c = CoupledUsd::new(&config, SimSeed::from_u64(6));
+        for _ in 0..50_000 {
+            c.step();
+        }
+        assert_eq!(c.k_configuration().population(), 1000);
+        assert_eq!(c.two_configuration().population(), 1000);
+        assert!(c.k_configuration().is_consistent());
+        assert!(c.two_configuration().is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two opinions")]
+    fn single_opinion_configuration_is_rejected() {
+        let config = Configuration::from_counts(vec![10], 0).unwrap();
+        let _ = CoupledUsd::new(&config, SimSeed::from_u64(0));
+    }
+}

@@ -1,0 +1,341 @@
+//! Exact Markov-chain analysis of the two-opinion USD for small populations.
+//!
+//! With `k = 2` the USD is a Markov chain on the triangle of configurations
+//! `(x₁, x₂, u)` with `x₁ + x₂ + u = n`.  For small `n` the chain is small
+//! enough to analyze *exactly*: this module computes, by iterative solution of
+//! the corresponding linear systems,
+//!
+//! * the probability that opinion 1 wins from every configuration, and
+//! * the expected number of interactions until consensus.
+//!
+//! The exact values serve as ground truth for the simulators (integration
+//! test `exact_chain_validation`) and let the experiments separate genuine
+//! finite-`n` effects from sampling noise.  The solver uses Gauss–Seidel
+//! sweeps, which converge quickly because the jump chain is absorbing.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact quantities for the two-opinion USD on `n` agents.
+///
+/// # Examples
+///
+/// ```
+/// use usd_core::exact::TwoOpinionChain;
+///
+/// let chain = TwoOpinionChain::solve(30, 1e-12, 100_000);
+/// // A perfectly symmetric start is a coin flip.
+/// let p = chain.win_probability(15, 0).unwrap();
+/// assert!((p - 0.5).abs() < 1e-9);
+/// // More initial support means a higher win probability.
+/// assert!(chain.win_probability(20, 0).unwrap() > chain.win_probability(10, 0).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoOpinionChain {
+    n: u64,
+    /// `win[idx(x1, u)]` = probability that opinion 1 wins.
+    win: Vec<f64>,
+    /// `time[idx(x1, u)]` = expected interactions to consensus.
+    time: Vec<f64>,
+    /// Residuals reached by the iterative solver.
+    win_residual: f64,
+    time_residual: f64,
+}
+
+impl TwoOpinionChain {
+    /// Solves the chain for population size `n`.
+    ///
+    /// `tolerance` is the maximum per-sweep update at which iteration stops
+    /// and `max_sweeps` bounds the number of Gauss–Seidel sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 400` (the dense state space grows
+    /// quadratically; 400 agents ≈ 80 000 states is the intended ceiling).
+    #[must_use]
+    pub fn solve(n: u64, tolerance: f64, max_sweeps: u64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(n <= 400, "exact solver is intended for small populations (n <= 400)");
+        let states = Self::state_count(n);
+        let mut chain = TwoOpinionChain {
+            n,
+            win: vec![0.0; states],
+            time: vec![0.0; states],
+            win_residual: f64::INFINITY,
+            time_residual: f64::INFINITY,
+        };
+        chain.solve_win_probabilities(tolerance, max_sweeps);
+        chain.solve_expected_times(tolerance, max_sweeps);
+        chain
+    }
+
+    /// Population size the chain was solved for.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Final residual of the win-probability solve.
+    #[must_use]
+    pub fn win_residual(&self) -> f64 {
+        self.win_residual
+    }
+
+    /// Final residual of the expected-time solve.
+    #[must_use]
+    pub fn time_residual(&self) -> f64 {
+        self.time_residual
+    }
+
+    fn state_count(n: u64) -> usize {
+        // x1 in 0..=n, u in 0..=n-x1.
+        (((n + 1) * (n + 2)) / 2) as usize
+    }
+
+    fn index(&self, x1: u64, u: u64) -> usize {
+        debug_assert!(x1 + u <= self.n);
+        // Row-major over x1, with row x1 having (n - x1 + 1) entries.
+        let n = self.n;
+        let before: u64 = x1 * (n + 1) - x1 * (x1.saturating_sub(1)) / 2;
+        (before + u) as usize
+    }
+
+    /// The probability that opinion 1 eventually wins from `(x₁, u)`
+    /// (with `x₂ = n − x₁ − u`), or `None` if the arguments are out of range.
+    #[must_use]
+    pub fn win_probability(&self, x1: u64, u: u64) -> Option<f64> {
+        if x1 + u > self.n {
+            return None;
+        }
+        Some(self.win[self.index(x1, u)])
+    }
+
+    /// The expected number of interactions until consensus from `(x₁, u)`,
+    /// or `None` if the arguments are out of range.
+    #[must_use]
+    pub fn expected_interactions(&self, x1: u64, u: u64) -> Option<f64> {
+        if x1 + u > self.n {
+            return None;
+        }
+        Some(self.time[self.index(x1, u)])
+    }
+
+    /// The four productive transition probabilities from `(x₁, u)`:
+    /// `(x₁ grows, x₁ shrinks, x₂ grows, x₂ shrinks)`, each per interaction.
+    fn rates(&self, x1: u64, u: u64) -> (f64, f64, f64, f64) {
+        let n = self.n as f64;
+        let x2 = (self.n - x1 - u) as f64;
+        let x1 = x1 as f64;
+        let u = u as f64;
+        let n2 = n * n;
+        (
+            u * x1 / n2,  // undecided adopts opinion 1
+            x1 * x2 / n2, // opinion-1 responder meets opinion-2 initiator
+            u * x2 / n2,  // undecided adopts opinion 2
+            x2 * x1 / n2, // opinion-2 responder meets opinion-1 initiator
+        )
+    }
+
+    fn is_win_state(&self, x1: u64, u: u64) -> bool {
+        // Opinion 2 extinct: opinion 1 can no longer lose.
+        self.n - x1 - u == 0 && x1 > 0
+    }
+
+    fn is_loss_state(&self, x1: u64) -> bool {
+        x1 == 0
+    }
+
+    fn solve_win_probabilities(&mut self, tolerance: f64, max_sweeps: u64) {
+        // Initialize boundary conditions.
+        for x1 in 0..=self.n {
+            for u in 0..=(self.n - x1) {
+                let idx = self.index(x1, u);
+                self.win[idx] = if self.is_win_state(x1, u) {
+                    1.0
+                } else if self.is_loss_state(x1) {
+                    0.0
+                } else {
+                    0.5
+                };
+            }
+        }
+        // Gauss–Seidel sweeps on the jump chain (conditioning on a productive
+        // interaction does not change hitting probabilities).
+        for _ in 0..max_sweeps {
+            let mut max_delta = 0.0f64;
+            for x1 in 1..=self.n {
+                for u in 0..=(self.n - x1) {
+                    if self.is_win_state(x1, u) || self.is_loss_state(x1) {
+                        continue;
+                    }
+                    let (p_up, p_down, q_up, q_down) = self.rates(x1, u);
+                    let total = p_up + p_down + q_up + q_down;
+                    if total == 0.0 {
+                        continue;
+                    }
+                    let mut value = 0.0;
+                    if p_up > 0.0 {
+                        value += p_up * self.win[self.index(x1 + 1, u - 1)];
+                    }
+                    if p_down > 0.0 {
+                        value += p_down * self.win[self.index(x1 - 1, u + 1)];
+                    }
+                    if q_up > 0.0 {
+                        value += q_up * self.win[self.index(x1, u - 1)];
+                    }
+                    if q_down > 0.0 {
+                        value += q_down * self.win[self.index(x1, u + 1)];
+                    }
+                    let new = value / total;
+                    let idx = self.index(x1, u);
+                    max_delta = max_delta.max((new - self.win[idx]).abs());
+                    self.win[idx] = new;
+                }
+            }
+            self.win_residual = max_delta;
+            if max_delta < tolerance {
+                break;
+            }
+        }
+    }
+
+    fn solve_expected_times(&mut self, tolerance: f64, max_sweeps: u64) {
+        for t in self.time.iter_mut() {
+            *t = 0.0;
+        }
+        for _ in 0..max_sweeps {
+            let mut max_delta = 0.0f64;
+            for x1 in 0..=self.n {
+                for u in 0..=(self.n - x1) {
+                    // Absorbing states: consensus on either opinion.
+                    let x2 = self.n - x1 - u;
+                    if (x1 == self.n) || (x2 == self.n) {
+                        continue;
+                    }
+                    // States with a single surviving opinion but undecided
+                    // agents left are *not* absorbing (the undecided still
+                    // need to adopt), so they are solved like any other state.
+                    let (p_up, p_down, q_up, q_down) = self.rates(x1, u);
+                    let total = p_up + p_down + q_up + q_down;
+                    if total == 0.0 {
+                        continue;
+                    }
+                    // E[T] = 1/total (expected lazy steps until a productive
+                    // one) + expected time from the next productive state.
+                    let mut value = 1.0 / total;
+                    if p_up > 0.0 {
+                        value += p_up / total * self.time[self.index(x1 + 1, u - 1)];
+                    }
+                    if p_down > 0.0 {
+                        value += p_down / total * self.time[self.index(x1 - 1, u + 1)];
+                    }
+                    if q_up > 0.0 {
+                        value += q_up / total * self.time[self.index(x1, u - 1)];
+                    }
+                    if q_down > 0.0 {
+                        value += q_down / total * self.time[self.index(x1, u + 1)];
+                    }
+                    let idx = self.index(x1, u);
+                    max_delta = max_delta.max((value - self.time[idx]).abs());
+                    self.time[idx] = value;
+                }
+            }
+            self.time_residual = max_delta;
+            if max_delta < tolerance {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_start_is_a_fair_coin() {
+        let chain = TwoOpinionChain::solve(20, 1e-12, 200_000);
+        assert!((chain.win_probability(10, 0).unwrap() - 0.5).abs() < 1e-9);
+        // Symmetry also holds with undecided agents present.
+        assert!((chain.win_probability(8, 4).unwrap() - 0.5).abs() < 1e-9);
+        assert!(chain.win_residual() < 1e-10);
+    }
+
+    #[test]
+    fn win_probability_is_monotone_in_initial_support() {
+        let chain = TwoOpinionChain::solve(24, 1e-12, 200_000);
+        let mut last = 0.0;
+        for x1 in 0..=24 {
+            let p = chain.win_probability(x1, 0).unwrap();
+            assert!(p >= last - 1e-12, "win probability not monotone at x1 = {x1}");
+            last = p;
+        }
+        assert_eq!(chain.win_probability(0, 0), Some(0.0));
+        assert_eq!(chain.win_probability(24, 0), Some(1.0));
+    }
+
+    #[test]
+    fn extinct_rival_means_certain_win() {
+        let chain = TwoOpinionChain::solve(15, 1e-12, 200_000);
+        // x2 = 0 but undecided agents remain: opinion 1 still wins surely.
+        assert!((chain.win_probability(5, 10).unwrap() - 1.0).abs() < 1e-9);
+        // ... and the expected time to consensus is positive (undecided agents
+        // still need to adopt).
+        assert!(chain.expected_interactions(5, 10).unwrap() > 0.0);
+        assert_eq!(chain.expected_interactions(15, 0), Some(0.0));
+    }
+
+    #[test]
+    fn complementary_symmetry_between_the_two_opinions() {
+        let chain = TwoOpinionChain::solve(18, 1e-12, 200_000);
+        for x1 in 0..=18u64 {
+            for u in 0..=(18 - x1) {
+                let x2 = 18 - x1 - u;
+                if x1 == 0 && x2 == 0 {
+                    // The all-undecided configuration is frozen (no opinion
+                    // can ever appear); neither opinion wins from it.
+                    continue;
+                }
+                let p = chain.win_probability(x1, u).unwrap();
+                let q = chain.win_probability(x2, u).unwrap();
+                assert!(
+                    (p + q - 1.0).abs() < 1e-8,
+                    "win({x1},{u}) + win({x2},{u}) = {} != 1",
+                    p + q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_time_scales_roughly_like_n_log_n_from_a_tie() {
+        let small = TwoOpinionChain::solve(20, 1e-10, 200_000);
+        let large = TwoOpinionChain::solve(60, 1e-10, 200_000);
+        let t_small = small.expected_interactions(10, 0).unwrap();
+        let t_large = large.expected_interactions(30, 0).unwrap();
+        let ratio = t_large / t_small;
+        // n log n predicts a ratio of (60 ln 60)/(20 ln 20) ≈ 4.1; allow a
+        // wide band but exclude linear (3) and quadratic (9) growth artifacts.
+        assert!(ratio > 3.0 && ratio < 6.5, "time ratio {ratio} outside the n log n band");
+    }
+
+    #[test]
+    fn out_of_range_queries_return_none() {
+        let chain = TwoOpinionChain::solve(10, 1e-10, 100_000);
+        assert_eq!(chain.win_probability(11, 0), None);
+        assert_eq!(chain.expected_interactions(5, 6), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "small populations")]
+    fn oversized_populations_are_rejected() {
+        let _ = TwoOpinionChain::solve(500, 1e-10, 10);
+    }
+
+    #[test]
+    fn larger_initial_bias_gives_higher_win_probability_with_undecided_pool() {
+        let chain = TwoOpinionChain::solve(30, 1e-12, 200_000);
+        let p_weak = chain.win_probability(11, 9).unwrap();
+        let p_strong = chain.win_probability(16, 9).unwrap();
+        assert!(p_strong > p_weak);
+    }
+}

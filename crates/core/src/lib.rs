@@ -1,0 +1,78 @@
+//! # usd-core — the k-opinion Undecided State Dynamics
+//!
+//! This crate is the reproduction of the primary contribution of
+//! *"Fast Convergence of k-Opinion Undecided State Dynamics in the Population
+//! Protocol Model"* (PODC 2023): the k-opinion USD itself, together with the
+//! analytical machinery the paper builds around it.
+//!
+//! * [`UndecidedStateDynamics`] — the protocol (transition function of
+//!   Section 2), pluggable into either simulator of [`pp_core`].
+//! * [`UsdSimulator`] — a convenience wrapper around the fast count-based
+//!   simulator with USD-specific helpers (phase-aware runs, bias queries).
+//! * [`phases`] — the five-phase structure of the paper's analysis
+//!   (Section 2.1) with a [`phases::PhaseTracker`] that measures the hitting
+//!   times `T1..T5` of a run.
+//! * [`potential`] — the potential functions `Z_α(t) = n − 2u(t) − α·x_max(t)`
+//!   and the exact transition probabilities of Appendix B.
+//! * [`bounds`] — evaluators for the paper's quantitative claims
+//!   (Lemma 3/4 undecided-count envelope, Theorem 2 interaction bounds).
+//! * [`coupling`] — the Lemma 17 coupling of the k-opinion process with a
+//!   2-opinion process, used in Phase 5.
+//! * [`two_opinion`] — the `k = 2` specialization (approximate majority of
+//!   Angluin et al.).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use usd_core::prelude::*;
+//!
+//! // 10 000 agents, 8 opinions, additive bias of 2·sqrt(n ln n) for opinion 0.
+//! let config = pp_workloads::InitialConfig::new(10_000, 8)
+//!     .additive_bias_in_sqrt_n_log_n(2.0)
+//!     .build(SimSeed::from_u64(7))
+//!     .unwrap();
+//!
+//! let mut sim = UsdSimulator::new(config, SimSeed::from_u64(8));
+//! let result = sim.run_to_consensus(200_000_000);
+//! assert!(result.reached_consensus());
+//! assert_eq!(result.winner().unwrap().index(), 0); // plurality wins
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod coupling;
+pub mod exact;
+pub mod mean_field;
+pub mod phases;
+pub mod potential;
+pub mod protocol;
+pub mod simulator;
+pub mod trajectory;
+pub mod two_opinion;
+
+pub use coupling::CoupledUsd;
+pub use exact::TwoOpinionChain;
+pub use mean_field::MeanFieldState;
+pub use phases::{Phase, PhaseTimes, PhaseTracker};
+pub use protocol::UndecidedStateDynamics;
+pub use simulator::UsdSimulator;
+pub use trajectory::Trajectory;
+pub use two_opinion::ApproximateMajority;
+
+/// Convenience prelude re-exporting the types needed by most users, including
+/// the relevant parts of `pp-core`.
+pub mod prelude {
+    pub use crate::bounds;
+    pub use crate::exact::TwoOpinionChain;
+    pub use crate::mean_field::MeanFieldState;
+    pub use crate::phases::{Phase, PhaseTimes, PhaseTracker};
+    pub use crate::potential;
+    pub use crate::protocol::UndecidedStateDynamics;
+    pub use crate::simulator::UsdSimulator;
+    pub use crate::trajectory::Trajectory;
+    pub use crate::two_opinion::ApproximateMajority;
+    pub use pp_core::prelude::*;
+}

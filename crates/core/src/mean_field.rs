@@ -1,0 +1,332 @@
+//! The mean-field (fluid-limit) approximation of the USD.
+//!
+//! For large `n` the rescaled process `a_i(τ) = x_i(τ·n)/n`,
+//! `w(τ) = u(τ·n)/n` (with `τ` the parallel time) concentrates around the
+//! solution of the deterministic ODE system
+//!
+//! ```text
+//! da_i/dτ = a_i · (w − (1 − w − a_i)) = a_i · (2w + a_i − 1)
+//! dw/dτ   = Σ_i a_i (1 − w − a_i)  −  w (1 − w)
+//! ```
+//!
+//! obtained from the expected one-interaction change of each coordinate.
+//! The fluid limit exposes the structure the paper's analysis exploits — the
+//! unstable equilibrium `w* = (k−1)/(2k−1)` of the undecided fraction, the
+//! loss of the weakest opinions one by one, and the role of the initial bias —
+//! and gives a cheap predictor to compare stochastic runs against
+//! (experiment E12).  This module provides the vector field, a fixed-step
+//! RK4 integrator and convergence helpers.
+
+use pp_core::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// A point of the fluid-limit system: the opinion fractions `a_1..a_k` and the
+/// undecided fraction `w` (all non-negative, summing to 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeanFieldState {
+    fractions: Vec<f64>,
+    undecided: f64,
+}
+
+impl MeanFieldState {
+    /// Creates a state from opinion fractions and an undecided fraction.
+    ///
+    /// Returns `None` if any value is negative or the total differs from 1 by
+    /// more than 1e-9.
+    #[must_use]
+    pub fn new(fractions: Vec<f64>, undecided: f64) -> Option<Self> {
+        if fractions.is_empty() || fractions.iter().any(|&a| a < 0.0) || undecided < 0.0 {
+            return None;
+        }
+        let total: f64 = fractions.iter().sum::<f64>() + undecided;
+        if (total - 1.0).abs() > 1e-9 {
+            return None;
+        }
+        Some(MeanFieldState { fractions, undecided })
+    }
+
+    /// The fluid-limit state corresponding to a finite configuration.
+    #[must_use]
+    pub fn from_configuration(config: &Configuration) -> Self {
+        let n = config.population() as f64;
+        MeanFieldState {
+            fractions: config.supports().iter().map(|&x| x as f64 / n).collect(),
+            undecided: config.undecided() as f64 / n,
+        }
+    }
+
+    /// The opinion fractions.
+    #[must_use]
+    pub fn fractions(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// The undecided fraction `w`.
+    #[must_use]
+    pub fn undecided(&self) -> f64 {
+        self.undecided
+    }
+
+    /// The number of opinions `k`.
+    #[must_use]
+    pub fn num_opinions(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// The largest opinion fraction.
+    #[must_use]
+    pub fn max_fraction(&self) -> f64 {
+        self.fractions.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Index of the largest opinion.
+    #[must_use]
+    pub fn max_opinion(&self) -> usize {
+        self.fractions
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("fractions are finite"))
+            .map_or(0, |(i, _)| i)
+    }
+
+    /// The time derivative of the state (the vector field above).
+    #[must_use]
+    pub fn derivative(&self) -> MeanFieldDerivative {
+        let w = self.undecided;
+        let d_fractions: Vec<f64> = self
+            .fractions
+            .iter()
+            .map(|&a| a * (2.0 * w + a - 1.0))
+            .collect();
+        let d_undecided: f64 = self
+            .fractions
+            .iter()
+            .map(|&a| a * (1.0 - w - a))
+            .sum::<f64>()
+            - w * (1.0 - w);
+        MeanFieldDerivative { d_fractions, d_undecided }
+    }
+
+    /// Advances the state by one RK4 step of size `dt` (in parallel time),
+    /// clamping tiny negative values produced by floating-point error to 0.
+    pub fn rk4_step(&mut self, dt: f64) {
+        let k1 = self.derivative();
+        let s2 = self.offset(&k1, dt / 2.0);
+        let k2 = s2.derivative();
+        let s3 = self.offset(&k2, dt / 2.0);
+        let k3 = s3.derivative();
+        let s4 = self.offset(&k3, dt);
+        let k4 = s4.derivative();
+        for (i, a) in self.fractions.iter_mut().enumerate() {
+            *a += dt / 6.0
+                * (k1.d_fractions[i] + 2.0 * k2.d_fractions[i] + 2.0 * k3.d_fractions[i] + k4.d_fractions[i]);
+            if *a < 0.0 {
+                *a = 0.0;
+            }
+        }
+        self.undecided += dt / 6.0
+            * (k1.d_undecided + 2.0 * k2.d_undecided + 2.0 * k3.d_undecided + k4.d_undecided);
+        if self.undecided < 0.0 {
+            self.undecided = 0.0;
+        }
+        // Renormalize to remove the accumulated integration error in the
+        // conservation law (sum of all fractions stays 1).
+        let total: f64 = self.fractions.iter().sum::<f64>() + self.undecided;
+        if total > 0.0 {
+            for a in &mut self.fractions {
+                *a /= total;
+            }
+            self.undecided /= total;
+        }
+    }
+
+    fn offset(&self, d: &MeanFieldDerivative, dt: f64) -> MeanFieldState {
+        MeanFieldState {
+            fractions: self
+                .fractions
+                .iter()
+                .zip(&d.d_fractions)
+                .map(|(&a, &da)| (a + dt * da).max(0.0))
+                .collect(),
+            undecided: (self.undecided + dt * d.d_undecided).max(0.0),
+        }
+    }
+}
+
+/// The vector field value at a [`MeanFieldState`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeanFieldDerivative {
+    /// Time derivatives of the opinion fractions.
+    pub d_fractions: Vec<f64>,
+    /// Time derivative of the undecided fraction.
+    pub d_undecided: f64,
+}
+
+/// The unstable equilibrium of the undecided fraction in the symmetric
+/// (all-opinions-equal) fluid limit: `w* = (k−1)/(2k−1)`.
+#[must_use]
+pub fn undecided_fraction_equilibrium(k: usize) -> f64 {
+    let k = k as f64;
+    (k - 1.0) / (2.0 * k - 1.0)
+}
+
+/// The result of integrating the fluid limit until (near-)consensus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeanFieldRun {
+    /// The final state.
+    pub final_state: MeanFieldState,
+    /// Parallel time at which integration stopped.
+    pub parallel_time: f64,
+    /// Whether the dominant fraction exceeded the consensus threshold.
+    pub converged: bool,
+    /// Peak value of the undecided fraction along the trajectory.
+    pub peak_undecided: f64,
+}
+
+/// Integrates the fluid limit with fixed RK4 steps of size `dt` until the
+/// largest opinion fraction exceeds `1 − tolerance` (near-consensus in the
+/// deterministic system, which only reaches exact consensus asymptotically)
+/// or until `max_parallel_time` is reached.
+///
+/// # Panics
+///
+/// Panics if `dt <= 0`, `tolerance <= 0`, or `max_parallel_time <= 0`.
+#[must_use]
+pub fn integrate_to_consensus(
+    initial: &MeanFieldState,
+    dt: f64,
+    tolerance: f64,
+    max_parallel_time: f64,
+) -> MeanFieldRun {
+    assert!(dt > 0.0, "step size must be positive");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    assert!(max_parallel_time > 0.0, "time horizon must be positive");
+    let mut state = initial.clone();
+    let mut t = 0.0;
+    let mut peak_undecided = state.undecided();
+    while t < max_parallel_time {
+        if state.max_fraction() >= 1.0 - tolerance {
+            return MeanFieldRun { final_state: state, parallel_time: t, converged: true, peak_undecided };
+        }
+        state.rk4_step(dt);
+        peak_undecided = peak_undecided.max(state.undecided());
+        t += dt;
+    }
+    MeanFieldRun { final_state: state, parallel_time: t, converged: false, peak_undecided }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn constructor_validates_simplex_membership() {
+        assert!(MeanFieldState::new(vec![0.5, 0.5], 0.0).is_some());
+        assert!(MeanFieldState::new(vec![0.5, 0.6], 0.0).is_none());
+        assert!(MeanFieldState::new(vec![-0.1, 1.1], 0.0).is_none());
+        assert!(MeanFieldState::new(vec![], 1.0).is_none());
+    }
+
+    #[test]
+    fn from_configuration_normalizes() {
+        let c = Configuration::from_counts(vec![300, 200], 500).unwrap();
+        let s = MeanFieldState::from_configuration(&c);
+        assert!(close(s.fractions()[0], 0.3, 1e-12));
+        assert!(close(s.undecided(), 0.5, 1e-12));
+    }
+
+    #[test]
+    fn symmetric_state_keeps_symmetry_and_approaches_equilibrium() {
+        // With all opinions equal the fractions stay equal and the undecided
+        // fraction converges to w* = (k-1)/(2k-1).
+        let k = 5;
+        let mut state = MeanFieldState::new(vec![0.2; k], 0.0).unwrap();
+        for _ in 0..20_000 {
+            state.rk4_step(0.01);
+        }
+        let first = state.fractions()[0];
+        for &a in state.fractions() {
+            assert!(close(a, first, 1e-9), "symmetry broken: {:?}", state.fractions());
+        }
+        assert!(
+            close(state.undecided(), undecided_fraction_equilibrium(k), 1e-3),
+            "undecided fraction {} does not match w* {}",
+            state.undecided(),
+            undecided_fraction_equilibrium(k)
+        );
+    }
+
+    #[test]
+    fn conservation_of_mass_under_integration() {
+        let mut state = MeanFieldState::new(vec![0.5, 0.2, 0.1], 0.2).unwrap();
+        for _ in 0..5_000 {
+            state.rk4_step(0.01);
+            let total: f64 = state.fractions().iter().sum::<f64>() + state.undecided();
+            assert!(close(total, 1.0, 1e-9), "mass not conserved: {total}");
+        }
+    }
+
+    #[test]
+    fn biased_start_converges_to_the_plurality() {
+        let initial = MeanFieldState::new(vec![0.4, 0.3, 0.3], 0.0).unwrap();
+        let run = integrate_to_consensus(&initial, 0.01, 1e-6, 10_000.0);
+        assert!(run.converged, "fluid limit did not converge");
+        assert_eq!(run.final_state.max_opinion(), 0);
+        assert!(run.final_state.max_fraction() > 0.9);
+        // The undecided fraction must have risen towards ~1/2 along the way
+        // (the "rise of the undecided" phase in the fluid limit).
+        assert!(run.peak_undecided > 0.3, "peak undecided {} too small", run.peak_undecided);
+    }
+
+    #[test]
+    fn stronger_bias_converges_faster() {
+        let weak = MeanFieldState::new(vec![0.35, 0.325, 0.325], 0.0).unwrap();
+        let strong = MeanFieldState::new(vec![0.6, 0.2, 0.2], 0.0).unwrap();
+        let weak_run = integrate_to_consensus(&weak, 0.01, 1e-6, 10_000.0);
+        let strong_run = integrate_to_consensus(&strong, 0.01, 1e-6, 10_000.0);
+        assert!(weak_run.converged && strong_run.converged);
+        assert!(
+            strong_run.parallel_time < weak_run.parallel_time,
+            "strong bias ({}) should converge faster than weak bias ({})",
+            strong_run.parallel_time,
+            weak_run.parallel_time
+        );
+    }
+
+    #[test]
+    fn exactly_tied_leaders_never_separate_in_the_fluid_limit() {
+        // The deterministic system cannot break an exact tie — this is why the
+        // paper needs the anti-concentration argument in Phase 2.
+        let initial = MeanFieldState::new(vec![0.3, 0.3, 0.4], 0.0).unwrap();
+        // Opinion 2 is the plurality; opinions 0 and 1 are tied and must stay
+        // tied for the entire integration.
+        let mut state = initial;
+        for _ in 0..50_000 {
+            state.rk4_step(0.01);
+            assert!(close(state.fractions()[0], state.fractions()[1], 1e-9));
+        }
+    }
+
+    #[test]
+    fn derivative_matches_hand_computation() {
+        // a = (0.5, 0.3), w = 0.2.
+        let s = MeanFieldState::new(vec![0.5, 0.3], 0.2).unwrap();
+        let d = s.derivative();
+        // da0 = 0.5 (2*0.2 + 0.5 - 1) = 0.5 * (-0.1) = -0.05
+        assert!(close(d.d_fractions[0], -0.05, 1e-12));
+        // da1 = 0.3 (0.4 + 0.3 - 1) = 0.3 * (-0.3) = -0.09
+        assert!(close(d.d_fractions[1], -0.09, 1e-12));
+        // dw = 0.5(1-0.2-0.5) + 0.3(1-0.2-0.3) - 0.2*0.8 = 0.15 + 0.15 - 0.16 = 0.14
+        assert!(close(d.d_undecided, 0.14, 1e-12));
+    }
+
+    #[test]
+    fn equilibrium_values() {
+        assert!(close(undecided_fraction_equilibrium(2), 1.0 / 3.0, 1e-12));
+        assert!(close(undecided_fraction_equilibrium(10), 9.0 / 19.0, 1e-12));
+    }
+}

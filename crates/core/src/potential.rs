@@ -1,0 +1,293 @@
+//! Potential functions and exact transition probabilities.
+//!
+//! The paper's analysis tracks the process through the potential
+//! `Z_α(t) = n − 2u(t) − α·x_max(t)` (with `α = 1` in Phases 1–3 and
+//! `α = 7/8` in Phase 4) and through the transition probabilities of the
+//! number of undecided agents and of individual opinion supports
+//! (Appendix B, Observations 6–9).  This module evaluates all of those
+//! quantities exactly for a given configuration, so experiments can compare
+//! the measured drift of a run against the paper's inequalities.
+
+use pp_core::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// The potential `Z_α(t) = n − 2u(t) − α·x_max(t)`.
+///
+/// Phase 1 ends exactly when `Z_1(t) ≤ 0` (Lemma 1); Phase 4 uses `α = 7/8`
+/// (Lemma 14).  The value may be negative.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::Configuration;
+/// use usd_core::potential::z_alpha;
+///
+/// let c = Configuration::from_counts(vec![400, 300, 300], 0).unwrap();
+/// assert_eq!(z_alpha(&c, 1.0), 1000.0 - 0.0 - 400.0);
+/// ```
+#[must_use]
+pub fn z_alpha(config: &Configuration, alpha: f64) -> f64 {
+    let n = config.population() as f64;
+    let u = config.undecided() as f64;
+    let xmax = config.max_support() as f64;
+    n - 2.0 * u - alpha * xmax
+}
+
+/// The Phase 1 potential `Z(t) = n − 2u(t) − x_max(t)`.
+#[must_use]
+pub fn z(config: &Configuration) -> f64 {
+    z_alpha(config, 1.0)
+}
+
+/// The paper's lower bound on the expected one-step decrease of `Z(t)` when
+/// `Z(t) ≥ 0` and `u < n/2` (proof of Lemma 1):
+/// `E[Z(t) − Z(t+1)] ≥ (n − u)(n − 2u − x_max)/n² ≥ Z(t)/(2n)`.
+///
+/// Returns the tighter of the two expressions, `(n − u)·Z(t)/n²`.
+#[must_use]
+pub fn z_drift_lower_bound(config: &Configuration) -> f64 {
+    let n = config.population() as f64;
+    let u = config.undecided() as f64;
+    let zv = z(config);
+    if zv <= 0.0 {
+        return 0.0;
+    }
+    (n - u) * zv / (n * n)
+}
+
+/// Exact transition probabilities for the number of undecided agents
+/// (Observation 6) and the conditional increase probability
+/// (Observation 7) in a given configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UndecidedTransition {
+    /// `p₋`: probability the next interaction decreases `u` by one.
+    pub decrease: f64,
+    /// `p₊`: probability the next interaction increases `u` by one.
+    pub increase: f64,
+    /// `p̃₊ = p₊/(p₊ + p₋)`: probability of an increase conditioned on a
+    /// productive-for-`u` interaction (`None` if no such interaction is
+    /// possible).
+    pub conditional_increase: Option<f64>,
+}
+
+/// Computes the undecided-count transition probabilities of Observation 6/7.
+#[must_use]
+pub fn undecided_transition(config: &Configuration) -> UndecidedTransition {
+    let n = config.population() as f64;
+    let u = config.undecided() as f64;
+    let r2 = config.sum_of_squares() as f64;
+    let decided = n - u;
+    let decrease = u * decided / (n * n);
+    let increase = (decided * decided - r2) / (n * n);
+    let total = decrease + increase;
+    let conditional_increase = if total > 0.0 { Some(increase / total) } else { None };
+    UndecidedTransition { decrease, increase, conditional_increase }
+}
+
+/// The paper's unstable equilibrium for the number of undecided agents,
+/// `u* = n(k−1)/(2k−1)` (Lemma 3), for a population of `n` agents and `k`
+/// opinions.
+#[must_use]
+pub fn undecided_equilibrium(n: u64, k: usize) -> f64 {
+    let n = n as f64;
+    let k = k as f64;
+    n * (k - 1.0) / (2.0 * k - 1.0)
+}
+
+/// Exact transition probabilities for the support of a single opinion
+/// (Observation 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpinionTransition {
+    /// `p₊⁽ⁱ⁾ = u·xᵢ/n²`: probability the support of opinion `i` grows.
+    pub increase: f64,
+    /// `p₋⁽ⁱ⁾ = xᵢ(n − u − xᵢ)/n²`: probability it shrinks.
+    pub decrease: f64,
+    /// Conditional growth probability given a productive-for-`i` interaction.
+    pub conditional_increase: Option<f64>,
+}
+
+/// Computes the per-opinion transition probabilities of Observation 8.
+///
+/// # Panics
+///
+/// Panics if `opinion >= k`.
+#[must_use]
+pub fn opinion_transition(config: &Configuration, opinion: usize) -> OpinionTransition {
+    let n = config.population() as f64;
+    let u = config.undecided() as f64;
+    let xi = config.support(opinion) as f64;
+    let increase = u * xi / (n * n);
+    let decrease = xi * (n - u - xi) / (n * n);
+    let total = increase + decrease;
+    let conditional_increase = if total > 0.0 { Some(increase / total) } else { None };
+    OpinionTransition { increase, decrease, conditional_increase }
+}
+
+/// Exact transition probabilities for the support *difference*
+/// `Δ(t) = xᵢ(t) − xⱼ(t)` between two opinions (Observation 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DifferenceTransition {
+    /// Probability that `Δ` grows by one in the next interaction.
+    pub increase: f64,
+    /// Probability that `Δ` shrinks by one in the next interaction.
+    pub decrease: f64,
+    /// Conditional growth probability given a productive-for-`Δ` interaction.
+    pub conditional_increase: Option<f64>,
+}
+
+/// Computes the pairwise difference transition probabilities of Observation 9
+/// for opinions `i` and `j`.
+///
+/// # Panics
+///
+/// Panics if `i` or `j` is out of range or `i == j`.
+#[must_use]
+pub fn difference_transition(config: &Configuration, i: usize, j: usize) -> DifferenceTransition {
+    assert_ne!(i, j, "difference requires two distinct opinions");
+    let n = config.population() as f64;
+    let u = config.undecided() as f64;
+    let xi = config.support(i) as f64;
+    let xj = config.support(j) as f64;
+    let increase = (u * xi + xj * (n - u - xj)) / (n * n);
+    let decrease = (u * xj + xi * (n - u - xi)) / (n * n);
+    let total = increase + decrease;
+    let conditional_increase = if total > 0.0 { Some(increase / total) } else { None };
+    DifferenceTransition { increase, decrease, conditional_increase }
+}
+
+/// Probability that the next interaction is *productive* (changes the
+/// responder's state) under the USD: `p₋ + p₊` of Observation 6.
+#[must_use]
+pub fn productive_probability(config: &Configuration) -> f64 {
+    let t = undecided_transition(config);
+    t.decrease + t.increase
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(counts: Vec<u64>, u: u64) -> Configuration {
+        Configuration::from_counts(counts, u).unwrap()
+    }
+
+    #[test]
+    fn z_is_negative_when_undecided_pool_is_large() {
+        let c = cfg(vec![200, 100], 700);
+        assert!(z(&c) < 0.0);
+        let c = cfg(vec![500, 500], 0);
+        assert_eq!(z(&c), 1000.0 - 500.0);
+    }
+
+    #[test]
+    fn z_alpha_scales_with_alpha() {
+        let c = cfg(vec![400, 200], 400);
+        assert!(z_alpha(&c, 7.0 / 8.0) > z_alpha(&c, 1.0));
+    }
+
+    #[test]
+    fn drift_lower_bound_is_zero_after_phase_one() {
+        let c = cfg(vec![200, 100], 700); // Z < 0
+        assert_eq!(z_drift_lower_bound(&c), 0.0);
+        let c = cfg(vec![500, 500], 0);
+        let lb = z_drift_lower_bound(&c);
+        // (n - u) Z / n^2 = 1000 * 500 / 1e6 = 0.5
+        assert!((lb - 0.5).abs() < 1e-12);
+        // And the bound implies Z/(2n) as in the paper.
+        assert!(lb >= z(&c) / (2.0 * 1000.0) - 1e-12);
+    }
+
+    #[test]
+    fn observation6_matches_hand_computation() {
+        // n = 10, x = (3, 3), u = 4.
+        let c = cfg(vec![3, 3], 4);
+        let t = undecided_transition(&c);
+        // p- = u (n-u) / n^2 = 4*6/100 = 0.24
+        assert!((t.decrease - 0.24).abs() < 1e-12);
+        // p+ = ((n-u)^2 - r2)/n^2 = (36 - 18)/100 = 0.18
+        assert!((t.increase - 0.18).abs() < 1e-12);
+        let cond = t.conditional_increase.unwrap();
+        assert!((cond - 0.18 / 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation7_bound_holds_above_equilibrium() {
+        // For u >= u* + ε n the conditional increase is at most 1/2 - ε/2.
+        let n = 1_000u64;
+        let k = 4usize;
+        let u_star = undecided_equilibrium(n, k);
+        let eps = 0.1;
+        let u = (u_star + eps * n as f64).ceil() as u64;
+        let per = (n - u) / k as u64;
+        let mut counts = vec![per; k];
+        counts[0] += (n - u) - per * k as u64;
+        let c = Configuration::from_counts(counts, u).unwrap();
+        let cond = undecided_transition(&c).conditional_increase.unwrap();
+        assert!(
+            cond <= 0.5 - eps / 2.0 + 1e-9,
+            "conditional increase {cond} violates the Observation 7 bound"
+        );
+    }
+
+    #[test]
+    fn equilibrium_interpolates_between_third_and_half() {
+        assert!((undecided_equilibrium(900, 2) - 300.0).abs() < 1e-9);
+        assert!(undecided_equilibrium(900, 100) < 450.0);
+        assert!(undecided_equilibrium(900, 100) > 440.0);
+    }
+
+    #[test]
+    fn observation8_matches_hand_computation() {
+        // n = 10, x = (3, 3), u = 4, opinion 0.
+        let c = cfg(vec![3, 3], 4);
+        let t = opinion_transition(&c, 0);
+        assert!((t.increase - 4.0 * 3.0 / 100.0).abs() < 1e-12);
+        assert!((t.decrease - 3.0 * 3.0 / 100.0).abs() < 1e-12);
+        assert!((t.conditional_increase.unwrap() - 12.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation9_is_antisymmetric() {
+        let c = cfg(vec![5, 3, 2], 10);
+        let dij = difference_transition(&c, 0, 1);
+        let dji = difference_transition(&c, 1, 0);
+        assert!((dij.increase - dji.decrease).abs() < 1e-12);
+        assert!((dij.decrease - dji.increase).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leader_difference_drifts_up_near_equilibrium() {
+        // Near the undecided equilibrium with a clear leader, the difference
+        // x_1 - x_i should have conditional increase probability > 1/2
+        // (this is the mechanism behind Phase 3).
+        let c = cfg(vec![300, 150], 550);
+        let d = difference_transition(&c, 0, 1);
+        assert!(d.conditional_increase.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn productive_probability_is_between_zero_and_one() {
+        let c = cfg(vec![10, 0], 0);
+        assert_eq!(productive_probability(&c), 0.0);
+        let c = cfg(vec![5, 5], 0);
+        assert!(productive_probability(&c) > 0.0 && productive_probability(&c) < 1.0);
+    }
+
+    #[test]
+    fn transition_probabilities_sum_to_at_most_one() {
+        let c = cfg(vec![100, 80, 60, 40], 220);
+        let t = undecided_transition(&c);
+        assert!(t.decrease + t.increase <= 1.0 + 1e-12);
+        for i in 0..4 {
+            let o = opinion_transition(&c, i);
+            assert!(o.increase + o.decrease <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn difference_requires_distinct_opinions() {
+        let c = cfg(vec![5, 5], 0);
+        let _ = difference_transition(&c, 1, 1);
+    }
+}

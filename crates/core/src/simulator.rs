@@ -1,0 +1,161 @@
+//! A convenience simulator for the USD.
+//!
+//! [`UsdSimulator`] wraps [`pp_core::CountSimulator`] with the
+//! [`UndecidedStateDynamics`] protocol and adds USD-specific helpers:
+//! phase-aware runs, winner queries, and parallel-time accounting.
+
+use crate::phases::{PhaseTracker, PhaseTimes};
+use crate::protocol::UndecidedStateDynamics;
+use pp_core::{Configuration, CountSimulator, Opinion, Recorder, RunResult, SimSeed, StopCondition};
+use serde::{Deserialize, Serialize};
+
+/// The result of a phase-aware USD run: the ordinary [`RunResult`] plus the
+/// measured phase hitting times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedRunResult {
+    /// The underlying run result.
+    pub run: RunResult,
+    /// The measured phase hitting times.
+    pub phases: PhaseTimes,
+    /// The opinion that was the plurality in the *initial* configuration.
+    pub initial_plurality: Opinion,
+    /// Whether the final winner (if any) equals the initial plurality opinion.
+    pub plurality_won: Option<bool>,
+}
+
+/// A count-based simulator specialized to the k-opinion USD.
+///
+/// # Examples
+///
+/// ```
+/// use usd_core::UsdSimulator;
+/// use pp_core::{Configuration, SimSeed};
+///
+/// let config = Configuration::from_counts(vec![700, 200, 100], 0).unwrap();
+/// let mut sim = UsdSimulator::new(config, SimSeed::from_u64(11));
+/// let result = sim.run_to_consensus(50_000_000);
+/// assert!(result.reached_consensus());
+/// ```
+#[derive(Debug)]
+pub struct UsdSimulator {
+    inner: CountSimulator<UndecidedStateDynamics>,
+    initial: Configuration,
+}
+
+impl UsdSimulator {
+    /// Creates a USD simulator for the given initial configuration.
+    #[must_use]
+    pub fn new(config: Configuration, seed: SimSeed) -> Self {
+        let protocol = UndecidedStateDynamics::new(config.num_opinions());
+        UsdSimulator {
+            initial: config.clone(),
+            inner: CountSimulator::new(protocol, config, seed),
+        }
+    }
+
+    /// The initial configuration of the run.
+    #[must_use]
+    pub fn initial_configuration(&self) -> &Configuration {
+        &self.initial
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn configuration(&self) -> &Configuration {
+        self.inner.configuration()
+    }
+
+    /// Number of interactions performed so far.
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        self.inner.interactions()
+    }
+
+    /// Performs one interaction; returns `true` if it was productive.
+    pub fn step(&mut self) -> bool {
+        self.inner.step()
+    }
+
+    /// Runs until consensus (or until the safety budget is exhausted).
+    pub fn run_to_consensus(&mut self, max_interactions: u64) -> RunResult {
+        self.inner.run(StopCondition::consensus().or_max_interactions(max_interactions))
+    }
+
+    /// Runs until the winner is determined (at most one live opinion), which
+    /// is cheaper than waiting for every undecided agent to decide.
+    pub fn run_to_settlement(&mut self, max_interactions: u64) -> RunResult {
+        self.inner.run(
+            StopCondition::opinion_settled().or_max_interactions(max_interactions),
+        )
+    }
+
+    /// Runs with an arbitrary stop condition and recorder (see
+    /// [`pp_core::CountSimulator::run_recorded`]).
+    pub fn run_recorded<R: Recorder>(&mut self, stop: StopCondition, recorder: &mut R) -> RunResult {
+        self.inner.run_recorded(stop, recorder)
+    }
+
+    /// Runs to consensus while tracking the paper's five phase hitting times
+    /// with significance multiplier `alpha`.
+    pub fn run_with_phases(&mut self, alpha: f64, max_interactions: u64) -> PhasedRunResult {
+        let initial_plurality = self.initial.max_opinion();
+        let mut tracker = PhaseTracker::new(alpha);
+        let run = self.inner.run_recorded(
+            StopCondition::consensus().or_max_interactions(max_interactions),
+            &mut tracker,
+        );
+        let plurality_won = run.winner().map(|w| w == initial_plurality);
+        PhasedRunResult { run, phases: tracker.times(), initial_plurality, plurality_won }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::Phase;
+
+    #[test]
+    fn biased_run_converges_and_plurality_wins() {
+        let config = Configuration::from_counts(vec![2_000, 500, 500], 0).unwrap();
+        let mut sim = UsdSimulator::new(config, SimSeed::from_u64(1));
+        let result = sim.run_with_phases(1.0, 100_000_000);
+        assert!(result.run.reached_consensus());
+        assert_eq!(result.plurality_won, Some(true));
+        assert!(result.phases.completed());
+        // Phase hitting times are monotone.
+        let mut last = 0;
+        for p in Phase::ALL {
+            let t = result.phases.hitting_time(p).unwrap();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn settlement_is_no_later_than_consensus() {
+        let config = Configuration::from_counts(vec![900, 100], 0).unwrap();
+        let mut a = UsdSimulator::new(config.clone(), SimSeed::from_u64(5));
+        let mut b = UsdSimulator::new(config, SimSeed::from_u64(5));
+        let settled = a.run_to_settlement(50_000_000);
+        let consensus = b.run_to_consensus(50_000_000);
+        assert!(settled.interactions() <= consensus.interactions());
+        assert_eq!(settled.winner(), consensus.winner());
+    }
+
+    #[test]
+    fn initial_configuration_is_preserved() {
+        let config = Configuration::from_counts(vec![60, 40], 0).unwrap();
+        let mut sim = UsdSimulator::new(config.clone(), SimSeed::from_u64(2));
+        sim.run_to_consensus(10_000_000);
+        assert_eq!(sim.initial_configuration(), &config);
+        assert_ne!(sim.configuration(), &config);
+    }
+
+    #[test]
+    fn uniform_no_bias_still_converges_for_small_n() {
+        let config = Configuration::uniform(300, 3).unwrap();
+        let mut sim = UsdSimulator::new(config, SimSeed::from_u64(7));
+        let result = sim.run_to_consensus(50_000_000);
+        assert!(result.reached_consensus(), "no-bias run failed to converge");
+    }
+}

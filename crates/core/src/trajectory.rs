@@ -1,0 +1,273 @@
+//! Trajectory extraction: turning recorded snapshots into the per-metric time
+//! series the paper's figures are drawn from.
+//!
+//! A [`Trajectory`] is built from the snapshots of a
+//! [`pp_core::TraceRecorder`] (or directly while a run is in progress, since
+//! it is itself a [`Recorder`]) and exposes the series the analysis cares
+//! about — undecided fraction, largest support, additive bias, potential
+//! `Z(t)`, number of significant opinions — plus CSV export for plotting.
+
+use crate::potential;
+use pp_core::{Configuration, Recorder, Snapshot};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One sampled point of a run, reduced to the metrics tracked by the paper's
+/// analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Interactions performed so far.
+    pub interactions: u64,
+    /// Parallel time (`interactions / n`).
+    pub parallel_time: f64,
+    /// Number of undecided agents.
+    pub undecided: u64,
+    /// Support of the currently largest opinion.
+    pub max_support: u64,
+    /// Additive bias `x_max − x_second` (0 when `k = 1`).
+    pub additive_bias: u64,
+    /// The potential `Z(t) = n − 2u(t) − x_max(t)`.
+    pub z_potential: f64,
+    /// Number of opinions within `α·√(n ln n)` of the maximum.
+    pub significant_opinions: usize,
+    /// Number of opinions with non-zero support.
+    pub live_opinions: usize,
+}
+
+impl TrajectoryPoint {
+    /// Reduces a configuration (observed after `interactions` interactions) to
+    /// a trajectory point, using significance multiplier `alpha`.
+    #[must_use]
+    pub fn from_configuration(interactions: u64, config: &Configuration, alpha: f64) -> Self {
+        TrajectoryPoint {
+            interactions,
+            parallel_time: interactions as f64 / config.population() as f64,
+            undecided: config.undecided(),
+            max_support: config.max_support(),
+            additive_bias: config.additive_bias().unwrap_or(0),
+            z_potential: potential::z(config),
+            significant_opinions: config.significant_opinions(alpha).len(),
+            live_opinions: config.live_opinions(),
+        }
+    }
+}
+
+/// A sampled trajectory of a USD run.
+///
+/// # Examples
+///
+/// ```
+/// use usd_core::{Trajectory, UsdSimulator};
+/// use pp_core::{Configuration, SimSeed, StopCondition};
+///
+/// let config = Configuration::from_counts(vec![600, 250, 150], 0).unwrap();
+/// let mut sim = UsdSimulator::new(config, SimSeed::from_u64(4));
+/// let mut trajectory = Trajectory::sampled_every(1_000, 1.0);
+/// sim.run_recorded(StopCondition::consensus().or_max_interactions(50_000_000), &mut trajectory);
+/// assert!(!trajectory.points().is_empty());
+/// assert!(trajectory.to_csv().starts_with("interactions,"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    every: u64,
+    alpha: f64,
+    points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory that samples one point every `every` interactions
+    /// (plus the initial configuration), using significance multiplier
+    /// `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    #[must_use]
+    pub fn sampled_every(every: u64, alpha: f64) -> Self {
+        assert!(every > 0, "sampling period must be positive");
+        Trajectory { every, alpha, points: Vec::new() }
+    }
+
+    /// Builds a trajectory from already-recorded snapshots.
+    #[must_use]
+    pub fn from_snapshots(snapshots: &[Snapshot], alpha: f64) -> Self {
+        Trajectory {
+            every: 1,
+            alpha,
+            points: snapshots
+                .iter()
+                .map(|s| TrajectoryPoint::from_configuration(s.interactions, &s.configuration, alpha))
+                .collect(),
+        }
+    }
+
+    /// The sampled points in chronological order.
+    #[must_use]
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// The series of undecided fractions (`u(t)/n` requires the population,
+    /// so this returns raw undecided counts; divide by `n` for fractions).
+    #[must_use]
+    pub fn undecided_series(&self) -> Vec<(f64, u64)> {
+        self.points.iter().map(|p| (p.parallel_time, p.undecided)).collect()
+    }
+
+    /// The series of additive biases over parallel time.
+    #[must_use]
+    pub fn bias_series(&self) -> Vec<(f64, u64)> {
+        self.points.iter().map(|p| (p.parallel_time, p.additive_bias)).collect()
+    }
+
+    /// The largest undecided count observed.
+    #[must_use]
+    pub fn peak_undecided(&self) -> Option<u64> {
+        self.points.iter().map(|p| p.undecided).max()
+    }
+
+    /// The first parallel time at which only one significant opinion remained
+    /// (the empirical `T2/n`).
+    #[must_use]
+    pub fn first_unique_significant(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.significant_opinions == 1)
+            .map(|p| p.parallel_time)
+    }
+
+    /// Renders the trajectory as CSV (one row per point).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "interactions,parallel_time,undecided,max_support,additive_bias,z_potential,significant_opinions,live_opinions\n",
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{},{:.4},{},{},{},{:.2},{},{}",
+                p.interactions,
+                p.parallel_time,
+                p.undecided,
+                p.max_support,
+                p.additive_bias,
+                p.z_potential,
+                p.significant_opinions,
+                p.live_opinions
+            );
+        }
+        out
+    }
+
+    /// Keeps at most `max_points` points by uniform downsampling (always
+    /// keeping the first and last point).
+    pub fn downsample(&mut self, max_points: usize) {
+        if max_points == 0 || self.points.len() <= max_points {
+            return;
+        }
+        let len = self.points.len();
+        let mut kept = Vec::with_capacity(max_points);
+        for i in 0..max_points {
+            let idx = i * (len - 1) / (max_points - 1).max(1);
+            kept.push(self.points[idx]);
+        }
+        self.points = kept;
+    }
+}
+
+impl Recorder for Trajectory {
+    fn record(&mut self, interactions: u64, config: &Configuration) {
+        let due = interactions % self.every == 0
+            || self.points.last().map_or(true, |p| interactions >= p.interactions + self.every);
+        if due {
+            self.points
+                .push(TrajectoryPoint::from_configuration(interactions, config, self.alpha));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(counts: Vec<u64>, u: u64) -> Configuration {
+        Configuration::from_counts(counts, u).unwrap()
+    }
+
+    #[test]
+    fn point_reduction_matches_configuration_metrics() {
+        let c = cfg(vec![500, 300, 200], 0);
+        let p = TrajectoryPoint::from_configuration(2_000, &c, 1.0);
+        assert_eq!(p.max_support, 500);
+        assert_eq!(p.additive_bias, 200);
+        assert_eq!(p.undecided, 0);
+        assert_eq!(p.live_opinions, 3);
+        assert!((p.parallel_time - 2.0).abs() < 1e-12);
+        assert!((p.z_potential - (1000.0 - 500.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_samples_periodically() {
+        let mut t = Trajectory::sampled_every(10, 1.0);
+        let c = cfg(vec![50, 50], 0);
+        for i in 0..35 {
+            t.record(i, &c);
+        }
+        let times: Vec<u64> = t.points().iter().map(|p| p.interactions).collect();
+        assert_eq!(times, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn recorder_handles_sparse_productive_interactions() {
+        // Recorders only see productive interactions; if they skip past a
+        // period boundary the next observation must still be kept.
+        let mut t = Trajectory::sampled_every(10, 1.0);
+        let c = cfg(vec![50, 50], 0);
+        t.record(0, &c);
+        t.record(25, &c);
+        t.record(26, &c);
+        t.record(41, &c);
+        let times: Vec<u64> = t.points().iter().map(|p| p.interactions).collect();
+        assert_eq!(times, vec![0, 25, 41]);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_point() {
+        let snapshots = vec![
+            Snapshot { interactions: 0, configuration: cfg(vec![60, 40], 0) },
+            Snapshot { interactions: 50, configuration: cfg(vec![50, 30], 20) },
+        ];
+        let t = Trajectory::from_snapshots(&snapshots, 1.0);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,"));
+    }
+
+    #[test]
+    fn downsampling_keeps_endpoints() {
+        let snapshots: Vec<Snapshot> = (0..100)
+            .map(|i| Snapshot { interactions: i * 10, configuration: cfg(vec![60, 40], 0) })
+            .collect();
+        let mut t = Trajectory::from_snapshots(&snapshots, 1.0);
+        t.downsample(10);
+        assert_eq!(t.points().len(), 10);
+        assert_eq!(t.points().first().unwrap().interactions, 0);
+        assert_eq!(t.points().last().unwrap().interactions, 990);
+    }
+
+    #[test]
+    fn series_extractors_and_peaks() {
+        let snapshots = vec![
+            Snapshot { interactions: 0, configuration: cfg(vec![60, 40], 0) },
+            Snapshot { interactions: 100, configuration: cfg(vec![40, 20], 40) },
+            Snapshot { interactions: 200, configuration: cfg(vec![70, 5], 25) },
+        ];
+        let t = Trajectory::from_snapshots(&snapshots, 1.0);
+        assert_eq!(t.peak_undecided(), Some(40));
+        assert_eq!(t.undecided_series().len(), 3);
+        assert_eq!(t.bias_series()[0].1, 20);
+        // n = 100, sqrt(n ln n) ≈ 21.5: the last snapshot has a unique
+        // significant opinion, the first does not.
+        assert_eq!(t.first_unique_significant(), Some(2.0));
+    }
+}

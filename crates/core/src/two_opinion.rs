@@ -1,0 +1,178 @@
+//! The `k = 2` specialization: approximate majority.
+//!
+//! With two opinions the USD is exactly the three-state approximate-majority
+//! protocol of Angluin, Aspnes and Eisenstat, whose guarantees the paper's
+//! Theorem 2 recovers: consensus within `O(n log n)` interactions, and the
+//! initial majority wins w.h.p. whenever the initial additive bias is
+//! `Ω(√(n log n))`.  This module packages that special case with its own
+//! helpers so the `k = 2` recovery experiment (E6) reads naturally.
+
+use crate::protocol::UndecidedStateDynamics;
+use crate::simulator::UsdSimulator;
+use pp_core::{Configuration, RunResult, SimSeed};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a single approximate-majority run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MajorityOutcome {
+    /// The initial majority opinion won.
+    MajorityWon,
+    /// The initial minority opinion won.
+    MinorityWon,
+    /// The run did not reach consensus within the budget.
+    Unresolved,
+}
+
+/// The two-opinion USD (three-state approximate majority).
+///
+/// # Examples
+///
+/// ```
+/// use usd_core::ApproximateMajority;
+/// use pp_core::SimSeed;
+///
+/// // 600 vs 400 agents: a clear majority.
+/// let am = ApproximateMajority::new(600, 400, 0).unwrap();
+/// let (outcome, result) = am.run(SimSeed::from_u64(3), 10_000_000);
+/// assert!(result.reached_consensus());
+/// assert_eq!(outcome, usd_core::two_opinion::MajorityOutcome::MajorityWon);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApproximateMajority {
+    majority: u64,
+    minority: u64,
+    undecided: u64,
+}
+
+impl ApproximateMajority {
+    /// Creates an approximate-majority instance with the given initial counts
+    /// for the majority opinion (A), the minority opinion (B) and the
+    /// undecided pool.  `majority` may equal `minority` (a tie).
+    ///
+    /// Returns `None` if the population would be empty or `majority <
+    /// minority` (swap the arguments instead).
+    #[must_use]
+    pub fn new(majority: u64, minority: u64, undecided: u64) -> Option<Self> {
+        if majority + minority + undecided == 0 || majority < minority {
+            return None;
+        }
+        Some(ApproximateMajority { majority, minority, undecided })
+    }
+
+    /// The population size `n`.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.majority + self.minority + self.undecided
+    }
+
+    /// The initial additive bias `|A| − |B|`.
+    #[must_use]
+    pub fn initial_bias(&self) -> u64 {
+        self.majority - self.minority
+    }
+
+    /// The initial configuration (opinion 0 is the majority).
+    #[must_use]
+    pub fn initial_configuration(&self) -> Configuration {
+        Configuration::from_counts(vec![self.majority, self.minority], self.undecided)
+            .expect("non-empty approximate-majority configuration")
+    }
+
+    /// The underlying two-opinion protocol.
+    #[must_use]
+    pub fn protocol(&self) -> UndecidedStateDynamics {
+        UndecidedStateDynamics::new(2)
+    }
+
+    /// Runs the protocol to consensus (or until the interaction budget is
+    /// exhausted) and classifies the outcome.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed, max_interactions: u64) -> (MajorityOutcome, RunResult) {
+        let mut sim = UsdSimulator::new(self.initial_configuration(), seed);
+        let result = sim.run_to_consensus(max_interactions);
+        let outcome = match result.winner() {
+            Some(w) if w.index() == 0 => MajorityOutcome::MajorityWon,
+            Some(_) => MajorityOutcome::MinorityWon,
+            None => MajorityOutcome::Unresolved,
+        };
+        (outcome, result)
+    }
+
+    /// The additive-bias threshold `α·√(n·ln n)` above which Condon et al.
+    /// (and the paper's Theorem 2 for `k = 2`) guarantee that the majority
+    /// wins w.h.p.
+    #[must_use]
+    pub fn majority_threshold(&self, alpha: f64) -> f64 {
+        let n = self.population() as f64;
+        alpha * (n * n.max(2.0).ln()).sqrt()
+    }
+
+    /// The Angluin et al. `O(n log n)` interaction bound for `k = 2`
+    /// (unit constant).
+    #[must_use]
+    pub fn consensus_bound(&self) -> f64 {
+        let n = self.population() as f64;
+        n * n.max(2.0).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_inputs() {
+        assert!(ApproximateMajority::new(0, 0, 0).is_none());
+        assert!(ApproximateMajority::new(10, 20, 0).is_none());
+        assert!(ApproximateMajority::new(20, 10, 5).is_some());
+    }
+
+    #[test]
+    fn initial_configuration_layout() {
+        let am = ApproximateMajority::new(30, 20, 10).unwrap();
+        let c = am.initial_configuration();
+        assert_eq!(c.supports(), &[30, 20]);
+        assert_eq!(c.undecided(), 10);
+        assert_eq!(am.population(), 60);
+        assert_eq!(am.initial_bias(), 10);
+    }
+
+    #[test]
+    fn large_bias_run_lets_majority_win() {
+        let am = ApproximateMajority::new(1_500, 500, 0).unwrap();
+        let (outcome, result) = am.run(SimSeed::from_u64(9), 20_000_000);
+        assert_eq!(outcome, MajorityOutcome::MajorityWon);
+        assert!(result.reached_consensus());
+        // The measured time should be within a small constant of n ln n.
+        let bound = am.consensus_bound();
+        assert!(
+            (result.interactions() as f64) < 40.0 * bound,
+            "interactions {} vs n ln n {bound}",
+            result.interactions()
+        );
+    }
+
+    #[test]
+    fn tie_still_converges_to_one_of_the_opinions() {
+        let am = ApproximateMajority::new(500, 500, 0).unwrap();
+        let (outcome, result) = am.run(SimSeed::from_u64(4), 20_000_000);
+        assert!(result.reached_consensus());
+        assert_ne!(outcome, MajorityOutcome::Unresolved);
+    }
+
+    #[test]
+    fn threshold_and_bound_scale_with_n() {
+        let small = ApproximateMajority::new(500, 500, 0).unwrap();
+        let large = ApproximateMajority::new(50_000, 50_000, 0).unwrap();
+        assert!(large.majority_threshold(1.0) > small.majority_threshold(1.0));
+        assert!(large.consensus_bound() > small.consensus_bound());
+    }
+
+    #[test]
+    fn unresolved_when_budget_is_tiny() {
+        let am = ApproximateMajority::new(5_000, 5_000, 0).unwrap();
+        let (outcome, result) = am.run(SimSeed::from_u64(1), 10);
+        assert_eq!(outcome, MajorityOutcome::Unresolved);
+        assert!(!result.reached_consensus());
+    }
+}

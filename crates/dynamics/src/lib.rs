@@ -1,0 +1,50 @@
+//! # consensus-dynamics — baseline consensus dynamics
+//!
+//! The paper situates the USD among a family of lightweight consensus
+//! dynamics (Section 1.2).  This crate implements the standard comparators so
+//! the experiment harness can contrast the USD's convergence behaviour with
+//! them at equal population size, opinion count and bias:
+//!
+//! * [`Voter`] — the 1-sample Voter process,
+//! * [`TwoChoices`] — the 2-sample TwoChoices process with lazy tie-breaking,
+//! * [`ThreeMajority`] / [`JMajority`] — the 3-sample (and general j-sample)
+//!   majority dynamics,
+//! * [`MedianRule`] — the median rule of Doerr et al. (requires ordered
+//!   opinions),
+//! * [`SynchronizedUsd`] — the phase-clocked synchronized USD variant
+//!   discussed in the related work (alternating USD step / re-adoption step).
+//!
+//! The first four are *sampling dynamics*: in each activation an agent looks
+//! at `j` uniformly random members of the population and updates its own
+//! opinion.  They can be executed either asynchronously (one activation per
+//! step, the natural analogue of the population protocol model — see
+//! [`SequentialSampler`]) or in synchronous gossip rounds
+//! ([`SynchronousRunner`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use consensus_dynamics::{SequentialSampler, ThreeMajority};
+//! use pp_core::{Configuration, SimSeed, StopCondition};
+//!
+//! let config = Configuration::from_counts(vec![600, 250, 150], 0).unwrap();
+//! let mut sim = SequentialSampler::new(ThreeMajority::new(3), config, SimSeed::from_u64(1));
+//! let result = sim.run(StopCondition::consensus().or_max_interactions(5_000_000));
+//! assert!(result.reached_consensus());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod median;
+pub mod majority;
+pub mod sampling;
+pub mod sync_usd;
+pub mod voter;
+
+pub use majority::{JMajority, ThreeMajority};
+pub use median::MedianRule;
+pub use sampling::{SamplingDynamics, SequentialSampler, SynchronousRunner};
+pub use sync_usd::SynchronizedUsd;
+pub use voter::{TwoChoices, Voter};

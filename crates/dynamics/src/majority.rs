@@ -1,0 +1,193 @@
+//! The 3-Majority and general j-Majority dynamics.
+
+use crate::sampling::SamplingDynamics;
+use pp_core::AgentState;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The general j-Majority dynamic: the activated agent samples `j` agents and
+/// adopts the most frequent opinion among the decided samples, breaking ties
+/// uniformly at random.  If every sample is undecided the agent keeps its
+/// state.
+///
+/// # Examples
+///
+/// ```
+/// use consensus_dynamics::JMajority;
+/// use consensus_dynamics::SamplingDynamics;
+///
+/// let dyn5 = JMajority::new(4, 5);
+/// assert_eq!(dyn5.sample_size(), 5);
+/// assert_eq!(dyn5.num_opinions(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JMajority {
+    opinions: usize,
+    samples: usize,
+}
+
+impl JMajority {
+    /// Creates a j-Majority dynamic for `k` opinions sampling `j` agents per
+    /// activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `j == 0`.
+    #[must_use]
+    pub fn new(k: usize, j: usize) -> Self {
+        assert!(k >= 1, "the majority dynamics need at least one opinion");
+        assert!(j >= 1, "the majority dynamics need at least one sample");
+        JMajority { opinions: k, samples: j }
+    }
+}
+
+impl SamplingDynamics for JMajority {
+    fn num_opinions(&self) -> usize {
+        self.opinions
+    }
+
+    fn sample_size(&self) -> usize {
+        self.samples
+    }
+
+    fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], rng: &mut R) -> AgentState {
+        let mut counts = vec![0u32; self.opinions];
+        for s in samples {
+            if let AgentState::Decided(o) = s {
+                counts[o.index()] += 1;
+            }
+        }
+        let best = counts.iter().copied().max().unwrap_or(0);
+        if best == 0 {
+            return current;
+        }
+        // Reservoir-style uniform choice among the tied leaders.
+        let mut chosen = None;
+        let mut seen = 0u32;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == best {
+                seen += 1;
+                if rng.gen_range(0..seen) == 0 {
+                    chosen = Some(i);
+                }
+            }
+        }
+        AgentState::decided(chosen.expect("at least one opinion attains the maximum"))
+    }
+
+    fn name(&self) -> &str {
+        "j-majority"
+    }
+}
+
+/// The 3-Majority dynamic (`j = 3`), analyzed by Becchetti et al. and
+/// Ghaffari–Lengler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreeMajority {
+    inner: JMajority,
+}
+
+impl ThreeMajority {
+    /// Creates the 3-Majority dynamic for `k` opinions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        ThreeMajority { inner: JMajority::new(k, 3) }
+    }
+}
+
+impl SamplingDynamics for ThreeMajority {
+    fn num_opinions(&self) -> usize {
+        self.inner.num_opinions()
+    }
+
+    fn sample_size(&self) -> usize {
+        3
+    }
+
+    fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], rng: &mut R) -> AgentState {
+        self.inner.update(current, samples, rng)
+    }
+
+    fn name(&self) -> &str {
+        "3-majority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{SequentialSampler, SynchronousRunner};
+    use pp_core::{Configuration, SimSeed, StopCondition};
+
+    fn d(i: usize) -> AgentState {
+        AgentState::decided(i)
+    }
+
+    #[test]
+    fn clear_majority_among_samples_wins() {
+        let m = ThreeMajority::new(3);
+        let mut rng = SimSeed::from_u64(0).rng();
+        assert_eq!(m.update(d(0), &[d(1), d(1), d(2)], &mut rng), d(1));
+        assert_eq!(m.update(d(0), &[d(2), d(2), d(2)], &mut rng), d(2));
+    }
+
+    #[test]
+    fn all_undecided_samples_keep_current_state() {
+        let m = ThreeMajority::new(3);
+        let mut rng = SimSeed::from_u64(0).rng();
+        let u = AgentState::Undecided;
+        assert_eq!(m.update(d(1), &[u, u, u], &mut rng), d(1));
+        assert_eq!(m.update(u, &[u, u, u], &mut rng), u);
+    }
+
+    #[test]
+    fn three_way_tie_is_broken_uniformly() {
+        let m = ThreeMajority::new(3);
+        let mut rng = SimSeed::from_u64(42).rng();
+        let mut hits = [0u32; 3];
+        for _ in 0..9_000 {
+            let out = m.update(AgentState::Undecided, &[d(0), d(1), d(2)], &mut rng);
+            hits[out.opinion().unwrap().index()] += 1;
+        }
+        for &h in &hits {
+            let frac = f64::from(h) / 9_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.03, "tie-break frac = {frac}");
+        }
+    }
+
+    #[test]
+    fn undecided_samples_are_ignored_in_the_count() {
+        let m = ThreeMajority::new(2);
+        let mut rng = SimSeed::from_u64(0).rng();
+        assert_eq!(m.update(d(0), &[AgentState::Undecided, d(1), AgentState::Undecided], &mut rng), d(1));
+    }
+
+    #[test]
+    fn three_majority_converges_sequentially() {
+        let config = Configuration::from_counts(vec![500, 300, 200], 0).unwrap();
+        let mut sim = SequentialSampler::new(ThreeMajority::new(3), config, SimSeed::from_u64(2));
+        let result = sim.run(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+    }
+
+    #[test]
+    fn three_majority_converges_in_few_synchronous_rounds() {
+        let config = Configuration::from_counts(vec![600, 250, 150], 0).unwrap();
+        let mut sim = SynchronousRunner::new(ThreeMajority::new(3), &config, SimSeed::from_u64(3));
+        let result = sim.run(500);
+        assert!(result.reached_consensus());
+        assert!(result.interactions() < 100, "rounds = {}", result.interactions());
+    }
+
+    #[test]
+    fn five_majority_behaves_like_a_majority_rule() {
+        let m = JMajority::new(4, 5);
+        let mut rng = SimSeed::from_u64(1).rng();
+        assert_eq!(m.update(d(3), &[d(0), d(0), d(0), d(1), d(2)], &mut rng), d(0));
+        assert_eq!(m.name(), "j-majority");
+    }
+}

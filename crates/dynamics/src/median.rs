@@ -1,0 +1,146 @@
+//! The MedianRule of Doerr et al.
+
+use crate::sampling::SamplingDynamics;
+use pp_core::AgentState;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The MedianRule: opinions are totally ordered (by index); an activated agent
+/// samples two agents and adopts the *median* of its own opinion and the two
+/// sampled opinions.
+///
+/// Undecided agents are handled pragmatically (the original rule has no
+/// undecided state): an undecided activated agent adopts the median of the
+/// decided samples (or stays undecided if both samples are undecided), and
+/// undecided samples are replaced by the agent's own opinion for the median
+/// computation.
+///
+/// Note that, unlike the USD, the MedianRule *requires* the total order on
+/// opinions — this is the qualitative difference the paper points out in its
+/// related-work discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MedianRule {
+    opinions: usize,
+}
+
+impl MedianRule {
+    /// Creates the MedianRule for `k` ordered opinions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "the median rule needs at least one opinion");
+        MedianRule { opinions: k }
+    }
+
+    fn median3(a: usize, b: usize, c: usize) -> usize {
+        let mut v = [a, b, c];
+        v.sort_unstable();
+        v[1]
+    }
+}
+
+impl SamplingDynamics for MedianRule {
+    fn num_opinions(&self) -> usize {
+        self.opinions
+    }
+
+    fn sample_size(&self) -> usize {
+        2
+    }
+
+    fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], _rng: &mut R) -> AgentState {
+        let own = current.opinion().map(|o| o.index());
+        let s0 = samples[0].opinion().map(|o| o.index());
+        let s1 = samples[1].opinion().map(|o| o.index());
+        match (own, s0, s1) {
+            (Some(a), Some(b), Some(c)) => AgentState::decided(Self::median3(a, b, c)),
+            // Undecided samples fall back to the agent's own opinion.
+            (Some(a), Some(b), None) | (Some(a), None, Some(b)) => {
+                AgentState::decided(Self::median3(a, a, b))
+            }
+            (Some(_), None, None) => current,
+            // Undecided agent: use the decided samples only.
+            (None, Some(b), Some(c)) => AgentState::decided(Self::median3(b, b.min(c), c.max(b))),
+            (None, Some(b), None) | (None, None, Some(b)) => AgentState::decided(b),
+            (None, None, None) => current,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "median rule"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{SequentialSampler, SynchronousRunner};
+    use pp_core::{Configuration, SimSeed, StopCondition};
+
+    fn d(i: usize) -> AgentState {
+        AgentState::decided(i)
+    }
+
+    #[test]
+    fn median_of_three_decided_opinions() {
+        let m = MedianRule::new(5);
+        let mut rng = SimSeed::from_u64(0).rng();
+        assert_eq!(m.update(d(0), &[d(4), d(2)], &mut rng), d(2));
+        assert_eq!(m.update(d(3), &[d(3), d(0)], &mut rng), d(3));
+        assert_eq!(m.update(d(1), &[d(1), d(1)], &mut rng), d(1));
+    }
+
+    #[test]
+    fn undecided_samples_fall_back_to_own_opinion() {
+        let m = MedianRule::new(4);
+        let mut rng = SimSeed::from_u64(0).rng();
+        assert_eq!(m.update(d(2), &[AgentState::Undecided, d(0)], &mut rng), d(2));
+        assert_eq!(m.update(d(2), &[AgentState::Undecided, AgentState::Undecided], &mut rng), d(2));
+    }
+
+    #[test]
+    fn undecided_agent_adopts_from_samples() {
+        let m = MedianRule::new(4);
+        let mut rng = SimSeed::from_u64(0).rng();
+        let out = m.update(AgentState::Undecided, &[d(3), d(1)], &mut rng);
+        assert!(out.is_decided());
+        assert_eq!(m.update(AgentState::Undecided, &[AgentState::Undecided, d(1)], &mut rng), d(1));
+        assert_eq!(
+            m.update(AgentState::Undecided, &[AgentState::Undecided, AgentState::Undecided], &mut rng),
+            AgentState::Undecided
+        );
+    }
+
+    #[test]
+    fn median_rule_converges_quickly_in_rounds() {
+        let config = Configuration::uniform(1_000, 9).unwrap();
+        let mut sim = SynchronousRunner::new(MedianRule::new(9), &config, SimSeed::from_u64(7));
+        let result = sim.run(2_000);
+        assert!(result.reached_consensus(), "median rule did not converge");
+        assert!(result.interactions() < 300, "rounds = {}", result.interactions());
+    }
+
+    #[test]
+    fn median_rule_converges_sequentially_with_bias() {
+        let config = Configuration::from_counts(vec![150, 500, 150, 100, 100], 0).unwrap();
+        let mut sim = SequentialSampler::new(MedianRule::new(5), config, SimSeed::from_u64(8));
+        let result = sim.run(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+        // The median rule converges toward a central/plurality opinion; with a
+        // strong central plurality it should pick opinion 1.
+        assert_eq!(result.winner().unwrap().index(), 1);
+    }
+
+    #[test]
+    fn median_is_order_dependent_unlike_the_usd() {
+        // Relabeling opinions changes the median outcome: a property the USD
+        // does not have.  We simply check the median of (0, 4, 2) is 2 while
+        // the median of the relabeled triple (4, 0, 2) is still 2 but of
+        // (0, 1, 4) is 1 — i.e. the result depends on the order structure.
+        assert_eq!(MedianRule::median3(0, 4, 2), 2);
+        assert_eq!(MedianRule::median3(0, 1, 4), 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! The sampling-dynamics trait and its two runners.
+
+use pp_core::{AgentState, Configuration, FenwickTree, PpError, Recorder, RunOutcome, RunResult, SimSeed, StopCondition};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A consensus dynamic in which an activated agent updates its opinion based
+/// on the opinions of `sample_size` uniformly random population members.
+///
+/// The Voter process (`j = 1`), TwoChoices (`j = 2`), the j-Majority dynamics
+/// and the MedianRule are all instances.
+pub trait SamplingDynamics {
+    /// Number of opinions `k` the dynamic is configured for.
+    fn num_opinions(&self) -> usize;
+
+    /// Number of agents sampled per activation.
+    fn sample_size(&self) -> usize;
+
+    /// New state of the activated agent given its current state and the
+    /// states of the sampled agents (in sampling order).
+    fn update<R: Rng + ?Sized>(
+        &self,
+        current: AgentState,
+        samples: &[AgentState],
+        rng: &mut R,
+    ) -> AgentState;
+
+    /// A short human-readable name used in reports.
+    fn name(&self) -> &str {
+        "unnamed sampling dynamic"
+    }
+}
+
+/// Asynchronous (sequential) execution of a sampling dynamic over the count
+/// vector: each step activates one uniformly random agent, which samples
+/// `j` agents *with replacement* from the current population and updates.
+///
+/// One step corresponds to one interaction of the population protocol model,
+/// so `steps / n` is the parallel time.
+#[derive(Debug)]
+pub struct SequentialSampler<D> {
+    dynamics: D,
+    config: Configuration,
+    weights: FenwickTree,
+    steps: u64,
+    rng: SmallRng,
+    sample_buf: Vec<AgentState>,
+}
+
+impl<D: SamplingDynamics> SequentialSampler<D> {
+    /// Creates a sequential runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dynamic and the configuration disagree on `k`.
+    #[must_use]
+    pub fn new(dynamics: D, config: Configuration, seed: SimSeed) -> Self {
+        Self::try_new(dynamics, config, seed).expect("dynamic/configuration opinion count mismatch")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::OpinionCountMismatch`] when the dynamic and the
+    /// configuration disagree on `k`.
+    pub fn try_new(dynamics: D, config: Configuration, seed: SimSeed) -> Result<Self, PpError> {
+        if dynamics.num_opinions() != config.num_opinions() {
+            return Err(PpError::OpinionCountMismatch {
+                protocol: dynamics.num_opinions(),
+                configuration: config.num_opinions(),
+            });
+        }
+        let k = config.num_opinions();
+        let mut weights = Vec::with_capacity(k + 1);
+        weights.extend_from_slice(config.supports());
+        weights.push(config.undecided());
+        let sample_size = dynamics.sample_size();
+        Ok(SequentialSampler {
+            dynamics,
+            weights: FenwickTree::from_weights(&weights),
+            config,
+            steps: 0,
+            rng: seed.rng(),
+            sample_buf: Vec::with_capacity(sample_size),
+        })
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Number of activations performed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The dynamic driving the runner.
+    #[must_use]
+    pub fn dynamics(&self) -> &D {
+        &self.dynamics
+    }
+
+    /// Performs one activation; returns `true` if the agent changed state.
+    pub fn step(&mut self) -> bool {
+        let k = self.config.num_opinions();
+        self.steps += 1;
+        let current = AgentState::from_category(self.weights.sample(&mut self.rng), k);
+        self.sample_buf.clear();
+        for _ in 0..self.dynamics.sample_size() {
+            let cat = self.weights.sample(&mut self.rng);
+            self.sample_buf.push(AgentState::from_category(cat, k));
+        }
+        // Split the borrow: the update may need randomness.
+        let samples = std::mem::take(&mut self.sample_buf);
+        let new_state = self.dynamics.update(current, &samples, &mut self.rng);
+        self.sample_buf = samples;
+        if new_state == current {
+            return false;
+        }
+        self.config
+            .apply_move(current, new_state)
+            .expect("sampling dynamic produced an inconsistent move");
+        self.weights.add(current.category(k), -1);
+        self.weights.add(new_state.category(k), 1);
+        true
+    }
+
+    /// Runs until the stop condition is met (budget counts activations).
+    pub fn run(&mut self, stop: StopCondition) -> RunResult {
+        self.run_recorded(stop, &mut pp_core::NullRecorder)
+    }
+
+    /// Runs until the stop condition is met, feeding changed configurations to
+    /// the recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stop condition is unbounded.
+    pub fn run_recorded<R: Recorder>(&mut self, stop: StopCondition, recorder: &mut R) -> RunResult {
+        assert!(stop.is_bounded(), "stop condition can never terminate the run");
+        recorder.record(self.steps, &self.config);
+        loop {
+            if stop.goal_met(&self.config) {
+                let outcome = if self.config.is_consensus() {
+                    RunOutcome::Consensus
+                } else {
+                    RunOutcome::OpinionSettled
+                };
+                return RunResult::new(outcome, self.steps, self.config.clone());
+            }
+            if let Some(budget) = stop.max_interactions() {
+                if self.steps >= budget {
+                    return RunResult::new(RunOutcome::BudgetExhausted, self.steps, self.config.clone());
+                }
+            }
+            if self.step() {
+                recorder.record(self.steps, &self.config);
+            }
+        }
+    }
+}
+
+/// Synchronous (gossip-round) execution of a sampling dynamic over an explicit
+/// agent array: in every round each agent draws its samples from the *old*
+/// state vector and all agents update simultaneously.
+#[derive(Debug)]
+pub struct SynchronousRunner<D> {
+    dynamics: D,
+    agents: Vec<AgentState>,
+    config: Configuration,
+    rounds: u64,
+    rng: SmallRng,
+}
+
+impl<D: SamplingDynamics> SynchronousRunner<D> {
+    /// Creates a synchronous runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dynamic and the configuration disagree on `k`.
+    #[must_use]
+    pub fn new(dynamics: D, config: &Configuration, seed: SimSeed) -> Self {
+        assert_eq!(
+            dynamics.num_opinions(),
+            config.num_opinions(),
+            "dynamic/configuration opinion count mismatch"
+        );
+        SynchronousRunner {
+            dynamics,
+            agents: config.to_states(),
+            config: config.clone(),
+            rounds: 0,
+            rng: seed.rng(),
+        }
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Number of synchronous rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Executes one synchronous round.
+    pub fn round(&mut self) {
+        let n = self.agents.len();
+        let old = self.agents.clone();
+        let j = self.dynamics.sample_size();
+        let mut samples = vec![AgentState::Undecided; j];
+        for idx in 0..n {
+            for s in samples.iter_mut() {
+                *s = old[self.rng.gen_range(0..n)];
+            }
+            self.agents[idx] = self.dynamics.update(old[idx], &samples, &mut self.rng);
+        }
+        self.rounds += 1;
+        self.config = Configuration::from_states(&self.agents, self.config.num_opinions())
+            .expect("synchronous round preserves the population");
+    }
+
+    /// Runs until consensus or until `max_rounds` rounds have elapsed;
+    /// returns the result with the *round count* in the interactions field.
+    pub fn run(&mut self, max_rounds: u64) -> RunResult {
+        while self.rounds < max_rounds && !self.config.is_consensus() {
+            self.round();
+        }
+        let outcome = if self.config.is_consensus() {
+            RunOutcome::Consensus
+        } else {
+            RunOutcome::BudgetExhausted
+        };
+        RunResult::new(outcome, self.rounds, self.config.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial dynamic: always adopt the first sample if decided.
+    #[derive(Debug)]
+    struct AdoptFirst {
+        k: usize,
+    }
+
+    impl SamplingDynamics for AdoptFirst {
+        fn num_opinions(&self) -> usize {
+            self.k
+        }
+        fn sample_size(&self) -> usize {
+            1
+        }
+        fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], _rng: &mut R) -> AgentState {
+            match samples[0] {
+                AgentState::Decided(_) => samples[0],
+                AgentState::Undecided => current,
+            }
+        }
+        fn name(&self) -> &str {
+            "adopt-first"
+        }
+    }
+
+    #[test]
+    fn sequential_sampler_conserves_population() {
+        let config = Configuration::from_counts(vec![40, 40, 20], 0).unwrap();
+        let mut sim = SequentialSampler::new(AdoptFirst { k: 3 }, config, SimSeed::from_u64(1));
+        for _ in 0..5_000 {
+            sim.step();
+            assert_eq!(sim.configuration().population(), 100);
+            assert!(sim.configuration().is_consistent());
+        }
+    }
+
+    #[test]
+    fn sequential_sampler_reaches_consensus() {
+        let config = Configuration::from_counts(vec![80, 20], 0).unwrap();
+        let mut sim = SequentialSampler::new(AdoptFirst { k: 2 }, config, SimSeed::from_u64(2));
+        let result = sim.run(StopCondition::consensus().or_max_interactions(1_000_000));
+        assert!(result.reached_consensus());
+    }
+
+    #[test]
+    fn mismatched_opinion_counts_are_rejected() {
+        let config = Configuration::uniform(100, 4).unwrap();
+        assert!(SequentialSampler::try_new(AdoptFirst { k: 2 }, config, SimSeed::from_u64(0)).is_err());
+    }
+
+    #[test]
+    fn synchronous_runner_counts_rounds() {
+        let config = Configuration::from_counts(vec![190, 10], 0).unwrap();
+        let mut sim = SynchronousRunner::new(AdoptFirst { k: 2 }, &config, SimSeed::from_u64(3));
+        let result = sim.run(10_000);
+        assert!(result.reached_consensus());
+        assert_eq!(result.interactions(), sim.rounds());
+        assert!(sim.rounds() < 200, "voter-like dynamic should converge quickly: {}", sim.rounds());
+    }
+
+    #[test]
+    fn synchronous_runner_population_is_stable() {
+        let config = Configuration::uniform(500, 5).unwrap();
+        let mut sim = SynchronousRunner::new(AdoptFirst { k: 5 }, &config, SimSeed::from_u64(4));
+        for _ in 0..20 {
+            sim.round();
+            assert_eq!(sim.configuration().population(), 500);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The Voter and TwoChoices processes.
+
+use crate::sampling::SamplingDynamics;
+use pp_core::AgentState;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The Voter process (`j = 1`): the activated agent adopts the opinion of a
+/// single uniformly random agent.  Undecided samples are ignored (the agent
+/// keeps its state), and an undecided agent adopts any decided sample.
+///
+/// # Examples
+///
+/// ```
+/// use consensus_dynamics::{SequentialSampler, Voter};
+/// use pp_core::{Configuration, SimSeed, StopCondition};
+///
+/// let config = Configuration::from_counts(vec![90, 10], 0).unwrap();
+/// let mut sim = SequentialSampler::new(Voter::new(2), config, SimSeed::from_u64(1));
+/// let result = sim.run(StopCondition::consensus().or_max_interactions(2_000_000));
+/// assert!(result.reached_consensus());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Voter {
+    opinions: usize,
+}
+
+impl Voter {
+    /// Creates the Voter process for `k` opinions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "the Voter process needs at least one opinion");
+        Voter { opinions: k }
+    }
+}
+
+impl SamplingDynamics for Voter {
+    fn num_opinions(&self) -> usize {
+        self.opinions
+    }
+
+    fn sample_size(&self) -> usize {
+        1
+    }
+
+    fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], _rng: &mut R) -> AgentState {
+        match samples[0] {
+            AgentState::Decided(_) => samples[0],
+            AgentState::Undecided => current,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "voter"
+    }
+}
+
+/// The TwoChoices process (`j = 2`): the activated agent samples two agents;
+/// if both hold the same opinion it adopts that opinion, otherwise it keeps
+/// its own (lazy tie-breaking toward the original opinion, as in the analysis
+/// of Ghaffari and Lengler).  An undecided agent adopts the common opinion of
+/// its two samples if they agree, and otherwise stays undecided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoChoices {
+    opinions: usize,
+}
+
+impl TwoChoices {
+    /// Creates the TwoChoices process for `k` opinions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "the TwoChoices process needs at least one opinion");
+        TwoChoices { opinions: k }
+    }
+}
+
+impl SamplingDynamics for TwoChoices {
+    fn num_opinions(&self) -> usize {
+        self.opinions
+    }
+
+    fn sample_size(&self) -> usize {
+        2
+    }
+
+    fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], _rng: &mut R) -> AgentState {
+        match (samples[0], samples[1]) {
+            (AgentState::Decided(a), AgentState::Decided(b)) if a == b => samples[0],
+            _ => current,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "two-choices"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::SequentialSampler;
+    use pp_core::{Configuration, SimSeed, StopCondition};
+
+    #[test]
+    fn voter_update_rules() {
+        let v = Voter::new(3);
+        let mut rng = SimSeed::from_u64(0).rng();
+        assert_eq!(
+            v.update(AgentState::decided(0), &[AgentState::decided(2)], &mut rng),
+            AgentState::decided(2)
+        );
+        assert_eq!(
+            v.update(AgentState::decided(0), &[AgentState::Undecided], &mut rng),
+            AgentState::decided(0)
+        );
+        assert_eq!(
+            v.update(AgentState::Undecided, &[AgentState::decided(1)], &mut rng),
+            AgentState::decided(1)
+        );
+    }
+
+    #[test]
+    fn two_choices_update_rules() {
+        let t = TwoChoices::new(3);
+        let mut rng = SimSeed::from_u64(0).rng();
+        // Agreeing samples win.
+        assert_eq!(
+            t.update(AgentState::decided(0), &[AgentState::decided(1), AgentState::decided(1)], &mut rng),
+            AgentState::decided(1)
+        );
+        // Disagreeing samples: keep own opinion (lazy).
+        assert_eq!(
+            t.update(AgentState::decided(0), &[AgentState::decided(1), AgentState::decided(2)], &mut rng),
+            AgentState::decided(0)
+        );
+        // Undecided sample breaks the pair.
+        assert_eq!(
+            t.update(AgentState::decided(0), &[AgentState::decided(1), AgentState::Undecided], &mut rng),
+            AgentState::decided(0)
+        );
+    }
+
+    #[test]
+    fn two_choices_with_bias_converges_to_plurality() {
+        let config = Configuration::from_counts(vec![700, 200, 100], 0).unwrap();
+        let mut sim = SequentialSampler::new(TwoChoices::new(3), config, SimSeed::from_u64(5));
+        let result = sim.run(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+        assert_eq!(result.winner().unwrap().index(), 0);
+    }
+
+    #[test]
+    fn voter_eventually_reaches_consensus_even_from_a_tie() {
+        let config = Configuration::from_counts(vec![100, 100], 0).unwrap();
+        let mut sim = SequentialSampler::new(Voter::new(2), config, SimSeed::from_u64(6));
+        let result = sim.run(StopCondition::consensus().or_max_interactions(10_000_000));
+        assert!(result.reached_consensus());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Voter::new(2).name(), "voter");
+        assert_eq!(TwoChoices::new(2).name(), "two-choices");
+    }
+}

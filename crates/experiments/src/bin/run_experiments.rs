@@ -1,0 +1,93 @@
+//! Command-line driver for the experiment harness.
+//!
+//! Usage:
+//!
+//! ```text
+//! run_experiments [--full] [--seed <u64>] [--csv <dir>] [E1 E2 ...]
+//! ```
+//!
+//! Without experiment identifiers every experiment (E1–E10) runs at the
+//! selected scale; with `--csv <dir>` each report is additionally written as
+//! a CSV file into that directory.
+
+use pp_core::SimSeed;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use usd_experiments::exps::all_experiments;
+use usd_experiments::{ReportCollection, Scale};
+
+struct Options {
+    scale: Scale,
+    seed: u64,
+    csv_dir: Option<PathBuf>,
+    selected: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options { scale: Scale::Quick, seed: 0xC0FFEE, csv_dir: None, selected: Vec::new() };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opts.scale = Scale::Full,
+            "--quick" => opts.scale = Scale::Quick,
+            "--seed" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--seed requires a value")?;
+                opts.seed = raw.parse().map_err(|_| format!("invalid seed: {raw}"))?;
+            }
+            "--csv" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--csv requires a directory")?;
+                opts.csv_dir = Some(PathBuf::from(raw));
+            }
+            "--help" | "-h" => {
+                return Err("usage: run_experiments [--full] [--seed <u64>] [--csv <dir>] [E1 E2 ...]".to_string());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            other => opts.selected.push(other.to_ascii_uppercase()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let seed = SimSeed::from_u64(opts.seed);
+    let mut collection = ReportCollection::new();
+    for (idx, exp) in all_experiments(opts.scale).into_iter().enumerate() {
+        if !opts.selected.is_empty() && !opts.selected.iter().any(|s| s == exp.id()) {
+            continue;
+        }
+        eprintln!("running {} ...", exp.id());
+        let report = exp.run(seed.child(idx as u64));
+        println!("{}", report.render());
+        if let Some(dir) = &opts.csv_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {dir:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let path = dir.join(format!("{}.csv", report.id.to_ascii_lowercase()));
+            if let Err(e) = std::fs::write(&path, report.to_csv()) {
+                eprintln!("cannot write {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        collection.push(report);
+    }
+    if collection.reports.is_empty() {
+        eprintln!("no experiment matched the selection {:?}", opts.selected);
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,160 @@
+//! A small command-line tool for running a single USD simulation and dumping
+//! its trajectory as CSV — handy for plotting individual runs.
+//!
+//! ```text
+//! usd_run --n 100000 --k 10 --bias-mult 2.0 [--mult-bias 1.5] [--undecided 0.2]
+//!         [--seed 7] [--samples 500] [--output trajectory.csv]
+//! ```
+//!
+//! Exactly one of `--bias-mult` (additive bias in `sqrt(n ln n)` units) or
+//! `--mult-bias` (multiplicative factor) may be given; with neither the run
+//! starts from the uniform configuration.
+
+use pp_core::{SimSeed, StopCondition};
+use pp_workloads::InitialConfig;
+use std::process::ExitCode;
+use usd_core::{Phase, PhaseTracker, Trajectory, UsdSimulator};
+
+#[derive(Debug)]
+struct Options {
+    n: u64,
+    k: usize,
+    additive_mult: Option<f64>,
+    mult_bias: Option<f64>,
+    undecided: f64,
+    seed: u64,
+    samples: u64,
+    output: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            n: 100_000,
+            k: 8,
+            additive_mult: None,
+            mult_bias: None,
+            undecided: 0.0,
+            seed: 1,
+            samples: 400,
+            output: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag {
+            "--n" => opts.n = value(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--k" => opts.k = value(&mut i)?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--bias-mult" => {
+                opts.additive_mult = Some(value(&mut i)?.parse().map_err(|e| format!("--bias-mult: {e}"))?)
+            }
+            "--mult-bias" => {
+                opts.mult_bias = Some(value(&mut i)?.parse().map_err(|e| format!("--mult-bias: {e}"))?)
+            }
+            "--undecided" => {
+                opts.undecided = value(&mut i)?.parse().map_err(|e| format!("--undecided: {e}"))?
+            }
+            "--seed" => opts.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--samples" => opts.samples = value(&mut i)?.parse().map_err(|e| format!("--samples: {e}"))?,
+            "--output" => opts.output = Some(value(&mut i)?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
+                     [--undecided <fraction>] [--seed <u64>] [--samples <count>] [--output <csv>]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    if opts.additive_mult.is_some() && opts.mult_bias.is_some() {
+        return Err("give at most one of --bias-mult and --mult-bias".to_string());
+    }
+    if opts.samples == 0 {
+        return Err("--samples must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut spec = InitialConfig::new(opts.n, opts.k);
+    if let Some(mult) = opts.additive_mult {
+        spec = spec.additive_bias_in_sqrt_n_log_n(mult);
+    }
+    if let Some(factor) = opts.mult_bias {
+        spec = spec.multiplicative_bias(factor);
+    }
+    if opts.undecided > 0.0 {
+        spec = spec.undecided_fraction(opts.undecided);
+    }
+    let seed = SimSeed::from_u64(opts.seed);
+    let config = match spec.build(seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("initial configuration: {config}");
+
+    let n_f = opts.n as f64;
+    let budget = (400.0 * opts.k as f64 * n_f * n_f.ln()) as u64 + 10_000_000;
+    let sample_period = (budget / opts.samples).max(1).min(opts.n.max(1));
+    let mut sim = UsdSimulator::new(config, seed.child(1));
+    let mut recorder = pp_core::recorder::PairRecorder::new(
+        Trajectory::sampled_every(sample_period, 1.0),
+        PhaseTracker::new(1.0),
+    );
+    let result = sim.run_recorded(
+        StopCondition::consensus().or_max_interactions(budget),
+        &mut recorder,
+    );
+    let (trajectory, phases) = (recorder.first, recorder.second);
+
+    eprintln!(
+        "finished after {} interactions (parallel time {:.1}); consensus: {}",
+        result.interactions(),
+        result.parallel_time(),
+        result.reached_consensus()
+    );
+    if let Some(winner) = result.winner() {
+        eprintln!("winner: {winner}");
+    }
+    for phase in Phase::ALL {
+        if let Some(t) = phases.times().hitting_time(phase) {
+            eprintln!("T{} = {t}", phase.number());
+        }
+    }
+
+    let csv = trajectory.to_csv();
+    match &opts.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, csv) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("trajectory written to {path}");
+        }
+        None => print!("{csv}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,216 @@
+//! E10 — the analysis machinery itself: drift of `Z(t)` and the Lemma 17
+//! coupling.
+//!
+//! Two of the paper's internal tools are checked directly:
+//!
+//! * **Lemma 1 drift.**  For `Z(t) = n − 2u(t) − x_max(t) ≥ 0` the paper
+//!   shows `E[Z(t) − Z(t+1)] ≥ Z(t)/(2n)`.  We measure the empirical one-step
+//!   drift of `Z` during Phase 1 and compare the implied multiplicative drift
+//!   coefficient with `1/(2n)`.
+//! * **Lemma 17 coupling.**  The identity coupling of the k-opinion process
+//!   with its 2-opinion projection must maintain `x₁ ≥ x̃₁` and
+//!   `x₁ + u ≥ x̃₁ + ũ` after every interaction.  We run the coupling from a
+//!   2/3-majority configuration (the Phase 5 precondition) and count
+//!   violations (the claim is zero) and compare consensus times.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use pp_analysis::drift::estimate_drift;
+use pp_analysis::Summary;
+use pp_core::{Configuration, Recorder, SimSeed, StopCondition};
+use pp_workloads::InitialConfig;
+use usd_core::{potential, CoupledUsd, UsdSimulator};
+
+/// Records the Phase 1 trajectory of the potential `Z(t)`.
+#[derive(Debug, Default)]
+struct ZTrace {
+    values: Vec<f64>,
+    done: bool,
+}
+
+impl Recorder for ZTrace {
+    fn record(&mut self, _interactions: u64, config: &Configuration) {
+        if self.done {
+            return;
+        }
+        let z = potential::z(config);
+        if z <= 0.0 {
+            self.done = true;
+            return;
+        }
+        self.values.push(z);
+    }
+}
+
+/// Parameters of the drift-and-coupling experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriftAndCouplingExperiment {
+    /// Population for the drift measurement.
+    pub drift_population: u64,
+    /// Opinions for the drift measurement.
+    pub drift_opinions: usize,
+    /// Population for the coupling run.
+    pub coupling_population: u64,
+    /// Opinions for the coupling run.
+    pub coupling_opinions: usize,
+    /// Trials for each part.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl DriftAndCouplingExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => DriftAndCouplingExperiment {
+                drift_population: 2_000,
+                drift_opinions: 4,
+                coupling_population: 2_000,
+                coupling_opinions: 4,
+                trials: 5,
+                scale,
+            },
+            Scale::Full => DriftAndCouplingExperiment {
+                drift_population: 50_000,
+                drift_opinions: 8,
+                coupling_population: 50_000,
+                coupling_opinions: 8,
+                trials: 20,
+                scale,
+            },
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E10",
+            "drift of Z(t) (Lemma 1) and the k-to-2-opinion coupling (Lemma 17)",
+            "E[Z(t) - Z(t+1)] >= Z(t)/(2n) while Z(t) >= 0, and the identity coupling maintains x1 >= x~1 and x1 + u >= x~1 + u~ at every interaction",
+            vec![
+                "part".into(),
+                "n".into(),
+                "k".into(),
+                "measured".into(),
+                "paper bound".into(),
+                "holds".into(),
+            ],
+        );
+
+        // Part 1: drift of Z(t) during Phase 1 from a uniform start.
+        {
+            let n = self.drift_population;
+            let k = self.drift_opinions;
+            let budget = self.scale.interaction_budget(n, k);
+            let deltas = run_trials(self.trials, seed.child(1), default_threads(), |_, trial_seed| {
+                let config = InitialConfig::new(n, k)
+                    .build(trial_seed.child(0))
+                    .expect("uniform configuration is valid");
+                let mut sim = UsdSimulator::new(config, trial_seed.child(1));
+                let mut trace = ZTrace::default();
+                sim.run_recorded(StopCondition::consensus().or_max_interactions(budget), &mut trace);
+                estimate_drift(&trace.values).map(|d| d.implied_delta)
+            });
+            let measured: Vec<f64> = deltas.into_iter().flatten().collect();
+            if !measured.is_empty() {
+                let summary = Summary::from_slice(&measured);
+                let bound = 1.0 / (2.0 * n as f64);
+                let holds = measured.iter().filter(|&&d| d >= bound).count();
+                report.push_row(vec![
+                    "Z drift (Lemma 1)".into(),
+                    n.to_string(),
+                    k.to_string(),
+                    format!("delta = {}", fmt_f64(summary.mean())),
+                    format!("1/(2n) = {}", fmt_f64(bound)),
+                    format!("{holds}/{}", measured.len()),
+                ]);
+            }
+        }
+
+        // Part 2: the Lemma 17 coupling from a 2/3-majority configuration.
+        {
+            let n = self.coupling_population;
+            let k = self.coupling_opinions;
+            let budget = self.scale.interaction_budget(n, k);
+            let runs = run_trials(self.trials, seed.child(2), default_threads(), |_, trial_seed| {
+                let x1 = 2 * n / 3 + 1;
+                let rest = n - x1;
+                let share = rest / (k as u64 - 1);
+                let mut counts = vec![share; k];
+                counts[0] = x1;
+                counts[k - 1] = n - x1 - share * (k as u64 - 2);
+                let config = Configuration::from_counts(counts, 0).expect("majority configuration");
+                let mut coupled = CoupledUsd::new(&config, trial_seed);
+                coupled.run(budget)
+            });
+            let violations: u64 = runs.iter().map(|r| r.invariant_violations).sum();
+            let k_times: Vec<f64> = runs.iter().filter_map(|r| r.k_consensus_at).map(|t| t as f64).collect();
+            let two_times: Vec<f64> = runs.iter().filter_map(|r| r.two_consensus_at).map(|t| t as f64).collect();
+            report.push_row(vec![
+                "coupling invariant (Lemma 17)".into(),
+                n.to_string(),
+                k.to_string(),
+                format!("{violations} violations"),
+                "0 violations".into(),
+                format!("{}/{}", runs.iter().filter(|r| r.invariant_violations == 0).count(), runs.len()),
+            ]);
+            if !k_times.is_empty() && !two_times.is_empty() {
+                let k_mean = Summary::from_slice(&k_times).mean();
+                let two_mean = Summary::from_slice(&two_times).mean();
+                report.push_row(vec![
+                    "coupled consensus times".into(),
+                    n.to_string(),
+                    k.to_string(),
+                    format!("k-process {}", fmt_f64(k_mean)),
+                    format!("2-process {}", fmt_f64(two_mean)),
+                    (k_mean <= two_mean * 1.05).to_string(),
+                ]);
+            }
+        }
+
+        report.push_note(
+            "the coupled k-opinion process is majorized by its 2-opinion projection, so it must reach consensus no later (up to sampling noise)",
+        );
+        report
+    }
+}
+
+impl super::Experiment for DriftAndCouplingExperiment {
+    fn id(&self) -> &'static str {
+        "E10"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        DriftAndCouplingExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_and_coupling_hold_on_tiny_runs() {
+        let exp = DriftAndCouplingExperiment {
+            drift_population: 800,
+            drift_opinions: 3,
+            coupling_population: 600,
+            coupling_opinions: 3,
+            trials: 3,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(21));
+        assert!(report.rows.len() >= 2, "expected drift and coupling rows: {report:?}");
+        let drift_row = &report.rows[0];
+        assert_eq!(drift_row[5], "3/3", "drift bound violated: {drift_row:?}");
+        let coupling_row = report
+            .rows
+            .iter()
+            .find(|r| r[0].contains("coupling invariant"))
+            .expect("coupling row present");
+        assert!(coupling_row[3].starts_with('0'), "coupling violations: {coupling_row:?}");
+    }
+}

@@ -1,0 +1,158 @@
+//! E11 (ablation) — sensitivity to the initial undecided pool.
+//!
+//! Theorem 2 assumes `u(0) ≤ (n − x₁(0))/2`.  This ablation sweeps the
+//! initial undecided fraction from 0 through and beyond that admissibility
+//! bound and measures how the convergence time and the plurality win rate
+//! react — quantifying how much the paper's assumption actually matters on
+//! finite instances.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use pp_analysis::stats::proportion_with_wilson;
+use pp_analysis::Summary;
+use pp_core::SimSeed;
+use pp_workloads::InitialConfig;
+use usd_core::{bounds, UsdSimulator};
+
+/// Parameters of the undecided-sensitivity ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UndecidedSensitivityExperiment {
+    /// Population size.
+    pub population: u64,
+    /// Number of opinions.
+    pub opinions: usize,
+    /// Initial undecided fractions to sweep.
+    pub undecided_fractions: Vec<f64>,
+    /// Additive bias (in `√(n ln n)` units) of the decided part.
+    pub bias_multiplier: f64,
+    /// Trials per fraction.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl UndecidedSensitivityExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        UndecidedSensitivityExperiment {
+            population: match scale {
+                Scale::Quick => 2_000,
+                Scale::Full => 50_000,
+            },
+            opinions: match scale {
+                Scale::Quick => 4,
+                Scale::Full => 8,
+            },
+            undecided_fractions: vec![0.0, 0.2, 0.4, 0.6, 0.8],
+            bias_multiplier: 2.0,
+            trials: scale.trials(),
+            scale,
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E11",
+            "ablation: sensitivity to the initial undecided pool u(0)",
+            "Theorem 2 assumes u(0) <= (n - x1(0))/2; this ablation measures what happens to convergence time and plurality preservation as u(0) grows through that bound",
+            vec![
+                "n".into(),
+                "k".into(),
+                "u(0) / n".into(),
+                "admissible".into(),
+                "mean interactions".into(),
+                "relative to u(0)=0".into(),
+                "plurality win rate".into(),
+            ],
+        );
+
+        let n = self.population;
+        let k = self.opinions;
+        let budget = self.scale.interaction_budget(n, k);
+        let mut baseline_mean: Option<f64> = None;
+        for (fi, &fraction) in self.undecided_fractions.iter().enumerate() {
+            let results = run_trials(
+                self.trials,
+                seed.child(fi as u64),
+                default_threads(),
+                |_, trial_seed| {
+                    let config = InitialConfig::new(n, k)
+                        .additive_bias_in_sqrt_n_log_n(self.bias_multiplier)
+                        .undecided_fraction(fraction)
+                        .build(trial_seed.child(0))
+                        .expect("undecided-sensitivity configuration is valid");
+                    let admissible = bounds::undecided_admissible(&config);
+                    let mut sim = UsdSimulator::new(config, trial_seed.child(1));
+                    let result = sim.run_to_consensus(budget);
+                    (
+                        result.interactions(),
+                        admissible,
+                        result.winner().map(|w| w.index() == 0),
+                    )
+                },
+            );
+
+            let times = Summary::from_slice(&results.iter().map(|(t, _, _)| *t as f64).collect::<Vec<_>>());
+            let admissible = results.iter().filter(|(_, a, _)| *a).count();
+            let wins = results.iter().filter(|(_, _, w)| *w == Some(true)).count() as u64;
+            let (win_rate, _, _) = proportion_with_wilson(wins, results.len() as u64);
+            let relative = baseline_mean.map_or(1.0, |b| times.mean() / b);
+            if baseline_mean.is_none() {
+                baseline_mean = Some(times.mean());
+            }
+            report.push_row(vec![
+                n.to_string(),
+                k.to_string(),
+                fmt_f64(fraction),
+                format!("{admissible}/{}", results.len()),
+                fmt_f64(times.mean()),
+                fmt_f64(relative),
+                format!("{win_rate:.2}"),
+            ]);
+        }
+        report.push_note(
+            "the admissibility column reports how many starting configurations satisfied u(0) <= (n - x1(0))/2; the process keeps converging beyond the bound, but the undecided pool dilutes the initial bias",
+        );
+        report
+    }
+}
+
+impl super::Experiment for UndecidedSensitivityExperiment {
+    fn id(&self) -> &'static str {
+        "E11"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        UndecidedSensitivityExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_inadmissible_region_and_still_converges() {
+        let exp = UndecidedSensitivityExperiment {
+            population: 800,
+            opinions: 3,
+            undecided_fractions: vec![0.0, 0.7],
+            bias_multiplier: 2.0,
+            trials: 3,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(19));
+        assert_eq!(report.rows.len(), 2);
+        // First row is admissible, second is not.
+        assert_eq!(report.rows[0][3], "3/3");
+        assert_eq!(report.rows[1][3], "0/3");
+        // Both rows report finite convergence times.
+        for row in &report.rows {
+            let mean: f64 = row[4].parse().unwrap();
+            assert!(mean > 0.0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! E1 — the Section 2.1 phase table.
+//!
+//! The paper divides the process into five phases with stated running times
+//! (`O(n log n)`, `O(n² log n / x_max)`, `O(n² log n / x_max)`,
+//! `O(n²/x_max + n log n)`, `O(n log n)`).  This experiment measures the
+//! number of interactions spent in each phase for uniform (no-bias) starting
+//! configurations across a sweep of population sizes, and reports the ratio
+//! between the measured duration and the paper's unit-constant bound.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use pp_analysis::Summary;
+use pp_core::SimSeed;
+use pp_workloads::InitialConfig;
+use usd_core::{Phase, UsdSimulator};
+
+/// Parameters of the phase-table experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTableExperiment {
+    /// Populations to sweep.
+    pub populations: Vec<u64>,
+    /// Number of opinions (fixed across the sweep).
+    pub opinions: usize,
+    /// Trials per population.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl PhaseTableExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        PhaseTableExperiment {
+            populations: scale.populations(),
+            opinions: match scale {
+                Scale::Quick => 4,
+                Scale::Full => 8,
+            },
+            trials: scale.trials(),
+            scale,
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E1",
+            "phase running times (Section 2.1 table)",
+            "phases 1..5 take O(n log n), O(n^2 log n/x_max), O(n^2 log n/x_max), O(n^2/x_max + n log n), O(n log n) interactions",
+            vec![
+                "n".into(),
+                "k".into(),
+                "phase".into(),
+                "mean duration".into(),
+                "max duration".into(),
+                "unit-constant bound".into(),
+                "measured / bound".into(),
+            ],
+        );
+
+        for (pi, &n) in self.populations.iter().enumerate() {
+            let k = self.opinions;
+            let budget = self.scale.interaction_budget(n, k);
+            let trials = run_trials(
+                self.trials,
+                seed.child(pi as u64),
+                default_threads(),
+                |_, trial_seed| {
+                    let config = InitialConfig::new(n, k)
+                        .build(trial_seed.child(0))
+                        .expect("uniform configuration is valid");
+                    let mut sim = UsdSimulator::new(config, trial_seed.child(1));
+                    sim.run_with_phases(1.0, budget)
+                },
+            );
+
+            let completed = trials.iter().filter(|t| t.run.reached_consensus()).count();
+            for phase in Phase::ALL {
+                let durations: Vec<f64> = trials
+                    .iter()
+                    .filter_map(|t| t.phases.duration(phase))
+                    .map(|d| d as f64)
+                    .collect();
+                if durations.is_empty() {
+                    continue;
+                }
+                let summary = Summary::from_slice(&durations);
+                // The bound's x_max reference point: the uniform start has
+                // x_max ≈ n/k through Phases 2–3 and ≥ n/2 afterwards.
+                let x_ref = match phase {
+                    Phase::RiseOfUndecided | Phase::AdditiveBias | Phase::MultiplicativeBias => n / k as u64,
+                    Phase::AbsoluteMajority | Phase::Consensus => n / 2,
+                };
+                let bound = phase.interaction_bound(n, x_ref);
+                report.push_row(vec![
+                    n.to_string(),
+                    k.to_string(),
+                    format!("{}", phase.number()),
+                    fmt_f64(summary.mean()),
+                    fmt_f64(summary.max()),
+                    fmt_f64(bound),
+                    fmt_f64(summary.mean() / bound),
+                ]);
+            }
+            report.push_note(format!(
+                "n={n}: {completed}/{} runs reached consensus within the {budget}-interaction budget",
+                trials.len()
+            ));
+        }
+        report
+    }
+}
+
+impl super::Experiment for PhaseTableExperiment {
+    fn id(&self) -> &'static str {
+        "E1"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        PhaseTableExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_phase_table_run_produces_rows_for_each_phase() {
+        let exp = PhaseTableExperiment {
+            populations: vec![400],
+            opinions: 3,
+            trials: 3,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(1));
+        // 5 phases for the single population (all trials should converge).
+        assert_eq!(report.rows.len(), 5);
+        assert!(report.notes.iter().any(|n| n.contains("reached consensus")));
+        // Durations and bounds are positive.
+        for row in &report.rows {
+            let mean: f64 = row[3].parse().unwrap_or(0.0);
+            assert!(mean >= 0.0);
+        }
+    }
+
+    #[test]
+    fn measured_durations_stay_within_a_constant_of_the_bound() {
+        let exp = PhaseTableExperiment {
+            populations: vec![600],
+            opinions: 3,
+            trials: 4,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(2));
+        for row in &report.rows {
+            let ratio: f64 = row[6].parse().unwrap();
+            assert!(ratio < 50.0, "phase {} ratio {ratio} is implausibly large", row[2]);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! E2 — Theorem 2.1: convergence under a multiplicative bias.
+//!
+//! The paper proves `O(n log n + n²/x₁(0)) = O(n log n + n·k)` interactions to
+//! plurality consensus when the plurality opinion leads every rival by a
+//! constant factor.  This experiment sweeps `n` and `k`, starts from a
+//! `1 + ε` multiplicative bias, measures interactions to consensus, fits the
+//! measurements against the predicted model `n·ln n + n·k`, and records how
+//! often the initial plurality wins.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use pp_analysis::regression::proportionality_fit;
+use pp_analysis::stats::proportion_with_wilson;
+use pp_analysis::Summary;
+use pp_core::SimSeed;
+use pp_workloads::InitialConfig;
+use usd_core::UsdSimulator;
+
+/// Parameters of the multiplicative-bias experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiplicativeBiasExperiment {
+    /// Populations to sweep.
+    pub populations: Vec<u64>,
+    /// Opinion counts to sweep.
+    pub opinion_counts: Vec<usize>,
+    /// The multiplicative bias factor `1 + ε` of the initial configuration.
+    pub bias_factor: f64,
+    /// Trials per parameter point.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl MultiplicativeBiasExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        MultiplicativeBiasExperiment {
+            populations: scale.populations(),
+            opinion_counts: scale.opinion_counts(),
+            bias_factor: 2.0,
+            trials: scale.trials(),
+            scale,
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E2",
+            "plurality consensus under a multiplicative bias (Theorem 2.1)",
+            "with a (1+eps) multiplicative bias the USD reaches plurality consensus within O(n log n + n*k) interactions w.h.p.",
+            vec![
+                "n".into(),
+                "k".into(),
+                "mean interactions".into(),
+                "p95 interactions".into(),
+                "model n ln n + n k".into(),
+                "measured / model".into(),
+                "plurality win rate".into(),
+            ],
+        );
+
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut point = 0u64;
+        for &n in &self.populations {
+            for &k in &self.opinion_counts {
+                if (k as u64) * 4 > n {
+                    continue; // keep at least a handful of agents per opinion
+                }
+                let budget = self.scale.interaction_budget(n, k);
+                let results = run_trials(
+                    self.trials,
+                    seed.child(point),
+                    default_threads(),
+                    |_, trial_seed| {
+                        let config = InitialConfig::new(n, k)
+                            .multiplicative_bias(self.bias_factor)
+                            .build(trial_seed.child(0))
+                            .expect("multiplicative-bias configuration is valid");
+                        let mut sim = UsdSimulator::new(config, trial_seed.child(1));
+                        let result = sim.run_to_consensus(budget);
+                        let plurality_won = result.winner().map(|w| w.index() == 0);
+                        (result.interactions(), result.reached_consensus(), plurality_won)
+                    },
+                );
+                point += 1;
+
+                let times: Vec<f64> = results.iter().map(|(t, _, _)| *t as f64).collect();
+                let summary = Summary::from_slice(&times);
+                let wins = results.iter().filter(|(_, _, w)| *w == Some(true)).count() as u64;
+                let converged = results.iter().filter(|(_, c, _)| *c).count() as u64;
+                let (win_rate, _, _) = proportion_with_wilson(wins, results.len() as u64);
+                let model = n as f64 * (n as f64).ln() + n as f64 * k as f64;
+
+                report.push_row(vec![
+                    n.to_string(),
+                    k.to_string(),
+                    fmt_f64(summary.mean()),
+                    fmt_f64(summary.quantile(0.95)),
+                    fmt_f64(model),
+                    fmt_f64(summary.mean() / model),
+                    format!("{win_rate:.2} ({converged}/{} converged)", results.len()),
+                ]);
+                xs.push((n, k));
+                ys.push(summary.mean());
+            }
+        }
+
+        // Fit the measured means against the predicted two-term model using a
+        // single proportionality constant over all (n, k) points.
+        if xs.len() >= 2 {
+            let idx: Vec<f64> = (0..xs.len()).map(|i| i as f64).collect();
+            let fit = proportionality_fit(&idx, &ys, |i| {
+                let (n, k) = xs[i as usize];
+                n as f64 * (n as f64).ln() + n as f64 * k as f64
+            });
+            if let Ok(fit) = fit {
+                report.push_note(format!(
+                    "joint fit: interactions ≈ {} · (n ln n + n k), relative RMSE {}",
+                    fmt_f64(fit.coefficient),
+                    fmt_f64(fit.relative_rmse)
+                ));
+            }
+        }
+        report
+    }
+}
+
+impl super::Experiment for MultiplicativeBiasExperiment {
+    fn id(&self) -> &'static str {
+        "E2"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        MultiplicativeBiasExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_converges_and_plurality_wins() {
+        let exp = MultiplicativeBiasExperiment {
+            populations: vec![500, 1_000],
+            opinion_counts: vec![2, 4],
+            bias_factor: 2.0,
+            trials: 4,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(5));
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            // With a 2x bias at these sizes the plurality should essentially
+            // always win.
+            let win_rate: f64 = row[6].split_whitespace().next().unwrap().parse().unwrap();
+            assert!(win_rate >= 0.75, "win rate {win_rate} too low in row {row:?}");
+        }
+        assert!(report.notes.iter().any(|n| n.contains("joint fit")));
+    }
+}

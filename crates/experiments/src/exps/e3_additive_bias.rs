@@ -1,0 +1,181 @@
+//! E3 — Theorem 2.2: convergence under an additive bias.
+//!
+//! The paper proves `O(n² log n / x₁(0)) = O(k·n log n)` interactions to
+//! plurality consensus whenever the plurality opinion leads every rival by an
+//! additive margin of `Ω(√(n log n))`.  This experiment sweeps `n` and `k`,
+//! starts from an additive bias of `c·√(n ln n)`, measures interactions to
+//! consensus, fits the measurements against `k·n·ln n`, and records the
+//! plurality win rate.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use pp_analysis::regression::{log_log_fit, proportionality_fit};
+use pp_analysis::stats::proportion_with_wilson;
+use pp_analysis::Summary;
+use pp_core::SimSeed;
+use pp_workloads::InitialConfig;
+use usd_core::UsdSimulator;
+
+/// Parameters of the additive-bias experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdditiveBiasExperiment {
+    /// Populations to sweep.
+    pub populations: Vec<u64>,
+    /// Opinion counts to sweep.
+    pub opinion_counts: Vec<usize>,
+    /// Additive bias in units of `√(n·ln n)`.
+    pub bias_multiplier: f64,
+    /// Trials per parameter point.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl AdditiveBiasExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        AdditiveBiasExperiment {
+            populations: scale.populations(),
+            opinion_counts: scale.opinion_counts(),
+            bias_multiplier: 2.0,
+            trials: scale.trials(),
+            scale,
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E3",
+            "plurality consensus under an additive bias (Theorem 2.2)",
+            "with an additive bias of Omega(sqrt(n log n)) the USD reaches plurality consensus within O(k n log n) interactions w.h.p.",
+            vec![
+                "n".into(),
+                "k".into(),
+                "initial bias".into(),
+                "mean interactions".into(),
+                "model k n ln n".into(),
+                "measured / model".into(),
+                "plurality win rate".into(),
+            ],
+        );
+
+        let mut per_k_scaling: Vec<(usize, Vec<f64>, Vec<f64>)> = Vec::new();
+        let mut flat_points: Vec<(u64, usize)> = Vec::new();
+        let mut flat_means: Vec<f64> = Vec::new();
+        let mut point = 0u64;
+        for &k in &self.opinion_counts {
+            let mut ns = Vec::new();
+            let mut means = Vec::new();
+            for &n in &self.populations {
+                if (k as u64) * 4 > n {
+                    continue;
+                }
+                let budget = self.scale.interaction_budget(n, k);
+                let results = run_trials(
+                    self.trials,
+                    seed.child(point),
+                    default_threads(),
+                    |_, trial_seed| {
+                        let config = InitialConfig::new(n, k)
+                            .additive_bias_in_sqrt_n_log_n(self.bias_multiplier)
+                            .build(trial_seed.child(0))
+                            .expect("additive-bias configuration is valid");
+                        let bias = config.additive_bias().unwrap_or(0);
+                        let mut sim = UsdSimulator::new(config, trial_seed.child(1));
+                        let result = sim.run_to_consensus(budget);
+                        let plurality_won = result.winner().map(|w| w.index() == 0);
+                        (result.interactions(), bias, plurality_won)
+                    },
+                );
+                point += 1;
+
+                let times: Vec<f64> = results.iter().map(|(t, _, _)| *t as f64).collect();
+                let summary = Summary::from_slice(&times);
+                let wins = results.iter().filter(|(_, _, w)| *w == Some(true)).count() as u64;
+                let (win_rate, _, _) = proportion_with_wilson(wins, results.len() as u64);
+                let initial_bias = results.first().map_or(0, |(_, b, _)| *b);
+                let model = k as f64 * n as f64 * (n as f64).ln();
+
+                report.push_row(vec![
+                    n.to_string(),
+                    k.to_string(),
+                    initial_bias.to_string(),
+                    fmt_f64(summary.mean()),
+                    fmt_f64(model),
+                    fmt_f64(summary.mean() / model),
+                    format!("{win_rate:.2}"),
+                ]);
+                ns.push(n as f64);
+                means.push(summary.mean());
+                flat_points.push((n, k));
+                flat_means.push(summary.mean());
+            }
+            per_k_scaling.push((k, ns, means));
+        }
+
+        // Per-k log-log exponent in n: the paper predicts ~n log n, i.e. an
+        // exponent slightly above 1.
+        for (k, ns, means) in &per_k_scaling {
+            if ns.len() >= 2 {
+                if let Ok(fit) = log_log_fit(ns, means) {
+                    report.push_note(format!(
+                        "k={k}: log-log slope in n = {} (n log n predicts ~1.0–1.2), R² = {}",
+                        fmt_f64(fit.slope),
+                        fmt_f64(fit.r_squared)
+                    ));
+                }
+            }
+        }
+        if flat_points.len() >= 2 {
+            let idx: Vec<f64> = (0..flat_points.len()).map(|i| i as f64).collect();
+            if let Ok(fit) = proportionality_fit(&idx, &flat_means, |i| {
+                let (n, k) = flat_points[i as usize];
+                k as f64 * n as f64 * (n as f64).ln()
+            }) {
+                report.push_note(format!(
+                    "joint fit: interactions ≈ {} · k n ln n, relative RMSE {}",
+                    fmt_f64(fit.coefficient),
+                    fmt_f64(fit.relative_rmse)
+                ));
+            }
+        }
+        report
+    }
+}
+
+impl super::Experiment for AdditiveBiasExperiment {
+    fn id(&self) -> &'static str {
+        "E3"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        AdditiveBiasExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_rows_and_scaling_notes() {
+        let exp = AdditiveBiasExperiment {
+            populations: vec![500, 1_000],
+            opinion_counts: vec![3],
+            bias_multiplier: 2.0,
+            trials: 4,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(3));
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.notes.iter().any(|n| n.contains("log-log slope")));
+        assert!(report.notes.iter().any(|n| n.contains("joint fit")));
+        for row in &report.rows {
+            let win_rate: f64 = row[6].parse().unwrap();
+            assert!(win_rate >= 0.5, "win rate {win_rate} too low for a 2-sigma bias");
+        }
+    }
+}

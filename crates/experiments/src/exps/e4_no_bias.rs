@@ -1,0 +1,188 @@
+//! E4 — Theorem 2 (third case): convergence without any initial bias.
+//!
+//! Starting from the perfectly uniform configuration (`x_i(0) = n/k`), the
+//! paper proves the USD still reaches consensus within `O(k·n log n)`
+//! interactions w.h.p., and that the eventual winner is an opinion that was
+//! *significant* when Phase 2 ended.  This experiment measures both facts.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use pp_analysis::regression::log_log_fit;
+use pp_analysis::Summary;
+use pp_core::{Configuration, Opinion, Recorder, SimSeed, StopCondition};
+use pp_workloads::InitialConfig;
+use usd_core::{Phase, PhaseTracker, UsdSimulator};
+
+/// A recorder that tracks the phase structure and captures which opinions
+/// were significant at the moment Phase 2 ended.
+#[derive(Debug)]
+struct SignificantAtT2 {
+    tracker: PhaseTracker,
+    alpha: f64,
+    significant_at_t2: Option<Vec<Opinion>>,
+}
+
+impl SignificantAtT2 {
+    fn new(alpha: f64) -> Self {
+        SignificantAtT2 { tracker: PhaseTracker::new(alpha), alpha, significant_at_t2: None }
+    }
+}
+
+impl Recorder for SignificantAtT2 {
+    fn record(&mut self, interactions: u64, config: &Configuration) {
+        self.tracker.record(interactions, config);
+        if self.significant_at_t2.is_none()
+            && self.tracker.times().hitting_time(Phase::AdditiveBias).is_some()
+        {
+            self.significant_at_t2 = Some(config.significant_opinions(self.alpha));
+        }
+    }
+}
+
+/// Parameters of the no-bias experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoBiasExperiment {
+    /// Populations to sweep.
+    pub populations: Vec<u64>,
+    /// Opinion counts to sweep.
+    pub opinion_counts: Vec<usize>,
+    /// Trials per parameter point.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl NoBiasExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        NoBiasExperiment {
+            populations: scale.populations(),
+            opinion_counts: scale.opinion_counts(),
+            trials: scale.trials(),
+            scale,
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E4",
+            "consensus without any initial bias (Theorem 2, third case)",
+            "from a uniform start the USD reaches consensus on a significant opinion within O(k n log n) interactions w.h.p.",
+            vec![
+                "n".into(),
+                "k".into(),
+                "mean interactions".into(),
+                "max interactions".into(),
+                "model k n ln n".into(),
+                "measured / model".into(),
+                "winner significant at T2".into(),
+            ],
+        );
+
+        let mut point = 0u64;
+        let mut per_k: Vec<(usize, Vec<f64>, Vec<f64>)> = Vec::new();
+        for &k in &self.opinion_counts {
+            let mut ns = Vec::new();
+            let mut means = Vec::new();
+            for &n in &self.populations {
+                if (k as u64) * 4 > n {
+                    continue;
+                }
+                let budget = self.scale.interaction_budget(n, k);
+                let results = run_trials(
+                    self.trials,
+                    seed.child(point),
+                    default_threads(),
+                    |_, trial_seed| {
+                        let config = InitialConfig::new(n, k)
+                            .build(trial_seed.child(0))
+                            .expect("uniform configuration is valid");
+                        let mut sim = UsdSimulator::new(config, trial_seed.child(1));
+                        let mut recorder = SignificantAtT2::new(1.0);
+                        let result = sim.run_recorded(
+                            StopCondition::consensus().or_max_interactions(budget),
+                            &mut recorder,
+                        );
+                        let winner = result.winner();
+                        let winner_significant = match (winner, &recorder.significant_at_t2) {
+                            (Some(w), Some(sig)) => Some(sig.contains(&w)),
+                            _ => None,
+                        };
+                        (result.interactions(), result.reached_consensus(), winner_significant)
+                    },
+                );
+                point += 1;
+
+                let times: Vec<f64> = results.iter().map(|(t, _, _)| *t as f64).collect();
+                let summary = Summary::from_slice(&times);
+                let converged = results.iter().filter(|(_, c, _)| *c).count();
+                let with_verdict = results.iter().filter(|(_, _, s)| s.is_some()).count();
+                let significant_winners =
+                    results.iter().filter(|(_, _, s)| *s == Some(true)).count();
+                let model = k as f64 * n as f64 * (n as f64).ln();
+
+                report.push_row(vec![
+                    n.to_string(),
+                    k.to_string(),
+                    fmt_f64(summary.mean()),
+                    fmt_f64(summary.max()),
+                    fmt_f64(model),
+                    fmt_f64(summary.mean() / model),
+                    format!("{significant_winners}/{with_verdict} ({converged}/{} converged)", results.len()),
+                ]);
+                ns.push(n as f64);
+                means.push(summary.mean());
+            }
+            per_k.push((k, ns, means));
+        }
+
+        for (k, ns, means) in &per_k {
+            if ns.len() >= 2 {
+                if let Ok(fit) = log_log_fit(ns, means) {
+                    report.push_note(format!(
+                        "k={k}: log-log slope in n = {} (k n log n predicts ~1.0–1.2)",
+                        fmt_f64(fit.slope)
+                    ));
+                }
+            }
+        }
+        report
+    }
+}
+
+impl super::Experiment for NoBiasExperiment {
+    fn id(&self) -> &'static str {
+        "E4"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        NoBiasExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_no_bias_runs_converge_on_significant_opinions() {
+        let exp = NoBiasExperiment {
+            populations: vec![600],
+            opinion_counts: vec![3],
+            trials: 5,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(11));
+        assert_eq!(report.rows.len(), 1);
+        let verdict = &report.rows[0][6];
+        // "a/b (c/d converged)": every run with a verdict should have a
+        // significant winner, and every run should converge.
+        let parts: Vec<&str> = verdict.split_whitespace().collect();
+        let frac: Vec<&str> = parts[0].split('/').collect();
+        assert_eq!(frac[0], frac[1], "some winners were not significant at T2: {verdict}");
+        assert!(verdict.contains("(5/5 converged)"), "verdict: {verdict}");
+    }
+}

@@ -1,0 +1,194 @@
+//! E5 — Lemma 3 and Lemma 4: the undecided-count envelope.
+//!
+//! The paper sandwiches the number of undecided agents, for the entire
+//! lifetime of the process after Phase 1, between
+//! `n/2 − x_max(t)/2 − 8√(n ln n)` (Lemma 4) and `n/2 − √(n log n)/(5c)`
+//! (Lemma 3), and identifies the unstable equilibrium
+//! `u* = n(k−1)/(2k−1)`.  This experiment runs the USD for a fixed horizon,
+//! tracks the undecided count, and reports the measured envelope against the
+//! two bounds.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use pp_analysis::Summary;
+use pp_core::{Configuration, Recorder, SimSeed, StopCondition};
+use pp_workloads::InitialConfig;
+use usd_core::{bounds, potential, Phase, UsdSimulator};
+
+/// Online tracker of the undecided-count envelope relative to the paper's
+/// bounds (avoids storing full traces).
+#[derive(Debug, Clone)]
+struct UndecidedEnvelope {
+    phase1_done_at: Option<u64>,
+    max_undecided: u64,
+    /// Minimum over `t ≥ T1` of `u(t) − (n − x_max(t))/2` (the Lemma 4 margin
+    /// before subtracting the `8√(n ln n)` slack).
+    min_lemma4_margin: Option<f64>,
+    /// Maximum over all `t` of `u(t) − u*`.
+    max_above_equilibrium: f64,
+}
+
+impl UndecidedEnvelope {
+    fn new() -> Self {
+        UndecidedEnvelope {
+            phase1_done_at: None,
+            max_undecided: 0,
+            min_lemma4_margin: None,
+            max_above_equilibrium: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Recorder for UndecidedEnvelope {
+    fn record(&mut self, interactions: u64, config: &Configuration) {
+        let u = config.undecided();
+        self.max_undecided = self.max_undecided.max(u);
+        let u_star = potential::undecided_equilibrium(config.population(), config.num_opinions());
+        self.max_above_equilibrium = self.max_above_equilibrium.max(u as f64 - u_star);
+        if self.phase1_done_at.is_none() && Phase::RiseOfUndecided.end_condition_met(config, 1.0) {
+            self.phase1_done_at = Some(interactions);
+        }
+        if self.phase1_done_at.is_some() {
+            let margin = u as f64
+                - (config.population() as f64 - config.max_support() as f64) / 2.0;
+            self.min_lemma4_margin = Some(match self.min_lemma4_margin {
+                Some(m) => m.min(margin),
+                None => margin,
+            });
+        }
+    }
+}
+
+/// Parameters of the undecided-bounds experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndecidedBoundsExperiment {
+    /// Populations to sweep.
+    pub populations: Vec<u64>,
+    /// Number of opinions.
+    pub opinions: usize,
+    /// Trials per population.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl UndecidedBoundsExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        UndecidedBoundsExperiment {
+            populations: scale.populations(),
+            opinions: match scale {
+                Scale::Quick => 4,
+                Scale::Full => 8,
+            },
+            trials: scale.trials(),
+            scale,
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E5",
+            "undecided-count envelope (Lemma 3, Lemma 4, equilibrium u*)",
+            "for all t <= n^3: u(t) <= n/2 - sqrt(n log n)/(5c), and after T1: u(t) >= (n - x_max(t))/2 - 8 sqrt(n ln n)",
+            vec![
+                "n".into(),
+                "k".into(),
+                "max u(t)".into(),
+                "Lemma 3 bound".into(),
+                "upper bound holds".into(),
+                "min Lemma 4 margin".into(),
+                "-8 sqrt(n ln n)".into(),
+                "lower bound holds".into(),
+                "max u(t) - u*".into(),
+            ],
+        );
+
+        for (pi, &n) in self.populations.iter().enumerate() {
+            let k = self.opinions;
+            // The Lemma 3 bound is parameterized by the constant c with
+            // k <= c sqrt(n)/log^2 n; use the c induced by this (n, k).
+            let n_f = n as f64;
+            let c = (k as f64) * n_f.log2() * n_f.log2() / n_f.sqrt();
+            let budget = self.scale.interaction_budget(n, k);
+            let envelopes = run_trials(
+                self.trials,
+                seed.child(pi as u64),
+                default_threads(),
+                |_, trial_seed| {
+                    let config = InitialConfig::new(n, k)
+                        .build(trial_seed.child(0))
+                        .expect("uniform configuration is valid");
+                    let mut sim = UsdSimulator::new(config, trial_seed.child(1));
+                    let mut env = UndecidedEnvelope::new();
+                    sim.run_recorded(
+                        StopCondition::consensus().or_max_interactions(budget),
+                        &mut env,
+                    );
+                    env
+                },
+            );
+
+            let upper_bound = bounds::lemma3_undecided_upper_bound(n, c.max(0.1));
+            let lower_slack = -8.0 * (n_f * n_f.ln()).sqrt();
+            let max_u = envelopes.iter().map(|e| e.max_undecided).max().unwrap_or(0);
+            let upper_holds = envelopes.iter().filter(|e| (e.max_undecided as f64) <= upper_bound).count();
+            let margins: Vec<f64> = envelopes.iter().filter_map(|e| e.min_lemma4_margin).collect();
+            let min_margin = margins.iter().copied().fold(f64::INFINITY, f64::min);
+            let lower_holds = margins.iter().filter(|&&m| m >= lower_slack).count();
+            let above_eq = Summary::from_slice(
+                &envelopes.iter().map(|e| e.max_above_equilibrium).collect::<Vec<_>>(),
+            );
+
+            report.push_row(vec![
+                n.to_string(),
+                k.to_string(),
+                max_u.to_string(),
+                fmt_f64(upper_bound),
+                format!("{upper_holds}/{}", envelopes.len()),
+                fmt_f64(min_margin),
+                fmt_f64(lower_slack),
+                format!("{lower_holds}/{}", margins.len()),
+                fmt_f64(above_eq.max()),
+            ]);
+        }
+        report.push_note(
+            "the Lemma 4 margin is min over t >= T1 of u(t) - (n - x_max(t))/2; the bound holds when it stays above -8 sqrt(n ln n)",
+        );
+        report
+    }
+}
+
+impl super::Experiment for UndecidedBoundsExperiment {
+    fn id(&self) -> &'static str {
+        "E5"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        UndecidedBoundsExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_hold_on_tiny_runs() {
+        let exp = UndecidedBoundsExperiment {
+            populations: vec![800],
+            opinions: 4,
+            trials: 4,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(2));
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        // Both bound-holds columns should report every trial passing.
+        assert_eq!(row[4], "4/4", "Lemma 3 upper bound violated: {row:?}");
+        assert_eq!(row[7], "4/4", "Lemma 4 lower bound violated: {row:?}");
+    }
+}

@@ -1,0 +1,139 @@
+//! E6 — the `k = 2` recovery (Angluin et al. / Condon et al.).
+//!
+//! With two opinions the USD is the classical approximate-majority protocol:
+//! consensus within `O(n log n)` interactions, and the initial majority wins
+//! w.h.p. once the initial additive bias reaches `Ω(√(n log n))`.  This
+//! experiment sweeps the initial bias through that threshold (in units of
+//! `√(n ln n)`) and reports the majority win rate and the normalized
+//! convergence time.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use pp_analysis::stats::proportion_with_wilson;
+use pp_analysis::Summary;
+use pp_core::SimSeed;
+use usd_core::two_opinion::{ApproximateMajority, MajorityOutcome};
+
+/// Parameters of the two-opinion experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoOpinionExperiment {
+    /// Population size.
+    pub population: u64,
+    /// Initial additive bias values in units of `√(n·ln n)`.
+    pub bias_multipliers: Vec<f64>,
+    /// Trials per bias value.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl TwoOpinionExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        TwoOpinionExperiment {
+            population: match scale {
+                Scale::Quick => 4_000,
+                Scale::Full => 100_000,
+            },
+            bias_multipliers: vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0],
+            trials: scale.trials().max(20),
+            scale,
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E6",
+            "k = 2 recovery: approximate majority (Angluin et al., Condon et al.)",
+            "for k = 2 the USD reaches consensus in O(n log n) interactions, and the initial majority wins w.h.p. once the bias is Omega(sqrt(n log n))",
+            vec![
+                "n".into(),
+                "bias / sqrt(n ln n)".into(),
+                "initial bias".into(),
+                "majority win rate".into(),
+                "wilson 95% CI".into(),
+                "mean interactions".into(),
+                "interactions / (n ln n)".into(),
+            ],
+        );
+
+        let n = self.population;
+        let n_f = n as f64;
+        let unit = (n_f * n_f.ln()).sqrt();
+        let budget = self.scale.interaction_budget(n, 2);
+        for (bi, &mult) in self.bias_multipliers.iter().enumerate() {
+            let bias = (mult * unit).round() as u64;
+            let bias = bias.min(n - 2);
+            let majority = (n + bias) / 2;
+            let minority = n - majority;
+            let results = run_trials(
+                self.trials,
+                seed.child(bi as u64),
+                default_threads(),
+                |_, trial_seed| {
+                    let am = ApproximateMajority::new(majority, minority, 0)
+                        .expect("valid approximate-majority instance");
+                    let (outcome, result) = am.run(trial_seed, budget);
+                    (outcome, result.interactions())
+                },
+            );
+
+            let wins = results.iter().filter(|(o, _)| *o == MajorityOutcome::MajorityWon).count() as u64;
+            let (rate, lo, hi) = proportion_with_wilson(wins, results.len() as u64);
+            let times = Summary::from_slice(&results.iter().map(|(_, t)| *t as f64).collect::<Vec<_>>());
+
+            report.push_row(vec![
+                n.to_string(),
+                fmt_f64(mult),
+                (majority - minority).to_string(),
+                format!("{rate:.2}"),
+                format!("[{lo:.2}, {hi:.2}]"),
+                fmt_f64(times.mean()),
+                fmt_f64(times.mean() / (n_f * n_f.ln())),
+            ]);
+        }
+        report.push_note(
+            "the win rate should transition from ~1/2 at zero bias to ~1 once the bias passes ~1·sqrt(n ln n), matching the approximate-majority threshold",
+        );
+        report
+    }
+}
+
+impl super::Experiment for TwoOpinionExperiment {
+    fn id(&self) -> &'static str {
+        "E6"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        TwoOpinionExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn win_rate_increases_with_bias() {
+        let exp = TwoOpinionExperiment {
+            population: 1_000,
+            bias_multipliers: vec![0.0, 4.0],
+            trials: 12,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(8));
+        assert_eq!(report.rows.len(), 2);
+        let no_bias_rate: f64 = report.rows[0][3].parse().unwrap();
+        let big_bias_rate: f64 = report.rows[1][3].parse().unwrap();
+        assert!(big_bias_rate >= 0.9, "large bias should essentially always win: {big_bias_rate}");
+        assert!(no_bias_rate <= 0.9, "zero bias should not always pick the same side: {no_bias_rate}");
+        // Convergence time should be a small multiple of n ln n.
+        for row in &report.rows {
+            let normalized: f64 = row[6].parse().unwrap();
+            assert!(normalized < 60.0, "normalized time {normalized} too large");
+        }
+    }
+}

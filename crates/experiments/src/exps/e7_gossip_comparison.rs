@@ -1,0 +1,175 @@
+//! E7 — Appendix D: population protocol model vs. the gossip model.
+//!
+//! Appendix D shows that, under a multiplicative bias, the paper's
+//! population-model bound — `O(log n + n/x₁(0))` in parallel time — beats the
+//! gossip-model bound of Becchetti et al. — `O(md(x)·log n)` rounds — exactly
+//! when the plurality support is below `n·log n / k`.  This experiment runs
+//! both processes from the same initial configurations while sweeping the
+//! plurality support, and reports measured parallel time (interactions / n)
+//! next to measured gossip rounds together with the two theoretical bounds.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use gossip_model::UsdGossip;
+use pp_analysis::Summary;
+use pp_core::{Configuration, SimSeed};
+use usd_core::UsdSimulator;
+
+/// Parameters of the gossip-comparison experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipComparisonExperiment {
+    /// Population size.
+    pub population: u64,
+    /// Number of opinions.
+    pub opinions: usize,
+    /// Plurality support as multiples of the average support `n/k`.
+    pub plurality_multipliers: Vec<f64>,
+    /// Trials per configuration.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl GossipComparisonExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        GossipComparisonExperiment {
+            population: match scale {
+                Scale::Quick => 4_000,
+                Scale::Full => 64_000,
+            },
+            opinions: match scale {
+                Scale::Quick => 8,
+                Scale::Full => 16,
+            },
+            plurality_multipliers: vec![1.5, 2.0, 4.0, 8.0],
+            trials: scale.trials(),
+            scale,
+        }
+    }
+
+    /// Builds a configuration where opinion 0 holds `multiplier · n/k` agents
+    /// and the rest is split evenly.
+    fn config_for(&self, multiplier: f64) -> Configuration {
+        let n = self.population;
+        let k = self.opinions as u64;
+        let x1 = ((multiplier * n as f64 / k as f64).round() as u64).min(n - (k - 1));
+        let rest = n - x1;
+        let share = rest / (k - 1);
+        let mut counts = vec![share; self.opinions];
+        counts[0] = x1;
+        // Put the rounding remainder on the last trailing opinion.
+        counts[self.opinions - 1] = n - x1 - share * (k - 2);
+        Configuration::from_counts(counts, 0).expect("gossip-comparison configuration is valid")
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E7",
+            "population protocol vs gossip model (Appendix D)",
+            "under a multiplicative bias the population-model parallel time O(log n + n/x1) beats the gossip-model bound O(md(x) log n) whenever x1 < n log n / k",
+            vec![
+                "n".into(),
+                "k".into(),
+                "x1 / (n/k)".into(),
+                "population parallel time".into(),
+                "gossip rounds".into(),
+                "population bound log n + n/x1".into(),
+                "gossip bound md ln n".into(),
+                "paper predicts population faster".into(),
+            ],
+        );
+
+        let n = self.population;
+        let n_f = n as f64;
+        let budget = self.scale.interaction_budget(n, self.opinions);
+        for (mi, &mult) in self.plurality_multipliers.iter().enumerate() {
+            let config = self.config_for(mult);
+            let x1 = config.max_support();
+            let results = run_trials(
+                self.trials,
+                seed.child(mi as u64),
+                default_threads(),
+                |_, trial_seed| {
+                    let mut pp = UsdSimulator::new(config.clone(), trial_seed.child(0));
+                    let pp_result = pp.run_to_consensus(budget);
+                    let mut gossip = UsdGossip::new(&config, trial_seed.child(1));
+                    let gossip_result = gossip.run(1_000_000);
+                    (pp_result.parallel_time(), gossip_result.interactions() as f64)
+                },
+            );
+
+            let pp_time = Summary::from_slice(&results.iter().map(|(p, _)| *p).collect::<Vec<_>>());
+            let gossip_rounds = Summary::from_slice(&results.iter().map(|(_, g)| *g).collect::<Vec<_>>());
+            let pop_bound = n_f.ln() + n_f / x1 as f64;
+            let gossip_bound = config.monochromatic_distance().unwrap_or(1.0) * n_f.ln();
+            let prediction = (x1 as f64) < n_f * n_f.ln() / self.opinions as f64;
+
+            report.push_row(vec![
+                n.to_string(),
+                self.opinions.to_string(),
+                fmt_f64(mult),
+                fmt_f64(pp_time.mean()),
+                fmt_f64(gossip_rounds.mean()),
+                fmt_f64(pop_bound),
+                fmt_f64(gossip_bound),
+                prediction.to_string(),
+            ]);
+        }
+        report.push_note(
+            "both measured columns are in units of parallel time (one gossip round = n interactions); the bounds use unit constants so only their ordering is meaningful",
+        );
+        report
+    }
+}
+
+impl super::Experiment for GossipComparisonExperiment {
+    fn id(&self) -> &'static str {
+        "E7"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        GossipComparisonExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_one_row_per_multiplier() {
+        let exp = GossipComparisonExperiment {
+            population: 1_200,
+            opinions: 4,
+            plurality_multipliers: vec![1.5, 3.0],
+            trials: 3,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(6));
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            let pp_time: f64 = row[3].parse().unwrap();
+            let gossip_rounds: f64 = row[4].parse().unwrap();
+            assert!(pp_time > 0.0 && gossip_rounds > 0.0);
+        }
+    }
+
+    #[test]
+    fn config_for_sets_requested_plurality() {
+        let exp = GossipComparisonExperiment {
+            population: 4_000,
+            opinions: 8,
+            plurality_multipliers: vec![2.0],
+            trials: 1,
+            scale: Scale::Quick,
+        };
+        let c = exp.config_for(2.0);
+        assert_eq!(c.population(), 4_000);
+        assert_eq!(c.max_support(), 1_000);
+        assert_eq!(c.max_opinion().index(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! E8 — the USD against the related-work baselines.
+//!
+//! The paper's related-work section situates the USD among the Voter,
+//! TwoChoices, 3-Majority and MedianRule dynamics (and the synchronized USD
+//! variant).  This experiment runs every dynamic from the same initial
+//! configurations (uniform and multiplicatively biased) in the asynchronous
+//! sequential model and reports parallel time to consensus and how often the
+//! initial plurality wins.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::runner::{default_threads, run_trials};
+use crate::Scale;
+use consensus_dynamics::{
+    MedianRule, SequentialSampler, SynchronizedUsd, ThreeMajority, TwoChoices, Voter,
+};
+use pp_analysis::Summary;
+use pp_core::{Configuration, RunResult, SimSeed, StopCondition};
+use pp_workloads::InitialConfig;
+use usd_core::UsdSimulator;
+
+/// Which baseline to run (used to dispatch inside the trial closure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Contender {
+    Usd,
+    Voter,
+    TwoChoices,
+    ThreeMajority,
+    MedianRule,
+    SynchronizedUsd,
+}
+
+impl Contender {
+    const ALL: [Contender; 6] = [
+        Contender::Usd,
+        Contender::Voter,
+        Contender::TwoChoices,
+        Contender::ThreeMajority,
+        Contender::MedianRule,
+        Contender::SynchronizedUsd,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Contender::Usd => "usd",
+            Contender::Voter => "voter",
+            Contender::TwoChoices => "two-choices",
+            Contender::ThreeMajority => "3-majority",
+            Contender::MedianRule => "median rule",
+            Contender::SynchronizedUsd => "synchronized usd",
+        }
+    }
+
+    fn run_once(self, config: &Configuration, seed: SimSeed, budget: u64) -> RunResult {
+        let k = config.num_opinions();
+        let stop = StopCondition::consensus().or_max_interactions(budget);
+        match self {
+            Contender::Usd => {
+                UsdSimulator::new(config.clone(), seed).run_to_consensus(budget)
+            }
+            Contender::Voter => {
+                SequentialSampler::new(Voter::new(k), config.clone(), seed).run(stop)
+            }
+            Contender::TwoChoices => {
+                SequentialSampler::new(TwoChoices::new(k), config.clone(), seed).run(stop)
+            }
+            Contender::ThreeMajority => {
+                SequentialSampler::new(ThreeMajority::new(k), config.clone(), seed).run(stop)
+            }
+            Contender::MedianRule => {
+                SequentialSampler::new(MedianRule::new(k), config.clone(), seed).run(stop)
+            }
+            Contender::SynchronizedUsd => {
+                // Round-based: convert rounds to parallel time directly by
+                // reporting rounds · n as the interaction count.
+                let n = config.population();
+                let mut sim = SynchronizedUsd::new(config, seed);
+                let result = sim.run(budget / n.max(1));
+                RunResult::new(result.outcome(), result.interactions() * n, result.final_configuration().clone())
+            }
+        }
+    }
+}
+
+/// Parameters of the baseline-comparison experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineExperiment {
+    /// Population size.
+    pub population: u64,
+    /// Number of opinions.
+    pub opinions: usize,
+    /// Multiplicative bias of the biased configuration.
+    pub bias_factor: f64,
+    /// Trials per (configuration, dynamic) pair.
+    pub trials: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl BaselineExperiment {
+    /// Standard parameters for the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        BaselineExperiment {
+            population: match scale {
+                Scale::Quick => 2_000,
+                Scale::Full => 32_000,
+            },
+            opinions: match scale {
+                Scale::Quick => 4,
+                Scale::Full => 8,
+            },
+            bias_factor: 2.0,
+            trials: scale.trials(),
+            scale,
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "E8",
+            "the USD against Voter, TwoChoices, 3-Majority, MedianRule and the synchronized USD",
+            "the USD solves plurality consensus in O(k log n) parallel time without needing a total order on opinions (unlike MedianRule) or synchronization (unlike the phase-clocked variant)",
+            vec![
+                "start".into(),
+                "dynamic".into(),
+                "mean parallel time".into(),
+                "p95 parallel time".into(),
+                "consensus rate".into(),
+                "plurality win rate".into(),
+            ],
+        );
+
+        let n = self.population;
+        let k = self.opinions;
+        let budget = self.scale.interaction_budget(n, k);
+        let starts: Vec<(&str, Configuration)> = vec![
+            (
+                "uniform",
+                InitialConfig::new(n, k).build(seed.child(1_000)).expect("uniform config"),
+            ),
+            (
+                "multiplicative 2x",
+                InitialConfig::new(n, k)
+                    .multiplicative_bias(self.bias_factor)
+                    .build(seed.child(1_001))
+                    .expect("biased config"),
+            ),
+        ];
+
+        for (si, (start_name, config)) in starts.iter().enumerate() {
+            for (ci, contender) in Contender::ALL.iter().enumerate() {
+                let results = run_trials(
+                    self.trials,
+                    seed.child((si * 100 + ci) as u64),
+                    default_threads(),
+                    |_, trial_seed| {
+                        let result = contender.run_once(config, trial_seed, budget);
+                        (
+                            result.parallel_time(),
+                            result.reached_consensus(),
+                            result.winner().map(|w| w.index() == config.max_opinion().index()),
+                        )
+                    },
+                );
+                let times = Summary::from_slice(&results.iter().map(|(t, _, _)| *t).collect::<Vec<_>>());
+                let consensus = results.iter().filter(|(_, c, _)| *c).count();
+                let wins = results.iter().filter(|(_, _, w)| *w == Some(true)).count();
+                report.push_row(vec![
+                    (*start_name).to_string(),
+                    contender.name().to_string(),
+                    fmt_f64(times.mean()),
+                    fmt_f64(times.quantile(0.95)),
+                    format!("{consensus}/{}", results.len()),
+                    format!("{wins}/{}", results.len()),
+                ]);
+            }
+        }
+        report.push_note(
+            "parallel time = interactions / n (for the synchronized USD: rounds); the uniform start has no meaningful plurality so its win-rate column only reflects tie-breaking",
+        );
+        report
+    }
+}
+
+impl super::Experiment for BaselineExperiment {
+    fn id(&self) -> &'static str {
+        "E8"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        BaselineExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dynamic_appears_for_both_starts() {
+        let exp = BaselineExperiment {
+            population: 600,
+            opinions: 3,
+            bias_factor: 2.0,
+            trials: 2,
+            scale: Scale::Quick,
+        };
+        let report = exp.run(SimSeed::from_u64(4));
+        assert_eq!(report.rows.len(), 12);
+        let usd_rows: Vec<_> = report.rows.iter().filter(|r| r[1] == "usd").collect();
+        assert_eq!(usd_rows.len(), 2);
+        // Every run of every dynamic should reach consensus at this size.
+        for row in &report.rows {
+            assert_eq!(row[4], "2/2", "dynamic {} did not always converge: {row:?}", row[1]);
+        }
+    }
+}

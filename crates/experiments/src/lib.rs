@@ -1,0 +1,123 @@
+//! # usd-experiments — the experiment harness
+//!
+//! Each module under [`exps`] reproduces one quantitative claim of the paper
+//! (see `DESIGN.md` for the experiment index E1–E10 and `EXPERIMENTS.md` for
+//! the recorded results).  Every experiment follows the same shape:
+//!
+//! 1. a parameter struct with [`Scale::Quick`] and [`Scale::Full`] presets,
+//! 2. a `run(seed)` method that executes the required trials (in parallel via
+//!    [`runner::run_trials`]) and
+//! 3. an [`report::ExperimentReport`] with the same rows/series the paper's
+//!    claim is about, annotated with the theoretical prediction.
+//!
+//! The `run_experiments` binary executes any subset of the experiments and
+//! prints the reports; the Criterion benches in the `usd-bench` crate wrap
+//! the same experiment code for timing purposes.
+//!
+//! ## Example
+//!
+//! ```
+//! use usd_experiments::exps::e6_two_opinions::TwoOpinionExperiment;
+//! use usd_experiments::Scale;
+//! use pp_core::SimSeed;
+//!
+//! let report = TwoOpinionExperiment::new(Scale::Quick).run(SimSeed::from_u64(1));
+//! assert!(!report.rows.is_empty());
+//! println!("{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod exps;
+pub mod report;
+pub mod runner;
+
+pub use report::{ExperimentReport, ReportCollection};
+pub use runner::run_trials;
+
+use serde::{Deserialize, Serialize};
+
+/// How large an experiment should be.
+///
+/// `Quick` targets seconds-to-minutes total runtime on a laptop (used by the
+/// test suite and the default binary invocation); `Full` uses larger
+/// populations and more trials for the recorded `EXPERIMENTS.md` numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Small populations, few trials.
+    Quick,
+    /// Larger populations, more trials.
+    Full,
+}
+
+impl Scale {
+    /// The default population sweep for this scale.
+    #[must_use]
+    pub fn populations(self) -> Vec<u64> {
+        match self {
+            Scale::Quick => vec![1_000, 2_000, 4_000],
+            Scale::Full => vec![4_000, 16_000, 64_000, 256_000],
+        }
+    }
+
+    /// The default opinion-count sweep for this scale.
+    #[must_use]
+    pub fn opinion_counts(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![2, 4, 8],
+            Scale::Full => vec![2, 4, 8, 16, 32],
+        }
+    }
+
+    /// The default number of repeated trials per parameter point.
+    #[must_use]
+    pub fn trials(self) -> u64 {
+        match self {
+            Scale::Quick => 10,
+            Scale::Full => 50,
+        }
+    }
+
+    /// A per-run interaction budget that is generously above the paper's
+    /// `O(k·n·log n)` bound for the given parameters (used as a safety net so
+    /// a quick run can never hang).
+    #[must_use]
+    pub fn interaction_budget(self, n: u64, k: usize) -> u64 {
+        let n_f = n as f64;
+        let bound = (k as f64) * n_f * n_f.max(2.0).ln();
+        let slack = match self {
+            Scale::Quick => 200.0,
+            Scale::Full => 400.0,
+        };
+        (slack * bound) as u64 + 1_000_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_expose_non_empty_sweeps() {
+        for scale in [Scale::Quick, Scale::Full] {
+            assert!(!scale.populations().is_empty());
+            assert!(!scale.opinion_counts().is_empty());
+            assert!(scale.trials() > 0);
+        }
+    }
+
+    #[test]
+    fn full_scale_is_larger_than_quick() {
+        assert!(Scale::Full.populations().last() > Scale::Quick.populations().last());
+        assert!(Scale::Full.trials() > Scale::Quick.trials());
+    }
+
+    #[test]
+    fn budget_exceeds_theoretical_bound() {
+        let b = Scale::Quick.interaction_budget(10_000, 8);
+        let bound = 8.0 * 10_000.0 * 10_000f64.ln();
+        assert!((b as f64) > 10.0 * bound);
+    }
+}

@@ -1,0 +1,170 @@
+//! The asynchronous (continuous-time) gossip model of Boyd et al. /
+//! Perron et al.
+//!
+//! Each agent carries an independent Poisson clock of rate 1; when an agent's
+//! clock rings it contacts a uniformly random partner.  This is the
+//! continuous-time variant of the population protocol model: interaction
+//! *counts* are identical in distribution, and continuous time advances by an
+//! exponential with rate `n` between interactions.  The paper notes its
+//! results transfer to this model directly; the reproduction includes it so
+//! the three time scales (interactions, parallel time, continuous time) can
+//! be compared explicitly.
+
+use pp_core::{Configuration, CountSimulator, OpinionProtocol, PpError, RunResult, SimSeed, StopCondition};
+use rand::Rng;
+
+/// A continuous-time simulator for any [`OpinionProtocol`].
+///
+/// Internally this drives the discrete count-based simulator and accumulates
+/// exponential waiting times between interactions.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_model::PoissonGossip;
+/// use pp_core::{AgentState, Configuration, OpinionProtocol, SimSeed, StopCondition};
+///
+/// struct Voter { k: usize }
+/// impl OpinionProtocol for Voter {
+///     fn num_opinions(&self) -> usize { self.k }
+///     fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+///         if i.is_decided() { i } else { r }
+///     }
+/// }
+///
+/// let config = Configuration::from_counts(vec![90, 10], 0).unwrap();
+/// let mut sim = PoissonGossip::new(Voter { k: 2 }, config, SimSeed::from_u64(1)).unwrap();
+/// let result = sim.run(StopCondition::consensus().or_max_interactions(1_000_000));
+/// assert!(result.reached_consensus());
+/// assert!(sim.continuous_time() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct PoissonGossip<P> {
+    inner: CountSimulator<P>,
+    continuous_time: f64,
+    clock_rng: rand::rngs::SmallRng,
+}
+
+impl<P: OpinionProtocol> PoissonGossip<P> {
+    /// Creates a continuous-time simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::OpinionCountMismatch`] if the protocol and the
+    /// configuration disagree on `k`.
+    pub fn new(protocol: P, config: Configuration, seed: SimSeed) -> Result<Self, PpError> {
+        Ok(PoissonGossip {
+            inner: CountSimulator::try_new(protocol, config, seed.child(0))?,
+            continuous_time: 0.0,
+            clock_rng: seed.child(1).rng(),
+        })
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn configuration(&self) -> &Configuration {
+        self.inner.configuration()
+    }
+
+    /// Elapsed continuous time (expected `t/n` after `t` interactions).
+    #[must_use]
+    pub fn continuous_time(&self) -> f64 {
+        self.continuous_time
+    }
+
+    /// Number of discrete interactions performed.
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        self.inner.interactions()
+    }
+
+    /// Performs one interaction, advancing continuous time by an
+    /// `Exponential(n)` waiting time; returns `true` if it was productive.
+    pub fn step(&mut self) -> bool {
+        let n = self.configuration().population() as f64;
+        let u: f64 = self.clock_rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.continuous_time += -u.ln() / n;
+        self.inner.step()
+    }
+
+    /// Runs until the stop condition is met (budget counts interactions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stop condition is unbounded.
+    pub fn run(&mut self, stop: StopCondition) -> RunResult {
+        assert!(stop.is_bounded(), "stop condition can never terminate the run");
+        loop {
+            if stop.goal_met(self.configuration()) {
+                break;
+            }
+            if let Some(budget) = stop.max_interactions() {
+                if self.interactions() >= budget {
+                    break;
+                }
+            }
+            self.step();
+        }
+        // Delegate the final classification to the discrete simulator by
+        // running it for zero further interactions.
+        self.inner.run(StopCondition::after_interactions(self.interactions()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::AgentState;
+
+    #[derive(Debug)]
+    struct Usd2;
+
+    impl OpinionProtocol for Usd2 {
+        fn num_opinions(&self) -> usize {
+            2
+        }
+        fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+            match (r, i) {
+                (AgentState::Decided(a), AgentState::Decided(b)) if a != b => AgentState::Undecided,
+                (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
+                _ => r,
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_time_tracks_interactions_over_n() {
+        let config = Configuration::from_counts(vec![500, 500], 0).unwrap();
+        let mut sim = PoissonGossip::new(Usd2, config, SimSeed::from_u64(1)).unwrap();
+        for _ in 0..100_000 {
+            sim.step();
+        }
+        let expected = sim.interactions() as f64 / 1_000.0;
+        let measured = sim.continuous_time();
+        assert!(
+            (measured - expected).abs() / expected < 0.05,
+            "continuous time {measured} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn biased_run_converges_in_logarithmic_continuous_time() {
+        let config = Configuration::from_counts(vec![1_800, 200], 0).unwrap();
+        let mut sim = PoissonGossip::new(Usd2, config, SimSeed::from_u64(2)).unwrap();
+        let result = sim.run(StopCondition::consensus().or_max_interactions(50_000_000));
+        assert!(result.reached_consensus());
+        // Perron et al.: O(log n) continuous time; allow a generous constant.
+        let log_n = 2_000f64.ln();
+        assert!(
+            sim.continuous_time() < 40.0 * log_n,
+            "continuous time {} vs log n {log_n}",
+            sim.continuous_time()
+        );
+    }
+
+    #[test]
+    fn mismatch_is_reported() {
+        let config = Configuration::uniform(100, 3).unwrap();
+        assert!(PoissonGossip::new(Usd2, config, SimSeed::from_u64(0)).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The synchronous gossip-round engine.
+
+use pp_core::{AgentState, Configuration, OpinionProtocol, Recorder, RunOutcome, RunResult, SimSeed};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Executes an [`OpinionProtocol`] in the parallel gossip model: in every
+/// round each agent draws a partner uniformly at random (self-partners
+/// allowed, mirroring the population model's convention) and all agents apply
+/// the responder rule simultaneously against the *previous* round's states.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_model::GossipSimulator;
+/// use pp_core::{AgentState, Configuration, OpinionProtocol, SimSeed};
+///
+/// struct Voter { k: usize }
+/// impl OpinionProtocol for Voter {
+///     fn num_opinions(&self) -> usize { self.k }
+///     fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+///         if i.is_decided() { i } else { r }
+///     }
+/// }
+///
+/// let config = Configuration::from_counts(vec![95, 5], 0).unwrap();
+/// let mut sim = GossipSimulator::new(Voter { k: 2 }, &config, SimSeed::from_u64(1));
+/// let result = sim.run(10_000);
+/// assert!(result.reached_consensus());
+/// ```
+#[derive(Debug)]
+pub struct GossipSimulator<P> {
+    protocol: P,
+    agents: Vec<AgentState>,
+    scratch: Vec<AgentState>,
+    config: Configuration,
+    rounds: u64,
+    rng: SmallRng,
+}
+
+impl<P: OpinionProtocol> GossipSimulator<P> {
+    /// Creates a gossip simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol and configuration disagree on `k`.
+    #[must_use]
+    pub fn new(protocol: P, config: &Configuration, seed: SimSeed) -> Self {
+        assert_eq!(
+            protocol.num_opinions(),
+            config.num_opinions(),
+            "protocol/configuration opinion count mismatch"
+        );
+        let agents = config.to_states();
+        GossipSimulator {
+            scratch: agents.clone(),
+            protocol,
+            agents,
+            config: config.clone(),
+            rounds: 0,
+            rng: seed.rng(),
+        }
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The protocol driving the simulation.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Executes one synchronous round.
+    pub fn round(&mut self) {
+        let n = self.agents.len();
+        for idx in 0..n {
+            let partner = self.agents[self.rng.gen_range(0..n)];
+            self.scratch[idx] = self.protocol.respond(self.agents[idx], partner);
+        }
+        std::mem::swap(&mut self.agents, &mut self.scratch);
+        self.rounds += 1;
+        self.config = Configuration::from_states(&self.agents, self.config.num_opinions())
+            .expect("gossip round preserves the population");
+    }
+
+    /// Runs until consensus or until `max_rounds`; the returned result carries
+    /// the number of *rounds* in its interactions field (one gossip round is
+    /// one unit of parallel time).
+    pub fn run(&mut self, max_rounds: u64) -> RunResult {
+        self.run_recorded(max_rounds, &mut pp_core::NullRecorder)
+    }
+
+    /// Runs like [`GossipSimulator::run`] while feeding the configuration
+    /// after every round to the recorder (keyed by round number).
+    pub fn run_recorded<R: Recorder>(&mut self, max_rounds: u64, recorder: &mut R) -> RunResult {
+        recorder.record(self.rounds, &self.config);
+        while self.rounds < max_rounds && !self.config.is_consensus() {
+            self.round();
+            recorder.record(self.rounds, &self.config);
+        }
+        let outcome = if self.config.is_consensus() {
+            RunOutcome::Consensus
+        } else {
+            RunOutcome::BudgetExhausted
+        };
+        RunResult::new(outcome, self.rounds, self.config.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Usd {
+        k: usize,
+    }
+
+    impl OpinionProtocol for Usd {
+        fn num_opinions(&self) -> usize {
+            self.k
+        }
+        fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+            match (r, i) {
+                (AgentState::Decided(a), AgentState::Decided(b)) if a != b => AgentState::Undecided,
+                (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
+                _ => r,
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_preserve_population() {
+        let config = Configuration::uniform(1_000, 4).unwrap();
+        let mut sim = GossipSimulator::new(Usd { k: 4 }, &config, SimSeed::from_u64(1));
+        for _ in 0..5 {
+            sim.round();
+            assert_eq!(sim.configuration().population(), 1_000);
+            assert!(sim.configuration().is_consistent());
+        }
+        assert_eq!(sim.rounds(), 5);
+    }
+
+    #[test]
+    fn a_round_can_change_a_constant_fraction_of_agents() {
+        // The qualitative difference the paper highlights: one gossip round
+        // can flip Θ(n) agents, whereas one population interaction flips at
+        // most one.
+        let config = Configuration::from_counts(vec![500, 500], 0).unwrap();
+        let mut sim = GossipSimulator::new(Usd { k: 2 }, &config, SimSeed::from_u64(2));
+        sim.round();
+        let undecided = sim.configuration().undecided();
+        assert!(
+            undecided > 300,
+            "expected a constant fraction of agents to become undecided, got {undecided}"
+        );
+    }
+
+    #[test]
+    fn biased_usd_gossip_converges_quickly() {
+        let config = Configuration::from_counts(vec![1_500, 300, 200], 0).unwrap();
+        let mut sim = GossipSimulator::new(Usd { k: 3 }, &config, SimSeed::from_u64(3));
+        let result = sim.run(10_000);
+        assert!(result.reached_consensus());
+        assert!(result.interactions() < 200, "rounds = {}", result.interactions());
+        assert_eq!(result.winner().unwrap().index(), 0);
+    }
+
+    #[test]
+    fn recorder_sees_round_indexed_snapshots() {
+        let config = Configuration::from_counts(vec![90, 10], 0).unwrap();
+        let mut last_round = 0u64;
+        let mut count = 0u64;
+        {
+            let mut rec = |round: u64, _c: &Configuration| {
+                assert!(round >= last_round);
+                last_round = round;
+                count += 1;
+            };
+            let mut sim = GossipSimulator::new(Usd { k: 2 }, &config, SimSeed::from_u64(4));
+            sim.run_recorded(1_000, &mut rec);
+        }
+        assert!(count >= 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! # gossip-model — the parallel gossip model and the USD within it
+//!
+//! The paper contrasts the population protocol model with the *parallel
+//! gossip model*: in each synchronous round every agent independently selects
+//! a uniformly random interaction partner and all agents update
+//! simultaneously.  Becchetti et al. analyzed the k-opinion USD in that model
+//! (`O(md(x)·log n)` rounds under a multiplicative bias); Appendix D of the
+//! paper compares the two models' convergence rates.  This crate provides:
+//!
+//! * [`GossipSimulator`] — a synchronous-round engine for any
+//!   [`pp_core::OpinionProtocol`],
+//! * [`UsdGossip`] — the k-opinion USD in the gossip model, with the
+//!   Becchetti et al. round bound for the comparison experiment,
+//! * [`PoissonGossip`] — the asynchronous (continuous-time) gossip variant of
+//!   Perron et al. / Boyd et al., which is the continuous-time analogue of
+//!   the population protocol model.
+//!
+//! ## Example
+//!
+//! ```
+//! use gossip_model::UsdGossip;
+//! use pp_core::{Configuration, SimSeed};
+//!
+//! let config = Configuration::from_counts(vec![500, 300, 200], 0).unwrap();
+//! let mut sim = UsdGossip::new(&config, SimSeed::from_u64(1));
+//! let result = sim.run(10_000);
+//! assert!(result.reached_consensus());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod async_gossip;
+pub mod engine;
+pub mod usd_gossip;
+
+pub use async_gossip::PoissonGossip;
+pub use engine::GossipSimulator;
+pub use usd_gossip::UsdGossip;

@@ -1,0 +1,144 @@
+//! Error types for the population protocol engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or mutating a [`crate::Configuration`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The configuration would contain zero agents.
+    EmptyPopulation,
+    /// The configuration has zero opinions (`k = 0`), which is not meaningful.
+    NoOpinions,
+    /// A requested opinion index is out of the range `0..k`.
+    OpinionOutOfRange {
+        /// The offending opinion index.
+        index: usize,
+        /// The number of opinions `k` in the configuration.
+        num_opinions: usize,
+    },
+    /// Counts do not add up to the expected population size.
+    CountMismatch {
+        /// Sum of the provided counts.
+        provided: u64,
+        /// Expected population size.
+        expected: u64,
+    },
+    /// An operation would drive a count below zero.
+    NegativeCount {
+        /// The opinion index whose count would underflow (`None` = undecided).
+        index: Option<usize>,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyPopulation => write!(f, "population must contain at least one agent"),
+            ConfigError::NoOpinions => write!(f, "configuration must have at least one opinion"),
+            ConfigError::OpinionOutOfRange { index, num_opinions } => write!(
+                f,
+                "opinion index {index} is out of range for a configuration with {num_opinions} opinions"
+            ),
+            ConfigError::CountMismatch { provided, expected } => write!(
+                f,
+                "counts sum to {provided} but the population size is {expected}"
+            ),
+            ConfigError::NegativeCount { index: Some(i) } => {
+                write!(f, "count of opinion {i} would become negative")
+            }
+            ConfigError::NegativeCount { index: None } => {
+                write!(f, "count of undecided agents would become negative")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Top-level error type of the `pp-core` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PpError {
+    /// A configuration was invalid.
+    Config(ConfigError),
+    /// A simulation exceeded its interaction budget without meeting the
+    /// requested stopping condition.
+    BudgetExhausted {
+        /// The number of interactions performed before giving up.
+        interactions: u64,
+    },
+    /// The protocol and the configuration disagree on the number of opinions.
+    OpinionCountMismatch {
+        /// Opinions supported by the protocol.
+        protocol: usize,
+        /// Opinions present in the configuration.
+        configuration: usize,
+    },
+}
+
+impl fmt::Display for PpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpError::Config(e) => write!(f, "invalid configuration: {e}"),
+            PpError::BudgetExhausted { interactions } => {
+                write!(f, "interaction budget exhausted after {interactions} interactions")
+            }
+            PpError::OpinionCountMismatch { protocol, configuration } => write!(
+                f,
+                "protocol supports {protocol} opinions but the configuration has {configuration}"
+            ),
+        }
+    }
+}
+
+impl Error for PpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PpError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for PpError {
+    fn from(e: ConfigError) -> Self {
+        PpError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = ConfigError::EmptyPopulation;
+        let s = e.to_string();
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn config_error_converts_into_pp_error() {
+        let e: PpError = ConfigError::NoOpinions.into();
+        assert!(matches!(e, PpError::Config(ConfigError::NoOpinions)));
+        assert!(e.to_string().contains("at least one opinion"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PpError>();
+        assert_send_sync::<ConfigError>();
+    }
+
+    #[test]
+    fn source_points_to_config_error() {
+        let e: PpError = ConfigError::EmptyPopulation.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let b = PpError::BudgetExhausted { interactions: 10 };
+        assert!(std::error::Error::source(&b).is_none());
+    }
+}

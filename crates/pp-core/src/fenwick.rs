@@ -1,0 +1,296 @@
+//! A Fenwick (binary indexed) tree over `u64` weights with weighted sampling.
+//!
+//! The count-based simulator stores the category counts `(x_1..x_k, u)` in a
+//! Fenwick tree so that drawing a random agent category proportionally to the
+//! counts costs `O(log k)` per interaction, independent of the population
+//! size `n`.
+
+use rand::Rng;
+
+/// A Fenwick tree storing non-negative integer weights, supporting point
+/// updates, prefix sums and weighted index sampling in `O(log len)`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::FenwickTree;
+///
+/// let mut t = FenwickTree::from_weights(&[5, 0, 3]);
+/// assert_eq!(t.total(), 8);
+/// assert_eq!(t.prefix_sum(1), 5);
+/// t.add(1, 2);
+/// assert_eq!(t.weight(1), 2);
+/// assert_eq!(t.total(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FenwickTree {
+    /// 1-based internal array; `tree[0]` is unused.
+    tree: Vec<u64>,
+    len: usize,
+}
+
+impl FenwickTree {
+    /// Creates a tree of `len` zero weights.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        FenwickTree { tree: vec![0; len + 1], len }
+    }
+
+    /// Creates a tree initialized with the given weights.
+    #[must_use]
+    pub fn from_weights(weights: &[u64]) -> Self {
+        let mut t = FenwickTree::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            t.add(i, w as i64);
+        }
+        t
+    }
+
+    /// Number of slots in the tree.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `delta` (which may be negative) to the weight at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len` or if the update would drive the weight at
+    /// `index` negative (checked in debug builds via the stored prefix sums).
+    pub fn add(&mut self, index: usize, delta: i64) {
+        assert!(index < self.len, "index {index} out of bounds for len {}", self.len);
+        if delta == 0 {
+            return;
+        }
+        if delta < 0 {
+            let current = self.weight(index);
+            assert!(
+                current >= delta.unsigned_abs(),
+                "weight at {index} would become negative ({current} - {})",
+                delta.unsigned_abs()
+            );
+        }
+        let mut i = index + 1;
+        while i <= self.len {
+            let slot = &mut self.tree[i];
+            if delta >= 0 {
+                *slot += delta as u64;
+            } else {
+                *slot -= delta.unsigned_abs();
+            }
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sets the weight at `index` to `value`.
+    pub fn set(&mut self, index: usize, value: u64) {
+        let current = self.weight(index);
+        let delta = value as i64 - current as i64;
+        self.add(index, delta);
+    }
+
+    /// Sum of weights in `0..index` (exclusive upper bound).
+    #[must_use]
+    pub fn prefix_sum(&self, index: usize) -> u64 {
+        let mut i = index.min(self.len);
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Total weight across all slots.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.prefix_sum(self.len)
+    }
+
+    /// Weight currently stored at `index`.
+    #[must_use]
+    pub fn weight(&self, index: usize) -> u64 {
+        self.prefix_sum(index + 1) - self.prefix_sum(index)
+    }
+
+    /// Finds the smallest index `i` such that `prefix_sum(i + 1) > target`,
+    /// i.e. the slot into which the `target`-th unit of weight falls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= total()`.
+    #[must_use]
+    pub fn find_by_cumulative(&self, target: u64) -> usize {
+        assert!(target < self.total(), "target {target} >= total {}", self.total());
+        let mut idx = 0usize;
+        let mut remaining = target;
+        let mut bit = self.len.next_power_of_two();
+        while bit > 0 {
+            let next = idx + bit;
+            if next <= self.len && self.tree[next] <= remaining {
+                remaining -= self.tree[next];
+                idx = next;
+            }
+            bit >>= 1;
+        }
+        idx // zero-based index of the found slot
+    }
+
+    /// Samples a slot index with probability proportional to its weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total weight is zero.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = self.total();
+        assert!(total > 0, "cannot sample from a tree with zero total weight");
+        let target = rng.gen_range(0..total);
+        self.find_by_cumulative(target)
+    }
+
+    /// Returns all weights as a plain vector (mainly for tests and debugging).
+    #[must_use]
+    pub fn to_weights(&self) -> Vec<u64> {
+        (0..self.len).map(|i| self.weight(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let weights = [3u64, 0, 7, 2, 5, 0, 1];
+        let t = FenwickTree::from_weights(&weights);
+        let mut acc = 0;
+        for i in 0..=weights.len() {
+            assert_eq!(t.prefix_sum(i), acc);
+            if i < weights.len() {
+                acc += weights[i];
+            }
+        }
+        assert_eq!(t.total(), 18);
+    }
+
+    #[test]
+    fn add_and_set_update_weights() {
+        let mut t = FenwickTree::from_weights(&[1, 2, 3]);
+        t.add(0, 4);
+        assert_eq!(t.weight(0), 5);
+        t.add(2, -3);
+        assert_eq!(t.weight(2), 0);
+        t.set(1, 10);
+        assert_eq!(t.weight(1), 10);
+        assert_eq!(t.to_weights(), vec![5, 10, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn add_rejects_underflow() {
+        let mut t = FenwickTree::from_weights(&[1, 2]);
+        t.add(0, -2);
+    }
+
+    #[test]
+    fn find_by_cumulative_maps_units_to_slots() {
+        let t = FenwickTree::from_weights(&[2, 0, 3, 1]);
+        assert_eq!(t.find_by_cumulative(0), 0);
+        assert_eq!(t.find_by_cumulative(1), 0);
+        assert_eq!(t.find_by_cumulative(2), 2);
+        assert_eq!(t.find_by_cumulative(4), 2);
+        assert_eq!(t.find_by_cumulative(5), 3);
+    }
+
+    #[test]
+    fn sample_respects_weights_statistically() {
+        let t = FenwickTree::from_weights(&[900, 0, 100]);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut hits = [0u64; 3];
+        let trials = 20_000;
+        for _ in 0..trials {
+            hits[t.sample(&mut rng)] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        let frac0 = hits[0] as f64 / trials as f64;
+        assert!((frac0 - 0.9).abs() < 0.02, "frac0 = {frac0}");
+    }
+
+    #[test]
+    fn sample_never_returns_zero_weight_slot() {
+        let t = FenwickTree::from_weights(&[0, 5, 0, 0, 7, 0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 4, "sampled slot {s} has zero weight");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_lengths_work() {
+        for len in 1..20usize {
+            let weights: Vec<u64> = (0..len).map(|i| (i as u64 * 7 + 1) % 5).collect();
+            let t = FenwickTree::from_weights(&weights);
+            assert_eq!(t.to_weights(), weights);
+            let total: u64 = weights.iter().sum();
+            assert_eq!(t.total(), total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prefix_sum_matches_naive(weights in proptest::collection::vec(0u64..1000, 1..64)) {
+            let t = FenwickTree::from_weights(&weights);
+            let mut acc = 0u64;
+            for i in 0..weights.len() {
+                prop_assert_eq!(t.prefix_sum(i), acc);
+                acc += weights[i];
+            }
+            prop_assert_eq!(t.total(), acc);
+        }
+
+        #[test]
+        fn find_by_cumulative_is_consistent(weights in proptest::collection::vec(0u64..50, 1..32)) {
+            let total: u64 = weights.iter().sum();
+            prop_assume!(total > 0);
+            let t = FenwickTree::from_weights(&weights);
+            for target in 0..total {
+                let idx = t.find_by_cumulative(target);
+                prop_assert!(t.prefix_sum(idx) <= target);
+                prop_assert!(t.prefix_sum(idx + 1) > target);
+                prop_assert!(weights[idx] > 0);
+            }
+        }
+
+        #[test]
+        fn updates_keep_weights_in_sync(
+            weights in proptest::collection::vec(0u64..100, 1..32),
+            updates in proptest::collection::vec((0usize..32, 0u64..100), 0..32),
+        ) {
+            let mut reference = weights.clone();
+            let mut t = FenwickTree::from_weights(&weights);
+            for (idx, val) in updates {
+                let idx = idx % reference.len();
+                reference[idx] = val;
+                t.set(idx, val);
+            }
+            prop_assert_eq!(t.to_weights(), reference);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! # pp-core — a population protocol engine
+//!
+//! This crate provides the simulation substrate used by the reproduction of
+//! *"Fast Convergence of k-Opinion Undecided State Dynamics in the Population
+//! Protocol Model"* (PODC 2023).
+//!
+//! It implements the population protocol model of computation: `n` anonymous
+//! agents, each holding a state from a finite state space, interacting in
+//! ordered pairs *(responder, initiator)* drawn uniformly at random (with
+//! self-interactions allowed, exactly as in the paper).  Two simulators are
+//! provided:
+//!
+//! * [`CountSimulator`] — the canonical engine.  For *opinion dynamics* whose
+//!   state space is `{1..k, ⊥}` the whole process is a function of the count
+//!   vector, so each interaction costs `O(log k)` time independent of `n`
+//!   (category sampling via a Fenwick tree).
+//! * [`AgentSimulator`] — an explicit agent-array engine used for fidelity
+//!   cross-checks and for protocols that carry extra per-agent state.
+//!
+//! The crate also provides [`Configuration`] (the count vector with its
+//! bias/support metrics), stopping rules, trace recorders and reproducible
+//! seed management.
+//!
+//! ## Example
+//!
+//! ```
+//! use pp_core::prelude::*;
+//!
+//! /// The 2-opinion undecided-state dynamics written directly against the
+//! /// `OpinionProtocol` trait (the full k-opinion version lives in `usd-core`).
+//! struct TinyUsd;
+//!
+//! impl OpinionProtocol for TinyUsd {
+//!     fn num_opinions(&self) -> usize { 2 }
+//!     fn respond(&self, responder: AgentState, initiator: AgentState) -> AgentState {
+//!         match (responder, initiator) {
+//!             (AgentState::Decided(a), AgentState::Decided(b)) if a != b => AgentState::Undecided,
+//!             (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
+//!             (r, _) => r,
+//!         }
+//!     }
+//! }
+//!
+//! let config = Configuration::from_counts(vec![70, 30], 0).unwrap();
+//! let mut sim = CountSimulator::new(TinyUsd, config, SimSeed::from_u64(7));
+//! let result = sim.run(StopCondition::consensus().or_max_interactions(10_000_000));
+//! assert!(result.reached_consensus());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agent_sim;
+pub mod config;
+pub mod count_sim;
+pub mod error;
+pub mod fenwick;
+pub mod opinion;
+pub mod protocol;
+pub mod recorder;
+pub mod rng;
+pub mod run;
+pub mod scheduler;
+pub mod stopping;
+
+pub use agent_sim::AgentSimulator;
+pub use config::Configuration;
+pub use count_sim::CountSimulator;
+pub use error::{ConfigError, PpError};
+pub use fenwick::FenwickTree;
+pub use opinion::{AgentState, Opinion, UNDECIDED_INDEX};
+pub use protocol::{OpinionProtocol, PairwiseProtocol};
+pub use recorder::{NullRecorder, Recorder, Snapshot, TraceRecorder};
+pub use rng::{SimSeed, SplitMix64};
+pub use run::{RunOutcome, RunResult};
+pub use scheduler::{InteractionScheduler, OrderedPair, UniformPairScheduler};
+pub use stopping::StopCondition;
+
+/// Convenience prelude re-exporting the types needed by most users.
+pub mod prelude {
+    pub use crate::agent_sim::AgentSimulator;
+    pub use crate::config::Configuration;
+    pub use crate::count_sim::CountSimulator;
+    pub use crate::error::{ConfigError, PpError};
+    pub use crate::opinion::{AgentState, Opinion};
+    pub use crate::protocol::{OpinionProtocol, PairwiseProtocol};
+    pub use crate::recorder::{NullRecorder, Recorder, Snapshot, TraceRecorder};
+    pub use crate::rng::SimSeed;
+    pub use crate::run::{RunOutcome, RunResult};
+    pub use crate::stopping::StopCondition;
+}

@@ -1,0 +1,209 @@
+//! Opinions and agent states.
+//!
+//! The paper's state space is `Q = {1, …, k, ⊥}`.  We represent opinions with
+//! the zero-based newtype [`Opinion`] and the full agent state with
+//! [`AgentState`], which is either `Decided(Opinion)` or `Undecided` (`⊥`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sentinel category index used by count-based simulators for the undecided
+/// state: a configuration with `k` opinions uses categories `0..k` for the
+/// opinions and category `k` for `⊥`.
+pub const UNDECIDED_INDEX: usize = usize::MAX;
+
+/// A zero-based opinion identifier.
+///
+/// The paper numbers opinions `1..k`; this crate uses `0..k` internally, so
+/// "Opinion 1 of the paper" is `Opinion::new(0)`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::Opinion;
+/// let o = Opinion::new(3);
+/// assert_eq!(o.index(), 3);
+/// assert_eq!(o.paper_index(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Opinion(u32);
+
+impl Opinion {
+    /// Creates an opinion from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Opinion(u32::try_from(index).expect("opinion index must fit in u32"))
+    }
+
+    /// Returns the zero-based index of this opinion.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the one-based index used in the paper's notation.
+    #[must_use]
+    pub fn paper_index(self) -> usize {
+        self.0 as usize + 1
+    }
+}
+
+impl fmt::Display for Opinion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "opinion {}", self.paper_index())
+    }
+}
+
+impl From<u32> for Opinion {
+    fn from(v: u32) -> Self {
+        Opinion(v)
+    }
+}
+
+impl From<Opinion> for u32 {
+    fn from(o: Opinion) -> Self {
+        o.0
+    }
+}
+
+/// The state of a single agent: a decided opinion or the undecided state `⊥`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{AgentState, Opinion};
+/// let s = AgentState::Decided(Opinion::new(0));
+/// assert!(s.is_decided());
+/// assert_eq!(s.opinion(), Some(Opinion::new(0)));
+/// assert!(AgentState::Undecided.is_undecided());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgentState {
+    /// The agent supports the given opinion.
+    Decided(Opinion),
+    /// The agent is undecided (`⊥`).
+    Undecided,
+}
+
+impl AgentState {
+    /// Creates a decided state from a zero-based opinion index.
+    #[must_use]
+    pub fn decided(index: usize) -> Self {
+        AgentState::Decided(Opinion::new(index))
+    }
+
+    /// Returns `true` if the agent holds an opinion.
+    #[must_use]
+    pub fn is_decided(self) -> bool {
+        matches!(self, AgentState::Decided(_))
+    }
+
+    /// Returns `true` if the agent is undecided.
+    #[must_use]
+    pub fn is_undecided(self) -> bool {
+        matches!(self, AgentState::Undecided)
+    }
+
+    /// Returns the opinion if the agent is decided.
+    #[must_use]
+    pub fn opinion(self) -> Option<Opinion> {
+        match self {
+            AgentState::Decided(o) => Some(o),
+            AgentState::Undecided => None,
+        }
+    }
+
+    /// Returns the category index used by count-based simulators: the opinion
+    /// index for decided agents and `k` (the number of opinions) for `⊥`.
+    #[must_use]
+    pub fn category(self, num_opinions: usize) -> usize {
+        match self {
+            AgentState::Decided(o) => o.index(),
+            AgentState::Undecided => num_opinions,
+        }
+    }
+
+    /// Inverse of [`AgentState::category`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category > num_opinions`.
+    #[must_use]
+    pub fn from_category(category: usize, num_opinions: usize) -> Self {
+        assert!(
+            category <= num_opinions,
+            "category {category} out of range for {num_opinions} opinions"
+        );
+        if category == num_opinions {
+            AgentState::Undecided
+        } else {
+            AgentState::Decided(Opinion::new(category))
+        }
+    }
+}
+
+impl fmt::Display for AgentState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentState::Decided(o) => write!(f, "{o}"),
+            AgentState::Undecided => write!(f, "undecided"),
+        }
+    }
+}
+
+impl From<Opinion> for AgentState {
+    fn from(o: Opinion) -> Self {
+        AgentState::Decided(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opinion_round_trips_through_u32() {
+        let o = Opinion::new(17);
+        let raw: u32 = o.into();
+        assert_eq!(Opinion::from(raw), o);
+    }
+
+    #[test]
+    fn paper_index_is_one_based() {
+        assert_eq!(Opinion::new(0).paper_index(), 1);
+        assert_eq!(Opinion::new(9).paper_index(), 10);
+    }
+
+    #[test]
+    fn category_round_trips() {
+        let k = 5;
+        for i in 0..k {
+            let s = AgentState::decided(i);
+            assert_eq!(AgentState::from_category(s.category(k), k), s);
+        }
+        let u = AgentState::Undecided;
+        assert_eq!(AgentState::from_category(u.category(k), k), u);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_category_rejects_out_of_range() {
+        let _ = AgentState::from_category(7, 5);
+    }
+
+    #[test]
+    fn display_uses_paper_numbering() {
+        assert_eq!(AgentState::decided(0).to_string(), "opinion 1");
+        assert_eq!(AgentState::Undecided.to_string(), "undecided");
+    }
+
+    #[test]
+    fn opinion_ordering_follows_index() {
+        assert!(Opinion::new(0) < Opinion::new(1));
+        assert!(Opinion::new(3) > Opinion::new(2));
+    }
+}

@@ -1,0 +1,137 @@
+//! Protocol traits.
+//!
+//! Two levels of generality are provided:
+//!
+//! * [`PairwiseProtocol`] — a general population protocol over an arbitrary
+//!   state type: the transition function `δ : Q² → Q²` may update both the
+//!   responder and the initiator.
+//! * [`OpinionProtocol`] — the specialization used by the paper and by every
+//!   opinion dynamic in this repository: the state space is
+//!   `{opinion 1..k, ⊥}` ([`AgentState`]) and only the responder updates.
+//!   Every `OpinionProtocol` is automatically a `PairwiseProtocol`, and it is
+//!   the interface the fast count-based simulator requires.
+
+use crate::opinion::AgentState;
+
+/// A general population protocol with transition function `δ : Q² → Q²`.
+///
+/// An interaction is an ordered pair *(responder, initiator)*; `transition`
+/// returns the new states of the responder and the initiator in that order.
+pub trait PairwiseProtocol {
+    /// The agent state type `Q`.
+    type State: Copy + Eq;
+
+    /// Applies the transition function to the pair *(responder, initiator)*.
+    fn transition(&self, responder: Self::State, initiator: Self::State) -> (Self::State, Self::State);
+
+    /// A short human-readable protocol name used in reports.
+    fn name(&self) -> &str {
+        "unnamed protocol"
+    }
+}
+
+/// A *one-way* opinion dynamic over the state space `{1..k, ⊥}`: in an
+/// interaction only the responder updates, as in the paper's USD.
+///
+/// Implementors only define [`respond`](OpinionProtocol::respond); the blanket
+/// [`PairwiseProtocol`] implementation keeps the initiator unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{AgentState, OpinionProtocol};
+///
+/// /// The Voter dynamic: the responder always adopts the initiator's opinion.
+/// struct Voter { k: usize }
+///
+/// impl OpinionProtocol for Voter {
+///     fn num_opinions(&self) -> usize { self.k }
+///     fn respond(&self, responder: AgentState, initiator: AgentState) -> AgentState {
+///         match initiator {
+///             AgentState::Decided(_) => initiator,
+///             AgentState::Undecided => responder,
+///         }
+///     }
+/// }
+/// ```
+pub trait OpinionProtocol {
+    /// The number of opinions `k` the protocol is configured for.
+    fn num_opinions(&self) -> usize;
+
+    /// New state of the responder after interacting with `initiator`.
+    fn respond(&self, responder: AgentState, initiator: AgentState) -> AgentState;
+
+    /// A short human-readable protocol name used in reports.
+    fn name(&self) -> &str {
+        "unnamed opinion protocol"
+    }
+
+    /// Returns `true` if an interaction between agents in the two given states
+    /// is *productive*, i.e. changes the responder's state.
+    fn is_productive(&self, responder: AgentState, initiator: AgentState) -> bool {
+        self.respond(responder, initiator) != responder
+    }
+}
+
+impl<P: OpinionProtocol> PairwiseProtocol for P {
+    type State = AgentState;
+
+    fn transition(&self, responder: AgentState, initiator: AgentState) -> (AgentState, AgentState) {
+        (self.respond(responder, initiator), initiator)
+    }
+
+    fn name(&self) -> &str {
+        OpinionProtocol::name(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opinion::Opinion;
+
+    struct AdoptAlways {
+        k: usize,
+    }
+
+    impl OpinionProtocol for AdoptAlways {
+        fn num_opinions(&self) -> usize {
+            self.k
+        }
+        fn respond(&self, responder: AgentState, initiator: AgentState) -> AgentState {
+            match initiator {
+                AgentState::Decided(_) => initiator,
+                AgentState::Undecided => responder,
+            }
+        }
+        fn name(&self) -> &str {
+            "adopt-always"
+        }
+    }
+
+    #[test]
+    fn blanket_pairwise_impl_keeps_initiator_fixed() {
+        let p = AdoptAlways { k: 3 };
+        let (r, i) = PairwiseProtocol::transition(
+            &p,
+            AgentState::Undecided,
+            AgentState::Decided(Opinion::new(2)),
+        );
+        assert_eq!(r, AgentState::decided(2));
+        assert_eq!(i, AgentState::decided(2));
+    }
+
+    #[test]
+    fn is_productive_detects_state_changes() {
+        let p = AdoptAlways { k: 2 };
+        assert!(p.is_productive(AgentState::decided(0), AgentState::decided(1)));
+        assert!(!p.is_productive(AgentState::decided(0), AgentState::Undecided));
+    }
+
+    #[test]
+    fn names_propagate_through_blanket_impl() {
+        let p = AdoptAlways { k: 2 };
+        assert_eq!(OpinionProtocol::name(&p), "adopt-always");
+        assert_eq!(PairwiseProtocol::name(&p), "adopt-always");
+    }
+}

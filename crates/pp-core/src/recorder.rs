@@ -1,0 +1,273 @@
+//! Trace recording.
+//!
+//! Simulators accept a [`Recorder`] that observes the configuration as the
+//! run progresses.  [`TraceRecorder`] keeps periodic snapshots (used by the
+//! phase-table and undecided-bound experiments); [`NullRecorder`] records
+//! nothing and compiles away.
+
+use crate::config::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time view of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Number of interactions performed so far.
+    pub interactions: u64,
+    /// The configuration at that time.
+    pub configuration: Configuration,
+}
+
+impl Snapshot {
+    /// Parallel time of the snapshot: interactions divided by `n`.
+    #[must_use]
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.configuration.population() as f64
+    }
+}
+
+/// Observes a simulation run.
+///
+/// `record` is called once with the initial configuration (at 0 interactions)
+/// and then after every interaction; implementations decide what to keep.
+pub trait Recorder {
+    /// Called after `interactions` interactions with the current configuration.
+    fn record(&mut self, interactions: u64, config: &Configuration);
+}
+
+/// A recorder that keeps nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _interactions: u64, _config: &Configuration) {}
+}
+
+/// Keeps a snapshot every `every` interactions, plus the most recent
+/// observation (so the final state of a run is always available) — memory use
+/// is one snapshot per period regardless of run length.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{Configuration, Recorder, TraceRecorder};
+///
+/// let mut rec = TraceRecorder::every(10);
+/// let c = Configuration::uniform(100, 2).unwrap();
+/// for t in 0..=25 {
+///     rec.record(t, &c);
+/// }
+/// // Periodic snapshots at 0, 10, 20 plus the final observation at 25.
+/// let all = rec.into_snapshots();
+/// assert_eq!(all.len(), 4);
+/// assert_eq!(all.last().unwrap().interactions, 25);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecorder {
+    every: u64,
+    snapshots: Vec<Snapshot>,
+    latest: Option<Snapshot>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder that keeps one snapshot every `every` interactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    #[must_use]
+    pub fn every(every: u64) -> Self {
+        assert!(every > 0, "snapshot period must be positive");
+        TraceRecorder { every, snapshots: Vec::new(), latest: None }
+    }
+
+    /// A sensible default period for a population of size `n`: one snapshot
+    /// per `max(n/10, 1)` interactions (ten per unit of parallel time).
+    #[must_use]
+    pub fn per_parallel_time(n: u64) -> Self {
+        TraceRecorder::every((n / 10).max(1))
+    }
+
+    /// The periodic snapshots recorded so far, in chronological order.
+    ///
+    /// The most recent non-periodic observation is *not* included; use
+    /// [`TraceRecorder::into_snapshots`] or [`TraceRecorder::latest`] for it.
+    #[must_use]
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// The most recent observation, if it is newer than the last periodic
+    /// snapshot.
+    #[must_use]
+    pub fn latest(&self) -> Option<&Snapshot> {
+        self.latest.as_ref()
+    }
+
+    /// Consumes the recorder and returns all snapshots (periodic ones followed
+    /// by the final observation if it is newer).
+    #[must_use]
+    pub fn into_snapshots(self) -> Vec<Snapshot> {
+        let mut v = self.snapshots;
+        if let Some(last) = self.latest {
+            if v.last().map_or(true, |s| s.interactions < last.interactions) {
+                v.push(last);
+            }
+        }
+        v
+    }
+
+    /// Iterates over all recorded snapshots (periodic plus latest).
+    pub fn iter(&self) -> impl Iterator<Item = &Snapshot> {
+        self.snapshots.iter().chain(self.latest.iter().filter(|l| {
+            self.snapshots.last().map_or(true, |s| s.interactions < l.interactions)
+        }))
+    }
+
+    /// The maximum number of undecided agents seen across recorded snapshots.
+    #[must_use]
+    pub fn max_undecided(&self) -> Option<u64> {
+        self.iter().map(|s| s.configuration.undecided()).max()
+    }
+
+    /// The minimum number of undecided agents seen across recorded snapshots
+    /// at or after the given interaction count (used for the Lemma 4
+    /// lower-bound check).
+    #[must_use]
+    pub fn min_undecided_after(&self, after: u64) -> Option<u64> {
+        self.iter()
+            .filter(|s| s.interactions >= after)
+            .map(|s| s.configuration.undecided())
+            .min()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record(&mut self, interactions: u64, config: &Configuration) {
+        if interactions % self.every == 0 {
+            self.snapshots.push(Snapshot { interactions, configuration: config.clone() });
+            self.latest = None;
+        } else {
+            self.latest = Some(Snapshot { interactions, configuration: config.clone() });
+        }
+    }
+}
+
+/// Both recorders of a pair observe the run (e.g. a trace plus a custom
+/// observer).
+#[derive(Debug, Default)]
+pub struct PairRecorder<A, B> {
+    /// First recorder.
+    pub first: A,
+    /// Second recorder.
+    pub second: B,
+}
+
+impl<A: Recorder, B: Recorder> PairRecorder<A, B> {
+    /// Creates a pair recorder.
+    pub fn new(first: A, second: B) -> Self {
+        PairRecorder { first, second }
+    }
+}
+
+impl<A: Recorder, B: Recorder> Recorder for PairRecorder<A, B> {
+    fn record(&mut self, interactions: u64, config: &Configuration) {
+        self.first.record(interactions, config);
+        self.second.record(interactions, config);
+    }
+}
+
+impl<F: FnMut(u64, &Configuration)> Recorder for F {
+    fn record(&mut self, interactions: u64, config: &Configuration) {
+        self(interactions, config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(u: u64) -> Configuration {
+        Configuration::from_counts(vec![50, 50], u).unwrap()
+    }
+
+    #[test]
+    fn records_periodic_snapshots_and_final_state() {
+        let mut rec = TraceRecorder::every(5);
+        for t in 0..=12 {
+            rec.record(t, &cfg(t));
+        }
+        let times: Vec<u64> = rec.into_snapshots().iter().map(|s| s.interactions).collect();
+        assert_eq!(times, vec![0, 5, 10, 12]);
+    }
+
+    #[test]
+    fn memory_stays_bounded_between_periods() {
+        let mut rec = TraceRecorder::every(1000);
+        for t in 0..5000u64 {
+            rec.record(t, &cfg(0));
+        }
+        assert_eq!(rec.snapshots().len(), 5);
+        assert!(rec.latest().is_some());
+    }
+
+    #[test]
+    fn latest_is_cleared_on_periodic_snapshot() {
+        let mut rec = TraceRecorder::every(2);
+        rec.record(0, &cfg(0));
+        rec.record(1, &cfg(1));
+        assert!(rec.latest().is_some());
+        rec.record(2, &cfg(2));
+        assert!(rec.latest().is_none());
+        assert_eq!(rec.snapshots().len(), 2);
+    }
+
+    #[test]
+    fn undecided_extrema() {
+        let mut rec = TraceRecorder::every(1);
+        for (t, u) in [(0u64, 5u64), (1, 30), (2, 10), (3, 2)] {
+            rec.record(t, &cfg(u));
+        }
+        assert_eq!(rec.max_undecided(), Some(30));
+        assert_eq!(rec.min_undecided_after(2), Some(2));
+    }
+
+    #[test]
+    fn closures_are_recorders() {
+        let mut seen = 0u64;
+        {
+            let mut f = |t: u64, _c: &Configuration| seen = t;
+            f.record(7, &cfg(0));
+        }
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn parallel_time_divides_by_population() {
+        let s = Snapshot { interactions: 500, configuration: cfg(0) };
+        assert!((s.parallel_time() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_recorder_feeds_both() {
+        let mut count_a = 0u32;
+        let mut count_b = 0u32;
+        {
+            let a = |_: u64, _: &Configuration| count_a += 1;
+            let b = |_: u64, _: &Configuration| count_b += 1;
+            let mut pair = PairRecorder::new(a, b);
+            pair.record(1, &cfg(0));
+            pair.record(2, &cfg(0));
+        }
+        assert_eq!(count_a, 2);
+        assert_eq!(count_b, 2);
+    }
+
+    #[test]
+    fn iter_includes_latest_once() {
+        let mut rec = TraceRecorder::every(10);
+        rec.record(0, &cfg(0));
+        rec.record(3, &cfg(1));
+        let times: Vec<u64> = rec.iter().map(|s| s.interactions).collect();
+        assert_eq!(times, vec![0, 3]);
+    }
+}

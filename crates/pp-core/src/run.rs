@@ -1,0 +1,136 @@
+//! Run results.
+
+use crate::config::Configuration;
+use crate::opinion::Opinion;
+use serde::{Deserialize, Serialize};
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// All agents agree on one opinion (`x_i = n`).
+    Consensus,
+    /// At most one opinion retains non-zero support (undecided agents may
+    /// remain, but the eventual winner is already determined).
+    OpinionSettled,
+    /// The interaction budget was exhausted before the goal was reached.
+    BudgetExhausted,
+}
+
+impl RunOutcome {
+    /// Returns `true` if the run reached its structural goal (consensus or
+    /// settlement) rather than running out of budget.
+    #[must_use]
+    pub fn is_goal(self) -> bool {
+        !matches!(self, RunOutcome::BudgetExhausted)
+    }
+}
+
+/// The result of a single simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{Configuration, RunOutcome, RunResult};
+///
+/// let final_config = Configuration::from_counts(vec![100, 0], 0).unwrap();
+/// let r = RunResult::new(RunOutcome::Consensus, 12_345, final_config);
+/// assert!(r.reached_consensus());
+/// assert_eq!(r.winner().unwrap().index(), 0);
+/// assert!((r.parallel_time() - 123.45).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    outcome: RunOutcome,
+    interactions: u64,
+    final_configuration: Configuration,
+}
+
+impl RunResult {
+    /// Creates a run result.
+    #[must_use]
+    pub fn new(outcome: RunOutcome, interactions: u64, final_configuration: Configuration) -> Self {
+        RunResult { outcome, interactions, final_configuration }
+    }
+
+    /// Why the run stopped.
+    #[must_use]
+    pub fn outcome(&self) -> RunOutcome {
+        self.outcome
+    }
+
+    /// Number of interactions performed.
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Interactions divided by the population size `n` — the standard
+    /// conversion between the population protocol model's interaction count
+    /// and the gossip model's parallel rounds.
+    #[must_use]
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.final_configuration.population() as f64
+    }
+
+    /// The configuration at the end of the run.
+    #[must_use]
+    pub fn final_configuration(&self) -> &Configuration {
+        &self.final_configuration
+    }
+
+    /// Returns `true` if the final configuration is a consensus.
+    #[must_use]
+    pub fn reached_consensus(&self) -> bool {
+        self.final_configuration.is_consensus()
+    }
+
+    /// Returns `true` if the final configuration has at most one live opinion.
+    #[must_use]
+    pub fn opinion_settled(&self) -> bool {
+        self.final_configuration.is_opinion_settled()
+    }
+
+    /// The winning opinion: the consensus opinion if consensus was reached,
+    /// or the unique surviving opinion if the run settled, otherwise `None`.
+    #[must_use]
+    pub fn winner(&self) -> Option<Opinion> {
+        if self.final_configuration.is_consensus() {
+            self.final_configuration.consensus_opinion()
+        } else if self.final_configuration.is_opinion_settled()
+            && self.final_configuration.max_support() > 0
+        {
+            Some(self.final_configuration.max_opinion())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winner_for_settled_but_not_consensus() {
+        let cfg = Configuration::from_counts(vec![0, 40, 0], 60).unwrap();
+        let r = RunResult::new(RunOutcome::OpinionSettled, 99, cfg);
+        assert!(!r.reached_consensus());
+        assert!(r.opinion_settled());
+        assert_eq!(r.winner(), Some(Opinion::new(1)));
+    }
+
+    #[test]
+    fn no_winner_when_budget_exhausted_with_multiple_live_opinions() {
+        let cfg = Configuration::from_counts(vec![40, 40], 20).unwrap();
+        let r = RunResult::new(RunOutcome::BudgetExhausted, 1000, cfg);
+        assert_eq!(r.winner(), None);
+        assert!(!r.outcome().is_goal());
+    }
+
+    #[test]
+    fn outcome_goal_flags() {
+        assert!(RunOutcome::Consensus.is_goal());
+        assert!(RunOutcome::OpinionSettled.is_goal());
+        assert!(!RunOutcome::BudgetExhausted.is_goal());
+    }
+}

@@ -1,0 +1,199 @@
+//! Interaction schedulers.
+//!
+//! The population protocol model selects, at every discrete time step, an
+//! ordered pair of agents *(responder, initiator)* uniformly at random.  The
+//! paper explicitly allows agents to interact with themselves (Section 2), so
+//! the default scheduler samples the two indices independently; a variant
+//! without self-interactions is provided for sensitivity checks.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An ordered pair of agent indices: `(responder, initiator)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OrderedPair {
+    /// Index of the responder (the agent that may change state).
+    pub responder: usize,
+    /// Index of the initiator.
+    pub initiator: usize,
+}
+
+impl OrderedPair {
+    /// Creates a pair.
+    #[must_use]
+    pub fn new(responder: usize, initiator: usize) -> Self {
+        OrderedPair { responder, initiator }
+    }
+
+    /// Returns `true` if the pair is a self-interaction.
+    #[must_use]
+    pub fn is_self_interaction(&self) -> bool {
+        self.responder == self.initiator
+    }
+}
+
+/// A source of interaction pairs for an agent-level simulation.
+pub trait InteractionScheduler {
+    /// Draws the next ordered pair for a population of `n` agents.
+    fn next_pair<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> OrderedPair;
+
+    /// A short human-readable scheduler name used in reports.
+    fn name(&self) -> &str {
+        "unnamed scheduler"
+    }
+}
+
+/// The paper's scheduler: both indices drawn independently and uniformly from
+/// `0..n`, so self-interactions occur with probability `1/n`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{InteractionScheduler, UniformPairScheduler};
+/// use rand::SeedableRng;
+///
+/// let mut sched = UniformPairScheduler::with_self_interactions();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let pair = sched.next_pair(100, &mut rng);
+/// assert!(pair.responder < 100 && pair.initiator < 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniformPairScheduler {
+    allow_self: bool,
+}
+
+impl UniformPairScheduler {
+    /// The paper's model: ordered pairs drawn uniformly from `n²`
+    /// possibilities, self-interactions allowed.
+    #[must_use]
+    pub fn with_self_interactions() -> Self {
+        UniformPairScheduler { allow_self: true }
+    }
+
+    /// A common variant where the two agents are always distinct (uniform over
+    /// `n(n-1)` ordered pairs).
+    #[must_use]
+    pub fn without_self_interactions() -> Self {
+        UniformPairScheduler { allow_self: false }
+    }
+
+    /// Returns `true` if this scheduler may produce self-interactions.
+    #[must_use]
+    pub fn allows_self_interactions(&self) -> bool {
+        self.allow_self
+    }
+}
+
+impl Default for UniformPairScheduler {
+    fn default() -> Self {
+        UniformPairScheduler::with_self_interactions()
+    }
+}
+
+impl InteractionScheduler for UniformPairScheduler {
+    fn next_pair<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> OrderedPair {
+        assert!(n > 0, "population must be non-empty");
+        let responder = rng.gen_range(0..n);
+        let initiator = if self.allow_self {
+            rng.gen_range(0..n)
+        } else {
+            assert!(n > 1, "a population of one agent has no distinct pairs");
+            // Rejection-free sampling of an index different from `responder`.
+            let raw = rng.gen_range(0..n - 1);
+            if raw >= responder {
+                raw + 1
+            } else {
+                raw
+            }
+        };
+        OrderedPair { responder, initiator }
+    }
+
+    fn name(&self) -> &str {
+        if self.allow_self {
+            "uniform ordered pairs (self-interactions allowed)"
+        } else {
+            "uniform ordered pairs (distinct agents)"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pairs_are_in_range() {
+        let mut s = UniformPairScheduler::with_self_interactions();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let p = s.next_pair(37, &mut rng);
+            assert!(p.responder < 37 && p.initiator < 37);
+        }
+    }
+
+    #[test]
+    fn without_self_interactions_never_repeats_index() {
+        let mut s = UniformPairScheduler::without_self_interactions();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let p = s.next_pair(5, &mut rng);
+            assert!(!p.is_self_interaction());
+        }
+    }
+
+    #[test]
+    fn self_interactions_occur_at_roughly_one_over_n() {
+        let mut s = UniformPairScheduler::with_self_interactions();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20;
+        let trials = 200_000;
+        let selfs = (0..trials)
+            .filter(|_| s.next_pair(n, &mut rng).is_self_interaction())
+            .count();
+        let frac = selfs as f64 / trials as f64;
+        assert!((frac - 1.0 / n as f64).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn marginals_are_uniform() {
+        let mut s = UniformPairScheduler::with_self_interactions();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 4;
+        let trials = 80_000usize;
+        let mut responder_hits = vec![0u64; n];
+        for _ in 0..trials {
+            responder_hits[s.next_pair(n, &mut rng).responder] += 1;
+        }
+        for &h in &responder_hits {
+            let frac = h as f64 / trials as f64;
+            assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+        }
+    }
+
+    #[test]
+    fn without_self_marginals_are_uniform_over_others() {
+        let mut s = UniformPairScheduler::without_self_interactions();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 3;
+        let trials = 90_000usize;
+        let mut joint = vec![vec![0u64; n]; n];
+        for _ in 0..trials {
+            let p = s.next_pair(n, &mut rng);
+            joint[p.responder][p.initiator] += 1;
+        }
+        for r in 0..n {
+            for i in 0..n {
+                let frac = joint[r][i] as f64 / trials as f64;
+                if r == i {
+                    assert_eq!(joint[r][i], 0);
+                } else {
+                    // 6 ordered distinct pairs => 1/6 each.
+                    assert!((frac - 1.0 / 6.0).abs() < 0.02, "frac({r},{i}) = {frac}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Free-standing configuration generators.
+//!
+//! All generators return fully-decided configurations (no undecided agents);
+//! the [`crate::InitialConfig`] builder layers an undecided pool on top.
+
+use pp_core::{ConfigError, Configuration};
+use rand::Rng;
+
+/// The no-bias start: every opinion gets `⌊n/k⌋` agents and the remainder is
+/// given to the lowest-indexed opinions (so opinion 0 is a weak plurality when
+/// `k ∤ n`).
+///
+/// # Errors
+///
+/// Returns an error if `n == 0` or `k == 0`.
+pub fn uniform(n: u64, k: usize) -> Result<Configuration, ConfigError> {
+    Configuration::uniform(n, k)
+}
+
+/// A configuration where opinion 0 leads every other opinion by an additive
+/// margin of at least `bias`, and the remaining agents are split evenly over
+/// the other `k - 1` opinions.
+///
+/// Concretely: the non-plurality opinions each receive
+/// `⌊(n − bias)/k⌋` agents (up to rounding) and opinion 0 receives the rest,
+/// which is at least `bias` more than any rival.
+///
+/// # Errors
+///
+/// Returns an error if `k < 2`, `n == 0`, or `bias >= n`.
+pub fn with_additive_bias(n: u64, k: usize, bias: u64) -> Result<Configuration, ConfigError> {
+    if k < 2 {
+        return Err(ConfigError::NoOpinions);
+    }
+    if n == 0 {
+        return Err(ConfigError::EmptyPopulation);
+    }
+    if bias >= n {
+        return Err(ConfigError::CountMismatch { provided: bias, expected: n });
+    }
+    // Give each trailing opinion an equal share of what remains once the
+    // leader's margin is set aside.
+    let share = (n - bias) / k as u64;
+    let mut counts = vec![share; k];
+    let assigned: u64 = share * (k as u64 - 1);
+    counts[0] = n - assigned;
+    debug_assert!(counts[0] >= share + bias.min(n));
+    Configuration::from_counts(counts, 0)
+}
+
+/// A configuration where opinion 0 leads every other opinion by a
+/// multiplicative factor of at least `factor` (e.g. `1.5` for a 3:2 lead), and
+/// the trailing opinions share the remainder evenly.
+///
+/// # Errors
+///
+/// Returns an error if `k < 2`, `n == 0`, or `factor <= 1.0`.
+pub fn with_multiplicative_bias(n: u64, k: usize, factor: f64) -> Result<Configuration, ConfigError> {
+    if k < 2 {
+        return Err(ConfigError::NoOpinions);
+    }
+    if n == 0 {
+        return Err(ConfigError::EmptyPopulation);
+    }
+    if factor <= 1.0 || !factor.is_finite() {
+        return Err(ConfigError::CountMismatch { provided: 0, expected: n });
+    }
+    // Solve x1 = factor·s, (k-1)·s + x1 = n  =>  s = n / (k - 1 + factor).
+    let s = (n as f64 / (k as f64 - 1.0 + factor)).floor() as u64;
+    let s = s.max(1).min(n / k as u64
+        + u64::from(n % k as u64 != 0)); // never exceed the uniform share
+    let mut counts = vec![s; k];
+    let assigned = s * (k as u64 - 1);
+    counts[0] = n - assigned;
+    // Rounding can only help the leader, so the factor is preserved.
+    Configuration::from_counts(counts, 0)
+}
+
+/// A configuration where opinions 0 and 1 are exactly tied (up to one agent)
+/// and the remaining opinions share the rest evenly — the adversarial start
+/// for the "no bias ⇒ still converges" regime (Theorem 2, third case).
+///
+/// `tied_fraction` is the fraction of the population held by the two leaders
+/// combined (e.g. `0.5` gives each leader `n/4`).
+///
+/// # Errors
+///
+/// Returns an error if `k < 2`, `n == 0`, or `tied_fraction` is outside
+/// `(0, 1]`.
+pub fn two_way_tie(n: u64, k: usize, tied_fraction: f64) -> Result<Configuration, ConfigError> {
+    if k < 2 {
+        return Err(ConfigError::NoOpinions);
+    }
+    if n == 0 {
+        return Err(ConfigError::EmptyPopulation);
+    }
+    if !(tied_fraction > 0.0 && tied_fraction <= 1.0) {
+        return Err(ConfigError::CountMismatch { provided: 0, expected: n });
+    }
+    let leaders_total = (n as f64 * tied_fraction).round() as u64;
+    let each = leaders_total / 2;
+    let mut counts = vec![0u64; k];
+    counts[0] = each;
+    counts[1] = each;
+    let rest = n - 2 * each;
+    if k > 2 {
+        let share = rest / (k as u64 - 2);
+        for c in counts.iter_mut().skip(2) {
+            *c = share;
+        }
+        counts[0] += rest - share * (k as u64 - 2);
+    } else {
+        counts[0] += rest;
+    }
+    Configuration::from_counts(counts, 0)
+}
+
+/// A heavy-tailed configuration: opinion `i` receives support proportional to
+/// `(i + 1)^{-exponent}`.  With `exponent = 1` this is a Zipf-like start.
+///
+/// # Errors
+///
+/// Returns an error if `k == 0`, `n == 0`, or `exponent < 0`.
+pub fn power_law(n: u64, k: usize, exponent: f64) -> Result<Configuration, ConfigError> {
+    if k == 0 {
+        return Err(ConfigError::NoOpinions);
+    }
+    if n == 0 {
+        return Err(ConfigError::EmptyPopulation);
+    }
+    if exponent < 0.0 || !exponent.is_finite() {
+        return Err(ConfigError::CountMismatch { provided: 0, expected: n });
+    }
+    let weights: Vec<f64> = (0..k).map(|i| ((i + 1) as f64).powf(-exponent)).collect();
+    Ok(allocate_by_weights(n, &weights))
+}
+
+/// A random configuration drawn from a symmetric Dirichlet-like distribution:
+/// each opinion gets an independent `Gamma(shape, 1)`-distributed weight
+/// (approximated by summing `shape` exponentials for integer shapes) and the
+/// population is allocated proportionally.  Larger `shape` values concentrate
+/// the configuration around the uniform one.
+///
+/// # Errors
+///
+/// Returns an error if `k == 0`, `n == 0`, or `shape == 0`.
+pub fn dirichlet_like<R: Rng + ?Sized>(
+    n: u64,
+    k: usize,
+    shape: u32,
+    rng: &mut R,
+) -> Result<Configuration, ConfigError> {
+    if k == 0 {
+        return Err(ConfigError::NoOpinions);
+    }
+    if n == 0 {
+        return Err(ConfigError::EmptyPopulation);
+    }
+    if shape == 0 {
+        return Err(ConfigError::CountMismatch { provided: 0, expected: n });
+    }
+    let weights: Vec<f64> = (0..k)
+        .map(|_| {
+            (0..shape)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    -u.ln()
+                })
+                .sum::<f64>()
+        })
+        .collect();
+    Ok(allocate_by_weights(n, &weights))
+}
+
+/// Builds a configuration from explicit per-opinion counts (sugar over
+/// [`Configuration::from_counts`] for fully-decided starts).
+///
+/// # Errors
+///
+/// Propagates the underlying configuration error.
+pub fn custom(counts: Vec<u64>) -> Result<Configuration, ConfigError> {
+    Configuration::from_counts(counts, 0)
+}
+
+/// Largest-remainder allocation of `n` agents proportionally to `weights`.
+fn allocate_by_weights(n: u64, weights: &[f64]) -> Configuration {
+    let total: f64 = weights.iter().sum();
+    let mut counts: Vec<u64> = weights.iter().map(|w| ((w / total) * n as f64).floor() as u64).collect();
+    let mut assigned: u64 = counts.iter().sum();
+    // Distribute the remainder by largest fractional part.
+    let mut remainders: Vec<(usize, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, (w / total) * n as f64 - counts[i] as f64))
+        .collect();
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut idx = 0;
+    while assigned < n {
+        counts[remainders[idx % remainders.len()].0] += 1;
+        assigned += 1;
+        idx += 1;
+    }
+    Configuration::from_counts(counts, 0).expect("allocation always produces a valid configuration")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::SimSeed;
+
+    #[test]
+    fn uniform_is_reexported_correctly() {
+        let c = uniform(1000, 4).unwrap();
+        assert_eq!(c.supports(), &[250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn additive_bias_meets_requested_margin() {
+        let c = with_additive_bias(10_000, 5, 600).unwrap();
+        assert_eq!(c.population(), 10_000);
+        assert!(c.additive_bias().unwrap() >= 600, "bias = {:?}", c.additive_bias());
+        assert_eq!(c.max_opinion().index(), 0);
+        // Trailing opinions are balanced.
+        let supports = c.supports();
+        for &s in &supports[1..] {
+            assert_eq!(s, supports[1]);
+        }
+    }
+
+    #[test]
+    fn additive_bias_rejects_bias_of_population_size() {
+        assert!(with_additive_bias(100, 3, 100).is_err());
+        assert!(with_additive_bias(100, 1, 10).is_err());
+    }
+
+    #[test]
+    fn multiplicative_bias_meets_requested_factor() {
+        for &factor in &[1.1, 1.5, 2.0, 4.0] {
+            let c = with_multiplicative_bias(100_000, 10, factor).unwrap();
+            assert_eq!(c.population(), 100_000);
+            let measured = c.multiplicative_bias().unwrap();
+            assert!(measured >= factor * 0.99, "factor {factor}: measured {measured}");
+            assert_eq!(c.max_opinion().index(), 0);
+        }
+    }
+
+    #[test]
+    fn multiplicative_bias_rejects_factor_at_most_one() {
+        assert!(with_multiplicative_bias(100, 3, 1.0).is_err());
+        assert!(with_multiplicative_bias(100, 3, 0.5).is_err());
+    }
+
+    #[test]
+    fn two_way_tie_has_zero_additive_bias() {
+        let c = two_way_tie(10_000, 6, 0.5).unwrap();
+        assert_eq!(c.population(), 10_000);
+        // The two leaders are within one agent of each other.
+        let s = c.supports();
+        assert!(s[0].abs_diff(s[1]) <= s[0] / 4, "leaders {} vs {}", s[0], s[1]);
+        assert!(s[0] > s[2]);
+    }
+
+    #[test]
+    fn two_way_tie_with_k_equals_two_uses_whole_population() {
+        let c = two_way_tie(101, 2, 1.0).unwrap();
+        assert_eq!(c.population(), 101);
+        assert!(c.additive_bias().unwrap() <= 1);
+    }
+
+    #[test]
+    fn power_law_is_sorted_decreasing() {
+        let c = power_law(100_000, 8, 1.0).unwrap();
+        assert_eq!(c.population(), 100_000);
+        let s = c.supports();
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1], "supports not decreasing: {s:?}");
+        }
+    }
+
+    #[test]
+    fn power_law_zero_exponent_is_uniform() {
+        let c = power_law(1000, 4, 0.0).unwrap();
+        assert_eq!(c.supports(), &[250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn dirichlet_like_covers_population_and_varies_with_seed() {
+        let mut rng1 = SimSeed::from_u64(1).rng();
+        let mut rng2 = SimSeed::from_u64(2).rng();
+        let c1 = dirichlet_like(50_000, 10, 2, &mut rng1).unwrap();
+        let c2 = dirichlet_like(50_000, 10, 2, &mut rng2).unwrap();
+        assert_eq!(c1.population(), 50_000);
+        assert_eq!(c2.population(), 50_000);
+        assert_ne!(c1.supports(), c2.supports());
+    }
+
+    #[test]
+    fn dirichlet_large_shape_concentrates_near_uniform() {
+        let mut rng = SimSeed::from_u64(3).rng();
+        let c = dirichlet_like(100_000, 4, 200, &mut rng).unwrap();
+        for &s in c.supports() {
+            let dev = (s as f64 - 25_000.0).abs() / 25_000.0;
+            assert!(dev < 0.25, "support {s} deviates too much from uniform");
+        }
+    }
+
+    #[test]
+    fn custom_wraps_from_counts() {
+        let c = custom(vec![7, 3]).unwrap();
+        assert_eq!(c.population(), 10);
+        assert!(custom(vec![]).is_err());
+    }
+
+    #[test]
+    fn allocation_is_exact_for_awkward_weights() {
+        for n in [7u64, 97, 1000, 99_991] {
+            let weights = [0.3, 0.3, 0.4000001];
+            let c = allocate_by_weights(n, &weights);
+            assert_eq!(c.population(), n);
+        }
+    }
+}

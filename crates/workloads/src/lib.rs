@@ -1,0 +1,45 @@
+//! # pp-workloads — initial-configuration generators
+//!
+//! The paper's experiments are parameterized by the *initial* opinion
+//! configuration: how the `n` agents split over `k` opinions, how large the
+//! additive or multiplicative bias of the plurality opinion is, and how many
+//! agents start undecided.  This crate provides generators for every family
+//! of starting configurations used in the reproduction:
+//!
+//! * [`uniform`] — the no-bias start `x_i(0) = n/k`,
+//! * [`with_additive_bias`] — plurality ahead of every rival by an additive
+//!   margin `β` (the Theorem 2.2 regime, `β = Ω(√(n log n))`),
+//! * [`with_multiplicative_bias`] — plurality ahead by a factor `1 + ε`
+//!   (the Theorem 2.1 regime),
+//! * [`two_way_tie`], [`power_law`], [`dirichlet_like`], [`custom`] —
+//!   adversarial and heterogeneous starts for robustness experiments,
+//! * [`InitialConfig`] — a builder that composes the above with an initial
+//!   undecided pool (`u(0) ≤ (n − x₁(0))/2` per the paper's assumption).
+//!
+//! ## Example
+//!
+//! ```
+//! use pp_workloads::InitialConfig;
+//! use pp_core::SimSeed;
+//!
+//! let config = InitialConfig::new(10_000, 8)
+//!     .additive_bias_in_sqrt_n_log_n(2.0)
+//!     .undecided_fraction(0.25)
+//!     .build(SimSeed::from_u64(1))
+//!     .unwrap();
+//! assert_eq!(config.population(), 10_000);
+//! assert_eq!(config.num_opinions(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod generators;
+
+pub use builder::{BiasSpec, InitialConfig, UndecidedSpec, WorkloadError};
+pub use generators::{
+    custom, dirichlet_like, power_law, two_way_tie, uniform, with_additive_bias,
+    with_multiplicative_bias,
+};

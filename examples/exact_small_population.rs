@@ -1,0 +1,54 @@
+//! Exact analysis of the two-opinion USD on a small population: win
+//! probabilities and expected consensus times straight from the Markov chain,
+//! compared against repeated simulation.
+//!
+//! ```text
+//! cargo run --release --example exact_small_population
+//! ```
+
+use k_opinion_usd::prelude::*;
+use pp_core::Configuration;
+
+fn main() {
+    let n = 40u64;
+    let chain = TwoOpinionChain::solve(n, 1e-12, 200_000);
+    println!("exact two-opinion USD analysis for n = {n} agents\n");
+
+    println!("{:>6} {:>6} {:>22} {:>26}", "x1", "u", "exact Pr[opinion 1 wins]", "exact E[interactions]");
+    for &(x1, u) in &[(20u64, 0u64), (22, 0), (24, 0), (28, 0), (32, 0), (20, 10), (24, 10)] {
+        println!(
+            "{:>6} {:>6} {:>22.4} {:>26.1}",
+            x1,
+            u,
+            chain.win_probability(x1, u).unwrap(),
+            chain.expected_interactions(x1, u).unwrap()
+        );
+    }
+
+    // Spot-check one interior point against simulation.
+    let (x1, u) = (24u64, 0u64);
+    let trials = 20_000u64;
+    let mut wins = 0u64;
+    let mut total_time = 0u64;
+    for t in 0..trials {
+        let config = Configuration::from_counts(vec![x1, n - x1 - u], u).unwrap();
+        let mut sim = UsdSimulator::new(config, SimSeed::from_u64(t));
+        let result = sim.run_to_consensus(10_000_000);
+        total_time += result.interactions();
+        if result.winner().map(|w| w.index()) == Some(0) {
+            wins += 1;
+        }
+    }
+    println!();
+    println!("spot check at (x1, u) = ({x1}, {u}) over {trials} simulated runs:");
+    println!(
+        "  win rate:  simulated {:.4}  vs exact {:.4}",
+        wins as f64 / trials as f64,
+        chain.win_probability(x1, u).unwrap()
+    );
+    println!(
+        "  mean time: simulated {:.1}  vs exact {:.1}",
+        total_time as f64 / trials as f64,
+        chain.expected_interactions(x1, u).unwrap()
+    );
+}

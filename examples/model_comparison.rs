@@ -1,0 +1,81 @@
+//! Compare the USD across the three interaction models the paper discusses —
+//! the population protocol model, the synchronous gossip model (Becchetti et
+//! al.) and the asynchronous Poisson-clock model (Perron et al.) — and
+//! against the baseline dynamics of the related-work section.
+//!
+//! ```text
+//! cargo run --release --example model_comparison
+//! ```
+
+use consensus_dynamics::{MedianRule, SequentialSampler, SynchronizedUsd, ThreeMajority, TwoChoices, Voter};
+use gossip_model::{PoissonGossip, UsdGossip};
+use k_opinion_usd::prelude::*;
+use pp_core::StopCondition;
+
+fn main() {
+    let n = 20_000;
+    let k = 6;
+    let budget = 500 * (k as u64) * n * (n as f64).ln() as u64;
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(2.0)
+        .build(SimSeed::from_u64(3))
+        .expect("valid configuration");
+    println!("initial configuration: {config}");
+    println!("(multiplicative bias 2.0, n = {n}, k = {k}; all times in parallel-time units)\n");
+
+    // --- The USD across the three interaction models -----------------------
+    let mut pp = UsdSimulator::new(config.clone(), SimSeed::from_u64(10));
+    let pp_result = pp.run_to_consensus(budget);
+    println!(
+        "{:<38} {:>10.1}  (winner {:?})",
+        "USD, population protocol model:",
+        pp_result.parallel_time(),
+        pp_result.winner().map(|w| w.paper_index())
+    );
+
+    let mut gossip = UsdGossip::new(&config, SimSeed::from_u64(11));
+    let gossip_result = gossip.run(1_000_000);
+    println!(
+        "{:<38} {:>10.1}  (winner {:?})",
+        "USD, synchronous gossip model:",
+        gossip_result.interactions() as f64,
+        gossip_result.winner().map(|w| w.paper_index())
+    );
+
+    let mut poisson = PoissonGossip::new(UndecidedStateDynamics::new(k), config.clone(), SimSeed::from_u64(12))
+        .expect("matching opinion counts");
+    let poisson_result = poisson.run(StopCondition::consensus().or_max_interactions(budget));
+    println!(
+        "{:<38} {:>10.1}  (winner {:?})",
+        "USD, asynchronous Poisson model:",
+        poisson.continuous_time(),
+        poisson_result.winner().map(|w| w.paper_index())
+    );
+
+    // --- Baseline dynamics in the sequential (asynchronous) model ----------
+    println!();
+    let stop = StopCondition::consensus().or_max_interactions(budget);
+
+    let voter = SequentialSampler::new(Voter::new(k), config.clone(), SimSeed::from_u64(20)).run(stop);
+    println!("{:<38} {:>10.1}", "Voter (1 sample):", voter.parallel_time());
+
+    let two = SequentialSampler::new(TwoChoices::new(k), config.clone(), SimSeed::from_u64(21)).run(stop);
+    println!("{:<38} {:>10.1}", "TwoChoices (2 samples):", two.parallel_time());
+
+    let three = SequentialSampler::new(ThreeMajority::new(k), config.clone(), SimSeed::from_u64(22)).run(stop);
+    println!("{:<38} {:>10.1}", "3-Majority (3 samples):", three.parallel_time());
+
+    let median = SequentialSampler::new(MedianRule::new(k), config.clone(), SimSeed::from_u64(23)).run(stop);
+    println!("{:<38} {:>10.1}", "MedianRule (ordered opinions):", median.parallel_time());
+
+    let mut sync = SynchronizedUsd::new(&config, SimSeed::from_u64(24));
+    let sync_result = sync.run(1_000_000);
+    println!("{:<38} {:>10.1}", "Synchronized USD (phase clock):", sync_result.interactions() as f64);
+
+    println!();
+    println!(
+        "paper bounds (unit constants): population USD = log n + n/x1 = {:.1}, gossip USD = md(x) log n = {:.1}",
+        (n as f64).ln() + n as f64 / config.max_support() as f64,
+        config.monochromatic_distance().unwrap_or(1.0) * (n as f64).ln()
+    );
+}

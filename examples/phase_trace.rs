@@ -1,0 +1,81 @@
+//! Trace the five phases of the paper's analysis on a single run.
+//!
+//! Prints, at regular intervals, the number of undecided agents, the largest
+//! support, the potential `Z(t) = n − 2u − x_max`, and the current phase —
+//! the quantities the proofs of Lemmas 1, 3 and 4 track.
+//!
+//! ```text
+//! cargo run --release --example phase_trace
+//! ```
+
+use k_opinion_usd::prelude::*;
+use pp_core::{Configuration, Recorder, StopCondition};
+
+struct PhasePrinter {
+    tracker: PhaseTracker,
+    every: u64,
+    next_print: u64,
+}
+
+impl Recorder for PhasePrinter {
+    fn record(&mut self, interactions: u64, config: &Configuration) {
+        self.tracker.record(interactions, config);
+        if interactions >= self.next_print {
+            self.next_print += self.every;
+            let phase = self
+                .tracker
+                .current_phase()
+                .map_or_else(|| "done".to_string(), |p| format!("{}", p.number()));
+            println!(
+                "t = {:>12}  parallel = {:>8.1}  u = {:>8}  x_max = {:>8}  Z = {:>9.0}  phase = {}",
+                interactions,
+                interactions as f64 / config.population() as f64,
+                config.undecided(),
+                config.max_support(),
+                potential::z(config),
+                phase
+            );
+        }
+    }
+}
+
+fn main() {
+    let n = 50_000;
+    let k = 8;
+
+    // A no-bias start: every phase of the analysis is exercised.
+    let config = InitialConfig::new(n, k)
+        .build(SimSeed::from_u64(11))
+        .expect("valid configuration");
+    println!("running the USD on {n} agents with {k} opinions, uniform start");
+    println!(
+        "undecided equilibrium u* = n(k-1)/(2k-1) = {:.0}",
+        potential::undecided_equilibrium(n, k)
+    );
+    println!();
+
+    let mut printer = PhasePrinter {
+        tracker: PhaseTracker::new(1.0),
+        every: (n as u64) * 2,
+        next_print: 0,
+    };
+    let mut sim = UsdSimulator::new(config, SimSeed::from_u64(12));
+    let result = sim.run_recorded(
+        StopCondition::consensus().or_max_interactions(100_000_000_000),
+        &mut printer,
+    );
+
+    println!();
+    println!("consensus after {} interactions", result.interactions());
+    let times = printer.tracker.times();
+    for phase in Phase::ALL {
+        if let (Some(t), Some(d)) = (times.hitting_time(phase), times.duration(phase)) {
+            println!(
+                "  T{} = {:>12}   spent in {phase}: {:>12} interactions",
+                phase.number(),
+                t,
+                d
+            );
+        }
+    }
+}

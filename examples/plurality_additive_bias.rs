@@ -1,0 +1,53 @@
+//! Approximate plurality consensus: how often does the initial plurality win
+//! as its additive lead grows through the `√(n log n)` threshold?
+//!
+//! Reproduces the threshold behaviour of Theorem 2.2 / Lemma 2 on a single
+//! population size with repeated trials.
+//!
+//! ```text
+//! cargo run --release --example plurality_additive_bias
+//! ```
+
+use k_opinion_usd::prelude::*;
+use pp_analysis::stats::proportion_with_wilson;
+
+fn main() {
+    let n = 20_000;
+    let k = 6;
+    let trials = 40;
+    let budget = 200 * (k as u64) * n * (n as f64).ln() as u64;
+
+    println!("n = {n}, k = {k}, {trials} trials per bias level");
+    println!("bias is given in units of sqrt(n ln n) = {:.0} agents", bounds::bias_margin(n, 1.0));
+    println!();
+    println!("{:>18}  {:>12}  {:>16}  {:>18}", "bias multiplier", "bias", "plurality wins", "wilson 95% CI");
+
+    for &mult in &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let mut wins = 0u64;
+        let mut bias_agents = 0u64;
+        for trial in 0..trials {
+            let seed = SimSeed::from_u64(7_000 + trial);
+            let config = InitialConfig::new(n, k)
+                .additive_bias_in_sqrt_n_log_n(mult)
+                .build(seed)
+                .expect("valid configuration");
+            bias_agents = config.additive_bias().unwrap_or(0);
+            let mut sim = UsdSimulator::new(config, seed.child(1));
+            let result = sim.run_to_settlement(budget);
+            if result.winner().map(|w| w.index()) == Some(0) {
+                wins += 1;
+            }
+        }
+        let (rate, lo, hi) = proportion_with_wilson(wins, trials);
+        println!(
+            "{:>18.2}  {:>12}  {:>13.2}    [{:.2}, {:.2}]",
+            mult, bias_agents, rate, lo, hi
+        );
+    }
+
+    println!();
+    println!(
+        "expected shape: ~1/k = {:.2} at zero bias, rising to ~1.0 beyond one threshold unit",
+        1.0 / k as f64
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run the k-opinion USD once and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use k_opinion_usd::prelude::*;
+
+fn main() {
+    let n = 100_000;
+    let k = 10;
+
+    // Start from an additive bias of 2·sqrt(n ln n) for opinion 1 (index 0),
+    // the Theorem 2.2 regime.
+    let config = InitialConfig::new(n, k)
+        .additive_bias_in_sqrt_n_log_n(2.0)
+        .build(SimSeed::from_u64(1))
+        .expect("valid initial configuration");
+
+    println!("initial configuration: {config}");
+    println!(
+        "initial additive bias: {} (threshold sqrt(n ln n) = {:.0})",
+        config.additive_bias().unwrap_or(0),
+        bounds::bias_margin(n, 1.0)
+    );
+
+    let mut sim = UsdSimulator::new(config, SimSeed::from_u64(2));
+    let result = sim.run_with_phases(1.0, 100_000_000_000);
+
+    println!();
+    println!("consensus reached: {}", result.run.reached_consensus());
+    if let Some(winner) = result.run.winner() {
+        println!("winner: {winner} (initial plurality won: {:?})", result.plurality_won);
+    }
+    println!(
+        "interactions: {}  (parallel time {:.1}, paper bound O(k n log n) = {:.0})",
+        result.run.interactions(),
+        result.run.parallel_time(),
+        bounds::theorem2_additive_bound_in_k(n, k)
+    );
+
+    println!();
+    println!("phase hitting times (interactions):");
+    for phase in Phase::ALL {
+        match result.phases.hitting_time(phase) {
+            Some(t) => println!("  {phase}: T{} = {t}", phase.number()),
+            None => println!("  {phase}: not reached"),
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Scaling study: measure how the USD's convergence time grows with `n` and
+//! `k` and fit the measurements against the paper's Theorem 2 predictions.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use k_opinion_usd::prelude::*;
+use pp_analysis::regression::{log_log_fit, proportionality_fit};
+use pp_analysis::Summary;
+
+fn mean_time(n: u64, k: usize, additive_multiplier: f64, trials: u64) -> f64 {
+    let budget = 400 * (k as u64) * n * (n as f64).ln() as u64;
+    let mut times = Vec::new();
+    for trial in 0..trials {
+        let seed = SimSeed::from_u64(9_000 + trial);
+        let config = InitialConfig::new(n, k)
+            .additive_bias_in_sqrt_n_log_n(additive_multiplier)
+            .build(seed)
+            .expect("valid configuration");
+        let mut sim = UsdSimulator::new(config, seed.child(5));
+        let result = sim.run_to_consensus(budget);
+        times.push(result.interactions() as f64);
+    }
+    Summary::from_slice(&times).mean()
+}
+
+fn main() {
+    let trials = 8;
+
+    // Sweep n at fixed k (additive-bias regime, Theorem 2.2: ~ k n log n).
+    let k = 6;
+    let ns: [u64; 4] = [5_000, 10_000, 20_000, 40_000];
+    println!("sweep over n at k = {k} (additive bias 2·sqrt(n ln n), {trials} trials each):");
+    let mut n_xs = Vec::new();
+    let mut n_ys = Vec::new();
+    for &n in &ns {
+        let t = mean_time(n, k, 2.0, trials);
+        println!("  n = {:>7}: mean interactions = {:>14.0}  ({:.2} × k n ln n)", n, t, t / (k as f64 * n as f64 * (n as f64).ln()));
+        n_xs.push(n as f64);
+        n_ys.push(t);
+    }
+    if let Ok(fit) = log_log_fit(&n_xs, &n_ys) {
+        println!(
+            "  log-log slope in n = {:.3} (n log n predicts ≈ 1.0–1.15), R² = {:.4}",
+            fit.slope, fit.r_squared
+        );
+    }
+
+    // Sweep k at fixed n (Theorem 2.2: linear in k).
+    let n = 20_000u64;
+    let ks = [2usize, 4, 8, 16];
+    println!("\nsweep over k at n = {n}:");
+    let mut k_xs = Vec::new();
+    let mut k_ys = Vec::new();
+    for &k in &ks {
+        let t = mean_time(n, k, 2.0, trials);
+        println!("  k = {:>3}: mean interactions = {:>14.0}", k, t);
+        k_xs.push(k as f64);
+        k_ys.push(t);
+    }
+    if let Ok(fit) = proportionality_fit(&k_xs, &k_ys, |k| k * n as f64 * (n as f64).ln()) {
+        println!(
+            "  fit: interactions ≈ {:.2} · k n ln n (relative RMSE {:.2})",
+            fit.coefficient, fit.relative_rmse
+        );
+    }
+
+    println!("\nexpected shape (Theorem 2.2): interactions grow like k · n log n");
+}

@@ -1,0 +1,53 @@
+//! # k-opinion-usd — reproduction of the k-opinion Undecided State Dynamics
+//!
+//! This is the facade crate of the reproduction of *"Fast Convergence of
+//! k-Opinion Undecided State Dynamics in the Population Protocol Model"*
+//! (PODC 2023).  It re-exports the workspace crates under stable module
+//! names so examples and downstream users need a single dependency:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `pp-core` | population protocol engine (configurations, simulators, schedulers) |
+//! | [`usd`] | `usd-core` | the k-opinion USD, phases, potentials, bounds, coupling |
+//! | [`dynamics`] | `consensus-dynamics` | Voter, TwoChoices, 3-Majority, MedianRule, synchronized USD |
+//! | [`gossip`] | `gossip-model` | gossip-model engine, USD-in-gossip, Poisson-clock variant |
+//! | [`analysis`] | `pp-analysis` | statistics, regression, random walks, drift, concentration |
+//! | [`workloads`] | `pp-workloads` | initial-configuration generators |
+//! | [`experiments`] | `usd-experiments` | the E1–E10 experiment harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use k_opinion_usd::prelude::*;
+//!
+//! // 10 000 agents, 8 opinions, plurality leads by 2·sqrt(n ln n).
+//! let config = InitialConfig::new(10_000, 8)
+//!     .additive_bias_in_sqrt_n_log_n(2.0)
+//!     .build(SimSeed::from_u64(1))
+//!     .unwrap();
+//! let mut sim = UsdSimulator::new(config, SimSeed::from_u64(2));
+//! let result = sim.run_to_consensus(500_000_000);
+//! assert!(result.reached_consensus());
+//! assert_eq!(result.winner().unwrap().index(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pp_analysis as analysis;
+pub use pp_core as core;
+pub use pp_workloads as workloads;
+pub use consensus_dynamics as dynamics;
+pub use gossip_model as gossip;
+pub use usd_core as usd;
+pub use usd_experiments as experiments;
+
+/// One-stop prelude for examples and quick scripts.
+pub mod prelude {
+    pub use pp_core::prelude::*;
+    pub use pp_workloads::{BiasSpec, InitialConfig, UndecidedSpec};
+    pub use usd_core::{
+        bounds, potential, ApproximateMajority, CoupledUsd, MeanFieldState, Phase, PhaseTimes,
+        PhaseTracker, Trajectory, TwoOpinionChain, UndecidedStateDynamics, UsdSimulator,
+    };
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration of the baseline dynamics and the gossip-model
+//! engines against the same workloads as the USD.
+
+use consensus_dynamics::{
+    MedianRule, SequentialSampler, SynchronizedUsd, ThreeMajority, TwoChoices, Voter,
+};
+use gossip_model::{PoissonGossip, UsdGossip};
+use k_opinion_usd::prelude::*;
+use pp_core::StopCondition;
+
+#[test]
+fn all_baselines_reach_consensus_on_a_biased_start() {
+    let n = 800;
+    let k = 4;
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(2.0)
+        .build(SimSeed::from_u64(1))
+        .unwrap();
+    let budget = 50_000_000;
+    let stop = StopCondition::consensus().or_max_interactions(budget);
+
+    let voter = SequentialSampler::new(Voter::new(k), config.clone(), SimSeed::from_u64(2)).run(stop);
+    assert!(voter.reached_consensus(), "voter did not converge");
+
+    let two = SequentialSampler::new(TwoChoices::new(k), config.clone(), SimSeed::from_u64(3)).run(stop);
+    assert!(two.reached_consensus(), "two-choices did not converge");
+    assert_eq!(two.winner().unwrap().index(), 0, "two-choices should preserve a 2x plurality");
+
+    let three = SequentialSampler::new(ThreeMajority::new(k), config.clone(), SimSeed::from_u64(4)).run(stop);
+    assert!(three.reached_consensus(), "3-majority did not converge");
+    assert_eq!(three.winner().unwrap().index(), 0, "3-majority should preserve a 2x plurality");
+
+    let median = SequentialSampler::new(MedianRule::new(k), config.clone(), SimSeed::from_u64(5)).run(stop);
+    assert!(median.reached_consensus(), "median rule did not converge");
+
+    let mut sync = SynchronizedUsd::new(&config, SimSeed::from_u64(6));
+    let sync_result = sync.run(100_000);
+    assert!(sync_result.reached_consensus(), "synchronized USD did not converge");
+    assert_eq!(sync_result.winner().unwrap().index(), 0);
+}
+
+#[test]
+fn gossip_usd_converges_in_fewer_rounds_than_population_parallel_time_without_bias() {
+    // One gossip round can flip Θ(n) agents, so from a uniform start the
+    // gossip USD should use at most as much parallel time as the population
+    // USD (which needs Θ(k n log n) interactions = Θ(k log n) parallel time).
+    let n = 2_000;
+    let k = 8;
+    let config = InitialConfig::new(n, k).build(SimSeed::from_u64(7)).unwrap();
+
+    let mut pp = UsdSimulator::new(config.clone(), SimSeed::from_u64(8));
+    let pp_result = pp.run_to_consensus(10_000_000_000);
+    assert!(pp_result.reached_consensus());
+
+    let mut gossip = UsdGossip::new(&config, SimSeed::from_u64(9));
+    let gossip_result = gossip.run(1_000_000);
+    assert!(gossip_result.reached_consensus());
+
+    assert!(
+        (gossip_result.interactions() as f64) <= pp_result.parallel_time() * 3.0,
+        "gossip rounds {} vs population parallel time {:.1}",
+        gossip_result.interactions(),
+        pp_result.parallel_time()
+    );
+}
+
+#[test]
+fn poisson_clock_variant_matches_population_model_interaction_counts() {
+    let n = 1_000;
+    let k = 3;
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(2.0)
+        .build(SimSeed::from_u64(10))
+        .unwrap();
+    let mut poisson = PoissonGossip::new(UndecidedStateDynamics::new(k), config.clone(), SimSeed::from_u64(11)).unwrap();
+    let result = poisson.run(StopCondition::consensus().or_max_interactions(500_000_000));
+    assert!(result.reached_consensus());
+    // Continuous time ≈ interactions / n.
+    let expected = result.interactions() as f64 / n as f64;
+    let measured = poisson.continuous_time();
+    assert!(
+        (measured - expected).abs() / expected < 0.2,
+        "continuous time {measured} vs interactions/n {expected}"
+    );
+}
+
+#[test]
+fn usd_beats_the_voter_process_from_a_tie() {
+    // The Voter process needs Θ(n) parallel time from a two-way tie, the USD
+    // only Θ(k log n): on a small instance the USD should be significantly
+    // faster.
+    let n = 1_500;
+    let k = 2;
+    let config = InitialConfig::new(n, k).build(SimSeed::from_u64(12)).unwrap();
+    let budget = 500_000_000;
+
+    let mut usd = UsdSimulator::new(config.clone(), SimSeed::from_u64(13));
+    let usd_time = usd.run_to_consensus(budget).parallel_time();
+
+    let voter_time = SequentialSampler::new(Voter::new(k), config, SimSeed::from_u64(14))
+        .run(StopCondition::consensus().or_max_interactions(budget))
+        .parallel_time();
+
+    assert!(
+        usd_time * 2.0 < voter_time,
+        "expected the USD ({usd_time:.1}) to be much faster than the Voter process ({voter_time:.1})"
+    );
+}
+
+#[test]
+fn gossip_and_population_usd_agree_on_the_winner_under_strong_bias() {
+    let n = 2_000;
+    let k = 5;
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(4.0)
+        .build(SimSeed::from_u64(15))
+        .unwrap();
+
+    let mut pp = UsdSimulator::new(config.clone(), SimSeed::from_u64(16));
+    let pp_winner = pp.run_to_consensus(10_000_000_000).winner();
+
+    let mut gossip = UsdGossip::new(&config, SimSeed::from_u64(17));
+    let gossip_winner = gossip.run(1_000_000).winner();
+
+    assert_eq!(pp_winner.map(|w| w.index()), Some(0));
+    assert_eq!(gossip_winner.map(|w| w.index()), Some(0));
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration tests: workload generators → USD simulator →
+//! paper-level guarantees (consensus, plurality preservation, bounds).
+
+use k_opinion_usd::prelude::*;
+
+fn budget(n: u64, k: usize) -> u64 {
+    // Generous multiple of the paper's O(k n log n) bound.
+    (300.0 * k as f64 * n as f64 * (n as f64).ln()) as u64 + 100_000
+}
+
+#[test]
+fn additive_bias_runs_reach_plurality_consensus() {
+    let n = 2_000;
+    let k = 5;
+    let mut plurality_wins = 0;
+    let trials = 8;
+    for trial in 0..trials {
+        let seed = SimSeed::from_u64(100 + trial);
+        let config = InitialConfig::new(n, k)
+            .additive_bias_in_sqrt_n_log_n(2.0)
+            .build(seed)
+            .unwrap();
+        assert!(bounds::undecided_admissible(&config));
+        let mut sim = UsdSimulator::new(config, seed.child(1));
+        let result = sim.run_to_consensus(budget(n, k));
+        assert!(result.reached_consensus(), "trial {trial} did not converge");
+        if result.winner().unwrap().index() == 0 {
+            plurality_wins += 1;
+        }
+    }
+    assert!(
+        plurality_wins >= trials - 1,
+        "plurality won only {plurality_wins}/{trials} trials with a 2-sigma additive bias"
+    );
+}
+
+#[test]
+fn multiplicative_bias_runs_are_faster_than_no_bias_runs() {
+    let n = 1_500;
+    let k = 6;
+    let trials = 4;
+    let mut biased_total = 0u64;
+    let mut uniform_total = 0u64;
+    for trial in 0..trials {
+        let seed = SimSeed::from_u64(200 + trial);
+        let biased = InitialConfig::new(n, k).multiplicative_bias(3.0).build(seed).unwrap();
+        let uniform = InitialConfig::new(n, k).build(seed).unwrap();
+        let mut sim_b = UsdSimulator::new(biased, seed.child(1));
+        let mut sim_u = UsdSimulator::new(uniform, seed.child(2));
+        biased_total += sim_b.run_to_consensus(budget(n, k)).interactions();
+        uniform_total += sim_u.run_to_consensus(budget(n, k)).interactions();
+    }
+    assert!(
+        biased_total < uniform_total,
+        "multiplicative-bias runs ({biased_total}) should be faster in total than uniform runs ({uniform_total})"
+    );
+}
+
+#[test]
+fn no_bias_runs_still_converge_within_the_k_n_log_n_envelope() {
+    let n = 2_000;
+    let k = 4;
+    for trial in 0..5 {
+        let seed = SimSeed::from_u64(300 + trial);
+        let config = InitialConfig::new(n, k).build(seed).unwrap();
+        let mut sim = UsdSimulator::new(config, seed.child(1));
+        let result = sim.run_to_consensus(budget(n, k));
+        assert!(result.reached_consensus());
+        let envelope = 100.0 * bounds::theorem2_additive_bound_in_k(n, k);
+        assert!(
+            (result.interactions() as f64) < envelope,
+            "trial {trial} took {} interactions, beyond 100x the k n log n envelope",
+            result.interactions()
+        );
+    }
+}
+
+#[test]
+fn initially_undecided_agents_are_admissible_and_converge() {
+    let n = 1_500;
+    let k = 3;
+    let seed = SimSeed::from_u64(77);
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(2.0)
+        .max_admissible_undecided()
+        .build(seed)
+        .unwrap();
+    assert!(bounds::undecided_admissible(&config));
+    assert!(config.undecided() > 0);
+    let mut sim = UsdSimulator::new(config, seed.child(1));
+    let result = sim.run_to_consensus(budget(n, k));
+    assert!(result.reached_consensus());
+}
+
+#[test]
+fn dirichlet_and_power_law_workloads_converge() {
+    let n = 1_200;
+    let k = 6;
+    for (idx, spec) in [
+        InitialConfig::new(n, k).power_law(1.0),
+        InitialConfig::new(n, k).dirichlet_like(2),
+        InitialConfig::new(n, k).two_way_tie(0.5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let seed = SimSeed::from_u64(400 + idx as u64);
+        let config = spec.build(seed).unwrap();
+        let mut sim = UsdSimulator::new(config, seed.child(9));
+        let result = sim.run_to_consensus(budget(n, k));
+        assert!(result.reached_consensus(), "workload {idx} did not converge");
+    }
+}
+
+#[test]
+fn settlement_and_consensus_agree_on_the_winner() {
+    let n = 1_000;
+    let k = 4;
+    for trial in 0..4 {
+        let seed = SimSeed::from_u64(500 + trial);
+        let config = InitialConfig::new(n, k)
+            .additive_bias_in_sqrt_n_log_n(3.0)
+            .build(seed)
+            .unwrap();
+        let mut a = UsdSimulator::new(config.clone(), seed.child(1));
+        let mut b = UsdSimulator::new(config, seed.child(1));
+        let settled = a.run_to_settlement(budget(n, k));
+        let consensus = b.run_to_consensus(budget(n, k));
+        assert_eq!(settled.winner(), consensus.winner());
+        assert!(settled.interactions() <= consensus.interactions());
+    }
+}
+
+#[test]
+fn two_opinion_usd_recovers_approximate_majority() {
+    let n = 4_000u64;
+    let bias = (2.0 * bounds::bias_margin(n, 1.0)) as u64;
+    let majority = (n + bias) / 2;
+    let am = ApproximateMajority::new(majority, n - majority, 0).unwrap();
+    let mut majority_wins = 0;
+    for trial in 0..6 {
+        let (outcome, result) = am.run(SimSeed::from_u64(600 + trial), budget(n, 2));
+        assert!(result.reached_consensus());
+        if outcome == k_opinion_usd::usd::two_opinion::MajorityOutcome::MajorityWon {
+            majority_wins += 1;
+        }
+    }
+    assert!(majority_wins >= 5, "majority won only {majority_wins}/6 runs");
+}

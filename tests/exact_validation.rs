@@ -1,0 +1,115 @@
+//! Validates the simulators against the exact Markov-chain solution of the
+//! two-opinion USD on small populations (the strongest correctness check we
+//! have: not an asymptotic bound but the exact finite-n law).
+
+use k_opinion_usd::prelude::*;
+use pp_core::{Configuration, StopCondition};
+use usd_core::exact::TwoOpinionChain;
+
+#[test]
+fn simulated_win_rate_matches_the_exact_chain() {
+    let n = 30u64;
+    let chain = TwoOpinionChain::solve(n, 1e-12, 200_000);
+    // A moderately biased start where the exact win probability is strictly
+    // between 0 and 1.
+    let (x1, u) = (17u64, 4u64);
+    let exact = chain.win_probability(x1, u).unwrap();
+    assert!(exact > 0.55 && exact < 0.99, "test point not informative: {exact}");
+
+    let trials = 3_000u64;
+    let mut wins = 0u64;
+    for t in 0..trials {
+        let config = Configuration::from_counts(vec![x1, n - x1 - u], u).unwrap();
+        let mut sim = UsdSimulator::new(config, SimSeed::from_u64(1_000 + t));
+        let result = sim.run_to_consensus(5_000_000);
+        assert!(result.reached_consensus());
+        if result.winner().unwrap().index() == 0 {
+            wins += 1;
+        }
+    }
+    let measured = wins as f64 / trials as f64;
+    // Standard error at 3000 trials is ≈ 0.009; allow 4 sigma.
+    assert!(
+        (measured - exact).abs() < 0.04,
+        "simulated win rate {measured} vs exact {exact}"
+    );
+}
+
+#[test]
+fn simulated_mean_consensus_time_matches_the_exact_chain() {
+    let n = 24u64;
+    let chain = TwoOpinionChain::solve(n, 1e-12, 200_000);
+    let (x1, u) = (12u64, 0u64);
+    let exact = chain.expected_interactions(x1, u).unwrap();
+
+    let trials = 2_000u64;
+    let mut total = 0u64;
+    for t in 0..trials {
+        let config = Configuration::from_counts(vec![x1, n - x1], u).unwrap();
+        let mut sim = UsdSimulator::new(config, SimSeed::from_u64(50_000 + t));
+        let result = sim.run_to_consensus(10_000_000);
+        assert!(result.reached_consensus());
+        total += result.interactions();
+    }
+    let measured = total as f64 / trials as f64;
+    assert!(
+        (measured - exact).abs() / exact < 0.1,
+        "simulated mean time {measured} vs exact {exact}"
+    );
+}
+
+#[test]
+fn agent_level_simulator_also_matches_the_exact_chain() {
+    let n = 20u64;
+    let chain = TwoOpinionChain::solve(n, 1e-12, 200_000);
+    let (x1, u) = (12u64, 2u64);
+    let exact = chain.win_probability(x1, u).unwrap();
+
+    let trials = 1_500u64;
+    let mut wins = 0u64;
+    let config = Configuration::from_counts(vec![x1, n - x1 - u], u).unwrap();
+    for t in 0..trials {
+        let mut sim = pp_core::AgentSimulator::new(
+            UndecidedStateDynamics::new(2),
+            &config,
+            SimSeed::from_u64(90_000 + t),
+        );
+        let result = sim.run(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+        if result.winner().unwrap().index() == 0 {
+            wins += 1;
+        }
+    }
+    let measured = wins as f64 / trials as f64;
+    assert!(
+        (measured - exact).abs() < 0.05,
+        "agent-simulator win rate {measured} vs exact {exact}"
+    );
+}
+
+#[test]
+fn mean_field_limit_is_consistent_with_large_simulations() {
+    // The peak undecided fraction of a large stochastic run should be close
+    // to the fluid-limit prediction.
+    let n = 20_000u64;
+    let k = 4usize;
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(2.0)
+        .build(SimSeed::from_u64(5))
+        .unwrap();
+    let mf_initial = usd_core::mean_field::MeanFieldState::from_configuration(&config);
+    let mf = usd_core::mean_field::integrate_to_consensus(&mf_initial, 0.005, 1e-4, 5_000.0);
+
+    let mut sim = UsdSimulator::new(config, SimSeed::from_u64(6));
+    let mut trajectory = Trajectory::sampled_every(n / 20, 1.0);
+    sim.run_recorded(
+        StopCondition::opinion_settled().or_max_interactions(2_000_000_000),
+        &mut trajectory,
+    );
+    let peak = trajectory.peak_undecided().unwrap() as f64 / n as f64;
+    assert!(
+        (peak - mf.peak_undecided).abs() < 0.05,
+        "stochastic peak undecided fraction {peak} vs fluid limit {}",
+        mf.peak_undecided
+    );
+}

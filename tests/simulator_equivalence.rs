@@ -1,0 +1,131 @@
+//! The count-based simulator and the agent-level simulator implement the same
+//! stochastic process.  These tests compare the two engines statistically on
+//! small populations.
+
+use k_opinion_usd::prelude::*;
+use pp_analysis::Summary;
+use pp_core::{AgentSimulator, CountSimulator, StopCondition};
+
+fn consensus_times<F: Fn(u64) -> u64>(run: F, trials: u64) -> Summary {
+    Summary::from_u64((0..trials).map(run))
+}
+
+#[test]
+fn count_and_agent_simulators_have_matching_time_distributions() {
+    let n = 400u64;
+    let k = 3usize;
+    let trials = 30;
+    let budget = 10_000_000;
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(2.0)
+        .build(SimSeed::from_u64(1))
+        .unwrap();
+
+    let count_times = consensus_times(
+        |t| {
+            let mut sim = CountSimulator::new(
+                UndecidedStateDynamics::new(k),
+                config.clone(),
+                SimSeed::from_u64(10_000 + t),
+            );
+            sim.run(StopCondition::consensus().or_max_interactions(budget)).interactions()
+        },
+        trials,
+    );
+    let agent_times = consensus_times(
+        |t| {
+            let mut sim = AgentSimulator::new(
+                UndecidedStateDynamics::new(k),
+                &config,
+                SimSeed::from_u64(20_000 + t),
+            );
+            sim.run(StopCondition::consensus().or_max_interactions(budget)).interactions()
+        },
+        trials,
+    );
+
+    // The two engines simulate the same Markov chain, so their mean
+    // convergence times must agree up to sampling error.  Use a tolerant
+    // threshold: 35% relative difference of means with 30 trials each.
+    let rel_diff = (count_times.mean() - agent_times.mean()).abs() / agent_times.mean();
+    assert!(
+        rel_diff < 0.35,
+        "count simulator mean {} vs agent simulator mean {} (relative difference {rel_diff:.2})",
+        count_times.mean(),
+        agent_times.mean()
+    );
+}
+
+#[test]
+fn winner_distributions_match_between_engines() {
+    // From a configuration with a moderate bias, both engines should let the
+    // plurality win at comparable (high) rates.
+    let n = 300u64;
+    let k = 2usize;
+    let trials = 40;
+    let budget = 5_000_000;
+    let config = InitialConfig::new(n, k).additive_bias(40).build(SimSeed::from_u64(2)).unwrap();
+
+    let mut count_wins = 0u32;
+    let mut agent_wins = 0u32;
+    for t in 0..trials {
+        let mut cs = CountSimulator::new(
+            UndecidedStateDynamics::new(k),
+            config.clone(),
+            SimSeed::from_u64(30_000 + t),
+        );
+        if cs
+            .run(StopCondition::consensus().or_max_interactions(budget))
+            .winner()
+            .map(|w| w.index())
+            == Some(0)
+        {
+            count_wins += 1;
+        }
+        let mut asim = AgentSimulator::new(
+            UndecidedStateDynamics::new(k),
+            &config,
+            SimSeed::from_u64(40_000 + t),
+        );
+        if asim
+            .run(StopCondition::consensus().or_max_interactions(budget))
+            .winner()
+            .map(|w| w.index())
+            == Some(0)
+        {
+            agent_wins += 1;
+        }
+    }
+    let diff = (f64::from(count_wins) - f64::from(agent_wins)).abs() / trials as f64;
+    assert!(
+        diff < 0.3,
+        "win rates diverge: count {count_wins}/{trials} vs agent {agent_wins}/{trials}"
+    );
+    assert!(count_wins as u64 > trials / 2, "plurality should usually win ({count_wins}/{trials})");
+}
+
+#[test]
+fn productive_step_fractions_agree_with_the_analytic_probability() {
+    // Check the count engine's sampling against the closed-form productive
+    // probability of Appendix B on a frozen configuration: take single steps
+    // from many freshly-seeded simulators.
+    let config = pp_core::Configuration::from_counts(vec![150, 100, 50], 100).unwrap();
+    let analytic = k_opinion_usd::usd::potential::productive_probability(&config);
+    let trials = 3_000u32;
+    let mut productive = 0u32;
+    for t in 0..trials {
+        let mut sim = CountSimulator::new(
+            UndecidedStateDynamics::new(3),
+            config.clone(),
+            SimSeed::from_u64(50_000 + u64::from(t)),
+        );
+        if sim.step() {
+            productive += 1;
+        }
+    }
+    let measured = f64::from(productive) / f64::from(trials);
+    assert!(
+        (measured - analytic).abs() < 0.04,
+        "measured productive fraction {measured} vs analytic {analytic}"
+    );
+}
