@@ -43,7 +43,9 @@ pub fn hoeffding_tail(n: u64, range: f64, lambda: f64) -> f64 {
     assert!(n > 0, "need at least one variable");
     assert!(range > 0.0, "range must be positive");
     assert!(lambda >= 0.0, "deviation must be non-negative");
-    (-2.0 * lambda * lambda / (n as f64 * range * range)).exp().min(1.0)
+    (-2.0 * lambda * lambda / (n as f64 * range * range))
+        .exp()
+        .min(1.0)
 }
 
 /// Anti-concentration bound of Lemma 22 (Klein–Young): for a binomial with
@@ -55,7 +57,7 @@ pub fn hoeffding_tail(n: u64, range: f64, lambda: f64) -> f64 {
 #[must_use]
 pub fn anti_concentration_lower_bound(n: u64, p: f64, delta: f64) -> Option<f64> {
     let mu = n as f64 * p;
-    if !(0.0 < delta && delta <= 0.5) || !(0.0 < p && p <= 0.5) || delta * delta * mu < 3.0 {
+    if !(0.0 < delta && delta <= 0.5 && 0.0 < p && p <= 0.5) || delta * delta * mu < 3.0 {
         return None;
     }
     Some((-9.0 * delta * delta * mu).exp())
@@ -150,7 +152,10 @@ mod tests {
             }
         }
         let freq = f64::from(exceed) / f64::from(trials);
-        assert!(freq >= bound, "freq {freq} below anti-concentration bound {bound}");
+        assert!(
+            freq >= bound,
+            "freq {freq} below anti-concentration bound {bound}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ use serde::{Deserialize, Serialize};
 pub fn multiplicative_drift_time_bound(delta: f64, s0: f64, s_min: f64, r: f64) -> f64 {
     assert!(delta > 0.0, "drift coefficient must be positive");
     assert!(s_min > 0.0, "minimal value must be positive");
-    assert!(s0 >= s_min, "starting value must be at least the minimal value");
+    assert!(
+        s0 >= s_min,
+        "starting value must be at least the minimal value"
+    );
     ((r + (s0 / s_min).ln()) / delta).ceil()
 }
 
@@ -81,8 +84,17 @@ pub fn estimate_drift(values: &[f64]) -> Option<DriftEstimate> {
     }
     let mean_decrease = total_decrease / steps as f64;
     let mean_level = total_level / steps as f64;
-    let implied_delta = if mean_level > 0.0 { mean_decrease / mean_level } else { 0.0 };
-    Some(DriftEstimate { mean_decrease, mean_level, steps, implied_delta })
+    let implied_delta = if mean_level > 0.0 {
+        mean_decrease / mean_level
+    } else {
+        0.0
+    };
+    Some(DriftEstimate {
+        mean_decrease,
+        mean_level,
+        steps,
+        implied_delta,
+    })
 }
 
 #[cfg(test)]
@@ -104,7 +116,10 @@ mod tests {
 
     #[test]
     fn phase1_bound_matches_seven_n_ln_n() {
-        assert_eq!(phase1_interaction_bound(1000), (7.0 * 1000.0 * 1000.0f64.ln()).ceil() as u64);
+        assert_eq!(
+            phase1_interaction_bound(1000),
+            (7.0 * 1000.0 * 1000.0f64.ln()).ceil() as u64
+        );
     }
 
     #[test]
@@ -115,7 +130,11 @@ mod tests {
             values.push(values.last().unwrap() * 0.9);
         }
         let d = estimate_drift(&values).unwrap();
-        assert!((d.implied_delta - 0.1).abs() < 1e-9, "delta = {}", d.implied_delta);
+        assert!(
+            (d.implied_delta - 0.1).abs() < 1e-9,
+            "delta = {}",
+            d.implied_delta
+        );
         assert_eq!(d.steps, 50);
     }
 

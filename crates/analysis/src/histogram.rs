@@ -35,7 +35,13 @@ impl Histogram {
         if bins == 0 || hi <= lo || !lo.is_finite() || !hi.is_finite() {
             return None;
         }
-        Some(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 })
+        Some(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
     }
 
     /// Adds one observation.
@@ -78,7 +84,10 @@ impl Histogram {
     #[must_use]
     pub fn bin_range(&self, i: usize) -> (f64, f64) {
         let width = (self.hi - self.lo) / self.bins.len() as f64;
-        (self.lo + width * i as f64, self.lo + width * (i as f64 + 1.0))
+        (
+            self.lo + width * i as f64,
+            self.lo + width * (i as f64 + 1.0),
+        )
     }
 
     /// Observations smaller than the histogram range.
@@ -102,7 +111,11 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             let (lo, hi) = self.bin_range(i);
             let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
-            out.push_str(&format!("[{lo:>12.1}, {hi:>12.1})  {:>8}  {}\n", c, "#".repeat(bar_len)));
+            out.push_str(&format!(
+                "[{lo:>12.1}, {hi:>12.1})  {:>8}  {}\n",
+                c,
+                "#".repeat(bar_len)
+            ));
         }
         out
     }

@@ -42,4 +42,4 @@ pub mod stats;
 
 pub use histogram::Histogram;
 pub use regression::{log_log_fit, LinearFit};
-pub use stats::Summary;
+pub use stats::{chi_squared_binned, chi_squared_two_sample, ChiSquaredTest, Summary};

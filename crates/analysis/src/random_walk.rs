@@ -110,7 +110,10 @@ pub fn excess_failure_probability_bound(p: f64, b: u64) -> f64 {
 /// Panics if `q <= p` or the probabilities are not in `(0, 1)`.
 #[must_use]
 pub fn reflecting_walk_excursion_bound(p: f64, q: f64, m: u64, steps: u64) -> f64 {
-    assert!(p > 0.0 && q > 0.0 && p + q <= 1.0 + 1e-12, "invalid step probabilities");
+    assert!(
+        p > 0.0 && q > 0.0 && p + q <= 1.0 + 1e-12,
+        "invalid step probabilities"
+    );
     assert!(q > p, "bound requires a downward drift (q > p)");
     (steps as f64 * (p / q).powi(m as i32)).min(1.0)
 }
@@ -322,7 +325,10 @@ mod tests {
                 absorbed += 1;
             }
         }
-        assert_eq!(absorbed, trials, "every walk should absorb well within the budget");
+        assert_eq!(
+            absorbed, trials,
+            "every walk should absorb well within the budget"
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl LinearFit {
 /// distinct x-values.
 pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
     if xs.len() != ys.len() {
-        return Err(FitError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
     }
     if xs.len() < 2 {
         return Err(FitError::NotEnoughData);
@@ -90,8 +93,16 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Ok(LinearFit { slope, intercept, r_squared })
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Fits a power law `y ≈ C·x^slope` by regressing `ln y` on `ln x`.
@@ -137,7 +148,10 @@ pub fn proportionality_fit<F: Fn(f64) -> f64>(
     model: F,
 ) -> Result<ProportionalFit, FitError> {
     if xs.len() != ys.len() {
-        return Err(FitError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
     }
     if xs.is_empty() {
         return Err(FitError::NotEnoughData);
@@ -159,8 +173,15 @@ pub fn proportionality_fit<F: Fn(f64) -> f64>(
             used += 1;
         }
     }
-    let rel_rmse = if used == 0 { 0.0 } else { (sq_rel_err / used as f64).sqrt() };
-    Ok(ProportionalFit { coefficient: c, relative_rmse: rel_rmse })
+    let rel_rmse = if used == 0 {
+        0.0
+    } else {
+        (sq_rel_err / used as f64).sqrt()
+    };
+    Ok(ProportionalFit {
+        coefficient: c,
+        relative_rmse: rel_rmse,
+    })
 }
 
 /// Result of a single-coefficient proportionality fit.
@@ -190,7 +211,11 @@ mod tests {
     #[test]
     fn noisy_line_has_reasonable_r_squared() {
         let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| 3.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
         let fit = linear_fit(&xs, &ys).unwrap();
         assert!((fit.slope - 3.0).abs() < 0.05);
         assert!(fit.r_squared > 0.99);
@@ -198,7 +223,10 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(linear_fit(&[1.0], &[1.0]), Err(FitError::NotEnoughData)));
+        assert!(matches!(
+            linear_fit(&[1.0], &[1.0]),
+            Err(FitError::NotEnoughData)
+        ));
         assert!(matches!(
             linear_fit(&[1.0, 2.0], &[1.0]),
             Err(FitError::LengthMismatch { .. })
@@ -207,7 +235,10 @@ mod tests {
             linear_fit(&[1.0, 1.0], &[1.0, 2.0]),
             Err(FitError::NotEnoughData)
         ));
-        assert!(matches!(log_log_fit(&[0.0, 1.0], &[1.0, 1.0]), Err(FitError::NonPositiveValue)));
+        assert!(matches!(
+            log_log_fit(&[0.0, 1.0], &[1.0, 1.0]),
+            Err(FitError::NonPositiveValue)
+        ));
     }
 
     #[test]
@@ -224,7 +255,11 @@ mod tests {
         let xs: [f64; 4] = [1e3, 1e4, 1e5, 1e6];
         let ys: Vec<f64> = xs.iter().map(|&x| 4.0 * x * x.ln()).collect();
         let fit = log_log_fit(&xs, &ys).unwrap();
-        assert!(fit.slope > 1.05 && fit.slope < 1.25, "slope = {}", fit.slope);
+        assert!(
+            fit.slope > 1.05 && fit.slope < 1.25,
+            "slope = {}",
+            fit.slope
+        );
     }
 
     #[test]

@@ -173,6 +173,119 @@ pub fn proportion_with_wilson(successes: u64, trials: u64) -> (f64, f64, f64) {
     (p, (center - half).max(0.0), (center + half).min(1.0))
 }
 
+/// The result of a two-sample chi-squared homogeneity test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChiSquaredTest {
+    /// The chi-squared statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (non-empty bins minus one).
+    pub degrees_of_freedom: usize,
+}
+
+impl ChiSquaredTest {
+    /// Approximate upper critical value of the chi-squared distribution with
+    /// this test's degrees of freedom at the standard-normal quantile `z`
+    /// (Wilson–Hilferty cube approximation; `z = 3.09` ≈ the `α = 0.001`
+    /// tail, `z = 2.33` ≈ `α = 0.01`).
+    #[must_use]
+    pub fn critical_value(&self, z: f64) -> f64 {
+        let df = self.degrees_of_freedom as f64;
+        if df == 0.0 {
+            return 0.0;
+        }
+        let t = 1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt();
+        df * t.powi(3)
+    }
+
+    /// Returns `true` if the statistic stays below the critical value at
+    /// standard-normal quantile `z` — i.e. the two samples are consistent
+    /// with one distribution at that significance level.
+    #[must_use]
+    pub fn consistent_at(&self, z: f64) -> bool {
+        self.statistic <= self.critical_value(z)
+    }
+}
+
+/// Two-sample chi-squared homogeneity statistic over pre-binned counts.
+///
+/// Bins where both samples are empty are dropped; the remaining bins
+/// contribute the standard homogeneity terms
+/// `(a_i·√(B/A) − b_i·√(A/B))² / (a_i + b_i)` with `A`, `B` the sample
+/// totals.  Under the null hypothesis (both samples drawn from the same
+/// distribution) the statistic is asymptotically chi-squared with
+/// `bins − 1` degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use pp_analysis::stats::chi_squared_two_sample;
+/// let test = chi_squared_two_sample(&[50, 50, 50], &[48, 55, 47]);
+/// assert_eq!(test.degrees_of_freedom, 2);
+/// assert!(test.consistent_at(3.09));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or either sample is empty.
+#[must_use]
+pub fn chi_squared_two_sample(a: &[u64], b: &[u64]) -> ChiSquaredTest {
+    assert_eq!(a.len(), b.len(), "bin counts must align");
+    let total_a: u64 = a.iter().sum();
+    let total_b: u64 = b.iter().sum();
+    assert!(total_a > 0 && total_b > 0, "both samples must be non-empty");
+    let ratio_ab = (total_b as f64 / total_a as f64).sqrt();
+    let ratio_ba = (total_a as f64 / total_b as f64).sqrt();
+    let mut statistic = 0.0;
+    let mut live_bins = 0usize;
+    for (&ai, &bi) in a.iter().zip(b) {
+        let sum = ai + bi;
+        if sum == 0 {
+            continue;
+        }
+        live_bins += 1;
+        let term = ai as f64 * ratio_ab - bi as f64 * ratio_ba;
+        statistic += term * term / sum as f64;
+    }
+    ChiSquaredTest {
+        statistic,
+        degrees_of_freedom: live_bins.saturating_sub(1),
+    }
+}
+
+/// Bins two samples of scalar observations into `bins` quantile bins of the
+/// pooled sample and runs the two-sample chi-squared test on the counts.
+/// Quantile binning keeps expected counts per bin roughly equal, which is
+/// what the chi-squared approximation wants.
+///
+/// # Panics
+///
+/// Panics if either sample is empty, `bins < 2`, or an observation is NaN.
+#[must_use]
+pub fn chi_squared_binned(a: &[f64], b: &[f64], bins: usize) -> ChiSquaredTest {
+    assert!(bins >= 2, "need at least two bins");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "both samples must be non-empty"
+    );
+    let mut pooled: Vec<f64> = a.iter().chain(b).copied().collect();
+    assert!(pooled.iter().all(|x| !x.is_nan()), "samples contain NaN");
+    pooled.sort_by(|x, y| x.partial_cmp(y).expect("no NaN after the check above"));
+    // Interior bin edges at pooled quantiles 1/bins … (bins-1)/bins.
+    let edges: Vec<f64> = (1..bins)
+        .map(|i| pooled[(i * pooled.len() / bins).min(pooled.len() - 1)])
+        .collect();
+    let bin_of = |x: f64| edges.iter().take_while(|&&e| x > e).count();
+    let mut counts_a = vec![0u64; bins];
+    let mut counts_b = vec![0u64; bins];
+    for &x in a {
+        counts_a[bin_of(x)] += 1;
+    }
+    for &x in b {
+        counts_b[bin_of(x)] += 1;
+    }
+    chi_squared_two_sample(&counts_a, &counts_b)
+}
+
 /// Welford-style online accumulator for mean/variance without storing the
 /// observations, used by long-running recorders.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -188,7 +301,13 @@ impl RunningStats {
     /// Creates an empty accumulator.
     #[must_use]
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -325,5 +444,61 @@ mod tests {
         assert_eq!(s.coefficient_of_variation(), None);
         let s = Summary::from_slice(&[2.0, 4.0]);
         assert!(s.coefficient_of_variation().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn chi_squared_accepts_identical_and_rejects_disjoint_counts() {
+        let same = chi_squared_two_sample(&[100, 200, 300], &[100, 200, 300]);
+        assert!(same.statistic < 1e-9);
+        assert!(same.consistent_at(3.09));
+        let disjoint = chi_squared_two_sample(&[300, 0, 0], &[0, 0, 300]);
+        assert!(
+            !disjoint.consistent_at(3.09),
+            "statistic = {}",
+            disjoint.statistic
+        );
+    }
+
+    #[test]
+    fn chi_squared_drops_empty_bins_from_the_dof() {
+        let t = chi_squared_two_sample(&[10, 0, 20, 0], &[12, 0, 18, 0]);
+        assert_eq!(t.degrees_of_freedom, 1);
+    }
+
+    #[test]
+    fn critical_values_match_tables_approximately() {
+        // χ²(df = 5) at α = 0.001 is 20.52; Wilson–Hilferty should land close.
+        let t = ChiSquaredTest {
+            statistic: 0.0,
+            degrees_of_freedom: 5,
+        };
+        let c = t.critical_value(3.09);
+        assert!((c - 20.52).abs() < 0.6, "critical value {c}");
+        // df = 9 at α = 0.01 is 21.67 (z ≈ 2.326).
+        let t = ChiSquaredTest {
+            statistic: 0.0,
+            degrees_of_freedom: 9,
+        };
+        let c = t.critical_value(2.326);
+        assert!((c - 21.67).abs() < 0.6, "critical value {c}");
+    }
+
+    #[test]
+    fn binned_test_accepts_same_distribution_samples() {
+        // Deterministic interleaved sequences from the same arithmetic
+        // pattern: plainly the same distribution.
+        let a: Vec<f64> = (0..400).map(|i| f64::from(i % 97)).collect();
+        let b: Vec<f64> = (0..400).map(|i| f64::from((i * 31) % 97)).collect();
+        let t = chi_squared_binned(&a, &b, 6);
+        assert_eq!(t.degrees_of_freedom, 5);
+        assert!(t.consistent_at(3.09), "statistic = {}", t.statistic);
+    }
+
+    #[test]
+    fn binned_test_rejects_shifted_samples() {
+        let a: Vec<f64> = (0..400).map(|i| f64::from(i % 97)).collect();
+        let b: Vec<f64> = (0..400).map(|i| f64::from(i % 97) + 60.0).collect();
+        let t = chi_squared_binned(&a, &b, 6);
+        assert!(!t.consistent_at(3.09), "statistic = {}", t.statistic);
     }
 }

@@ -32,36 +32,52 @@ fn baseline_comparison(c: &mut Criterion) {
         let mut trial = 0u64;
         b.iter(|| {
             trial += 1;
-            SequentialSampler::new(Voter::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED + trial))
-                .run(stop)
-                .interactions()
+            SequentialSampler::new(
+                Voter::new(k),
+                config.clone(),
+                SimSeed::from_u64(BENCH_SEED + trial),
+            )
+            .run(stop)
+            .interactions()
         });
     });
     group.bench_function(BenchmarkId::new("two_choices", n), |b| {
         let mut trial = 0u64;
         b.iter(|| {
             trial += 1;
-            SequentialSampler::new(TwoChoices::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED + trial))
-                .run(stop)
-                .interactions()
+            SequentialSampler::new(
+                TwoChoices::new(k),
+                config.clone(),
+                SimSeed::from_u64(BENCH_SEED + trial),
+            )
+            .run(stop)
+            .interactions()
         });
     });
     group.bench_function(BenchmarkId::new("three_majority", n), |b| {
         let mut trial = 0u64;
         b.iter(|| {
             trial += 1;
-            SequentialSampler::new(ThreeMajority::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED + trial))
-                .run(stop)
-                .interactions()
+            SequentialSampler::new(
+                ThreeMajority::new(k),
+                config.clone(),
+                SimSeed::from_u64(BENCH_SEED + trial),
+            )
+            .run(stop)
+            .interactions()
         });
     });
     group.bench_function(BenchmarkId::new("median_rule", n), |b| {
         let mut trial = 0u64;
         b.iter(|| {
             trial += 1;
-            SequentialSampler::new(MedianRule::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED + trial))
-                .run(stop)
-                .interactions()
+            SequentialSampler::new(
+                MedianRule::new(k),
+                config.clone(),
+                SimSeed::from_u64(BENCH_SEED + trial),
+            )
+            .run(stop)
+            .interactions()
         });
     });
     group.finish();

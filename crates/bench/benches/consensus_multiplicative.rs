@@ -18,7 +18,10 @@ fn multiplicative_bias_consensus(c: &mut Criterion) {
             b.iter(|| {
                 trial += 1;
                 let seed = SimSeed::from_u64(BENCH_SEED + trial);
-                let config = InitialConfig::new(n, k).multiplicative_bias(2.0).build(seed).unwrap();
+                let config = InitialConfig::new(n, k)
+                    .multiplicative_bias(2.0)
+                    .build(seed)
+                    .unwrap();
                 let mut sim = UsdSimulator::new(config, seed.child(1));
                 let result = sim.run_to_consensus(budget);
                 assert!(result.reached_consensus());

@@ -1,11 +1,17 @@
 //! Micro-benchmarks of the simulation engines themselves: interactions per
-//! second for the count-based engine (as a function of `k`), the agent-level
+//! second for the count-based engine (as a function of `k`), the batched
+//! skip-ahead engine head-to-head against the exact engine on the USD
+//! workload (the acceptance metric of the engine layer), the agent-level
 //! engine, and the gossip round engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pp_core::{AgentSimulator, Configuration, CountSimulator, SimSeed};
+use pp_core::engine::StepEngine;
+use pp_core::{
+    AgentSimulator, Configuration, CountSimulator, EngineChoice, SimSeed, StopCondition,
+};
+use pp_workloads::InitialConfig;
 use usd_bench::BENCH_SEED;
-use usd_core::UndecidedStateDynamics;
+use usd_core::{UndecidedStateDynamics, UsdSimulator};
 
 fn count_simulator_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/count_simulator_step");
@@ -16,12 +22,96 @@ fn count_simulator_steps(c: &mut Criterion) {
         group.throughput(Throughput::Elements(10_000));
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter_batched(
-                || CountSimulator::new(UndecidedStateDynamics::new(k), config.clone(), SimSeed::from_u64(BENCH_SEED)),
+                || {
+                    CountSimulator::new(
+                        UndecidedStateDynamics::new(k),
+                        config.clone(),
+                        SimSeed::from_u64(BENCH_SEED),
+                    )
+                },
                 |mut sim| {
                     for _ in 0..10_000 {
                         sim.step();
                     }
                     sim
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// The engine-layer acceptance benchmark: full consensus runs of the USD on
+/// the exact vs the batched backend.  Both backends induce the same
+/// trajectory distribution, so the wall-clock ratio is the interactions/sec
+/// speedup.  Two workload regimes are measured: the many-opinion mild-bias
+/// regime (k = 8, bias 2; nulls are a minority, so batching wins modestly)
+/// and the two-opinion deep-bias approximate-majority regime (k = 2,
+/// bias 4; null-dominated, where the batched engine must sustain ≥ 5× at
+/// n = 10⁶).
+fn engine_consensus_run_comparison(c: &mut Criterion) {
+    for (k, bias) in [(8usize, 2.0f64), (2, 4.0)] {
+        let mut group = c.benchmark_group(format!("engine/usd_consensus_run_k{k}_bias{bias}"));
+        group.sample_size(3);
+        for &n in &[100_000u64, 1_000_000] {
+            let config = InitialConfig::new(n, k)
+                .multiplicative_bias(bias)
+                .build(SimSeed::from_u64(BENCH_SEED))
+                .expect("bench workload is valid");
+            let budget = 2_000 * n * (k as u64);
+            for engine in [EngineChoice::Exact, EngineChoice::Batched] {
+                group.bench_with_input(
+                    BenchmarkId::new(engine.name(), n),
+                    &engine,
+                    |b, &engine| {
+                        b.iter_batched(
+                            || {
+                                UsdSimulator::with_engine(
+                                    config.clone(),
+                                    SimSeed::from_u64(BENCH_SEED),
+                                    engine,
+                                )
+                            },
+                            |mut sim| {
+                                let result = sim.run_to_consensus(budget);
+                                assert!(result.reached_consensus());
+                                result.interactions()
+                            },
+                            criterion::BatchSize::SmallInput,
+                        );
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+/// Per-event cost of the batched engine in the null-dominated endgame, where
+/// the skip-ahead advances thousands of interactions per event.
+fn batched_engine_endgame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/batched_endgame_block");
+    group.sample_size(10);
+    for &n in &[100_000u64, 1_000_000] {
+        // Deep phase-5 configuration: 99% of agents already converged.
+        let leader = n - n / 100;
+        let rest = n / 100;
+        let config = Configuration::from_counts(vec![leader, rest / 2], rest / 2).unwrap();
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    pp_core::BatchedEngine::new(
+                        UndecidedStateDynamics::new(2),
+                        config.clone(),
+                        SimSeed::from_u64(BENCH_SEED),
+                    )
+                },
+                |mut engine| {
+                    // Advance one parallel-time unit (n interactions).
+                    engine.run_engine(StopCondition::after_interactions(n));
+                    engine
                 },
                 criterion::BatchSize::SmallInput,
             );
@@ -39,7 +129,13 @@ fn agent_simulator_steps(c: &mut Criterion) {
         group.throughput(Throughput::Elements(10_000));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter_batched(
-                || AgentSimulator::new(UndecidedStateDynamics::new(k), &config, SimSeed::from_u64(BENCH_SEED)),
+                || {
+                    AgentSimulator::new(
+                        UndecidedStateDynamics::new(k),
+                        &config,
+                        SimSeed::from_u64(BENCH_SEED),
+                    )
+                },
                 |mut sim| {
                     for _ in 0..10_000 {
                         sim.step();
@@ -73,5 +169,12 @@ fn gossip_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, count_simulator_steps, agent_simulator_steps, gossip_rounds);
+criterion_group!(
+    benches,
+    count_simulator_steps,
+    engine_consensus_run_comparison,
+    batched_engine_endgame,
+    agent_simulator_steps,
+    gossip_rounds
+);
 criterion_main!(benches);

@@ -10,4 +10,4 @@ pub const BENCH_POPULATIONS: &[usize] = &[1_000, 4_000, 16_000];
 pub const BENCH_OPINIONS: &[usize] = &[2, 4, 8, 16];
 
 /// A fixed master seed so bench runs are comparable across invocations.
-pub const BENCH_SEED: u64 = 0xC0FFEE_5EED;
+pub const BENCH_SEED: u64 = 0x00C0_FFEE_5EED;

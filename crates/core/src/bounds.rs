@@ -199,7 +199,8 @@ mod tests {
         let too_many_opinions = Configuration::uniform(1_000_000, 500).unwrap();
         assert!(!theorem2_preconditions_met(&too_many_opinions, 2.0));
         // Same counts but an oversized undecided pool fails the u(0) check.
-        let too_undecided = Configuration::from_counts(vec![300_000, 200_000, 100_000], 400_000).unwrap();
+        let too_undecided =
+            Configuration::from_counts(vec![300_000, 200_000, 100_000], 400_000).unwrap();
         assert!(!theorem2_preconditions_met(&too_undecided, 2.0));
     }
 }

@@ -84,7 +84,10 @@ impl CoupledUsd {
     /// Panics if the configuration has fewer than two opinions.
     #[must_use]
     pub fn new(config: &Configuration, seed: SimSeed) -> Self {
-        assert!(config.num_opinions() >= 2, "the coupling needs at least two opinions");
+        assert!(
+            config.num_opinions() >= 2,
+            "the coupling needs at least two opinions"
+        );
         let x1 = config.support(0);
         let rest: u64 = config.supports().iter().skip(1).sum();
         let two_config = Configuration::from_counts(vec![x1, rest], config.undecided())
@@ -148,12 +151,18 @@ impl CoupledUsd {
         let mut i = index;
         // Segment A: agents holding opinion 1 in both processes.
         if i < tx1 {
-            return CoupledStates { k_state: AgentState::decided(0), two_state: AgentState::decided(0) };
+            return CoupledStates {
+                k_state: AgentState::decided(0),
+                two_state: AgentState::decided(0),
+            };
         }
         i -= tx1;
         // Segment B: agents undecided in both processes.
         if i < shared_undecided {
-            return CoupledStates { k_state: AgentState::Undecided, two_state: AgentState::Undecided };
+            return CoupledStates {
+                k_state: AgentState::Undecided,
+                two_state: AgentState::Undecided,
+            };
         }
         i -= shared_undecided;
         // Segment C: agents holding opinions 2..k in the k-process, opinion 2
@@ -179,9 +188,15 @@ impl CoupledUsd {
             // those extra ⊥'s, then with 2's.
             let extra_undecided = tu - u;
             if i < extra_undecided {
-                CoupledStates { k_state: AgentState::decided(0), two_state: AgentState::Undecided }
+                CoupledStates {
+                    k_state: AgentState::decided(0),
+                    two_state: AgentState::Undecided,
+                }
             } else {
-                CoupledStates { k_state: AgentState::decided(0), two_state: AgentState::decided(1) }
+                CoupledStates {
+                    k_state: AgentState::decided(0),
+                    two_state: AgentState::decided(1),
+                }
             }
         } else {
             // Case 2: the k-process has extra undecided agents.  The surplus
@@ -189,9 +204,15 @@ impl CoupledUsd {
             // with 2's of the 2-process.
             let surplus_ones = x1 - tx1;
             if i < surplus_ones {
-                CoupledStates { k_state: AgentState::decided(0), two_state: AgentState::decided(1) }
+                CoupledStates {
+                    k_state: AgentState::decided(0),
+                    two_state: AgentState::decided(1),
+                }
             } else {
-                CoupledStates { k_state: AgentState::Undecided, two_state: AgentState::decided(1) }
+                CoupledStates {
+                    k_state: AgentState::Undecided,
+                    two_state: AgentState::decided(1),
+                }
             }
         }
     }
@@ -208,13 +229,17 @@ impl CoupledUsd {
         let responder = self.classify(responder_idx);
         let initiator = self.classify(initiator_idx);
 
-        let k_new = self.k_protocol.respond(responder.k_state, initiator.k_state);
+        let k_new = self
+            .k_protocol
+            .respond(responder.k_state, initiator.k_state);
         if k_new != responder.k_state {
             self.k_config
                 .apply_move(responder.k_state, k_new)
                 .expect("coupled k-process move must be valid");
         }
-        let two_new = self.two_protocol.respond(responder.two_state, initiator.two_state);
+        let two_new = self
+            .two_protocol
+            .respond(responder.two_state, initiator.two_state);
         if two_new != responder.two_state {
             self.two_config
                 .apply_move(responder.two_state, two_new)
@@ -306,7 +331,10 @@ mod tests {
         // The coupled k-process must finish no later than the 2-process
         // whenever both finish (that is the point of the majorization).
         if let (Some(k), Some(two)) = (report.k_consensus_at, report.two_consensus_at) {
-            assert!(k <= two, "k-process ({k}) finished after the 2-process ({two})");
+            assert!(
+                k <= two,
+                "k-process ({k}) finished after the 2-process ({two})"
+            );
         }
     }
 
@@ -317,7 +345,11 @@ mod tests {
         let config = Configuration::uniform(600, 4).unwrap();
         let mut c = CoupledUsd::new(&config, SimSeed::from_u64(4));
         for _ in 0..200_000 {
-            assert!(c.step(), "invariant violated at interaction {}", c.interactions());
+            assert!(
+                c.step(),
+                "invariant violated at interaction {}",
+                c.interactions()
+            );
         }
     }
 

@@ -54,7 +54,10 @@ impl TwoOpinionChain {
     #[must_use]
     pub fn solve(n: u64, tolerance: f64, max_sweeps: u64) -> Self {
         assert!(n > 0, "population must be non-empty");
-        assert!(n <= 400, "exact solver is intended for small populations (n <= 400)");
+        assert!(
+            n <= 400,
+            "exact solver is intended for small populations (n <= 400)"
+        );
         let states = Self::state_count(n);
         let mut chain = TwoOpinionChain {
             n,
@@ -266,7 +269,10 @@ mod tests {
         let mut last = 0.0;
         for x1 in 0..=24 {
             let p = chain.win_probability(x1, 0).unwrap();
-            assert!(p >= last - 1e-12, "win probability not monotone at x1 = {x1}");
+            assert!(
+                p >= last - 1e-12,
+                "win probability not monotone at x1 = {x1}"
+            );
             last = p;
         }
         assert_eq!(chain.win_probability(0, 0), Some(0.0));
@@ -315,7 +321,10 @@ mod tests {
         let ratio = t_large / t_small;
         // n log n predicts a ratio of (60 ln 60)/(20 ln 20) ≈ 4.1; allow a
         // wide band but exclude linear (3) and quadratic (9) growth artifacts.
-        assert!(ratio > 3.0 && ratio < 6.5, "time ratio {ratio} outside the n log n band");
+        assert!(
+            ratio > 3.0 && ratio < 6.5,
+            "time ratio {ratio} outside the n log n band"
+        );
     }
 
     #[test]

@@ -6,9 +6,17 @@
 //! analytical machinery the paper builds around it.
 //!
 //! * [`UndecidedStateDynamics`] — the protocol (transition function of
-//!   Section 2), pluggable into either simulator of [`pp_core`].
-//! * [`UsdSimulator`] — a convenience wrapper around the fast count-based
-//!   simulator with USD-specific helpers (phase-aware runs, bias queries).
+//!   Section 2), pluggable into every simulator and step engine of
+//!   [`pp_core`]; it provides the closed-form batching hooks, so the batched
+//!   backend draws its state-changing events in `O(k)`.
+//! * [`UsdSimulator`] — the USD driver over the unified step-engine layer,
+//!   with USD-specific helpers (phase-aware runs, bias queries).  Pick a
+//!   backend per run with [`UsdSimulator::with_engine`] — `Exact` for ground
+//!   truth, `Batched` for large-`n` speed at identical trajectory law,
+//!   `MeanField` for instant ODE approximation — or per *phase* with
+//!   [`EnginePolicy`] ([`UsdSimulator::run_with_phases_policy`]): the
+//!   recommended policy steps Phase 1 exactly and batches the null-dominated
+//!   Phases 2–5.
 //! * [`phases`] — the five-phase structure of the paper's analysis
 //!   (Section 2.1) with a [`phases::PhaseTracker`] that measures the hitting
 //!   times `T1..T5` of a run.
@@ -55,10 +63,10 @@ pub mod two_opinion;
 
 pub use coupling::CoupledUsd;
 pub use exact::TwoOpinionChain;
-pub use mean_field::MeanFieldState;
-pub use phases::{Phase, PhaseTimes, PhaseTracker};
+pub use mean_field::{MeanFieldEngine, MeanFieldState};
+pub use phases::{EnginePolicy, Phase, PhaseTimes, PhaseTracker};
 pub use protocol::UndecidedStateDynamics;
-pub use simulator::UsdSimulator;
+pub use simulator::{PhasedRunResult, UsdEngine, UsdSimulator};
 pub use trajectory::Trajectory;
 pub use two_opinion::ApproximateMajority;
 
@@ -67,11 +75,11 @@ pub use two_opinion::ApproximateMajority;
 pub mod prelude {
     pub use crate::bounds;
     pub use crate::exact::TwoOpinionChain;
-    pub use crate::mean_field::MeanFieldState;
-    pub use crate::phases::{Phase, PhaseTimes, PhaseTracker};
+    pub use crate::mean_field::{MeanFieldEngine, MeanFieldState};
+    pub use crate::phases::{EnginePolicy, Phase, PhaseTimes, PhaseTracker};
     pub use crate::potential;
     pub use crate::protocol::UndecidedStateDynamics;
-    pub use crate::simulator::UsdSimulator;
+    pub use crate::simulator::{PhasedRunResult, UsdEngine, UsdSimulator};
     pub use crate::trajectory::Trajectory;
     pub use crate::two_opinion::ApproximateMajority;
     pub use pp_core::prelude::*;

@@ -17,6 +17,7 @@
 //! (experiment E12).  This module provides the vector field, a fixed-step
 //! RK4 integrator and convergence helpers.
 
+use pp_core::engine::{Advance, StepEngine};
 use pp_core::Configuration;
 use serde::{Deserialize, Serialize};
 
@@ -42,7 +43,10 @@ impl MeanFieldState {
         if (total - 1.0).abs() > 1e-9 {
             return None;
         }
-        Some(MeanFieldState { fractions, undecided })
+        Some(MeanFieldState {
+            fractions,
+            undecided,
+        })
     }
 
     /// The fluid-limit state corresponding to a finite configuration.
@@ -104,7 +108,10 @@ impl MeanFieldState {
             .map(|&a| a * (1.0 - w - a))
             .sum::<f64>()
             - w * (1.0 - w);
-        MeanFieldDerivative { d_fractions, d_undecided }
+        MeanFieldDerivative {
+            d_fractions,
+            d_undecided,
+        }
     }
 
     /// Advances the state by one RK4 step of size `dt` (in parallel time),
@@ -119,7 +126,10 @@ impl MeanFieldState {
         let k4 = s4.derivative();
         for (i, a) in self.fractions.iter_mut().enumerate() {
             *a += dt / 6.0
-                * (k1.d_fractions[i] + 2.0 * k2.d_fractions[i] + 2.0 * k3.d_fractions[i] + k4.d_fractions[i]);
+                * (k1.d_fractions[i]
+                    + 2.0 * k2.d_fractions[i]
+                    + 2.0 * k3.d_fractions[i]
+                    + k4.d_fractions[i]);
             if *a < 0.0 {
                 *a = 0.0;
             }
@@ -206,13 +216,175 @@ pub fn integrate_to_consensus(
     let mut peak_undecided = state.undecided();
     while t < max_parallel_time {
         if state.max_fraction() >= 1.0 - tolerance {
-            return MeanFieldRun { final_state: state, parallel_time: t, converged: true, peak_undecided };
+            return MeanFieldRun {
+                final_state: state,
+                parallel_time: t,
+                converged: true,
+                peak_undecided,
+            };
         }
         state.rk4_step(dt);
         peak_undecided = peak_undecided.max(state.undecided());
         t += dt;
     }
-    MeanFieldRun { final_state: state, parallel_time: t, converged: false, peak_undecided }
+    MeanFieldRun {
+        final_state: state,
+        parallel_time: t,
+        converged: false,
+        peak_undecided,
+    }
+}
+
+/// The fluid limit lifted behind the unified [`StepEngine`] trait.
+///
+/// The engine integrates the deterministic ODE system with fixed-size RK4
+/// steps, converts elapsed parallel time back to an interaction count
+/// (`interactions = parallel time · n`), and maintains a *quantized*
+/// [`Configuration`] (largest-remainder rounding of the fractions over the
+/// `n` agents) so the same recorders, stop conditions and phase trackers
+/// drive it as drive the stochastic engines.
+///
+/// Unlike [`pp_core::ExactEngine`] and [`pp_core::BatchedEngine`] this
+/// backend is an *approximation*: it reproduces the `n → ∞` trajectory, so
+/// it shows no fluctuation-driven behaviour (it can never break an exact
+/// tie, and hitting times lack the `√n`-scale noise).  Use it for instant
+/// large-`n` exploration, not for distributional statistics.
+///
+/// # Examples
+///
+/// ```
+/// use usd_core::mean_field::MeanFieldEngine;
+/// use pp_core::{Configuration, StopCondition};
+/// use pp_core::engine::StepEngine;
+///
+/// let config = Configuration::from_counts(vec![700, 200, 100], 0).unwrap();
+/// let mut engine = MeanFieldEngine::new(config);
+/// let result = engine.run_engine(StopCondition::consensus().or_max_interactions(100_000_000));
+/// assert!(result.reached_consensus());
+/// assert_eq!(result.winner().unwrap().index(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanFieldEngine {
+    state: MeanFieldState,
+    config: Configuration,
+    population: u64,
+    interactions: u64,
+    dt: f64,
+}
+
+impl MeanFieldEngine {
+    /// Default integration granularity in parallel time.
+    pub const DEFAULT_DT: f64 = 0.01;
+
+    /// Creates the engine from a finite configuration with the default step.
+    #[must_use]
+    pub fn new(config: Configuration) -> Self {
+        Self::with_step(config, Self::DEFAULT_DT)
+    }
+
+    /// Creates the engine with an explicit RK4 step size (in parallel time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive and finite.
+    #[must_use]
+    pub fn with_step(config: Configuration, dt: f64) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "step size must be positive");
+        MeanFieldEngine {
+            state: MeanFieldState::from_configuration(&config),
+            population: config.population(),
+            config,
+            interactions: 0,
+            dt,
+        }
+    }
+
+    /// The continuous fluid-limit state.
+    #[must_use]
+    pub fn state(&self) -> &MeanFieldState {
+        &self.state
+    }
+
+    /// Elapsed parallel time.
+    #[must_use]
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.population as f64
+    }
+
+    /// Largest-remainder quantization of the current fractions over the `n`
+    /// agents (including the undecided category), so consensus in the
+    /// quantized view means `x_max = n` exactly.
+    fn quantize(&self) -> Configuration {
+        let n = self.population;
+        let k = self.state.num_opinions();
+        let mut weights: Vec<f64> = self.state.fractions().to_vec();
+        weights.push(self.state.undecided());
+        let total: f64 = weights.iter().sum();
+        let shares: Vec<f64> = weights.iter().map(|w| w / total * n as f64).collect();
+        let mut counts: Vec<u64> = shares.iter().map(|s| s.floor() as u64).collect();
+        let mut assigned: u64 = counts.iter().sum();
+        let mut order: Vec<usize> = (0..=k).collect();
+        order.sort_by(|&a, &b| {
+            let fa = shares[a] - shares[a].floor();
+            let fb = shares[b] - shares[b].floor();
+            fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut idx = 0;
+        while assigned < n {
+            counts[order[idx % order.len()]] += 1;
+            assigned += 1;
+            idx += 1;
+        }
+        let undecided = counts.pop().expect("k+1 categories");
+        Configuration::from_counts(counts, undecided)
+            .expect("quantization preserves the population")
+    }
+}
+
+impl StepEngine for MeanFieldEngine {
+    fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "mean-field"
+    }
+
+    fn advance(&mut self, limit: u64) -> Advance {
+        let n = self.population as f64;
+        loop {
+            if self.interactions >= limit {
+                return Advance::LimitReached;
+            }
+            // A (near-)zero vector field means the ODE sits on an
+            // equilibrium: the quantized configuration will never change
+            // again (the deterministic limit cannot break ties).
+            let d = self.state.derivative();
+            let stalled = d
+                .d_fractions
+                .iter()
+                .map(|x| x.abs())
+                .fold(d.d_undecided.abs(), f64::max)
+                < 1e-13;
+            if stalled {
+                self.interactions = limit;
+                return Advance::Absorbed;
+            }
+            let headroom = limit - self.interactions;
+            let step_interactions = ((self.dt * n).ceil() as u64).clamp(1, headroom);
+            self.state.rk4_step(step_interactions as f64 / n);
+            self.interactions += step_interactions;
+            let quantized = self.quantize();
+            if quantized != self.config {
+                self.config = quantized;
+                return Advance::Event;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -250,7 +422,11 @@ mod tests {
         }
         let first = state.fractions()[0];
         for &a in state.fractions() {
-            assert!(close(a, first, 1e-9), "symmetry broken: {:?}", state.fractions());
+            assert!(
+                close(a, first, 1e-9),
+                "symmetry broken: {:?}",
+                state.fractions()
+            );
         }
         assert!(
             close(state.undecided(), undecided_fraction_equilibrium(k), 1e-3),
@@ -279,7 +455,11 @@ mod tests {
         assert!(run.final_state.max_fraction() > 0.9);
         // The undecided fraction must have risen towards ~1/2 along the way
         // (the "rise of the undecided" phase in the fluid limit).
-        assert!(run.peak_undecided > 0.3, "peak undecided {} too small", run.peak_undecided);
+        assert!(
+            run.peak_undecided > 0.3,
+            "peak undecided {} too small",
+            run.peak_undecided
+        );
     }
 
     #[test]
@@ -328,5 +508,53 @@ mod tests {
     fn equilibrium_values() {
         assert!(close(undecided_fraction_equilibrium(2), 1.0 / 3.0, 1e-12));
         assert!(close(undecided_fraction_equilibrium(10), 9.0 / 19.0, 1e-12));
+    }
+
+    #[test]
+    fn engine_converges_to_plurality_consensus() {
+        use pp_core::StopCondition;
+        let config = Configuration::from_counts(vec![500, 300, 200], 0).unwrap();
+        let mut engine = MeanFieldEngine::new(config);
+        let result = engine.run_engine(StopCondition::consensus().or_max_interactions(100_000_000));
+        assert!(result.reached_consensus());
+        assert_eq!(result.winner().unwrap().index(), 0);
+        assert_eq!(engine.engine_name(), "mean-field");
+        assert!(engine.parallel_time() > 0.0);
+    }
+
+    #[test]
+    fn engine_respects_interaction_limits_exactly() {
+        let config = Configuration::from_counts(vec![600, 400], 0).unwrap();
+        let mut engine = MeanFieldEngine::new(config);
+        let mut last = 0;
+        for limit in [100u64, 250, 5_000] {
+            while let Advance::Event = engine.advance(limit) {}
+            assert_eq!(engine.interactions(), limit);
+            assert!(engine.interactions() >= last);
+            last = limit;
+        }
+    }
+
+    #[test]
+    fn tied_leaders_absorb_instead_of_spinning() {
+        use pp_core::{RunOutcome, StopCondition};
+        // The deterministic limit cannot break an exact tie; the engine must
+        // detect the equilibrium and exhaust the budget instead of looping.
+        let config = Configuration::from_counts(vec![500, 500], 0).unwrap();
+        let mut engine = MeanFieldEngine::new(config);
+        let result = engine.run_engine(StopCondition::consensus().or_max_interactions(10_000_000));
+        assert_eq!(result.outcome(), RunOutcome::BudgetExhausted);
+        assert_eq!(result.interactions(), 10_000_000);
+    }
+
+    #[test]
+    fn quantized_configuration_tracks_population_exactly() {
+        let config = Configuration::from_counts(vec![333, 333, 333], 1).unwrap();
+        let mut engine = MeanFieldEngine::new(config);
+        for _ in 0..50 {
+            engine.advance(engine.interactions() + 500);
+            assert_eq!(engine.configuration().population(), 1_000);
+            assert!(engine.configuration().is_consistent());
+        }
     }
 }

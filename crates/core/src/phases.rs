@@ -12,7 +12,7 @@
 //! `T1..T5` of a run, defined cumulatively as in the paper
 //! (`T_i = inf{t ≥ T_{i−1} : condition_i}`).
 
-use pp_core::{Configuration, Recorder};
+use pp_core::{Configuration, EngineChoice, Recorder};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -111,6 +111,94 @@ impl fmt::Display for Phase {
     }
 }
 
+/// A per-phase choice of step-engine backend for phase-aware runs
+/// ([`crate::UsdSimulator::run_with_phases_policy`]).
+///
+/// The paper's phases have very different null-interaction profiles: Phase 1
+/// is short and productive-heavy (per-interaction stepping is cheapest),
+/// while Phases 2–5 spend most interactions on null pairs — the endgame of
+/// Phase 5 is a coupon-collector tail of `Θ(n log n)` interactions with only
+/// `Θ(n)` state changes — which is exactly where the batched engine's
+/// skip-ahead wins.  Since the exact and batched backends induce the same
+/// trajectory distribution, switching between them mid-run is statistically
+/// free; only [`EngineChoice::MeanField`] changes the semantics (it swaps in
+/// the deterministic fluid limit for the selected phases).
+///
+/// # Examples
+///
+/// ```
+/// use usd_core::phases::{EnginePolicy, Phase};
+/// use pp_core::EngineChoice;
+///
+/// let policy = EnginePolicy::recommended();
+/// assert_eq!(policy.choice_for(Phase::RiseOfUndecided), EngineChoice::Exact);
+/// assert_eq!(policy.choice_for(Phase::Consensus), EngineChoice::Batched);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnginePolicy {
+    per_phase: [EngineChoice; 5],
+}
+
+impl EnginePolicy {
+    /// The same backend for every phase.
+    #[must_use]
+    pub fn uniform(choice: EngineChoice) -> Self {
+        EnginePolicy {
+            per_phase: [choice; 5],
+        }
+    }
+
+    /// Per-interaction stepping throughout (the ground-truth policy).
+    #[must_use]
+    pub fn exact() -> Self {
+        Self::uniform(EngineChoice::Exact)
+    }
+
+    /// Skip-ahead stepping throughout.
+    #[must_use]
+    pub fn batched() -> Self {
+        Self::uniform(EngineChoice::Batched)
+    }
+
+    /// The profile-matched default: exact stepping for the short,
+    /// productive-heavy Phase 1, batched skip-ahead for the null-dominated
+    /// Phases 2–5.
+    #[must_use]
+    pub fn recommended() -> Self {
+        Self::batched().with_phase(Phase::RiseOfUndecided, EngineChoice::Exact)
+    }
+
+    /// Overrides the backend for one phase.
+    #[must_use]
+    pub fn with_phase(mut self, phase: Phase, choice: EngineChoice) -> Self {
+        self.per_phase[phase.number() - 1] = choice;
+        self
+    }
+
+    /// The backend selected for `phase`.
+    #[must_use]
+    pub fn choice_for(&self, phase: Phase) -> EngineChoice {
+        self.per_phase[phase.number() - 1]
+    }
+
+    /// A compact description for reports, e.g. `exact,batched,batched,batched,batched`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        self.per_phase
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl Default for EnginePolicy {
+    /// The default policy is the ground-truth exact backend everywhere.
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
 /// The hitting times `T1..T5` of a run (in interactions), if reached.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseTimes {
@@ -148,8 +236,7 @@ impl PhaseTimes {
         Phase::ALL
             .iter()
             .copied()
-            .filter(|p| self.hitting_time(*p).is_some())
-            .next_back()
+            .rfind(|p| self.hitting_time(*p).is_some())
     }
 }
 
@@ -185,7 +272,10 @@ impl PhaseTracker {
     /// Phase 2 end condition.
     #[must_use]
     pub fn new(alpha: f64) -> Self {
-        PhaseTracker { alpha, times: PhaseTimes::default() }
+        PhaseTracker {
+            alpha,
+            times: PhaseTimes::default(),
+        }
     }
 
     /// The significance multiplier `α`.
@@ -204,7 +294,10 @@ impl PhaseTracker {
     /// has not yet been registered), or `None` if all phases completed.
     #[must_use]
     pub fn current_phase(&self) -> Option<Phase> {
-        Phase::ALL.iter().copied().find(|p| self.times.hitting_time(*p).is_none())
+        Phase::ALL
+            .iter()
+            .copied()
+            .find(|p| self.times.hitting_time(*p).is_none())
     }
 }
 
@@ -296,14 +389,23 @@ mod tests {
         assert_eq!(tracker.times().hitting_time(Phase::RiseOfUndecided), None);
         // Interaction 10: undecided pool has risen.
         tracker.record(10, &cfg(vec![30, 30], 40));
-        assert_eq!(tracker.times().hitting_time(Phase::RiseOfUndecided), Some(10));
+        assert_eq!(
+            tracker.times().hitting_time(Phase::RiseOfUndecided),
+            Some(10)
+        );
         assert_eq!(tracker.times().hitting_time(Phase::AdditiveBias), None);
         // Interaction 20: one opinion dominant and 2/3 majority reached, so
         // phases 2, 3, 4 all register at once; consensus not yet.
         tracker.record(20, &cfg(vec![90, 2], 8));
         assert_eq!(tracker.times().hitting_time(Phase::AdditiveBias), Some(20));
-        assert_eq!(tracker.times().hitting_time(Phase::MultiplicativeBias), Some(20));
-        assert_eq!(tracker.times().hitting_time(Phase::AbsoluteMajority), Some(20));
+        assert_eq!(
+            tracker.times().hitting_time(Phase::MultiplicativeBias),
+            Some(20)
+        );
+        assert_eq!(
+            tracker.times().hitting_time(Phase::AbsoluteMajority),
+            Some(20)
+        );
         assert_eq!(tracker.times().hitting_time(Phase::Consensus), None);
         // Interaction 30: consensus.
         tracker.record(30, &cfg(vec![100, 0], 0));
@@ -330,6 +432,21 @@ mod tests {
     #[test]
     fn display_contains_phase_number_text() {
         assert!(Phase::AdditiveBias.to_string().contains("phase 2"));
+    }
+
+    #[test]
+    fn engine_policy_overrides_and_describes() {
+        let policy = EnginePolicy::exact().with_phase(Phase::Consensus, EngineChoice::Batched);
+        assert_eq!(
+            policy.choice_for(Phase::RiseOfUndecided),
+            EngineChoice::Exact
+        );
+        assert_eq!(policy.choice_for(Phase::Consensus), EngineChoice::Batched);
+        assert_eq!(policy.describe(), "exact,exact,exact,exact,batched");
+        assert_eq!(EnginePolicy::default(), EnginePolicy::exact());
+        for p in Phase::ALL {
+            assert_eq!(EnginePolicy::batched().choice_for(p), EngineChoice::Batched);
+        }
     }
 
     #[test]

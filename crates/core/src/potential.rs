@@ -80,8 +80,16 @@ pub fn undecided_transition(config: &Configuration) -> UndecidedTransition {
     let decrease = u * decided / (n * n);
     let increase = (decided * decided - r2) / (n * n);
     let total = decrease + increase;
-    let conditional_increase = if total > 0.0 { Some(increase / total) } else { None };
-    UndecidedTransition { decrease, increase, conditional_increase }
+    let conditional_increase = if total > 0.0 {
+        Some(increase / total)
+    } else {
+        None
+    };
+    UndecidedTransition {
+        decrease,
+        increase,
+        conditional_increase,
+    }
 }
 
 /// The paper's unstable equilibrium for the number of undecided agents,
@@ -119,8 +127,16 @@ pub fn opinion_transition(config: &Configuration, opinion: usize) -> OpinionTran
     let increase = u * xi / (n * n);
     let decrease = xi * (n - u - xi) / (n * n);
     let total = increase + decrease;
-    let conditional_increase = if total > 0.0 { Some(increase / total) } else { None };
-    OpinionTransition { increase, decrease, conditional_increase }
+    let conditional_increase = if total > 0.0 {
+        Some(increase / total)
+    } else {
+        None
+    };
+    OpinionTransition {
+        increase,
+        decrease,
+        conditional_increase,
+    }
 }
 
 /// Exact transition probabilities for the support *difference*
@@ -151,8 +167,16 @@ pub fn difference_transition(config: &Configuration, i: usize, j: usize) -> Diff
     let increase = (u * xi + xj * (n - u - xj)) / (n * n);
     let decrease = (u * xj + xi * (n - u - xi)) / (n * n);
     let total = increase + decrease;
-    let conditional_increase = if total > 0.0 { Some(increase / total) } else { None };
-    DifferenceTransition { increase, decrease, conditional_increase }
+    let conditional_increase = if total > 0.0 {
+        Some(increase / total)
+    } else {
+        None
+    };
+    DifferenceTransition {
+        increase,
+        decrease,
+        conditional_increase,
+    }
 }
 
 /// Probability that the next interaction is *productive* (changes the

@@ -1,12 +1,19 @@
-//! A convenience simulator for the USD.
+//! A convenience simulator for the USD, generic over the step-engine layer.
 //!
-//! [`UsdSimulator`] wraps [`pp_core::CountSimulator`] with the
-//! [`UndecidedStateDynamics`] protocol and adds USD-specific helpers:
-//! phase-aware runs, winner queries, and parallel-time accounting.
+//! [`UsdSimulator`] drives the [`UndecidedStateDynamics`] through any of the
+//! three [`StepEngine`] backends ([`pp_core::ExactEngine`],
+//! [`pp_core::BatchedEngine`], [`crate::mean_field::MeanFieldEngine`]) and
+//! adds USD-specific helpers: phase-aware runs (with a per-phase engine
+//! policy), winner queries, and parallel-time accounting.
 
-use crate::phases::{PhaseTracker, PhaseTimes};
+use crate::mean_field::MeanFieldEngine;
+use crate::phases::{EnginePolicy, PhaseTimes, PhaseTracker};
 use crate::protocol::UndecidedStateDynamics;
-use pp_core::{Configuration, CountSimulator, Opinion, Recorder, RunResult, SimSeed, StopCondition};
+use pp_core::engine::{Advance, StepEngine, UNIFORM_PAIR_SCHEDULER_NAME};
+use pp_core::{
+    BatchedEngine, Configuration, CountSimulator, EngineChoice, Opinion, Recorder, RunOutcome,
+    RunResult, SimSeed, StopCondition,
+};
 use serde::{Deserialize, Serialize};
 
 /// The result of a phase-aware USD run: the ordinary [`RunResult`] plus the
@@ -21,35 +28,122 @@ pub struct PhasedRunResult {
     pub initial_plurality: Opinion,
     /// Whether the final winner (if any) equals the initial plurality opinion.
     pub plurality_won: Option<bool>,
+    /// The engine policy that drove the run (`EnginePolicy::describe` form).
+    pub engine: String,
 }
 
-/// A count-based simulator specialized to the k-opinion USD.
+/// A runtime-selected step engine specialized to the USD.
+#[derive(Debug)]
+pub enum UsdEngine {
+    /// Per-interaction Fenwick sampling.
+    Exact(CountSimulator<UndecidedStateDynamics>),
+    /// Geometric skip-ahead over null interactions.
+    Batched(BatchedEngine<UndecidedStateDynamics>),
+    /// The deterministic fluid limit (approximation).
+    MeanField(MeanFieldEngine),
+}
+
+impl UsdEngine {
+    /// Builds the backend selected by `choice` from an initial configuration.
+    #[must_use]
+    pub fn new(config: Configuration, seed: SimSeed, choice: EngineChoice) -> Self {
+        let protocol = UndecidedStateDynamics::new(config.num_opinions());
+        match choice {
+            EngineChoice::Exact => UsdEngine::Exact(CountSimulator::new(protocol, config, seed)),
+            EngineChoice::Batched => UsdEngine::Batched(BatchedEngine::new(protocol, config, seed)),
+            EngineChoice::MeanField => UsdEngine::MeanField(MeanFieldEngine::new(config)),
+        }
+    }
+
+    /// The [`EngineChoice`] this backend realizes.
+    #[must_use]
+    pub fn choice(&self) -> EngineChoice {
+        match self {
+            UsdEngine::Exact(_) => EngineChoice::Exact,
+            UsdEngine::Batched(_) => EngineChoice::Batched,
+            UsdEngine::MeanField(_) => EngineChoice::MeanField,
+        }
+    }
+}
+
+impl StepEngine for UsdEngine {
+    fn configuration(&self) -> &Configuration {
+        match self {
+            UsdEngine::Exact(e) => StepEngine::configuration(e),
+            UsdEngine::Batched(e) => StepEngine::configuration(e),
+            UsdEngine::MeanField(e) => StepEngine::configuration(e),
+        }
+    }
+
+    fn interactions(&self) -> u64 {
+        match self {
+            UsdEngine::Exact(e) => StepEngine::interactions(e),
+            UsdEngine::Batched(e) => StepEngine::interactions(e),
+            UsdEngine::MeanField(e) => StepEngine::interactions(e),
+        }
+    }
+
+    fn engine_name(&self) -> &'static str {
+        match self {
+            UsdEngine::Exact(e) => e.engine_name(),
+            UsdEngine::Batched(e) => e.engine_name(),
+            UsdEngine::MeanField(e) => e.engine_name(),
+        }
+    }
+
+    fn advance(&mut self, limit: u64) -> Advance {
+        match self {
+            UsdEngine::Exact(e) => e.advance(limit),
+            UsdEngine::Batched(e) => e.advance(limit),
+            UsdEngine::MeanField(e) => e.advance(limit),
+        }
+    }
+}
+
+/// A simulator specialized to the k-opinion USD, backed by a selectable
+/// [`StepEngine`].
 ///
 /// # Examples
 ///
 /// ```
 /// use usd_core::UsdSimulator;
-/// use pp_core::{Configuration, SimSeed};
+/// use pp_core::{Configuration, EngineChoice, SimSeed};
 ///
 /// let config = Configuration::from_counts(vec![700, 200, 100], 0).unwrap();
-/// let mut sim = UsdSimulator::new(config, SimSeed::from_u64(11));
-/// let result = sim.run_to_consensus(50_000_000);
-/// assert!(result.reached_consensus());
+/// // The default backend is the exact per-interaction engine…
+/// let mut sim = UsdSimulator::new(config.clone(), SimSeed::from_u64(11));
+/// assert!(sim.run_to_consensus(50_000_000).reached_consensus());
+///
+/// // …and the batched skip-ahead backend is a drop-in replacement.
+/// let mut sim = UsdSimulator::with_engine(config, SimSeed::from_u64(11), EngineChoice::Batched);
+/// assert!(sim.run_to_consensus(50_000_000).reached_consensus());
 /// ```
 #[derive(Debug)]
 pub struct UsdSimulator {
-    inner: CountSimulator<UndecidedStateDynamics>,
+    engine: UsdEngine,
     initial: Configuration,
+    seed: SimSeed,
+    /// Interactions accumulated by engines retired through policy switches.
+    consumed: u64,
+    rebuilds: u64,
 }
 
 impl UsdSimulator {
-    /// Creates a USD simulator for the given initial configuration.
+    /// Creates a USD simulator with the exact (ground-truth) backend.
     #[must_use]
     pub fn new(config: Configuration, seed: SimSeed) -> Self {
-        let protocol = UndecidedStateDynamics::new(config.num_opinions());
+        Self::with_engine(config, seed, EngineChoice::Exact)
+    }
+
+    /// Creates a USD simulator with the selected backend.
+    #[must_use]
+    pub fn with_engine(config: Configuration, seed: SimSeed, choice: EngineChoice) -> Self {
         UsdSimulator {
-            initial: config.clone(),
-            inner: CountSimulator::new(protocol, config, seed),
+            engine: UsdEngine::new(config.clone(), seed, choice),
+            initial: config,
+            seed,
+            consumed: 0,
+            rebuilds: 0,
         }
     }
 
@@ -62,50 +156,183 @@ impl UsdSimulator {
     /// The current configuration.
     #[must_use]
     pub fn configuration(&self) -> &Configuration {
-        self.inner.configuration()
+        StepEngine::configuration(&self.engine)
     }
 
-    /// Number of interactions performed so far.
+    /// The backend currently driving the simulation.
+    #[must_use]
+    pub fn engine_choice(&self) -> EngineChoice {
+        self.engine.choice()
+    }
+
+    /// Number of interactions performed so far (across engine switches).
     #[must_use]
     pub fn interactions(&self) -> u64 {
-        self.inner.interactions()
+        self.consumed + StepEngine::interactions(&self.engine)
     }
 
     /// Performs one interaction; returns `true` if it was productive.
+    ///
+    /// Works on every backend: the engine is advanced by exactly one
+    /// interaction, which either realizes the next state-changing event or
+    /// passes as a null interaction.
     pub fn step(&mut self) -> bool {
-        self.inner.step()
+        let local = StepEngine::interactions(&self.engine);
+        self.engine.advance(local + 1) == Advance::Event
+    }
+
+    /// Replaces the engine with the given backend, restarting it from the
+    /// current configuration (interaction accounting is preserved).
+    fn switch_engine(&mut self, choice: EngineChoice) {
+        if self.engine.choice() == choice {
+            return;
+        }
+        self.consumed += StepEngine::interactions(&self.engine);
+        self.rebuilds += 1;
+        let config = self.configuration().clone();
+        // Derive a fresh child seed per switch so engine streams never
+        // overlap (the mean-field backend ignores it).
+        let seed = self.seed.child(0x5EED_u64 + self.rebuilds);
+        self.engine = UsdEngine::new(config, seed, choice);
+    }
+
+    /// The driver shared by all run methods: like
+    /// [`StepEngine::run_engine_recorded`], but budget accounting spans
+    /// engine switches.
+    fn drive<R: Recorder>(&mut self, stop: StopCondition, recorder: &mut R) -> RunResult {
+        assert!(
+            stop.is_bounded(),
+            "stop condition can never terminate the run"
+        );
+        loop {
+            if stop.goal_met(self.configuration()) {
+                let outcome = if self.configuration().is_consensus() {
+                    RunOutcome::Consensus
+                } else {
+                    RunOutcome::OpinionSettled
+                };
+                return RunResult::new(outcome, self.interactions(), self.configuration().clone())
+                    .with_scheduler(UNIFORM_PAIR_SCHEDULER_NAME);
+            }
+            let limit = match stop.max_interactions() {
+                Some(budget) if self.interactions() >= budget => {
+                    return RunResult::new(
+                        RunOutcome::BudgetExhausted,
+                        self.interactions(),
+                        self.configuration().clone(),
+                    )
+                    .with_scheduler(UNIFORM_PAIR_SCHEDULER_NAME);
+                }
+                Some(budget) => budget - self.consumed,
+                None => u64::MAX,
+            };
+            match self.engine.advance(limit) {
+                Advance::Event => recorder.record(self.interactions(), self.configuration()),
+                Advance::LimitReached => {}
+                Advance::Absorbed => {
+                    assert!(
+                        stop.max_interactions().is_some() || stop.goal_met(self.configuration()),
+                        "absorbing configuration {} can never meet the stop condition",
+                        self.configuration()
+                    );
+                }
+            }
+        }
     }
 
     /// Runs until consensus (or until the safety budget is exhausted).
     pub fn run_to_consensus(&mut self, max_interactions: u64) -> RunResult {
-        self.inner.run(StopCondition::consensus().or_max_interactions(max_interactions))
+        let mut sink = pp_core::NullRecorder;
+        self.run_recorded(
+            StopCondition::consensus().or_max_interactions(max_interactions),
+            &mut sink,
+        )
     }
 
     /// Runs until the winner is determined (at most one live opinion), which
     /// is cheaper than waiting for every undecided agent to decide.
     pub fn run_to_settlement(&mut self, max_interactions: u64) -> RunResult {
-        self.inner.run(
+        let mut sink = pp_core::NullRecorder;
+        self.run_recorded(
             StopCondition::opinion_settled().or_max_interactions(max_interactions),
+            &mut sink,
         )
     }
 
-    /// Runs with an arbitrary stop condition and recorder (see
+    /// Runs with an arbitrary stop condition and recorder (the recorder sees
+    /// the initial configuration and every state change, as with
     /// [`pp_core::CountSimulator::run_recorded`]).
-    pub fn run_recorded<R: Recorder>(&mut self, stop: StopCondition, recorder: &mut R) -> RunResult {
-        self.inner.run_recorded(stop, recorder)
+    pub fn run_recorded<R: Recorder>(
+        &mut self,
+        stop: StopCondition,
+        recorder: &mut R,
+    ) -> RunResult {
+        recorder.record(self.interactions(), self.configuration());
+        self.drive(stop, recorder)
     }
 
     /// Runs to consensus while tracking the paper's five phase hitting times
-    /// with significance multiplier `alpha`.
+    /// with significance multiplier `alpha`, using the simulator's current
+    /// backend for every phase.
     pub fn run_with_phases(&mut self, alpha: f64, max_interactions: u64) -> PhasedRunResult {
+        let policy = EnginePolicy::uniform(self.engine.choice());
+        self.run_with_phases_policy(alpha, max_interactions, &policy)
+    }
+
+    /// Runs to consensus while tracking phase hitting times, picking the
+    /// step-engine backend *per phase* according to `policy`.
+    ///
+    /// Exact and batched backends induce the same trajectory distribution,
+    /// so mixing them changes only the run's cost; scheduling the mean-field
+    /// backend for a phase swaps in the deterministic fluid limit for that
+    /// stretch of the run (an approximation — see
+    /// [`crate::mean_field::MeanFieldEngine`]).
+    pub fn run_with_phases_policy(
+        &mut self,
+        alpha: f64,
+        max_interactions: u64,
+        policy: &EnginePolicy,
+    ) -> PhasedRunResult {
         let initial_plurality = self.initial.max_opinion();
         let mut tracker = PhaseTracker::new(alpha);
-        let run = self.inner.run_recorded(
-            StopCondition::consensus().or_max_interactions(max_interactions),
-            &mut tracker,
-        );
+        tracker.record(self.interactions(), self.configuration());
+        let run = loop {
+            let Some(phase) = tracker.current_phase() else {
+                // All five phases registered; Phase 5's end condition is
+                // consensus, so the goal is reached.
+                break RunResult::new(
+                    RunOutcome::Consensus,
+                    self.interactions(),
+                    self.configuration().clone(),
+                )
+                .with_scheduler(UNIFORM_PAIR_SCHEDULER_NAME);
+            };
+            self.switch_engine(policy.choice_for(phase));
+            if self.interactions() >= max_interactions {
+                break RunResult::new(
+                    RunOutcome::BudgetExhausted,
+                    self.interactions(),
+                    self.configuration().clone(),
+                )
+                .with_scheduler(UNIFORM_PAIR_SCHEDULER_NAME);
+            }
+            match self.engine.advance(max_interactions - self.consumed) {
+                Advance::Event => tracker.record(self.interactions(), self.configuration()),
+                Advance::LimitReached => {}
+                Advance::Absorbed => {
+                    // Frozen non-consensus state: the budget check above
+                    // terminates on the next iteration.
+                }
+            }
+        };
         let plurality_won = run.winner().map(|w| w == initial_plurality);
-        PhasedRunResult { run, phases: tracker.times(), initial_plurality, plurality_won }
+        PhasedRunResult {
+            run,
+            phases: tracker.times(),
+            initial_plurality,
+            plurality_won,
+            engine: policy.describe(),
+        }
     }
 }
 
@@ -122,6 +349,7 @@ mod tests {
         assert!(result.run.reached_consensus());
         assert_eq!(result.plurality_won, Some(true));
         assert!(result.phases.completed());
+        assert_eq!(result.engine, "exact,exact,exact,exact,exact");
         // Phase hitting times are monotone.
         let mut last = 0;
         for p in Phase::ALL {
@@ -157,5 +385,74 @@ mod tests {
         let mut sim = UsdSimulator::new(config, SimSeed::from_u64(7));
         let result = sim.run_to_consensus(50_000_000);
         assert!(result.reached_consensus(), "no-bias run failed to converge");
+    }
+
+    #[test]
+    fn every_backend_converges_on_a_biased_instance() {
+        let config = Configuration::from_counts(vec![1_500, 300, 200], 0).unwrap();
+        for choice in EngineChoice::ALL {
+            let mut sim = UsdSimulator::with_engine(config.clone(), SimSeed::from_u64(3), choice);
+            assert_eq!(sim.engine_choice(), choice);
+            let result = sim.run_to_consensus(100_000_000);
+            assert!(
+                result.reached_consensus(),
+                "{choice} backend failed to converge"
+            );
+            assert_eq!(
+                result.winner().unwrap().index(),
+                0,
+                "{choice} picked a minority"
+            );
+            assert_eq!(
+                result.scheduler(),
+                Some(pp_core::engine::UNIFORM_PAIR_SCHEDULER_NAME)
+            );
+        }
+    }
+
+    #[test]
+    fn step_works_on_every_backend() {
+        let config = Configuration::from_counts(vec![300, 200], 0).unwrap();
+        for choice in EngineChoice::ALL {
+            let mut sim = UsdSimulator::with_engine(config.clone(), SimSeed::from_u64(9), choice);
+            for _ in 0..500 {
+                sim.step();
+                assert!(sim.configuration().is_consistent());
+                assert_eq!(sim.configuration().population(), 500);
+            }
+            assert_eq!(sim.interactions(), 500, "{choice} step must advance by one");
+        }
+    }
+
+    #[test]
+    fn phase_policy_switches_engines_and_still_converges() {
+        let config = Configuration::from_counts(vec![2_000, 500, 500], 0).unwrap();
+        let policy = EnginePolicy::recommended();
+        let mut sim = UsdSimulator::new(config, SimSeed::from_u64(21));
+        let result = sim.run_with_phases_policy(1.0, 100_000_000, &policy);
+        assert!(result.run.reached_consensus());
+        assert!(result.phases.completed());
+        assert_eq!(result.engine, "exact,batched,batched,batched,batched");
+        assert_eq!(result.run.interactions(), sim.interactions());
+        // After Phase 1 the simulator must have switched to the batched
+        // backend at least once.
+        assert_eq!(sim.engine_choice(), EngineChoice::Batched);
+        let mut last = 0;
+        for p in Phase::ALL {
+            let t = result.phases.hitting_time(p).unwrap();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn batched_backend_run_with_phases_matches_contract() {
+        let config = Configuration::from_counts(vec![900, 300, 300], 0).unwrap();
+        let mut sim =
+            UsdSimulator::with_engine(config, SimSeed::from_u64(13), EngineChoice::Batched);
+        let result = sim.run_with_phases(1.0, 100_000_000);
+        assert!(result.run.reached_consensus());
+        assert!(result.phases.completed());
+        assert_eq!(result.engine, "batched,batched,batched,batched,batched");
     }
 }

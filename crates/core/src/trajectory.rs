@@ -85,7 +85,11 @@ impl Trajectory {
     #[must_use]
     pub fn sampled_every(every: u64, alpha: f64) -> Self {
         assert!(every > 0, "sampling period must be positive");
-        Trajectory { every, alpha, points: Vec::new() }
+        Trajectory {
+            every,
+            alpha,
+            points: Vec::new(),
+        }
     }
 
     /// Builds a trajectory from already-recorded snapshots.
@@ -96,7 +100,9 @@ impl Trajectory {
             alpha,
             points: snapshots
                 .iter()
-                .map(|s| TrajectoryPoint::from_configuration(s.interactions, &s.configuration, alpha))
+                .map(|s| {
+                    TrajectoryPoint::from_configuration(s.interactions, &s.configuration, alpha)
+                })
                 .collect(),
         }
     }
@@ -111,13 +117,19 @@ impl Trajectory {
     /// so this returns raw undecided counts; divide by `n` for fractions).
     #[must_use]
     pub fn undecided_series(&self) -> Vec<(f64, u64)> {
-        self.points.iter().map(|p| (p.parallel_time, p.undecided)).collect()
+        self.points
+            .iter()
+            .map(|p| (p.parallel_time, p.undecided))
+            .collect()
     }
 
     /// The series of additive biases over parallel time.
     #[must_use]
     pub fn bias_series(&self) -> Vec<(f64, u64)> {
-        self.points.iter().map(|p| (p.parallel_time, p.additive_bias)).collect()
+        self.points
+            .iter()
+            .map(|p| (p.parallel_time, p.additive_bias))
+            .collect()
     }
 
     /// The largest undecided count observed.
@@ -177,11 +189,17 @@ impl Trajectory {
 
 impl Recorder for Trajectory {
     fn record(&mut self, interactions: u64, config: &Configuration) {
-        let due = interactions % self.every == 0
-            || self.points.last().map_or(true, |p| interactions >= p.interactions + self.every);
+        let due = interactions.is_multiple_of(self.every)
+            || self
+                .points
+                .last()
+                .is_none_or(|p| interactions >= p.interactions + self.every);
         if due {
-            self.points
-                .push(TrajectoryPoint::from_configuration(interactions, config, self.alpha));
+            self.points.push(TrajectoryPoint::from_configuration(
+                interactions,
+                config,
+                self.alpha,
+            ));
         }
     }
 }
@@ -234,8 +252,14 @@ mod tests {
     #[test]
     fn csv_has_header_and_one_line_per_point() {
         let snapshots = vec![
-            Snapshot { interactions: 0, configuration: cfg(vec![60, 40], 0) },
-            Snapshot { interactions: 50, configuration: cfg(vec![50, 30], 20) },
+            Snapshot {
+                interactions: 0,
+                configuration: cfg(vec![60, 40], 0),
+            },
+            Snapshot {
+                interactions: 50,
+                configuration: cfg(vec![50, 30], 20),
+            },
         ];
         let t = Trajectory::from_snapshots(&snapshots, 1.0);
         let csv = t.to_csv();
@@ -246,7 +270,10 @@ mod tests {
     #[test]
     fn downsampling_keeps_endpoints() {
         let snapshots: Vec<Snapshot> = (0..100)
-            .map(|i| Snapshot { interactions: i * 10, configuration: cfg(vec![60, 40], 0) })
+            .map(|i| Snapshot {
+                interactions: i * 10,
+                configuration: cfg(vec![60, 40], 0),
+            })
             .collect();
         let mut t = Trajectory::from_snapshots(&snapshots, 1.0);
         t.downsample(10);
@@ -258,9 +285,18 @@ mod tests {
     #[test]
     fn series_extractors_and_peaks() {
         let snapshots = vec![
-            Snapshot { interactions: 0, configuration: cfg(vec![60, 40], 0) },
-            Snapshot { interactions: 100, configuration: cfg(vec![40, 20], 40) },
-            Snapshot { interactions: 200, configuration: cfg(vec![70, 5], 25) },
+            Snapshot {
+                interactions: 0,
+                configuration: cfg(vec![60, 40], 0),
+            },
+            Snapshot {
+                interactions: 100,
+                configuration: cfg(vec![40, 20], 40),
+            },
+            Snapshot {
+                interactions: 200,
+                configuration: cfg(vec![70, 5], 25),
+            },
         ];
         let t = Trajectory::from_snapshots(&snapshots, 1.0);
         assert_eq!(t.peak_undecided(), Some(40));

@@ -56,7 +56,11 @@ impl ApproximateMajority {
         if majority + minority + undecided == 0 || majority < minority {
             return None;
         }
-        Some(ApproximateMajority { majority, minority, undecided })
+        Some(ApproximateMajority {
+            majority,
+            minority,
+            undecided,
+        })
     }
 
     /// The population size `n`.

@@ -37,14 +37,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod median;
 pub mod majority;
+pub mod median;
 pub mod sampling;
 pub mod sync_usd;
 pub mod voter;
 
 pub use majority::{JMajority, ThreeMajority};
 pub use median::MedianRule;
-pub use sampling::{SamplingDynamics, SequentialSampler, SynchronousRunner};
+pub use sampling::{
+    SamplingDynamics, SequentialSampler, SynchronousRunner, SEQUENTIAL_ACTIVATION_SCHEDULER_NAME,
+};
 pub use sync_usd::SynchronizedUsd;
-pub use voter::{TwoChoices, Voter};
+pub use voter::{PairwiseVoter, TwoChoices, Voter};

@@ -37,7 +37,10 @@ impl JMajority {
     pub fn new(k: usize, j: usize) -> Self {
         assert!(k >= 1, "the majority dynamics need at least one opinion");
         assert!(j >= 1, "the majority dynamics need at least one sample");
-        JMajority { opinions: k, samples: j }
+        JMajority {
+            opinions: k,
+            samples: j,
+        }
     }
 }
 
@@ -50,7 +53,12 @@ impl SamplingDynamics for JMajority {
         self.samples
     }
 
-    fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], rng: &mut R) -> AgentState {
+    fn update<R: Rng + ?Sized>(
+        &self,
+        current: AgentState,
+        samples: &[AgentState],
+        rng: &mut R,
+    ) -> AgentState {
         let mut counts = vec![0u32; self.opinions];
         for s in samples {
             if let AgentState::Decided(o) = s {
@@ -95,7 +103,9 @@ impl ThreeMajority {
     /// Panics if `k == 0`.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        ThreeMajority { inner: JMajority::new(k, 3) }
+        ThreeMajority {
+            inner: JMajority::new(k, 3),
+        }
     }
 }
 
@@ -108,7 +118,12 @@ impl SamplingDynamics for ThreeMajority {
         3
     }
 
-    fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], rng: &mut R) -> AgentState {
+    fn update<R: Rng + ?Sized>(
+        &self,
+        current: AgentState,
+        samples: &[AgentState],
+        rng: &mut R,
+    ) -> AgentState {
         self.inner.update(current, samples, rng)
     }
 
@@ -163,7 +178,14 @@ mod tests {
     fn undecided_samples_are_ignored_in_the_count() {
         let m = ThreeMajority::new(2);
         let mut rng = SimSeed::from_u64(0).rng();
-        assert_eq!(m.update(d(0), &[AgentState::Undecided, d(1), AgentState::Undecided], &mut rng), d(1));
+        assert_eq!(
+            m.update(
+                d(0),
+                &[AgentState::Undecided, d(1), AgentState::Undecided],
+                &mut rng
+            ),
+            d(1)
+        );
     }
 
     #[test]
@@ -180,14 +202,21 @@ mod tests {
         let mut sim = SynchronousRunner::new(ThreeMajority::new(3), &config, SimSeed::from_u64(3));
         let result = sim.run(500);
         assert!(result.reached_consensus());
-        assert!(result.interactions() < 100, "rounds = {}", result.interactions());
+        assert!(
+            result.interactions() < 100,
+            "rounds = {}",
+            result.interactions()
+        );
     }
 
     #[test]
     fn five_majority_behaves_like_a_majority_rule() {
         let m = JMajority::new(4, 5);
         let mut rng = SimSeed::from_u64(1).rng();
-        assert_eq!(m.update(d(3), &[d(0), d(0), d(0), d(1), d(2)], &mut rng), d(0));
+        assert_eq!(
+            m.update(d(3), &[d(0), d(0), d(0), d(1), d(2)], &mut rng),
+            d(0)
+        );
         assert_eq!(m.name(), "j-majority");
     }
 }

@@ -51,7 +51,12 @@ impl SamplingDynamics for MedianRule {
         2
     }
 
-    fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], _rng: &mut R) -> AgentState {
+    fn update<R: Rng + ?Sized>(
+        &self,
+        current: AgentState,
+        samples: &[AgentState],
+        _rng: &mut R,
+    ) -> AgentState {
         let own = current.opinion().map(|o| o.index());
         let s0 = samples[0].opinion().map(|o| o.index());
         let s1 = samples[1].opinion().map(|o| o.index());
@@ -97,8 +102,18 @@ mod tests {
     fn undecided_samples_fall_back_to_own_opinion() {
         let m = MedianRule::new(4);
         let mut rng = SimSeed::from_u64(0).rng();
-        assert_eq!(m.update(d(2), &[AgentState::Undecided, d(0)], &mut rng), d(2));
-        assert_eq!(m.update(d(2), &[AgentState::Undecided, AgentState::Undecided], &mut rng), d(2));
+        assert_eq!(
+            m.update(d(2), &[AgentState::Undecided, d(0)], &mut rng),
+            d(2)
+        );
+        assert_eq!(
+            m.update(
+                d(2),
+                &[AgentState::Undecided, AgentState::Undecided],
+                &mut rng
+            ),
+            d(2)
+        );
     }
 
     #[test]
@@ -107,9 +122,20 @@ mod tests {
         let mut rng = SimSeed::from_u64(0).rng();
         let out = m.update(AgentState::Undecided, &[d(3), d(1)], &mut rng);
         assert!(out.is_decided());
-        assert_eq!(m.update(AgentState::Undecided, &[AgentState::Undecided, d(1)], &mut rng), d(1));
         assert_eq!(
-            m.update(AgentState::Undecided, &[AgentState::Undecided, AgentState::Undecided], &mut rng),
+            m.update(
+                AgentState::Undecided,
+                &[AgentState::Undecided, d(1)],
+                &mut rng
+            ),
+            d(1)
+        );
+        assert_eq!(
+            m.update(
+                AgentState::Undecided,
+                &[AgentState::Undecided, AgentState::Undecided],
+                &mut rng
+            ),
             AgentState::Undecided
         );
     }
@@ -120,7 +146,11 @@ mod tests {
         let mut sim = SynchronousRunner::new(MedianRule::new(9), &config, SimSeed::from_u64(7));
         let result = sim.run(2_000);
         assert!(result.reached_consensus(), "median rule did not converge");
-        assert!(result.interactions() < 300, "rounds = {}", result.interactions());
+        assert!(
+            result.interactions() < 300,
+            "rounds = {}",
+            result.interactions()
+        );
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! The sampling-dynamics trait and its two runners.
 
-use pp_core::{AgentState, Configuration, FenwickTree, PpError, Recorder, RunOutcome, RunResult, SimSeed, StopCondition};
+use pp_core::engine::{Advance, StepEngine};
+use pp_core::{
+    AgentState, Configuration, FenwickTree, PpError, Recorder, RunOutcome, RunResult, SimSeed,
+    StopCondition,
+};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -28,6 +32,41 @@ pub trait SamplingDynamics {
     /// A short human-readable name used in reports.
     fn name(&self) -> &str {
         "unnamed sampling dynamic"
+    }
+
+    /// Probability that one activation from `config` leaves the activated
+    /// agent unchanged (a *null* activation), exactly (up to floating-point
+    /// rounding of the count arithmetic).
+    ///
+    /// This is the sampling-dynamics analogue of
+    /// [`pp_core::OpinionProtocol::null_interaction_weight`]: the opt-in
+    /// hook that lets [`SequentialSampler`] skip null activations
+    /// geometrically instead of simulating them one by one.  The
+    /// conservative default returns `None` ("no closed form known"), which
+    /// makes the runner fall back to plain per-activation stepping — so each
+    /// dynamic opts in incrementally.
+    fn null_activation_probability(&self, config: &Configuration) -> Option<f64> {
+        let _ = config;
+        None
+    }
+
+    /// Draws the `(current, new)` state transition of a state-changing
+    /// activation from its exact conditional distribution.
+    ///
+    /// Companion hook to
+    /// [`null_activation_probability`](SamplingDynamics::null_activation_probability).
+    /// Dynamics with closed-form conditionals (Voter, TwoChoices) override it
+    /// so a skipped-ahead event costs `O(k)`; the default returns `None`,
+    /// making the runner realize the event by rejection sampling (drawing
+    /// activations until one is productive — exact, but no cheaper than
+    /// stepping).
+    fn sample_productive_move<R: Rng + ?Sized>(
+        &self,
+        config: &Configuration,
+        rng: &mut R,
+    ) -> Option<(AgentState, AgentState)> {
+        let _ = (config, rng);
+        None
     }
 }
 
@@ -140,8 +179,15 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
     /// # Panics
     ///
     /// Panics if the stop condition is unbounded.
-    pub fn run_recorded<R: Recorder>(&mut self, stop: StopCondition, recorder: &mut R) -> RunResult {
-        assert!(stop.is_bounded(), "stop condition can never terminate the run");
+    pub fn run_recorded<R: Recorder>(
+        &mut self,
+        stop: StopCondition,
+        recorder: &mut R,
+    ) -> RunResult {
+        assert!(
+            stop.is_bounded(),
+            "stop condition can never terminate the run"
+        );
         recorder.record(self.steps, &self.config);
         loop {
             if stop.goal_met(&self.config) {
@@ -150,17 +196,122 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
                 } else {
                     RunOutcome::OpinionSettled
                 };
-                return RunResult::new(outcome, self.steps, self.config.clone());
+                return RunResult::new(outcome, self.steps, self.config.clone())
+                    .with_scheduler(SEQUENTIAL_ACTIVATION_SCHEDULER_NAME);
             }
             if let Some(budget) = stop.max_interactions() {
                 if self.steps >= budget {
-                    return RunResult::new(RunOutcome::BudgetExhausted, self.steps, self.config.clone());
+                    return RunResult::new(
+                        RunOutcome::BudgetExhausted,
+                        self.steps,
+                        self.config.clone(),
+                    )
+                    .with_scheduler(SEQUENTIAL_ACTIVATION_SCHEDULER_NAME);
                 }
             }
             if self.step() {
                 recorder.record(self.steps, &self.config);
             }
         }
+    }
+
+    /// Applies a sampled state transition, keeping the Fenwick weights in
+    /// sync with the configuration.
+    fn apply_transition(&mut self, from: AgentState, to: AgentState) {
+        let k = self.config.num_opinions();
+        self.config
+            .apply_move(from, to)
+            .expect("sampling dynamic produced an inconsistent move");
+        self.weights.add(from.category(k), -1);
+        self.weights.add(to.category(k), 1);
+    }
+
+    /// Realizes one state-changing activation by rejection: draws activations
+    /// from the unconditional distribution until one is productive.  Exact,
+    /// used when the dynamic provides no closed-form conditional sampler.
+    fn rejection_sample_move(&mut self) -> (AgentState, AgentState) {
+        let k = self.config.num_opinions();
+        loop {
+            let current = AgentState::from_category(self.weights.sample(&mut self.rng), k);
+            self.sample_buf.clear();
+            for _ in 0..self.dynamics.sample_size() {
+                let cat = self.weights.sample(&mut self.rng);
+                self.sample_buf.push(AgentState::from_category(cat, k));
+            }
+            let samples = std::mem::take(&mut self.sample_buf);
+            let new_state = self.dynamics.update(current, &samples, &mut self.rng);
+            self.sample_buf = samples;
+            if new_state != current {
+                return (current, new_state);
+            }
+        }
+    }
+}
+
+/// The activation scheduler the sequential runner realizes: one uniformly
+/// random agent activated per step, samples drawn with replacement.
+pub const SEQUENTIAL_ACTIVATION_SCHEDULER_NAME: &str =
+    "uniform sequential activations (samples with replacement)";
+
+impl<D: SamplingDynamics> StepEngine for SequentialSampler<D> {
+    fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    fn interactions(&self) -> u64 {
+        self.steps
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "sequential-sampling"
+    }
+
+    fn scheduler_name(&self) -> &'static str {
+        SEQUENTIAL_ACTIVATION_SCHEDULER_NAME
+    }
+
+    /// Advances to the next state-changing activation.  When the dynamic
+    /// provides [`SamplingDynamics::null_activation_probability`], the null
+    /// activations in between are skipped with one geometric draw (and the
+    /// event realized via the conditional sampler, falling back to rejection);
+    /// otherwise activations are stepped one by one.
+    fn advance(&mut self, limit: u64) -> Advance {
+        if self.steps >= limit {
+            return Advance::LimitReached;
+        }
+        let Some(p_null) = self.dynamics.null_activation_probability(&self.config) else {
+            while self.steps < limit {
+                if self.step() {
+                    return Advance::Event;
+                }
+            }
+            return Advance::LimitReached;
+        };
+        debug_assert!(
+            (0.0..=1.0).contains(&p_null),
+            "null probability {p_null} out of range"
+        );
+        let p = 1.0 - p_null;
+        if p <= 0.0 {
+            self.steps = limit;
+            return Advance::Absorbed;
+        }
+        let headroom = limit - self.steps;
+        let Some(skip) = pp_core::engine::geometric_skip(&mut self.rng, p, headroom) else {
+            self.steps = limit;
+            return Advance::LimitReached;
+        };
+        self.steps += skip + 1;
+        let (from, to) = match self
+            .dynamics
+            .sample_productive_move(&self.config, &mut self.rng)
+        {
+            Some(transition) => transition,
+            None => self.rejection_sample_move(),
+        };
+        debug_assert_ne!(from, to, "sampled event must change the agent's state");
+        self.apply_transition(from, to);
+        Advance::Event
     }
 }
 
@@ -259,7 +410,12 @@ mod tests {
         fn sample_size(&self) -> usize {
             1
         }
-        fn update<R: Rng + ?Sized>(&self, current: AgentState, samples: &[AgentState], _rng: &mut R) -> AgentState {
+        fn update<R: Rng + ?Sized>(
+            &self,
+            current: AgentState,
+            samples: &[AgentState],
+            _rng: &mut R,
+        ) -> AgentState {
             match samples[0] {
                 AgentState::Decided(_) => samples[0],
                 AgentState::Undecided => current,
@@ -292,7 +448,9 @@ mod tests {
     #[test]
     fn mismatched_opinion_counts_are_rejected() {
         let config = Configuration::uniform(100, 4).unwrap();
-        assert!(SequentialSampler::try_new(AdoptFirst { k: 2 }, config, SimSeed::from_u64(0)).is_err());
+        assert!(
+            SequentialSampler::try_new(AdoptFirst { k: 2 }, config, SimSeed::from_u64(0)).is_err()
+        );
     }
 
     #[test]
@@ -302,7 +460,11 @@ mod tests {
         let result = sim.run(10_000);
         assert!(result.reached_consensus());
         assert_eq!(result.interactions(), sim.rounds());
-        assert!(sim.rounds() < 200, "voter-like dynamic should converge quickly: {}", sim.rounds());
+        assert!(
+            sim.rounds() < 200,
+            "voter-like dynamic should converge quickly: {}",
+            sim.rounds()
+        );
     }
 
     #[test]
@@ -313,5 +475,50 @@ mod tests {
             sim.round();
             assert_eq!(sim.configuration().population(), 500);
         }
+    }
+
+    #[test]
+    fn step_engine_fallback_matches_plain_stepping_semantics() {
+        // AdoptFirst provides no hooks, so `advance` steps one by one.
+        let config = Configuration::from_counts(vec![80, 20], 0).unwrap();
+        let mut sim = SequentialSampler::new(AdoptFirst { k: 2 }, config, SimSeed::from_u64(6));
+        let result = sim.run_engine(StopCondition::consensus().or_max_interactions(1_000_000));
+        assert!(result.reached_consensus());
+        assert_eq!(
+            result.scheduler(),
+            Some(SEQUENTIAL_ACTIVATION_SCHEDULER_NAME)
+        );
+    }
+
+    #[test]
+    fn skip_ahead_engine_converges_for_voter() {
+        use crate::voter::Voter;
+        let config = Configuration::from_counts(vec![450, 50], 0).unwrap();
+        let mut sim = SequentialSampler::new(Voter::new(2), config, SimSeed::from_u64(9));
+        let result = sim.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+        assert_eq!(sim.engine_name(), "sequential-sampling");
+    }
+
+    #[test]
+    fn skip_ahead_respects_budgets_exactly() {
+        use crate::voter::TwoChoices;
+        let config = Configuration::from_counts(vec![500, 500], 0).unwrap();
+        let mut sim = SequentialSampler::new(TwoChoices::new(2), config, SimSeed::from_u64(10));
+        while let Advance::Event = sim.advance(25_000) {
+            assert!(sim.steps() <= 25_000);
+        }
+        assert_eq!(sim.steps(), 25_000);
+        assert!(sim.configuration().is_consistent());
+    }
+
+    #[test]
+    fn skip_ahead_detects_absorbing_configurations() {
+        use crate::voter::Voter;
+        // All agents undecided: the Voter can never change anyone.
+        let config = Configuration::from_counts(vec![0, 0], 50).unwrap();
+        let mut sim = SequentialSampler::new(Voter::new(2), config, SimSeed::from_u64(11));
+        assert_eq!(sim.advance(1_000), Advance::Absorbed);
+        assert_eq!(sim.steps(), 1_000);
     }
 }

@@ -192,6 +192,9 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins >= 8, "plurality won only {wins}/{trials} synchronized runs");
+        assert!(
+            wins >= 8,
+            "plurality won only {wins}/{trials} synchronized runs"
+        );
     }
 }

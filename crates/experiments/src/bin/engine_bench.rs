@@ -1,0 +1,77 @@
+//! Records the step-engine throughput trajectory as `BENCH_engines.json`.
+//!
+//! ```text
+//! engine_bench [--quick] [--seed <u64>] [--output BENCH_engines.json]
+//! ```
+//!
+//! By default the full sweep runs the USD workload at
+//! `n ∈ {10⁵, 10⁶, 10⁷}` on the exact and batched engines and writes the
+//! E13 report (interactions/sec per engine, batched speedup) as JSON, so
+//! successive PRs can track the hot path's performance.  `--quick` shrinks
+//! the sweep for CI smoke runs.
+
+use pp_core::SimSeed;
+use std::process::ExitCode;
+use usd_experiments::exps::e13_engine_throughput::EngineThroughputExperiment;
+use usd_experiments::Scale;
+
+struct Options {
+    scale: Scale,
+    seed: u64,
+    output: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        scale: Scale::Full,
+        seed: 0xC0FFEE,
+        output: "BENCH_engines.json".to_string(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.scale = Scale::Quick,
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).ok_or("--seed requires a value")?;
+                opts.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--output" => {
+                i += 1;
+                opts.output = args.get(i).ok_or("--output requires a value")?.clone();
+            }
+            "--help" | "-h" => {
+                return Err("usage: engine_bench [--quick] [--seed <u64>] [--output <path>]".into())
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let experiment = EngineThroughputExperiment::new(opts.scale);
+    eprintln!(
+        "benchmarking engines at n = {:?} (seed {})…",
+        experiment.populations, opts.seed
+    );
+    let report = experiment.run(SimSeed::from_u64(opts.seed));
+    print!("{}", report.render());
+
+    if let Err(e) = std::fs::write(&opts.output, report.to_json() + "\n") {
+        eprintln!("cannot write {}: {e}", opts.output);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("report written to {}", opts.output);
+    ExitCode::SUCCESS
+}

@@ -24,7 +24,12 @@ struct Options {
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options { scale: Scale::Quick, seed: 0xC0FFEE, csv_dir: None, selected: Vec::new() };
+    let mut opts = Options {
+        scale: Scale::Quick,
+        seed: 0xC0FFEE,
+        csv_dir: None,
+        selected: Vec::new(),
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,7 +46,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.csv_dir = Some(PathBuf::from(raw));
             }
             "--help" | "-h" => {
-                return Err("usage: run_experiments [--full] [--seed <u64>] [--csv <dir>] [E1 E2 ...]".to_string());
+                return Err(
+                    "usage: run_experiments [--full] [--seed <u64>] [--csv <dir>] [E1 E2 ...]"
+                        .to_string(),
+                );
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}"));

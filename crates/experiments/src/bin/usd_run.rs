@@ -3,14 +3,15 @@
 //!
 //! ```text
 //! usd_run --n 100000 --k 10 --bias-mult 2.0 [--mult-bias 1.5] [--undecided 0.2]
-//!         [--seed 7] [--samples 500] [--output trajectory.csv]
+//!         [--engine exact|batched|mean-field] [--seed 7] [--samples 500]
+//!         [--output trajectory.csv]
 //! ```
 //!
 //! Exactly one of `--bias-mult` (additive bias in `sqrt(n ln n)` units) or
 //! `--mult-bias` (multiplicative factor) may be given; with neither the run
 //! starts from the uniform configuration.
 
-use pp_core::{SimSeed, StopCondition};
+use pp_core::{EngineChoice, SimSeed, StopCondition};
 use pp_workloads::InitialConfig;
 use std::process::ExitCode;
 use usd_core::{Phase, PhaseTracker, Trajectory, UsdSimulator};
@@ -22,6 +23,7 @@ struct Options {
     additive_mult: Option<f64>,
     mult_bias: Option<f64>,
     undecided: f64,
+    engine: EngineChoice,
     seed: u64,
     samples: u64,
     output: Option<String>,
@@ -35,6 +37,7 @@ impl Default for Options {
             additive_mult: None,
             mult_bias: None,
             undecided: 0.0,
+            engine: EngineChoice::Exact,
             seed: 1,
             samples: 400,
             output: None,
@@ -49,30 +52,50 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         let flag = args[i].as_str();
         let value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            args.get(*i).cloned().ok_or_else(|| format!("{flag} requires a value"))
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
         };
         match flag {
             "--n" => opts.n = value(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?,
             "--k" => opts.k = value(&mut i)?.parse().map_err(|e| format!("--k: {e}"))?,
             "--bias-mult" => {
-                opts.additive_mult = Some(value(&mut i)?.parse().map_err(|e| format!("--bias-mult: {e}"))?)
-            }
-            "--mult-bias" => {
-                opts.mult_bias = Some(value(&mut i)?.parse().map_err(|e| format!("--mult-bias: {e}"))?)
-            }
-            "--undecided" => {
-                opts.undecided = value(&mut i)?.parse().map_err(|e| format!("--undecided: {e}"))?
-            }
-            "--seed" => opts.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--samples" => opts.samples = value(&mut i)?.parse().map_err(|e| format!("--samples: {e}"))?,
-            "--output" => opts.output = Some(value(&mut i)?),
-            "--help" | "-h" => {
-                return Err(
-                    "usage: usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
-                     [--undecided <fraction>] [--seed <u64>] [--samples <count>] [--output <csv>]"
-                        .to_string(),
+                opts.additive_mult = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--bias-mult: {e}"))?,
                 )
             }
+            "--mult-bias" => {
+                opts.mult_bias = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--mult-bias: {e}"))?,
+                )
+            }
+            "--undecided" => {
+                opts.undecided = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--undecided: {e}"))?
+            }
+            "--engine" => {
+                opts.engine = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--engine: {e}"))?
+            }
+            "--seed" => opts.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--samples" => {
+                opts.samples = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?
+            }
+            "--output" => opts.output = Some(value(&mut i)?),
+            "--help" | "-h" => return Err(
+                "usage: usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
+                     [--undecided <fraction>] [--engine exact|batched|mean-field] [--seed <u64>] \
+                     [--samples <count>] [--output <csv>]"
+                    .to_string(),
+            ),
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
@@ -106,6 +129,7 @@ fn main() -> ExitCode {
     if opts.undecided > 0.0 {
         spec = spec.undecided_fraction(opts.undecided);
     }
+    spec = spec.engine(opts.engine);
     let seed = SimSeed::from_u64(opts.seed);
     let config = match spec.build(seed) {
         Ok(c) => c,
@@ -119,7 +143,8 @@ fn main() -> ExitCode {
     let n_f = opts.n as f64;
     let budget = (400.0 * opts.k as f64 * n_f * n_f.ln()) as u64 + 10_000_000;
     let sample_period = (budget / opts.samples).max(1).min(opts.n.max(1));
-    let mut sim = UsdSimulator::new(config, seed.child(1));
+    let mut sim = UsdSimulator::with_engine(config, seed.child(1), spec.engine_choice());
+    eprintln!("step engine: {}", sim.engine_choice());
     let mut recorder = pp_core::recorder::PairRecorder::new(
         Trajectory::sampled_every(sample_period, 1.0),
         PhaseTracker::new(1.0),

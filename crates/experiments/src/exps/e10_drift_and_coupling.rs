@@ -106,15 +106,23 @@ impl DriftAndCouplingExperiment {
             let n = self.drift_population;
             let k = self.drift_opinions;
             let budget = self.scale.interaction_budget(n, k);
-            let deltas = run_trials(self.trials, seed.child(1), default_threads(), |_, trial_seed| {
-                let config = InitialConfig::new(n, k)
-                    .build(trial_seed.child(0))
-                    .expect("uniform configuration is valid");
-                let mut sim = UsdSimulator::new(config, trial_seed.child(1));
-                let mut trace = ZTrace::default();
-                sim.run_recorded(StopCondition::consensus().or_max_interactions(budget), &mut trace);
-                estimate_drift(&trace.values).map(|d| d.implied_delta)
-            });
+            let deltas = run_trials(
+                self.trials,
+                seed.child(1),
+                default_threads(),
+                |_, trial_seed| {
+                    let config = InitialConfig::new(n, k)
+                        .build(trial_seed.child(0))
+                        .expect("uniform configuration is valid");
+                    let mut sim = UsdSimulator::new(config, trial_seed.child(1));
+                    let mut trace = ZTrace::default();
+                    sim.run_recorded(
+                        StopCondition::consensus().or_max_interactions(budget),
+                        &mut trace,
+                    );
+                    estimate_drift(&trace.values).map(|d| d.implied_delta)
+                },
+            );
             let measured: Vec<f64> = deltas.into_iter().flatten().collect();
             if !measured.is_empty() {
                 let summary = Summary::from_slice(&measured);
@@ -136,27 +144,45 @@ impl DriftAndCouplingExperiment {
             let n = self.coupling_population;
             let k = self.coupling_opinions;
             let budget = self.scale.interaction_budget(n, k);
-            let runs = run_trials(self.trials, seed.child(2), default_threads(), |_, trial_seed| {
-                let x1 = 2 * n / 3 + 1;
-                let rest = n - x1;
-                let share = rest / (k as u64 - 1);
-                let mut counts = vec![share; k];
-                counts[0] = x1;
-                counts[k - 1] = n - x1 - share * (k as u64 - 2);
-                let config = Configuration::from_counts(counts, 0).expect("majority configuration");
-                let mut coupled = CoupledUsd::new(&config, trial_seed);
-                coupled.run(budget)
-            });
+            let runs = run_trials(
+                self.trials,
+                seed.child(2),
+                default_threads(),
+                |_, trial_seed| {
+                    let x1 = 2 * n / 3 + 1;
+                    let rest = n - x1;
+                    let share = rest / (k as u64 - 1);
+                    let mut counts = vec![share; k];
+                    counts[0] = x1;
+                    counts[k - 1] = n - x1 - share * (k as u64 - 2);
+                    let config =
+                        Configuration::from_counts(counts, 0).expect("majority configuration");
+                    let mut coupled = CoupledUsd::new(&config, trial_seed);
+                    coupled.run(budget)
+                },
+            );
             let violations: u64 = runs.iter().map(|r| r.invariant_violations).sum();
-            let k_times: Vec<f64> = runs.iter().filter_map(|r| r.k_consensus_at).map(|t| t as f64).collect();
-            let two_times: Vec<f64> = runs.iter().filter_map(|r| r.two_consensus_at).map(|t| t as f64).collect();
+            let k_times: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| r.k_consensus_at)
+                .map(|t| t as f64)
+                .collect();
+            let two_times: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| r.two_consensus_at)
+                .map(|t| t as f64)
+                .collect();
             report.push_row(vec![
                 "coupling invariant (Lemma 17)".into(),
                 n.to_string(),
                 k.to_string(),
                 format!("{violations} violations"),
                 "0 violations".into(),
-                format!("{}/{}", runs.iter().filter(|r| r.invariant_violations == 0).count(), runs.len()),
+                format!(
+                    "{}/{}",
+                    runs.iter().filter(|r| r.invariant_violations == 0).count(),
+                    runs.len()
+                ),
             ]);
             if !k_times.is_empty() && !two_times.is_empty() {
                 let k_mean = Summary::from_slice(&k_times).mean();
@@ -203,7 +229,10 @@ mod tests {
             scale: Scale::Quick,
         };
         let report = exp.run(SimSeed::from_u64(21));
-        assert!(report.rows.len() >= 2, "expected drift and coupling rows: {report:?}");
+        assert!(
+            report.rows.len() >= 2,
+            "expected drift and coupling rows: {report:?}"
+        );
         let drift_row = &report.rows[0];
         assert_eq!(drift_row[5], "3/3", "drift bound violated: {drift_row:?}");
         let coupling_row = report
@@ -211,6 +240,9 @@ mod tests {
             .iter()
             .find(|r| r[0].contains("coupling invariant"))
             .expect("coupling row present");
-        assert!(coupling_row[3].starts_with('0'), "coupling violations: {coupling_row:?}");
+        assert!(
+            coupling_row[3].starts_with('0'),
+            "coupling violations: {coupling_row:?}"
+        );
     }
 }

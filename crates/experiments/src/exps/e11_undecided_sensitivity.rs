@@ -96,7 +96,12 @@ impl UndecidedSensitivityExperiment {
                 },
             );
 
-            let times = Summary::from_slice(&results.iter().map(|(t, _, _)| *t as f64).collect::<Vec<_>>());
+            let times = Summary::from_slice(
+                &results
+                    .iter()
+                    .map(|(t, _, _)| *t as f64)
+                    .collect::<Vec<_>>(),
+            );
             let admissible = results.iter().filter(|(_, a, _)| *a).count();
             let wins = results.iter().filter(|(_, _, w)| *w == Some(true)).count() as u64;
             let (win_rate, _, _) = proportion_with_wilson(wins, results.len() as u64);

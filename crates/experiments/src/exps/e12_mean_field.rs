@@ -144,6 +144,9 @@ mod tests {
         let report = exp.run(SimSeed::from_u64(23));
         assert_eq!(report.rows.len(), 1);
         let rel_err: f64 = report.rows[0][4].parse().unwrap();
-        assert!(rel_err < 0.15, "peak undecided fraction deviates from the fluid limit by {rel_err}");
+        assert!(
+            rel_err < 0.15,
+            "peak undecided fraction deviates from the fluid limit by {rel_err}"
+        );
     }
 }

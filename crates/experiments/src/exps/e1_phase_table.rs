@@ -91,7 +91,9 @@ impl PhaseTableExperiment {
                 // The bound's x_max reference point: the uniform start has
                 // x_max ≈ n/k through Phases 2–3 and ≥ n/2 afterwards.
                 let x_ref = match phase {
-                    Phase::RiseOfUndecided | Phase::AdditiveBias | Phase::MultiplicativeBias => n / k as u64,
+                    Phase::RiseOfUndecided | Phase::AdditiveBias | Phase::MultiplicativeBias => {
+                        n / k as u64
+                    }
                     Phase::AbsoluteMajority | Phase::Consensus => n / 2,
                 };
                 let bound = phase.interaction_bound(n, x_ref);
@@ -157,7 +159,11 @@ mod tests {
         let report = exp.run(SimSeed::from_u64(2));
         for row in &report.rows {
             let ratio: f64 = row[6].parse().unwrap();
-            assert!(ratio < 50.0, "phase {} ratio {ratio} is implausibly large", row[2]);
+            assert!(
+                ratio < 50.0,
+                "phase {} ratio {ratio} is implausibly large",
+                row[2]
+            );
         }
     }
 }

@@ -84,7 +84,11 @@ impl MultiplicativeBiasExperiment {
                         let mut sim = UsdSimulator::new(config, trial_seed.child(1));
                         let result = sim.run_to_consensus(budget);
                         let plurality_won = result.winner().map(|w| w.index() == 0);
-                        (result.interactions(), result.reached_consensus(), plurality_won)
+                        (
+                            result.interactions(),
+                            result.reached_consensus(),
+                            plurality_won,
+                        )
                     },
                 );
                 point += 1;
@@ -158,7 +162,10 @@ mod tests {
             // With a 2x bias at these sizes the plurality should essentially
             // always win.
             let win_rate: f64 = row[6].split_whitespace().next().unwrap().parse().unwrap();
-            assert!(win_rate >= 0.75, "win rate {win_rate} too low in row {row:?}");
+            assert!(
+                win_rate >= 0.75,
+                "win rate {win_rate} too low in row {row:?}"
+            );
         }
         assert!(report.notes.iter().any(|n| n.contains("joint fit")));
     }

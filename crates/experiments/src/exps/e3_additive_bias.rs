@@ -175,7 +175,10 @@ mod tests {
         assert!(report.notes.iter().any(|n| n.contains("joint fit")));
         for row in &report.rows {
             let win_rate: f64 = row[6].parse().unwrap();
-            assert!(win_rate >= 0.5, "win rate {win_rate} too low for a 2-sigma bias");
+            assert!(
+                win_rate >= 0.5,
+                "win rate {win_rate} too low for a 2-sigma bias"
+            );
         }
     }
 }

@@ -25,7 +25,11 @@ struct SignificantAtT2 {
 
 impl SignificantAtT2 {
     fn new(alpha: f64) -> Self {
-        SignificantAtT2 { tracker: PhaseTracker::new(alpha), alpha, significant_at_t2: None }
+        SignificantAtT2 {
+            tracker: PhaseTracker::new(alpha),
+            alpha,
+            significant_at_t2: None,
+        }
     }
 }
 
@@ -33,7 +37,11 @@ impl Recorder for SignificantAtT2 {
     fn record(&mut self, interactions: u64, config: &Configuration) {
         self.tracker.record(interactions, config);
         if self.significant_at_t2.is_none()
-            && self.tracker.times().hitting_time(Phase::AdditiveBias).is_some()
+            && self
+                .tracker
+                .times()
+                .hitting_time(Phase::AdditiveBias)
+                .is_some()
         {
             self.significant_at_t2 = Some(config.significant_opinions(self.alpha));
         }
@@ -112,7 +120,11 @@ impl NoBiasExperiment {
                             (Some(w), Some(sig)) => Some(sig.contains(&w)),
                             _ => None,
                         };
-                        (result.interactions(), result.reached_consensus(), winner_significant)
+                        (
+                            result.interactions(),
+                            result.reached_consensus(),
+                            winner_significant,
+                        )
                     },
                 );
                 point += 1;
@@ -132,7 +144,10 @@ impl NoBiasExperiment {
                     fmt_f64(summary.max()),
                     fmt_f64(model),
                     fmt_f64(summary.mean() / model),
-                    format!("{significant_winners}/{with_verdict} ({converged}/{} converged)", results.len()),
+                    format!(
+                        "{significant_winners}/{with_verdict} ({converged}/{} converged)",
+                        results.len()
+                    ),
                 ]);
                 ns.push(n as f64);
                 means.push(summary.mean());
@@ -182,7 +197,10 @@ mod tests {
         // significant winner, and every run should converge.
         let parts: Vec<&str> = verdict.split_whitespace().collect();
         let frac: Vec<&str> = parts[0].split('/').collect();
-        assert_eq!(frac[0], frac[1], "some winners were not significant at T2: {verdict}");
+        assert_eq!(
+            frac[0], frac[1],
+            "some winners were not significant at T2: {verdict}"
+        );
         assert!(verdict.contains("(5/5 converged)"), "verdict: {verdict}");
     }
 }

@@ -50,8 +50,8 @@ impl Recorder for UndecidedEnvelope {
             self.phase1_done_at = Some(interactions);
         }
         if self.phase1_done_at.is_some() {
-            let margin = u as f64
-                - (config.population() as f64 - config.max_support() as f64) / 2.0;
+            let margin =
+                u as f64 - (config.population() as f64 - config.max_support() as f64) / 2.0;
             self.min_lemma4_margin = Some(match self.min_lemma4_margin {
                 Some(m) => m.min(margin),
                 None => margin,
@@ -136,12 +136,21 @@ impl UndecidedBoundsExperiment {
             let upper_bound = bounds::lemma3_undecided_upper_bound(n, c.max(0.1));
             let lower_slack = -8.0 * (n_f * n_f.ln()).sqrt();
             let max_u = envelopes.iter().map(|e| e.max_undecided).max().unwrap_or(0);
-            let upper_holds = envelopes.iter().filter(|e| (e.max_undecided as f64) <= upper_bound).count();
-            let margins: Vec<f64> = envelopes.iter().filter_map(|e| e.min_lemma4_margin).collect();
+            let upper_holds = envelopes
+                .iter()
+                .filter(|e| (e.max_undecided as f64) <= upper_bound)
+                .count();
+            let margins: Vec<f64> = envelopes
+                .iter()
+                .filter_map(|e| e.min_lemma4_margin)
+                .collect();
             let min_margin = margins.iter().copied().fold(f64::INFINITY, f64::min);
             let lower_holds = margins.iter().filter(|&&m| m >= lower_slack).count();
             let above_eq = Summary::from_slice(
-                &envelopes.iter().map(|e| e.max_above_equilibrium).collect::<Vec<_>>(),
+                &envelopes
+                    .iter()
+                    .map(|e| e.max_above_equilibrium)
+                    .collect::<Vec<_>>(),
             );
 
             report.push_row(vec![

@@ -82,9 +82,13 @@ impl TwoOpinionExperiment {
                 },
             );
 
-            let wins = results.iter().filter(|(o, _)| *o == MajorityOutcome::MajorityWon).count() as u64;
+            let wins = results
+                .iter()
+                .filter(|(o, _)| *o == MajorityOutcome::MajorityWon)
+                .count() as u64;
             let (rate, lo, hi) = proportion_with_wilson(wins, results.len() as u64);
-            let times = Summary::from_slice(&results.iter().map(|(_, t)| *t as f64).collect::<Vec<_>>());
+            let times =
+                Summary::from_slice(&results.iter().map(|(_, t)| *t as f64).collect::<Vec<_>>());
 
             report.push_row(vec![
                 n.to_string(),
@@ -128,8 +132,14 @@ mod tests {
         assert_eq!(report.rows.len(), 2);
         let no_bias_rate: f64 = report.rows[0][3].parse().unwrap();
         let big_bias_rate: f64 = report.rows[1][3].parse().unwrap();
-        assert!(big_bias_rate >= 0.9, "large bias should essentially always win: {big_bias_rate}");
-        assert!(no_bias_rate <= 0.9, "zero bias should not always pick the same side: {no_bias_rate}");
+        assert!(
+            big_bias_rate >= 0.9,
+            "large bias should essentially always win: {big_bias_rate}"
+        );
+        assert!(
+            no_bias_rate <= 0.9,
+            "zero bias should not always pick the same side: {no_bias_rate}"
+        );
         // Convergence time should be a small multiple of n ln n.
         for row in &report.rows {
             let normalized: f64 = row[6].parse().unwrap();

@@ -13,7 +13,7 @@ use crate::runner::{default_threads, run_trials};
 use crate::Scale;
 use gossip_model::UsdGossip;
 use pp_analysis::Summary;
-use pp_core::{Configuration, SimSeed};
+use pp_core::{Configuration, EngineChoice, SimSeed};
 use usd_core::UsdSimulator;
 
 /// Parameters of the gossip-comparison experiment.
@@ -29,6 +29,9 @@ pub struct GossipComparisonExperiment {
     pub trials: u64,
     /// Scale preset used for budgets.
     pub scale: Scale,
+    /// Step-engine backend for the population-model runs (exact and batched
+    /// induce the same distribution; batched makes the big sweeps cheap).
+    pub engine: EngineChoice,
 }
 
 impl GossipComparisonExperiment {
@@ -47,6 +50,7 @@ impl GossipComparisonExperiment {
             plurality_multipliers: vec![1.5, 2.0, 4.0, 8.0],
             trials: scale.trials(),
             scale,
+            engine: EngineChoice::Batched,
         }
     }
 
@@ -95,16 +99,21 @@ impl GossipComparisonExperiment {
                 seed.child(mi as u64),
                 default_threads(),
                 |_, trial_seed| {
-                    let mut pp = UsdSimulator::new(config.clone(), trial_seed.child(0));
+                    let mut pp =
+                        UsdSimulator::with_engine(config.clone(), trial_seed.child(0), self.engine);
                     let pp_result = pp.run_to_consensus(budget);
                     let mut gossip = UsdGossip::new(&config, trial_seed.child(1));
                     let gossip_result = gossip.run(1_000_000);
-                    (pp_result.parallel_time(), gossip_result.interactions() as f64)
+                    (
+                        pp_result.parallel_time(),
+                        gossip_result.interactions() as f64,
+                    )
                 },
             );
 
             let pp_time = Summary::from_slice(&results.iter().map(|(p, _)| *p).collect::<Vec<_>>());
-            let gossip_rounds = Summary::from_slice(&results.iter().map(|(_, g)| *g).collect::<Vec<_>>());
+            let gossip_rounds =
+                Summary::from_slice(&results.iter().map(|(_, g)| *g).collect::<Vec<_>>());
             let pop_bound = n_f.ln() + n_f / x1 as f64;
             let gossip_bound = config.monochromatic_distance().unwrap_or(1.0) * n_f.ln();
             let prediction = (x1 as f64) < n_f * n_f.ln() / self.opinions as f64;
@@ -123,6 +132,10 @@ impl GossipComparisonExperiment {
         report.push_note(
             "both measured columns are in units of parallel time (one gossip round = n interactions); the bounds use unit constants so only their ordering is meaningful",
         );
+        report.push_note(format!(
+            "population-model runs used the {} step engine",
+            self.engine.name()
+        ));
         report
     }
 }
@@ -148,6 +161,7 @@ mod tests {
             plurality_multipliers: vec![1.5, 3.0],
             trials: 3,
             scale: Scale::Quick,
+            engine: EngineChoice::Batched,
         };
         let report = exp.run(SimSeed::from_u64(6));
         assert_eq!(report.rows.len(), 2);
@@ -166,6 +180,7 @@ mod tests {
             plurality_multipliers: vec![2.0],
             trials: 1,
             scale: Scale::Quick,
+            engine: EngineChoice::Exact,
         };
         let c = exp.config_for(2.0);
         assert_eq!(c.population(), 4_000);

@@ -14,7 +14,7 @@ use consensus_dynamics::{
     MedianRule, SequentialSampler, SynchronizedUsd, ThreeMajority, TwoChoices, Voter,
 };
 use pp_analysis::Summary;
-use pp_core::{Configuration, RunResult, SimSeed, StopCondition};
+use pp_core::{Configuration, EngineChoice, RunResult, SimSeed, StopCondition};
 use pp_workloads::InitialConfig;
 use usd_core::UsdSimulator;
 
@@ -50,12 +50,18 @@ impl Contender {
         }
     }
 
-    fn run_once(self, config: &Configuration, seed: SimSeed, budget: u64) -> RunResult {
+    fn run_once(
+        self,
+        config: &Configuration,
+        seed: SimSeed,
+        budget: u64,
+        usd_engine: EngineChoice,
+    ) -> RunResult {
         let k = config.num_opinions();
         let stop = StopCondition::consensus().or_max_interactions(budget);
         match self {
             Contender::Usd => {
-                UsdSimulator::new(config.clone(), seed).run_to_consensus(budget)
+                UsdSimulator::with_engine(config.clone(), seed, usd_engine).run_to_consensus(budget)
             }
             Contender::Voter => {
                 SequentialSampler::new(Voter::new(k), config.clone(), seed).run(stop)
@@ -75,7 +81,12 @@ impl Contender {
                 let n = config.population();
                 let mut sim = SynchronizedUsd::new(config, seed);
                 let result = sim.run(budget / n.max(1));
-                RunResult::new(result.outcome(), result.interactions() * n, result.final_configuration().clone())
+                RunResult::new(
+                    result.outcome(),
+                    result.interactions() * n,
+                    result.final_configuration().clone(),
+                )
+                .with_scheduler("synchronous rounds (idealized phase clock)")
             }
         }
     }
@@ -94,6 +105,8 @@ pub struct BaselineExperiment {
     pub trials: u64,
     /// Scale preset used for budgets.
     pub scale: Scale,
+    /// Step-engine backend for the USD contender.
+    pub engine: EngineChoice,
 }
 
 impl BaselineExperiment {
@@ -112,6 +125,7 @@ impl BaselineExperiment {
             bias_factor: 2.0,
             trials: scale.trials(),
             scale,
+            engine: EngineChoice::Exact,
         }
     }
 
@@ -129,6 +143,7 @@ impl BaselineExperiment {
                 "p95 parallel time".into(),
                 "consensus rate".into(),
                 "plurality win rate".into(),
+                "scheduler".into(),
             ],
         );
 
@@ -138,7 +153,9 @@ impl BaselineExperiment {
         let starts: Vec<(&str, Configuration)> = vec![
             (
                 "uniform",
-                InitialConfig::new(n, k).build(seed.child(1_000)).expect("uniform config"),
+                InitialConfig::new(n, k)
+                    .build(seed.child(1_000))
+                    .expect("uniform config"),
             ),
             (
                 "multiplicative 2x",
@@ -156,17 +173,28 @@ impl BaselineExperiment {
                     seed.child((si * 100 + ci) as u64),
                     default_threads(),
                     |_, trial_seed| {
-                        let result = contender.run_once(config, trial_seed, budget);
+                        let result = contender.run_once(config, trial_seed, budget, self.engine);
                         (
                             result.parallel_time(),
                             result.reached_consensus(),
-                            result.winner().map(|w| w.index() == config.max_opinion().index()),
+                            result
+                                .winner()
+                                .map(|w| w.index() == config.max_opinion().index()),
+                            result.scheduler().map(str::to_string),
                         )
                     },
                 );
-                let times = Summary::from_slice(&results.iter().map(|(t, _, _)| *t).collect::<Vec<_>>());
-                let consensus = results.iter().filter(|(_, c, _)| *c).count();
-                let wins = results.iter().filter(|(_, _, w)| *w == Some(true)).count();
+                let times =
+                    Summary::from_slice(&results.iter().map(|(t, _, _, _)| *t).collect::<Vec<_>>());
+                let consensus = results.iter().filter(|(_, c, _, _)| *c).count();
+                let wins = results
+                    .iter()
+                    .filter(|(_, _, w, _)| *w == Some(true))
+                    .count();
+                let scheduler = results
+                    .iter()
+                    .find_map(|(_, _, _, s)| s.clone())
+                    .unwrap_or_else(|| "unrecorded".to_string());
                 report.push_row(vec![
                     (*start_name).to_string(),
                     contender.name().to_string(),
@@ -174,6 +202,7 @@ impl BaselineExperiment {
                     fmt_f64(times.quantile(0.95)),
                     format!("{consensus}/{}", results.len()),
                     format!("{wins}/{}", results.len()),
+                    scheduler,
                 ]);
             }
         }
@@ -205,6 +234,7 @@ mod tests {
             bias_factor: 2.0,
             trials: 2,
             scale: Scale::Quick,
+            engine: EngineChoice::Batched,
         };
         let report = exp.run(SimSeed::from_u64(4));
         assert_eq!(report.rows.len(), 12);
@@ -212,7 +242,16 @@ mod tests {
         assert_eq!(usd_rows.len(), 2);
         // Every run of every dynamic should reach consensus at this size.
         for row in &report.rows {
-            assert_eq!(row[4], "2/2", "dynamic {} did not always converge: {row:?}", row[1]);
+            assert_eq!(
+                row[4], "2/2",
+                "dynamic {} did not always converge: {row:?}",
+                row[1]
+            );
+            assert_ne!(
+                row[6], "unrecorded",
+                "dynamic {} lost its scheduler name",
+                row[1]
+            );
         }
     }
 }

@@ -1,6 +1,10 @@
 //! One module per reproduced paper claim (experiment index E1–E10 in
 //! `DESIGN.md`).
 
+pub mod e10_drift_and_coupling;
+pub mod e11_undecided_sensitivity;
+pub mod e12_mean_field;
+pub mod e13_engine_throughput;
 pub mod e1_phase_table;
 pub mod e2_multiplicative_bias;
 pub mod e3_additive_bias;
@@ -10,9 +14,6 @@ pub mod e6_two_opinions;
 pub mod e7_gossip_comparison;
 pub mod e8_baselines;
 pub mod e9_winner_probability;
-pub mod e10_drift_and_coupling;
-pub mod e11_undecided_sensitivity;
-pub mod e12_mean_field;
 
 use crate::report::ExperimentReport;
 use pp_core::SimSeed;
@@ -32,17 +33,26 @@ pub trait Experiment {
 pub fn all_experiments(scale: crate::Scale) -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(e1_phase_table::PhaseTableExperiment::new(scale)),
-        Box::new(e2_multiplicative_bias::MultiplicativeBiasExperiment::new(scale)),
+        Box::new(e2_multiplicative_bias::MultiplicativeBiasExperiment::new(
+            scale,
+        )),
         Box::new(e3_additive_bias::AdditiveBiasExperiment::new(scale)),
         Box::new(e4_no_bias::NoBiasExperiment::new(scale)),
         Box::new(e5_undecided_bounds::UndecidedBoundsExperiment::new(scale)),
         Box::new(e6_two_opinions::TwoOpinionExperiment::new(scale)),
         Box::new(e7_gossip_comparison::GossipComparisonExperiment::new(scale)),
         Box::new(e8_baselines::BaselineExperiment::new(scale)),
-        Box::new(e9_winner_probability::WinnerProbabilityExperiment::new(scale)),
-        Box::new(e10_drift_and_coupling::DriftAndCouplingExperiment::new(scale)),
+        Box::new(e9_winner_probability::WinnerProbabilityExperiment::new(
+            scale,
+        )),
+        Box::new(e10_drift_and_coupling::DriftAndCouplingExperiment::new(
+            scale,
+        )),
         Box::new(e11_undecided_sensitivity::UndecidedSensitivityExperiment::new(scale)),
         Box::new(e12_mean_field::MeanFieldExperiment::new(scale)),
+        Box::new(e13_engine_throughput::EngineThroughputExperiment::new(
+            scale,
+        )),
     ]
 }
 
@@ -56,7 +66,7 @@ mod tests {
         let ids: Vec<&str> = exps.iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
+            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
         );
     }
 }

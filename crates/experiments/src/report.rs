@@ -81,6 +81,42 @@ impl ExperimentReport {
         out
     }
 
+    /// Renders the report as a self-contained JSON object (hand-rolled — the
+    /// offline build vendors serde as annotation-only, so emission is
+    /// explicit here).  Rows become arrays of strings under `"rows"`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn string_array(items: &[String]) -> String {
+            let cells: Vec<String> = items.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+            format!("[{}]", cells.join(","))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| string_array(r)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"paper_claim\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            esc(&self.id),
+            esc(&self.title),
+            esc(&self.paper_claim),
+            string_array(&self.headers),
+            rows.join(","),
+            string_array(&self.notes),
+        )
+    }
+
     /// Renders the table as CSV (headers first, RFC-4180-style quoting for
     /// cells containing commas or quotes).
     #[must_use]
@@ -93,9 +129,21 @@ impl ExperimentReport {
             }
         }
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -112,7 +160,9 @@ impl ReportCollection {
     /// Creates an empty collection.
     #[must_use]
     pub fn new() -> Self {
-        ReportCollection { reports: Vec::new() }
+        ReportCollection {
+            reports: Vec::new(),
+        }
     }
 
     /// Adds a report.
@@ -123,7 +173,11 @@ impl ReportCollection {
     /// Renders every report separated by blank lines.
     #[must_use]
     pub fn render(&self) -> String {
-        self.reports.iter().map(ExperimentReport::render).collect::<Vec<_>>().join("\n")
+        self.reports
+            .iter()
+            .map(ExperimentReport::render)
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -173,6 +227,22 @@ mod tests {
     }
 
     #[test]
+    fn json_escapes_and_round_trips_structure() {
+        let mut r = ExperimentReport::new("E0", "t\"x", "c\\d", vec!["a".into()]);
+        r.push_row(vec!["line\nbreak".into()]);
+        r.push_note("n1");
+        let json = r.to_json();
+        assert!(json.contains("\"id\":\"E0\""));
+        assert!(json.contains("t\\\"x"));
+        assert!(json.contains("c\\\\d"));
+        assert!(json.contains("line\\nbreak"));
+        assert!(json.contains("\"notes\":[\"n1\"]"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
     fn csv_quotes_only_when_needed() {
         let mut r = ExperimentReport::new("E0", "t", "c", vec!["a".into(), "b".into()]);
         r.push_row(vec!["plain".into(), "has,comma".into()]);
@@ -200,7 +270,7 @@ mod tests {
     #[test]
     fn float_formatting_ranges() {
         assert_eq!(fmt_f64(0.0), "0");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(3.21159), "3.21");
         assert_eq!(fmt_f64(0.01234), "0.0123");
         assert_eq!(fmt_f64(250.4), "250");
         assert!(fmt_f64(1.5e7).contains('e'));

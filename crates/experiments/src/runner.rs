@@ -3,11 +3,10 @@
 //! Experiments repeat every measurement over independent trials.  The runner
 //! derives one child seed per trial from the experiment's master seed (so
 //! results are reproducible regardless of thread interleaving) and spreads the
-//! trials over a bounded number of worker threads using crossbeam's scoped
-//! threads.
+//! trials over a bounded number of worker threads using `std::thread::scope`.
 
-use parking_lot::Mutex;
 use pp_core::SimSeed;
+use std::sync::Mutex;
 
 /// Runs `trials` independent trials of `f` (each receiving its trial index and
 /// a derived seed) across up to `max_threads` worker threads, and returns the
@@ -42,11 +41,11 @@ where
     let next = Mutex::new(0u64);
     let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(trials as usize));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let trial = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().expect("trial counter poisoned");
                     if *guard >= trials {
                         break;
                     }
@@ -55,13 +54,15 @@ where
                     t
                 };
                 let value = f(trial, master_seed.child(trial));
-                results.lock().push((trial, value));
+                results
+                    .lock()
+                    .expect("result vector poisoned")
+                    .push((trial, value));
             });
         }
-    })
-    .expect("trial worker thread panicked");
+    });
 
-    let mut collected = results.into_inner();
+    let mut collected = results.into_inner().expect("result vector poisoned");
     collected.sort_by_key(|(i, _)| *i);
     collected.into_iter().map(|(_, v)| v).collect()
 }
@@ -70,7 +71,9 @@ where
 /// eight (experiments are memory-light; more threads rarely help).
 #[must_use]
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |p| p.get()).min(8)
+    std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(8)
 }
 
 #[cfg(test)]
@@ -88,7 +91,10 @@ mod tests {
     fn seeds_are_distinct_and_reproducible() {
         let seeds_a = run_trials(16, SimSeed::from_u64(9), 4, |_, seed| seed.value());
         let seeds_b = run_trials(16, SimSeed::from_u64(9), 2, |_, seed| seed.value());
-        assert_eq!(seeds_a, seeds_b, "seeds must not depend on the thread count");
+        assert_eq!(
+            seeds_a, seeds_b,
+            "seeds must not depend on the thread count"
+        );
         let unique: HashSet<u64> = seeds_a.iter().copied().collect();
         assert_eq!(unique.len(), seeds_a.len());
     }

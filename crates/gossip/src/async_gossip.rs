@@ -9,20 +9,64 @@
 //! results transfer to this model directly; the reproduction includes it so
 //! the three time scales (interactions, parallel time, continuous time) can
 //! be compared explicitly.
+//!
+//! The simulator is built on the unified step-engine layer: it can drive the
+//! discrete chain through [`pp_core::ExactEngine`] or
+//! [`pp_core::BatchedEngine`].  With the batched backend a block of `m`
+//! skipped interactions elapses `Gamma(m, n)` of continuous time in one draw
+//! (the exact distribution of a sum of `m` independent `Exp(n)` waits), so
+//! the continuous clock stays exact-in-distribution under skip-ahead.
 
-use pp_core::{Configuration, CountSimulator, OpinionProtocol, PpError, RunResult, SimSeed, StopCondition};
+use pp_core::engine::{Advance, StepEngine};
+use pp_core::{
+    Configuration, CountEngine, EngineChoice, OpinionProtocol, PpError, RunOutcome, RunResult,
+    SimSeed, StopCondition,
+};
+use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// Draws a standard normal via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws `Gamma(shape, 1)` for integer `shape ≥ 1` via Marsaglia–Tsang
+/// (exact; no shape restriction beyond `shape ≥ 1`).
+fn gamma_integer_shape<R: Rng + ?Sized>(rng: &mut R, shape: u64) -> f64 {
+    debug_assert!(shape >= 1);
+    if shape == 1 {
+        // Exponential: the common case (per-step waits).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return -u.ln();
+    }
+    let d = shape as f64 - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
 
 /// A continuous-time simulator for any [`OpinionProtocol`].
 ///
-/// Internally this drives the discrete count-based simulator and accumulates
-/// exponential waiting times between interactions.
+/// Internally this drives the discrete count-based chain through a selectable
+/// step engine and accumulates the exponential (or, for skipped blocks,
+/// Gamma-distributed) waiting times between interactions.
 ///
 /// # Examples
 ///
 /// ```
 /// use gossip_model::PoissonGossip;
-/// use pp_core::{AgentState, Configuration, OpinionProtocol, SimSeed, StopCondition};
+/// use pp_core::{AgentState, Configuration, EngineChoice, OpinionProtocol, SimSeed, StopCondition};
 ///
 /// struct Voter { k: usize }
 /// impl OpinionProtocol for Voter {
@@ -33,28 +77,47 @@ use rand::Rng;
 /// }
 ///
 /// let config = Configuration::from_counts(vec![90, 10], 0).unwrap();
-/// let mut sim = PoissonGossip::new(Voter { k: 2 }, config, SimSeed::from_u64(1)).unwrap();
+/// let mut sim = PoissonGossip::with_engine(
+///     Voter { k: 2 }, config, SimSeed::from_u64(1), EngineChoice::Batched,
+/// ).unwrap();
 /// let result = sim.run(StopCondition::consensus().or_max_interactions(1_000_000));
 /// assert!(result.reached_consensus());
 /// assert!(sim.continuous_time() > 0.0);
 /// ```
 #[derive(Debug)]
 pub struct PoissonGossip<P> {
-    inner: CountSimulator<P>,
+    inner: CountEngine<P>,
     continuous_time: f64,
-    clock_rng: rand::rngs::SmallRng,
+    clock_rng: SmallRng,
 }
 
 impl<P: OpinionProtocol> PoissonGossip<P> {
-    /// Creates a continuous-time simulator.
+    /// Creates a continuous-time simulator on the exact backend.
     ///
     /// # Errors
     ///
     /// Returns [`PpError::OpinionCountMismatch`] if the protocol and the
     /// configuration disagree on `k`.
     pub fn new(protocol: P, config: Configuration, seed: SimSeed) -> Result<Self, PpError> {
+        Self::with_engine(protocol, config, seed, EngineChoice::Exact)
+    }
+
+    /// Creates a continuous-time simulator on the selected count-based
+    /// backend (exact or batched).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::OpinionCountMismatch`] on a `k` mismatch and
+    /// [`PpError::UnsupportedEngine`] for the mean-field backend (which has
+    /// no interaction-level clock to couple to).
+    pub fn with_engine(
+        protocol: P,
+        config: Configuration,
+        seed: SimSeed,
+        choice: EngineChoice,
+    ) -> Result<Self, PpError> {
         Ok(PoissonGossip {
-            inner: CountSimulator::try_new(protocol, config, seed.child(0))?,
+            inner: CountEngine::try_new(protocol, config, seed.child(0), choice)?,
             continuous_time: 0.0,
             clock_rng: seed.child(1).rng(),
         })
@@ -78,13 +141,31 @@ impl<P: OpinionProtocol> PoissonGossip<P> {
         self.inner.interactions()
     }
 
+    /// The backend identifier of the underlying engine.
+    #[must_use]
+    pub fn engine_name(&self) -> &'static str {
+        self.inner.engine_name()
+    }
+
+    /// Elapses the continuous time of `m` consecutive interactions: one
+    /// `Gamma(m, n)` draw, the exact law of a sum of `m` rate-`n`
+    /// exponentials.
+    fn elapse(&mut self, m: u64) {
+        if m == 0 {
+            return;
+        }
+        let n = self.configuration().population() as f64;
+        self.continuous_time += gamma_integer_shape(&mut self.clock_rng, m) / n;
+    }
+
     /// Performs one interaction, advancing continuous time by an
     /// `Exponential(n)` waiting time; returns `true` if it was productive.
     pub fn step(&mut self) -> bool {
-        let n = self.configuration().population() as f64;
-        let u: f64 = self.clock_rng.gen_range(f64::MIN_POSITIVE..1.0);
-        self.continuous_time += -u.ln() / n;
-        self.inner.step()
+        let before = self.interactions();
+        let advance = self.inner.advance(before + 1);
+        let elapsed = self.interactions() - before;
+        self.elapse(elapsed);
+        advance == Advance::Event
     }
 
     /// Runs until the stop condition is met (budget counts interactions).
@@ -93,21 +174,44 @@ impl<P: OpinionProtocol> PoissonGossip<P> {
     ///
     /// Panics if the stop condition is unbounded.
     pub fn run(&mut self, stop: StopCondition) -> RunResult {
-        assert!(stop.is_bounded(), "stop condition can never terminate the run");
+        assert!(
+            stop.is_bounded(),
+            "stop condition can never terminate the run"
+        );
         loop {
             if stop.goal_met(self.configuration()) {
-                break;
+                let outcome = if self.configuration().is_consensus() {
+                    RunOutcome::Consensus
+                } else {
+                    RunOutcome::OpinionSettled
+                };
+                return RunResult::new(outcome, self.interactions(), self.configuration().clone())
+                    .with_scheduler(self.inner.scheduler_name());
             }
-            if let Some(budget) = stop.max_interactions() {
-                if self.interactions() >= budget {
-                    break;
+            let limit = match stop.max_interactions() {
+                Some(budget) if self.interactions() >= budget => {
+                    return RunResult::new(
+                        RunOutcome::BudgetExhausted,
+                        self.interactions(),
+                        self.configuration().clone(),
+                    )
+                    .with_scheduler(self.inner.scheduler_name());
                 }
+                Some(budget) => budget,
+                None => u64::MAX,
+            };
+            let before = self.interactions();
+            let advance = self.inner.advance(limit);
+            let elapsed = self.interactions() - before;
+            self.elapse(elapsed);
+            if advance == Advance::Absorbed {
+                assert!(
+                    stop.max_interactions().is_some() || stop.goal_met(self.configuration()),
+                    "absorbing configuration {} can never meet the stop condition",
+                    self.configuration()
+                );
             }
-            self.step();
         }
-        // Delegate the final classification to the discrete simulator by
-        // running it for zero further interactions.
-        self.inner.run(StopCondition::after_interactions(self.interactions()))
     }
 }
 
@@ -148,6 +252,23 @@ mod tests {
     }
 
     #[test]
+    fn batched_continuous_time_matches_interaction_count_too() {
+        let config = Configuration::from_counts(vec![1_500, 500], 0).unwrap();
+        let mut sim =
+            PoissonGossip::with_engine(Usd2, config, SimSeed::from_u64(4), EngineChoice::Batched)
+                .unwrap();
+        let result = sim.run(StopCondition::consensus().or_max_interactions(50_000_000));
+        assert!(result.reached_consensus());
+        let expected = sim.interactions() as f64 / 2_000.0;
+        let measured = sim.continuous_time();
+        // Gamma batch waits must aggregate to the same time scale.
+        assert!(
+            (measured - expected).abs() / expected < 0.2,
+            "continuous time {measured} vs expected {expected}"
+        );
+    }
+
+    #[test]
     fn biased_run_converges_in_logarithmic_continuous_time() {
         let config = Configuration::from_counts(vec![1_800, 200], 0).unwrap();
         let mut sim = PoissonGossip::new(Usd2, config, SimSeed::from_u64(2)).unwrap();
@@ -166,5 +287,36 @@ mod tests {
     fn mismatch_is_reported() {
         let config = Configuration::uniform(100, 3).unwrap();
         assert!(PoissonGossip::new(Usd2, config, SimSeed::from_u64(0)).is_err());
+    }
+
+    #[test]
+    fn mean_field_backend_is_rejected() {
+        let config = Configuration::uniform(100, 2).unwrap();
+        let err =
+            PoissonGossip::with_engine(Usd2, config, SimSeed::from_u64(0), EngineChoice::MeanField)
+                .unwrap_err();
+        assert!(matches!(err, PpError::UnsupportedEngine { .. }));
+    }
+
+    #[test]
+    fn gamma_sampler_matches_mean_and_variance() {
+        let mut rng = SimSeed::from_u64(77).rng();
+        for &shape in &[1u64, 2, 7, 50] {
+            let trials = 20_000;
+            let draws: Vec<f64> = (0..trials)
+                .map(|_| gamma_integer_shape(&mut rng, shape))
+                .collect();
+            let mean = draws.iter().sum::<f64>() / trials as f64;
+            let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
+            let s = shape as f64;
+            assert!(
+                (mean - s).abs() < 0.1 * s.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+            assert!(
+                (var - s).abs() < 0.2 * s.max(1.0),
+                "shape {shape}: var {var}"
+            );
+        }
     }
 }

@@ -1,6 +1,18 @@
 //! The synchronous gossip-round engine.
+//!
+//! One gossip round applies `n` simultaneous responder updates against the
+//! previous round's states, so it is *not* an instance of the sequential
+//! count-vector chain and cannot be driven through the
+//! [`pp_core::StepEngine`] backends — the round itself is already the batch
+//! unit.  For the asynchronous (Poisson-clock) gossip model, which *is*
+//! interaction-equivalent to the population model, use
+//! [`crate::PoissonGossip::with_engine`] to pick an exact or batched
+//! backend; experiment E7 compares the two models with the engine as a run
+//! parameter.
 
-use pp_core::{AgentState, Configuration, OpinionProtocol, Recorder, RunOutcome, RunResult, SimSeed};
+use pp_core::{
+    AgentState, Configuration, OpinionProtocol, Recorder, RunOutcome, RunResult, SimSeed,
+};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -172,7 +184,11 @@ mod tests {
         let mut sim = GossipSimulator::new(Usd { k: 3 }, &config, SimSeed::from_u64(3));
         let result = sim.run(10_000);
         assert!(result.reached_consensus());
-        assert!(result.interactions() < 200, "rounds = {}", result.interactions());
+        assert!(
+            result.interactions() < 200,
+            "rounds = {}",
+            result.interactions()
+        );
         assert_eq!(result.winner().unwrap().index(), 0);
     }
 

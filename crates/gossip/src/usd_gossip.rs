@@ -54,7 +54,13 @@ impl UsdGossip {
     #[must_use]
     pub fn new(config: &Configuration, seed: SimSeed) -> Self {
         UsdGossip {
-            inner: GossipSimulator::new(GossipUsdProtocol { k: config.num_opinions() }, config, seed),
+            inner: GossipSimulator::new(
+                GossipUsdProtocol {
+                    k: config.num_opinions(),
+                },
+                config,
+                seed,
+            ),
             initial: config.clone(),
         }
     }
@@ -126,7 +132,10 @@ mod tests {
         let sim = UsdGossip::new(&config, SimSeed::from_u64(1));
         let bound = sim.becchetti_round_bound();
         let expected = 10.0 * 10_000f64.ln();
-        assert!((bound - expected).abs() / expected < 0.01, "bound = {bound}");
+        assert!(
+            (bound - expected).abs() / expected < 0.01,
+            "bound = {bound}"
+        );
     }
 
     #[test]

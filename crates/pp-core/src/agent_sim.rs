@@ -59,8 +59,13 @@ impl<P: OpinionProtocol> AgentSimulator<P, UniformPairScheduler> {
     /// Panics if the protocol and configuration disagree on `k`.
     #[must_use]
     pub fn new(protocol: P, config: &Configuration, seed: SimSeed) -> Self {
-        Self::with_scheduler(protocol, config, UniformPairScheduler::with_self_interactions(), seed)
-            .expect("protocol/configuration opinion count mismatch")
+        Self::with_scheduler(
+            protocol,
+            config,
+            UniformPairScheduler::with_self_interactions(),
+            seed,
+        )
+        .expect("protocol/configuration opinion count mismatch")
     }
 }
 
@@ -143,8 +148,15 @@ impl<P: OpinionProtocol, S: InteractionScheduler> AgentSimulator<P, S> {
     /// # Panics
     ///
     /// Panics if the stop condition is unbounded.
-    pub fn run_recorded<R: Recorder>(&mut self, stop: StopCondition, recorder: &mut R) -> RunResult {
-        assert!(stop.is_bounded(), "stop condition can never terminate the run");
+    pub fn run_recorded<R: Recorder>(
+        &mut self,
+        stop: StopCondition,
+        recorder: &mut R,
+    ) -> RunResult {
+        assert!(
+            stop.is_bounded(),
+            "stop condition can never terminate the run"
+        );
         recorder.record(self.interactions, &self.config);
         loop {
             if stop.goal_met(&self.config) {
@@ -153,17 +165,29 @@ impl<P: OpinionProtocol, S: InteractionScheduler> AgentSimulator<P, S> {
                 } else {
                     RunOutcome::OpinionSettled
                 };
-                return RunResult::new(outcome, self.interactions, self.config.clone());
+                return RunResult::new(outcome, self.interactions, self.config.clone())
+                    .with_scheduler(self.scheduler.name());
             }
             if let Some(budget) = stop.max_interactions() {
                 if self.interactions >= budget {
-                    return RunResult::new(RunOutcome::BudgetExhausted, self.interactions, self.config.clone());
+                    return RunResult::new(
+                        RunOutcome::BudgetExhausted,
+                        self.interactions,
+                        self.config.clone(),
+                    )
+                    .with_scheduler(self.scheduler.name());
                 }
             }
             if self.step() {
                 recorder.record(self.interactions, &self.config);
             }
         }
+    }
+
+    /// The scheduler driving this simulator.
+    #[must_use]
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
     }
 }
 
@@ -223,7 +247,10 @@ mod tests {
         let mut sim = AgentSimulator::new(Usd2, &cfg, SimSeed::from_u64(2));
         for _ in 0..50 {
             let productive = sim.step();
-            assert!(!productive, "all-agree configuration can never be productive");
+            assert!(
+                !productive,
+                "all-agree configuration can never be productive"
+            );
         }
         assert_eq!(sim.interactions(), 50);
     }

@@ -51,7 +51,11 @@ impl Configuration {
         if population == 0 {
             return Err(ConfigError::EmptyPopulation);
         }
-        Ok(Configuration { counts, undecided, population })
+        Ok(Configuration {
+            counts,
+            undecided,
+            population,
+        })
     }
 
     /// Creates a configuration with every agent decided and the support split
@@ -76,7 +80,11 @@ impl Configuration {
         let counts = (0..k)
             .map(|i| if i < rem { base + 1 } else { base })
             .collect();
-        Ok(Configuration { counts, undecided: 0, population: n })
+        Ok(Configuration {
+            counts,
+            undecided: 0,
+            population: n,
+        })
     }
 
     /// Creates a configuration from an explicit list of agent states.
@@ -99,14 +107,21 @@ impl Configuration {
                 AgentState::Decided(o) => {
                     let i = o.index();
                     if i >= k {
-                        return Err(ConfigError::OpinionOutOfRange { index: i, num_opinions: k });
+                        return Err(ConfigError::OpinionOutOfRange {
+                            index: i,
+                            num_opinions: k,
+                        });
                     }
                     counts[i] += 1;
                 }
                 AgentState::Undecided => undecided += 1,
             }
         }
-        Ok(Configuration { counts, undecided, population: states.len() as u64 })
+        Ok(Configuration {
+            counts,
+            undecided,
+            population: states.len() as u64,
+        })
     }
 
     /// Expands the configuration into an explicit vector of agent states
@@ -115,9 +130,12 @@ impl Configuration {
     pub fn to_states(&self) -> Vec<AgentState> {
         let mut v = Vec::with_capacity(self.population as usize);
         for (i, &c) in self.counts.iter().enumerate() {
-            v.extend(std::iter::repeat(AgentState::decided(i)).take(c as usize));
+            v.extend(std::iter::repeat_n(AgentState::decided(i), c as usize));
         }
-        v.extend(std::iter::repeat(AgentState::Undecided).take(self.undecided as usize));
+        v.extend(std::iter::repeat_n(
+            AgentState::Undecided,
+            self.undecided as usize,
+        ));
         v
     }
 
@@ -249,7 +267,7 @@ impl Configuration {
     /// defined in the paper: `x_i = n` for some `i`).
     #[must_use]
     pub fn is_consensus(&self) -> bool {
-        self.undecided == 0 && self.counts.iter().any(|&c| c == self.population)
+        self.undecided == 0 && self.counts.contains(&self.population)
     }
 
     /// If the configuration is a consensus, returns the winning opinion.
@@ -353,7 +371,10 @@ impl Configuration {
         let check = |s: AgentState| -> Result<(), ConfigError> {
             if let AgentState::Decided(o) = s {
                 if o.index() >= k {
-                    return Err(ConfigError::OpinionOutOfRange { index: o.index(), num_opinions: k });
+                    return Err(ConfigError::OpinionOutOfRange {
+                        index: o.index(),
+                        num_opinions: k,
+                    });
                 }
             }
             Ok(())
@@ -364,7 +385,9 @@ impl Configuration {
             AgentState::Decided(o) => {
                 let c = &mut self.counts[o.index()];
                 if *c == 0 {
-                    return Err(ConfigError::NegativeCount { index: Some(o.index()) });
+                    return Err(ConfigError::NegativeCount {
+                        index: Some(o.index()),
+                    });
                 }
                 *c -= 1;
             }
@@ -414,7 +437,9 @@ impl Configuration {
     #[must_use]
     pub fn is_consistent(&self) -> bool {
         let decided: u64 = self.counts.iter().sum();
-        decided + self.undecided == self.population && !self.counts.is_empty() && self.population > 0
+        decided + self.undecided == self.population
+            && !self.counts.is_empty()
+            && self.population > 0
     }
 
     /// The fraction of agents that are undecided.
@@ -452,7 +477,10 @@ mod tests {
 
     #[test]
     fn from_counts_rejects_degenerate_inputs() {
-        assert_eq!(Configuration::from_counts(vec![], 5), Err(ConfigError::NoOpinions));
+        assert_eq!(
+            Configuration::from_counts(vec![], 5),
+            Err(ConfigError::NoOpinions)
+        );
         assert_eq!(
             Configuration::from_counts(vec![0, 0], 0),
             Err(ConfigError::EmptyPopulation)
@@ -487,11 +515,13 @@ mod tests {
     #[test]
     fn apply_move_preserves_population() {
         let mut c = Configuration::from_counts(vec![5, 5], 2).unwrap();
-        c.apply_move(AgentState::decided(0), AgentState::Undecided).unwrap();
+        c.apply_move(AgentState::decided(0), AgentState::Undecided)
+            .unwrap();
         assert_eq!(c.supports(), &[4, 5]);
         assert_eq!(c.undecided(), 3);
         assert!(c.is_consistent());
-        c.apply_move(AgentState::Undecided, AgentState::decided(1)).unwrap();
+        c.apply_move(AgentState::Undecided, AgentState::decided(1))
+            .unwrap();
         assert_eq!(c.supports(), &[4, 6]);
         assert_eq!(c.undecided(), 2);
         assert!(c.is_consistent());
@@ -518,7 +548,8 @@ mod tests {
     fn apply_move_same_state_is_noop() {
         let mut c = Configuration::from_counts(vec![3, 3], 1).unwrap();
         let before = c.clone();
-        c.apply_move(AgentState::decided(0), AgentState::decided(0)).unwrap();
+        c.apply_move(AgentState::decided(0), AgentState::decided(0))
+            .unwrap();
         assert_eq!(c, before);
     }
 
@@ -535,7 +566,7 @@ mod tests {
     fn monochromatic_distance_is_between_one_and_k() {
         let c = Configuration::uniform(999, 3).unwrap();
         let md = c.monochromatic_distance().unwrap();
-        assert!(md >= 1.0 && md <= 3.0, "md = {md}");
+        assert!((1.0..=3.0).contains(&md), "md = {md}");
         // Perfectly uniform (divisible) => md == k.
         let c = Configuration::uniform(900, 3).unwrap();
         assert!((c.monochromatic_distance().unwrap() - 3.0).abs() < 1e-9);

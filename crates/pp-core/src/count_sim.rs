@@ -63,7 +63,8 @@ impl<P: OpinionProtocol> CountSimulator<P> {
     /// constructor.
     #[must_use]
     pub fn new(protocol: P, config: Configuration, seed: SimSeed) -> Self {
-        Self::try_new(protocol, config, seed).expect("protocol/configuration opinion count mismatch")
+        Self::try_new(protocol, config, seed)
+            .expect("protocol/configuration opinion count mismatch")
     }
 
     /// Fallible constructor.
@@ -149,8 +150,15 @@ impl<P: OpinionProtocol> CountSimulator<P> {
     /// # Panics
     ///
     /// Panics if the stop condition is unbounded (no goal and no budget).
-    pub fn run_recorded<R: Recorder>(&mut self, stop: StopCondition, recorder: &mut R) -> RunResult {
-        assert!(stop.is_bounded(), "stop condition can never terminate the run");
+    pub fn run_recorded<R: Recorder>(
+        &mut self,
+        stop: StopCondition,
+        recorder: &mut R,
+    ) -> RunResult {
+        assert!(
+            stop.is_bounded(),
+            "stop condition can never terminate the run"
+        );
         recorder.record(self.interactions, &self.config);
         loop {
             if stop.goal_met(&self.config) {
@@ -159,11 +167,17 @@ impl<P: OpinionProtocol> CountSimulator<P> {
                 } else {
                     RunOutcome::OpinionSettled
                 };
-                return RunResult::new(outcome, self.interactions, self.config.clone());
+                return RunResult::new(outcome, self.interactions, self.config.clone())
+                    .with_scheduler(crate::engine::UNIFORM_PAIR_SCHEDULER_NAME);
             }
             if let Some(budget) = stop.max_interactions() {
                 if self.interactions >= budget {
-                    return RunResult::new(RunOutcome::BudgetExhausted, self.interactions, self.config.clone());
+                    return RunResult::new(
+                        RunOutcome::BudgetExhausted,
+                        self.interactions,
+                        self.config.clone(),
+                    )
+                    .with_scheduler(crate::engine::UNIFORM_PAIR_SCHEDULER_NAME);
                 }
             }
             let productive = self.step();
@@ -178,9 +192,21 @@ impl<P: OpinionProtocol> CountSimulator<P> {
 
     /// Runs for exactly `budget` further interactions (or until the structural
     /// goal of `stop` is met, whichever comes first).
-    pub fn run_for<R: Recorder>(&mut self, budget: u64, stop: StopCondition, recorder: &mut R) -> RunResult {
+    pub fn run_for<R: Recorder>(
+        &mut self,
+        budget: u64,
+        stop: StopCondition,
+        recorder: &mut R,
+    ) -> RunResult {
         let capped = stop.or_max_interactions(self.interactions + budget);
         self.run_recorded(capped, recorder)
+    }
+
+    /// Jumps the interaction counter forward to `target` (used by the engine
+    /// layer once a configuration is known to be absorbing: the skipped
+    /// interactions are all provably null).
+    pub(crate) fn skip_to(&mut self, target: u64) {
+        self.interactions = self.interactions.max(target);
     }
 
     /// Consumes the simulator and returns the final configuration.
@@ -246,7 +272,13 @@ mod tests {
     fn mismatched_opinion_counts_are_rejected() {
         let cfg = Configuration::uniform(10, 3).unwrap();
         let err = CountSimulator::try_new(Usd2, cfg, SimSeed::from_u64(0)).unwrap_err();
-        assert!(matches!(err, PpError::OpinionCountMismatch { protocol: 2, configuration: 3 }));
+        assert!(matches!(
+            err,
+            PpError::OpinionCountMismatch {
+                protocol: 2,
+                configuration: 3
+            }
+        ));
     }
 
     #[test]
@@ -289,7 +321,9 @@ mod tests {
             }
             fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
                 match (r, i) {
-                    (AgentState::Decided(a), AgentState::Decided(b)) if a != b => AgentState::Undecided,
+                    (AgentState::Decided(a), AgentState::Decided(b)) if a != b => {
+                        AgentState::Undecided
+                    }
                     (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
                     _ => r,
                 }
@@ -331,7 +365,8 @@ mod tests {
         let trials = 4_000u32;
         let mut productive = 0u32;
         for s in 0..trials {
-            let mut sim = CountSimulator::new(Usd2, cfg.clone(), SimSeed::from_u64(1000 + u64::from(s)));
+            let mut sim =
+                CountSimulator::new(Usd2, cfg.clone(), SimSeed::from_u64(1000 + u64::from(s)));
             if sim.step() {
                 productive += 1;
             }

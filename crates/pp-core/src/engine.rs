@@ -1,0 +1,886 @@
+//! The unified step-engine layer.
+//!
+//! Every count-based simulation in this workspace advances the same Markov
+//! chain over [`Configuration`]s; what differs is *how* the chain is driven.
+//! This module abstracts the driving strategy behind one trait so every
+//! consumer (USD runs, baseline dynamics, gossip variants, experiments,
+//! benches) can switch strategy without touching its own logic:
+//!
+//! * [`ExactEngine`] (= [`CountSimulator`]) — the canonical per-interaction
+//!   Fenwick sampler: one category pair per step, `O(log k)` each.
+//! * [`BatchedEngine`] — exact-in-distribution skip-ahead.  From the current
+//!   counts it computes the probability `p` that an interaction changes the
+//!   state, samples the geometrically distributed number of *null*
+//!   interactions (pairs that provably leave the counts unchanged, e.g.
+//!   decided-meets-same-opinion in the USD), jumps straight over them, and
+//!   then draws the category pair of the next state-changing event from the
+//!   exact conditional distribution.  One unit of work per *event* instead of
+//!   per *interaction*: in the long null-dominated stretches of a run (the
+//!   coupon-collector endgame of Phase 5, deep-bias regimes) this is orders
+//!   of magnitude faster, and the induced distribution over recorded
+//!   trajectories is the same as the exact engine's.
+//! * `MeanFieldEngine` (in `usd-core`) — the deterministic ODE limit lifted
+//!   behind the same trait for instant large-`n` approximation.
+//!
+//! Protocols opt into fast batching by overriding
+//! [`OpinionProtocol::null_interaction_weight`] and
+//! [`OpinionProtocol::productive_responder_weight`]; without the overrides
+//! the batched engine falls back to exact `O(k²)`-per-event enumeration, so
+//! the refactor is incremental per protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_core::engine::{BatchedEngine, StepEngine};
+//! use pp_core::prelude::*;
+//!
+//! struct TinyUsd;
+//! impl OpinionProtocol for TinyUsd {
+//!     fn num_opinions(&self) -> usize { 2 }
+//!     fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+//!         match (r, i) {
+//!             (AgentState::Decided(a), AgentState::Decided(b)) if a != b => AgentState::Undecided,
+//!             (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
+//!             _ => r,
+//!         }
+//!     }
+//! }
+//!
+//! let config = Configuration::from_counts(vec![900, 100], 0).unwrap();
+//! let mut engine = BatchedEngine::new(TinyUsd, config, SimSeed::from_u64(7));
+//! let result = engine.run_engine(StopCondition::consensus().or_max_interactions(10_000_000));
+//! assert!(result.reached_consensus());
+//! ```
+
+use crate::config::Configuration;
+use crate::count_sim::CountSimulator;
+use crate::error::PpError;
+use crate::opinion::AgentState;
+use crate::protocol::OpinionProtocol;
+use crate::recorder::Recorder;
+use crate::rng::SimSeed;
+use crate::run::{RunOutcome, RunResult};
+use crate::stopping::StopCondition;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which stepping backend a consumer wants.
+///
+/// `Exact` and `Batched` induce the same distribution over trajectories;
+/// `MeanField` replaces the stochastic process by its deterministic fluid
+/// limit (only available for protocols that provide one, currently the USD).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineChoice {
+    /// Per-interaction Fenwick sampling (the ground-truth backend).
+    #[default]
+    Exact,
+    /// Geometric skip-ahead over null interactions plus conditional event
+    /// draws; exact in distribution, much faster when nulls dominate.
+    Batched,
+    /// The deterministic ODE limit (approximation; `usd-core` only).
+    MeanField,
+}
+
+impl EngineChoice {
+    /// The stable identifier used in reports and on the command line.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineChoice::Exact => "exact",
+            EngineChoice::Batched => "batched",
+            EngineChoice::MeanField => "mean-field",
+        }
+    }
+
+    /// All selectable backends.
+    pub const ALL: [EngineChoice; 3] = [
+        EngineChoice::Exact,
+        EngineChoice::Batched,
+        EngineChoice::MeanField,
+    ];
+}
+
+impl fmt::Display for EngineChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EngineChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(EngineChoice::Exact),
+            "batched" => Ok(EngineChoice::Batched),
+            "mean-field" | "meanfield" => Ok(EngineChoice::MeanField),
+            other => Err(format!(
+                "unknown engine {other:?} (expected exact, batched, or mean-field)"
+            )),
+        }
+    }
+}
+
+/// What [`StepEngine::advance`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advance {
+    /// A state-changing event occurred; the configuration and interaction
+    /// counter reflect it.
+    Event,
+    /// The interaction limit was reached before the next state change; the
+    /// counter equals the limit and the configuration is unchanged.
+    LimitReached,
+    /// No state change is possible from the current configuration, ever.
+    /// The counter was advanced to the limit (when one is finite).
+    Absorbed,
+}
+
+/// A strategy for advancing a count-vector Markov chain.
+///
+/// The narrow waist is [`advance`](StepEngine::advance): move the simulation
+/// forward to the *next state-changing event*, but never past `limit` total
+/// interactions.  The provided `run_engine*` drivers build every stopping
+/// behaviour the workspace needs on top of it, so exact, batched and
+/// mean-field backends stay interchangeable in every consumer.
+pub trait StepEngine {
+    /// The current configuration.
+    fn configuration(&self) -> &Configuration;
+
+    /// Interactions elapsed so far (null interactions included).
+    fn interactions(&self) -> u64;
+
+    /// The stable backend identifier ("exact", "batched", "mean-field").
+    fn engine_name(&self) -> &'static str;
+
+    /// The name of the interaction scheduler this engine realizes, recorded
+    /// into every [`RunResult`] the provided drivers produce.
+    fn scheduler_name(&self) -> &'static str {
+        UNIFORM_PAIR_SCHEDULER_NAME
+    }
+
+    /// Advances to the next state-changing event, or to `limit` interactions,
+    /// whichever comes first.
+    fn advance(&mut self, limit: u64) -> Advance;
+
+    /// Runs until the stop condition is met, recording nothing.
+    fn run_engine(&mut self, stop: StopCondition) -> RunResult
+    where
+        Self: Sized,
+    {
+        self.run_engine_recorded(stop, &mut crate::recorder::NullRecorder)
+    }
+
+    /// Runs until the stop condition is met, feeding the initial and every
+    /// changed configuration to the recorder (the same observable sequence
+    /// the exact per-interaction loop produces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stop condition is unbounded, or if the chain reaches an
+    /// absorbing configuration that cannot meet a budget-less stop condition
+    /// (the exact loop would spin forever; the engine layer fails loudly).
+    fn run_engine_recorded<R: Recorder>(
+        &mut self,
+        stop: StopCondition,
+        recorder: &mut R,
+    ) -> RunResult
+    where
+        Self: Sized,
+    {
+        assert!(
+            stop.is_bounded(),
+            "stop condition can never terminate the run"
+        );
+        recorder.record(self.interactions(), self.configuration());
+        loop {
+            if stop.goal_met(self.configuration()) {
+                let outcome = if self.configuration().is_consensus() {
+                    RunOutcome::Consensus
+                } else {
+                    RunOutcome::OpinionSettled
+                };
+                return RunResult::new(outcome, self.interactions(), self.configuration().clone())
+                    .with_scheduler(self.scheduler_name());
+            }
+            let limit = match stop.max_interactions() {
+                Some(budget) if self.interactions() >= budget => {
+                    return RunResult::new(
+                        RunOutcome::BudgetExhausted,
+                        self.interactions(),
+                        self.configuration().clone(),
+                    )
+                    .with_scheduler(self.scheduler_name());
+                }
+                Some(budget) => budget,
+                None => u64::MAX,
+            };
+            match self.advance(limit) {
+                Advance::Event => recorder.record(self.interactions(), self.configuration()),
+                Advance::LimitReached => {}
+                Advance::Absorbed => {
+                    assert!(
+                        stop.max_interactions().is_some() || stop.goal_met(self.configuration()),
+                        "absorbing configuration {} can never meet the stop condition",
+                        self.configuration()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The scheduler every count-based engine realizes implicitly: both category
+/// draws correspond to independent uniform agent indices.
+pub const UNIFORM_PAIR_SCHEDULER_NAME: &str = "uniform ordered pairs (self-interactions allowed)";
+
+/// The canonical per-interaction backend, as a named alias of
+/// [`CountSimulator`].
+pub type ExactEngine<P> = CountSimulator<P>;
+
+impl<P: OpinionProtocol> StepEngine for CountSimulator<P> {
+    fn configuration(&self) -> &Configuration {
+        CountSimulator::configuration(self)
+    }
+
+    fn interactions(&self) -> u64 {
+        CountSimulator::interactions(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn advance(&mut self, limit: u64) -> Advance {
+        // Periodic absorption check: every `CHECK_MASK + 1` consecutive null
+        // steps, test whether any state change is still possible.  Amortized
+        // free on live configurations, and it upholds the trait contract —
+        // an absorbing configuration yields `Absorbed` instead of spinning
+        // until the heat death of the budget (or forever without one).
+        const CHECK_MASK: u64 = (1 << 20) - 1;
+        let mut nulls = 0u64;
+        while CountSimulator::interactions(self) < limit {
+            if self.step() {
+                return Advance::Event;
+            }
+            nulls += 1;
+            if nulls & CHECK_MASK == 0 && self.productive_probability() == 0.0 {
+                self.skip_to(limit);
+                return Advance::Absorbed;
+            }
+        }
+        Advance::LimitReached
+    }
+}
+
+/// Draws a uniform `u128` below `bound` (exactly uniform in both paths).
+/// Count-pair weights exceed `u64` only for populations beyond ~4·10⁹, so
+/// the common case takes a cheap 64-bit Lemire widening-multiply; larger
+/// bounds fall back to 128-bit rejection.
+///
+/// # Panics
+///
+/// Panics in debug builds if `bound == 0`.
+pub fn uniform_u128_below<R: Rng + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    if let Ok(b) = u64::try_from(bound) {
+        // Lemire's multiply-shift with rejection of the biased overhang.
+        let mut m = u128::from(rng.next_u64()) * u128::from(b);
+        if (m as u64) < b {
+            let t = b.wrapping_neg() % b;
+            while (m as u64) < t {
+                m = u128::from(rng.next_u64()) * u128::from(b);
+            }
+        }
+        return m >> 64;
+    }
+    // 2^128 mod bound: values below this threshold are the biased overhang.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        if x >= threshold {
+            return x % bound;
+        }
+    }
+}
+
+/// Samples the geometrically distributed number of null interactions
+/// preceding the next state-changing event, given per-interaction event
+/// probability `p`.  Returns `None` when the skip provably overshoots
+/// `max_skip` — memorylessness makes re-sampling on a later call exact, so
+/// callers can treat `None` as "the limit arrives first".
+///
+/// Shared by every skip-ahead engine ([`BatchedEngine`], the sequential
+/// sampler in `consensus-dynamics`), so the edge-case handling — `p ≥ 1`,
+/// `p` rounding toward 0, overshoot — lives in exactly one place.
+pub fn geometric_skip<R: Rng + ?Sized>(rng: &mut R, p: f64, max_skip: u64) -> Option<u64> {
+    debug_assert!(p > 0.0, "event probability must be positive");
+    if p >= 1.0 {
+        return Some(0);
+    }
+    // Inversion: floor(ln U / ln(1-p)), U uniform in (0, 1).
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let skip = u.ln() / (-p).ln_1p();
+    if !skip.is_finite() || skip >= max_skip as f64 {
+        None
+    } else {
+        Some(skip as u64)
+    }
+}
+
+/// Exact-in-distribution skip-ahead engine.
+///
+/// Instead of simulating interactions one by one, the engine works on the
+/// *embedded jump chain* of state-changing events: from the current counts it
+/// computes the total weight `W` of productive ordered category pairs,
+/// samples the geometric number of null interactions preceding the next
+/// event (success probability `W/n²`), and then draws the event's category
+/// pair with probability proportional to `c_r · c_i` restricted to
+/// productive pairs.  Both draws use the exact conditional distributions of
+/// the underlying chain, so trajectories (configurations indexed by
+/// interaction count) have the same law as under [`ExactEngine`] — this is
+/// verified statistically in the test suite.
+///
+/// Cost: `O(k)` per state-changing event for protocols overriding the
+/// batching hooks ([`OpinionProtocol::null_interaction_weight`] /
+/// [`OpinionProtocol::productive_responder_weight`]), `O(k²)` otherwise —
+/// but never proportional to the number of skipped null interactions.
+#[derive(Debug)]
+pub struct BatchedEngine<P> {
+    protocol: P,
+    config: Configuration,
+    interactions: u64,
+    rng: SmallRng,
+    /// Scratch: productive weight per responder category, refreshed per event.
+    rows: Vec<u128>,
+}
+
+impl<P: OpinionProtocol> BatchedEngine<P> {
+    /// Creates a batched engine for `protocol` starting from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol's `num_opinions()` differs from the
+    /// configuration's.
+    #[must_use]
+    pub fn new(protocol: P, config: Configuration, seed: SimSeed) -> Self {
+        Self::try_new(protocol, config, seed)
+            .expect("protocol/configuration opinion count mismatch")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::OpinionCountMismatch`] if the protocol and the
+    /// configuration disagree on `k`.
+    pub fn try_new(protocol: P, config: Configuration, seed: SimSeed) -> Result<Self, PpError> {
+        if protocol.num_opinions() != config.num_opinions() {
+            return Err(PpError::OpinionCountMismatch {
+                protocol: protocol.num_opinions(),
+                configuration: config.num_opinions(),
+            });
+        }
+        let k = config.num_opinions();
+        Ok(BatchedEngine {
+            protocol,
+            config,
+            interactions: 0,
+            rng: seed.rng(),
+            rows: vec![0; k + 1],
+        })
+    }
+
+    /// The protocol driving this engine.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Consumes the engine and returns the final configuration.
+    #[must_use]
+    pub fn into_configuration(self) -> Configuration {
+        self.config
+    }
+
+    /// Productive weight of responder category `cat` by direct enumeration:
+    /// `c_cat · Σ_{i : productive} c_i`.
+    fn enumerated_row(&self, cat: usize) -> u128 {
+        let k = self.config.num_opinions();
+        let c_cat = u128::from(self.config.category_count(cat));
+        if c_cat == 0 {
+            return 0;
+        }
+        let responder = AgentState::from_category(cat, k);
+        let mut productive_initiators: u128 = 0;
+        for i in 0..=k {
+            let c_i = self.config.category_count(i);
+            if c_i == 0 {
+                continue;
+            }
+            let initiator = AgentState::from_category(i, k);
+            if self.protocol.respond(responder, initiator) != responder {
+                productive_initiators += u128::from(c_i);
+            }
+        }
+        c_cat * productive_initiators
+    }
+
+    /// Refreshes the per-category productive weights and returns their sum.
+    fn refresh_rows(&mut self) -> u128 {
+        let k = self.config.num_opinions();
+        let mut total: u128 = 0;
+        for cat in 0..=k {
+            let row = self
+                .protocol
+                .productive_responder_weight(&self.config, cat)
+                .unwrap_or_else(|| self.enumerated_row(cat));
+            self.rows[cat] = row;
+            total += row;
+        }
+        #[cfg(debug_assertions)]
+        {
+            // Cross-check closed-form hooks against direct enumeration.
+            if let Some(null) = self.protocol.null_interaction_weight(&self.config) {
+                let n = u128::from(self.config.population());
+                debug_assert_eq!(
+                    total + null,
+                    n * n,
+                    "null_interaction_weight override disagrees with enumeration at {}",
+                    self.config
+                );
+            }
+            for cat in 0..=k {
+                debug_assert_eq!(
+                    self.rows[cat],
+                    self.enumerated_row(cat),
+                    "productive_responder_weight override disagrees with enumeration \
+                     for category {cat} at {}",
+                    self.config
+                );
+            }
+        }
+        total
+    }
+
+    /// The probability that the next interaction changes the state, computed
+    /// from the current counts (used by tests and diagnostics).
+    #[must_use]
+    pub fn productive_probability(&mut self) -> f64 {
+        let n = self.config.population() as f64;
+        let total = self.refresh_rows();
+        total as f64 / (n * n)
+    }
+}
+
+impl<P: OpinionProtocol> StepEngine for BatchedEngine<P> {
+    fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "batched"
+    }
+
+    fn advance(&mut self, limit: u64) -> Advance {
+        if self.interactions >= limit {
+            return Advance::LimitReached;
+        }
+        let total = self.refresh_rows();
+        if total == 0 {
+            self.interactions = limit;
+            return Advance::Absorbed;
+        }
+        let n = self.config.population() as f64;
+        let p = total as f64 / (n * n);
+
+        // How many interactions may still elapse before the limit; the event
+        // itself occupies one, so the skip must stay strictly below this.
+        let headroom = limit - self.interactions;
+        let Some(skip) = geometric_skip(&mut self.rng, p, headroom) else {
+            self.interactions = limit;
+            return Advance::LimitReached;
+        };
+        self.interactions += skip + 1;
+
+        // One draw picks the whole event.  A unit below `total` decomposes as
+        // (responder category, responder identity within the category,
+        // initiator unit): the row scan finds the category, and because
+        // `row = c_r · S_r` factors into independent responder-identity and
+        // initiator-weight parts, the remainder modulo `S_r` is an exact
+        // uniform draw of the initiator unit.
+        let k = self.config.num_opinions();
+        let mut target = uniform_u128_below(&mut self.rng, total);
+        let mut responder_cat = k;
+        for cat in 0..=k {
+            let row = self.rows[cat];
+            if target < row {
+                responder_cat = cat;
+                break;
+            }
+            target -= row;
+        }
+        let responder = AgentState::from_category(responder_cat, k);
+        let c_responder = u128::from(self.config.category_count(responder_cat));
+        debug_assert!(c_responder > 0);
+        // 64-bit fast paths: the weights fit u64 for any population ≤ ~4·10⁹,
+        // avoiding the 128-bit division intrinsics on the hot path.
+        let row = self.rows[responder_cat];
+        let initiator_total = match (u64::try_from(row), u64::try_from(c_responder)) {
+            (Ok(r), Ok(c)) => u128::from(r / c),
+            _ => row / c_responder,
+        };
+        let mut itarget = match (u64::try_from(target), u64::try_from(initiator_total)) {
+            (Ok(t), Ok(s)) => u128::from(t % s),
+            _ => target % initiator_total,
+        };
+
+        // Resolve the initiator unit to a category, restricted to categories
+        // whose interaction with this responder is productive.
+        let mut initiator = AgentState::Undecided;
+        for i in 0..=k {
+            let c_i = self.config.category_count(i);
+            if c_i == 0 {
+                continue;
+            }
+            let candidate = AgentState::from_category(i, k);
+            if self.protocol.respond(responder, candidate) == responder {
+                continue;
+            }
+            if itarget < u128::from(c_i) {
+                initiator = candidate;
+                break;
+            }
+            itarget -= u128::from(c_i);
+        }
+
+        let new_responder = self.protocol.respond(responder, initiator);
+        debug_assert_ne!(new_responder, responder, "sampled event must be productive");
+        self.config
+            .apply_move(responder, new_responder)
+            .expect("transition produced an inconsistent move");
+        Advance::Event
+    }
+}
+
+/// A runtime-selectable count-based engine (exact or batched) over one
+/// protocol — the concrete type consumers hold when the backend is a run
+/// parameter rather than a compile-time choice.
+#[derive(Debug)]
+pub enum CountEngine<P> {
+    /// Per-interaction stepping.
+    Exact(ExactEngine<P>),
+    /// Skip-ahead stepping.
+    Batched(BatchedEngine<P>),
+}
+
+impl<P: OpinionProtocol> CountEngine<P> {
+    /// Creates the engine selected by `choice`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::OpinionCountMismatch`] on a protocol/configuration
+    /// mismatch and [`PpError::UnsupportedEngine`] for
+    /// [`EngineChoice::MeanField`], which pp-core cannot construct (the ODE
+    /// limit is protocol-specific; see `usd-core`).
+    pub fn try_new(
+        protocol: P,
+        config: Configuration,
+        seed: SimSeed,
+        choice: EngineChoice,
+    ) -> Result<Self, PpError> {
+        match choice {
+            EngineChoice::Exact => Ok(CountEngine::Exact(CountSimulator::try_new(
+                protocol, config, seed,
+            )?)),
+            EngineChoice::Batched => Ok(CountEngine::Batched(BatchedEngine::try_new(
+                protocol, config, seed,
+            )?)),
+            EngineChoice::MeanField => Err(PpError::UnsupportedEngine {
+                requested: "mean-field",
+            }),
+        }
+    }
+
+    /// Panicking counterpart of [`CountEngine::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatch or unsupported choice.
+    #[must_use]
+    pub fn new(protocol: P, config: Configuration, seed: SimSeed, choice: EngineChoice) -> Self {
+        Self::try_new(protocol, config, seed, choice).expect("failed to construct engine")
+    }
+}
+
+impl<P: OpinionProtocol> StepEngine for CountEngine<P> {
+    fn configuration(&self) -> &Configuration {
+        match self {
+            CountEngine::Exact(e) => StepEngine::configuration(e),
+            CountEngine::Batched(e) => StepEngine::configuration(e),
+        }
+    }
+
+    fn interactions(&self) -> u64 {
+        match self {
+            CountEngine::Exact(e) => StepEngine::interactions(e),
+            CountEngine::Batched(e) => StepEngine::interactions(e),
+        }
+    }
+
+    fn engine_name(&self) -> &'static str {
+        match self {
+            CountEngine::Exact(e) => e.engine_name(),
+            CountEngine::Batched(e) => e.engine_name(),
+        }
+    }
+
+    fn advance(&mut self, limit: u64) -> Advance {
+        match self {
+            CountEngine::Exact(e) => e.advance(limit),
+            CountEngine::Batched(e) => e.advance(limit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 2-opinion USD without batching hooks (exercises the enumeration
+    /// fallback).
+    #[derive(Debug)]
+    struct Usd2Plain;
+
+    impl OpinionProtocol for Usd2Plain {
+        fn num_opinions(&self) -> usize {
+            2
+        }
+        fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+            match (r, i) {
+                (AgentState::Decided(a), AgentState::Decided(b)) if a != b => AgentState::Undecided,
+                (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
+                _ => r,
+            }
+        }
+        fn name(&self) -> &str {
+            "usd-2"
+        }
+    }
+
+    /// The same protocol with closed-form batching hooks (exercises the
+    /// debug cross-check against enumeration).
+    #[derive(Debug)]
+    struct Usd2Hooked;
+
+    impl OpinionProtocol for Usd2Hooked {
+        fn num_opinions(&self) -> usize {
+            2
+        }
+        fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+            Usd2Plain.respond(r, i)
+        }
+        fn name(&self) -> &str {
+            "usd-2-hooked"
+        }
+        fn null_interaction_weight(&self, config: &Configuration) -> Option<u128> {
+            let n = u128::from(config.population());
+            let d = u128::from(config.decided());
+            let u = u128::from(config.undecided());
+            let discordant = d * d - config.sum_of_squares();
+            Some(n * n - discordant - u * d)
+        }
+        fn productive_responder_weight(&self, config: &Configuration, cat: usize) -> Option<u128> {
+            let d = u128::from(config.decided());
+            Some(if cat == config.num_opinions() {
+                u128::from(config.undecided()) * d
+            } else {
+                let x = u128::from(config.support(cat));
+                x * (d - x)
+            })
+        }
+    }
+
+    #[test]
+    fn engine_choice_round_trips_through_strings() {
+        for choice in EngineChoice::ALL {
+            assert_eq!(choice.name().parse::<EngineChoice>().unwrap(), choice);
+        }
+        assert!("nope".parse::<EngineChoice>().is_err());
+        assert_eq!(EngineChoice::default(), EngineChoice::Exact);
+    }
+
+    #[test]
+    fn batched_engine_reaches_consensus_with_plain_protocol() {
+        let config = Configuration::from_counts(vec![900, 100], 0).unwrap();
+        let mut engine = BatchedEngine::new(Usd2Plain, config, SimSeed::from_u64(5));
+        let result = engine.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+        assert_eq!(result.winner().unwrap().index(), 0);
+        assert_eq!(result.scheduler(), Some(UNIFORM_PAIR_SCHEDULER_NAME));
+    }
+
+    #[test]
+    fn hooked_protocol_passes_the_debug_cross_check() {
+        let config = Configuration::from_counts(vec![600, 300], 100).unwrap();
+        let mut engine = BatchedEngine::new(Usd2Hooked, config, SimSeed::from_u64(6));
+        let result = engine.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+    }
+
+    #[test]
+    fn batched_population_is_conserved_across_events() {
+        let config = Configuration::from_counts(vec![40, 60], 0).unwrap();
+        let mut engine = BatchedEngine::new(Usd2Plain, config, SimSeed::from_u64(11));
+        for _ in 0..200 {
+            match engine.advance(u64::MAX) {
+                Advance::Event => {
+                    assert!(engine.configuration().is_consistent());
+                    assert_eq!(engine.configuration().population(), 100);
+                }
+                _ => break,
+            }
+        }
+        assert!(engine.interactions() > 0);
+    }
+
+    #[test]
+    fn batched_budget_is_respected_exactly() {
+        let config = Configuration::from_counts(vec![500, 500], 0).unwrap();
+        let mut engine = BatchedEngine::new(Usd2Plain, config, SimSeed::from_u64(3));
+        let result = engine.run_engine(StopCondition::consensus().or_max_interactions(10_000));
+        if result.outcome() == RunOutcome::BudgetExhausted {
+            assert_eq!(result.interactions(), 10_000);
+        } else {
+            assert!(result.interactions() <= 10_000);
+        }
+    }
+
+    #[test]
+    fn absorbed_configuration_exhausts_budget_without_spinning() {
+        // A frozen non-consensus state: every agent undecided (the USD can
+        // never change it).
+        let config = Configuration::from_counts(vec![0, 0], 100).unwrap();
+        let mut engine = BatchedEngine::new(Usd2Plain, config, SimSeed::from_u64(8));
+        let result = engine.run_engine(StopCondition::consensus().or_max_interactions(1_000_000));
+        assert_eq!(result.outcome(), RunOutcome::BudgetExhausted);
+        assert_eq!(result.interactions(), 1_000_000);
+    }
+
+    #[test]
+    fn exact_engine_detects_absorption_instead_of_spinning() {
+        // Frozen non-consensus state: the absorption check must fire after a
+        // bounded number of null steps even with no (finite) limit.
+        let config = Configuration::from_counts(vec![0, 0], 100).unwrap();
+        let mut engine = CountSimulator::new(Usd2Plain, config, SimSeed::from_u64(1));
+        assert_eq!(
+            StepEngine::advance(&mut engine, u64::MAX),
+            Advance::Absorbed
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "can never meet the stop condition")]
+    fn exact_engine_fails_loudly_on_absorbing_goal_only_runs() {
+        // Same loud-failure contract as the batched backend: a goal-only
+        // stop on an absorbing configuration panics instead of hanging.
+        let config = Configuration::from_counts(vec![0, 0], 100).unwrap();
+        let mut engine = CountSimulator::new(Usd2Plain, config, SimSeed::from_u64(1));
+        let _ = engine.run_engine(StopCondition::consensus());
+    }
+
+    #[test]
+    fn geometric_skip_matches_the_distribution_mean() {
+        let mut rng = SimSeed::from_u64(42).rng();
+        let p = 0.2f64;
+        let trials = 50_000;
+        let total: u64 = (0..trials)
+            .map(|_| geometric_skip(&mut rng, p, u64::MAX).expect("no overshoot"))
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let expected = (1.0 - p) / p;
+        assert!((mean - expected).abs() < 0.1, "mean {mean} vs {expected}");
+        // p = 1 means the event is immediate, and overshoots report None.
+        assert_eq!(geometric_skip(&mut rng, 1.0, 10), Some(0));
+        assert_eq!(geometric_skip(&mut rng, 1e-18, 1), None);
+    }
+
+    #[test]
+    fn exact_engine_advance_matches_stepwise_semantics() {
+        let config = Configuration::from_counts(vec![80, 20], 0).unwrap();
+        let mut engine = CountSimulator::new(Usd2Plain, config, SimSeed::from_u64(2));
+        let adv = StepEngine::advance(&mut engine, 1_000_000);
+        assert_eq!(adv, Advance::Event);
+        assert!(StepEngine::interactions(&engine) >= 1);
+        let now = StepEngine::interactions(&engine);
+        let adv = StepEngine::advance(&mut engine, now);
+        assert_eq!(adv, Advance::LimitReached);
+    }
+
+    #[test]
+    fn count_engine_dispatches_both_backends() {
+        for choice in [EngineChoice::Exact, EngineChoice::Batched] {
+            let config = Configuration::from_counts(vec![900, 100], 0).unwrap();
+            let mut engine = CountEngine::new(Usd2Plain, config, SimSeed::from_u64(4), choice);
+            let result =
+                engine.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+            assert!(result.reached_consensus(), "{choice} failed to converge");
+            assert_eq!(engine.engine_name(), choice.name());
+        }
+        let config = Configuration::from_counts(vec![10, 10], 0).unwrap();
+        let err = CountEngine::try_new(
+            Usd2Plain,
+            config,
+            SimSeed::from_u64(0),
+            EngineChoice::MeanField,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PpError::UnsupportedEngine { .. }));
+    }
+
+    #[test]
+    fn productive_probability_matches_closed_form() {
+        // x = (300, 700), u = 0: p = 2·300·700/1000² = 0.42.
+        let config = Configuration::from_counts(vec![300, 700], 0).unwrap();
+        let mut engine = BatchedEngine::new(Usd2Plain, config, SimSeed::from_u64(77));
+        assert!((engine.productive_probability() - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gen_u128_below_stays_in_range_and_covers_small_bounds() {
+        let mut rng = SimSeed::from_u64(1).rng();
+        let mut seen = [false; 5];
+        for _ in 0..2_000 {
+            let x = uniform_u128_below(&mut rng, 5);
+            assert!(x < 5);
+            seen[x as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some residues never sampled: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn recorder_sees_initial_and_event_configurations() {
+        let config = Configuration::from_counts(vec![90, 10], 0).unwrap();
+        let mut engine = BatchedEngine::new(Usd2Plain, config, SimSeed::from_u64(9));
+        let mut times: Vec<u64> = Vec::new();
+        let mut rec = |t: u64, _c: &Configuration| times.push(t);
+        engine.run_engine_recorded(
+            StopCondition::consensus().or_max_interactions(1_000_000),
+            &mut rec,
+        );
+        assert_eq!(times[0], 0);
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "event times must increase"
+        );
+    }
+}

@@ -76,6 +76,12 @@ pub enum PpError {
         /// Opinions present in the configuration.
         configuration: usize,
     },
+    /// The requested step-engine backend is not available in this context
+    /// (e.g. the mean-field backend, which is protocol-specific).
+    UnsupportedEngine {
+        /// The name of the requested backend.
+        requested: &'static str,
+    },
 }
 
 impl fmt::Display for PpError {
@@ -83,12 +89,21 @@ impl fmt::Display for PpError {
         match self {
             PpError::Config(e) => write!(f, "invalid configuration: {e}"),
             PpError::BudgetExhausted { interactions } => {
-                write!(f, "interaction budget exhausted after {interactions} interactions")
+                write!(
+                    f,
+                    "interaction budget exhausted after {interactions} interactions"
+                )
             }
-            PpError::OpinionCountMismatch { protocol, configuration } => write!(
+            PpError::OpinionCountMismatch {
+                protocol,
+                configuration,
+            } => write!(
                 f,
                 "protocol supports {protocol} opinions but the configuration has {configuration}"
             ),
+            PpError::UnsupportedEngine { requested } => {
+                write!(f, "the {requested} engine is not available in this context")
+            }
         }
     }
 }

@@ -33,7 +33,10 @@ impl FenwickTree {
     /// Creates a tree of `len` zero weights.
     #[must_use]
     pub fn new(len: usize) -> Self {
-        FenwickTree { tree: vec![0; len + 1], len }
+        FenwickTree {
+            tree: vec![0; len + 1],
+            len,
+        }
     }
 
     /// Creates a tree initialized with the given weights.
@@ -65,7 +68,11 @@ impl FenwickTree {
     /// Panics if `index >= len` or if the update would drive the weight at
     /// `index` negative (checked in debug builds via the stored prefix sums).
     pub fn add(&mut self, index: usize, delta: i64) {
-        assert!(index < self.len, "index {index} out of bounds for len {}", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds for len {}",
+            self.len
+        );
         if delta == 0 {
             return;
         }
@@ -128,7 +135,11 @@ impl FenwickTree {
     /// Panics if `target >= total()`.
     #[must_use]
     pub fn find_by_cumulative(&self, target: u64) -> usize {
-        assert!(target < self.total(), "target {target} >= total {}", self.total());
+        assert!(
+            target < self.total(),
+            "target {target} >= total {}",
+            self.total()
+        );
         let mut idx = 0usize;
         let mut remaining = target;
         let mut bit = self.len.next_power_of_two();
@@ -151,7 +162,10 @@ impl FenwickTree {
     #[must_use]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = self.total();
-        assert!(total > 0, "cannot sample from a tree with zero total weight");
+        assert!(
+            total > 0,
+            "cannot sample from a tree with zero total weight"
+        );
         let target = rng.gen_range(0..total);
         self.find_by_cumulative(target)
     }
@@ -258,9 +272,9 @@ mod proptests {
         fn prefix_sum_matches_naive(weights in proptest::collection::vec(0u64..1000, 1..64)) {
             let t = FenwickTree::from_weights(&weights);
             let mut acc = 0u64;
-            for i in 0..weights.len() {
+            for (i, &w) in weights.iter().enumerate() {
                 prop_assert_eq!(t.prefix_sum(i), acc);
-                acc += weights[i];
+                acc += w;
             }
             prop_assert_eq!(t.total(), acc);
         }

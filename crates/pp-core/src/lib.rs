@@ -7,15 +7,31 @@
 //! It implements the population protocol model of computation: `n` anonymous
 //! agents, each holding a state from a finite state space, interacting in
 //! ordered pairs *(responder, initiator)* drawn uniformly at random (with
-//! self-interactions allowed, exactly as in the paper).  Two simulators are
-//! provided:
+//! self-interactions allowed, exactly as in the paper).
 //!
-//! * [`CountSimulator`] — the canonical engine.  For *opinion dynamics* whose
-//!   state space is `{1..k, ⊥}` the whole process is a function of the count
-//!   vector, so each interaction costs `O(log k)` time independent of `n`
-//!   (category sampling via a Fenwick tree).
-//! * [`AgentSimulator`] — an explicit agent-array engine used for fidelity
-//!   cross-checks and for protocols that carry extra per-agent state.
+//! ## The step-engine layer
+//!
+//! All count-based simulation goes through the [`engine::StepEngine`] trait,
+//! which abstracts *how* the count-vector Markov chain is advanced.  Pick a
+//! backend with [`EngineChoice`]:
+//!
+//! * [`ExactEngine`] (= [`CountSimulator`]) — the canonical ground-truth
+//!   backend: one interaction per step, category sampling through a Fenwick
+//!   tree in `O(log k)` independent of `n`.  Use it when per-interaction
+//!   observability matters or as the reference in equivalence tests.
+//! * [`BatchedEngine`] — exact-in-distribution skip-ahead: jumps over the
+//!   geometrically distributed runs of *null* interactions and draws only
+//!   the state-changing events.  Same trajectory law, orders of magnitude
+//!   faster whenever nulls dominate (deep-bias regimes, every consensus
+//!   endgame).  Use it for large populations; protocols opt into `O(k)`
+//!   events via [`OpinionProtocol::null_interaction_weight`] /
+//!   [`OpinionProtocol::productive_responder_weight`].
+//! * `MeanFieldEngine` (in `usd-core`) — the deterministic ODE limit behind
+//!   the same trait.  Instant at any `n`, but an approximation: use it for
+//!   exploration, never for distributional statistics.
+//!
+//! [`AgentSimulator`] remains as the explicit agent-array ground truth for
+//! fidelity cross-checks and protocols with per-agent state.
 //!
 //! The crate also provides [`Configuration`] (the count vector with its
 //! bias/support metrics), stopping rules, trace recorders and reproducible
@@ -54,6 +70,7 @@
 pub mod agent_sim;
 pub mod config;
 pub mod count_sim;
+pub mod engine;
 pub mod error;
 pub mod fenwick;
 pub mod opinion;
@@ -67,6 +84,7 @@ pub mod stopping;
 pub use agent_sim::AgentSimulator;
 pub use config::Configuration;
 pub use count_sim::CountSimulator;
+pub use engine::{Advance, BatchedEngine, CountEngine, EngineChoice, ExactEngine, StepEngine};
 pub use error::{ConfigError, PpError};
 pub use fenwick::FenwickTree;
 pub use opinion::{AgentState, Opinion, UNDECIDED_INDEX};
@@ -82,6 +100,9 @@ pub mod prelude {
     pub use crate::agent_sim::AgentSimulator;
     pub use crate::config::Configuration;
     pub use crate::count_sim::CountSimulator;
+    pub use crate::engine::{
+        Advance, BatchedEngine, CountEngine, EngineChoice, ExactEngine, StepEngine,
+    };
     pub use crate::error::{ConfigError, PpError};
     pub use crate::opinion::{AgentState, Opinion};
     pub use crate::protocol::{OpinionProtocol, PairwiseProtocol};

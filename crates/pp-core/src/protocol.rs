@@ -11,6 +11,7 @@
 //!   Every `OpinionProtocol` is automatically a `PairwiseProtocol`, and it is
 //!   the interface the fast count-based simulator requires.
 
+use crate::config::Configuration;
 use crate::opinion::AgentState;
 
 /// A general population protocol with transition function `δ : Q² → Q²`.
@@ -22,7 +23,11 @@ pub trait PairwiseProtocol {
     type State: Copy + Eq;
 
     /// Applies the transition function to the pair *(responder, initiator)*.
-    fn transition(&self, responder: Self::State, initiator: Self::State) -> (Self::State, Self::State);
+    fn transition(
+        &self,
+        responder: Self::State,
+        initiator: Self::State,
+    ) -> (Self::State, Self::State);
 
     /// A short human-readable protocol name used in reports.
     fn name(&self) -> &str {
@@ -70,6 +75,44 @@ pub trait OpinionProtocol {
     /// is *productive*, i.e. changes the responder's state.
     fn is_productive(&self, responder: AgentState, initiator: AgentState) -> bool {
         self.respond(responder, initiator) != responder
+    }
+
+    /// Total weight of *null* ordered category pairs in `config`: the sum of
+    /// `c_r · c_i` over all ordered pairs of categories `(r, i)` whose
+    /// interaction leaves the responder unchanged (categories `0..k` are the
+    /// opinions, `k` is `⊥`; `c` is the category count).  Dividing by `n²`
+    /// gives the probability that the next interaction is null.
+    ///
+    /// This is the opt-in hook for [`crate::engine::BatchedEngine`]'s
+    /// skip-ahead: protocols with a closed form (USD, Voter) override it so
+    /// the engine can compute the null probability in `O(k)` instead of
+    /// enumerating all `(k+1)²` category pairs.  The conservative default
+    /// returns `None`, meaning "no closed form known" — the engine then
+    /// derives the weight by enumeration, which is exact but `O(k²)` per
+    /// state-changing event.  Overrides must match the enumeration exactly;
+    /// the engine cross-checks this in debug builds.
+    fn null_interaction_weight(&self, config: &Configuration) -> Option<u128> {
+        let _ = config;
+        None
+    }
+
+    /// Weight of *productive* ordered pairs whose responder lies in
+    /// `responder_category`: `c_cat · Σ_{i : productive(cat, i)} c_i`.
+    ///
+    /// Companion hook to
+    /// [`null_interaction_weight`](OpinionProtocol::null_interaction_weight):
+    /// the batched engine samples the responder category of the next
+    /// state-changing event proportionally to these weights.  The
+    /// conservative default returns `None` (engine enumerates in `O(k)` per
+    /// category); closed-form overrides bring one event down to `O(k)`
+    /// total.
+    fn productive_responder_weight(
+        &self,
+        config: &Configuration,
+        responder_category: usize,
+    ) -> Option<u128> {
+        let _ = (config, responder_category);
+        None
     }
 }
 

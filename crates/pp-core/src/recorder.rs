@@ -77,7 +77,11 @@ impl TraceRecorder {
     #[must_use]
     pub fn every(every: u64) -> Self {
         assert!(every > 0, "snapshot period must be positive");
-        TraceRecorder { every, snapshots: Vec::new(), latest: None }
+        TraceRecorder {
+            every,
+            snapshots: Vec::new(),
+            latest: None,
+        }
     }
 
     /// A sensible default period for a population of size `n`: one snapshot
@@ -109,7 +113,7 @@ impl TraceRecorder {
     pub fn into_snapshots(self) -> Vec<Snapshot> {
         let mut v = self.snapshots;
         if let Some(last) = self.latest {
-            if v.last().map_or(true, |s| s.interactions < last.interactions) {
+            if v.last().is_none_or(|s| s.interactions < last.interactions) {
                 v.push(last);
             }
         }
@@ -119,7 +123,9 @@ impl TraceRecorder {
     /// Iterates over all recorded snapshots (periodic plus latest).
     pub fn iter(&self) -> impl Iterator<Item = &Snapshot> {
         self.snapshots.iter().chain(self.latest.iter().filter(|l| {
-            self.snapshots.last().map_or(true, |s| s.interactions < l.interactions)
+            self.snapshots
+                .last()
+                .is_none_or(|s| s.interactions < l.interactions)
         }))
     }
 
@@ -143,11 +149,17 @@ impl TraceRecorder {
 
 impl Recorder for TraceRecorder {
     fn record(&mut self, interactions: u64, config: &Configuration) {
-        if interactions % self.every == 0 {
-            self.snapshots.push(Snapshot { interactions, configuration: config.clone() });
+        if interactions.is_multiple_of(self.every) {
+            self.snapshots.push(Snapshot {
+                interactions,
+                configuration: config.clone(),
+            });
             self.latest = None;
         } else {
-            self.latest = Some(Snapshot { interactions, configuration: config.clone() });
+            self.latest = Some(Snapshot {
+                interactions,
+                configuration: config.clone(),
+            });
         }
     }
 }
@@ -196,7 +208,11 @@ mod tests {
         for t in 0..=12 {
             rec.record(t, &cfg(t));
         }
-        let times: Vec<u64> = rec.into_snapshots().iter().map(|s| s.interactions).collect();
+        let times: Vec<u64> = rec
+            .into_snapshots()
+            .iter()
+            .map(|s| s.interactions)
+            .collect();
         assert_eq!(times, vec![0, 5, 10, 12]);
     }
 
@@ -243,7 +259,10 @@ mod tests {
 
     #[test]
     fn parallel_time_divides_by_population() {
-        let s = Snapshot { interactions: 500, configuration: cfg(0) };
+        let s = Snapshot {
+            interactions: 500,
+            configuration: cfg(0),
+        };
         assert!((s.parallel_time() - 5.0).abs() < 1e-12);
     }
 

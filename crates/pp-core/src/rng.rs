@@ -154,6 +154,9 @@ mod tests {
 
     #[test]
     fn same_child_index_is_reproducible() {
-        assert_eq!(SimSeed::from_u64(5).child(17), SimSeed::from_u64(5).child(17));
+        assert_eq!(
+            SimSeed::from_u64(5).child(17),
+            SimSeed::from_u64(5).child(17)
+        );
     }
 }

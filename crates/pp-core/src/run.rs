@@ -43,13 +43,35 @@ pub struct RunResult {
     outcome: RunOutcome,
     interactions: u64,
     final_configuration: Configuration,
+    scheduler: Option<String>,
 }
 
 impl RunResult {
-    /// Creates a run result.
+    /// Creates a run result (with no scheduler recorded; see
+    /// [`RunResult::with_scheduler`]).
     #[must_use]
     pub fn new(outcome: RunOutcome, interactions: u64, final_configuration: Configuration) -> Self {
-        RunResult { outcome, interactions, final_configuration }
+        RunResult {
+            outcome,
+            interactions,
+            final_configuration,
+            scheduler: None,
+        }
+    }
+
+    /// Records the name of the interaction scheduler that produced this run,
+    /// so experiment reports can identify it.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: impl Into<String>) -> Self {
+        self.scheduler = Some(scheduler.into());
+        self
+    }
+
+    /// The name of the interaction scheduler that produced this run, if the
+    /// simulator recorded one.
+    #[must_use]
+    pub fn scheduler(&self) -> Option<&str> {
+        self.scheduler.as_deref()
     }
 
     /// Why the run stopped.
@@ -132,5 +154,17 @@ mod tests {
         assert!(RunOutcome::Consensus.is_goal());
         assert!(RunOutcome::OpinionSettled.is_goal());
         assert!(!RunOutcome::BudgetExhausted.is_goal());
+    }
+
+    #[test]
+    fn scheduler_name_is_recorded_when_provided() {
+        let cfg = Configuration::from_counts(vec![10, 0], 0).unwrap();
+        let bare = RunResult::new(RunOutcome::Consensus, 5, cfg.clone());
+        assert_eq!(bare.scheduler(), None);
+        let named = bare.with_scheduler("uniform ordered pairs (self-interactions allowed)");
+        assert_eq!(
+            named.scheduler(),
+            Some("uniform ordered pairs (self-interactions allowed)")
+        );
     }
 }

@@ -22,7 +22,10 @@ impl OrderedPair {
     /// Creates a pair.
     #[must_use]
     pub fn new(responder: usize, initiator: usize) -> Self {
-        OrderedPair { responder, initiator }
+        OrderedPair {
+            responder,
+            initiator,
+        }
     }
 
     /// Returns `true` if the pair is a self-interaction.
@@ -38,9 +41,11 @@ pub trait InteractionScheduler {
     fn next_pair<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> OrderedPair;
 
     /// A short human-readable scheduler name used in reports.
-    fn name(&self) -> &str {
-        "unnamed scheduler"
-    }
+    ///
+    /// Required (no default): every scheduler shows up by name in
+    /// [`crate::RunResult::scheduler`], so an implementor must identify
+    /// itself instead of inheriting a meaningless placeholder.
+    fn name(&self) -> &str;
 }
 
 /// The paper's scheduler: both indices drawn independently and uniformly from
@@ -106,7 +111,10 @@ impl InteractionScheduler for UniformPairScheduler {
                 raw
             }
         };
-        OrderedPair { responder, initiator }
+        OrderedPair {
+            responder,
+            initiator,
+        }
     }
 
     fn name(&self) -> &str {
@@ -184,11 +192,11 @@ mod tests {
             let p = s.next_pair(n, &mut rng);
             joint[p.responder][p.initiator] += 1;
         }
-        for r in 0..n {
-            for i in 0..n {
-                let frac = joint[r][i] as f64 / trials as f64;
+        for (r, row) in joint.iter().enumerate() {
+            for (i, &cell) in row.iter().enumerate() {
+                let frac = cell as f64 / trials as f64;
                 if r == i {
-                    assert_eq!(joint[r][i], 0);
+                    assert_eq!(cell, 0);
                 } else {
                     // 6 ordered distinct pairs => 1/6 each.
                     assert!((frac - 1.0 / 6.0).abs() < 0.02, "frac({r},{i}) = {frac}");

@@ -29,20 +29,32 @@ impl StopCondition {
     /// Stop when all agents support the same opinion (`x_i = n`).
     #[must_use]
     pub fn consensus() -> Self {
-        StopCondition { stop_on_consensus: true, stop_on_settled: false, max_interactions: None }
+        StopCondition {
+            stop_on_consensus: true,
+            stop_on_settled: false,
+            max_interactions: None,
+        }
     }
 
     /// Stop as soon as at most one opinion has non-zero support (the winner is
     /// determined even though undecided agents may remain).
     #[must_use]
     pub fn opinion_settled() -> Self {
-        StopCondition { stop_on_consensus: false, stop_on_settled: true, max_interactions: None }
+        StopCondition {
+            stop_on_consensus: false,
+            stop_on_settled: true,
+            max_interactions: None,
+        }
     }
 
     /// Stop only when the interaction budget is exhausted.
     #[must_use]
     pub fn after_interactions(budget: u64) -> Self {
-        StopCondition { stop_on_consensus: false, stop_on_settled: false, max_interactions: Some(budget) }
+        StopCondition {
+            stop_on_consensus: false,
+            stop_on_settled: false,
+            max_interactions: Some(budget),
+        }
     }
 
     /// Adds an interaction budget to an existing condition.

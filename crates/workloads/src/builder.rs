@@ -1,7 +1,7 @@
 //! The [`InitialConfig`] builder.
 
 use crate::generators;
-use pp_core::{ConfigError, Configuration, SimSeed};
+use pp_core::{ConfigError, Configuration, EngineChoice, SimSeed};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -103,14 +103,37 @@ pub struct InitialConfig {
     opinions: usize,
     bias: BiasSpec,
     undecided: UndecidedSpec,
+    engine: EngineChoice,
 }
 
 impl InitialConfig {
-    /// Starts a builder for `n` agents and `k` opinions with no bias and no
-    /// undecided agents.
+    /// Starts a builder for `n` agents and `k` opinions with no bias, no
+    /// undecided agents, and the exact step engine.
     #[must_use]
     pub fn new(population: u64, opinions: usize) -> Self {
-        InitialConfig { population, opinions, bias: BiasSpec::None, undecided: UndecidedSpec::None }
+        InitialConfig {
+            population,
+            opinions,
+            bias: BiasSpec::None,
+            undecided: UndecidedSpec::None,
+            engine: EngineChoice::Exact,
+        }
+    }
+
+    /// Selects the step-engine backend simulations of this workload should
+    /// run on (consumed by the simulator constructors downstream, e.g.
+    /// `UsdSimulator::with_engine`; the builder itself only produces the
+    /// initial configuration).  Defaults to [`EngineChoice::Exact`].
+    #[must_use]
+    pub fn engine(mut self, choice: EngineChoice) -> Self {
+        self.engine = choice;
+        self
+    }
+
+    /// The step-engine backend selected for this workload.
+    #[must_use]
+    pub fn engine_choice(&self) -> EngineChoice {
+        self.engine
     }
 
     /// Population size `n`.
@@ -299,7 +322,10 @@ impl InitialConfig {
     ///
     /// Propagates parameter errors from the bias specification.
     pub fn admissible_undecided_bound(&self, seed: SimSeed) -> Result<u64, WorkloadError> {
-        let no_undecided = InitialConfig { undecided: UndecidedSpec::None, ..*self };
+        let no_undecided = InitialConfig {
+            undecided: UndecidedSpec::None,
+            ..*self
+        };
         let decided = no_undecided.build(seed)?;
         Ok((decided.population() - decided.max_support()) / 2)
     }
@@ -358,6 +384,18 @@ mod tests {
     }
 
     #[test]
+    fn engine_selection_defaults_to_exact_and_round_trips() {
+        let spec = InitialConfig::new(1000, 4);
+        assert_eq!(spec.engine_choice(), EngineChoice::Exact);
+        let spec = spec.engine(EngineChoice::Batched);
+        assert_eq!(spec.engine_choice(), EngineChoice::Batched);
+        // Engine selection never affects the generated configuration.
+        let a = InitialConfig::new(1000, 4).build(seed()).unwrap();
+        let b = spec.build(seed()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn additive_bias_in_natural_units() {
         let c = InitialConfig::new(40_000, 8)
             .additive_bias_in_sqrt_n_log_n(1.0)
@@ -398,15 +436,21 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         assert!(matches!(
-            InitialConfig::new(100, 3).multiplicative_bias(1.0).build(seed()),
+            InitialConfig::new(100, 3)
+                .multiplicative_bias(1.0)
+                .build(seed()),
             Err(WorkloadError::InvalidParameter(_))
         ));
         assert!(matches!(
-            InitialConfig::new(100, 3).undecided_fraction(1.0).build(seed()),
+            InitialConfig::new(100, 3)
+                .undecided_fraction(1.0)
+                .build(seed()),
             Err(WorkloadError::InvalidParameter(_))
         ));
         assert!(matches!(
-            InitialConfig::new(100, 3).undecided_count(100).build(seed()),
+            InitialConfig::new(100, 3)
+                .undecided_count(100)
+                .build(seed()),
             Err(WorkloadError::InvalidParameter(_))
         ));
         assert!(matches!(
@@ -449,7 +493,10 @@ mod tests {
 
     #[test]
     fn two_way_tie_builder_round_trips() {
-        let c = InitialConfig::new(9_999, 7).two_way_tie(0.6).build(seed()).unwrap();
+        let c = InitialConfig::new(9_999, 7)
+            .two_way_tie(0.6)
+            .build(seed())
+            .unwrap();
         assert_eq!(c.population(), 9_999);
         let s = c.supports();
         assert!(s[0] >= s[2] && s[1] >= s[2]);
@@ -457,7 +504,10 @@ mod tests {
 
     #[test]
     fn error_display_mentions_the_problem() {
-        let err = InitialConfig::new(100, 3).multiplicative_bias(0.5).build(seed()).unwrap_err();
+        let err = InitialConfig::new(100, 3)
+            .multiplicative_bias(0.5)
+            .build(seed())
+            .unwrap_err();
         assert!(err.to_string().contains("must exceed 1"));
     }
 

@@ -36,7 +36,10 @@ pub fn with_additive_bias(n: u64, k: usize, bias: u64) -> Result<Configuration, 
         return Err(ConfigError::EmptyPopulation);
     }
     if bias >= n {
-        return Err(ConfigError::CountMismatch { provided: bias, expected: n });
+        return Err(ConfigError::CountMismatch {
+            provided: bias,
+            expected: n,
+        });
     }
     // Give each trailing opinion an equal share of what remains once the
     // leader's margin is set aside.
@@ -55,7 +58,11 @@ pub fn with_additive_bias(n: u64, k: usize, bias: u64) -> Result<Configuration, 
 /// # Errors
 ///
 /// Returns an error if `k < 2`, `n == 0`, or `factor <= 1.0`.
-pub fn with_multiplicative_bias(n: u64, k: usize, factor: f64) -> Result<Configuration, ConfigError> {
+pub fn with_multiplicative_bias(
+    n: u64,
+    k: usize,
+    factor: f64,
+) -> Result<Configuration, ConfigError> {
     if k < 2 {
         return Err(ConfigError::NoOpinions);
     }
@@ -63,12 +70,16 @@ pub fn with_multiplicative_bias(n: u64, k: usize, factor: f64) -> Result<Configu
         return Err(ConfigError::EmptyPopulation);
     }
     if factor <= 1.0 || !factor.is_finite() {
-        return Err(ConfigError::CountMismatch { provided: 0, expected: n });
+        return Err(ConfigError::CountMismatch {
+            provided: 0,
+            expected: n,
+        });
     }
     // Solve x1 = factor·s, (k-1)·s + x1 = n  =>  s = n / (k - 1 + factor).
     let s = (n as f64 / (k as f64 - 1.0 + factor)).floor() as u64;
-    let s = s.max(1).min(n / k as u64
-        + u64::from(n % k as u64 != 0)); // never exceed the uniform share
+    let s = s
+        .max(1)
+        .min(n / k as u64 + u64::from(!n.is_multiple_of(k as u64))); // never exceed the uniform share
     let mut counts = vec![s; k];
     let assigned = s * (k as u64 - 1);
     counts[0] = n - assigned;
@@ -95,7 +106,10 @@ pub fn two_way_tie(n: u64, k: usize, tied_fraction: f64) -> Result<Configuration
         return Err(ConfigError::EmptyPopulation);
     }
     if !(tied_fraction > 0.0 && tied_fraction <= 1.0) {
-        return Err(ConfigError::CountMismatch { provided: 0, expected: n });
+        return Err(ConfigError::CountMismatch {
+            provided: 0,
+            expected: n,
+        });
     }
     let leaders_total = (n as f64 * tied_fraction).round() as u64;
     let each = leaders_total / 2;
@@ -129,7 +143,10 @@ pub fn power_law(n: u64, k: usize, exponent: f64) -> Result<Configuration, Confi
         return Err(ConfigError::EmptyPopulation);
     }
     if exponent < 0.0 || !exponent.is_finite() {
-        return Err(ConfigError::CountMismatch { provided: 0, expected: n });
+        return Err(ConfigError::CountMismatch {
+            provided: 0,
+            expected: n,
+        });
     }
     let weights: Vec<f64> = (0..k).map(|i| ((i + 1) as f64).powf(-exponent)).collect();
     Ok(allocate_by_weights(n, &weights))
@@ -157,7 +174,10 @@ pub fn dirichlet_like<R: Rng + ?Sized>(
         return Err(ConfigError::EmptyPopulation);
     }
     if shape == 0 {
-        return Err(ConfigError::CountMismatch { provided: 0, expected: n });
+        return Err(ConfigError::CountMismatch {
+            provided: 0,
+            expected: n,
+        });
     }
     let weights: Vec<f64> = (0..k)
         .map(|_| {
@@ -185,7 +205,10 @@ pub fn custom(counts: Vec<u64>) -> Result<Configuration, ConfigError> {
 /// Largest-remainder allocation of `n` agents proportionally to `weights`.
 fn allocate_by_weights(n: u64, weights: &[f64]) -> Configuration {
     let total: f64 = weights.iter().sum();
-    let mut counts: Vec<u64> = weights.iter().map(|w| ((w / total) * n as f64).floor() as u64).collect();
+    let mut counts: Vec<u64> = weights
+        .iter()
+        .map(|w| ((w / total) * n as f64).floor() as u64)
+        .collect();
     let mut assigned: u64 = counts.iter().sum();
     // Distribute the remainder by largest fractional part.
     let mut remainders: Vec<(usize, f64)> = weights
@@ -218,7 +241,11 @@ mod tests {
     fn additive_bias_meets_requested_margin() {
         let c = with_additive_bias(10_000, 5, 600).unwrap();
         assert_eq!(c.population(), 10_000);
-        assert!(c.additive_bias().unwrap() >= 600, "bias = {:?}", c.additive_bias());
+        assert!(
+            c.additive_bias().unwrap() >= 600,
+            "bias = {:?}",
+            c.additive_bias()
+        );
         assert_eq!(c.max_opinion().index(), 0);
         // Trailing opinions are balanced.
         let supports = c.supports();
@@ -239,7 +266,10 @@ mod tests {
             let c = with_multiplicative_bias(100_000, 10, factor).unwrap();
             assert_eq!(c.population(), 100_000);
             let measured = c.multiplicative_bias().unwrap();
-            assert!(measured >= factor * 0.99, "factor {factor}: measured {measured}");
+            assert!(
+                measured >= factor * 0.99,
+                "factor {factor}: measured {measured}"
+            );
             assert_eq!(c.max_opinion().index(), 0);
         }
     }
@@ -256,7 +286,12 @@ mod tests {
         assert_eq!(c.population(), 10_000);
         // The two leaders are within one agent of each other.
         let s = c.supports();
-        assert!(s[0].abs_diff(s[1]) <= s[0] / 4, "leaders {} vs {}", s[0], s[1]);
+        assert!(
+            s[0].abs_diff(s[1]) <= s[0] / 4,
+            "leaders {} vs {}",
+            s[0],
+            s[1]
+        );
         assert!(s[0] > s[2]);
     }
 
@@ -299,8 +334,11 @@ mod tests {
         let mut rng = SimSeed::from_u64(3).rng();
         let c = dirichlet_like(100_000, 4, 200, &mut rng).unwrap();
         for &s in c.supports() {
+            // Gamma(200) has std/mean ≈ 7%; 0.3 leaves ~4σ of slack per draw
+            // while still rejecting low-shape dispersion (shape 2 deviates by
+            // ~50% routinely).
             let dev = (s as f64 - 25_000.0).abs() / 25_000.0;
-            assert!(dev < 0.25, "support {s} deviates too much from uniform");
+            assert!(dev < 0.3, "support {s} deviates too much from uniform");
         }
     }
 

@@ -22,22 +22,26 @@ fn main() {
     println!("initial configuration: {config}");
 
     let mut coupled = CoupledUsd::new(&config, SimSeed::from_u64(42));
-    println!(
-        "2-opinion projection:   {}",
-        coupled.two_configuration()
-    );
+    println!("2-opinion projection:   {}", coupled.two_configuration());
 
     let report = coupled.run(2_000_000_000);
     println!();
     println!("coupled interactions:        {}", report.interactions);
-    println!("invariant violations:        {} (Lemma 17 claims 0)", report.invariant_violations);
+    println!(
+        "invariant violations:        {} (Lemma 17 claims 0)",
+        report.invariant_violations
+    );
     match (report.k_consensus_at, report.two_consensus_at) {
         (Some(kt), Some(tt)) => {
             println!("k-opinion consensus at:      {kt}");
             println!("2-opinion consensus at:      {tt}");
             println!(
                 "majorization implies the k-process finishes first: {}",
-                if kt <= tt { "confirmed" } else { "NOT confirmed (sampling noise)" }
+                if kt <= tt {
+                    "confirmed"
+                } else {
+                    "NOT confirmed (sampling noise)"
+                }
             );
         }
         _ => println!("one of the processes did not reach consensus within the budget"),

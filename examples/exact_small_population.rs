@@ -14,8 +14,19 @@ fn main() {
     let chain = TwoOpinionChain::solve(n, 1e-12, 200_000);
     println!("exact two-opinion USD analysis for n = {n} agents\n");
 
-    println!("{:>6} {:>6} {:>22} {:>26}", "x1", "u", "exact Pr[opinion 1 wins]", "exact E[interactions]");
-    for &(x1, u) in &[(20u64, 0u64), (22, 0), (24, 0), (28, 0), (32, 0), (20, 10), (24, 10)] {
+    println!(
+        "{:>6} {:>6} {:>22} {:>26}",
+        "x1", "u", "exact Pr[opinion 1 wins]", "exact E[interactions]"
+    );
+    for &(x1, u) in &[
+        (20u64, 0u64),
+        (22, 0),
+        (24, 0),
+        (28, 0),
+        (32, 0),
+        (20, 10),
+        (24, 10),
+    ] {
         println!(
             "{:>6} {:>6} {:>22.4} {:>26.1}",
             x1,

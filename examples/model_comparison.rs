@@ -7,7 +7,9 @@
 //! cargo run --release --example model_comparison
 //! ```
 
-use consensus_dynamics::{MedianRule, SequentialSampler, SynchronizedUsd, ThreeMajority, TwoChoices, Voter};
+use consensus_dynamics::{
+    MedianRule, SequentialSampler, SynchronizedUsd, ThreeMajority, TwoChoices, Voter,
+};
 use gossip_model::{PoissonGossip, UsdGossip};
 use k_opinion_usd::prelude::*;
 use pp_core::StopCondition;
@@ -42,8 +44,12 @@ fn main() {
         gossip_result.winner().map(|w| w.paper_index())
     );
 
-    let mut poisson = PoissonGossip::new(UndecidedStateDynamics::new(k), config.clone(), SimSeed::from_u64(12))
-        .expect("matching opinion counts");
+    let mut poisson = PoissonGossip::new(
+        UndecidedStateDynamics::new(k),
+        config.clone(),
+        SimSeed::from_u64(12),
+    )
+    .expect("matching opinion counts");
     let poisson_result = poisson.run(StopCondition::consensus().or_max_interactions(budget));
     println!(
         "{:<38} {:>10.1}  (winner {:?})",
@@ -56,21 +62,46 @@ fn main() {
     println!();
     let stop = StopCondition::consensus().or_max_interactions(budget);
 
-    let voter = SequentialSampler::new(Voter::new(k), config.clone(), SimSeed::from_u64(20)).run(stop);
-    println!("{:<38} {:>10.1}", "Voter (1 sample):", voter.parallel_time());
+    let voter =
+        SequentialSampler::new(Voter::new(k), config.clone(), SimSeed::from_u64(20)).run(stop);
+    println!(
+        "{:<38} {:>10.1}",
+        "Voter (1 sample):",
+        voter.parallel_time()
+    );
 
-    let two = SequentialSampler::new(TwoChoices::new(k), config.clone(), SimSeed::from_u64(21)).run(stop);
-    println!("{:<38} {:>10.1}", "TwoChoices (2 samples):", two.parallel_time());
+    let two =
+        SequentialSampler::new(TwoChoices::new(k), config.clone(), SimSeed::from_u64(21)).run(stop);
+    println!(
+        "{:<38} {:>10.1}",
+        "TwoChoices (2 samples):",
+        two.parallel_time()
+    );
 
-    let three = SequentialSampler::new(ThreeMajority::new(k), config.clone(), SimSeed::from_u64(22)).run(stop);
-    println!("{:<38} {:>10.1}", "3-Majority (3 samples):", three.parallel_time());
+    let three =
+        SequentialSampler::new(ThreeMajority::new(k), config.clone(), SimSeed::from_u64(22))
+            .run(stop);
+    println!(
+        "{:<38} {:>10.1}",
+        "3-Majority (3 samples):",
+        three.parallel_time()
+    );
 
-    let median = SequentialSampler::new(MedianRule::new(k), config.clone(), SimSeed::from_u64(23)).run(stop);
-    println!("{:<38} {:>10.1}", "MedianRule (ordered opinions):", median.parallel_time());
+    let median =
+        SequentialSampler::new(MedianRule::new(k), config.clone(), SimSeed::from_u64(23)).run(stop);
+    println!(
+        "{:<38} {:>10.1}",
+        "MedianRule (ordered opinions):",
+        median.parallel_time()
+    );
 
     let mut sync = SynchronizedUsd::new(&config, SimSeed::from_u64(24));
     let sync_result = sync.run(1_000_000);
-    println!("{:<38} {:>10.1}", "Synchronized USD (phase clock):", sync_result.interactions() as f64);
+    println!(
+        "{:<38} {:>10.1}",
+        "Synchronized USD (phase clock):",
+        sync_result.interactions() as f64
+    );
 
     println!();
     println!(

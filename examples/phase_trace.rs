@@ -56,7 +56,7 @@ fn main() {
 
     let mut printer = PhasePrinter {
         tracker: PhaseTracker::new(1.0),
-        every: (n as u64) * 2,
+        every: n * 2,
         next_print: 0,
     };
     let mut sim = UsdSimulator::new(config, SimSeed::from_u64(12));

@@ -18,9 +18,15 @@ fn main() {
     let budget = 200 * (k as u64) * n * (n as f64).ln() as u64;
 
     println!("n = {n}, k = {k}, {trials} trials per bias level");
-    println!("bias is given in units of sqrt(n ln n) = {:.0} agents", bounds::bias_margin(n, 1.0));
+    println!(
+        "bias is given in units of sqrt(n ln n) = {:.0} agents",
+        bounds::bias_margin(n, 1.0)
+    );
     println!();
-    println!("{:>18}  {:>12}  {:>16}  {:>18}", "bias multiplier", "bias", "plurality wins", "wilson 95% CI");
+    println!(
+        "{:>18}  {:>12}  {:>16}  {:>18}",
+        "bias multiplier", "bias", "plurality wins", "wilson 95% CI"
+    );
 
     for &mult in &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
         let mut wins = 0u64;

@@ -30,7 +30,10 @@ fn main() {
     println!();
     println!("consensus reached: {}", result.run.reached_consensus());
     if let Some(winner) = result.run.winner() {
-        println!("winner: {winner} (initial plurality won: {:?})", result.plurality_won);
+        println!(
+            "winner: {winner} (initial plurality won: {:?})",
+            result.plurality_won
+        );
     }
     println!(
         "interactions: {}  (parallel time {:.1}, paper bound O(k n log n) = {:.0})",

@@ -36,7 +36,12 @@ fn main() {
     let mut n_ys = Vec::new();
     for &n in &ns {
         let t = mean_time(n, k, 2.0, trials);
-        println!("  n = {:>7}: mean interactions = {:>14.0}  ({:.2} × k n ln n)", n, t, t / (k as f64 * n as f64 * (n as f64).ln()));
+        println!(
+            "  n = {:>7}: mean interactions = {:>14.0}  ({:.2} × k n ln n)",
+            n,
+            t,
+            t / (k as f64 * n as f64 * (n as f64).ln())
+        );
         n_xs.push(n as f64);
         n_ys.push(t);
     }

@@ -34,11 +34,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use consensus_dynamics as dynamics;
+pub use gossip_model as gossip;
 pub use pp_analysis as analysis;
 pub use pp_core as core;
 pub use pp_workloads as workloads;
-pub use consensus_dynamics as dynamics;
-pub use gossip_model as gossip;
 pub use usd_core as usd;
 pub use usd_experiments as experiments;
 

@@ -19,23 +19,38 @@ fn all_baselines_reach_consensus_on_a_biased_start() {
     let budget = 50_000_000;
     let stop = StopCondition::consensus().or_max_interactions(budget);
 
-    let voter = SequentialSampler::new(Voter::new(k), config.clone(), SimSeed::from_u64(2)).run(stop);
+    let voter =
+        SequentialSampler::new(Voter::new(k), config.clone(), SimSeed::from_u64(2)).run(stop);
     assert!(voter.reached_consensus(), "voter did not converge");
 
-    let two = SequentialSampler::new(TwoChoices::new(k), config.clone(), SimSeed::from_u64(3)).run(stop);
+    let two =
+        SequentialSampler::new(TwoChoices::new(k), config.clone(), SimSeed::from_u64(3)).run(stop);
     assert!(two.reached_consensus(), "two-choices did not converge");
-    assert_eq!(two.winner().unwrap().index(), 0, "two-choices should preserve a 2x plurality");
+    assert_eq!(
+        two.winner().unwrap().index(),
+        0,
+        "two-choices should preserve a 2x plurality"
+    );
 
-    let three = SequentialSampler::new(ThreeMajority::new(k), config.clone(), SimSeed::from_u64(4)).run(stop);
+    let three = SequentialSampler::new(ThreeMajority::new(k), config.clone(), SimSeed::from_u64(4))
+        .run(stop);
     assert!(three.reached_consensus(), "3-majority did not converge");
-    assert_eq!(three.winner().unwrap().index(), 0, "3-majority should preserve a 2x plurality");
+    assert_eq!(
+        three.winner().unwrap().index(),
+        0,
+        "3-majority should preserve a 2x plurality"
+    );
 
-    let median = SequentialSampler::new(MedianRule::new(k), config.clone(), SimSeed::from_u64(5)).run(stop);
+    let median =
+        SequentialSampler::new(MedianRule::new(k), config.clone(), SimSeed::from_u64(5)).run(stop);
     assert!(median.reached_consensus(), "median rule did not converge");
 
     let mut sync = SynchronizedUsd::new(&config, SimSeed::from_u64(6));
     let sync_result = sync.run(100_000);
-    assert!(sync_result.reached_consensus(), "synchronized USD did not converge");
+    assert!(
+        sync_result.reached_consensus(),
+        "synchronized USD did not converge"
+    );
     assert_eq!(sync_result.winner().unwrap().index(), 0);
 }
 
@@ -46,7 +61,9 @@ fn gossip_usd_converges_in_fewer_rounds_than_population_parallel_time_without_bi
     // USD (which needs Θ(k n log n) interactions = Θ(k log n) parallel time).
     let n = 2_000;
     let k = 8;
-    let config = InitialConfig::new(n, k).build(SimSeed::from_u64(7)).unwrap();
+    let config = InitialConfig::new(n, k)
+        .build(SimSeed::from_u64(7))
+        .unwrap();
 
     let mut pp = UsdSimulator::new(config.clone(), SimSeed::from_u64(8));
     let pp_result = pp.run_to_consensus(10_000_000_000);
@@ -72,7 +89,12 @@ fn poisson_clock_variant_matches_population_model_interaction_counts() {
         .multiplicative_bias(2.0)
         .build(SimSeed::from_u64(10))
         .unwrap();
-    let mut poisson = PoissonGossip::new(UndecidedStateDynamics::new(k), config.clone(), SimSeed::from_u64(11)).unwrap();
+    let mut poisson = PoissonGossip::new(
+        UndecidedStateDynamics::new(k),
+        config.clone(),
+        SimSeed::from_u64(11),
+    )
+    .unwrap();
     let result = poisson.run(StopCondition::consensus().or_max_interactions(500_000_000));
     assert!(result.reached_consensus());
     // Continuous time ≈ interactions / n.
@@ -91,7 +113,9 @@ fn usd_beats_the_voter_process_from_a_tie() {
     // faster.
     let n = 1_500;
     let k = 2;
-    let config = InitialConfig::new(n, k).build(SimSeed::from_u64(12)).unwrap();
+    let config = InitialConfig::new(n, k)
+        .build(SimSeed::from_u64(12))
+        .unwrap();
     let budget = 500_000_000;
 
     let mut usd = UsdSimulator::new(config.clone(), SimSeed::from_u64(13));

@@ -43,7 +43,10 @@ fn multiplicative_bias_runs_are_faster_than_no_bias_runs() {
     let mut uniform_total = 0u64;
     for trial in 0..trials {
         let seed = SimSeed::from_u64(200 + trial);
-        let biased = InitialConfig::new(n, k).multiplicative_bias(3.0).build(seed).unwrap();
+        let biased = InitialConfig::new(n, k)
+            .multiplicative_bias(3.0)
+            .build(seed)
+            .unwrap();
         let uniform = InitialConfig::new(n, k).build(seed).unwrap();
         let mut sim_b = UsdSimulator::new(biased, seed.child(1));
         let mut sim_u = UsdSimulator::new(uniform, seed.child(2));
@@ -108,7 +111,10 @@ fn dirichlet_and_power_law_workloads_converge() {
         let config = spec.build(seed).unwrap();
         let mut sim = UsdSimulator::new(config, seed.child(9));
         let result = sim.run_to_consensus(budget(n, k));
-        assert!(result.reached_consensus(), "workload {idx} did not converge");
+        assert!(
+            result.reached_consensus(),
+            "workload {idx} did not converge"
+        );
     }
 }
 
@@ -145,5 +151,8 @@ fn two_opinion_usd_recovers_approximate_majority() {
             majority_wins += 1;
         }
     }
-    assert!(majority_wins >= 5, "majority won only {majority_wins}/6 runs");
+    assert!(
+        majority_wins >= 5,
+        "majority won only {majority_wins}/6 runs"
+    );
 }

@@ -1,0 +1,215 @@
+//! Statistical equivalence of the step-engine backends.
+//!
+//! The batched engine claims to induce *exactly* the same distribution over
+//! trajectories as the exact per-interaction engine.  These tests check that
+//! claim on observable statistics: consensus hitting times and winner
+//! identity for the USD, and fixed-budget trajectory state for the Voter,
+//! all at `n = 10⁴`, compared across many independently seeded runs with a
+//! two-sample chi-squared test at `α ≈ 0.001` (the test seeds are fixed, so
+//! the suite is deterministic).  A property test additionally drives the
+//! skip-ahead through arbitrary configurations and asserts it never changes
+//! the count-vector sum.
+
+use consensus_dynamics::PairwiseVoter;
+use pp_analysis::stats::{chi_squared_binned, chi_squared_two_sample};
+use pp_core::engine::StepEngine;
+use pp_core::{Advance, BatchedEngine, Configuration, EngineChoice, SimSeed, StopCondition};
+use usd_core::{UndecidedStateDynamics, UsdSimulator};
+
+const RUNS: u64 = 48;
+/// Standard-normal quantile for the α ≈ 0.001 acceptance threshold.
+const Z_999: f64 = 3.09;
+
+/// Consensus hitting times of the USD at n = 10⁴ under the given backend,
+/// from a deep-bias start (the null-dominated regime where batching skips
+/// the most — exactly where a distributional bug would show).
+fn usd_hitting_times(choice: EngineChoice, seed_base: u64) -> Vec<f64> {
+    (0..RUNS)
+        .map(|i| {
+            let config = Configuration::from_counts(vec![9_000, 500, 500], 0).unwrap();
+            let mut sim =
+                UsdSimulator::with_engine(config, SimSeed::from_u64(seed_base + i), choice);
+            let result = sim.run_to_consensus(500_000_000);
+            assert!(result.reached_consensus(), "run {i} did not converge");
+            result.interactions() as f64
+        })
+        .collect()
+}
+
+#[test]
+fn usd_consensus_hitting_times_match_across_engines() {
+    let exact = usd_hitting_times(EngineChoice::Exact, 0xE0_0000);
+    let batched = usd_hitting_times(EngineChoice::Batched, 0xBA_0000);
+    let test = chi_squared_binned(&exact, &batched, 6);
+    assert!(
+        test.consistent_at(Z_999),
+        "hitting-time distributions diverge: chi² = {:.2} > {:.2} (df = {})",
+        test.statistic,
+        test.critical_value(Z_999),
+        test.degrees_of_freedom
+    );
+}
+
+/// Winner identity of the near-tied two-opinion USD (approximate majority):
+/// the winner is decided by the chain's fluctuations, so any bias in the
+/// skip-ahead's conditional event draws would shift these counts.
+fn usd_winner_counts(choice: EngineChoice, seed_base: u64) -> [u64; 2] {
+    let mut counts = [0u64; 2];
+    for i in 0..RUNS {
+        let config = Configuration::from_counts(vec![5_100, 4_900], 0).unwrap();
+        let mut sim = UsdSimulator::with_engine(config, SimSeed::from_u64(seed_base + i), choice);
+        let result = sim.run_to_settlement(500_000_000);
+        let winner = result.winner().expect("settled run has a winner");
+        counts[winner.index()] += 1;
+    }
+    counts
+}
+
+#[test]
+fn usd_winner_distribution_matches_across_engines() {
+    let exact = usd_winner_counts(EngineChoice::Exact, 0xE1_0000);
+    let batched = usd_winner_counts(EngineChoice::Batched, 0xB1_0000);
+    let test = chi_squared_two_sample(&exact, &batched);
+    assert!(
+        test.consistent_at(Z_999),
+        "winner distributions diverge: exact {exact:?} vs batched {batched:?} (chi² = {:.2})",
+        test.statistic
+    );
+}
+
+/// Fixed-budget trajectory state of the Voter at n = 10⁴: the support of
+/// opinion 0 after exactly 300 000 interactions, which probes the law of the
+/// whole trajectory rather than only absorption behaviour.
+fn voter_budgeted_support(choice: EngineChoice, seed_base: u64) -> Vec<f64> {
+    (0..RUNS)
+        .map(|i| {
+            let config = Configuration::from_counts(vec![7_000, 3_000], 0).unwrap();
+            let mut engine = match choice {
+                EngineChoice::Exact => pp_core::CountEngine::Exact(pp_core::CountSimulator::new(
+                    PairwiseVoter::new(2),
+                    config,
+                    SimSeed::from_u64(seed_base + i),
+                )),
+                EngineChoice::Batched => pp_core::CountEngine::Batched(BatchedEngine::new(
+                    PairwiseVoter::new(2),
+                    config,
+                    SimSeed::from_u64(seed_base + i),
+                )),
+                EngineChoice::MeanField => unreachable!("not under test"),
+            };
+            let result =
+                engine.run_engine(StopCondition::opinion_settled().or_max_interactions(300_000));
+            result.final_configuration().support(0) as f64
+        })
+        .collect()
+}
+
+#[test]
+fn voter_budgeted_state_distribution_matches_across_engines() {
+    let exact = voter_budgeted_support(EngineChoice::Exact, 0xE2_0000);
+    let batched = voter_budgeted_support(EngineChoice::Batched, 0xB2_0000);
+    let test = chi_squared_binned(&exact, &batched, 6);
+    assert!(
+        test.consistent_at(Z_999),
+        "voter state distributions diverge: chi² = {:.2} > {:.2} (df = {})",
+        test.statistic,
+        test.critical_value(Z_999),
+        test.degrees_of_freedom
+    );
+}
+
+#[test]
+fn batched_interaction_counts_are_geometric_not_truncated() {
+    // Mean interactions consumed per event must match 1/p, the geometric
+    // mean — a direct check that the skip-ahead neither truncates nor
+    // double-counts null interactions.  x = (300, 700): p = 0.42.
+    let config = Configuration::from_counts(vec![300, 700], 0).unwrap();
+    let trials = 30_000u64;
+    let mut consumed = 0u64;
+    for i in 0..trials {
+        let mut engine = BatchedEngine::new(
+            UndecidedStateDynamics::new(2),
+            config.clone(),
+            SimSeed::from_u64(0xC0_0000 + i),
+        );
+        match engine.advance(u64::MAX) {
+            Advance::Event => consumed += StepEngine::interactions(&engine),
+            other => panic!("unexpected advance outcome {other:?}"),
+        }
+    }
+    let mean = consumed as f64 / trials as f64;
+    let expected = 1.0 / 0.42;
+    assert!(
+        (mean - expected).abs() < 0.05,
+        "mean interactions per event {mean} vs geometric mean {expected}"
+    );
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Skip-ahead never changes the count-vector sum, no matter the
+        /// configuration, budget slicing, or how far it jumps.
+        #[test]
+        fn batched_skip_ahead_preserves_population(
+            counts in proptest::collection::vec(0u64..200, 2..6),
+            undecided in 0u64..200,
+            seed in 0u64..1_000,
+            budget in 1u64..20_000,
+        ) {
+            prop_assume!(counts.iter().sum::<u64>() + undecided > 0);
+            let config = Configuration::from_counts(counts.clone(), undecided).unwrap();
+            let k = config.num_opinions();
+            let population = config.population();
+            let mut engine = BatchedEngine::new(
+                UndecidedStateDynamics::new(k),
+                config,
+                SimSeed::from_u64(seed),
+            );
+            let mut last_interactions = 0u64;
+            loop {
+                let outcome = engine.advance(budget);
+                let now = StepEngine::interactions(&engine);
+                prop_assert!(now >= last_interactions, "interaction counter went backwards");
+                prop_assert!(now <= budget, "advance overshot the budget");
+                last_interactions = now;
+                prop_assert_eq!(engine.configuration().population(), population);
+                prop_assert!(engine.configuration().is_consistent());
+                match outcome {
+                    Advance::Event => {}
+                    Advance::LimitReached | Advance::Absorbed => break,
+                }
+            }
+            prop_assert_eq!(last_interactions, budget);
+        }
+
+        /// Both engines compute identical event probabilities from the same
+        /// configuration — the skip distribution is shared exactly.
+        #[test]
+        fn engines_agree_on_productive_probability(
+            counts in proptest::collection::vec(0u64..500, 2..6),
+            undecided in 0u64..500,
+        ) {
+            prop_assume!(counts.iter().sum::<u64>() + undecided > 0);
+            let config = Configuration::from_counts(counts.clone(), undecided).unwrap();
+            let k = config.num_opinions();
+            let exact = pp_core::CountSimulator::new(
+                UndecidedStateDynamics::new(k),
+                config.clone(),
+                SimSeed::from_u64(1),
+            );
+            let mut batched = BatchedEngine::new(
+                UndecidedStateDynamics::new(k),
+                config,
+                SimSeed::from_u64(1),
+            );
+            let a = exact.productive_probability();
+            let b = batched.productive_probability();
+            prop_assert!((a - b).abs() < 1e-12, "exact {} vs batched {}", a, b);
+        }
+    }
+}

@@ -14,7 +14,10 @@ fn simulated_win_rate_matches_the_exact_chain() {
     // between 0 and 1.
     let (x1, u) = (17u64, 4u64);
     let exact = chain.win_probability(x1, u).unwrap();
-    assert!(exact > 0.55 && exact < 0.99, "test point not informative: {exact}");
+    assert!(
+        exact > 0.55 && exact < 0.99,
+        "test point not informative: {exact}"
+    );
 
     let trials = 3_000u64;
     let mut wins = 0u64;

@@ -21,12 +21,21 @@ fn phases_complete_in_order_on_biased_and_uniform_starts() {
         let config = spec.build(seed).unwrap();
         let mut sim = UsdSimulator::new(config, seed.child(1));
         let result = sim.run_with_phases(1.0, budget);
-        assert!(result.run.reached_consensus(), "start {idx} did not converge");
-        assert!(result.phases.completed(), "start {idx} did not register all phases");
+        assert!(
+            result.run.reached_consensus(),
+            "start {idx} did not converge"
+        );
+        assert!(
+            result.phases.completed(),
+            "start {idx} did not register all phases"
+        );
         let mut last = 0;
         for phase in Phase::ALL {
             let t = result.phases.hitting_time(phase).unwrap();
-            assert!(t >= last, "phase {phase} hit at {t} before its predecessor at {last}");
+            assert!(
+                t >= last,
+                "phase {phase} hit at {t} before its predecessor at {last}"
+            );
             last = t;
         }
         // T5 equals the consensus time.
@@ -137,7 +146,10 @@ fn lemma2_bias_survival_holds_at_the_end_of_phase_one() {
             }
         }
     }
-    let mut probe = AtT1 { bias_at_t1: None, plurality_at_t1: None };
+    let mut probe = AtT1 {
+        bias_at_t1: None,
+        plurality_at_t1: None,
+    };
     let mut sim = UsdSimulator::new(config, seed.child(1));
     sim.run_recorded(
         StopCondition::consensus().or_max_interactions(1_000_000_000),

@@ -28,7 +28,8 @@ fn count_and_agent_simulators_have_matching_time_distributions() {
                 config.clone(),
                 SimSeed::from_u64(10_000 + t),
             );
-            sim.run(StopCondition::consensus().or_max_interactions(budget)).interactions()
+            sim.run(StopCondition::consensus().or_max_interactions(budget))
+                .interactions()
         },
         trials,
     );
@@ -39,7 +40,8 @@ fn count_and_agent_simulators_have_matching_time_distributions() {
                 &config,
                 SimSeed::from_u64(20_000 + t),
             );
-            sim.run(StopCondition::consensus().or_max_interactions(budget)).interactions()
+            sim.run(StopCondition::consensus().or_max_interactions(budget))
+                .interactions()
         },
         trials,
     );
@@ -64,7 +66,10 @@ fn winner_distributions_match_between_engines() {
     let k = 2usize;
     let trials = 40;
     let budget = 5_000_000;
-    let config = InitialConfig::new(n, k).additive_bias(40).build(SimSeed::from_u64(2)).unwrap();
+    let config = InitialConfig::new(n, k)
+        .additive_bias(40)
+        .build(SimSeed::from_u64(2))
+        .unwrap();
 
     let mut count_wins = 0u32;
     let mut agent_wins = 0u32;
@@ -101,7 +106,10 @@ fn winner_distributions_match_between_engines() {
         diff < 0.3,
         "win rates diverge: count {count_wins}/{trials} vs agent {agent_wins}/{trials}"
     );
-    assert!(count_wins as u64 > trials / 2, "plurality should usually win ({count_wins}/{trials})");
+    assert!(
+        count_wins as u64 > trials / 2,
+        "plurality should usually win ({count_wins}/{trials})"
+    );
 }
 
 #[test]

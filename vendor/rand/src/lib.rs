@@ -1,0 +1,236 @@
+//! A minimal, self-contained re-implementation of the subset of the `rand`
+//! 0.8 API this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so the workspace
+//! vendors the handful of primitives it needs: the [`Rng`] extension trait
+//! (`gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`], the
+//! [`rngs::SmallRng`] generator (xoshiro256++, seeded through SplitMix64) and
+//! [`seq::SliceRandom::shuffle`].  Integer ranges are sampled without modulo
+//! bias via Lemire's widening-multiply rejection method, so the statistical
+//! tests in the workspace are trustworthy.
+//!
+//! The API is call-compatible with `rand` 0.8 for every call site in this
+//! repository; swapping the real crate back in requires only a manifest edit.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// Types that can be sampled uniformly from a half-open `Range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a uniform sample from `range` using `rng`.
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Draws a uniform `u64` in `0..bound` without modulo bias (Lemire).
+fn sample_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(bound);
+    let mut lo = m as u64;
+    if lo < bound {
+        // Rejection zone to make every value in 0..bound equally likely.
+        let t = bound.wrapping_neg() % bound;
+        while lo < t {
+            m = u128::from(rng.next_u64()) * u128::from(bound);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start + sample_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u64, usize, u32, u16, u8);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + unit * (range.end - range.start);
+        // Floating rounding can land exactly on the excluded upper bound.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+/// The random number generator interface used throughout the workspace.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_uniform(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of reproducible generators from small seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast generator: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Statistically strong for simulation purposes (passes BigCrush in its
+    /// published form) and `O(1)` state.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Expand the seed through SplitMix64 as recommended by the
+            // xoshiro authors, so similar seeds yield uncorrelated streams.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling for slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_reproducible_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 7usize;
+        let mut hits = vec![0u64; n];
+        let trials = 70_000;
+        for _ in 0..trials {
+            hits[rng.gen_range(0..n)] += 1;
+        }
+        for &h in &hits {
+            let frac = h as f64 / trials as f64;
+            assert!((frac - 1.0 / n as f64).abs() < 0.01, "frac = {frac}");
+        }
+    }
+
+    #[test]
+    fn f64_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / trials as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice in order (astronomically unlikely)"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! A vendored facade over the `serde` surface this workspace touches.
+//!
+//! The build environment has no registry access.  In-tree code only ever
+//! *annotates* types with `#[derive(Serialize, Deserialize)]` — no module
+//! performs actual serialization (reports use hand-rolled CSV/JSON writers) —
+//! so this facade provides the two marker traits and derive macros that
+//! expand to nothing.  Swapping the real serde back in requires only a
+//! manifest edit; the annotations are already in place.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in the facade).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in the facade).
+pub trait Deserialize<'de>: Sized {}
