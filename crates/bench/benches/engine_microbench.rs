@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the simulation engines themselves: interactions per
 //! second for the count-based engine (as a function of `k`), the batched
-//! skip-ahead engine head-to-head against the exact engine on the USD
-//! workload (the acceptance metric of the engine layer), the agent-level
-//! engine, and the gossip round engine.
+//! skip-ahead and sharded engines head-to-head against the exact engine on
+//! the USD workload (the acceptance metric of the engine layer), a
+//! shard-count sweep, the agent-level engine, and the gossip round engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pp_core::engine::StepEngine;
@@ -60,7 +60,11 @@ fn engine_consensus_run_comparison(c: &mut Criterion) {
                 .build(SimSeed::from_u64(BENCH_SEED))
                 .expect("bench workload is valid");
             let budget = 2_000 * n * (k as u64);
-            for engine in [EngineChoice::Exact, EngineChoice::Batched] {
+            for engine in [
+                EngineChoice::Exact,
+                EngineChoice::Batched,
+                EngineChoice::Sharded,
+            ] {
                 group.bench_with_input(
                     BenchmarkId::new(engine.name(), n),
                     &engine,
@@ -149,6 +153,46 @@ fn agent_simulator_steps(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shard-count sweep of the sharded engine on the deep-bias two-opinion
+/// workload (the E14 regime at bench scale): full consensus runs per shard
+/// count, against the single-threaded batched reference measured in
+/// `engine_consensus_run_comparison`.
+fn sharded_engine_shard_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/sharded_shard_count");
+    group.sample_size(3);
+    let n = 1_000_000u64;
+    let config = InitialConfig::new(n, 2)
+        .multiplicative_bias(4.0)
+        .build(SimSeed::from_u64(BENCH_SEED))
+        .expect("bench workload is valid");
+    let budget = 4_000 * n;
+    for &shards in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter_batched(
+                    || {
+                        UsdSimulator::with_engine_plan(
+                            config.clone(),
+                            SimSeed::from_u64(BENCH_SEED),
+                            EngineChoice::Sharded,
+                            pp_core::ShardPlan::new(shards),
+                        )
+                    },
+                    |mut sim| {
+                        let result = sim.run_to_consensus(budget);
+                        assert!(result.reached_consensus());
+                        result.interactions()
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
 fn gossip_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/gossip_round");
     group.sample_size(20);
@@ -174,6 +218,7 @@ criterion_group!(
     count_simulator_steps,
     engine_consensus_run_comparison,
     batched_engine_endgame,
+    sharded_engine_shard_counts,
     agent_simulator_steps,
     gossip_rounds
 );

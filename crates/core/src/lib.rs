@@ -13,6 +13,8 @@
 //!   with USD-specific helpers (phase-aware runs, bias queries).  Pick a
 //!   backend per run with [`UsdSimulator::with_engine`] — `Exact` for ground
 //!   truth, `Batched` for large-`n` speed at identical trajectory law,
+//!   `Sharded` for parallel per-shard batching at `n ≥ 10⁸` (tunably
+//!   approximate; plan it with [`UsdSimulator::with_engine_plan`]),
 //!   `MeanField` for instant ODE approximation — or per *phase* with
 //!   [`EnginePolicy`] ([`UsdSimulator::run_with_phases_policy`]): the
 //!   recommended policy steps Phase 1 exactly and batches the null-dominated

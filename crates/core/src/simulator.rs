@@ -1,18 +1,19 @@
 //! A convenience simulator for the USD, generic over the step-engine layer.
 //!
 //! [`UsdSimulator`] drives the [`UndecidedStateDynamics`] through any of the
-//! three [`StepEngine`] backends ([`pp_core::ExactEngine`],
-//! [`pp_core::BatchedEngine`], [`crate::mean_field::MeanFieldEngine`]) and
-//! adds USD-specific helpers: phase-aware runs (with a per-phase engine
-//! policy), winner queries, and parallel-time accounting.
+//! four [`StepEngine`] backends ([`pp_core::ExactEngine`],
+//! [`pp_core::BatchedEngine`], [`pp_core::ShardedEngine`],
+//! [`crate::mean_field::MeanFieldEngine`]) and adds USD-specific helpers:
+//! phase-aware runs (with a per-phase engine policy), winner queries, and
+//! parallel-time accounting.
 
 use crate::mean_field::MeanFieldEngine;
 use crate::phases::{EnginePolicy, PhaseTimes, PhaseTracker};
 use crate::protocol::UndecidedStateDynamics;
-use pp_core::engine::{Advance, StepEngine, UNIFORM_PAIR_SCHEDULER_NAME};
+use pp_core::engine::{Advance, StepEngine};
 use pp_core::{
     BatchedEngine, Configuration, CountSimulator, EngineChoice, Opinion, Recorder, RunOutcome,
-    RunResult, SimSeed, StopCondition,
+    RunResult, ShardPlan, ShardedEngine, SimSeed, StopCondition,
 };
 use serde::{Deserialize, Serialize};
 
@@ -39,18 +40,31 @@ pub enum UsdEngine {
     Exact(CountSimulator<UndecidedStateDynamics>),
     /// Geometric skip-ahead over null interactions.
     Batched(BatchedEngine<UndecidedStateDynamics>),
+    /// Parallel per-shard batching with multinomial reconciliation epochs
+    /// (documented-approximate; see [`pp_core::shard`]).
+    Sharded(ShardedEngine<UndecidedStateDynamics>),
     /// The deterministic fluid limit (approximation).
     MeanField(MeanFieldEngine),
 }
 
 impl UsdEngine {
-    /// Builds the backend selected by `choice` from an initial configuration.
+    /// Builds the backend selected by `choice` from an initial configuration
+    /// (the sharded backend takes its shard count, epoch length and thread
+    /// cap from `plan`; the other backends ignore it).
     #[must_use]
-    pub fn new(config: Configuration, seed: SimSeed, choice: EngineChoice) -> Self {
+    pub fn new(
+        config: Configuration,
+        seed: SimSeed,
+        choice: EngineChoice,
+        plan: &ShardPlan,
+    ) -> Self {
         let protocol = UndecidedStateDynamics::new(config.num_opinions());
         match choice {
             EngineChoice::Exact => UsdEngine::Exact(CountSimulator::new(protocol, config, seed)),
             EngineChoice::Batched => UsdEngine::Batched(BatchedEngine::new(protocol, config, seed)),
+            EngineChoice::Sharded => {
+                UsdEngine::Sharded(ShardedEngine::new(protocol, config, seed, plan))
+            }
             EngineChoice::MeanField => UsdEngine::MeanField(MeanFieldEngine::new(config)),
         }
     }
@@ -61,6 +75,7 @@ impl UsdEngine {
         match self {
             UsdEngine::Exact(_) => EngineChoice::Exact,
             UsdEngine::Batched(_) => EngineChoice::Batched,
+            UsdEngine::Sharded(_) => EngineChoice::Sharded,
             UsdEngine::MeanField(_) => EngineChoice::MeanField,
         }
     }
@@ -71,6 +86,7 @@ impl StepEngine for UsdEngine {
         match self {
             UsdEngine::Exact(e) => StepEngine::configuration(e),
             UsdEngine::Batched(e) => StepEngine::configuration(e),
+            UsdEngine::Sharded(e) => StepEngine::configuration(e),
             UsdEngine::MeanField(e) => StepEngine::configuration(e),
         }
     }
@@ -79,6 +95,7 @@ impl StepEngine for UsdEngine {
         match self {
             UsdEngine::Exact(e) => StepEngine::interactions(e),
             UsdEngine::Batched(e) => StepEngine::interactions(e),
+            UsdEngine::Sharded(e) => StepEngine::interactions(e),
             UsdEngine::MeanField(e) => StepEngine::interactions(e),
         }
     }
@@ -87,7 +104,17 @@ impl StepEngine for UsdEngine {
         match self {
             UsdEngine::Exact(e) => e.engine_name(),
             UsdEngine::Batched(e) => e.engine_name(),
+            UsdEngine::Sharded(e) => e.engine_name(),
             UsdEngine::MeanField(e) => e.engine_name(),
+        }
+    }
+
+    fn scheduler_name(&self) -> &'static str {
+        match self {
+            UsdEngine::Exact(e) => e.scheduler_name(),
+            UsdEngine::Batched(e) => e.scheduler_name(),
+            UsdEngine::Sharded(e) => e.scheduler_name(),
+            UsdEngine::MeanField(e) => e.scheduler_name(),
         }
     }
 
@@ -95,6 +122,7 @@ impl StepEngine for UsdEngine {
         match self {
             UsdEngine::Exact(e) => e.advance(limit),
             UsdEngine::Batched(e) => e.advance(limit),
+            UsdEngine::Sharded(e) => e.advance(limit),
             UsdEngine::MeanField(e) => e.advance(limit),
         }
     }
@@ -123,6 +151,8 @@ pub struct UsdSimulator {
     engine: UsdEngine,
     initial: Configuration,
     seed: SimSeed,
+    /// Shard plan applied whenever the sharded backend is (re)constructed.
+    plan: ShardPlan,
     /// Interactions accumulated by engines retired through policy switches.
     consumed: u64,
     rebuilds: u64,
@@ -135,16 +165,39 @@ impl UsdSimulator {
         Self::with_engine(config, seed, EngineChoice::Exact)
     }
 
-    /// Creates a USD simulator with the selected backend.
+    /// Creates a USD simulator with the selected backend (the sharded
+    /// backend gets the default [`ShardPlan`]; see
+    /// [`UsdSimulator::with_engine_plan`] to tune it).
     #[must_use]
     pub fn with_engine(config: Configuration, seed: SimSeed, choice: EngineChoice) -> Self {
+        Self::with_engine_plan(config, seed, choice, ShardPlan::default())
+    }
+
+    /// Creates a USD simulator with the selected backend and an explicit
+    /// shard plan (shard count, epoch length, worker threads) that applies
+    /// whenever the sharded backend runs — including per-phase engine
+    /// policies that schedule it mid-run.
+    #[must_use]
+    pub fn with_engine_plan(
+        config: Configuration,
+        seed: SimSeed,
+        choice: EngineChoice,
+        plan: ShardPlan,
+    ) -> Self {
         UsdSimulator {
-            engine: UsdEngine::new(config.clone(), seed, choice),
+            engine: UsdEngine::new(config.clone(), seed, choice, &plan),
             initial: config,
             seed,
+            plan,
             consumed: 0,
             rebuilds: 0,
         }
+    }
+
+    /// The shard plan applied to the sharded backend.
+    #[must_use]
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.plan
     }
 
     /// The initial configuration of the run.
@@ -193,7 +246,7 @@ impl UsdSimulator {
         // Derive a fresh child seed per switch so engine streams never
         // overlap (the mean-field backend ignores it).
         let seed = self.seed.child(0x5EED_u64 + self.rebuilds);
-        self.engine = UsdEngine::new(config, seed, choice);
+        self.engine = UsdEngine::new(config, seed, choice, &self.plan);
     }
 
     /// The driver shared by all run methods: like
@@ -212,7 +265,7 @@ impl UsdSimulator {
                     RunOutcome::OpinionSettled
                 };
                 return RunResult::new(outcome, self.interactions(), self.configuration().clone())
-                    .with_scheduler(UNIFORM_PAIR_SCHEDULER_NAME);
+                    .with_scheduler(self.engine.scheduler_name());
             }
             let limit = match stop.max_interactions() {
                 Some(budget) if self.interactions() >= budget => {
@@ -221,7 +274,7 @@ impl UsdSimulator {
                         self.interactions(),
                         self.configuration().clone(),
                     )
-                    .with_scheduler(UNIFORM_PAIR_SCHEDULER_NAME);
+                    .with_scheduler(self.engine.scheduler_name());
                 }
                 Some(budget) => budget - self.consumed,
                 None => u64::MAX,
@@ -296,6 +349,10 @@ impl UsdSimulator {
         let initial_plurality = self.initial.max_opinion();
         let mut tracker = PhaseTracker::new(alpha);
         tracker.record(self.interactions(), self.configuration());
+        // Scheduler names actually realized, in order of first use — a
+        // mixed policy (e.g. sharded for one phase only) must not label the
+        // whole run with whichever engine happened to finish it.
+        let mut schedulers: Vec<&'static str> = Vec::new();
         let run = loop {
             let Some(phase) = tracker.current_phase() else {
                 // All five phases registered; Phase 5's end condition is
@@ -304,17 +361,19 @@ impl UsdSimulator {
                     RunOutcome::Consensus,
                     self.interactions(),
                     self.configuration().clone(),
-                )
-                .with_scheduler(UNIFORM_PAIR_SCHEDULER_NAME);
+                );
             };
             self.switch_engine(policy.choice_for(phase));
+            let scheduler = self.engine.scheduler_name();
+            if !schedulers.contains(&scheduler) {
+                schedulers.push(scheduler);
+            }
             if self.interactions() >= max_interactions {
                 break RunResult::new(
                     RunOutcome::BudgetExhausted,
                     self.interactions(),
                     self.configuration().clone(),
-                )
-                .with_scheduler(UNIFORM_PAIR_SCHEDULER_NAME);
+                );
             }
             match self.engine.advance(max_interactions - self.consumed) {
                 Advance::Event => tracker.record(self.interactions(), self.configuration()),
@@ -325,6 +384,10 @@ impl UsdSimulator {
                 }
             }
         };
+        if schedulers.is_empty() {
+            schedulers.push(self.engine.scheduler_name());
+        }
+        let run = run.with_scheduler(schedulers.join(" + "));
         let plurality_won = run.winner().map(|w| w == initial_plurality);
         PhasedRunResult {
             run,
@@ -403,10 +466,11 @@ mod tests {
                 0,
                 "{choice} picked a minority"
             );
-            assert_eq!(
-                result.scheduler(),
-                Some(pp_core::engine::UNIFORM_PAIR_SCHEDULER_NAME)
-            );
+            let expected_scheduler = match choice {
+                EngineChoice::Sharded => pp_core::shard::SHARDED_EPOCH_SCHEDULER_NAME,
+                _ => pp_core::engine::UNIFORM_PAIR_SCHEDULER_NAME,
+            };
+            assert_eq!(result.scheduler(), Some(expected_scheduler));
         }
     }
 
@@ -443,6 +507,28 @@ mod tests {
             assert!(t >= last);
             last = t;
         }
+    }
+
+    #[test]
+    fn mixed_policy_run_labels_every_scheduler_it_used() {
+        // Batched for Phase 1, sharded afterwards: the scheduler label must
+        // name both realized schedulers, in order of first use.
+        let config = Configuration::from_counts(vec![2_000, 500, 500], 0).unwrap();
+        let policy = EnginePolicy::uniform(EngineChoice::Sharded)
+            .with_phase(Phase::RiseOfUndecided, EngineChoice::Batched);
+        let mut sim = UsdSimulator::new(config, SimSeed::from_u64(31));
+        let result = sim.run_with_phases_policy(1.0, 100_000_000, &policy);
+        assert!(result.run.reached_consensus());
+        let scheduler = result.run.scheduler().unwrap();
+        assert_eq!(
+            scheduler,
+            format!(
+                "{} + {}",
+                pp_core::engine::UNIFORM_PAIR_SCHEDULER_NAME,
+                pp_core::shard::SHARDED_EPOCH_SCHEDULER_NAME
+            ),
+            "mixed policies must label every scheduler used"
+        );
     }
 
     #[test]

@@ -84,6 +84,11 @@ pub struct SequentialSampler<D> {
     steps: u64,
     rng: SmallRng,
     sample_buf: Vec<AgentState>,
+    /// Skip-ahead events realized by the rejection fallback (the dynamic
+    /// provided no closed-form conditional sampler).
+    rejection_fallbacks: u64,
+    /// Unproductive draws discarded inside the rejection fallback.
+    rejection_misses: u64,
 }
 
 impl<D: SamplingDynamics> SequentialSampler<D> {
@@ -122,6 +127,8 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
             steps: 0,
             rng: seed.rng(),
             sample_buf: Vec::with_capacity(sample_size),
+            rejection_fallbacks: 0,
+            rejection_misses: 0,
         })
     }
 
@@ -141,6 +148,21 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
     #[must_use]
     pub fn dynamics(&self) -> &D {
         &self.dynamics
+    }
+
+    /// How many skip-ahead events were realized by the rejection fallback
+    /// because [`SamplingDynamics::sample_productive_move`] returned `None`.
+    #[must_use]
+    pub fn rejection_fallbacks(&self) -> u64 {
+        self.rejection_fallbacks
+    }
+
+    /// How many unproductive draws the rejection fallback discarded — the
+    /// measured cost a closed-form conditional sampler would remove (see the
+    /// "batched conditionals" item in `ROADMAP.md`).
+    #[must_use]
+    pub fn rejection_miss_count(&self) -> u64 {
+        self.rejection_misses
     }
 
     /// Performs one activation; returns `true` if the agent changed state.
@@ -197,7 +219,8 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
                     RunOutcome::OpinionSettled
                 };
                 return RunResult::new(outcome, self.steps, self.config.clone())
-                    .with_scheduler(SEQUENTIAL_ACTIVATION_SCHEDULER_NAME);
+                    .with_scheduler(SEQUENTIAL_ACTIVATION_SCHEDULER_NAME)
+                    .with_rejection_misses(Some(self.rejection_misses));
             }
             if let Some(budget) = stop.max_interactions() {
                 if self.steps >= budget {
@@ -206,7 +229,8 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
                         self.steps,
                         self.config.clone(),
                     )
-                    .with_scheduler(SEQUENTIAL_ACTIVATION_SCHEDULER_NAME);
+                    .with_scheduler(SEQUENTIAL_ACTIVATION_SCHEDULER_NAME)
+                    .with_rejection_misses(Some(self.rejection_misses));
                 }
             }
             if self.step() {
@@ -244,6 +268,7 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
             if new_state != current {
                 return (current, new_state);
             }
+            self.rejection_misses += 1;
         }
     }
 }
@@ -268,6 +293,10 @@ impl<D: SamplingDynamics> StepEngine for SequentialSampler<D> {
 
     fn scheduler_name(&self) -> &'static str {
         SEQUENTIAL_ACTIVATION_SCHEDULER_NAME
+    }
+
+    fn rejection_misses(&self) -> Option<u64> {
+        Some(self.rejection_misses)
     }
 
     /// Advances to the next state-changing activation.  When the dynamic
@@ -307,7 +336,10 @@ impl<D: SamplingDynamics> StepEngine for SequentialSampler<D> {
             .sample_productive_move(&self.config, &mut self.rng)
         {
             Some(transition) => transition,
-            None => self.rejection_sample_move(),
+            None => {
+                self.rejection_fallbacks += 1;
+                self.rejection_sample_move()
+            }
         };
         debug_assert_ne!(from, to, "sampled event must change the agent's state");
         self.apply_transition(from, to);
@@ -510,6 +542,72 @@ mod tests {
         }
         assert_eq!(sim.steps(), 25_000);
         assert!(sim.configuration().is_consistent());
+    }
+
+    /// A dynamic that opts into skip-ahead (closed-form null probability)
+    /// but provides no conditional sampler, forcing the rejection fallback:
+    /// the activated agent adopts the first sample when both are decided and
+    /// differ.
+    #[derive(Debug)]
+    struct AdoptFirstSkipping {
+        k: usize,
+    }
+
+    impl SamplingDynamics for AdoptFirstSkipping {
+        fn num_opinions(&self) -> usize {
+            self.k
+        }
+        fn sample_size(&self) -> usize {
+            1
+        }
+        fn update<R: Rng + ?Sized>(
+            &self,
+            current: AgentState,
+            samples: &[AgentState],
+            _rng: &mut R,
+        ) -> AgentState {
+            match samples[0] {
+                AgentState::Decided(_) if samples[0] != current => samples[0],
+                _ => current,
+            }
+        }
+        fn null_activation_probability(&self, config: &Configuration) -> Option<f64> {
+            // Null iff the sample is undecided or matches the activated
+            // agent's state: P = u/n + Σ_c (π_c)².
+            let n = config.population() as f64;
+            let mut p = config.undecided() as f64 / n;
+            for i in 0..config.num_opinions() {
+                let x = config.support(i) as f64 / n;
+                p += x * x;
+            }
+            Some(p)
+        }
+    }
+
+    #[test]
+    fn rejection_fallback_misses_are_counted_and_reported() {
+        let config = Configuration::from_counts(vec![60, 40], 0).unwrap();
+        let mut sim =
+            SequentialSampler::new(AdoptFirstSkipping { k: 2 }, config, SimSeed::from_u64(12));
+        let result = sim.run_engine(StopCondition::consensus().or_max_interactions(1_000_000));
+        assert!(result.reached_consensus());
+        assert!(
+            sim.rejection_fallbacks() > 0,
+            "the fallback must have been exercised"
+        );
+        assert!(sim.rejection_miss_count() >= sim.rejection_fallbacks() / 10);
+        assert_eq!(result.rejection_misses(), Some(sim.rejection_miss_count()));
+    }
+
+    #[test]
+    fn closed_form_dynamics_report_zero_misses() {
+        use crate::voter::Voter;
+        let config = Configuration::from_counts(vec![450, 50], 0).unwrap();
+        let mut sim = SequentialSampler::new(Voter::new(2), config, SimSeed::from_u64(13));
+        let result = sim.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+        assert_eq!(result.rejection_misses(), Some(0));
+        assert_eq!(sim.rejection_fallbacks(), 0);
     }
 
     #[test]

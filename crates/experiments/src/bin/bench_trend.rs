@@ -1,0 +1,116 @@
+//! Cross-PR benchmark trend check over stamped `BENCH_engines.json` records.
+//!
+//! ```text
+//! bench_trend --baseline BENCH_engines_quick.json --current bench-current.json
+//!             [--threshold 0.30] [--metric ips|speedup]
+//! ```
+//!
+//! Reads two documents written by `engine_bench`, matches their `entries` on
+//! `(experiment, engine, shards, n, k, bias)` and fails (exit code 1) when
+//! any batched or sharded cell falls below `(1 - threshold)` of the baseline
+//! on the guarded metric: raw `ips` (interactions/sec; only meaningful when
+//! both records come from comparable hardware) or `speedup` (the cell's
+//! throughput relative to its same-run reference engine —
+//! machine-independent, the right gate for CI).  Cells present on only one
+//! side are reported but do not fail — sweeps legitimately grow across PRs.
+
+use std::process::ExitCode;
+use usd_experiments::trend::{compare_trend, parse_entries, TrendMetric};
+
+struct Options {
+    baseline: String,
+    current: String,
+    threshold: f64,
+    metric: TrendMetric,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 0.30f64;
+    let mut metric = TrendMetric::InteractionsPerSec;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).ok_or("--baseline requires a path")?.clone());
+            }
+            "--current" => {
+                i += 1;
+                current = Some(args.get(i).ok_or("--current requires a path")?.clone());
+            }
+            "--threshold" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--threshold requires a value")?;
+                threshold = raw.parse().map_err(|e| format!("--threshold: {e}"))?;
+                if !(0.0..1.0).contains(&threshold) {
+                    return Err(format!("--threshold {threshold} must be in [0, 1)"));
+                }
+            }
+            "--metric" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--metric requires ips or speedup")?;
+                metric = raw.parse()?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: bench_trend --baseline <json> --current <json> \
+                     [--threshold 0.30] [--metric ips|speedup]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        baseline: baseline.ok_or("--baseline is required")?,
+        current: current.ok_or("--current is required")?,
+        threshold,
+        metric,
+    })
+}
+
+fn load_entries(path: &str) -> Result<Vec<usd_experiments::BenchEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_entries(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let (baseline, current) = match (load_entries(&opts.baseline), load_entries(&opts.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = compare_trend(&baseline, &current, opts.threshold, opts.metric);
+    print!("{}", report.render(opts.threshold));
+    if report.lines.is_empty() {
+        eprintln!(
+            "warning: no comparable batched/sharded cells between {} and {}",
+            opts.baseline, opts.current
+        );
+    }
+    if report.has_regressions() {
+        eprintln!(
+            "FAIL: engine {} regressed more than {:.0}% against {}",
+            opts.metric.unit(),
+            opts.threshold * 100.0,
+            opts.baseline
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("trend check passed");
+    ExitCode::SUCCESS
+}

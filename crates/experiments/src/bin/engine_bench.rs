@@ -4,15 +4,19 @@
 //! engine_bench [--quick] [--seed <u64>] [--output BENCH_engines.json]
 //! ```
 //!
-//! By default the full sweep runs the USD workload at
-//! `n ∈ {10⁵, 10⁶, 10⁷}` on the exact and batched engines and writes the
-//! E13 report (interactions/sec per engine, batched speedup) as JSON, so
-//! successive PRs can track the hot path's performance.  `--quick` shrinks
-//! the sweep for CI smoke runs.
+//! Runs the engine-throughput experiments — E13 (exact vs batched) and E14
+//! (shard count vs throughput, up to `n = 10⁹` at full scale) — and writes a
+//! *stamped* JSON document: workspace version, scale and seed at the top,
+//! then one flat `entries` record per `(engine, shards, n, k, bias)` cell,
+//! then the full reports.  The stamp makes records comparable across PRs;
+//! the `bench_trend` binary consumes two such documents and fails loudly on
+//! throughput regressions.  `--quick` shrinks the sweep for CI smoke runs.
 
 use pp_core::SimSeed;
 use std::process::ExitCode;
 use usd_experiments::exps::e13_engine_throughput::EngineThroughputExperiment;
+use usd_experiments::exps::e14_sharded_throughput::ShardedThroughputExperiment;
+use usd_experiments::trend::render_stamped_document;
 use usd_experiments::Scale;
 
 struct Options {
@@ -59,19 +63,36 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let scale_name = match opts.scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
 
-    let experiment = EngineThroughputExperiment::new(opts.scale);
+    let e13 = EngineThroughputExperiment::new(opts.scale);
     eprintln!(
-        "benchmarking engines at n = {:?} (seed {})…",
-        experiment.populations, opts.seed
+        "E13: benchmarking exact vs batched at n = {:?} (seed {})…",
+        e13.populations, opts.seed
     );
-    let report = experiment.run(SimSeed::from_u64(opts.seed));
-    print!("{}", report.render());
+    let (e13_report, mut entries) = e13.run_with_samples(SimSeed::from_u64(opts.seed));
+    print!("{}", e13_report.render());
 
-    if let Err(e) = std::fs::write(&opts.output, report.to_json() + "\n") {
+    let e14 = ShardedThroughputExperiment::new(opts.scale);
+    eprintln!("E14: benchmarking sharded throughput over {:?}…", e14.sweep);
+    let (e14_report, e14_entries) = e14.run_with_samples(SimSeed::from_u64(opts.seed ^ 0xE14));
+    print!("{}", e14_report.render());
+    entries.extend(e14_entries);
+
+    let document = render_stamped_document(
+        env!("CARGO_PKG_VERSION"),
+        scale_name,
+        opts.seed,
+        &entries,
+        &[e13_report, e14_report],
+    );
+    if let Err(e) = std::fs::write(&opts.output, document + "\n") {
         eprintln!("cannot write {}: {e}", opts.output);
         return ExitCode::FAILURE;
     }
-    eprintln!("report written to {}", opts.output);
+    eprintln!("stamped report written to {}", opts.output);
     ExitCode::SUCCESS
 }

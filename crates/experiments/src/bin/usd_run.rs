@@ -3,15 +3,15 @@
 //!
 //! ```text
 //! usd_run --n 100000 --k 10 --bias-mult 2.0 [--mult-bias 1.5] [--undecided 0.2]
-//!         [--engine exact|batched|mean-field] [--seed 7] [--samples 500]
-//!         [--output trajectory.csv]
+//!         [--engine exact|batched|sharded|mean-field] [--shards 8] [--epoch 1000000]
+//!         [--seed 7] [--samples 500] [--output trajectory.csv]
 //! ```
 //!
 //! Exactly one of `--bias-mult` (additive bias in `sqrt(n ln n)` units) or
 //! `--mult-bias` (multiplicative factor) may be given; with neither the run
 //! starts from the uniform configuration.
 
-use pp_core::{EngineChoice, SimSeed, StopCondition};
+use pp_core::{EngineChoice, ShardPlan, SimSeed, StopCondition};
 use pp_workloads::InitialConfig;
 use std::process::ExitCode;
 use usd_core::{Phase, PhaseTracker, Trajectory, UsdSimulator};
@@ -24,6 +24,8 @@ struct Options {
     mult_bias: Option<f64>,
     undecided: f64,
     engine: EngineChoice,
+    shards: Option<usize>,
+    epoch: Option<u64>,
     seed: u64,
     samples: u64,
     output: Option<String>,
@@ -38,6 +40,8 @@ impl Default for Options {
             mult_bias: None,
             undecided: 0.0,
             engine: EngineChoice::Exact,
+            shards: None,
+            epoch: None,
             seed: 1,
             samples: 400,
             output: None,
@@ -83,6 +87,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--engine: {e}"))?
             }
+            "--shards" => {
+                opts.shards = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                )
+            }
+            "--epoch" => {
+                opts.epoch = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--epoch: {e}"))?,
+                )
+            }
             "--seed" => opts.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--samples" => {
                 opts.samples = value(&mut i)?
@@ -92,7 +110,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--output" => opts.output = Some(value(&mut i)?),
             "--help" | "-h" => return Err(
                 "usage: usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
-                     [--undecided <fraction>] [--engine exact|batched|mean-field] [--seed <u64>] \
+                     [--undecided <fraction>] [--engine exact|batched|sharded|mean-field] \
+                     [--shards <count>] [--epoch <interactions>] [--seed <u64>] \
                      [--samples <count>] [--output <csv>]"
                     .to_string(),
             ),
@@ -106,7 +125,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.samples == 0 {
         return Err("--samples must be positive".to_string());
     }
+    if (opts.shards.is_some() || opts.epoch.is_some()) && opts.engine != EngineChoice::Sharded {
+        return Err("--shards/--epoch require --engine sharded".to_string());
+    }
+    if opts.shards == Some(0) {
+        return Err("--shards must be positive".to_string());
+    }
+    if opts.epoch == Some(0) {
+        return Err("--epoch must be positive".to_string());
+    }
     Ok(opts)
+}
+
+/// The shard plan the run resolves to: the workload's shard count (one
+/// source of truth — `--shards` lands in the `InitialConfig` spec) plus the
+/// command line's optional epoch override.
+fn shard_plan(spec: &InitialConfig, opts: &Options) -> ShardPlan {
+    let mut plan = spec.shard_plan();
+    if let Some(epoch) = opts.epoch {
+        plan = plan.epoch_interactions(epoch);
+    }
+    plan
 }
 
 fn main() -> ExitCode {
@@ -130,6 +169,9 @@ fn main() -> ExitCode {
         spec = spec.undecided_fraction(opts.undecided);
     }
     spec = spec.engine(opts.engine);
+    if let Some(shards) = opts.shards {
+        spec = spec.shards(shards);
+    }
     let seed = SimSeed::from_u64(opts.seed);
     let config = match spec.build(seed) {
         Ok(c) => c,
@@ -143,8 +185,17 @@ fn main() -> ExitCode {
     let n_f = opts.n as f64;
     let budget = (400.0 * opts.k as f64 * n_f * n_f.ln()) as u64 + 10_000_000;
     let sample_period = (budget / opts.samples).max(1).min(opts.n.max(1));
-    let mut sim = UsdSimulator::with_engine(config, seed.child(1), spec.engine_choice());
-    eprintln!("step engine: {}", sim.engine_choice());
+    let plan = shard_plan(&spec, &opts);
+    let mut sim = UsdSimulator::with_engine_plan(config, seed.child(1), spec.engine_choice(), plan);
+    match sim.engine_choice() {
+        EngineChoice::Sharded => eprintln!(
+            "step engine: sharded ({} shards, epoch {} interactions, {} threads)",
+            plan.shards(),
+            plan.epoch_for(opts.n),
+            plan.resolved_threads(),
+        ),
+        choice => eprintln!("step engine: {choice}"),
+    }
     let mut recorder = pp_core::recorder::PairRecorder::new(
         Trajectory::sampled_every(sample_period, 1.0),
         PhaseTracker::new(1.0),

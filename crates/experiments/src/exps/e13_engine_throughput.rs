@@ -11,6 +11,7 @@
 //! the performance trajectory PR over PR.
 
 use crate::report::{fmt_f64, ExperimentReport};
+use crate::trend::BenchEntry;
 use crate::Scale;
 use pp_core::{EngineChoice, SimSeed};
 use pp_workloads::InitialConfig;
@@ -45,8 +46,11 @@ impl EngineThroughputExperiment {
                 Scale::Full => vec![100_000, 1_000_000, 10_000_000],
             },
             workloads: vec![(8, 2.0), (2, 4.0)],
+            // Quick cells are millisecond-scale, so the best-of maximum
+            // needs more samples to stabilize the speedup the CI trend
+            // check gates on.
             runs: match scale {
-                Scale::Quick => 2,
+                Scale::Quick => 4,
                 Scale::Full => 3,
             },
             scale,
@@ -85,6 +89,15 @@ impl EngineThroughputExperiment {
     /// Runs the experiment.
     #[must_use]
     pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        self.run_with_samples(seed).0
+    }
+
+    /// Runs the experiment and additionally returns the stamped
+    /// [`BenchEntry`] records `engine_bench` persists for cross-PR trend
+    /// checks.
+    #[must_use]
+    pub fn run_with_samples(&self, seed: SimSeed) -> (ExperimentReport, Vec<BenchEntry>) {
+        let mut entries = Vec::new();
         let mut report = ExperimentReport::new(
             "E13",
             "step-engine throughput: exact vs batched",
@@ -125,11 +138,28 @@ impl EngineThroughputExperiment {
                     let (interactions, secs) = best.expect("at least one run");
                     let ips = interactions as f64 / secs;
                     ips_by_engine[ei] = ips;
-                    let speedup = if ei == 1 && ips_by_engine[0] > 0.0 {
-                        fmt_f64(ips / ips_by_engine[0])
+                    let speedup_value = if ei == 1 && ips_by_engine[0] > 0.0 {
+                        ips / ips_by_engine[0]
+                    } else {
+                        1.0
+                    };
+                    let speedup = if ei == 1 {
+                        fmt_f64(speedup_value)
                     } else {
                         "1.00".to_string()
                     };
+                    entries.push(BenchEntry {
+                        experiment: "E13".into(),
+                        engine: engine.name().to_string(),
+                        shards: 1,
+                        n,
+                        k: opinions as u64,
+                        bias,
+                        interactions,
+                        seconds: secs,
+                        interactions_per_sec: ips,
+                        speedup: speedup_value,
+                    });
                     report.push_row(vec![
                         n.to_string(),
                         opinions.to_string(),
@@ -150,7 +180,7 @@ impl EngineThroughputExperiment {
         report.push_note(
             "the batched engine's edge scales with the null-interaction fraction: modest in the many-opinion mild-bias regime, large in the two-opinion deep-bias (approximate-majority) regime and in every endgame".to_string(),
         );
-        report
+        (report, entries)
     }
 }
 
@@ -175,7 +205,7 @@ mod tests {
             runs: 1,
             scale: Scale::Quick,
         };
-        let report = exp.run(SimSeed::from_u64(5));
+        let (report, entries) = exp.run_with_samples(SimSeed::from_u64(5));
         assert_eq!(report.rows.len(), 4);
         assert_eq!(report.rows[0][3], "exact");
         assert_eq!(report.rows[1][3], "batched");
@@ -185,6 +215,14 @@ mod tests {
                 "ips cell: {}",
                 row[6]
             );
+        }
+        // The stamped entries mirror the rows one-to-one.
+        assert_eq!(entries.len(), report.rows.len());
+        for (entry, row) in entries.iter().zip(&report.rows) {
+            assert_eq!(entry.engine, row[3]);
+            assert_eq!(entry.shards, 1);
+            assert_eq!(entry.n.to_string(), row[0]);
+            assert!(entry.interactions_per_sec > 0.0);
         }
     }
 }

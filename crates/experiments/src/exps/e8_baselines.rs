@@ -14,6 +14,7 @@ use consensus_dynamics::{
     MedianRule, SequentialSampler, SynchronizedUsd, ThreeMajority, TwoChoices, Voter,
 };
 use pp_analysis::Summary;
+use pp_core::engine::StepEngine;
 use pp_core::{Configuration, EngineChoice, RunResult, SimSeed, StopCondition};
 use pp_workloads::InitialConfig;
 use usd_core::UsdSimulator;
@@ -63,17 +64,21 @@ impl Contender {
             Contender::Usd => {
                 UsdSimulator::with_engine(config.clone(), seed, usd_engine).run_to_consensus(budget)
             }
+            // The sampling dynamics run through the step-engine driver:
+            // Voter/TwoChoices skip nulls with their closed-form conditional
+            // samplers, while dynamics without the hooks fall back — and the
+            // rejection-miss counter below measures what that costs.
             Contender::Voter => {
-                SequentialSampler::new(Voter::new(k), config.clone(), seed).run(stop)
+                SequentialSampler::new(Voter::new(k), config.clone(), seed).run_engine(stop)
             }
             Contender::TwoChoices => {
-                SequentialSampler::new(TwoChoices::new(k), config.clone(), seed).run(stop)
+                SequentialSampler::new(TwoChoices::new(k), config.clone(), seed).run_engine(stop)
             }
             Contender::ThreeMajority => {
-                SequentialSampler::new(ThreeMajority::new(k), config.clone(), seed).run(stop)
+                SequentialSampler::new(ThreeMajority::new(k), config.clone(), seed).run_engine(stop)
             }
             Contender::MedianRule => {
-                SequentialSampler::new(MedianRule::new(k), config.clone(), seed).run(stop)
+                SequentialSampler::new(MedianRule::new(k), config.clone(), seed).run_engine(stop)
             }
             Contender::SynchronizedUsd => {
                 // Round-based: convert rounds to parallel time directly by
@@ -144,6 +149,7 @@ impl BaselineExperiment {
                 "consensus rate".into(),
                 "plurality win rate".into(),
                 "scheduler".into(),
+                "rejection misses".into(),
             ],
         );
 
@@ -181,20 +187,32 @@ impl BaselineExperiment {
                                 .winner()
                                 .map(|w| w.index() == config.max_opinion().index()),
                             result.scheduler().map(str::to_string),
+                            result.rejection_misses(),
                         )
                     },
                 );
-                let times =
-                    Summary::from_slice(&results.iter().map(|(t, _, _, _)| *t).collect::<Vec<_>>());
-                let consensus = results.iter().filter(|(_, c, _, _)| *c).count();
+                let times = Summary::from_slice(
+                    &results.iter().map(|(t, _, _, _, _)| *t).collect::<Vec<_>>(),
+                );
+                let consensus = results.iter().filter(|(_, c, _, _, _)| *c).count();
                 let wins = results
                     .iter()
-                    .filter(|(_, _, w, _)| *w == Some(true))
+                    .filter(|(_, _, w, _, _)| *w == Some(true))
                     .count();
                 let scheduler = results
                     .iter()
-                    .find_map(|(_, _, _, s)| s.clone())
+                    .find_map(|(_, _, _, s, _)| s.clone())
                     .unwrap_or_else(|| "unrecorded".to_string());
+                let misses: Vec<f64> = results
+                    .iter()
+                    .filter_map(|(_, _, _, _, m)| m.map(|m| m as f64))
+                    .collect();
+                let miss_cell = if misses.is_empty() {
+                    // The engine has no rejection path (e.g. the USD backends).
+                    "-".to_string()
+                } else {
+                    format!("mean {}", fmt_f64(Summary::from_slice(&misses).mean()))
+                };
                 report.push_row(vec![
                     (*start_name).to_string(),
                     contender.name().to_string(),
@@ -203,11 +221,15 @@ impl BaselineExperiment {
                     format!("{consensus}/{}", results.len()),
                     format!("{wins}/{}", results.len()),
                     scheduler,
+                    miss_cell,
                 ]);
             }
         }
         report.push_note(
             "parallel time = interactions / n (for the synchronized USD: rounds); the uniform start has no meaningful plurality so its win-rate column only reflects tie-breaking",
+        );
+        report.push_note(
+            "rejection misses = unproductive draws discarded by the skip-ahead's rejection fallback, per run; 0 for dynamics with closed-form conditional samplers (Voter, TwoChoices), '-' where no rejection path exists — the measured baseline for the ROADMAP's batched-conditionals item (3-Majority/MedianRule currently step per activation and will populate this column once they opt into skip-ahead)",
         );
         report
     }

@@ -5,6 +5,7 @@ pub mod e10_drift_and_coupling;
 pub mod e11_undecided_sensitivity;
 pub mod e12_mean_field;
 pub mod e13_engine_throughput;
+pub mod e14_sharded_throughput;
 pub mod e1_phase_table;
 pub mod e2_multiplicative_bias;
 pub mod e3_additive_bias;
@@ -53,6 +54,9 @@ pub fn all_experiments(scale: crate::Scale) -> Vec<Box<dyn Experiment>> {
         Box::new(e13_engine_throughput::EngineThroughputExperiment::new(
             scale,
         )),
+        Box::new(e14_sharded_throughput::ShardedThroughputExperiment::new(
+            scale,
+        )),
     ]
 }
 
@@ -66,7 +70,10 @@ mod tests {
         let ids: Vec<&str> = exps.iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
+            vec![
+                "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+                "E14"
+            ]
         );
     }
 }

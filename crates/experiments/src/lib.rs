@@ -33,9 +33,11 @@
 pub mod exps;
 pub mod report;
 pub mod runner;
+pub mod trend;
 
 pub use report::{ExperimentReport, ReportCollection};
 pub use runner::run_trials;
+pub use trend::{compare_trend, BenchEntry, TrendReport};
 
 use serde::{Deserialize, Serialize};
 

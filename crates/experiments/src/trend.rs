@@ -1,0 +1,681 @@
+//! Stamped engine-benchmark records and the cross-PR trend check.
+//!
+//! `engine_bench` writes `BENCH_engines.json` with a top-level stamp
+//! (workspace version, scale, seed) and a flat `entries` array — one
+//! [`BenchEntry`] per `(engine, shards, n, k, bias)` cell — so successive
+//! PRs produce *comparable* records.  The `bench_trend` binary re-reads two
+//! such files and fails loudly when the batched or sharded engines'
+//! interactions/sec regress beyond a threshold against the committed
+//! baseline.
+//!
+//! The offline build vendors `serde` as annotation-only, so this module
+//! carries its own minimal JSON reader — just enough for the documents this
+//! workspace emits (objects, arrays, strings, numbers, booleans, null).
+
+use crate::report::fmt_f64;
+use std::fmt::Write as _;
+
+/// One benchmark measurement, keyed by `(engine, shards, n, k, bias)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// The experiment that produced this cell ("E13", "E14"), part of the
+    /// comparison key so experiments with overlapping sweeps never collide.
+    pub experiment: String,
+    /// Step-engine backend name (`exact`, `batched`, `sharded`, …).
+    pub engine: String,
+    /// Shard count (1 for unsharded engines).
+    pub shards: u64,
+    /// Population size.
+    pub n: u64,
+    /// Number of opinions.
+    pub k: u64,
+    /// Multiplicative bias of the workload.
+    pub bias: f64,
+    /// Interactions advanced by the measured run.
+    pub interactions: u64,
+    /// Wall-clock seconds of the measured run.
+    pub seconds: f64,
+    /// Interactions advanced per second.
+    pub interactions_per_sec: f64,
+    /// Throughput relative to the run's reference engine.
+    pub speedup: f64,
+}
+
+impl BenchEntry {
+    /// The comparison key identifying this cell across runs.
+    #[must_use]
+    pub fn key(&self) -> (String, String, u64, u64, u64, String) {
+        (
+            self.experiment.clone(),
+            self.engine.clone(),
+            self.shards,
+            self.n,
+            self.k,
+            // Avoid f64 keys: two decimals is plenty for bias factors.
+            format!("{:.2}", self.bias),
+        )
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"{}\",\"engine\":\"{}\",\"shards\":{},\"n\":{},\"k\":{},\"bias\":{},\
+             \"interactions\":{},\"seconds\":{},\"interactions_per_sec\":{},\"speedup\":{}}}",
+            self.experiment,
+            self.engine,
+            self.shards,
+            self.n,
+            self.k,
+            self.bias,
+            self.interactions,
+            self.seconds,
+            self.interactions_per_sec,
+            self.speedup,
+        )
+    }
+}
+
+/// Renders the stamped benchmark document `engine_bench` writes: version and
+/// run stamp, flat `entries`, and the full experiment reports for human
+/// readers.
+#[must_use]
+pub fn render_stamped_document(
+    workspace_version: &str,
+    scale: &str,
+    seed: u64,
+    entries: &[BenchEntry],
+    reports: &[crate::report::ExperimentReport],
+) -> String {
+    let entries_json: Vec<String> = entries.iter().map(BenchEntry::to_json).collect();
+    let reports_json: Vec<String> = reports
+        .iter()
+        .map(crate::report::ExperimentReport::to_json)
+        .collect();
+    format!(
+        "{{\"workspace_version\":\"{}\",\"tool\":\"engine_bench\",\"scale\":\"{}\",\"seed\":{},\
+         \"entries\":[{}],\"reports\":[{}]}}",
+        workspace_version,
+        scale,
+        seed,
+        entries_json.join(","),
+        reports_json.join(","),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (read as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered key/value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("invalid escape \\{}", char::from(other))),
+                    }
+                }
+                other => {
+                    // Re-assemble multi-byte UTF-8 sequences verbatim.
+                    let start = self.pos - 1;
+                    let len = match other {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence".to_string())?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("invalid number {text:?}: {e}"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => {
+                self.expect(b'{')?;
+                let mut pairs = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    pairs.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected ',' or '}}', got {:?}",
+                                char::from(other)
+                            ))
+                        }
+                    }
+                }
+            }
+            b'[' => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => {
+                            return Err(format!("expected ',' or ']', got {:?}", char::from(other)))
+                        }
+                    }
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+/// Reads the `entries` array of a stamped benchmark document.
+///
+/// # Errors
+///
+/// Returns an error when the document does not parse or lacks the expected
+/// fields.
+pub fn parse_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let doc = parse_json(text)?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or("document has no \"entries\" array (re-record with this PR's engine_bench)")?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let f = |key: &str| -> Result<f64, String> {
+                e.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("entry {i} lacks numeric field {key:?}"))
+            };
+            Ok(BenchEntry {
+                experiment: e
+                    .get("experiment")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("entry {i} lacks \"experiment\""))?
+                    .to_string(),
+                engine: e
+                    .get("engine")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("entry {i} lacks \"engine\""))?
+                    .to_string(),
+                shards: f("shards")? as u64,
+                n: f("n")? as u64,
+                k: f("k")? as u64,
+                bias: f("bias")?,
+                interactions: f("interactions")? as u64,
+                seconds: f("seconds")?,
+                interactions_per_sec: f("interactions_per_sec")?,
+                speedup: f("speedup")?,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Trend comparison.
+
+/// Which measurement the trend check guards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TrendMetric {
+    /// Absolute interactions/sec.  Sensitive to the machine class the
+    /// baseline was recorded on — only meaningful when baseline and current
+    /// run on comparable hardware.
+    #[default]
+    InteractionsPerSec,
+    /// The cell's speedup against its same-run reference engine (batched vs
+    /// exact for E13, sharded vs batched for E14).  Machine-independent,
+    /// which makes it the right gate for CI runners that differ from the
+    /// machine the committed baseline was recorded on.
+    Speedup,
+}
+
+impl TrendMetric {
+    /// The measurement this metric reads from an entry.
+    #[must_use]
+    pub fn value(self, entry: &BenchEntry) -> f64 {
+        match self {
+            TrendMetric::InteractionsPerSec => entry.interactions_per_sec,
+            TrendMetric::Speedup => entry.speedup,
+        }
+    }
+
+    /// Short unit label for reports.
+    #[must_use]
+    pub fn unit(self) -> &'static str {
+        match self {
+            TrendMetric::InteractionsPerSec => "ips",
+            TrendMetric::Speedup => "speedup",
+        }
+    }
+}
+
+impl std::str::FromStr for TrendMetric {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ips" | "interactions-per-sec" => Ok(TrendMetric::InteractionsPerSec),
+            "speedup" => Ok(TrendMetric::Speedup),
+            other => Err(format!(
+                "unknown metric {other:?} (expected ips or speedup)"
+            )),
+        }
+    }
+}
+
+/// The outcome of comparing one benchmark cell across two records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendLine {
+    /// The cell's entry in the baseline record.
+    pub baseline: BenchEntry,
+    /// The matching entry in the current record.
+    pub current: BenchEntry,
+    /// `current / baseline` on the guarded metric.
+    pub ratio: f64,
+    /// Whether the cell regressed beyond the threshold.
+    pub regressed: bool,
+}
+
+/// The result of a trend check.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrendReport {
+    /// The measurement that was compared.
+    pub metric: TrendMetric,
+    /// Per-cell comparisons for the guarded engines.
+    pub lines: Vec<TrendLine>,
+    /// Guarded baseline cells with no matching current entry.
+    pub unmatched: Vec<BenchEntry>,
+}
+
+impl TrendReport {
+    /// Whether any guarded cell regressed.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        self.lines.iter().any(|l| l.regressed)
+    }
+
+    /// Renders the comparison as an aligned table with a verdict line.
+    #[must_use]
+    pub fn render(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "engine trend check (fail below {:.0}% of baseline {})",
+            (1.0 - threshold) * 100.0,
+            self.metric.unit(),
+        );
+        for line in &self.lines {
+            let _ = writeln!(
+                out,
+                "  {:<4} {:<8} shards={:<3} n={:<12} k={:<3} bias={:<5} {:>10} -> {:>10} {} ({}x){}",
+                line.baseline.experiment,
+                line.baseline.engine,
+                line.baseline.shards,
+                line.baseline.n,
+                line.baseline.k,
+                fmt_f64(line.baseline.bias),
+                fmt_f64(self.metric.value(&line.baseline)),
+                fmt_f64(self.metric.value(&line.current)),
+                self.metric.unit(),
+                fmt_f64(line.ratio),
+                if line.regressed { "  REGRESSION" } else { "" },
+            );
+        }
+        for entry in &self.unmatched {
+            let _ = writeln!(
+                out,
+                "  {:<4} {:<8} shards={:<3} n={:<12} k={:<3} bias={:<5} has no matching current entry",
+                entry.experiment,
+                entry.engine,
+                entry.shards,
+                entry.n,
+                entry.k,
+                fmt_f64(entry.bias),
+            );
+        }
+        out
+    }
+}
+
+/// Engines whose throughput the trend check guards.
+pub const GUARDED_ENGINES: [&str; 2] = ["batched", "sharded"];
+
+/// Compares `current` against `baseline`: every baseline cell of a guarded
+/// engine must stay above `(1 - threshold)` of its baseline value on the
+/// chosen metric.  Cells present only on one side are reported but do not
+/// fail the check (sweeps legitimately grow across PRs).
+#[must_use]
+pub fn compare_trend(
+    baseline: &[BenchEntry],
+    current: &[BenchEntry],
+    threshold: f64,
+    metric: TrendMetric,
+) -> TrendReport {
+    let mut report = TrendReport {
+        metric,
+        ..TrendReport::default()
+    };
+    for base in baseline {
+        if !GUARDED_ENGINES.contains(&base.engine.as_str()) {
+            continue;
+        }
+        let Some(cur) = current.iter().find(|c| c.key() == base.key()) else {
+            report.unmatched.push(base.clone());
+            continue;
+        };
+        let ratio = if metric.value(base) > 0.0 {
+            metric.value(cur) / metric.value(base)
+        } else {
+            1.0
+        };
+        report.lines.push(TrendLine {
+            baseline: base.clone(),
+            current: cur.clone(),
+            ratio,
+            regressed: ratio < 1.0 - threshold,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(engine: &str, shards: u64, n: u64, ips: f64) -> BenchEntry {
+        BenchEntry {
+            experiment: "E13".to_string(),
+            engine: engine.to_string(),
+            shards,
+            n,
+            k: 2,
+            bias: 4.0,
+            interactions: 1_000,
+            seconds: 1.0,
+            interactions_per_sec: ips,
+            speedup: 1.0,
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_the_document_shapes_we_emit() {
+        let doc = parse_json(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true}, "e": null}"#)
+            .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\ny")
+        );
+        assert_eq!(doc.get("b").unwrap().get("d"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("e"), Some(&Json::Null));
+        assert!(parse_json("{\"open\":").is_err());
+        assert!(parse_json("[1, 2] junk").is_err());
+    }
+
+    #[test]
+    fn json_parser_preserves_unicode() {
+        let doc = parse_json(r#"{"s": "10⁶ agents — fast"}"#).unwrap();
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("10⁶ agents — fast"));
+    }
+
+    #[test]
+    fn stamped_document_round_trips_through_the_parser() {
+        let entries = vec![
+            entry("batched", 1, 1_000_000, 4.5e8),
+            entry("sharded", 4, 1_000_000, 4.0e8),
+        ];
+        let doc = render_stamped_document("0.1.0", "full", 7, &entries, &[]);
+        let parsed = parse_entries(&doc).unwrap();
+        assert_eq!(parsed, entries);
+        let json = parse_json(&doc).unwrap();
+        assert_eq!(
+            json.get("workspace_version").unwrap().as_str(),
+            Some("0.1.0")
+        );
+        assert_eq!(json.get("seed").unwrap().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn trend_check_flags_only_threshold_violations() {
+        let baseline = vec![
+            entry("batched", 1, 1_000_000, 1.0e8),
+            entry("sharded", 4, 1_000_000, 1.0e8),
+            entry("exact", 1, 1_000_000, 1.0e8),
+        ];
+        let current = vec![
+            entry("batched", 1, 1_000_000, 0.8e8),  // -20%: fine at 30%
+            entry("sharded", 4, 1_000_000, 0.65e8), // -35%: regression
+            entry("exact", 1, 1_000_000, 0.1e8),    // not guarded
+        ];
+        let report = compare_trend(&baseline, &current, 0.30, TrendMetric::InteractionsPerSec);
+        assert_eq!(report.lines.len(), 2);
+        assert!(!report.lines[0].regressed);
+        assert!(report.lines[1].regressed);
+        assert!(report.has_regressions());
+        assert!(report.render(0.30).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn speedup_metric_ignores_machine_speed_shifts() {
+        // Current machine is uniformly 2x slower, but the speedup (measured
+        // against the same-run reference engine) is unchanged: no regression
+        // on the machine-independent metric, regression on raw ips.
+        let mut base = entry("sharded", 4, 1_000, 1.0e8);
+        base.speedup = 0.8;
+        let mut cur = base.clone();
+        cur.interactions_per_sec = 0.5e8;
+        let by_speedup = compare_trend(&[base.clone()], &[cur.clone()], 0.30, TrendMetric::Speedup);
+        assert!(!by_speedup.has_regressions());
+        assert!(by_speedup.render(0.30).contains("speedup"));
+        let by_ips = compare_trend(&[base], &[cur], 0.30, TrendMetric::InteractionsPerSec);
+        assert!(by_ips.has_regressions());
+        assert!("speedup".parse::<TrendMetric>().unwrap() == TrendMetric::Speedup);
+        assert!("nope".parse::<TrendMetric>().is_err());
+    }
+
+    #[test]
+    fn unmatched_baseline_cells_are_reported_not_fatal() {
+        let baseline = vec![entry("batched", 1, 123, 1.0e8)];
+        let report = compare_trend(&baseline, &[], 0.30, TrendMetric::InteractionsPerSec);
+        assert!(!report.has_regressions());
+        assert_eq!(report.unmatched.len(), 1);
+        assert!(report.render(0.30).contains("no matching current entry"));
+    }
+}

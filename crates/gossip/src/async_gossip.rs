@@ -109,7 +109,9 @@ impl<P: OpinionProtocol> PoissonGossip<P> {
     ///
     /// Returns [`PpError::OpinionCountMismatch`] on a `k` mismatch and
     /// [`PpError::UnsupportedEngine`] for the mean-field backend (which has
-    /// no interaction-level clock to couple to).
+    /// no interaction-level clock to couple to) and the sharded backend
+    /// (its reconciliation epochs bundle many events into one jump, so the
+    /// Gamma waiting-time coupling per state change does not apply).
     pub fn with_engine(
         protocol: P,
         config: Configuration,
@@ -296,6 +298,21 @@ mod tests {
             PoissonGossip::with_engine(Usd2, config, SimSeed::from_u64(0), EngineChoice::MeanField)
                 .unwrap_err();
         assert!(matches!(err, PpError::UnsupportedEngine { .. }));
+    }
+
+    #[test]
+    fn sharded_backend_is_rejected_with_a_clear_error() {
+        // Epoch-granular engines cannot drive the per-event Gamma clock.
+        let config = Configuration::uniform(100, 2).unwrap();
+        let err =
+            PoissonGossip::with_engine(Usd2, config, SimSeed::from_u64(0), EngineChoice::Sharded)
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            PpError::UnsupportedEngine {
+                requested: "sharded"
+            }
+        ));
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   coupon-collector endgame of Phase 5, deep-bias regimes) this is orders
 //!   of magnitude faster, and the induced distribution over recorded
 //!   trajectories is the same as the exact engine's.
+//! * [`crate::shard::ShardedEngine`] — the count vector split into shards,
+//!   each advanced by its own batched engine in parallel, with cross-shard
+//!   interactions reconciled by multinomial epoch allocation (tunably
+//!   approximate; built for `n ≥ 10⁹`).
 //! * `MeanFieldEngine` (in `usd-core`) — the deterministic ODE limit lifted
 //!   behind the same trait for instant large-`n` approximation.
 //!
@@ -80,6 +84,9 @@ pub enum EngineChoice {
     /// Geometric skip-ahead over null interactions plus conditional event
     /// draws; exact in distribution, much faster when nulls dominate.
     Batched,
+    /// Parallel per-shard batched stepping with multinomial reconciliation
+    /// epochs (documented-approximate; see [`crate::shard`]).
+    Sharded,
     /// The deterministic ODE limit (approximation; `usd-core` only).
     MeanField,
 }
@@ -91,14 +98,16 @@ impl EngineChoice {
         match self {
             EngineChoice::Exact => "exact",
             EngineChoice::Batched => "batched",
+            EngineChoice::Sharded => "sharded",
             EngineChoice::MeanField => "mean-field",
         }
     }
 
     /// All selectable backends.
-    pub const ALL: [EngineChoice; 3] = [
+    pub const ALL: [EngineChoice; 4] = [
         EngineChoice::Exact,
         EngineChoice::Batched,
+        EngineChoice::Sharded,
         EngineChoice::MeanField,
     ];
 }
@@ -116,9 +125,10 @@ impl FromStr for EngineChoice {
         match s {
             "exact" => Ok(EngineChoice::Exact),
             "batched" => Ok(EngineChoice::Batched),
+            "sharded" => Ok(EngineChoice::Sharded),
             "mean-field" | "meanfield" => Ok(EngineChoice::MeanField),
             other => Err(format!(
-                "unknown engine {other:?} (expected exact, batched, or mean-field)"
+                "unknown engine {other:?} (expected exact, batched, sharded, or mean-field)"
             )),
         }
     }
@@ -159,6 +169,16 @@ pub trait StepEngine {
     /// into every [`RunResult`] the provided drivers produce.
     fn scheduler_name(&self) -> &'static str {
         UNIFORM_PAIR_SCHEDULER_NAME
+    }
+
+    /// The number of unproductive draws this engine has discarded in
+    /// rejection-sampling fallbacks so far, if it uses any (see
+    /// `SamplingDynamics::sample_productive_move` in `consensus-dynamics`).
+    /// Engines with closed-form conditional samplers report `None`; the
+    /// provided drivers record a `Some` value into the [`RunResult`], giving
+    /// the "batched conditionals" optimization a measured baseline.
+    fn rejection_misses(&self) -> Option<u64> {
+        None
     }
 
     /// Advances to the next state-changing event, or to `limit` interactions,
@@ -203,7 +223,8 @@ pub trait StepEngine {
                     RunOutcome::OpinionSettled
                 };
                 return RunResult::new(outcome, self.interactions(), self.configuration().clone())
-                    .with_scheduler(self.scheduler_name());
+                    .with_scheduler(self.scheduler_name())
+                    .with_rejection_misses(self.rejection_misses());
             }
             let limit = match stop.max_interactions() {
                 Some(budget) if self.interactions() >= budget => {
@@ -212,7 +233,8 @@ pub trait StepEngine {
                         self.interactions(),
                         self.configuration().clone(),
                     )
-                    .with_scheduler(self.scheduler_name());
+                    .with_scheduler(self.scheduler_name())
+                    .with_rejection_misses(self.rejection_misses());
                 }
                 Some(budget) => budget,
                 None => u64::MAX,
@@ -405,27 +427,21 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
         self.config
     }
 
+    /// Simultaneous access to the protocol and the mutable configuration —
+    /// the shard reconciler applies cross-shard responder updates directly to
+    /// a shard's counts (without advancing the local interaction counter).
+    pub(crate) fn parts_mut(&mut self) -> (&P, &mut Configuration) {
+        (&self.protocol, &mut self.config)
+    }
+
     /// Productive weight of responder category `cat` by direct enumeration:
     /// `c_cat · Σ_{i : productive} c_i`.
     fn enumerated_row(&self, cat: usize) -> u128 {
-        let k = self.config.num_opinions();
-        let c_cat = u128::from(self.config.category_count(cat));
-        if c_cat == 0 {
-            return 0;
-        }
-        let responder = AgentState::from_category(cat, k);
-        let mut productive_initiators: u128 = 0;
-        for i in 0..=k {
-            let c_i = self.config.category_count(i);
-            if c_i == 0 {
-                continue;
-            }
-            let initiator = AgentState::from_category(i, k);
-            if self.protocol.respond(responder, initiator) != responder {
-                productive_initiators += u128::from(c_i);
-            }
-        }
-        c_cat * productive_initiators
+        // The single-population weight is the cross-shard weight with the
+        // responder and initiator sides drawn from the same configuration;
+        // sharing the enumeration keeps this engine and the shard
+        // reconciler exactly in sync.
+        crate::shard::reconcile::productive_row(&self.protocol, &self.config, &self.config, cat)
     }
 
     /// Refreshes the per-category productive weights and returns their sum.
@@ -587,8 +603,10 @@ impl<P: OpinionProtocol> CountEngine<P> {
     ///
     /// Returns [`PpError::OpinionCountMismatch`] on a protocol/configuration
     /// mismatch and [`PpError::UnsupportedEngine`] for
-    /// [`EngineChoice::MeanField`], which pp-core cannot construct (the ODE
-    /// limit is protocol-specific; see `usd-core`).
+    /// [`EngineChoice::MeanField`] (the ODE limit is protocol-specific; see
+    /// `usd-core`) and [`EngineChoice::Sharded`] (the sharded engine needs a
+    /// [`crate::shard::ShardPlan`] and `Clone + Send` protocols — construct
+    /// [`crate::shard::ShardedEngine`] directly).
     pub fn try_new(
         protocol: P,
         config: Configuration,
@@ -602,6 +620,9 @@ impl<P: OpinionProtocol> CountEngine<P> {
             EngineChoice::Batched => Ok(CountEngine::Batched(BatchedEngine::try_new(
                 protocol, config, seed,
             )?)),
+            EngineChoice::Sharded => Err(PpError::UnsupportedEngine {
+                requested: "sharded",
+            }),
             EngineChoice::MeanField => Err(PpError::UnsupportedEngine {
                 requested: "mean-field",
             }),

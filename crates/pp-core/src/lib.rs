@@ -26,6 +26,11 @@
 //!   endgame).  Use it for large populations; protocols opt into `O(k)`
 //!   events via [`OpinionProtocol::null_interaction_weight`] /
 //!   [`OpinionProtocol::productive_responder_weight`].
+//! * [`ShardedEngine`] — the count vector split into `S` shards, each owned
+//!   by a batched engine and advanced in parallel worker threads, with
+//!   cross-shard interactions allocated to shard pairs by multinomial draws
+//!   and reconciled at epoch boundaries.  Built for `n ≥ 10⁹`; tunably
+//!   approximate (see [`shard`] for the fidelity discussion).
 //! * `MeanFieldEngine` (in `usd-core`) — the deterministic ODE limit behind
 //!   the same trait.  Instant at any `n`, but an approximation: use it for
 //!   exploration, never for distributional statistics.
@@ -79,6 +84,7 @@ pub mod recorder;
 pub mod rng;
 pub mod run;
 pub mod scheduler;
+pub mod shard;
 pub mod stopping;
 
 pub use agent_sim::AgentSimulator;
@@ -93,6 +99,7 @@ pub use recorder::{NullRecorder, Recorder, Snapshot, TraceRecorder};
 pub use rng::{SimSeed, SplitMix64};
 pub use run::{RunOutcome, RunResult};
 pub use scheduler::{InteractionScheduler, OrderedPair, UniformPairScheduler};
+pub use shard::{ShardPlan, ShardedEngine};
 pub use stopping::StopCondition;
 
 /// Convenience prelude re-exporting the types needed by most users.
@@ -109,5 +116,6 @@ pub mod prelude {
     pub use crate::recorder::{NullRecorder, Recorder, Snapshot, TraceRecorder};
     pub use crate::rng::SimSeed;
     pub use crate::run::{RunOutcome, RunResult};
+    pub use crate::shard::{ShardPlan, ShardedEngine};
     pub use crate::stopping::StopCondition;
 }

@@ -44,6 +44,7 @@ pub struct RunResult {
     interactions: u64,
     final_configuration: Configuration,
     scheduler: Option<String>,
+    rejection_misses: Option<u64>,
 }
 
 impl RunResult {
@@ -56,6 +57,7 @@ impl RunResult {
             interactions,
             final_configuration,
             scheduler: None,
+            rejection_misses: None,
         }
     }
 
@@ -72,6 +74,23 @@ impl RunResult {
     #[must_use]
     pub fn scheduler(&self) -> Option<&str> {
         self.scheduler.as_deref()
+    }
+
+    /// Records how many unproductive draws the engine discarded in
+    /// rejection-sampling fallbacks during this run (`None` = the engine has
+    /// no rejection path; see `StepEngine::rejection_misses`).
+    #[must_use]
+    pub fn with_rejection_misses(mut self, misses: Option<u64>) -> Self {
+        self.rejection_misses = misses;
+        self
+    }
+
+    /// The number of unproductive draws discarded by rejection-sampling
+    /// fallbacks, if the engine counted any — the measured baseline for
+    /// replacing rejection loops with closed-form conditional samplers.
+    #[must_use]
+    pub fn rejection_misses(&self) -> Option<u64> {
+        self.rejection_misses
     }
 
     /// Why the run stopped.
@@ -154,6 +173,15 @@ mod tests {
         assert!(RunOutcome::Consensus.is_goal());
         assert!(RunOutcome::OpinionSettled.is_goal());
         assert!(!RunOutcome::BudgetExhausted.is_goal());
+    }
+
+    #[test]
+    fn rejection_misses_are_recorded_when_provided() {
+        let cfg = Configuration::from_counts(vec![10, 0], 0).unwrap();
+        let r = RunResult::new(RunOutcome::Consensus, 5, cfg);
+        assert_eq!(r.rejection_misses(), None);
+        let r = r.with_rejection_misses(Some(42));
+        assert_eq!(r.rejection_misses(), Some(42));
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Cross-shard reconciliation: batched realization of the interactions whose
+//! responder and initiator live in different shards.
+//!
+//! A cross block `(a, b)` is a quota of interactions with the responder drawn
+//! uniformly from shard `a` and the initiator uniformly from shard `b`.  The
+//! sampler below realizes such a block the same way [`crate::BatchedEngine`]
+//! realizes a single-population run: it computes the weight of *productive*
+//! ordered category pairs (responder categories weighted by shard `a`'s live
+//! counts, initiator categories by shard `b`'s reconcile-pass snapshot), skips the
+//! geometrically distributed null prefix, and draws each state-changing event
+//! from the exact conditional distribution — `O(k²)` per event, never per
+//! interaction.  Responder updates are applied to shard `a`'s counts as they
+//! happen, so consecutive events within one block see each other; the
+//! initiator side stays frozen at its snapshot (taken at the start of the
+//! reconcile pass, after the epoch's intra-shard advancement), which is the
+//! sharded engine's documented approximation.
+
+use crate::config::Configuration;
+use crate::engine::{geometric_skip, uniform_u128_below};
+use crate::opinion::AgentState;
+use crate::protocol::OpinionProtocol;
+use rand::Rng;
+
+/// Total weight of productive ordered category pairs with the responder drawn
+/// from `responder` and the initiator from `initiator` (the two may be the
+/// same configuration, which yields the single-population weight).
+pub(crate) fn cross_productive_weight<P: OpinionProtocol>(
+    protocol: &P,
+    responder: &Configuration,
+    initiator: &Configuration,
+) -> u128 {
+    let k = responder.num_opinions();
+    let mut total = 0u128;
+    for cat in 0..=k {
+        total += productive_row(protocol, responder, initiator, cat);
+    }
+    total
+}
+
+/// Weight of productive pairs whose responder lies in category `cat`:
+/// `c_cat · Σ_{i : productive(cat, i)} d_i`.  Also the single-population row
+/// weight when `responder` and `initiator` are the same configuration —
+/// `BatchedEngine`'s enumeration fallback delegates here so the two engines
+/// can never drift apart.
+pub(crate) fn productive_row<P: OpinionProtocol>(
+    protocol: &P,
+    responder: &Configuration,
+    initiator: &Configuration,
+    cat: usize,
+) -> u128 {
+    let k = responder.num_opinions();
+    let c_cat = u128::from(responder.category_count(cat));
+    if c_cat == 0 {
+        return 0;
+    }
+    let responder_state = AgentState::from_category(cat, k);
+    let mut productive_initiators = 0u128;
+    for i in 0..=k {
+        let d_i = initiator.category_count(i);
+        if d_i == 0 {
+            continue;
+        }
+        if protocol.respond(responder_state, AgentState::from_category(i, k)) != responder_state {
+            productive_initiators += u128::from(d_i);
+        }
+    }
+    c_cat * productive_initiators
+}
+
+/// Realizes a cross block of `quota` interactions (responder side `responder`,
+/// initiator side `initiator`), applying every state-changing responder
+/// update to `responder`.  Returns the number of events applied; the whole
+/// quota is always consumed (events plus skipped nulls).
+pub(crate) fn reconcile_cross_block<P: OpinionProtocol, R: Rng + ?Sized>(
+    protocol: &P,
+    responder: &mut Configuration,
+    initiator: &Configuration,
+    quota: u64,
+    rows: &mut Vec<u128>,
+    rng: &mut R,
+) -> u64 {
+    let k = responder.num_opinions();
+    debug_assert_eq!(k, initiator.num_opinions(), "shards disagree on k");
+    let pair_weight = u128::from(responder.population()) * u128::from(initiator.population());
+    let mut remaining = quota;
+    let mut events = 0u64;
+    while remaining > 0 {
+        rows.clear();
+        let mut total = 0u128;
+        for cat in 0..=k {
+            let row = productive_row(protocol, responder, initiator, cat);
+            rows.push(row);
+            total += row;
+        }
+        if total == 0 {
+            // Every remaining interaction in the block is null.
+            break;
+        }
+        let p = total as f64 / pair_weight as f64;
+        let Some(skip) = geometric_skip(rng, p, remaining) else {
+            // The next event falls beyond the block; the rest is null.
+            break;
+        };
+        remaining -= skip + 1;
+
+        // One uniform draw below `total` decomposes into (responder category,
+        // initiator unit) exactly as in `BatchedEngine::advance`: the row
+        // scan picks the category, and the remainder modulo the row's
+        // initiator weight is an exact uniform draw of the initiator unit.
+        let mut target = uniform_u128_below(rng, total);
+        let mut responder_cat = k;
+        for (cat, &row) in rows.iter().enumerate() {
+            if target < row {
+                responder_cat = cat;
+                break;
+            }
+            target -= row;
+        }
+        let responder_state = AgentState::from_category(responder_cat, k);
+        let c_responder = u128::from(responder.category_count(responder_cat));
+        debug_assert!(c_responder > 0);
+        let initiator_total = rows[responder_cat] / c_responder;
+        let mut itarget = target % initiator_total;
+
+        let mut initiator_state = AgentState::Undecided;
+        for i in 0..=k {
+            let d_i = initiator.category_count(i);
+            if d_i == 0 {
+                continue;
+            }
+            let candidate = AgentState::from_category(i, k);
+            if protocol.respond(responder_state, candidate) == responder_state {
+                continue;
+            }
+            if itarget < u128::from(d_i) {
+                initiator_state = candidate;
+                break;
+            }
+            itarget -= u128::from(d_i);
+        }
+
+        let new_state = protocol.respond(responder_state, initiator_state);
+        debug_assert_ne!(
+            new_state, responder_state,
+            "sampled event must be productive"
+        );
+        responder
+            .apply_move(responder_state, new_state)
+            .expect("cross-shard transition produced an inconsistent move");
+        events += 1;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimSeed;
+
+    /// The 2-opinion USD.
+    struct Usd2;
+
+    impl OpinionProtocol for Usd2 {
+        fn num_opinions(&self) -> usize {
+            2
+        }
+        fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+            match (r, i) {
+                (AgentState::Decided(a), AgentState::Decided(b)) if a != b => AgentState::Undecided,
+                (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
+                _ => r,
+            }
+        }
+    }
+
+    /// Always productive: decided responders flip opinion on every
+    /// interaction, undecided responders adopt opinion 0.
+    struct Cycle;
+
+    impl OpinionProtocol for Cycle {
+        fn num_opinions(&self) -> usize {
+            2
+        }
+        fn respond(&self, r: AgentState, _i: AgentState) -> AgentState {
+            match r {
+                AgentState::Decided(o) => AgentState::decided(1 - o.index()),
+                AgentState::Undecided => AgentState::decided(0),
+            }
+        }
+    }
+
+    #[test]
+    fn fully_productive_block_realizes_every_interaction() {
+        // Under `Cycle` every ordered pair is productive, so the block must
+        // realize its whole quota as events.
+        let mut responder = Configuration::from_counts(vec![10, 0], 0).unwrap();
+        let initiator = Configuration::from_counts(vec![0, 50], 0).unwrap();
+        let mut rows = Vec::new();
+        let mut rng = SimSeed::from_u64(1).rng();
+        let events =
+            reconcile_cross_block(&Cycle, &mut responder, &initiator, 6, &mut rows, &mut rng);
+        assert_eq!(events, 6);
+        assert_eq!(responder.population(), 10);
+        assert!(responder.is_consistent());
+    }
+
+    #[test]
+    fn all_null_block_applies_nothing() {
+        // Same opinion on both sides: nothing can change.
+        let mut responder = Configuration::from_counts(vec![10, 0], 0).unwrap();
+        let initiator = Configuration::from_counts(vec![20, 0], 0).unwrap();
+        let mut rows = Vec::new();
+        let mut rng = SimSeed::from_u64(2).rng();
+        let before = responder.clone();
+        let events = reconcile_cross_block(
+            &Usd2,
+            &mut responder,
+            &initiator,
+            1_000,
+            &mut rows,
+            &mut rng,
+        );
+        assert_eq!(events, 0);
+        assert_eq!(responder, before);
+    }
+
+    #[test]
+    fn block_conserves_the_responder_population() {
+        let mut responder = Configuration::from_counts(vec![30, 20], 10).unwrap();
+        let initiator = Configuration::from_counts(vec![5, 40], 15).unwrap();
+        let mut rows = Vec::new();
+        let mut rng = SimSeed::from_u64(3).rng();
+        let events =
+            reconcile_cross_block(&Usd2, &mut responder, &initiator, 500, &mut rows, &mut rng);
+        assert!(events > 0, "a mixed block should produce events");
+        assert_eq!(responder.population(), 60);
+        assert!(responder.is_consistent());
+    }
+
+    #[test]
+    fn cross_weight_matches_manual_enumeration() {
+        // responder (3, 4, u=2), initiator (5, 0, u=1) under the USD:
+        // productive pairs: 0-responder meets 1-initiator (none: d_1 = 0),
+        // 1-responder meets 0-initiator (4·5), undecided meets decided
+        // (2·5).  Plus 0-responder meets 1-initiator = 3·0 = 0.
+        let responder = Configuration::from_counts(vec![3, 4], 2).unwrap();
+        let initiator = Configuration::from_counts(vec![5, 0], 1).unwrap();
+        assert_eq!(
+            cross_productive_weight(&Usd2, &responder, &initiator),
+            4 * 5 + 2 * 5
+        );
+    }
+
+    #[test]
+    fn event_rate_matches_the_block_probability() {
+        // p = W / (n_a · n_b); over many unit blocks the event frequency must
+        // match (each quota-1 block realizes an event with probability p).
+        let responder = Configuration::from_counts(vec![30, 20], 10).unwrap();
+        let initiator = Configuration::from_counts(vec![25, 25], 10).unwrap();
+        let w = cross_productive_weight(&Usd2, &responder, &initiator) as f64;
+        let p = w / (60.0 * 60.0);
+        let mut rng = SimSeed::from_u64(7).rng();
+        let mut rows = Vec::new();
+        let trials = 40_000;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            let mut fresh = responder.clone();
+            hits += reconcile_cross_block(&Usd2, &mut fresh, &initiator, 1, &mut rows, &mut rng);
+        }
+        let freq = hits as f64 / trials as f64;
+        assert!(
+            (freq - p).abs() < 0.01,
+            "event frequency {freq} vs probability {p}"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! The [`InitialConfig`] builder.
 
 use crate::generators;
-use pp_core::{ConfigError, Configuration, EngineChoice, SimSeed};
+use pp_core::{ConfigError, Configuration, EngineChoice, ShardPlan, SimSeed};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -104,6 +104,7 @@ pub struct InitialConfig {
     bias: BiasSpec,
     undecided: UndecidedSpec,
     engine: EngineChoice,
+    shards: Option<usize>,
 }
 
 impl InitialConfig {
@@ -117,6 +118,7 @@ impl InitialConfig {
             bias: BiasSpec::None,
             undecided: UndecidedSpec::None,
             engine: EngineChoice::Exact,
+            shards: None,
         }
     }
 
@@ -134,6 +136,62 @@ impl InitialConfig {
     #[must_use]
     pub fn engine_choice(&self) -> EngineChoice {
         self.engine
+    }
+
+    /// Selects the shard count for sharded simulations of this workload
+    /// (consumed by [`InitialConfig::build_sharded`] and by downstream
+    /// simulator constructors through [`InitialConfig::shard_plan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded workload needs at least one shard");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// The shard count selected for this workload, if any.
+    #[must_use]
+    pub fn shard_count(&self) -> Option<usize> {
+        self.shards
+    }
+
+    /// The [`ShardPlan`] this workload resolves to: the selected shard count
+    /// (or the plan default when none was given), automatic epoch length and
+    /// thread count.
+    #[must_use]
+    pub fn shard_plan(&self) -> ShardPlan {
+        self.shards.map_or_else(ShardPlan::default, ShardPlan::new)
+    }
+
+    /// Builds the configuration and splits it into per-shard count vectors
+    /// (populations as even as possible, every category allocated
+    /// proportionally) — the input shape for
+    /// `pp_core::shard::ShardedEngine::from_shards`.  Merging the shards
+    /// back reproduces the global configuration exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the workload parameters are out of range or if
+    /// the shard count exceeds the population.
+    pub fn build_sharded(&self, seed: SimSeed) -> Result<Vec<Configuration>, WorkloadError> {
+        let config = self.build(seed)?;
+        let shards = self.shard_plan().effective_shards(config.population());
+        if self.shards.is_some_and(|s| s as u64 > config.population()) {
+            return Err(WorkloadError::InvalidParameter(format!(
+                "cannot split {} agents into {} non-empty shards",
+                config.population(),
+                self.shards.unwrap_or_default()
+            )));
+        }
+        let populations =
+            pp_core::shard::multinomial::shard_populations(config.population(), shards);
+        Ok(pp_core::shard::multinomial::split_configuration(
+            &config,
+            &populations,
+        ))
     }
 
     /// Population size `n`.
@@ -471,6 +529,37 @@ mod tests {
                 .build(seed()),
             Err(WorkloadError::InvalidParameter(_))
         ));
+    }
+
+    #[test]
+    fn sharded_split_conserves_the_global_configuration() {
+        let spec = InitialConfig::new(10_000, 5)
+            .multiplicative_bias(2.0)
+            .undecided_fraction(0.2)
+            .shards(7)
+            .engine(EngineChoice::Sharded);
+        assert_eq!(spec.shard_count(), Some(7));
+        assert_eq!(spec.shard_plan().shards(), 7);
+        let global = spec.build(seed()).unwrap();
+        let shards = spec.build_sharded(seed()).unwrap();
+        assert_eq!(shards.len(), 7);
+        let merged = pp_core::shard::multinomial::merge_configurations(&shards);
+        assert_eq!(merged, global);
+        for shard in &shards {
+            assert!(shard.population() >= 10_000 / 7);
+        }
+    }
+
+    #[test]
+    fn sharded_split_rejects_more_shards_than_agents() {
+        let spec = InitialConfig::new(5, 2).shards(10);
+        assert!(matches!(
+            spec.build_sharded(seed()),
+            Err(WorkloadError::InvalidParameter(_))
+        ));
+        // Without an explicit shard count the default plan is clamped.
+        let shards = InitialConfig::new(3, 2).build_sharded(seed()).unwrap();
+        assert_eq!(shards.len(), 3);
     }
 
     #[test]

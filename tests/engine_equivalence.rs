@@ -95,7 +95,9 @@ fn voter_budgeted_support(choice: EngineChoice, seed_base: u64) -> Vec<f64> {
                     config,
                     SimSeed::from_u64(seed_base + i),
                 )),
-                EngineChoice::MeanField => unreachable!("not under test"),
+                EngineChoice::Sharded | EngineChoice::MeanField => {
+                    unreachable!("not under test")
+                }
             };
             let result =
                 engine.run_engine(StopCondition::opinion_settled().or_max_interactions(300_000));

@@ -1,0 +1,207 @@
+//! Statistical equivalence and conservation laws of the sharded engine.
+//!
+//! The sharded engine is documented-approximate (cross-shard reconciliation
+//! reads initiator counts frozen at the reconcile pass that follows each
+//! epoch's intra-shard advancement), with the bias tunable
+//! through the epoch length.  These tests pin it to the exact engine at the
+//! default epoch length (`n/32`) on the same observables the batched engine
+//! is pinned on: consensus hitting times and winner identity at `n = 10⁴`,
+//! compared with a two-sample chi-squared test at `α ≈ 0.001`.  Property
+//! tests additionally check the structural invariants: the proportional
+//! split conserves every per-opinion count (merge ∘ split = identity), and
+//! epoch-sliced advancement conserves the population under arbitrary shard
+//! counts, epoch lengths and budget boundaries.
+
+use pp_analysis::stats::{chi_squared_binned, chi_squared_two_sample};
+use pp_core::engine::StepEngine;
+use pp_core::shard::multinomial::{merge_configurations, shard_populations, split_configuration};
+use pp_core::shard::{ShardPlan, ShardedEngine};
+use pp_core::{Advance, Configuration, EngineChoice, SimSeed};
+use usd_core::{UndecidedStateDynamics, UsdSimulator};
+
+const RUNS: u64 = 48;
+/// Standard-normal quantile for the α ≈ 0.001 acceptance threshold.
+const Z_999: f64 = 3.09;
+
+/// Consensus hitting times of the USD at n = 10⁴ under the given backend,
+/// from a deep-bias start (long null-dominated stretches, which the sharded
+/// engine spends almost entirely inside reconciliation epochs).
+fn usd_hitting_times(choice: EngineChoice, seed_base: u64) -> Vec<f64> {
+    (0..RUNS)
+        .map(|i| {
+            let config = Configuration::from_counts(vec![9_000, 500, 500], 0).unwrap();
+            let mut sim =
+                UsdSimulator::with_engine(config, SimSeed::from_u64(seed_base + i), choice);
+            let result = sim.run_to_consensus(500_000_000);
+            assert!(result.reached_consensus(), "run {i} did not converge");
+            result.interactions() as f64
+        })
+        .collect()
+}
+
+#[test]
+fn usd_consensus_hitting_times_match_exact_engine() {
+    let exact = usd_hitting_times(EngineChoice::Exact, 0xE4_0000);
+    let sharded = usd_hitting_times(EngineChoice::Sharded, 0x5A_0000);
+    let test = chi_squared_binned(&exact, &sharded, 6);
+    assert!(
+        test.consistent_at(Z_999),
+        "hitting-time distributions diverge: chi² = {:.2} > {:.2} (df = {})",
+        test.statistic,
+        test.critical_value(Z_999),
+        test.degrees_of_freedom
+    );
+}
+
+/// Winner identity of the near-tied two-opinion USD: decided by the chain's
+/// fluctuations, so a biased reconciliation would shift these counts.
+fn usd_winner_counts(choice: EngineChoice, seed_base: u64) -> [u64; 2] {
+    let mut counts = [0u64; 2];
+    for i in 0..RUNS {
+        let config = Configuration::from_counts(vec![5_100, 4_900], 0).unwrap();
+        let mut sim = UsdSimulator::with_engine(config, SimSeed::from_u64(seed_base + i), choice);
+        let result = sim.run_to_settlement(500_000_000);
+        let winner = result.winner().expect("settled run has a winner");
+        counts[winner.index()] += 1;
+    }
+    counts
+}
+
+#[test]
+fn usd_winner_distribution_matches_exact_engine() {
+    let exact = usd_winner_counts(EngineChoice::Exact, 0xE5_0000);
+    let sharded = usd_winner_counts(EngineChoice::Sharded, 0x5B_0000);
+    let test = chi_squared_two_sample(&exact, &sharded);
+    assert!(
+        test.consistent_at(Z_999),
+        "winner distributions diverge: exact {exact:?} vs sharded {sharded:?} (chi² = {:.2})",
+        test.statistic
+    );
+}
+
+#[test]
+fn sharded_engine_interaction_counter_lands_on_epoch_boundaries() {
+    let config = Configuration::from_counts(vec![700, 300], 0).unwrap();
+    let plan = ShardPlan::new(4).epoch_interactions(100);
+    let mut engine = ShardedEngine::new(
+        UndecidedStateDynamics::new(2),
+        config,
+        SimSeed::from_u64(1),
+        &plan,
+    );
+    assert_eq!(engine.epoch_length(), 100);
+    let adv = engine.advance(1_000_000);
+    assert_eq!(adv, Advance::Event);
+    assert_eq!(
+        engine.interactions() % 100,
+        0,
+        "advance must land on an epoch boundary"
+    );
+    // A limit inside an epoch clips the epoch exactly to the limit.
+    let now = engine.interactions();
+    let _ = engine.advance(now + 37);
+    assert!(engine.interactions() <= now + 37);
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Split ∘ merge is the identity on per-opinion counts, for any
+        /// configuration and shard count — the reconciliation layer can
+        /// never create or destroy agents of any opinion at rest.
+        #[test]
+        fn sharded_split_conserves_per_opinion_counts(
+            counts in proptest::collection::vec(0u64..500, 1..7),
+            undecided in 0u64..500,
+            shards in 1usize..9,
+        ) {
+            prop_assume!(counts.iter().sum::<u64>() + undecided > 0);
+            let config = Configuration::from_counts(counts, undecided).unwrap();
+            let shards = shards.min(config.population() as usize);
+            let populations = shard_populations(config.population(), shards);
+            let parts = split_configuration(&config, &populations);
+            for (part, &pop) in parts.iter().zip(&populations) {
+                prop_assert_eq!(part.population(), pop);
+                prop_assert!(part.is_consistent());
+            }
+            prop_assert_eq!(merge_configurations(&parts), config);
+        }
+
+        /// Epoch-sliced advancement conserves the population under arbitrary
+        /// shard counts, epoch lengths, and budget boundaries, and the
+        /// interaction counter respects every budget exactly.
+        #[test]
+        fn sharded_advance_conserves_population(
+            counts in proptest::collection::vec(0u64..200, 2..6),
+            undecided in 0u64..200,
+            shards in 1usize..6,
+            epoch in 1u64..300,
+            seed in 0u64..1_000,
+            budget in 1u64..20_000,
+        ) {
+            prop_assume!(counts.iter().sum::<u64>() + undecided > 0);
+            let config = Configuration::from_counts(counts, undecided).unwrap();
+            let k = config.num_opinions();
+            let population = config.population();
+            let plan = ShardPlan::new(shards).epoch_interactions(epoch);
+            let mut engine = ShardedEngine::new(
+                UndecidedStateDynamics::new(k),
+                config,
+                SimSeed::from_u64(seed),
+                &plan,
+            );
+            let mut last_interactions = 0u64;
+            loop {
+                let outcome = engine.advance(budget);
+                let now = StepEngine::interactions(&engine);
+                prop_assert!(now >= last_interactions, "interaction counter went backwards");
+                prop_assert!(now <= budget, "advance overshot the budget");
+                last_interactions = now;
+                prop_assert_eq!(engine.configuration().population(), population);
+                prop_assert!(engine.configuration().is_consistent());
+                // Shard-level conservation: merging the shards reproduces the
+                // engine's merged view.
+                let parts: Vec<Configuration> = (0..engine.num_shards())
+                    .map(|s| engine.shard_configuration(s).clone())
+                    .collect();
+                prop_assert_eq!(&merge_configurations(&parts), engine.configuration());
+                match outcome {
+                    Advance::Event => {}
+                    Advance::LimitReached | Advance::Absorbed => break,
+                }
+            }
+            prop_assert_eq!(last_interactions, budget);
+        }
+
+        /// The sharded and exact engines compute identical productive
+        /// probabilities from the same merged configuration.
+        #[test]
+        fn sharded_engine_agrees_on_productive_probability(
+            counts in proptest::collection::vec(0u64..500, 2..6),
+            undecided in 0u64..500,
+            shards in 1usize..6,
+        ) {
+            prop_assume!(counts.iter().sum::<u64>() + undecided > 0);
+            let config = Configuration::from_counts(counts, undecided).unwrap();
+            let k = config.num_opinions();
+            let exact = pp_core::CountSimulator::new(
+                UndecidedStateDynamics::new(k),
+                config.clone(),
+                SimSeed::from_u64(1),
+            );
+            let engine = ShardedEngine::new(
+                UndecidedStateDynamics::new(k),
+                config,
+                SimSeed::from_u64(1),
+                &ShardPlan::new(shards),
+            );
+            let a = exact.productive_probability();
+            let b = engine.productive_probability();
+            prop_assert!((a - b).abs() < 1e-12, "exact {} vs sharded {}", a, b);
+        }
+    }
+}
