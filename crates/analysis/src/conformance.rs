@@ -1,0 +1,353 @@
+//! Statistical-conformance checkers for simulation engines.
+//!
+//! Every fast stepping backend in this workspace (batched skip-ahead,
+//! sharded, closed-form conditional samplers) claims to induce the *same
+//! distribution* as a slower reference implementation.  Before this module
+//! the chi-squared machinery pinning those claims was re-derived ad hoc in
+//! each test file; it now lives here once, as three reusable checkers that
+//! work over any [`pp_core::StepEngine`] (or plain sampling closures):
+//!
+//! * **Trajectory pinning** ([`Conformance::pin_scalar`]) — compare a scalar
+//!   observable (consensus hitting time, budgeted support, …) collected from
+//!   many independently seeded runs of a reference and a candidate
+//!   implementation, via the two-sample chi-squared test on pooled quantile
+//!   bins.
+//! * **Single-event distribution** ([`Conformance::pin_counts`] +
+//!   [`EventTally`]) — compare the laws of one state-changing event: tally
+//!   `(from, to)` category transitions from both implementations and test
+//!   the binned counts directly.
+//! * **Conservation** ([`check_conservation`]) — drive any engine through
+//!   repeated [`pp_core::StepEngine::advance`] calls and verify the
+//!   structural invariants every backend must uphold: the population is
+//!   conserved, the configuration stays consistent, and the interaction
+//!   counter is monotone and respects the budget exactly.
+//!
+//! The defaults (48 runs, 6 quantile bins, `z = 3.09` ≈ `α = 0.001`) match
+//! the thresholds the engine-equivalence suites have used since the batched
+//! engine landed; with fixed seeds the checks are fully deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_analysis::conformance::Conformance;
+//!
+//! // Two deterministic "samplers" drawing from the same arithmetic pattern.
+//! let verdict = Conformance::default().runs(400).pin_scalar(
+//!     "same distribution",
+//!     |seed| f64::from(u32::try_from(seed % 97).unwrap()),
+//!     |seed| f64::from(u32::try_from((seed * 31) % 97).unwrap()),
+//! );
+//! assert!(verdict.passed());
+//! verdict.assert_consistent();
+//! ```
+
+use crate::stats::{chi_squared_binned, chi_squared_two_sample, ChiSquaredTest};
+use pp_core::engine::{Advance, StepEngine};
+
+/// Standard-normal quantile for the `α ≈ 0.001` acceptance threshold used
+/// across the equivalence suites.
+pub const Z_999: f64 = 3.09;
+
+/// Parameters of a conformance comparison: how many independently seeded
+/// samples to collect from each implementation, how many pooled quantile bins
+/// to use for scalar observables, and the acceptance quantile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conformance {
+    /// Samples collected per implementation (seeds `0..runs`).
+    pub runs: u64,
+    /// Pooled quantile bins for scalar observables.
+    pub bins: usize,
+    /// Standard-normal quantile of the acceptance threshold.
+    pub z: f64,
+}
+
+impl Default for Conformance {
+    fn default() -> Self {
+        Conformance {
+            runs: 48,
+            bins: 6,
+            z: Z_999,
+        }
+    }
+}
+
+/// The outcome of one conformance check: the chi-squared statistic together
+/// with the threshold it was judged against and a human-readable label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// What was compared (used in failure messages).
+    pub label: String,
+    /// The two-sample chi-squared test result.
+    pub test: ChiSquaredTest,
+    /// The standard-normal quantile of the acceptance threshold.
+    pub z: f64,
+}
+
+impl Verdict {
+    /// `true` when the two samples are consistent with one distribution at
+    /// the configured significance level.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.test.consistent_at(self.z)
+    }
+
+    /// A one-line description of the comparison, suitable for assertions.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: chi² = {:.2} vs critical {:.2} (df = {})",
+            self.label,
+            self.test.statistic,
+            self.test.critical_value(self.z),
+            self.test.degrees_of_freedom
+        )
+    }
+
+    /// Asserts the check passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full comparison description when the distributions
+    /// diverge.
+    pub fn assert_consistent(&self) {
+        assert!(self.passed(), "distributions diverge — {}", self.describe());
+    }
+}
+
+impl Conformance {
+    /// Shrinks/extends the number of runs.
+    #[must_use]
+    pub fn runs(mut self, runs: u64) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the number of pooled quantile bins for scalar observables.
+    #[must_use]
+    pub fn bins(mut self, bins: usize) -> Self {
+        self.bins = bins;
+        self
+    }
+
+    /// Pins a scalar observable of the candidate implementation to the
+    /// reference: both closures are invoked with seeds `0..runs` and must
+    /// return one observation per seed (hitting time, budgeted support, …).
+    pub fn pin_scalar(
+        &self,
+        label: &str,
+        mut reference: impl FnMut(u64) -> f64,
+        mut candidate: impl FnMut(u64) -> f64,
+    ) -> Verdict {
+        let a: Vec<f64> = (0..self.runs).map(&mut reference).collect();
+        let b: Vec<f64> = (0..self.runs).map(&mut candidate).collect();
+        Verdict {
+            label: label.to_string(),
+            test: chi_squared_binned(&a, &b, self.bins),
+            z: self.z,
+        }
+    }
+
+    /// Pins pre-binned categorical counts (winner identities, event
+    /// tallies, …) of the candidate to the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count slices differ in length or either is all-zero.
+    pub fn pin_counts(&self, label: &str, reference: &[u64], candidate: &[u64]) -> Verdict {
+        Verdict {
+            label: label.to_string(),
+            test: chi_squared_two_sample(reference, candidate),
+            z: self.z,
+        }
+    }
+}
+
+/// Tallies single-event `(from, to)` category transitions so the laws of two
+/// event samplers can be compared bin-by-bin with
+/// [`Conformance::pin_counts`].  Categories `0..k` are the opinions and `k`
+/// is the undecided state, mirroring [`pp_core::Configuration`]'s layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventTally {
+    categories: usize,
+    counts: Vec<u64>,
+}
+
+impl EventTally {
+    /// Creates an empty tally over `k` opinions (`k + 1` categories).
+    #[must_use]
+    pub fn new(num_opinions: usize) -> Self {
+        let categories = num_opinions + 1;
+        EventTally {
+            categories,
+            counts: vec![0; categories * categories],
+        }
+    }
+
+    /// Records one `(from, to)` transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either category is out of range.
+    pub fn record(&mut self, from: usize, to: usize) {
+        assert!(
+            from < self.categories && to < self.categories,
+            "category ({from}, {to}) out of range for {} categories",
+            self.categories
+        );
+        self.counts[from * self.categories + to] += 1;
+    }
+
+    /// The flat `(from, to)` count matrix, row-major by `from`.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total transitions recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// The structural invariants observed while driving an engine (see
+/// [`check_conservation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConservationReport {
+    /// State-changing events observed.
+    pub events: u64,
+    /// Interactions elapsed when the drive ended.
+    pub interactions: u64,
+    /// Whether the engine reported absorption.
+    pub absorbed: bool,
+}
+
+/// Drives `engine` to `budget` interactions through repeated
+/// [`StepEngine::advance`] calls, verifying after every call that the
+/// population is conserved, the configuration stays internally consistent,
+/// and the interaction counter is monotone and never overshoots the budget.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_conservation<E: StepEngine>(
+    engine: &mut E,
+    budget: u64,
+) -> Result<ConservationReport, String> {
+    let population = engine.configuration().population();
+    let mut last = engine.interactions();
+    let mut events = 0u64;
+    loop {
+        let outcome = engine.advance(budget);
+        let now = engine.interactions();
+        if now < last {
+            return Err(format!(
+                "interaction counter went backwards: {last} -> {now}"
+            ));
+        }
+        if now > budget {
+            return Err(format!("advance overshot the budget: {now} > {budget}"));
+        }
+        last = now;
+        if engine.configuration().population() != population {
+            return Err(format!(
+                "population changed: {population} -> {}",
+                engine.configuration().population()
+            ));
+        }
+        if !engine.configuration().is_consistent() {
+            return Err(format!(
+                "configuration became inconsistent: {}",
+                engine.configuration()
+            ));
+        }
+        match outcome {
+            Advance::Event => events += 1,
+            Advance::LimitReached | Advance::Absorbed => {
+                if now != budget {
+                    return Err(format!(
+                        "engine stopped at {now} interactions without reaching the budget {budget}"
+                    ));
+                }
+                return Ok(ConservationReport {
+                    events,
+                    interactions: now,
+                    absorbed: outcome == Advance::Absorbed,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{AgentState, Configuration, OpinionProtocol, SimSeed};
+
+    #[test]
+    fn scalar_pinning_accepts_identical_and_rejects_shifted_laws() {
+        let conf = Conformance::default().runs(400);
+        let same = conf.pin_scalar("same", |s| (s % 97) as f64, |s| ((s * 31) % 97) as f64);
+        assert!(same.passed());
+        same.assert_consistent();
+        let shifted = conf.pin_scalar("shifted", |s| (s % 97) as f64, |s| (s % 97) as f64 + 60.0);
+        assert!(!shifted.passed());
+        assert!(shifted.describe().contains("shifted"));
+    }
+
+    #[test]
+    #[should_panic(expected = "distributions diverge")]
+    fn assert_consistent_panics_with_the_label() {
+        Conformance::default()
+            .runs(400)
+            .pin_scalar("doomed", |s| (s % 7) as f64, |s| (s % 7) as f64 + 50.0)
+            .assert_consistent();
+    }
+
+    #[test]
+    fn event_tally_shapes_counts_for_the_count_pinning() {
+        let mut a = EventTally::new(2);
+        let mut b = EventTally::new(2);
+        for _ in 0..300 {
+            a.record(0, 1);
+            b.record(0, 1);
+            a.record(2, 0);
+            b.record(2, 0);
+        }
+        assert_eq!(a.total(), 600);
+        assert_eq!(a.counts().len(), 9);
+        let verdict = Conformance::default().pin_counts("tallies", a.counts(), b.counts());
+        assert!(verdict.passed());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn event_tally_rejects_out_of_range_categories() {
+        EventTally::new(2).record(3, 0);
+    }
+
+    /// A protocol whose responder always defects to the initiator's opinion.
+    #[derive(Debug)]
+    struct Adopt;
+
+    impl OpinionProtocol for Adopt {
+        fn num_opinions(&self) -> usize {
+            2
+        }
+        fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+            match i {
+                AgentState::Decided(_) => i,
+                AgentState::Undecided => r,
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_check_accepts_a_lawful_engine() {
+        let config = Configuration::from_counts(vec![60, 40], 0).unwrap();
+        let mut engine = pp_core::BatchedEngine::new(Adopt, config, SimSeed::from_u64(3));
+        let report = check_conservation(&mut engine, 20_000).expect("engine is lawful");
+        assert_eq!(report.interactions, 20_000);
+        assert!(report.events > 0 || report.absorbed);
+    }
+}

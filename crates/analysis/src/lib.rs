@@ -9,8 +9,12 @@
 //! * summarize measured data ([`stats`], [`histogram`]),
 //! * fit scaling laws against the paper's asymptotic predictions
 //!   ([`regression`]),
-//! * and check the analytic reductions themselves against simulation
-//!   ([`random_walk`], [`drift`], [`concentration`]).
+//! * check the analytic reductions themselves against simulation
+//!   ([`random_walk`], [`drift`], [`concentration`]),
+//! * and pin fast stepping backends to their reference implementations with
+//!   reusable statistical-conformance checkers ([`conformance`]:
+//!   trajectory pinning, single-event-distribution tallies, and conservation
+//!   drives over any `pp_core::StepEngine`).
 //!
 //! ## Example
 //!
@@ -34,12 +38,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod concentration;
+pub mod conformance;
 pub mod drift;
 pub mod histogram;
 pub mod random_walk;
 pub mod regression;
 pub mod stats;
 
+pub use conformance::{check_conservation, Conformance, EventTally, Verdict};
 pub use histogram::Histogram;
 pub use regression::{log_log_fit, LinearFit};
 pub use stats::{chi_squared_binned, chi_squared_two_sample, ChiSquaredTest, Summary};

@@ -4,6 +4,7 @@
 //! the USD workload (the acceptance metric of the engine layer), a
 //! shard-count sweep, the agent-level engine, and the gossip round engine.
 
+use consensus_dynamics::{MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pp_core::engine::StepEngine;
 use pp_core::{
@@ -193,6 +194,63 @@ fn sharded_engine_shard_counts(c: &mut Criterion) {
     group.finish();
 }
 
+/// Exact-vs-batched comparison for one multi-sample dynamic: full consensus
+/// runs through the sequential sampler, per-activation stepping against the
+/// geometric skip-ahead with the closed-form conditional sampler.
+fn sampling_dynamic_comparison<D: SamplingDynamics + Clone>(
+    c: &mut Criterion,
+    label: &str,
+    dynamics: D,
+    bias: f64,
+) {
+    let n = 1_000_000u64;
+    let k = dynamics.num_opinions();
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(bias)
+        .build(SimSeed::from_u64(BENCH_SEED))
+        .expect("bench workload is valid");
+    let budget = 4_000 * n * (k as u64);
+    let mut group = c.benchmark_group(format!("engine/sampling_skip_ahead_{label}"));
+    group.sample_size(3);
+    for batched in [false, true] {
+        let mode = if batched { "batched" } else { "exact" };
+        group.bench_with_input(BenchmarkId::new(mode, n), &batched, |b, &batched| {
+            b.iter_batched(
+                || {
+                    SequentialSampler::new(
+                        dynamics.clone(),
+                        config.clone(),
+                        SimSeed::from_u64(BENCH_SEED),
+                    )
+                },
+                |mut sim| {
+                    let stop = StopCondition::consensus().or_max_interactions(budget);
+                    let result = if batched {
+                        sim.require_skip_ahead()
+                            .expect("shipped dynamics provide skip-ahead hooks");
+                        sim.run_engine(stop)
+                    } else {
+                        sim.run(stop)
+                    };
+                    assert!(result.reached_consensus());
+                    result.interactions()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// The closed-form-conditionals acceptance benchmark: j-Majority and
+/// MedianRule consensus runs at n = 10⁶, per-activation vs skip-ahead, in
+/// the null-dominated regimes the conditional samplers target (two-opinion
+/// deep bias for 3-Majority, ordered central plurality for the MedianRule).
+fn sampling_dynamics_skip_ahead(c: &mut Criterion) {
+    sampling_dynamic_comparison(c, "3majority", ThreeMajority::new(2), 4.0);
+    sampling_dynamic_comparison(c, "median", MedianRule::new(5), 2.0);
+}
+
 fn gossip_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/gossip_round");
     group.sample_size(20);
@@ -219,6 +277,7 @@ criterion_group!(
     engine_consensus_run_comparison,
     batched_engine_endgame,
     sharded_engine_shard_counts,
+    sampling_dynamics_skip_ahead,
     agent_simulator_steps,
     gossip_rounds
 );

@@ -21,6 +21,37 @@
 //! [`SequentialSampler`]) or in synchronous gossip rounds
 //! ([`SynchronousRunner`]).
 //!
+//! ## Closed-form conditional sampling
+//!
+//! Every sampling dynamic opts into the sequential sampler's geometric
+//! skip-ahead by providing two closed forms
+//! ([`SamplingDynamics::null_activation_probability`] and
+//! [`SamplingDynamics::sample_productive_move`]): the exact probability that
+//! one activation changes nothing, and a direct draw of the productive
+//! `(current, new)` transition from its conditional law.  The common
+//! structure is that the adopted opinion depends only on the *samples*, so
+//! the productive pairs factorize as `count(current) × adoption-weight(new)`
+//! with the diagonal removed:
+//!
+//! * **Voter / TwoChoices** — adoption weights are single products of
+//!   counts (`x_b`, `x_b²·(n − x_b)`): pure integer arithmetic, `O(k)`.
+//! * **j-Majority / 3-Majority** — the adoption law `q_o` marginalizes the
+//!   multinomial sample composition through a chain of conditional
+//!   binomials (a small dynamic program over samples-left × ties, pruning
+//!   compositions where any rival exceeds the candidate's count); see
+//!   [`majority`] for the derivation.
+//! * **MedianRule** — order statistics reduce to prefix/suffix sums of the
+//!   counts: a decided agent moves only when both samples fall strictly on
+//!   one side of it, an undecided agent adopts its first decided sample;
+//!   see [`median`].  Pure `u128` integer arithmetic, `O(k)`.
+//!
+//! With the hooks in place the rejection fallback never fires — the
+//! `rejection misses` counter threaded through
+//! [`pp_core::RunResult::rejection_misses`] is pinned to 0 by the
+//! `conformance` integration suite, which also chi-squares each conditional
+//! sampler against its per-activation reference (via
+//! `pp_analysis::conformance`).
+//!
 //! ## Example
 //!
 //! ```

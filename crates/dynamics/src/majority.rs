@@ -1,9 +1,58 @@
 //! The 3-Majority and general j-Majority dynamics.
+//!
+//! # Closed-form conditional sampling
+//!
+//! The skip-ahead hooks ([`SamplingDynamics::null_activation_probability`] /
+//! [`SamplingDynamics::sample_productive_move`]) need the exact law of one
+//! activation.  The key observation is that the adopted opinion — when any is
+//! adopted — depends only on the *samples*, never on the activated agent:
+//! with `q_o = P(opinion o wins the j-sample majority with uniform
+//! tie-break)` and `π_c` the category fractions,
+//!
+//! * an activation is null iff every sample is undecided (`π_⊥^j`) or the
+//!   winning opinion equals the activated agent's own
+//!   (`Σ_o π_o·q_o`), and
+//! * the productive `(current, adopted)` pairs factorize: the pair `(s, o)`
+//!   with `s ≠ o` has weight `c_s · q_o`, so the conditional event draw is
+//!   "adopted opinion `o` proportional to `q_o·(n − c_o)`, then activated
+//!   category proportional to counts excluding `o`" — `O(k)` on top of the
+//!   `q` computation, no rejection loop.
+//!
+//! The `q_o` themselves are computed exactly (up to floating-point rounding)
+//! by marginalizing over sample compositions with the same
+//! conditional-binomial decomposition `pp_core::shard::multinomial` uses for
+//! count allocation: condition on `m_o = t ~ Binomial(j, π_o)`, then walk the
+//! remaining opinions as a chain of conditional binomials in a small dynamic
+//! program over (samples left, ties at `t`), pruning any branch where another
+//! opinion exceeds `t`; leftover samples are undecided and never affect the
+//! winner.  A tie among `1 + T` leaders contributes weight `1/(1 + T)`.  The
+//! cost is `O(k²·j³)` per evaluation — independent of how many null
+//! activations the engine skips.
 
 use crate::sampling::SamplingDynamics;
-use pp_core::AgentState;
+use pp_core::engine::uniform_u128_below;
+use pp_core::{AgentState, Configuration};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// `P(Binomial(n, p) = c)`, evaluated directly (exact for the tiny `n ≤ j`
+/// this module needs).
+fn binomial_pmf(n: usize, c: usize, p: f64) -> f64 {
+    if p <= 0.0 {
+        return if c == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if c == n { 1.0 } else { 0.0 };
+    }
+    let mut coeff = 1.0f64;
+    for i in 0..c {
+        coeff *= (n - i) as f64 / (i + 1) as f64;
+    }
+    #[allow(clippy::cast_possible_wrap)]
+    {
+        coeff * p.powi(c as i32) * (1.0 - p).powi((n - c) as i32)
+    }
+}
 
 /// The general j-Majority dynamic: the activated agent samples `j` agents and
 /// adopts the most frequent opinion among the decided samples, breaking ties
@@ -41,6 +90,104 @@ impl JMajority {
             opinions: k,
             samples: j,
         }
+    }
+
+    /// `P(opinion o wins the j-sample majority | m_o = t)`: the other
+    /// opinions are walked as a chain of conditional binomials in a dynamic
+    /// program over `(samples left, ties at t)`; branches where any other
+    /// opinion exceeds `t` are pruned, leftover samples are undecided, and a
+    /// `1 + T`-way tie contributes `1/(1 + T)`.
+    ///
+    /// `states`/`scratch` are caller-provided buffers of size
+    /// `(j − t + 1) · k` laid out as `[samples left][ties]`.
+    fn win_given_count(
+        &self,
+        o: usize,
+        t: usize,
+        pi: &[f64],
+        states: &mut [f64],
+        scratch: &mut [f64],
+    ) -> f64 {
+        let k = self.opinions;
+        let r0 = self.samples - t;
+        let width = k.max(1);
+        let cells = (r0 + 1) * width;
+        let (states, scratch) = (&mut states[..cells], &mut scratch[..cells]);
+        states.fill(0.0);
+        states[r0 * width] = 1.0;
+        // Probability mass of the categories not yet walked (remaining
+        // opinions plus undecided), for the conditional-binomial chain.
+        let mut mass_left = 1.0 - pi[o];
+        for (i, &pi_i) in pi.iter().enumerate() {
+            if i == o {
+                continue;
+            }
+            let p = if mass_left > 0.0 {
+                (pi_i / mass_left).min(1.0)
+            } else {
+                0.0
+            };
+            mass_left -= pi_i;
+            if pi_i == 0.0 {
+                continue;
+            }
+            scratch.fill(0.0);
+            for r in 0..=r0 {
+                for ties in 0..width {
+                    let w = states[r * width + ties];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    // Branches where opinion i draws more than t samples can
+                    // never let o win; they are dropped, not transitioned.
+                    for c in 0..=r.min(t) {
+                        let pb = binomial_pmf(r, c, p);
+                        if pb == 0.0 {
+                            continue;
+                        }
+                        let nt = ties + usize::from(c == t);
+                        scratch[(r - c) * width + nt.min(width - 1)] += w * pb;
+                    }
+                }
+            }
+            states.copy_from_slice(scratch);
+        }
+        // Whatever samples remain are undecided: every surviving branch is a
+        // win, shared uniformly among the 1 + T tied leaders.
+        let mut win = 0.0;
+        for r in 0..=r0 {
+            for ties in 0..width {
+                win += states[r * width + ties] / (ties + 1) as f64;
+            }
+        }
+        win
+    }
+
+    /// The exact adoption law of one activation: `q[o] = P(opinion o is
+    /// adopted)`, marginalized over sample compositions (see the module
+    /// docs).  `Σ_o q[o] = 1 − π_⊥^j` up to floating-point rounding.
+    fn adoption_probabilities(&self, config: &Configuration) -> Vec<f64> {
+        let k = self.opinions;
+        let j = self.samples;
+        let n = config.population() as f64;
+        let pi: Vec<f64> = (0..k).map(|i| config.support(i) as f64 / n).collect();
+        let cells = (j + 1) * k.max(1);
+        let mut states = vec![0.0; cells];
+        let mut scratch = vec![0.0; cells];
+        let mut q = vec![0.0; k];
+        for o in 0..k {
+            if pi[o] == 0.0 {
+                continue;
+            }
+            for t in 1..=j {
+                let pm = binomial_pmf(j, t, pi[o]);
+                if pm == 0.0 {
+                    continue;
+                }
+                q[o] += pm * self.win_given_count(o, t, &pi, &mut states, &mut scratch);
+            }
+        }
+        q
     }
 }
 
@@ -86,6 +233,72 @@ impl SamplingDynamics for JMajority {
     fn name(&self) -> &str {
         "j-majority"
     }
+
+    /// Closed form (module docs): null iff every sample is undecided or the
+    /// winning opinion matches the activated agent's own —
+    /// `π_⊥^j + Σ_o π_o·q_o`.
+    fn null_activation_probability(&self, config: &Configuration) -> Option<f64> {
+        let n = config.population() as f64;
+        let q = self.adoption_probabilities(config);
+        #[allow(clippy::cast_possible_wrap)]
+        let mut p_null = (config.undecided() as f64 / n).powi(self.samples as i32);
+        for (o, &qo) in q.iter().enumerate() {
+            p_null += config.support(o) as f64 / n * qo;
+        }
+        Some(p_null.clamp(0.0, 1.0))
+    }
+
+    /// Closed form (module docs): the adopted opinion and the activated
+    /// agent are independent given the activation is productive, so draw
+    /// `o ∝ q_o·(n − c_o)` and then the activated category `∝ c_s`, `s ≠ o`.
+    fn sample_productive_move<R: Rng + ?Sized>(
+        &self,
+        config: &Configuration,
+        rng: &mut R,
+    ) -> Option<(AgentState, AgentState)> {
+        let k = config.num_opinions();
+        let n = config.population();
+        let q = self.adoption_probabilities(config);
+        let rows: Vec<f64> = (0..k)
+            .map(|o| q[o] * (n - config.support(o)) as f64)
+            .collect();
+        let total: f64 = rows.iter().sum();
+        debug_assert!(total > 0.0, "no productive activation exists");
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut winner = None;
+        for (o, &row) in rows.iter().enumerate() {
+            if row <= 0.0 {
+                continue;
+            }
+            // Remember the last eligible row so floating-point shortfall in
+            // the running subtraction can never fall off the end.
+            winner = Some(o);
+            if target < row {
+                break;
+            }
+            target -= row;
+        }
+        let winner = winner.expect("a positive total implies an eligible row");
+        let c_winner = config.support(winner);
+        let mut ctarget = uniform_u128_below(rng, u128::from(n - c_winner));
+        for cat in 0..=k {
+            if cat == winner {
+                continue;
+            }
+            let c = u128::from(config.category_count(cat));
+            if ctarget < c {
+                return Some((
+                    AgentState::from_category(cat, k),
+                    AgentState::decided(winner),
+                ));
+            }
+            ctarget -= c;
+        }
+        unreachable!("activated-agent weight exceeded the available counts")
+    }
 }
 
 /// The 3-Majority dynamic (`j = 3`), analyzed by Becchetti et al. and
@@ -129,6 +342,18 @@ impl SamplingDynamics for ThreeMajority {
 
     fn name(&self) -> &str {
         "3-majority"
+    }
+
+    fn null_activation_probability(&self, config: &Configuration) -> Option<f64> {
+        self.inner.null_activation_probability(config)
+    }
+
+    fn sample_productive_move<R: Rng + ?Sized>(
+        &self,
+        config: &Configuration,
+        rng: &mut R,
+    ) -> Option<(AgentState, AgentState)> {
+        self.inner.sample_productive_move(config, rng)
     }
 }
 
@@ -207,6 +432,156 @@ mod tests {
             "rounds = {}",
             result.interactions()
         );
+    }
+
+    /// Brute-force adoption law by enumerating all `(k+1)^j` ordered sample
+    /// vectors and averaging `update`'s tie-break over many RNG draws would
+    /// be noisy; instead enumerate compositions implicitly by recursing over
+    /// ordered samples and computing the tie-break weight analytically.
+    fn brute_force_adoption(config: &Configuration, j: usize) -> Vec<f64> {
+        let k = config.num_opinions();
+        let n = config.population() as f64;
+        let mut q = vec![0.0; k];
+        let mut counts = vec![0u32; k];
+        fn recurse(
+            config: &Configuration,
+            n: f64,
+            j_left: usize,
+            weight: f64,
+            counts: &mut Vec<u32>,
+            q: &mut [f64],
+        ) {
+            let k = config.num_opinions();
+            if j_left == 0 {
+                let best = counts.iter().copied().max().unwrap_or(0);
+                if best == 0 {
+                    return;
+                }
+                let ties = counts.iter().filter(|&&c| c == best).count();
+                for (o, &c) in counts.iter().enumerate() {
+                    if c == best {
+                        q[o] += weight / ties as f64;
+                    }
+                }
+                return;
+            }
+            for cat in 0..=k {
+                let p = config.category_count(cat) as f64 / n;
+                if p == 0.0 {
+                    continue;
+                }
+                if cat < k {
+                    counts[cat] += 1;
+                }
+                recurse(config, n, j_left - 1, weight * p, counts, q);
+                if cat < k {
+                    counts[cat] -= 1;
+                }
+            }
+        }
+        recurse(config, n, j, 1.0, &mut counts, &mut q);
+        q
+    }
+
+    #[test]
+    fn adoption_probabilities_match_brute_force_enumeration() {
+        for (counts, undecided, j) in [
+            (vec![5, 3], 2u64, 3usize),
+            (vec![5, 3], 2, 5),
+            (vec![7, 0, 2, 1], 4, 3),
+            (vec![1, 2, 3, 4, 5], 0, 5),
+            (vec![10, 1], 0, 7),
+            (vec![2, 2, 2], 3, 4),
+        ] {
+            let config = Configuration::from_counts(counts, undecided).unwrap();
+            let m = JMajority::new(config.num_opinions(), j);
+            let q = m.adoption_probabilities(&config);
+            let brute = brute_force_adoption(&config, j);
+            for (o, (&a, &b)) in q.iter().zip(&brute).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "q[{o}] = {a} vs brute force {b} at {config}, j = {j}"
+                );
+            }
+            // The adoption law is a sub-probability missing only the
+            // all-undecided mass.
+            let n = config.population() as f64;
+            #[allow(clippy::cast_possible_wrap)]
+            let p_none = (config.undecided() as f64 / n).powi(j as i32);
+            assert!((q.iter().sum::<f64>() + p_none - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn null_probability_matches_empirical_null_frequency() {
+        let config = Configuration::from_counts(vec![40, 25, 15], 20).unwrap();
+        let m = JMajority::new(3, 3);
+        let p = m.null_activation_probability(&config).unwrap();
+        let mut rng = SimSeed::from_u64(33).rng();
+        let trials = 200_000u32;
+        let mut nulls = 0u32;
+        let n = config.population();
+        let sample = |rng: &mut rand::rngs::SmallRng| {
+            let mut target = rng.gen_range(0..n);
+            for cat in 0..=3usize {
+                let c = config.category_count(cat);
+                if target < c {
+                    return AgentState::from_category(cat, 3);
+                }
+                target -= c;
+            }
+            unreachable!()
+        };
+        for _ in 0..trials {
+            let current = sample(&mut rng);
+            let samples = [sample(&mut rng), sample(&mut rng), sample(&mut rng)];
+            if m.update(current, &samples, &mut rng) == current {
+                nulls += 1;
+            }
+        }
+        let empirical = f64::from(nulls) / f64::from(trials);
+        assert!(
+            (p - empirical).abs() < 0.005,
+            "closed form {p} vs empirical {empirical}"
+        );
+    }
+
+    #[test]
+    fn conditional_moves_are_productive_and_consistent() {
+        let config = Configuration::from_counts(vec![30, 20, 10], 15).unwrap();
+        let m = JMajority::new(3, 5);
+        let mut rng = SimSeed::from_u64(9).rng();
+        for _ in 0..2_000 {
+            let (from, to) = m.sample_productive_move(&config, &mut rng).unwrap();
+            assert_ne!(from, to);
+            assert!(to.is_decided(), "majority moves always adopt an opinion");
+            let mut c = config.clone();
+            c.apply_move(from, to).expect("move must be applicable");
+        }
+    }
+
+    #[test]
+    fn skip_ahead_runs_to_consensus_with_zero_rejection_misses() {
+        use pp_core::engine::StepEngine;
+        let config = Configuration::from_counts(vec![500, 300, 200], 0).unwrap();
+        let mut sim = SequentialSampler::new(ThreeMajority::new(3), config, SimSeed::from_u64(21));
+        let result = sim.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+        assert_eq!(result.rejection_misses(), Some(0));
+        assert_eq!(sim.rejection_fallbacks(), 0);
+    }
+
+    #[test]
+    fn j_equals_one_matches_the_voter_closed_form() {
+        // j = 1 j-Majority is the Voter process; their null probabilities
+        // must agree exactly.
+        use crate::voter::Voter;
+        let config = Configuration::from_counts(vec![300, 200], 500).unwrap();
+        let m = JMajority::new(2, 1)
+            .null_activation_probability(&config)
+            .unwrap();
+        let v = Voter::new(2).null_activation_probability(&config).unwrap();
+        assert!((m - v).abs() < 1e-12, "j-majority {m} vs voter {v}");
     }
 
     #[test]

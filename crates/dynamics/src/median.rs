@@ -1,7 +1,34 @@
 //! The MedianRule of Doerr et al.
+//!
+//! # Closed-form conditional sampling
+//!
+//! Unlike the j-Majority, the MedianRule's activation law has a *purely
+//! integer* closed form, because the median only compares samples against the
+//! activated agent's position in the opinion order.  Writing `c_i` for the
+//! opinion counts, `u` for the undecided count, `L_x = Σ_{i<x} c_i` and
+//! `G_x = Σ_{i>x} c_i`:
+//!
+//! * a *decided* agent `x` moves iff **both** samples are decided strictly
+//!   below `x` (it adopts their maximum) or **both** strictly above (their
+//!   minimum) — mixed, equal, or undecided samples leave it at `x` (the
+//!   median of `{x, x, b}` is always `x`).  Productive weight: `c_x·(L_x² +
+//!   G_x²)` out of `n²` ordered sample pairs per activation choice;
+//! * an *undecided* agent adopts the first decided sample, so every pair
+//!   with at least one decided sample is productive: weight `u·(n² − u²)`.
+//!
+//! Total productive weight `W = Σ_x c_x·(L_x² + G_x²) + u·(n² − u²)` over
+//! `n³` activation triples gives the null probability `1 − W/n³`, and the
+//! conditional event draw decomposes into exact integer sub-draws: responder
+//! category proportional to its row, then (for decided responders) the
+//! below/above branch and the adopted opinion `m` with weight
+//! `C_{≤m}² − C_{<m}²` (the number of ordered pairs whose max is `m`), all
+//! via prefix/suffix sums in `O(k)` — no rejection loop, no floating point.
+//! Counts are multiplied three deep, so `u128` arithmetic is exact for every
+//! population below ~6·10¹² agents.
 
 use crate::sampling::SamplingDynamics;
-use pp_core::AgentState;
+use pp_core::engine::uniform_u128_below;
+use pp_core::{AgentState, Configuration};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +67,39 @@ impl MedianRule {
         v.sort_unstable();
         v[1]
     }
+
+    /// Per-opinion strict prefix sums `L_x = Σ_{i<x} c_i` and suffix sums
+    /// `G_x = Σ_{i>x} c_i`.
+    fn prefix_suffix(config: &Configuration) -> (Vec<u128>, Vec<u128>) {
+        let k = config.num_opinions();
+        let mut below = vec![0u128; k];
+        let mut above = vec![0u128; k];
+        let mut acc = 0u128;
+        for (x, slot) in below.iter_mut().enumerate() {
+            *slot = acc;
+            acc += u128::from(config.support(x));
+        }
+        acc = 0;
+        for (x, slot) in above.iter_mut().enumerate().rev() {
+            *slot = acc;
+            acc += u128::from(config.support(x));
+        }
+        (below, above)
+    }
+
+    /// Total weight of productive activation triples (module docs) out of
+    /// `n³`.
+    fn productive_weight(config: &Configuration) -> u128 {
+        let (below, above) = Self::prefix_suffix(config);
+        let n = u128::from(config.population());
+        let u = u128::from(config.undecided());
+        let mut total = u * (n * n - u * u);
+        for x in 0..config.num_opinions() {
+            let c = u128::from(config.support(x));
+            total += c * (below[x] * below[x] + above[x] * above[x]);
+        }
+        total
+    }
 }
 
 impl SamplingDynamics for MedianRule {
@@ -76,6 +136,97 @@ impl SamplingDynamics for MedianRule {
 
     fn name(&self) -> &str {
         "median rule"
+    }
+
+    /// Closed form (module docs): `1 − W/n³` with `W` the integer productive
+    /// weight.
+    fn null_activation_probability(&self, config: &Configuration) -> Option<f64> {
+        let n = config.population() as f64;
+        let p = 1.0 - Self::productive_weight(config) as f64 / (n * n * n);
+        Some(p.clamp(0.0, 1.0))
+    }
+
+    /// Closed form (module docs): all sub-draws are exact integer draws over
+    /// prefix/suffix pair counts — `O(k)` per event, no rejection loop.
+    fn sample_productive_move<R: Rng + ?Sized>(
+        &self,
+        config: &Configuration,
+        rng: &mut R,
+    ) -> Option<(AgentState, AgentState)> {
+        let k = config.num_opinions();
+        let n = u128::from(config.population());
+        let u = u128::from(config.undecided());
+        let d = n - u;
+        let (below, above) = Self::prefix_suffix(config);
+        let mut total = u * (n * n - u * u);
+        for x in 0..k {
+            let c = u128::from(config.support(x));
+            total += c * (below[x] * below[x] + above[x] * above[x]);
+        }
+        debug_assert!(total > 0, "no productive activation exists");
+        if total == 0 {
+            return None;
+        }
+        let mut target = uniform_u128_below(rng, total);
+
+        // Undecided responder: weight u·(n² − u²) = u·d·(n + u); the adopted
+        // opinion is the first decided sample, b ∝ c_b·(n + u).
+        let undecided_row = u * d * (n + u);
+        if target < undecided_row {
+            let mut btarget = target % (d * (n + u)) / (n + u);
+            for b in 0..k {
+                let c = u128::from(config.support(b));
+                if btarget < c {
+                    return Some((AgentState::Undecided, AgentState::decided(b)));
+                }
+                btarget -= c;
+            }
+            unreachable!("first-sample weight exceeded the decided count");
+        }
+        target -= undecided_row;
+
+        // Decided responder x: row c_x·(L_x² + G_x²); the remainder modulo
+        // the pair weight is an exact uniform draw of the sample pair.
+        for x in 0..k {
+            let c_x = u128::from(config.support(x));
+            let pairs = below[x] * below[x] + above[x] * above[x];
+            let row = c_x * pairs;
+            if target >= row {
+                target -= row;
+                continue;
+            }
+            let mut inner = target % pairs;
+            if inner < below[x] * below[x] {
+                // Both samples strictly below x: adopt their maximum m, with
+                // weight (C_{≤m}² − C_{<m}²) ordered pairs.
+                let mut prefix = 0u128;
+                for m in 0..x {
+                    let c_m = u128::from(config.support(m));
+                    let w = (prefix + c_m) * (prefix + c_m) - prefix * prefix;
+                    if inner < w {
+                        return Some((AgentState::decided(x), AgentState::decided(m)));
+                    }
+                    inner -= w;
+                    prefix += c_m;
+                }
+                unreachable!("below-pair weight exceeded L_x²");
+            }
+            // Both samples strictly above x: adopt their minimum m, with
+            // weight (D_{≥m}² − D_{>m}²) ordered pairs.
+            inner -= below[x] * below[x];
+            let mut suffix = 0u128;
+            for m in (x + 1..k).rev() {
+                let c_m = u128::from(config.support(m));
+                let w = (suffix + c_m) * (suffix + c_m) - suffix * suffix;
+                if inner < w {
+                    return Some((AgentState::decided(x), AgentState::decided(m)));
+                }
+                inner -= w;
+                suffix += c_m;
+            }
+            unreachable!("above-pair weight exceeded G_x²");
+        }
+        unreachable!("productive weight exceeded the row sums")
     }
 }
 
@@ -161,6 +312,85 @@ mod tests {
         assert!(result.reached_consensus());
         // The median rule converges toward a central/plurality opinion; with a
         // strong central plurality it should pick opinion 1.
+        assert_eq!(result.winner().unwrap().index(), 1);
+    }
+
+    /// Draws one category proportionally to counts.
+    fn sample_cat(config: &Configuration, rng: &mut rand::rngs::SmallRng) -> AgentState {
+        let k = config.num_opinions();
+        let mut target = rng.gen_range(0..config.population());
+        for cat in 0..=k {
+            let c = config.category_count(cat);
+            if target < c {
+                return AgentState::from_category(cat, k);
+            }
+            target -= c;
+        }
+        unreachable!()
+    }
+
+    #[test]
+    fn null_probability_matches_empirical_null_frequency() {
+        let config = Configuration::from_counts(vec![25, 40, 10, 15], 10).unwrap();
+        let m = MedianRule::new(4);
+        let p = m.null_activation_probability(&config).unwrap();
+        let mut rng = SimSeed::from_u64(5).rng();
+        let trials = 200_000u32;
+        let mut nulls = 0u32;
+        for _ in 0..trials {
+            let current = sample_cat(&config, &mut rng);
+            let samples = [sample_cat(&config, &mut rng), sample_cat(&config, &mut rng)];
+            if m.update(current, &samples, &mut rng) == current {
+                nulls += 1;
+            }
+        }
+        let empirical = f64::from(nulls) / f64::from(trials);
+        assert!(
+            (p - empirical).abs() < 0.005,
+            "closed form {p} vs empirical {empirical}"
+        );
+    }
+
+    #[test]
+    fn null_probability_is_one_exactly_at_absorbing_configurations() {
+        // Consensus and the all-undecided freeze are the only absorbing
+        // states; the closed form must hit 1 exactly so the engine reports
+        // absorption instead of sampling from an empty conditional.
+        let m = MedianRule::new(3);
+        let consensus = Configuration::from_counts(vec![0, 50, 0], 0).unwrap();
+        assert_eq!(m.null_activation_probability(&consensus), Some(1.0));
+        let frozen = Configuration::from_counts(vec![0, 0, 0], 50).unwrap();
+        assert_eq!(m.null_activation_probability(&frozen), Some(1.0));
+    }
+
+    #[test]
+    fn conditional_moves_are_productive_and_consistent() {
+        let config = Configuration::from_counts(vec![20, 35, 5, 25], 15).unwrap();
+        let m = MedianRule::new(4);
+        let mut rng = SimSeed::from_u64(11).rng();
+        for _ in 0..2_000 {
+            let (from, to) = m.sample_productive_move(&config, &mut rng).unwrap();
+            assert_ne!(from, to);
+            assert!(to.is_decided(), "median moves always adopt an opinion");
+            if let (Some(f), Some(t)) = (from.opinion(), to.opinion()) {
+                // A decided agent only ever moves to a strictly lower or
+                // strictly higher opinion (the median landed off its own).
+                assert_ne!(f.index(), t.index());
+            }
+            let mut c = config.clone();
+            c.apply_move(from, to).expect("move must be applicable");
+        }
+    }
+
+    #[test]
+    fn skip_ahead_runs_to_consensus_with_zero_rejection_misses() {
+        use pp_core::engine::StepEngine;
+        let config = Configuration::from_counts(vec![150, 500, 150, 100, 100], 0).unwrap();
+        let mut sim = SequentialSampler::new(MedianRule::new(5), config, SimSeed::from_u64(14));
+        let result = sim.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(result.reached_consensus());
+        assert_eq!(result.rejection_misses(), Some(0));
+        assert_eq!(sim.rejection_fallbacks(), 0);
         assert_eq!(result.winner().unwrap().index(), 1);
     }
 

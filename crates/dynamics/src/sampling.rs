@@ -68,6 +68,17 @@ pub trait SamplingDynamics {
         let _ = (config, rng);
         None
     }
+
+    /// Whether this dynamic provides the closed-form skip-ahead hook for the
+    /// given configuration — i.e. whether
+    /// [`null_activation_probability`](SamplingDynamics::null_activation_probability)
+    /// returns `Some`.  Consumers that let the user *request* batched
+    /// stepping explicitly (`usd_run --engine batched`, the throughput
+    /// experiments) use this to fail with a clear diagnostic instead of
+    /// silently falling back to per-activation stepping.
+    fn supports_skip_ahead(&self, config: &Configuration) -> bool {
+        self.null_activation_probability(config).is_some()
+    }
 }
 
 /// Asynchronous (sequential) execution of a sampling dynamic over the count
@@ -155,6 +166,30 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
     #[must_use]
     pub fn rejection_fallbacks(&self) -> u64 {
         self.rejection_fallbacks
+    }
+
+    /// Verifies the dynamic opts into geometric skip-ahead, for consumers
+    /// where the batched backend was *requested* rather than opportunistic.
+    ///
+    /// [`StepEngine::advance`] transparently falls back to per-activation
+    /// stepping when the dynamic provides no
+    /// [`SamplingDynamics::null_activation_probability`] — correct, but a
+    /// silent no-op as an optimization.  Call this first when the user asked
+    /// for batched stepping explicitly so they get a diagnostic instead of
+    /// quietly paying exact-engine cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::UnsupportedEngine`] when the dynamic lacks the
+    /// skip-ahead hook.
+    pub fn require_skip_ahead(&self) -> Result<(), PpError> {
+        if self.dynamics.supports_skip_ahead(&self.config) {
+            Ok(())
+        } else {
+            Err(PpError::UnsupportedEngine {
+                requested: "batched",
+            })
+        }
     }
 
     /// How many unproductive draws the rejection fallback discarded — the
@@ -608,6 +643,26 @@ mod tests {
         assert!(result.reached_consensus());
         assert_eq!(result.rejection_misses(), Some(0));
         assert_eq!(sim.rejection_fallbacks(), 0);
+    }
+
+    #[test]
+    fn explicit_batched_requests_are_rejected_without_hooks() {
+        // AdoptFirst has no skip-ahead hook: the opportunistic engine falls
+        // back silently, but an explicit batched request must fail loudly.
+        let config = Configuration::from_counts(vec![80, 20], 0).unwrap();
+        let sim = SequentialSampler::new(AdoptFirst { k: 2 }, config.clone(), SimSeed::from_u64(7));
+        assert!(!sim.dynamics().supports_skip_ahead(&config));
+        let err = sim.require_skip_ahead().unwrap_err();
+        assert!(matches!(
+            err,
+            PpError::UnsupportedEngine {
+                requested: "batched"
+            }
+        ));
+        // Dynamics with hooks pass the same gate.
+        use crate::voter::Voter;
+        let sim = SequentialSampler::new(Voter::new(2), config, SimSeed::from_u64(7));
+        assert!(sim.require_skip_ahead().is_ok());
     }
 
     #[test]

@@ -1,20 +1,63 @@
-//! A small command-line tool for running a single USD simulation and dumping
+//! A small command-line tool for running a single simulation and dumping
 //! its trajectory as CSV — handy for plotting individual runs.
 //!
 //! ```text
 //! usd_run --n 100000 --k 10 --bias-mult 2.0 [--mult-bias 1.5] [--undecided 0.2]
-//!         [--engine exact|batched|sharded|mean-field] [--shards 8] [--epoch 1000000]
-//!         [--seed 7] [--samples 500] [--output trajectory.csv]
+//!         [--dynamic usd|voter|two-choices|3-majority|j-majority|median]
+//!         [--j 5] [--engine exact|batched|sharded|mean-field] [--shards 8]
+//!         [--epoch 1000000] [--seed 7] [--samples 500] [--output trajectory.csv]
 //! ```
 //!
 //! Exactly one of `--bias-mult` (additive bias in `sqrt(n ln n)` units) or
 //! `--mult-bias` (multiplicative factor) may be given; with neither the run
 //! starts from the uniform configuration.
+//!
+//! `--dynamic` selects the process: the USD (default, all four engines) or
+//! one of the baseline sampling dynamics, which run through the sequential
+//! sampler with `--engine exact` (per-activation stepping) or
+//! `--engine batched` (geometric skip-ahead over null activations — every
+//! shipped dynamic now provides the closed-form conditional samplers this
+//! needs; requesting it for a dynamic without the hooks is a hard error, not
+//! a silent fallback).  The sharded and mean-field backends are USD-only:
+//! sampling dynamics touch `j` agents per activation, so the pairwise
+//! cross-shard reconciliation and the USD's ODE limit do not apply.
 
-use pp_core::{EngineChoice, ShardPlan, SimSeed, StopCondition};
+use consensus_dynamics::{
+    JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority, TwoChoices, Voter,
+};
+use pp_core::engine::StepEngine;
+use pp_core::{Configuration, EngineChoice, RunResult, ShardPlan, SimSeed, StopCondition};
 use pp_workloads::InitialConfig;
 use std::process::ExitCode;
 use usd_core::{Phase, PhaseTracker, Trajectory, UsdSimulator};
+
+/// Which process the run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dynamic {
+    Usd,
+    Voter,
+    TwoChoices,
+    ThreeMajority,
+    JMajority,
+    Median,
+}
+
+impl Dynamic {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "usd" => Ok(Dynamic::Usd),
+            "voter" => Ok(Dynamic::Voter),
+            "two-choices" => Ok(Dynamic::TwoChoices),
+            "3-majority" => Ok(Dynamic::ThreeMajority),
+            "j-majority" => Ok(Dynamic::JMajority),
+            "median" => Ok(Dynamic::Median),
+            other => Err(format!(
+                "unknown dynamic {other:?} (expected usd, voter, two-choices, 3-majority, \
+                 j-majority, or median)"
+            )),
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Options {
@@ -23,6 +66,8 @@ struct Options {
     additive_mult: Option<f64>,
     mult_bias: Option<f64>,
     undecided: f64,
+    dynamic: Dynamic,
+    majority_samples: usize,
     engine: EngineChoice,
     shards: Option<usize>,
     epoch: Option<u64>,
@@ -39,6 +84,8 @@ impl Default for Options {
             additive_mult: None,
             mult_bias: None,
             undecided: 0.0,
+            dynamic: Dynamic::Usd,
+            majority_samples: 3,
             engine: EngineChoice::Exact,
             shards: None,
             epoch: None,
@@ -51,6 +98,7 @@ impl Default for Options {
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
+    let mut j_given = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -82,6 +130,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--undecided: {e}"))?
             }
+            "--dynamic" => opts.dynamic = Dynamic::parse(&value(&mut i)?)?,
+            "--j" => {
+                j_given = true;
+                opts.majority_samples = value(&mut i)?.parse().map_err(|e| format!("--j: {e}"))?
+            }
             "--engine" => {
                 opts.engine = value(&mut i)?
                     .parse()
@@ -110,7 +163,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--output" => opts.output = Some(value(&mut i)?),
             "--help" | "-h" => return Err(
                 "usage: usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
-                     [--undecided <fraction>] [--engine exact|batched|sharded|mean-field] \
+                     [--undecided <fraction>] \
+                     [--dynamic usd|voter|two-choices|3-majority|j-majority|median] [--j <samples>] \
+                     [--engine exact|batched|sharded|mean-field] \
                      [--shards <count>] [--epoch <interactions>] [--seed <u64>] \
                      [--samples <count>] [--output <csv>]"
                     .to_string(),
@@ -124,6 +179,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.samples == 0 {
         return Err("--samples must be positive".to_string());
+    }
+    if opts.majority_samples == 0 {
+        return Err("--j must be positive".to_string());
+    }
+    if j_given && opts.dynamic != Dynamic::JMajority {
+        return Err("--j only applies to --dynamic j-majority".to_string());
+    }
+    if opts.dynamic != Dynamic::Usd
+        && matches!(opts.engine, EngineChoice::Sharded | EngineChoice::MeanField)
+    {
+        return Err(format!(
+            "the {} engine only drives the USD: sampling dynamics update from j-agent \
+             samples, so the pairwise cross-shard reconciliation and the USD's ODE limit \
+             do not apply — use --engine exact or --engine batched",
+            opts.engine
+        ));
     }
     if (opts.shards.is_some() || opts.epoch.is_some()) && opts.engine != EngineChoice::Sharded {
         return Err("--shards/--epoch require --engine sharded".to_string());
@@ -146,6 +217,43 @@ fn shard_plan(spec: &InitialConfig, opts: &Options) -> ShardPlan {
         plan = plan.epoch_interactions(epoch);
     }
     plan
+}
+
+/// Runs one baseline sampling dynamic through the sequential sampler on the
+/// requested backend, feeding the trajectory recorder.
+///
+/// `--engine exact` steps per activation; `--engine batched` verifies the
+/// dynamic opts into geometric skip-ahead first, so a dynamic without the
+/// closed-form hooks is a clear diagnostic rather than a silent fallback.
+fn run_sampling_dynamic<D: SamplingDynamics>(
+    dynamics: D,
+    config: Configuration,
+    seed: SimSeed,
+    engine: EngineChoice,
+    budget: u64,
+    trajectory: &mut Trajectory,
+) -> Result<RunResult, String> {
+    let name = dynamics.name().to_string();
+    let mut sim = SequentialSampler::try_new(dynamics, config, seed).map_err(|e| e.to_string())?;
+    let stop = StopCondition::consensus().or_max_interactions(budget);
+    eprintln!("dynamic: {name}; step engine: {engine}");
+    let result = match engine {
+        EngineChoice::Exact => sim.run_recorded(stop, trajectory),
+        EngineChoice::Batched => {
+            sim.require_skip_ahead().map_err(|e| {
+                format!(
+                    "{e}: the {name} dynamic provides no closed-form skip-ahead hooks \
+                     — use --engine exact"
+                )
+            })?;
+            sim.run_engine_recorded(stop, trajectory)
+        }
+        other => unreachable!("parse_args rejects {other} for sampling dynamics"),
+    };
+    if let Some(misses) = result.rejection_misses() {
+        eprintln!("rejection misses: {misses}");
+    }
+    Ok(result)
 }
 
 fn main() -> ExitCode {
@@ -185,26 +293,84 @@ fn main() -> ExitCode {
     let n_f = opts.n as f64;
     let budget = (400.0 * opts.k as f64 * n_f * n_f.ln()) as u64 + 10_000_000;
     let sample_period = (budget / opts.samples).max(1).min(opts.n.max(1));
-    let plan = shard_plan(&spec, &opts);
-    let mut sim = UsdSimulator::with_engine_plan(config, seed.child(1), spec.engine_choice(), plan);
-    match sim.engine_choice() {
-        EngineChoice::Sharded => eprintln!(
-            "step engine: sharded ({} shards, epoch {} interactions, {} threads)",
-            plan.shards(),
-            plan.epoch_for(opts.n),
-            plan.resolved_threads(),
-        ),
-        choice => eprintln!("step engine: {choice}"),
-    }
-    let mut recorder = pp_core::recorder::PairRecorder::new(
-        Trajectory::sampled_every(sample_period, 1.0),
-        PhaseTracker::new(1.0),
-    );
-    let result = sim.run_recorded(
-        StopCondition::consensus().or_max_interactions(budget),
-        &mut recorder,
-    );
-    let (trajectory, phases) = (recorder.first, recorder.second);
+
+    let (result, trajectory, phases) = if opts.dynamic == Dynamic::Usd {
+        let plan = shard_plan(&spec, &opts);
+        let mut sim =
+            UsdSimulator::with_engine_plan(config, seed.child(1), spec.engine_choice(), plan);
+        match sim.engine_choice() {
+            EngineChoice::Sharded => eprintln!(
+                "step engine: sharded ({} shards, epoch {} interactions, {} threads)",
+                plan.shards(),
+                plan.epoch_for(opts.n),
+                plan.resolved_threads(),
+            ),
+            choice => eprintln!("step engine: {choice}"),
+        }
+        let mut recorder = pp_core::recorder::PairRecorder::new(
+            Trajectory::sampled_every(sample_period, 1.0),
+            PhaseTracker::new(1.0),
+        );
+        let result = sim.run_recorded(
+            StopCondition::consensus().or_max_interactions(budget),
+            &mut recorder,
+        );
+        (result, recorder.first, Some(recorder.second))
+    } else {
+        let mut trajectory = Trajectory::sampled_every(sample_period, 1.0);
+        let run_seed = seed.child(1);
+        let engine = opts.engine;
+        let run = match opts.dynamic {
+            Dynamic::Voter => run_sampling_dynamic(
+                Voter::new(opts.k),
+                config,
+                run_seed,
+                engine,
+                budget,
+                &mut trajectory,
+            ),
+            Dynamic::TwoChoices => run_sampling_dynamic(
+                TwoChoices::new(opts.k),
+                config,
+                run_seed,
+                engine,
+                budget,
+                &mut trajectory,
+            ),
+            Dynamic::ThreeMajority => run_sampling_dynamic(
+                ThreeMajority::new(opts.k),
+                config,
+                run_seed,
+                engine,
+                budget,
+                &mut trajectory,
+            ),
+            Dynamic::JMajority => run_sampling_dynamic(
+                JMajority::new(opts.k, opts.majority_samples),
+                config,
+                run_seed,
+                engine,
+                budget,
+                &mut trajectory,
+            ),
+            Dynamic::Median => run_sampling_dynamic(
+                MedianRule::new(opts.k),
+                config,
+                run_seed,
+                engine,
+                budget,
+                &mut trajectory,
+            ),
+            Dynamic::Usd => unreachable!("handled above"),
+        };
+        match run {
+            Ok(result) => (result, trajectory, None),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+        }
+    };
 
     eprintln!(
         "finished after {} interactions (parallel time {:.1}); consensus: {}",
@@ -215,9 +381,11 @@ fn main() -> ExitCode {
     if let Some(winner) = result.winner() {
         eprintln!("winner: {winner}");
     }
-    for phase in Phase::ALL {
-        if let Some(t) = phases.times().hitting_time(phase) {
-            eprintln!("T{} = {t}", phase.number());
+    if let Some(phases) = phases {
+        for phase in Phase::ALL {
+            if let Some(t) = phases.times().hitting_time(phase) {
+                eprintln!("T{} = {t}", phase.number());
+            }
         }
     }
 

@@ -6,17 +6,45 @@
 //! This experiment measures it: for each population size it runs the same
 //! biased USD workload to consensus on the exact and the batched backend and
 //! reports wall-clock time, interactions advanced per second, and the
-//! batched-over-exact speedup.  The `engine_bench` binary wraps this
-//! experiment and records the report as `BENCH_engines.json`, establishing
-//! the performance trajectory PR over PR.
+//! batched-over-exact speedup.  Since the multi-sample dynamics gained
+//! closed-form conditional samplers, the sweep also covers the baseline
+//! sampling dynamics (3-Majority, MedianRule) through the sequential
+//! sampler's per-activation vs skip-ahead modes — pinned to zero rejection
+//! misses.  The `engine_bench` binary wraps this experiment and records the
+//! report as `BENCH_engines.json` (sampling-dynamics cells are stamped as
+//! `E13/<dynamic>` so their batched rows are regression-gated alongside the
+//! USD's), establishing the performance trajectory PR over PR.
 
 use crate::report::{fmt_f64, ExperimentReport};
 use crate::trend::BenchEntry;
 use crate::Scale;
-use pp_core::{EngineChoice, SimSeed};
+use consensus_dynamics::{MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority};
+use pp_core::engine::StepEngine;
+use pp_core::{Configuration, EngineChoice, SimSeed, StopCondition};
 use pp_workloads::InitialConfig;
 use std::time::Instant;
 use usd_core::UsdSimulator;
+
+/// A baseline sampling dynamic swept per-activation vs skip-ahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingWorkload {
+    /// 3-Majority in the two-opinion deep-bias regime (null-dominated, the
+    /// regime the conditional sampler was built for).
+    ThreeMajority,
+    /// MedianRule over ordered opinions from a multiplicative-bias start.
+    MedianRule,
+}
+
+impl SamplingWorkload {
+    /// Stable identifier used in report rows and stamped entry keys.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            SamplingWorkload::ThreeMajority => "3-majority",
+            SamplingWorkload::MedianRule => "median-rule",
+        }
+    }
+}
 
 /// Parameters of the engine-throughput experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +62,13 @@ pub struct EngineThroughputExperiment {
     pub runs: u64,
     /// Scale preset used for budgets.
     pub scale: Scale,
+    /// Baseline sampling dynamics swept per-activation vs skip-ahead, as
+    /// `(dynamic, k, multiplicative bias)`.
+    pub sampling_workloads: Vec<(SamplingWorkload, usize, f64)>,
+    /// Population sizes for the sampling-dynamics sweep (per-activation
+    /// stepping bounds the affordable `n`, so it is capped lower than the
+    /// USD sweep at full scale).
+    pub sampling_populations: Vec<u64>,
 }
 
 impl EngineThroughputExperiment {
@@ -54,6 +89,14 @@ impl EngineThroughputExperiment {
                 Scale::Full => 3,
             },
             scale,
+            sampling_workloads: vec![
+                (SamplingWorkload::ThreeMajority, 2, 4.0),
+                (SamplingWorkload::MedianRule, 5, 2.0),
+            ],
+            sampling_populations: match scale {
+                Scale::Quick => vec![10_000, 50_000],
+                Scale::Full => vec![100_000, 1_000_000],
+            },
         }
     }
 
@@ -86,6 +129,32 @@ impl EngineThroughputExperiment {
         (result.interactions(), elapsed)
     }
 
+    /// One timed consensus run of a sampling dynamic through the sequential
+    /// sampler; `batched` selects skip-ahead vs per-activation stepping.
+    fn timed_sampling_run(
+        &self,
+        workload: SamplingWorkload,
+        n: u64,
+        opinions: usize,
+        bias_factor: f64,
+        batched: bool,
+        seed: SimSeed,
+    ) -> (u64, f64) {
+        let config = InitialConfig::new(n, opinions)
+            .multiplicative_bias(bias_factor)
+            .build(seed.child(0))
+            .expect("throughput workload is valid");
+        let budget = self.scale.interaction_budget(n, opinions);
+        match workload {
+            SamplingWorkload::ThreeMajority => {
+                time_sampler(ThreeMajority::new(opinions), config, seed, batched, budget)
+            }
+            SamplingWorkload::MedianRule => {
+                time_sampler(MedianRule::new(opinions), config, seed, batched, budget)
+            }
+        }
+    }
+
     /// Runs the experiment.
     #[must_use]
     pub fn run(&self, seed: SimSeed) -> ExperimentReport {
@@ -103,6 +172,7 @@ impl EngineThroughputExperiment {
             "step-engine throughput: exact vs batched",
             "the batched engine advances the same count-vector chain orders of magnitude faster per interaction once null interactions dominate, at identical trajectory distribution",
             vec![
+                "workload".into(),
                 "n".into(),
                 "k".into(),
                 "bias".into(),
@@ -161,6 +231,7 @@ impl EngineThroughputExperiment {
                         speedup: speedup_value,
                     });
                     report.push_row(vec![
+                        "usd".to_string(),
                         n.to_string(),
                         opinions.to_string(),
                         fmt_f64(bias),
@@ -173,6 +244,73 @@ impl EngineThroughputExperiment {
                 }
             }
         }
+
+        // The baseline sampling dynamics, per-activation vs skip-ahead.
+        for (wi, &(workload, opinions, bias)) in self.sampling_workloads.iter().enumerate() {
+            for (ni, &n) in self.sampling_populations.iter().enumerate() {
+                let mut ips_by_mode = [0.0f64; 2];
+                for (ei, batched) in [false, true].into_iter().enumerate() {
+                    let mut best: Option<(u64, f64)> = None;
+                    for r in 0..self.runs {
+                        let cell_seed = seed.child(
+                            0xD0_0000_0000_0000
+                                | (wi as u64) << 48
+                                | (ni as u64) << 32
+                                | (ei as u64) << 16
+                                | r,
+                        );
+                        let (interactions, secs) = self
+                            .timed_sampling_run(workload, n, opinions, bias, batched, cell_seed);
+                        let better = match best {
+                            Some((bi, bs)) => interactions as f64 / secs > bi as f64 / bs,
+                            None => true,
+                        };
+                        if better {
+                            best = Some((interactions, secs));
+                        }
+                    }
+                    let (interactions, secs) = best.expect("at least one run");
+                    let ips = interactions as f64 / secs;
+                    ips_by_mode[ei] = ips;
+                    let speedup_value = if ei == 1 && ips_by_mode[0] > 0.0 {
+                        ips / ips_by_mode[0]
+                    } else {
+                        1.0
+                    };
+                    let engine_name = if batched { "batched" } else { "exact" };
+                    entries.push(BenchEntry {
+                        // Namespaced so sampling cells never collide with the
+                        // USD cells sharing (engine, n, k, bias) — and so the
+                        // trend gate guards their batched rows individually.
+                        experiment: format!("E13/{}", workload.name()),
+                        engine: engine_name.to_string(),
+                        shards: 1,
+                        n,
+                        k: opinions as u64,
+                        bias,
+                        interactions,
+                        seconds: secs,
+                        interactions_per_sec: ips,
+                        speedup: speedup_value,
+                    });
+                    report.push_row(vec![
+                        workload.name().to_string(),
+                        n.to_string(),
+                        opinions.to_string(),
+                        fmt_f64(bias),
+                        engine_name.to_string(),
+                        interactions.to_string(),
+                        fmt_f64(secs),
+                        fmt_f64(ips),
+                        if ei == 1 {
+                            fmt_f64(speedup_value)
+                        } else {
+                            "1.00".to_string()
+                        },
+                    ]);
+                }
+            }
+        }
         report.push_note(format!(
             "USD consensus runs from a multiplicative-bias start; each cell reports the fastest of {} runs; both engines induce the same trajectory distribution (verified by the equivalence test suite)",
             self.runs
@@ -180,8 +318,47 @@ impl EngineThroughputExperiment {
         report.push_note(
             "the batched engine's edge scales with the null-interaction fraction: modest in the many-opinion mild-bias regime, large in the two-opinion deep-bias (approximate-majority) regime and in every endgame".to_string(),
         );
+        report.push_note(
+            "sampling-dynamics rows (3-majority, median-rule) compare per-activation stepping against the geometric skip-ahead with closed-form conditional samplers; rejection misses are asserted to be exactly 0, and the batched rows are stamped as E13/<dynamic> entries so the CI trend gate guards them like the USD engines".to_string(),
+        );
         (report, entries)
     }
+}
+
+/// Times one sampling-dynamics consensus run.  Skip-ahead mode asserts the
+/// dynamic's closed-form hooks are present (no silent fallback) and that the
+/// rejection path stayed untouched.
+fn time_sampler<D: SamplingDynamics>(
+    dynamics: D,
+    config: Configuration,
+    seed: SimSeed,
+    batched: bool,
+    budget: u64,
+) -> (u64, f64) {
+    let name = dynamics.name().to_string();
+    let mut sim = SequentialSampler::new(dynamics, config, seed.child(1));
+    let stop = StopCondition::consensus().or_max_interactions(budget);
+    let start = Instant::now();
+    let result = if batched {
+        sim.require_skip_ahead()
+            .expect("every shipped sampling dynamic provides skip-ahead hooks");
+        sim.run_engine(stop)
+    } else {
+        sim.run(stop)
+    };
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    assert!(
+        result.reached_consensus(),
+        "{name} throughput run did not converge within {budget} interactions"
+    );
+    if batched {
+        assert_eq!(
+            result.rejection_misses(),
+            Some(0),
+            "{name} skip-ahead fell back to rejection sampling"
+        );
+    }
+    (result.interactions(), elapsed)
 }
 
 impl super::Experiment for EngineThroughputExperiment {
@@ -204,25 +381,57 @@ mod tests {
             workloads: vec![(4, 2.0), (2, 4.0)],
             runs: 1,
             scale: Scale::Quick,
+            sampling_workloads: vec![],
+            sampling_populations: vec![],
         };
         let (report, entries) = exp.run_with_samples(SimSeed::from_u64(5));
         assert_eq!(report.rows.len(), 4);
-        assert_eq!(report.rows[0][3], "exact");
-        assert_eq!(report.rows[1][3], "batched");
+        assert_eq!(report.rows[0][4], "exact");
+        assert_eq!(report.rows[1][4], "batched");
         for row in &report.rows {
+            assert_eq!(row[0], "usd");
             assert!(
-                row[6].parse::<f64>().is_ok() || row[6].contains('e'),
+                row[7].parse::<f64>().is_ok() || row[7].contains('e'),
                 "ips cell: {}",
-                row[6]
+                row[7]
             );
         }
         // The stamped entries mirror the rows one-to-one.
         assert_eq!(entries.len(), report.rows.len());
         for (entry, row) in entries.iter().zip(&report.rows) {
-            assert_eq!(entry.engine, row[3]);
+            assert_eq!(entry.engine, row[4]);
             assert_eq!(entry.shards, 1);
-            assert_eq!(entry.n.to_string(), row[0]);
+            assert_eq!(entry.n.to_string(), row[1]);
             assert!(entry.interactions_per_sec > 0.0);
         }
+    }
+
+    #[test]
+    fn sampling_dynamics_rows_are_stamped_and_namespaced() {
+        let exp = EngineThroughputExperiment {
+            populations: vec![],
+            workloads: vec![],
+            runs: 1,
+            scale: Scale::Quick,
+            sampling_workloads: vec![
+                (SamplingWorkload::ThreeMajority, 2, 4.0),
+                (SamplingWorkload::MedianRule, 4, 2.0),
+            ],
+            sampling_populations: vec![2_000],
+        };
+        let (report, entries) = exp.run_with_samples(SimSeed::from_u64(8));
+        // Two workloads × one population × {exact, batched}.
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(entries.len(), 4);
+        for (entry, row) in entries.iter().zip(&report.rows) {
+            assert_eq!(entry.experiment, format!("E13/{}", row[0]));
+            assert_eq!(entry.engine, row[4]);
+            assert!(entry.interactions_per_sec > 0.0);
+        }
+        // The batched rows carry a real speedup measurement (the gated
+        // metric), the exact rows are their own reference.
+        assert_eq!(entries[0].speedup, 1.0);
+        assert!(entries[1].speedup > 0.0);
+        assert_eq!(entries[1].engine, "batched");
     }
 }

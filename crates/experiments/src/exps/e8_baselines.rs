@@ -64,10 +64,9 @@ impl Contender {
             Contender::Usd => {
                 UsdSimulator::with_engine(config.clone(), seed, usd_engine).run_to_consensus(budget)
             }
-            // The sampling dynamics run through the step-engine driver:
-            // Voter/TwoChoices skip nulls with their closed-form conditional
-            // samplers, while dynamics without the hooks fall back — and the
-            // rejection-miss counter below measures what that costs.
+            // The sampling dynamics run through the step-engine driver: all
+            // four skip nulls with their closed-form conditional samplers
+            // (the rejection-miss column certifies it stays at 0).
             Contender::Voter => {
                 SequentialSampler::new(Voter::new(k), config.clone(), seed).run_engine(stop)
             }
@@ -229,7 +228,7 @@ impl BaselineExperiment {
             "parallel time = interactions / n (for the synchronized USD: rounds); the uniform start has no meaningful plurality so its win-rate column only reflects tie-breaking",
         );
         report.push_note(
-            "rejection misses = unproductive draws discarded by the skip-ahead's rejection fallback, per run; 0 for dynamics with closed-form conditional samplers (Voter, TwoChoices), '-' where no rejection path exists — the measured baseline for the ROADMAP's batched-conditionals item (3-Majority/MedianRule currently step per activation and will populate this column once they opt into skip-ahead)",
+            "rejection misses = unproductive draws discarded by the skip-ahead's rejection fallback, per run; every sampling dynamic now provides a closed-form conditional sampler (Voter, TwoChoices, 3-Majority, MedianRule), so the column reads 0 across the board — the ROADMAP's batched-conditionals item, closed; '-' where no rejection path exists (the USD backends)",
         );
         report
     }
@@ -274,6 +273,36 @@ mod tests {
                 "dynamic {} lost its scheduler name",
                 row[1]
             );
+        }
+    }
+
+    #[test]
+    fn rejection_miss_column_is_zero_for_every_sampling_dynamic() {
+        // The closed-form conditional samplers eliminate the rejection
+        // fallback entirely: the E8 column that used to measure its cost is
+        // pinned to exactly zero for all four sampling dynamics.
+        let exp = BaselineExperiment {
+            population: 600,
+            opinions: 3,
+            bias_factor: 2.0,
+            trials: 2,
+            scale: Scale::Quick,
+            engine: EngineChoice::Batched,
+        };
+        let report = exp.run(SimSeed::from_u64(6));
+        for dynamic in ["voter", "two-choices", "3-majority", "median rule"] {
+            let rows: Vec<_> = report.rows.iter().filter(|r| r[1] == dynamic).collect();
+            assert_eq!(rows.len(), 2, "{dynamic} missing from the report");
+            for row in rows {
+                assert_eq!(
+                    row[7], "mean 0",
+                    "{dynamic} rejection-miss cell should be zero: {row:?}"
+                );
+            }
+        }
+        // The USD backends have no rejection path at all.
+        for row in report.rows.iter().filter(|r| r[1] == "usd") {
+            assert_eq!(row[7], "-");
         }
     }
 }

@@ -316,6 +316,34 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_engine_errors_render_an_actionable_diagnostic() {
+        // The error an operator actually sees: it must name the rejected
+        // backend, and the accepted backends must still construct — the
+        // diagnostic contract `usd_run`-style frontends rely on.
+        let config = Configuration::uniform(100, 2).unwrap();
+        for (choice, name) in [
+            (EngineChoice::MeanField, "mean-field"),
+            (EngineChoice::Sharded, "sharded"),
+        ] {
+            let err =
+                PoissonGossip::with_engine(Usd2, config.clone(), SimSeed::from_u64(0), choice)
+                    .unwrap_err();
+            let message = err.to_string();
+            assert!(
+                message.contains(name) && message.contains("not available"),
+                "diagnostic for {choice} should name the backend: {message:?}"
+            );
+        }
+        for choice in [EngineChoice::Exact, EngineChoice::Batched] {
+            assert!(
+                PoissonGossip::with_engine(Usd2, config.clone(), SimSeed::from_u64(0), choice)
+                    .is_ok(),
+                "{choice} must stay constructible"
+            );
+        }
+    }
+
+    #[test]
     fn gamma_sampler_matches_mean_and_variance() {
         let mut rng = SimSeed::from_u64(77).rng();
         for &shape in &[1u64, 2, 7, 50] {

@@ -174,9 +174,12 @@ pub trait StepEngine {
     /// The number of unproductive draws this engine has discarded in
     /// rejection-sampling fallbacks so far, if it uses any (see
     /// `SamplingDynamics::sample_productive_move` in `consensus-dynamics`).
-    /// Engines with closed-form conditional samplers report `None`; the
-    /// provided drivers record a `Some` value into the [`RunResult`], giving
-    /// the "batched conditionals" optimization a measured baseline.
+    /// Engines without a rejection path report `None`; the provided drivers
+    /// record a `Some` value into the [`RunResult`].  Every shipped sampling
+    /// dynamic now provides a closed-form conditional sampler, so a non-zero
+    /// value only ever comes from a third-party dynamic that opted into
+    /// skip-ahead without one — the conformance suite pins the shipped
+    /// dynamics to exactly `Some(0)`.
     fn rejection_misses(&self) -> Option<u64> {
         None
     }

@@ -1,0 +1,358 @@
+//! Statistical conformance of the closed-form conditional samplers.
+//!
+//! PR 3 gave the multi-sample dynamics (j-Majority, MedianRule) closed-form
+//! skip-ahead hooks: an exact null-activation probability and a direct
+//! conditional sampler for the productive event, replacing the rejection
+//! loop.  This suite pins those samplers to the per-activation reference
+//! implementations through the reusable checkers in
+//! [`pp_analysis::conformance`]:
+//!
+//! * **single-event distribution** — the law of one productive `(from, to)`
+//!   transition, conditional sampler vs the rejection loop over `update`,
+//!   chi-squared over the `(k+1)²` transition bins for j ∈ {3, 5, 7} and
+//!   k ∈ {2, 4, 8} (j-Majority) and for the MedianRule;
+//! * **trajectory pinning** — consensus hitting times of full skip-ahead
+//!   runs vs per-activation runs;
+//! * **conservation and counters** — proptests that the null probability is
+//!   a probability consistent with the empirical null frequency, that the
+//!   conditional sampler never returns a null move and conserves the
+//!   population, and the regression gate that `rejection_misses` is exactly
+//!   `Some(0)` under the batched driver.
+
+use consensus_dynamics::{
+    JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
+};
+use pp_analysis::conformance::{Conformance, EventTally};
+use pp_core::engine::StepEngine;
+use pp_core::{AgentState, Configuration, SimSeed, StopCondition};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Draws one category proportionally to counts (the activation law).
+fn sample_category(config: &Configuration, rng: &mut SmallRng) -> AgentState {
+    let k = config.num_opinions();
+    let mut target = rng.gen_range(0..config.population());
+    for cat in 0..=k {
+        let c = config.category_count(cat);
+        if target < c {
+            return AgentState::from_category(cat, k);
+        }
+        target -= c;
+    }
+    unreachable!("category weights exceeded the population")
+}
+
+/// The reference sampler: realizes one productive activation by rejection
+/// over the dynamic's own `update` rule — the per-activation implementation
+/// the closed forms must match.
+fn rejection_reference<D: SamplingDynamics>(
+    dynamics: &D,
+    config: &Configuration,
+    rng: &mut SmallRng,
+) -> (AgentState, AgentState) {
+    let mut samples = vec![AgentState::Undecided; dynamics.sample_size()];
+    loop {
+        let current = sample_category(config, rng);
+        for s in samples.iter_mut() {
+            *s = sample_category(config, rng);
+        }
+        let new = dynamics.update(current, &samples, rng);
+        if new != current {
+            return (current, new);
+        }
+    }
+}
+
+/// Pins the closed-form conditional sampler of `dynamics` to the rejection
+/// reference on one frozen configuration, via the single-event tally.
+fn pin_single_event<D: SamplingDynamics>(dynamics: &D, config: &Configuration, draws: u32) {
+    let k = config.num_opinions();
+    let mut reference = EventTally::new(k);
+    let mut candidate = EventTally::new(k);
+    let mut ref_rng = SimSeed::from_u64(0xEEF).rng();
+    let mut cand_rng = SimSeed::from_u64(0xCAFE).rng();
+    for _ in 0..draws {
+        let (from, to) = rejection_reference(dynamics, config, &mut ref_rng);
+        reference.record(from.category(k), to.category(k));
+        let (from, to) = dynamics
+            .sample_productive_move(config, &mut cand_rng)
+            .expect("closed-form sampler is present");
+        assert_ne!(from, to, "conditional sampler returned a null move");
+        candidate.record(from.category(k), to.category(k));
+    }
+    Conformance::default()
+        .pin_counts(
+            &format!("{} single-event law at {config}", dynamics.name()),
+            reference.counts(),
+            candidate.counts(),
+        )
+        .assert_consistent();
+}
+
+#[test]
+fn j_majority_single_event_law_matches_rejection_sampling() {
+    // The satellite grid: j ∈ {3, 5, 7} × k ∈ {2, 4, 8}, on a skewed
+    // configuration with undecided mass so every transition class is live.
+    for j in [3usize, 5, 7] {
+        for k in [2usize, 4, 8] {
+            let mut counts: Vec<u64> = (0..k as u64).map(|i| 60 + 25 * i).collect();
+            counts[0] += 100; // a clear plurality plus a graded tail
+            let config = Configuration::from_counts(counts, 40).unwrap();
+            pin_single_event(&JMajority::new(k, j), &config, 4_000);
+        }
+    }
+}
+
+#[test]
+fn three_majority_wrapper_shares_the_j_majority_law() {
+    let config = Configuration::from_counts(vec![120, 80, 50], 30).unwrap();
+    pin_single_event(&ThreeMajority::new(3), &config, 6_000);
+}
+
+#[test]
+fn median_rule_single_event_law_matches_rejection_sampling() {
+    // Ordered opinions with mass on both flanks so below-pairs, above-pairs
+    // and undecided adoptions all occur.
+    let config = Configuration::from_counts(vec![70, 40, 90, 30, 60], 35).unwrap();
+    pin_single_event(&MedianRule::new(5), &config, 8_000);
+}
+
+#[test]
+fn j_majority_hitting_times_match_per_activation_runs() {
+    let conf = Conformance::default();
+    conf.pin_scalar(
+        "3-majority consensus hitting times, skip-ahead vs per-activation",
+        |seed| {
+            let config = Configuration::from_counts(vec![600, 250, 150], 0).unwrap();
+            let mut sim = SequentialSampler::new(
+                ThreeMajority::new(3),
+                config,
+                SimSeed::from_u64(0xA3_0000 + seed),
+            );
+            let result = sim.run(StopCondition::consensus().or_max_interactions(5_000_000));
+            assert!(result.reached_consensus());
+            result.interactions() as f64
+        },
+        |seed| {
+            let config = Configuration::from_counts(vec![600, 250, 150], 0).unwrap();
+            let mut sim = SequentialSampler::new(
+                ThreeMajority::new(3),
+                config,
+                SimSeed::from_u64(0xB3_0000 + seed),
+            );
+            let result = sim.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+            assert!(result.reached_consensus());
+            result.interactions() as f64
+        },
+    )
+    .assert_consistent();
+}
+
+#[test]
+fn median_rule_hitting_times_match_per_activation_runs() {
+    let conf = Conformance::default();
+    conf.pin_scalar(
+        "median-rule consensus hitting times, skip-ahead vs per-activation",
+        |seed| {
+            let config = Configuration::from_counts(vec![150, 400, 250, 200], 0).unwrap();
+            let mut sim = SequentialSampler::new(
+                MedianRule::new(4),
+                config,
+                SimSeed::from_u64(0xA4_0000 + seed),
+            );
+            let result = sim.run(StopCondition::consensus().or_max_interactions(5_000_000));
+            assert!(result.reached_consensus());
+            result.interactions() as f64
+        },
+        |seed| {
+            let config = Configuration::from_counts(vec![150, 400, 250, 200], 0).unwrap();
+            let mut sim = SequentialSampler::new(
+                MedianRule::new(4),
+                config,
+                SimSeed::from_u64(0xB4_0000 + seed),
+            );
+            let result = sim.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+            assert!(result.reached_consensus());
+            result.interactions() as f64
+        },
+    )
+    .assert_consistent();
+}
+
+#[test]
+fn rejection_misses_are_exactly_zero_under_the_batched_driver() {
+    // The regression gate for the ROADMAP's batched-conditionals item: the
+    // rejection fallback must never fire for the new closed-form samplers
+    // (E8's "rejection misses" column reads `mean 0` off the same counter).
+    type CounterRun = Box<dyn Fn() -> (u64, Option<u64>)>;
+    let grid: Vec<(&str, CounterRun)> = vec![
+        (
+            "3-majority",
+            Box::new(|| {
+                let config = Configuration::from_counts(vec![500, 300, 200], 0).unwrap();
+                let mut sim =
+                    SequentialSampler::new(ThreeMajority::new(3), config, SimSeed::from_u64(1));
+                let r = sim.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+                assert!(r.reached_consensus());
+                (sim.rejection_fallbacks(), r.rejection_misses())
+            }),
+        ),
+        (
+            "5-majority",
+            Box::new(|| {
+                let config = Configuration::from_counts(vec![400, 250, 150, 100], 100).unwrap();
+                let mut sim =
+                    SequentialSampler::new(JMajority::new(4, 5), config, SimSeed::from_u64(2));
+                let r = sim.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+                assert!(r.reached_consensus());
+                (sim.rejection_fallbacks(), r.rejection_misses())
+            }),
+        ),
+        (
+            "median rule",
+            Box::new(|| {
+                let config = Configuration::from_counts(vec![150, 500, 150, 200], 0).unwrap();
+                let mut sim =
+                    SequentialSampler::new(MedianRule::new(4), config, SimSeed::from_u64(3));
+                let r = sim.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+                assert!(r.reached_consensus());
+                (sim.rejection_fallbacks(), r.rejection_misses())
+            }),
+        ),
+    ];
+    for (name, run) in grid {
+        let (fallbacks, misses) = run();
+        assert_eq!(fallbacks, 0, "{name} fell back to rejection sampling");
+        assert_eq!(misses, Some(0), "{name} discarded rejection draws");
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Null probability checked against the empirical null frequency with a
+    /// generous tolerance (3 standard errors plus slack at 600 draws).
+    fn check_null_probability<D: SamplingDynamics>(
+        dynamics: &D,
+        config: &Configuration,
+        seed: u64,
+    ) -> Result<(), TestCaseError> {
+        let p = dynamics
+            .null_activation_probability(config)
+            .expect("closed form is present");
+        prop_assert!(
+            (0.0..=1.0).contains(&p),
+            "null probability {p} out of range"
+        );
+        let mut rng = SimSeed::from_u64(seed).rng();
+        let trials = 600u32;
+        let mut nulls = 0u32;
+        let mut samples = vec![AgentState::Undecided; dynamics.sample_size()];
+        for _ in 0..trials {
+            let current = sample_category(config, &mut rng);
+            for s in samples.iter_mut() {
+                *s = sample_category(config, &mut rng);
+            }
+            if dynamics.update(current, &samples, &mut rng) == current {
+                nulls += 1;
+            }
+        }
+        let empirical = f64::from(nulls) / f64::from(trials);
+        let tolerance = 3.0 * (p * (1.0 - p) / f64::from(trials)).sqrt() + 0.02;
+        prop_assert!(
+            (p - empirical).abs() <= tolerance,
+            "closed form {} vs empirical {} at {}",
+            p,
+            empirical,
+            config
+        );
+        Ok(())
+    }
+
+    /// The conditional sampler must return productive, count-conserving
+    /// moves whenever the null probability says one exists.
+    fn check_productive_moves<D: SamplingDynamics>(
+        dynamics: &D,
+        config: &Configuration,
+        seed: u64,
+    ) -> Result<(), TestCaseError> {
+        let p_null = dynamics
+            .null_activation_probability(config)
+            .expect("closed form is present");
+        if p_null >= 1.0 {
+            return Ok(());
+        }
+        let mut rng = SimSeed::from_u64(seed).rng();
+        for _ in 0..40 {
+            let (from, to) = dynamics
+                .sample_productive_move(config, &mut rng)
+                .expect("closed form is present");
+            prop_assert!(from != to, "sampler returned the null composition");
+            let mut moved = config.clone();
+            prop_assert!(moved.apply_move(from, to).is_ok(), "move not applicable");
+            prop_assert_eq!(moved.population(), config.population());
+            prop_assert!(moved.is_consistent());
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn j_majority_null_probability_is_consistent(
+            counts in proptest::collection::vec(0u64..60, 2..6),
+            undecided in 0u64..60,
+            j in 1usize..8,
+            seed in 0u64..1_000,
+        ) {
+            prop_assume!(counts.iter().sum::<u64>() + undecided > 0);
+            let config = Configuration::from_counts(counts, undecided).unwrap();
+            let dynamics = JMajority::new(config.num_opinions(), j);
+            check_null_probability(&dynamics, &config, seed)?;
+            check_productive_moves(&dynamics, &config, seed ^ 0x5EED)?;
+        }
+
+        #[test]
+        fn median_rule_null_probability_is_consistent(
+            counts in proptest::collection::vec(0u64..60, 2..7),
+            undecided in 0u64..60,
+            seed in 0u64..1_000,
+        ) {
+            prop_assume!(counts.iter().sum::<u64>() + undecided > 0);
+            let config = Configuration::from_counts(counts, undecided).unwrap();
+            let dynamics = MedianRule::new(config.num_opinions());
+            check_null_probability(&dynamics, &config, seed)?;
+            check_productive_moves(&dynamics, &config, seed ^ 0x5EED)?;
+        }
+
+        /// Driving the skip-ahead sampler through arbitrary budgets upholds
+        /// the engine-layer invariants (shared conservation checker).
+        #[test]
+        fn skip_ahead_driver_conserves_population(
+            counts in proptest::collection::vec(0u64..100, 2..5),
+            undecided in 0u64..100,
+            seed in 0u64..1_000,
+            budget in 1u64..20_000,
+        ) {
+            prop_assume!(counts.iter().sum::<u64>() + undecided > 0);
+            let config = Configuration::from_counts(counts.clone(), undecided).unwrap();
+            let k = config.num_opinions();
+            let mut sim = SequentialSampler::new(
+                ThreeMajority::new(k),
+                config.clone(),
+                SimSeed::from_u64(seed),
+            );
+            pp_analysis::check_conservation(&mut sim, budget)
+                .map_err(TestCaseError::Fail)?;
+            let mut sim = SequentialSampler::new(
+                MedianRule::new(k),
+                config,
+                SimSeed::from_u64(seed),
+            );
+            pp_analysis::check_conservation(&mut sim, budget)
+                .map_err(TestCaseError::Fail)?;
+        }
+    }
+}

@@ -4,50 +4,40 @@
 //! trajectories as the exact per-interaction engine.  These tests check that
 //! claim on observable statistics: consensus hitting times and winner
 //! identity for the USD, and fixed-budget trajectory state for the Voter,
-//! all at `n = 10⁴`, compared across many independently seeded runs with a
-//! two-sample chi-squared test at `α ≈ 0.001` (the test seeds are fixed, so
-//! the suite is deterministic).  A property test additionally drives the
-//! skip-ahead through arbitrary configurations and asserts it never changes
-//! the count-vector sum.
+//! all at `n = 10⁴`, pinned through the reusable checkers in
+//! [`pp_analysis::conformance`] (48 runs, 6 pooled quantile bins,
+//! `α ≈ 0.001`; the test seeds are fixed, so the suite is deterministic).
+//! A property test additionally drives the skip-ahead through arbitrary
+//! configurations with the shared conservation checker.
 
 use consensus_dynamics::PairwiseVoter;
-use pp_analysis::stats::{chi_squared_binned, chi_squared_two_sample};
+use pp_analysis::Conformance;
 use pp_core::engine::StepEngine;
 use pp_core::{Advance, BatchedEngine, Configuration, EngineChoice, SimSeed, StopCondition};
 use usd_core::{UndecidedStateDynamics, UsdSimulator};
 
 const RUNS: u64 = 48;
-/// Standard-normal quantile for the α ≈ 0.001 acceptance threshold.
-const Z_999: f64 = 3.09;
 
-/// Consensus hitting times of the USD at n = 10⁴ under the given backend,
-/// from a deep-bias start (the null-dominated regime where batching skips
-/// the most — exactly where a distributional bug would show).
-fn usd_hitting_times(choice: EngineChoice, seed_base: u64) -> Vec<f64> {
-    (0..RUNS)
-        .map(|i| {
-            let config = Configuration::from_counts(vec![9_000, 500, 500], 0).unwrap();
-            let mut sim =
-                UsdSimulator::with_engine(config, SimSeed::from_u64(seed_base + i), choice);
-            let result = sim.run_to_consensus(500_000_000);
-            assert!(result.reached_consensus(), "run {i} did not converge");
-            result.interactions() as f64
-        })
-        .collect()
+/// One USD consensus hitting time at n = 10⁴ under the given backend, from
+/// a deep-bias start (the null-dominated regime where batching skips the
+/// most — exactly where a distributional bug would show).
+fn usd_hitting_time(choice: EngineChoice, seed: u64) -> f64 {
+    let config = Configuration::from_counts(vec![9_000, 500, 500], 0).unwrap();
+    let mut sim = UsdSimulator::with_engine(config, SimSeed::from_u64(seed), choice);
+    let result = sim.run_to_consensus(500_000_000);
+    assert!(result.reached_consensus(), "run {seed:#x} did not converge");
+    result.interactions() as f64
 }
 
 #[test]
 fn usd_consensus_hitting_times_match_across_engines() {
-    let exact = usd_hitting_times(EngineChoice::Exact, 0xE0_0000);
-    let batched = usd_hitting_times(EngineChoice::Batched, 0xBA_0000);
-    let test = chi_squared_binned(&exact, &batched, 6);
-    assert!(
-        test.consistent_at(Z_999),
-        "hitting-time distributions diverge: chi² = {:.2} > {:.2} (df = {})",
-        test.statistic,
-        test.critical_value(Z_999),
-        test.degrees_of_freedom
-    );
+    Conformance::default()
+        .pin_scalar(
+            "USD consensus hitting times, exact vs batched",
+            |i| usd_hitting_time(EngineChoice::Exact, 0xE0_0000 + i),
+            |i| usd_hitting_time(EngineChoice::Batched, 0xBA_0000 + i),
+        )
+        .assert_consistent();
 }
 
 /// Winner identity of the near-tied two-opinion USD (approximate majority):
@@ -69,55 +59,44 @@ fn usd_winner_counts(choice: EngineChoice, seed_base: u64) -> [u64; 2] {
 fn usd_winner_distribution_matches_across_engines() {
     let exact = usd_winner_counts(EngineChoice::Exact, 0xE1_0000);
     let batched = usd_winner_counts(EngineChoice::Batched, 0xB1_0000);
-    let test = chi_squared_two_sample(&exact, &batched);
-    assert!(
-        test.consistent_at(Z_999),
-        "winner distributions diverge: exact {exact:?} vs batched {batched:?} (chi² = {:.2})",
-        test.statistic
-    );
+    Conformance::default()
+        .pin_counts("USD winner identity, exact vs batched", &exact, &batched)
+        .assert_consistent();
 }
 
 /// Fixed-budget trajectory state of the Voter at n = 10⁴: the support of
 /// opinion 0 after exactly 300 000 interactions, which probes the law of the
 /// whole trajectory rather than only absorption behaviour.
-fn voter_budgeted_support(choice: EngineChoice, seed_base: u64) -> Vec<f64> {
-    (0..RUNS)
-        .map(|i| {
-            let config = Configuration::from_counts(vec![7_000, 3_000], 0).unwrap();
-            let mut engine = match choice {
-                EngineChoice::Exact => pp_core::CountEngine::Exact(pp_core::CountSimulator::new(
-                    PairwiseVoter::new(2),
-                    config,
-                    SimSeed::from_u64(seed_base + i),
-                )),
-                EngineChoice::Batched => pp_core::CountEngine::Batched(BatchedEngine::new(
-                    PairwiseVoter::new(2),
-                    config,
-                    SimSeed::from_u64(seed_base + i),
-                )),
-                EngineChoice::Sharded | EngineChoice::MeanField => {
-                    unreachable!("not under test")
-                }
-            };
-            let result =
-                engine.run_engine(StopCondition::opinion_settled().or_max_interactions(300_000));
-            result.final_configuration().support(0) as f64
-        })
-        .collect()
+fn voter_budgeted_support(choice: EngineChoice, seed: u64) -> f64 {
+    let config = Configuration::from_counts(vec![7_000, 3_000], 0).unwrap();
+    let mut engine = match choice {
+        EngineChoice::Exact => pp_core::CountEngine::Exact(pp_core::CountSimulator::new(
+            PairwiseVoter::new(2),
+            config,
+            SimSeed::from_u64(seed),
+        )),
+        EngineChoice::Batched => pp_core::CountEngine::Batched(BatchedEngine::new(
+            PairwiseVoter::new(2),
+            config,
+            SimSeed::from_u64(seed),
+        )),
+        EngineChoice::Sharded | EngineChoice::MeanField => {
+            unreachable!("not under test")
+        }
+    };
+    let result = engine.run_engine(StopCondition::opinion_settled().or_max_interactions(300_000));
+    result.final_configuration().support(0) as f64
 }
 
 #[test]
 fn voter_budgeted_state_distribution_matches_across_engines() {
-    let exact = voter_budgeted_support(EngineChoice::Exact, 0xE2_0000);
-    let batched = voter_budgeted_support(EngineChoice::Batched, 0xB2_0000);
-    let test = chi_squared_binned(&exact, &batched, 6);
-    assert!(
-        test.consistent_at(Z_999),
-        "voter state distributions diverge: chi² = {:.2} > {:.2} (df = {})",
-        test.statistic,
-        test.critical_value(Z_999),
-        test.degrees_of_freedom
-    );
+    Conformance::default()
+        .pin_scalar(
+            "Voter budgeted trajectory state, exact vs batched",
+            |i| voter_budgeted_support(EngineChoice::Exact, 0xE2_0000 + i),
+            |i| voter_budgeted_support(EngineChoice::Batched, 0xB2_0000 + i),
+        )
+        .assert_consistent();
 }
 
 #[test]
@@ -155,7 +134,8 @@ mod proptests {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
         /// Skip-ahead never changes the count-vector sum, no matter the
-        /// configuration, budget slicing, or how far it jumps.
+        /// configuration, budget slicing, or how far it jumps (the shared
+        /// conservation checker verifies every engine-layer invariant).
         #[test]
         fn batched_skip_ahead_preserves_population(
             counts in proptest::collection::vec(0u64..200, 2..6),
@@ -166,27 +146,13 @@ mod proptests {
             prop_assume!(counts.iter().sum::<u64>() + undecided > 0);
             let config = Configuration::from_counts(counts.clone(), undecided).unwrap();
             let k = config.num_opinions();
-            let population = config.population();
             let mut engine = BatchedEngine::new(
                 UndecidedStateDynamics::new(k),
                 config,
                 SimSeed::from_u64(seed),
             );
-            let mut last_interactions = 0u64;
-            loop {
-                let outcome = engine.advance(budget);
-                let now = StepEngine::interactions(&engine);
-                prop_assert!(now >= last_interactions, "interaction counter went backwards");
-                prop_assert!(now <= budget, "advance overshot the budget");
-                last_interactions = now;
-                prop_assert_eq!(engine.configuration().population(), population);
-                prop_assert!(engine.configuration().is_consistent());
-                match outcome {
-                    Advance::Event => {}
-                    Advance::LimitReached | Advance::Absorbed => break,
-                }
-            }
-            prop_assert_eq!(last_interactions, budget);
+            pp_analysis::check_conservation(&mut engine, budget)
+                .map_err(TestCaseError::Fail)?;
         }
 
         /// Both engines compute identical event probabilities from the same

@@ -6,13 +6,13 @@
 //! through the epoch length.  These tests pin it to the exact engine at the
 //! default epoch length (`n/32`) on the same observables the batched engine
 //! is pinned on: consensus hitting times and winner identity at `n = 10⁴`,
-//! compared with a two-sample chi-squared test at `α ≈ 0.001`.  Property
+//! via the shared checkers in [`pp_analysis::conformance`].  Property
 //! tests additionally check the structural invariants: the proportional
 //! split conserves every per-opinion count (merge ∘ split = identity), and
 //! epoch-sliced advancement conserves the population under arbitrary shard
 //! counts, epoch lengths and budget boundaries.
 
-use pp_analysis::stats::{chi_squared_binned, chi_squared_two_sample};
+use pp_analysis::Conformance;
 use pp_core::engine::StepEngine;
 use pp_core::shard::multinomial::{merge_configurations, shard_populations, split_configuration};
 use pp_core::shard::{ShardPlan, ShardedEngine};
@@ -20,37 +20,27 @@ use pp_core::{Advance, Configuration, EngineChoice, SimSeed};
 use usd_core::{UndecidedStateDynamics, UsdSimulator};
 
 const RUNS: u64 = 48;
-/// Standard-normal quantile for the α ≈ 0.001 acceptance threshold.
-const Z_999: f64 = 3.09;
 
-/// Consensus hitting times of the USD at n = 10⁴ under the given backend,
-/// from a deep-bias start (long null-dominated stretches, which the sharded
+/// One USD consensus hitting time at n = 10⁴ under the given backend, from
+/// a deep-bias start (long null-dominated stretches, which the sharded
 /// engine spends almost entirely inside reconciliation epochs).
-fn usd_hitting_times(choice: EngineChoice, seed_base: u64) -> Vec<f64> {
-    (0..RUNS)
-        .map(|i| {
-            let config = Configuration::from_counts(vec![9_000, 500, 500], 0).unwrap();
-            let mut sim =
-                UsdSimulator::with_engine(config, SimSeed::from_u64(seed_base + i), choice);
-            let result = sim.run_to_consensus(500_000_000);
-            assert!(result.reached_consensus(), "run {i} did not converge");
-            result.interactions() as f64
-        })
-        .collect()
+fn usd_hitting_time(choice: EngineChoice, seed: u64) -> f64 {
+    let config = Configuration::from_counts(vec![9_000, 500, 500], 0).unwrap();
+    let mut sim = UsdSimulator::with_engine(config, SimSeed::from_u64(seed), choice);
+    let result = sim.run_to_consensus(500_000_000);
+    assert!(result.reached_consensus(), "run {seed:#x} did not converge");
+    result.interactions() as f64
 }
 
 #[test]
 fn usd_consensus_hitting_times_match_exact_engine() {
-    let exact = usd_hitting_times(EngineChoice::Exact, 0xE4_0000);
-    let sharded = usd_hitting_times(EngineChoice::Sharded, 0x5A_0000);
-    let test = chi_squared_binned(&exact, &sharded, 6);
-    assert!(
-        test.consistent_at(Z_999),
-        "hitting-time distributions diverge: chi² = {:.2} > {:.2} (df = {})",
-        test.statistic,
-        test.critical_value(Z_999),
-        test.degrees_of_freedom
-    );
+    Conformance::default()
+        .pin_scalar(
+            "USD consensus hitting times, exact vs sharded",
+            |i| usd_hitting_time(EngineChoice::Exact, 0xE4_0000 + i),
+            |i| usd_hitting_time(EngineChoice::Sharded, 0x5A_0000 + i),
+        )
+        .assert_consistent();
 }
 
 /// Winner identity of the near-tied two-opinion USD: decided by the chain's
@@ -71,12 +61,9 @@ fn usd_winner_counts(choice: EngineChoice, seed_base: u64) -> [u64; 2] {
 fn usd_winner_distribution_matches_exact_engine() {
     let exact = usd_winner_counts(EngineChoice::Exact, 0xE5_0000);
     let sharded = usd_winner_counts(EngineChoice::Sharded, 0x5B_0000);
-    let test = chi_squared_two_sample(&exact, &sharded);
-    assert!(
-        test.consistent_at(Z_999),
-        "winner distributions diverge: exact {exact:?} vs sharded {sharded:?} (chi² = {:.2})",
-        test.statistic
-    );
+    Conformance::default()
+        .pin_counts("USD winner identity, exact vs sharded", &exact, &sharded)
+        .assert_consistent();
 }
 
 #[test]
