@@ -14,7 +14,11 @@
 //! * and pin fast stepping backends to their reference implementations with
 //!   reusable statistical-conformance checkers ([`conformance`]:
 //!   trajectory pinning, single-event-distribution tallies, and conservation
-//!   drives over any `pp_core::StepEngine`).
+//!   drives over any `pp_core::StepEngine`),
+//! * summarize ensemble runs in constant memory ([`streaming`]: Welford
+//!   moments, P² quantiles, confidence intervals, and the one-pass
+//!   [`streaming::summarize_ensemble`] over a
+//!   `pp_core::ensemble::EnsembleRunResult`).
 //!
 //! ## Example
 //!
@@ -44,8 +48,10 @@ pub mod histogram;
 pub mod random_walk;
 pub mod regression;
 pub mod stats;
+pub mod streaming;
 
 pub use conformance::{check_conservation, Conformance, EventTally, Verdict};
 pub use histogram::Histogram;
 pub use regression::{log_log_fit, LinearFit};
 pub use stats::{chi_squared_binned, chi_squared_two_sample, ChiSquaredTest, Summary};
+pub use streaming::{summarize_ensemble, EnsembleSummary, P2Quantile, StreamingSummary};

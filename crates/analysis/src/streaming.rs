@@ -1,0 +1,542 @@
+//! Streaming statistics for ensemble runs.
+//!
+//! The lockstep ensemble (`pp_core::ensemble`) can drive thousands of
+//! replicas; their hitting times should be summarized without buffering and
+//! sorting every observation the way [`crate::stats::Summary`] does.  This
+//! module provides constant-memory accumulators:
+//!
+//! * [`P2Quantile`] — the P² algorithm of Jain & Chlamtac (1985): a running
+//!   quantile estimate maintained by five markers whose heights are adjusted
+//!   with a piecewise-parabolic interpolation as observations stream in.
+//!   Exact for the first five observations, asymptotically consistent after.
+//! * [`StreamingSummary`] — Welford mean/variance (shared with
+//!   [`crate::stats::RunningStats`]) combined with P² quartiles and a
+//!   normal-approximation confidence interval for the mean.
+//! * [`EnsembleSummary`] / [`summarize_ensemble`] — one streaming pass over
+//!   a `pp_core::ensemble::EnsembleRunResult`: hitting-time and
+//!   parallel-time summaries plus the goal proportion with its Wilson
+//!   interval.
+
+use crate::stats::{proportion_with_wilson, RunningStats};
+use pp_core::ensemble::EnsembleRunResult;
+use serde::{Deserialize, Serialize};
+
+/// A streaming estimate of one quantile by the P² algorithm: five markers
+/// track the minimum, the target quantile, the quantile's halfway flanks and
+/// the maximum, with heights adjusted parabolically as the sample grows.
+/// Memory is constant; the estimate is exact up to five observations and
+/// converges for larger samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    /// The target quantile in `[0, 1]`.
+    quantile: f64,
+    /// Marker heights (sorted; `heights[2]` estimates the quantile).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increments: [f64; 5],
+    /// Observations consumed so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the given quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(quantile: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&quantile),
+            "quantile {quantile} must be in [0, 1]"
+        );
+        P2Quantile {
+            quantile,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [
+                1.0,
+                1.0 + 2.0 * quantile,
+                1.0 + 4.0 * quantile,
+                3.0 + 2.0 * quantile,
+                5.0,
+            ],
+            increments: [0.0, quantile / 2.0, quantile, (1.0 + quantile) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile.
+    #[must_use]
+    pub fn quantile(&self) -> f64 {
+        self.quantile
+    }
+
+    /// Observations consumed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "observation is NaN");
+        self.count += 1;
+        // Warm-up: the first five observations are kept exactly (sorted).
+        if self.count <= 5 {
+            let idx = self.count as usize - 1;
+            self.heights[idx] = x;
+            self.heights[..=idx].sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            return;
+        }
+        // Locate the cell and stretch the extreme markers.
+        let cell = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // Largest i in 0..=3 with heights[i] <= x.
+            (0..=3)
+                .rev()
+                .find(|&i| self.heights[i] <= x)
+                .expect("x is at least heights[0]")
+        };
+        for pos in self.positions.iter_mut().skip(cell + 1) {
+            *pos += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        // Re-space the three interior markers.
+        for i in 1..=3 {
+            let drift = self.desired[i] - self.positions[i];
+            let room_right = self.positions[i + 1] - self.positions[i];
+            let room_left = self.positions[i - 1] - self.positions[i];
+            if (drift >= 1.0 && room_right > 1.0) || (drift <= -1.0 && room_left < -1.0) {
+                let dir = if drift >= 1.0 { 1.0 } else { -1.0 };
+                let candidate = self.parabolic(i, dir);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, dir)
+                    };
+                self.positions[i] += dir;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic height prediction for marker `i` moved by `dir`.
+    fn parabolic(&self, i: usize, dir: f64) -> f64 {
+        let (h, p) = (&self.heights, &self.positions);
+        h[i] + dir / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + dir) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - dir) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabola would break marker monotonicity.
+    fn linear(&self, i: usize, dir: f64) -> f64 {
+        let j = if dir > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + dir * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate (`None` before the first observation).
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count <= 5 {
+            // Exact small-sample quantile by linear interpolation.
+            let m = self.count as usize;
+            let pos = self.quantile * (m as f64 - 1.0);
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            return Some(self.heights[lo] * (1.0 - frac) + self.heights[hi] * frac);
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// A constant-memory summary of a stream: Welford mean/variance/min/max plus
+/// P² quartile estimates and a normal-approximation confidence interval for
+/// the mean.  The streaming counterpart of [`crate::stats::Summary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingSummary {
+    moments: RunningStats,
+    quartiles: [P2Quantile; 3],
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingSummary {
+    /// Creates an empty summary tracking the quartiles (0.25, 0.5, 0.75).
+    #[must_use]
+    pub fn new() -> Self {
+        StreamingSummary {
+            moments: RunningStats::new(),
+            quartiles: [
+                P2Quantile::new(0.25),
+                P2Quantile::new(0.5),
+                P2Quantile::new(0.75),
+            ],
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        self.moments.push(x);
+        for q in &mut self.quartiles {
+            q.push(x);
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Running mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Running sample variance (`n − 1` denominator).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.moments.variance()
+    }
+
+    /// Running sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.moments.std_dev()
+    }
+
+    /// Standard error of the mean (0 while empty).
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count() as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` while empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.moments.min()
+    }
+
+    /// Largest observation (`-inf` while empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.moments.max()
+    }
+
+    /// A normal-approximation confidence interval for the mean at z-score
+    /// `z` (1.96 for 95%).
+    #[must_use]
+    pub fn mean_confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_error();
+        (self.mean() - half, self.mean() + half)
+    }
+
+    /// The half-width of the confidence interval at z-score `z` — the "CI
+    /// width" column of the ensemble throughput experiment.
+    #[must_use]
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        z * self.std_error()
+    }
+
+    /// Streaming median estimate (`None` while empty).
+    #[must_use]
+    pub fn median(&self) -> Option<f64> {
+        self.quartiles[1].estimate()
+    }
+
+    /// Streaming quartile estimates `(q25, q50, q75)` (`None` while empty).
+    #[must_use]
+    pub fn quartiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quartiles[0].estimate()?,
+            self.quartiles[1].estimate()?,
+            self.quartiles[2].estimate()?,
+        ))
+    }
+}
+
+/// Streaming aggregates over one ensemble run: interactions at stop,
+/// uncensored hitting times, parallel time and the goal proportion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleSummary {
+    /// Summary of per-replica interaction counts at the stop condition,
+    /// over *all* replicas — budget-exhausted replicas contribute their
+    /// censoring cap, so this is the throughput denominator, not a hitting
+    /// time.
+    pub interactions: StreamingSummary,
+    /// Summary of hitting times (interactions at the structural goal),
+    /// over goal-reaching replicas only — the unbiased statistic to report
+    /// as "hitting time" (empty when no replica converged).
+    pub hitting_time: StreamingSummary,
+    /// Summary of per-replica parallel times (`interactions / n`), over
+    /// all replicas.
+    pub parallel_time: StreamingSummary,
+    /// Replicas that reached their structural goal (consensus/settlement).
+    pub goal_reached: u64,
+    /// Total replicas.
+    pub replicas: u64,
+}
+
+impl EnsembleSummary {
+    /// The goal proportion with its Wilson-score 95% interval, as
+    /// `(proportion, low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary holds no replicas.
+    #[must_use]
+    pub fn goal_proportion(&self) -> (f64, f64, f64) {
+        proportion_with_wilson(self.goal_reached, self.replicas)
+    }
+}
+
+/// Summarizes an ensemble outcome in one streaming pass (constant memory in
+/// the replica count beyond the outcome itself).
+#[must_use]
+pub fn summarize_ensemble(outcome: &EnsembleRunResult) -> EnsembleSummary {
+    let mut summary = EnsembleSummary {
+        interactions: StreamingSummary::new(),
+        hitting_time: StreamingSummary::new(),
+        parallel_time: StreamingSummary::new(),
+        goal_reached: 0,
+        replicas: 0,
+    };
+    for result in outcome.results() {
+        summary.replicas += 1;
+        summary.interactions.push(result.interactions() as f64);
+        summary.parallel_time.push(result.parallel_time());
+        if result.outcome().is_goal() {
+            summary.goal_reached += 1;
+            summary.hitting_time.push(result.interactions() as f64);
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+    use pp_core::{SimSeed, SplitMix64};
+
+    #[test]
+    fn p2_is_exact_for_up_to_five_observations() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        for (i, x) in [5.0, 1.0, 4.0, 2.0, 3.0].into_iter().enumerate() {
+            q.push(x);
+            let sorted = {
+                let mut s = vec![5.0, 1.0, 4.0, 2.0, 3.0][..=i].to_vec();
+                s.sort_by(f64::total_cmp);
+                s
+            };
+            let exact = Summary::from_slice(&sorted).median();
+            assert!(
+                (q.estimate().unwrap() - exact).abs() < 1e-12,
+                "after {} obs: {} vs {exact}",
+                i + 1,
+                q.estimate().unwrap()
+            );
+        }
+        assert_eq!(q.count(), 5);
+        assert!((q.quantile() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn p2_median_converges_on_a_uniform_stream() {
+        // Pseudo-random uniform [0, 1000): the true median is 500.
+        let mut stream = SplitMix64::new(42);
+        let mut q = P2Quantile::new(0.5);
+        for _ in 0..20_000 {
+            q.push(stream.next_f64() * 1000.0);
+        }
+        let m = q.estimate().unwrap();
+        assert!((m - 500.0).abs() < 15.0, "median estimate {m}");
+    }
+
+    #[test]
+    fn p2_tracks_tail_quantiles() {
+        let mut stream = SplitMix64::new(7);
+        let mut q90 = P2Quantile::new(0.9);
+        let mut q10 = P2Quantile::new(0.1);
+        for _ in 0..20_000 {
+            let x = stream.next_f64() * 100.0;
+            q90.push(x);
+            q10.push(x);
+        }
+        assert!((q90.estimate().unwrap() - 90.0).abs() < 3.0);
+        assert!((q10.estimate().unwrap() - 10.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn p2_extremes_are_the_min_and_max_markers() {
+        let mut q0 = P2Quantile::new(0.0);
+        let mut q1 = P2Quantile::new(1.0);
+        let mut stream = SplitMix64::new(3);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..1_000 {
+            let x = stream.next_f64();
+            lo = lo.min(x);
+            hi = hi.max(x);
+            q0.push(x);
+            q1.push(x);
+        }
+        // The 0- and 1-quantile markers never drift past the observed range.
+        assert!(q0.estimate().unwrap() >= lo - 1e-12);
+        assert!(q1.estimate().unwrap() <= hi + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn p2_rejects_out_of_range_quantiles() {
+        let _ = P2Quantile::new(1.5);
+    }
+
+    #[test]
+    fn streaming_summary_matches_batch_closed_forms() {
+        let data: Vec<f64> = (0..1_000).map(|i| f64::from((i * 37) % 1_000)).collect();
+        let mut s = StreamingSummary::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let batch = Summary::from_slice(&data);
+        assert_eq!(s.count(), 1_000);
+        assert!((s.mean() - batch.mean()).abs() < 1e-9);
+        assert!((s.std_dev() - batch.std_dev()).abs() < 1e-9);
+        assert!((s.std_error() - batch.std_error()).abs() < 1e-9);
+        assert_eq!(s.min(), batch.min());
+        assert_eq!(s.max(), batch.max());
+        // P² quartiles approximate the batch quantiles.
+        let (q25, q50, q75) = s.quartiles().unwrap();
+        assert!((q25 - batch.quantile(0.25)).abs() < 20.0);
+        assert!((q50 - batch.median()).abs() < 20.0);
+        assert!((q75 - batch.quantile(0.75)).abs() < 20.0);
+        // The CI matches the batch closed form.
+        let (lo, hi) = s.mean_confidence_interval(1.96);
+        let (blo, bhi) = batch.mean_confidence_interval(1.96);
+        assert!((lo - blo).abs() < 1e-9 && (hi - bhi).abs() < 1e-9);
+        assert!((s.ci_half_width(1.96) - (bhi - blo) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_well_defined() {
+        let s = StreamingSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.std_error(), 0.0);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.quartiles(), None);
+        let (lo, hi) = s.mean_confidence_interval(1.96);
+        assert_eq!((lo, hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn ensemble_summary_streams_hitting_times_and_goals() {
+        use pp_core::ensemble::{EnsembleChoice, EnsembleEngine};
+        use pp_core::{BatchedEngine, Configuration, StopCondition};
+        use usd_protocol_for_tests::Usd2;
+
+        let config = Configuration::from_counts(vec![180, 20], 0).unwrap();
+        let replicas = EnsembleChoice::new(6)
+            .seeds(SimSeed::from_u64(4))
+            .into_iter()
+            .map(|seed| BatchedEngine::new(Usd2, config.clone(), seed))
+            .collect();
+        let mut ensemble = EnsembleEngine::try_new(replicas).unwrap();
+        let outcome = ensemble.run(StopCondition::consensus().or_max_interactions(2_000_000));
+        let summary = summarize_ensemble(&outcome);
+        assert_eq!(summary.replicas, 6);
+        assert_eq!(summary.goal_reached, 6);
+        assert_eq!(summary.interactions.count(), 6);
+        assert!(summary.interactions.mean() > 0.0);
+        // Every replica converged, so hitting times and interactions agree.
+        assert_eq!(summary.hitting_time.count(), 6);
+        assert!((summary.hitting_time.mean() - summary.interactions.mean()).abs() < 1e-9);
+        // Parallel time is interactions / n, replica by replica.
+        assert!((summary.parallel_time.mean() - summary.interactions.mean() / 200.0).abs() < 1e-9);
+        let (p, lo, hi) = summary.goal_proportion();
+        assert_eq!(p, 1.0);
+        assert!(lo > 0.5 && hi <= 1.0);
+    }
+
+    #[test]
+    fn censored_replicas_are_excluded_from_the_hitting_time_summary() {
+        use pp_core::ensemble::{EnsembleChoice, EnsembleEngine};
+        use pp_core::{BatchedEngine, Configuration, StopCondition};
+        use usd_protocol_for_tests::Usd2;
+
+        // A tied start with a tiny budget: every replica is censored.
+        let config = Configuration::from_counts(vec![100, 100], 0).unwrap();
+        let replicas = EnsembleChoice::new(4)
+            .seeds(SimSeed::from_u64(9))
+            .into_iter()
+            .map(|seed| BatchedEngine::new(Usd2, config.clone(), seed))
+            .collect();
+        let mut ensemble = EnsembleEngine::try_new(replicas).unwrap();
+        let outcome = ensemble.run(StopCondition::consensus().or_max_interactions(50));
+        let summary = summarize_ensemble(&outcome);
+        assert_eq!(summary.replicas, 4);
+        // Interactions-at-stop sees the censoring cap; hitting times only
+        // count replicas that actually converged.
+        assert_eq!(summary.interactions.count(), 4);
+        assert_eq!(summary.hitting_time.count(), summary.goal_reached);
+        assert!(summary.goal_reached < 4);
+    }
+
+    /// A tiny USD protocol for the ensemble-summary test.
+    mod usd_protocol_for_tests {
+        use pp_core::{AgentState, OpinionProtocol};
+
+        #[derive(Debug, Clone)]
+        pub struct Usd2;
+
+        impl OpinionProtocol for Usd2 {
+            fn num_opinions(&self) -> usize {
+                2
+            }
+            fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+                match (r, i) {
+                    (AgentState::Decided(a), AgentState::Decided(b)) if a != b => {
+                        AgentState::Undecided
+                    }
+                    (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
+                    _ => r,
+                }
+            }
+        }
+    }
+}

@@ -2,17 +2,23 @@
 //! second for the count-based engine (as a function of `k`), the batched
 //! skip-ahead and sharded engines head-to-head against the exact engine on
 //! the USD workload (the acceptance metric of the engine layer), a
-//! shard-count sweep, the agent-level engine, and the gossip round engine.
+//! shard-count sweep, the lockstep replica ensemble against a loop of
+//! standalone runs (the acceptance metric of the ensemble layer), the
+//! agent-level engine, and the gossip round engine.
 
-use consensus_dynamics::{MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority};
+use consensus_dynamics::{
+    sampler_ensemble, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pp_core::engine::StepEngine;
+use pp_core::ensemble::EnsembleChoice;
 use pp_core::{
-    AgentSimulator, Configuration, CountSimulator, EngineChoice, SimSeed, StopCondition,
+    AgentSimulator, BatchedEngine, Configuration, CountSimulator, EngineChoice, SimSeed,
+    StopCondition,
 };
 use pp_workloads::InitialConfig;
 use usd_bench::BENCH_SEED;
-use usd_core::{UndecidedStateDynamics, UsdSimulator};
+use usd_core::{UndecidedStateDynamics, UsdEnsemble, UsdSimulator};
 
 fn count_simulator_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/count_simulator_step");
@@ -251,6 +257,113 @@ fn sampling_dynamics_skip_ahead(c: &mut Criterion) {
     sampling_dynamic_comparison(c, "median", MedianRule::new(5), 2.0);
 }
 
+/// The ensemble-layer acceptance benchmark: R = 32 same-seed replicas at
+/// n = 10⁶ run once through the lockstep `EnsembleEngine` and once as a
+/// plain loop of standalone batched runs.  The replicas are bit-identical
+/// across the two modes, so the wall-clock ratio is the aggregate
+/// interactions/sec speedup the lockstep sharing buys.  3-Majority is the
+/// headline row (its `O(k²j³)` adoption law is skipped on every cached
+/// activation-law hit, and the two-opinion count space keeps the reuse
+/// fraction high); the USD row bounds the win for an `O(k)`-table dynamic.
+fn ensemble_lockstep_comparison(c: &mut Criterion) {
+    let n = 1_000_000u64;
+    let replicas = 32usize;
+    let config = InitialConfig::new(n, 2)
+        .multiplicative_bias(4.0)
+        .build(SimSeed::from_u64(BENCH_SEED))
+        .expect("bench workload is valid");
+    let budget = 4_000 * n;
+    let stop = StopCondition::consensus().or_max_interactions(budget);
+    let choice = EnsembleChoice::new(replicas);
+    let seeds = choice.seeds(SimSeed::from_u64(BENCH_SEED));
+
+    let mut group = c.benchmark_group("engine/ensemble_consensus_3majority");
+    group.sample_size(3);
+    group.bench_with_input(
+        BenchmarkId::new("replica-loop", replicas),
+        &replicas,
+        |b, _| {
+            b.iter_batched(
+                || (config.clone(), seeds.clone(), stop),
+                |(config, seeds, stop)| {
+                    let mut total = 0u64;
+                    for seed in seeds {
+                        let mut sim =
+                            SequentialSampler::new(ThreeMajority::new(2), config.clone(), seed);
+                        let result = sim.run_engine(stop);
+                        assert!(result.reached_consensus());
+                        total += result.interactions();
+                    }
+                    total
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("ensemble", replicas), &replicas, |b, _| {
+        b.iter_batched(
+            || {
+                sampler_ensemble(
+                    &ThreeMajority::new(2),
+                    &config,
+                    SimSeed::from_u64(BENCH_SEED),
+                    choice,
+                )
+                .expect("3-majority provides skip-ahead hooks")
+            },
+            |mut ensemble| {
+                let outcome = ensemble.run(stop);
+                assert!(outcome.all_reached_goal());
+                outcome.total_interactions()
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("engine/ensemble_consensus_usd");
+    group.sample_size(3);
+    group.bench_with_input(
+        BenchmarkId::new("replica-loop", replicas),
+        &replicas,
+        |b, _| {
+            b.iter_batched(
+                || (config.clone(), seeds.clone(), stop),
+                |(config, seeds, stop)| {
+                    let mut total = 0u64;
+                    for seed in seeds {
+                        let mut engine = BatchedEngine::new(
+                            UndecidedStateDynamics::new(2),
+                            config.clone(),
+                            seed,
+                        );
+                        let result = engine.run_engine(stop);
+                        assert!(result.reached_consensus());
+                        total += result.interactions();
+                    }
+                    total
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("ensemble", replicas), &replicas, |b, _| {
+        b.iter_batched(
+            || {
+                UsdEnsemble::try_new(config.clone(), SimSeed::from_u64(BENCH_SEED), choice)
+                    .expect("batched base is always supported")
+            },
+            |mut ensemble| {
+                let outcome = ensemble.run(stop);
+                assert!(outcome.all_reached_goal());
+                outcome.total_interactions()
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
 fn gossip_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/gossip_round");
     group.sample_size(20);
@@ -278,6 +391,7 @@ criterion_group!(
     batched_engine_endgame,
     sharded_engine_shard_counts,
     sampling_dynamics_skip_ahead,
+    ensemble_lockstep_comparison,
     agent_simulator_steps,
     gossip_rounds
 );

@@ -1,0 +1,161 @@
+//! The lockstep replica ensemble specialized to the USD.
+//!
+//! [`UsdEnsemble`] wraps `pp_core::ensemble::EnsembleEngine` over batched
+//! USD replicas: `R` independent copies of one initial configuration advance
+//! in lockstep, sharing their per-counts productive-row tables and batching
+//! their geometric-skip/event draws, with every replica bit-identical to a
+//! standalone [`crate::UsdSimulator`] run on the batched backend with seed
+//! `master.child(i)`.
+
+use crate::protocol::UndecidedStateDynamics;
+use pp_core::ensemble::{EnsembleChoice, EnsembleEngine, EnsembleRunResult};
+use pp_core::{BatchedEngine, Configuration, PpError, SimSeed, StopCondition};
+
+/// A lockstep ensemble of batched USD replicas (see [`crate::UsdSimulator`]
+/// for single runs; construct through [`UsdEnsemble::try_new`] or
+/// [`crate::UsdSimulator::ensemble`]).
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::ensemble::EnsembleChoice;
+/// use pp_core::{Configuration, SimSeed, StopCondition};
+/// use usd_core::UsdEnsemble;
+///
+/// let config = Configuration::from_counts(vec![900, 100], 0).unwrap();
+/// let mut ensemble =
+///     UsdEnsemble::try_new(config, SimSeed::from_u64(7), EnsembleChoice::new(8)).unwrap();
+/// let outcome = ensemble.run(StopCondition::consensus().or_max_interactions(50_000_000));
+/// assert!(outcome.all_reached_goal());
+/// ```
+#[derive(Debug)]
+pub struct UsdEnsemble {
+    inner: EnsembleEngine<BatchedEngine<UndecidedStateDynamics>>,
+    choice: EnsembleChoice,
+}
+
+impl UsdEnsemble {
+    /// Builds `choice.replicas()` batched USD replicas of `config`, seeded
+    /// `master.child(i)` (the convention the bit-exactness guarantee is
+    /// stated against).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::UnsupportedEngine`] when `choice` selects a
+    /// non-batched base backend (`exact-inside-ensemble`,
+    /// `sharded-inside-ensemble`, `mean-field-inside-ensemble`).
+    pub fn try_new(
+        config: Configuration,
+        master: SimSeed,
+        choice: EnsembleChoice,
+    ) -> Result<Self, PpError> {
+        choice.validate()?;
+        let protocol = UndecidedStateDynamics::new(config.num_opinions());
+        let replicas = choice
+            .seeds(master)
+            .into_iter()
+            .map(|seed| BatchedEngine::try_new(protocol, config.clone(), seed))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(UsdEnsemble {
+            inner: EnsembleEngine::try_new(replicas)?,
+            choice,
+        })
+    }
+
+    /// The ensemble selector this engine was built from.
+    #[must_use]
+    pub fn choice(&self) -> EnsembleChoice {
+        self.choice
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the ensemble holds no replicas (construction rejects this).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Bounds the counts-keyed shared-table cache (see
+    /// `pp_core::ensemble::EnsembleEngine::with_cache_capacity`).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.inner = self.inner.with_cache_capacity(capacity);
+        self
+    }
+
+    /// Runs every replica until the stop condition is met (lockstep rounds;
+    /// per-replica results identical to standalone batched runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stop condition is unbounded.
+    pub fn run(&mut self, stop: StopCondition) -> EnsembleRunResult {
+        self.inner.run(stop)
+    }
+
+    /// Runs every replica to consensus (or until the safety budget is
+    /// exhausted).
+    pub fn run_to_consensus(&mut self, max_interactions: u64) -> EnsembleRunResult {
+        self.run(StopCondition::consensus().or_max_interactions(max_interactions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UsdSimulator;
+    use pp_core::{EngineChoice, StepEngine};
+
+    #[test]
+    fn replicas_match_standalone_batched_usd_runs() {
+        let config = Configuration::from_counts(vec![700, 200, 100], 0).unwrap();
+        let master = SimSeed::from_u64(31);
+        let mut ensemble =
+            UsdEnsemble::try_new(config.clone(), master, EnsembleChoice::new(5)).unwrap();
+        let outcome = ensemble.run_to_consensus(100_000_000);
+        assert!(outcome.all_reached_goal());
+        for (i, seed) in EnsembleChoice::new(5).seeds(master).into_iter().enumerate() {
+            let protocol = UndecidedStateDynamics::new(3);
+            let mut standalone = BatchedEngine::new(protocol, config.clone(), seed);
+            let expected =
+                standalone.run_engine(StopCondition::consensus().or_max_interactions(100_000_000));
+            assert_eq!(outcome.replica(i), &expected, "replica {i} diverged");
+        }
+    }
+
+    #[test]
+    fn non_batched_bases_are_rejected_with_diagnostics() {
+        let config = Configuration::from_counts(vec![60, 40], 0).unwrap();
+        for (base, name) in [
+            (EngineChoice::Exact, "exact-inside-ensemble"),
+            (EngineChoice::Sharded, "sharded-inside-ensemble"),
+            (EngineChoice::MeanField, "mean-field-inside-ensemble"),
+        ] {
+            let err = UsdEnsemble::try_new(
+                config.clone(),
+                SimSeed::from_u64(1),
+                EnsembleChoice::new(2).with_base(base),
+            )
+            .unwrap_err();
+            assert_eq!(err, PpError::UnsupportedEngine { requested: name });
+        }
+    }
+
+    #[test]
+    fn simulator_entry_point_builds_the_ensemble() {
+        let config = Configuration::from_counts(vec![90, 10], 0).unwrap();
+        let mut ensemble =
+            UsdSimulator::ensemble(config, SimSeed::from_u64(2), EnsembleChoice::new(3)).unwrap();
+        assert_eq!(ensemble.len(), 3);
+        assert!(!ensemble.is_empty());
+        assert_eq!(ensemble.choice().replicas(), 3);
+        let outcome = ensemble.run_to_consensus(10_000_000);
+        assert_eq!(outcome.len(), 3);
+        assert!(outcome.shared_hits() + outcome.shared_misses() > 0);
+    }
+}

@@ -18,7 +18,10 @@
 //!   `MeanField` for instant ODE approximation — or per *phase* with
 //!   [`EnginePolicy`] ([`UsdSimulator::run_with_phases_policy`]): the
 //!   recommended policy steps Phase 1 exactly and batches the null-dominated
-//!   Phases 2–5.
+//!   Phases 2–5.  For Monte Carlo estimates over many runs,
+//!   [`UsdEnsemble`] ([`UsdSimulator::ensemble`]) advances `R` batched
+//!   replicas in lockstep with counts-deduplicated row tables, each replica
+//!   bit-identical to a standalone same-seed run.
 //! * [`phases`] — the five-phase structure of the paper's analysis
 //!   (Section 2.1) with a [`phases::PhaseTracker`] that measures the hitting
 //!   times `T1..T5` of a run.
@@ -54,6 +57,7 @@
 
 pub mod bounds;
 pub mod coupling;
+pub mod ensemble;
 pub mod exact;
 pub mod mean_field;
 pub mod phases;
@@ -64,6 +68,7 @@ pub mod trajectory;
 pub mod two_opinion;
 
 pub use coupling::CoupledUsd;
+pub use ensemble::UsdEnsemble;
 pub use exact::TwoOpinionChain;
 pub use mean_field::{MeanFieldEngine, MeanFieldState};
 pub use phases::{EnginePolicy, Phase, PhaseTimes, PhaseTracker};
@@ -76,6 +81,7 @@ pub use two_opinion::ApproximateMajority;
 /// the relevant parts of `pp-core`.
 pub mod prelude {
     pub use crate::bounds;
+    pub use crate::ensemble::UsdEnsemble;
     pub use crate::exact::TwoOpinionChain;
     pub use crate::mean_field::{MeanFieldEngine, MeanFieldState};
     pub use crate::phases::{EnginePolicy, Phase, PhaseTimes, PhaseTracker};

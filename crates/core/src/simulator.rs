@@ -194,6 +194,25 @@ impl UsdSimulator {
         }
     }
 
+    /// Builds a lockstep replica ensemble over `config` — the Monte Carlo
+    /// counterpart of [`UsdSimulator::with_engine`]: `choice.replicas()`
+    /// batched USD copies advance together, sharing per-counts row tables,
+    /// with replica `i` bit-identical to a standalone batched run seeded
+    /// `master.child(i)` (see [`crate::UsdEnsemble`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pp_core::PpError::UnsupportedEngine`] when `choice` selects
+    /// a non-batched base backend (exact, sharded and mean-field cannot run
+    /// inside the lockstep ensemble).
+    pub fn ensemble(
+        config: Configuration,
+        master: SimSeed,
+        choice: pp_core::EnsembleChoice,
+    ) -> Result<crate::UsdEnsemble, pp_core::PpError> {
+        crate::UsdEnsemble::try_new(config, master, choice)
+    }
+
     /// The shard plan applied to the sharded backend.
     #[must_use]
     pub fn shard_plan(&self) -> &ShardPlan {

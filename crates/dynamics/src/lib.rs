@@ -52,6 +52,21 @@
 //! sampler against its per-activation reference (via
 //! `pp_analysis::conformance`).
 //!
+//! The j-Majority adoption law (`O(k²j³)` per evaluation) is computed once
+//! per state-changing event: both hooks share a counts-keyed single-entry
+//! memo inside [`JMajority`] (which therefore is no longer `Copy`).
+//!
+//! ## Replica ensembles
+//!
+//! Monte Carlo sweeps over many same-configuration runs go through
+//! [`sampler_ensemble`], which builds a `pp_core::ensemble::EnsembleEngine`
+//! of lockstep [`SequentialSampler`] replicas: replicas whose counts
+//! coincide share one [`ActivationLaw`] — for the j-Majority family the
+//! full adoption law rides along, so a cached law skips the dynamic
+//! program entirely — while per-replica RNG streams keep every replica
+//! bit-identical to a standalone same-seed run
+//! (`tests/ensemble_equivalence.rs` pins all five dynamics).
+//!
 //! ## Example
 //!
 //! ```
@@ -77,7 +92,8 @@ pub mod voter;
 pub use majority::{JMajority, ThreeMajority};
 pub use median::MedianRule;
 pub use sampling::{
-    SamplingDynamics, SequentialSampler, SynchronousRunner, SEQUENTIAL_ACTIVATION_SCHEDULER_NAME,
+    sampler_ensemble, ActivationLaw, SamplingDynamics, SequentialSampler, SynchronousRunner,
+    SEQUENTIAL_ACTIVATION_SCHEDULER_NAME,
 };
 pub use sync_usd::SynchronizedUsd;
 pub use voter::{PairwiseVoter, TwoChoices, Voter};

@@ -28,12 +28,22 @@
 //! winner.  A tie among `1 + T` leaders contributes weight `1/(1 + T)`.  The
 //! cost is `O(k²·j³)` per evaluation — independent of how many null
 //! activations the engine skips.
+//!
+//! Both skip-ahead hooks consume the same adoption law, so [`JMajority`]
+//! memoizes the most recent `(counts, q)` pair in a single-entry
+//! interior-mutability cache: per state-changing event the dynamic program
+//! runs once (the null-probability evaluation fills the memo, the
+//! conditional event draw hits it), and under the lockstep ensemble —
+//! which shares whole [`crate::sampling::ActivationLaw`]s across replicas
+//! by counts — a cached law skips it entirely.  The memo is invisible to
+//! callers (pure-function semantics, values identical bit for bit); its
+//! cost is that `JMajority` is no longer `Copy`.
 
-use crate::sampling::SamplingDynamics;
+use crate::sampling::{ActivationLaw, SamplingDynamics};
 use pp_core::engine::uniform_u128_below;
 use pp_core::{AgentState, Configuration};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// `P(Binomial(n, p) = c)`, evaluated directly (exact for the tiny `n ≤ j`
 /// this module needs).
@@ -54,6 +64,21 @@ fn binomial_pmf(n: usize, c: usize, p: f64) -> f64 {
     }
 }
 
+/// The single-entry adoption-law memo: the counts it was computed for and
+/// the law itself.
+#[derive(Debug, Clone, PartialEq)]
+struct AdoptionMemo {
+    supports: Vec<u64>,
+    undecided: u64,
+    q: Vec<f64>,
+}
+
+impl AdoptionMemo {
+    fn matches(&self, config: &Configuration) -> bool {
+        self.undecided == config.undecided() && self.supports == config.supports()
+    }
+}
+
 /// The general j-Majority dynamic: the activated agent samples `j` agents and
 /// adopts the most frequent opinion among the decided samples, breaking ties
 /// uniformly at random.  If every sample is undecided the agent keeps its
@@ -69,11 +94,24 @@ fn binomial_pmf(n: usize, c: usize, p: f64) -> f64 {
 /// assert_eq!(dyn5.sample_size(), 5);
 /// assert_eq!(dyn5.num_opinions(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JMajority {
     opinions: usize,
     samples: usize,
+    /// Counts-keyed single-entry memo of the adoption law (module docs).
+    /// Cloning deep-copies it, so clones never share state across threads.
+    memo: RefCell<Option<AdoptionMemo>>,
 }
+
+/// Equality is over the dynamic's parameters; the memo is a transparent
+/// cache and never observable.
+impl PartialEq for JMajority {
+    fn eq(&self, other: &Self) -> bool {
+        self.opinions == other.opinions && self.samples == other.samples
+    }
+}
+
+impl Eq for JMajority {}
 
 impl JMajority {
     /// Creates a j-Majority dynamic for `k` opinions sampling `j` agents per
@@ -89,6 +127,7 @@ impl JMajority {
         JMajority {
             opinions: k,
             samples: j,
+            memo: RefCell::new(None),
         }
     }
 
@@ -166,7 +205,42 @@ impl JMajority {
     /// The exact adoption law of one activation: `q[o] = P(opinion o is
     /// adopted)`, marginalized over sample compositions (see the module
     /// docs).  `Σ_o q[o] = 1 − π_⊥^j` up to floating-point rounding.
+    /// Memoized per counts (single entry); use
+    /// [`JMajority::with_adoption_probabilities`] on hot paths to avoid the
+    /// clone.
+    #[cfg(test)]
     fn adoption_probabilities(&self, config: &Configuration) -> Vec<f64> {
+        self.with_adoption_probabilities(config, <[f64]>::to_vec)
+    }
+
+    /// Runs `consume` on the adoption law for `config`, computing the
+    /// `O(k²j³)` dynamic program only when the single-entry memo holds a
+    /// different count vector.
+    fn with_adoption_probabilities<T>(
+        &self,
+        config: &Configuration,
+        consume: impl FnOnce(&[f64]) -> T,
+    ) -> T {
+        {
+            let memo = self.memo.borrow();
+            if let Some(entry) = memo.as_ref() {
+                if entry.matches(config) {
+                    return consume(&entry.q);
+                }
+            }
+        }
+        let q = self.compute_adoption_probabilities(config);
+        let result = consume(&q);
+        *self.memo.borrow_mut() = Some(AdoptionMemo {
+            supports: config.supports().to_vec(),
+            undecided: config.undecided(),
+            q,
+        });
+        result
+    }
+
+    /// The uncached adoption-law dynamic program.
+    fn compute_adoption_probabilities(&self, config: &Configuration) -> Vec<f64> {
         let k = self.opinions;
         let j = self.samples;
         let n = config.population() as f64;
@@ -188,6 +262,71 @@ impl JMajority {
             }
         }
         q
+    }
+
+    /// The null-activation probability derived from an adoption law `q`:
+    /// `π_⊥^j + Σ_o π_o·q_o` (both hooks and the ensemble law computation
+    /// share this helper so their values agree bit for bit).
+    fn null_from_q(&self, config: &Configuration, q: &[f64]) -> f64 {
+        let n = config.population() as f64;
+        #[allow(clippy::cast_possible_wrap)]
+        let mut p_null = (config.undecided() as f64 / n).powi(self.samples as i32);
+        for (o, &qo) in q.iter().enumerate() {
+            p_null += config.support(o) as f64 / n * qo;
+        }
+        p_null.clamp(0.0, 1.0)
+    }
+
+    /// Draws the productive `(current, adopted)` transition given the
+    /// adoption law `q` (module docs): adopted opinion `o ∝ q_o·(n − c_o)`,
+    /// then the activated category `∝ c_s`, `s ≠ o`.
+    fn draw_move_from_adoption<R: Rng + ?Sized>(
+        &self,
+        config: &Configuration,
+        q: &[f64],
+        rng: &mut R,
+    ) -> Option<(AgentState, AgentState)> {
+        let k = config.num_opinions();
+        let n = config.population();
+        let rows: Vec<f64> = (0..k)
+            .map(|o| q[o] * (n - config.support(o)) as f64)
+            .collect();
+        let total: f64 = rows.iter().sum();
+        debug_assert!(total > 0.0, "no productive activation exists");
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut winner = None;
+        for (o, &row) in rows.iter().enumerate() {
+            if row <= 0.0 {
+                continue;
+            }
+            // Remember the last eligible row so floating-point shortfall in
+            // the running subtraction can never fall off the end.
+            winner = Some(o);
+            if target < row {
+                break;
+            }
+            target -= row;
+        }
+        let winner = winner.expect("a positive total implies an eligible row");
+        let c_winner = config.support(winner);
+        let mut ctarget = uniform_u128_below(rng, u128::from(n - c_winner));
+        for cat in 0..=k {
+            if cat == winner {
+                continue;
+            }
+            let c = u128::from(config.category_count(cat));
+            if ctarget < c {
+                return Some((
+                    AgentState::from_category(cat, k),
+                    AgentState::decided(winner),
+                ));
+            }
+            ctarget -= c;
+        }
+        unreachable!("activated-agent weight exceeded the available counts")
     }
 }
 
@@ -236,74 +375,47 @@ impl SamplingDynamics for JMajority {
 
     /// Closed form (module docs): null iff every sample is undecided or the
     /// winning opinion matches the activated agent's own —
-    /// `π_⊥^j + Σ_o π_o·q_o`.
+    /// `π_⊥^j + Σ_o π_o·q_o`.  One memoized adoption-law pass; the
+    /// companion event draw reuses it.
     fn null_activation_probability(&self, config: &Configuration) -> Option<f64> {
-        let n = config.population() as f64;
-        let q = self.adoption_probabilities(config);
-        #[allow(clippy::cast_possible_wrap)]
-        let mut p_null = (config.undecided() as f64 / n).powi(self.samples as i32);
-        for (o, &qo) in q.iter().enumerate() {
-            p_null += config.support(o) as f64 / n * qo;
-        }
-        Some(p_null.clamp(0.0, 1.0))
+        Some(self.with_adoption_probabilities(config, |q| self.null_from_q(config, q)))
     }
 
     /// Closed form (module docs): the adopted opinion and the activated
     /// agent are independent given the activation is productive, so draw
     /// `o ∝ q_o·(n − c_o)` and then the activated category `∝ c_s`, `s ≠ o`.
+    /// Reuses the adoption law the null-probability evaluation memoized.
     fn sample_productive_move<R: Rng + ?Sized>(
         &self,
         config: &Configuration,
         rng: &mut R,
     ) -> Option<(AgentState, AgentState)> {
-        let k = config.num_opinions();
-        let n = config.population();
-        let q = self.adoption_probabilities(config);
-        let rows: Vec<f64> = (0..k)
-            .map(|o| q[o] * (n - config.support(o)) as f64)
-            .collect();
-        let total: f64 = rows.iter().sum();
-        debug_assert!(total > 0.0, "no productive activation exists");
-        if total <= 0.0 {
-            return None;
-        }
-        let mut target = rng.gen_range(0.0..total);
-        let mut winner = None;
-        for (o, &row) in rows.iter().enumerate() {
-            if row <= 0.0 {
-                continue;
-            }
-            // Remember the last eligible row so floating-point shortfall in
-            // the running subtraction can never fall off the end.
-            winner = Some(o);
-            if target < row {
-                break;
-            }
-            target -= row;
-        }
-        let winner = winner.expect("a positive total implies an eligible row");
-        let c_winner = config.support(winner);
-        let mut ctarget = uniform_u128_below(rng, u128::from(n - c_winner));
-        for cat in 0..=k {
-            if cat == winner {
-                continue;
-            }
-            let c = u128::from(config.category_count(cat));
-            if ctarget < c {
-                return Some((
-                    AgentState::from_category(cat, k),
-                    AgentState::decided(winner),
-                ));
-            }
-            ctarget -= c;
-        }
-        unreachable!("activated-agent weight exceeded the available counts")
+        self.with_adoption_probabilities(config, |q| self.draw_move_from_adoption(config, q, rng))
+    }
+
+    /// The ensemble-shared law carries the full adoption vector, so a
+    /// cached law skips the `O(k²j³)` dynamic program entirely.
+    fn activation_law(&self, config: &Configuration) -> Option<ActivationLaw> {
+        Some(self.with_adoption_probabilities(config, |q| ActivationLaw {
+            p_null: self.null_from_q(config, q),
+            weights: q.to_vec(),
+        }))
+    }
+
+    fn sample_from_law<R: Rng + ?Sized>(
+        &self,
+        config: &Configuration,
+        law: &ActivationLaw,
+        rng: &mut R,
+    ) -> Option<(AgentState, AgentState)> {
+        debug_assert_eq!(law.weights.len(), self.opinions);
+        self.draw_move_from_adoption(config, &law.weights, rng)
     }
 }
 
 /// The 3-Majority dynamic (`j = 3`), analyzed by Becchetti et al. and
 /// Ghaffari–Lengler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreeMajority {
     inner: JMajority,
 }
@@ -354,6 +466,19 @@ impl SamplingDynamics for ThreeMajority {
         rng: &mut R,
     ) -> Option<(AgentState, AgentState)> {
         self.inner.sample_productive_move(config, rng)
+    }
+
+    fn activation_law(&self, config: &Configuration) -> Option<ActivationLaw> {
+        self.inner.activation_law(config)
+    }
+
+    fn sample_from_law<R: Rng + ?Sized>(
+        &self,
+        config: &Configuration,
+        law: &ActivationLaw,
+        rng: &mut R,
+    ) -> Option<(AgentState, AgentState)> {
+        self.inner.sample_from_law(config, law, rng)
     }
 }
 

@@ -1,12 +1,32 @@
 //! The sampling-dynamics trait and its two runners.
 
 use pp_core::engine::{Advance, StepEngine};
+use pp_core::ensemble::{EnsembleChoice, EnsembleEngine, EnsembleReplica};
 use pp_core::{
     AgentState, Configuration, FenwickTree, PpError, Recorder, RunOutcome, RunResult, SimSeed,
     StopCondition,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// The per-counts law of one activation, shared between lockstep ensemble
+/// replicas whose counts coincide (the sampling-dynamics counterpart of
+/// `pp_core::ensemble::RowTable`).
+///
+/// `p_null` always carries the exact null-activation probability; `weights`
+/// is a dynamic-interpreted table backing
+/// [`SamplingDynamics::sample_from_law`] — the j-Majority dynamics store
+/// their `O(k²j³)` adoption law `q` here so a cached law skips the dynamic
+/// program entirely, while dynamics whose conditional draw is already cheap
+/// (Voter, TwoChoices, MedianRule) leave it empty and fall through to
+/// [`SamplingDynamics::sample_productive_move`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationLaw {
+    /// Probability that one activation leaves the activated agent unchanged.
+    pub p_null: f64,
+    /// Dynamic-interpreted per-counts weights (empty when unused).
+    pub weights: Vec<f64>,
+}
 
 /// A consensus dynamic in which an activated agent updates its opinion based
 /// on the opinions of `sample_size` uniformly random population members.
@@ -78,6 +98,38 @@ pub trait SamplingDynamics {
     /// silently falling back to per-activation stepping.
     fn supports_skip_ahead(&self, config: &Configuration) -> bool {
         self.null_activation_probability(config).is_some()
+    }
+
+    /// The full per-counts activation law, for the lockstep ensemble's
+    /// counts-keyed sharing.  The default wraps
+    /// [`null_activation_probability`](SamplingDynamics::null_activation_probability)
+    /// with empty weights; dynamics whose conditional event draw needs an
+    /// expensive per-counts table (j-Majority's adoption law) override it so
+    /// cached laws skip that computation too.  Must be a pure function of
+    /// the counts, and `p_null` must equal the value
+    /// `null_activation_probability` returns, bit for bit.
+    fn activation_law(&self, config: &Configuration) -> Option<ActivationLaw> {
+        self.null_activation_probability(config)
+            .map(|p_null| ActivationLaw {
+                p_null,
+                weights: Vec::new(),
+            })
+    }
+
+    /// Draws the `(current, new)` transition of a state-changing activation
+    /// from a previously computed [`ActivationLaw`].  Must consume the RNG
+    /// exactly as
+    /// [`sample_productive_move`](SamplingDynamics::sample_productive_move)
+    /// does — the default simply delegates to it — so ensemble replicas stay
+    /// bit-identical to standalone runs.
+    fn sample_from_law<R: Rng + ?Sized>(
+        &self,
+        config: &Configuration,
+        law: &ActivationLaw,
+        rng: &mut R,
+    ) -> Option<(AgentState, AgentState)> {
+        let _ = law;
+        self.sample_productive_move(config, rng)
     }
 }
 
@@ -380,6 +432,78 @@ impl<D: SamplingDynamics> StepEngine for SequentialSampler<D> {
         self.apply_transition(from, to);
         Advance::Event
     }
+}
+
+impl<D: SamplingDynamics> EnsembleReplica for SequentialSampler<D> {
+    type Shared = ActivationLaw;
+
+    fn compute_shared(&self) -> Result<ActivationLaw, PpError> {
+        self.dynamics
+            .activation_law(&self.config)
+            .ok_or(PpError::UnsupportedEngine {
+                requested: "ensemble",
+            })
+    }
+
+    fn event_probability(&self, shared: &ActivationLaw) -> f64 {
+        debug_assert!(
+            (0.0..=1.0).contains(&shared.p_null),
+            "null probability {} out of range",
+            shared.p_null
+        );
+        1.0 - shared.p_null
+    }
+
+    fn draw_skip(&mut self, p: f64, headroom: u64) -> Option<u64> {
+        pp_core::engine::geometric_skip(&mut self.rng, p, headroom)
+    }
+
+    fn apply_event(&mut self, shared: &ActivationLaw, skip: u64) {
+        self.steps += skip + 1;
+        let (from, to) = match self
+            .dynamics
+            .sample_from_law(&self.config, shared, &mut self.rng)
+        {
+            Some(transition) => transition,
+            None => {
+                self.rejection_fallbacks += 1;
+                self.rejection_sample_move()
+            }
+        };
+        debug_assert_ne!(from, to, "sampled event must change the agent's state");
+        self.apply_transition(from, to);
+    }
+
+    fn forward_to_limit(&mut self, limit: u64) {
+        self.steps = limit;
+    }
+}
+
+/// Builds a lockstep [`EnsembleEngine`] of `choice.replicas()` sequential
+/// samplers of `dynamics`, all starting from `config`, with the standard
+/// per-replica seed derivation (`master.child(i)` — see
+/// [`EnsembleChoice::seeds`]).  Works for every shipped sampling dynamic;
+/// replicas whose counts coincide share one activation-law computation.
+///
+/// # Errors
+///
+/// Returns [`PpError::UnsupportedEngine`] when `choice` selects a
+/// non-batched base backend or when the dynamic provides no closed-form
+/// skip-ahead hooks, and [`PpError::OpinionCountMismatch`] when the dynamic
+/// and the configuration disagree on `k`.
+pub fn sampler_ensemble<D: SamplingDynamics + Clone>(
+    dynamics: &D,
+    config: &Configuration,
+    master: SimSeed,
+    choice: EnsembleChoice,
+) -> Result<EnsembleEngine<SequentialSampler<D>>, PpError> {
+    choice.validate()?;
+    let replicas = choice
+        .seeds(master)
+        .into_iter()
+        .map(|seed| SequentialSampler::try_new(dynamics.clone(), config.clone(), seed))
+        .collect::<Result<Vec<_>, _>>()?;
+    EnsembleEngine::try_new(replicas)
 }
 
 /// Synchronous (gossip-round) execution of a sampling dynamic over an explicit

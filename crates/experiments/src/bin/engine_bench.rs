@@ -4,8 +4,9 @@
 //! engine_bench [--quick] [--seed <u64>] [--output BENCH_engines.json]
 //! ```
 //!
-//! Runs the engine-throughput experiments — E13 (exact vs batched) and E14
-//! (shard count vs throughput, up to `n = 10⁹` at full scale) — and writes a
+//! Runs the engine-throughput experiments — E13 (exact vs batched), E14
+//! (shard count vs throughput, up to `n = 10⁹` at full scale) and E15
+//! (lockstep replica ensemble vs a loop of standalone runs) — and writes a
 //! *stamped* JSON document: workspace version, scale and seed at the top,
 //! then one flat `entries` record per `(engine, shards, n, k, bias)` cell,
 //! then the full reports.  The stamp makes records comparable across PRs;
@@ -16,6 +17,7 @@ use pp_core::SimSeed;
 use std::process::ExitCode;
 use usd_experiments::exps::e13_engine_throughput::EngineThroughputExperiment;
 use usd_experiments::exps::e14_sharded_throughput::ShardedThroughputExperiment;
+use usd_experiments::exps::e15_ensemble_throughput::EnsembleThroughputExperiment;
 use usd_experiments::trend::render_stamped_document;
 use usd_experiments::Scale;
 
@@ -82,12 +84,21 @@ fn main() -> ExitCode {
     print!("{}", e14_report.render());
     entries.extend(e14_entries);
 
+    let e15 = EnsembleThroughputExperiment::new(opts.scale);
+    eprintln!(
+        "E15: benchmarking the replica ensemble over {:?}…",
+        e15.cells
+    );
+    let (e15_report, e15_entries) = e15.run_with_samples(SimSeed::from_u64(opts.seed ^ 0xE15));
+    print!("{}", e15_report.render());
+    entries.extend(e15_entries);
+
     let document = render_stamped_document(
         env!("CARGO_PKG_VERSION"),
         scale_name,
         opts.seed,
         &entries,
-        &[e13_report, e14_report],
+        &[e13_report, e14_report, e15_report],
     );
     if let Err(e) = std::fs::write(&opts.output, document + "\n") {
         eprintln!("cannot write {}: {e}", opts.output);

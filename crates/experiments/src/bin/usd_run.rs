@@ -5,7 +5,8 @@
 //! usd_run --n 100000 --k 10 --bias-mult 2.0 [--mult-bias 1.5] [--undecided 0.2]
 //!         [--dynamic usd|voter|two-choices|3-majority|j-majority|median]
 //!         [--j 5] [--engine exact|batched|sharded|mean-field] [--shards 8]
-//!         [--epoch 1000000] [--seed 7] [--samples 500] [--output trajectory.csv]
+//!         [--epoch 1000000] [--replicas 32] [--seed 7] [--samples 500]
+//!         [--output trajectory.csv]
 //! ```
 //!
 //! Exactly one of `--bias-mult` (additive bias in `sqrt(n ln n)` units) or
@@ -21,15 +22,28 @@
 //! a silent fallback).  The sharded and mean-field backends are USD-only:
 //! sampling dynamics touch `j` agents per activation, so the pairwise
 //! cross-shard reconciliation and the USD's ODE limit do not apply.
+//!
+//! `--replicas R` (with `R > 1`) runs a lockstep ensemble instead of a
+//! single trajectory: `R` batched replicas advance together sharing their
+//! per-counts tables, and the tool prints a streaming summary
+//! (mean/variance/CI of the hitting time, aggregate interactions/sec)
+//! instead of a trajectory CSV.  Works for the USD and every baseline
+//! dynamic; combinations the ensemble backend rejects (e.g.
+//! `--engine sharded --replicas 8`, sharded-inside-ensemble) fail with a
+//! clear diagnostic.
 
 use consensus_dynamics::{
-    JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority, TwoChoices, Voter,
+    sampler_ensemble, JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
+    TwoChoices, Voter,
 };
+use pp_analysis::streaming::summarize_ensemble;
 use pp_core::engine::StepEngine;
+use pp_core::ensemble::{EnsembleChoice, EnsembleRunResult};
 use pp_core::{Configuration, EngineChoice, RunResult, ShardPlan, SimSeed, StopCondition};
 use pp_workloads::InitialConfig;
 use std::process::ExitCode;
-use usd_core::{Phase, PhaseTracker, Trajectory, UsdSimulator};
+use std::time::Instant;
+use usd_core::{Phase, PhaseTracker, Trajectory, UsdEnsemble, UsdSimulator};
 
 /// Which process the run drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +85,7 @@ struct Options {
     engine: EngineChoice,
     shards: Option<usize>,
     epoch: Option<u64>,
+    replicas: usize,
     seed: u64,
     samples: u64,
     output: Option<String>,
@@ -89,6 +104,7 @@ impl Default for Options {
             engine: EngineChoice::Exact,
             shards: None,
             epoch: None,
+            replicas: 1,
             seed: 1,
             samples: 400,
             output: None,
@@ -99,6 +115,7 @@ impl Default for Options {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut j_given = false;
+    let mut engine_given = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -136,6 +153,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.majority_samples = value(&mut i)?.parse().map_err(|e| format!("--j: {e}"))?
             }
             "--engine" => {
+                engine_given = true;
                 opts.engine = value(&mut i)?
                     .parse()
                     .map_err(|e| format!("--engine: {e}"))?
@@ -154,6 +172,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("--epoch: {e}"))?,
                 )
             }
+            "--replicas" => {
+                opts.replicas = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--replicas: {e}"))?
+            }
             "--seed" => opts.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--samples" => {
                 opts.samples = value(&mut i)?
@@ -166,8 +189,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                      [--undecided <fraction>] \
                      [--dynamic usd|voter|two-choices|3-majority|j-majority|median] [--j <samples>] \
                      [--engine exact|batched|sharded|mean-field] \
-                     [--shards <count>] [--epoch <interactions>] [--seed <u64>] \
-                     [--samples <count>] [--output <csv>]"
+                     [--shards <count>] [--epoch <interactions>] [--replicas <count>] \
+                     [--seed <u64>] [--samples <count>] [--output <csv>]"
                     .to_string(),
             ),
             other => return Err(format!("unknown flag: {other}")),
@@ -205,7 +228,129 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.epoch == Some(0) {
         return Err("--epoch must be positive".to_string());
     }
+    if opts.replicas == 0 {
+        return Err("--replicas must be positive".to_string());
+    }
+    if opts.replicas > 1 {
+        // The lockstep ensemble runs on the batched base backend only; an
+        // unstated engine defaults to it, an explicit other engine is the
+        // user asking for an unsupported nesting.
+        if !engine_given {
+            opts.engine = EngineChoice::Batched;
+        }
+        EnsembleChoice::new(opts.replicas)
+            .with_base(opts.engine)
+            .validate()
+            .map_err(|e| {
+                format!(
+                    "{e}: the replica ensemble shares skip-ahead row computations, so only \
+                     the batched base engine can run inside it — use --engine batched (or \
+                     drop --replicas)"
+                )
+            })?;
+        if opts.output.is_some() {
+            return Err(
+                "--output records a single trajectory; the replica ensemble prints a \
+                 streaming summary instead — drop --output or --replicas"
+                    .to_string(),
+            );
+        }
+    }
     Ok(opts)
+}
+
+/// Prints the streaming ensemble summary (satisfies `--replicas`): hitting
+/// time statistics, goal proportion, shared-table reuse and aggregate
+/// throughput.
+fn print_ensemble_summary(outcome: &EnsembleRunResult, elapsed: f64) {
+    let summary = summarize_ensemble(outcome);
+    let (goal, lo, hi) = summary.goal_proportion();
+    println!(
+        "ensemble: {} replicas, {} lockstep rounds, shared-table reuse {:.1}% ({} hits / {} misses)",
+        summary.replicas,
+        outcome.rounds(),
+        100.0 * outcome.shared_reuse_fraction(),
+        outcome.shared_hits(),
+        outcome.shared_misses(),
+    );
+    println!(
+        "consensus: {}/{} replicas ({:.1}%, Wilson 95% [{:.3}, {:.3}])",
+        summary.goal_reached,
+        summary.replicas,
+        100.0 * goal,
+        lo,
+        hi
+    );
+    // Hitting-time statistics cover goal-reaching replicas only —
+    // budget-exhausted replicas stop at the censoring cap, which is not a
+    // hitting time.
+    if summary.hitting_time.count() > 0 {
+        let (ci_lo, ci_hi) = summary.hitting_time.mean_confidence_interval(1.96);
+        println!(
+            "hitting time (interactions, {} converged replicas): mean {:.0} \
+             (95% CI [{:.0}, {:.0}]), std-dev {:.0}, median ~{:.0}, min {:.0}, max {:.0}",
+            summary.hitting_time.count(),
+            summary.hitting_time.mean(),
+            ci_lo,
+            ci_hi,
+            summary.hitting_time.std_dev(),
+            summary.hitting_time.median().unwrap_or(f64::NAN),
+            summary.hitting_time.min(),
+            summary.hitting_time.max(),
+        );
+    } else {
+        println!("hitting time: no replica reached the goal within the budget");
+    }
+    if summary.goal_reached < summary.replicas {
+        println!(
+            "interactions at stop (all replicas, incl. {} budget-capped): mean {:.0}",
+            summary.replicas - summary.goal_reached,
+            summary.interactions.mean(),
+        );
+    }
+    println!(
+        "parallel time: mean {:.2}, std-dev {:.2}",
+        summary.parallel_time.mean(),
+        summary.parallel_time.std_dev()
+    );
+    let total = outcome.total_interactions();
+    println!(
+        "aggregate throughput: {:.3e} interactions/sec ({} interactions across all replicas \
+         in {:.3} s)",
+        total as f64 / elapsed.max(1e-9),
+        total,
+        elapsed
+    );
+    let misses: u64 = outcome
+        .results()
+        .iter()
+        .filter_map(pp_core::RunResult::rejection_misses)
+        .sum();
+    println!("rejection misses: {misses} across all replicas");
+}
+
+/// Runs a baseline sampling dynamic as a lockstep replica ensemble.
+fn run_sampling_ensemble<D: SamplingDynamics + Clone>(
+    dynamics: D,
+    config: Configuration,
+    seed: SimSeed,
+    choice: EnsembleChoice,
+    budget: u64,
+) -> Result<(EnsembleRunResult, f64), String> {
+    let name = dynamics.name().to_string();
+    let mut ensemble = sampler_ensemble(&dynamics, &config, seed, choice).map_err(|e| {
+        format!(
+            "{e}: the {name} dynamic cannot run under the replica ensemble \
+             (it provides no closed-form skip-ahead hooks)"
+        )
+    })?;
+    eprintln!(
+        "dynamic: {name}; step engine: lockstep ensemble of {} batched replicas",
+        choice.replicas()
+    );
+    let start = Instant::now();
+    let outcome = ensemble.run(StopCondition::consensus().or_max_interactions(budget));
+    Ok((outcome, start.elapsed().as_secs_f64()))
 }
 
 /// The shard plan the run resolves to: the workload's shard count (one
@@ -280,6 +425,9 @@ fn main() -> ExitCode {
     if let Some(shards) = opts.shards {
         spec = spec.shards(shards);
     }
+    if opts.replicas > 1 {
+        spec = spec.replicas(opts.replicas);
+    }
     let seed = SimSeed::from_u64(opts.seed);
     let config = match spec.build(seed) {
         Ok(c) => c,
@@ -293,6 +441,72 @@ fn main() -> ExitCode {
     let n_f = opts.n as f64;
     let budget = (400.0 * opts.k as f64 * n_f * n_f.ln()) as u64 + 10_000_000;
     let sample_period = (budget / opts.samples).max(1).min(opts.n.max(1));
+
+    if opts.replicas > 1 {
+        // The workload spec owns the replica count and (validated) base
+        // engine; parse_args already turned invalid nestings into early
+        // diagnostics, so this rebuild cannot fail on the choice.
+        let (config, choice) = match spec.build_ensemble(seed) {
+            Ok(built) => built,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        let run_seed = seed.child(1);
+        let outcome = if opts.dynamic == Dynamic::Usd {
+            eprintln!(
+                "step engine: lockstep ensemble of {} batched replicas",
+                choice.replicas()
+            );
+            match UsdEnsemble::try_new(config, run_seed, choice) {
+                Ok(mut ensemble) => {
+                    let start = Instant::now();
+                    let outcome =
+                        ensemble.run(StopCondition::consensus().or_max_interactions(budget));
+                    Ok((outcome, start.elapsed().as_secs_f64()))
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        } else {
+            match opts.dynamic {
+                Dynamic::Voter => {
+                    run_sampling_ensemble(Voter::new(opts.k), config, run_seed, choice, budget)
+                }
+                Dynamic::TwoChoices => {
+                    run_sampling_ensemble(TwoChoices::new(opts.k), config, run_seed, choice, budget)
+                }
+                Dynamic::ThreeMajority => run_sampling_ensemble(
+                    ThreeMajority::new(opts.k),
+                    config,
+                    run_seed,
+                    choice,
+                    budget,
+                ),
+                Dynamic::JMajority => run_sampling_ensemble(
+                    JMajority::new(opts.k, opts.majority_samples),
+                    config,
+                    run_seed,
+                    choice,
+                    budget,
+                ),
+                Dynamic::Median => {
+                    run_sampling_ensemble(MedianRule::new(opts.k), config, run_seed, choice, budget)
+                }
+                Dynamic::Usd => unreachable!("handled above"),
+            }
+        };
+        return match outcome {
+            Ok((outcome, elapsed)) => {
+                print_ensemble_summary(&outcome, elapsed);
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let (result, trajectory, phases) = if opts.dynamic == Dynamic::Usd {
         let plan = shard_plan(&spec, &opts);

@@ -1,0 +1,418 @@
+//! E15 (extension) — throughput of the lockstep replica ensemble.
+//!
+//! Monte Carlo experiments average over independent replicas; the
+//! `pp_core::ensemble` layer promises that advancing those replicas in
+//! lockstep — sharing per-counts tables across replicas whose counts
+//! coincide and batching the skip/event draws — is substantially faster
+//! than running the same replicas one at a time, while staying *bit-exact*:
+//! replica `i` of the ensemble and standalone run `i` of the loop see the
+//! same seed and produce the same trajectory.  This experiment measures it:
+//! for each `(workload, n, R)` cell it runs the identical replica set once
+//! through [`usd_core::UsdEnsemble`] / `sampler_ensemble` and once as a
+//! plain loop of standalone batched runs, and reports the aggregate
+//! interactions/sec of both arms, the ensemble-over-loop speedup, the
+//! shared-table reuse fraction, and the 95% CI half-width of the hitting
+//! time (via the streaming accumulators in `pp_analysis::streaming`).
+//! Because the arms are bit-identical, their total interaction counts are
+//! asserted equal — the speedup is pure wall-clock.
+//!
+//! The j-Majority rows are where the sharing buys the most: its adoption
+//! law costs `O(k²j³)` per event, and a cached `ActivationLaw` skips that
+//! dynamic program entirely, so the ensemble's edge grows with the
+//! shared-table reuse fraction (well above 90% in the effectively
+//! one-dimensional two-opinion regime).  The USD rows bound the win for a
+//! dynamic whose per-event table is already `O(k)`.
+//!
+//! `engine_bench` stamps each cell into `BENCH_engines.json` as
+//! `E15`/`E15/3-majority` entries (replica count in the `shards` column;
+//! `engine` is `ensemble` or `replica-loop`), and the CI `bench_trend` gate
+//! guards the ensemble rows' speedup like the batched and sharded engines'.
+
+use crate::report::{fmt_f64, ExperimentReport};
+use crate::trend::BenchEntry;
+use crate::Scale;
+use consensus_dynamics::{sampler_ensemble, SequentialSampler, ThreeMajority};
+use pp_analysis::streaming::StreamingSummary;
+use pp_core::engine::StepEngine;
+use pp_core::ensemble::{EnsembleChoice, EnsembleRunResult};
+use pp_core::{Configuration, RunResult, SimSeed, StopCondition};
+use pp_workloads::InitialConfig;
+use std::time::Instant;
+use usd_core::UsdEnsemble;
+
+/// A workload the ensemble sweep measures (both in the two-opinion
+/// deep-bias regime, where the count space is effectively one-dimensional
+/// and shared-table reuse is maximal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnsembleWorkload {
+    /// The USD at `k = 2`, multiplicative bias 4.
+    Usd,
+    /// 3-Majority at `k = 2`, multiplicative bias 4 (the `O(k²j³)`
+    /// adoption-law rows — the regime the shared laws were built for).
+    ThreeMajority,
+}
+
+impl EnsembleWorkload {
+    /// Stable identifier used in report rows.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            EnsembleWorkload::Usd => "usd",
+            EnsembleWorkload::ThreeMajority => "3-majority",
+        }
+    }
+
+    /// The stamped experiment key (`E15` for the USD, `E15/<dynamic>` for
+    /// the sampling rows, mirroring E13's namespacing).
+    #[must_use]
+    pub fn experiment_key(self) -> String {
+        match self {
+            EnsembleWorkload::Usd => "E15".to_string(),
+            EnsembleWorkload::ThreeMajority => "E15/3-majority".to_string(),
+        }
+    }
+
+    const K: usize = 2;
+    const BIAS: f64 = 4.0;
+}
+
+/// One measured arm of a cell: the per-replica results plus the wall time
+/// and (for the ensemble arm) the shared-table reuse fraction.
+#[derive(Debug)]
+struct ArmSample {
+    results: Vec<RunResult>,
+    seconds: f64,
+    reuse: Option<f64>,
+}
+
+impl ArmSample {
+    fn total_interactions(&self) -> u128 {
+        self.results
+            .iter()
+            .map(|r| u128::from(r.interactions()))
+            .sum()
+    }
+
+    fn aggregate_ips(&self) -> f64 {
+        self.total_interactions() as f64 / self.seconds
+    }
+}
+
+/// Parameters of the ensemble-throughput experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleThroughputExperiment {
+    /// Measured cells as `(workload, population, replica count)`.
+    pub cells: Vec<(EnsembleWorkload, u64, usize)>,
+    /// Runs per cell and arm; the fastest run is reported.
+    pub runs: u64,
+    /// Scale preset used for budgets.
+    pub scale: Scale,
+}
+
+impl EnsembleThroughputExperiment {
+    /// Standard parameters for the given scale: a replica-count sweep at the
+    /// base population plus larger-`n` probes at a fixed replica count.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        let cells = match scale {
+            Scale::Quick => vec![
+                (EnsembleWorkload::Usd, 10_000, 4),
+                (EnsembleWorkload::Usd, 10_000, 8),
+                (EnsembleWorkload::ThreeMajority, 10_000, 4),
+                (EnsembleWorkload::ThreeMajority, 10_000, 8),
+            ],
+            Scale::Full => vec![
+                (EnsembleWorkload::Usd, 1_000_000, 8),
+                (EnsembleWorkload::Usd, 1_000_000, 32),
+                (EnsembleWorkload::Usd, 10_000_000, 8),
+                (EnsembleWorkload::Usd, 100_000_000, 4),
+                (EnsembleWorkload::ThreeMajority, 1_000_000, 8),
+                (EnsembleWorkload::ThreeMajority, 1_000_000, 32),
+                (EnsembleWorkload::ThreeMajority, 10_000_000, 8),
+            ],
+        };
+        EnsembleThroughputExperiment {
+            cells,
+            // Quick cells are millisecond-scale: best-of-4 stabilizes the
+            // speedup the CI trend gate guards (mirrors E13).
+            runs: match scale {
+                Scale::Quick => 4,
+                Scale::Full => 1,
+            },
+            scale,
+        }
+    }
+
+    /// The initial configuration of one cell.
+    fn cell_config(workload: EnsembleWorkload, n: u64, seed: SimSeed) -> Configuration {
+        let _ = workload;
+        InitialConfig::new(n, EnsembleWorkload::K)
+            .multiplicative_bias(EnsembleWorkload::BIAS)
+            .build(seed.child(0))
+            .expect("throughput workload is valid")
+    }
+
+    /// Times the lockstep-ensemble arm of one cell.
+    fn timed_ensemble(
+        &self,
+        workload: EnsembleWorkload,
+        config: &Configuration,
+        replicas: usize,
+        seed: SimSeed,
+        budget: u64,
+    ) -> ArmSample {
+        let choice = EnsembleChoice::new(replicas);
+        let stop = StopCondition::consensus().or_max_interactions(budget);
+        let (outcome, seconds): (EnsembleRunResult, f64) = match workload {
+            EnsembleWorkload::Usd => {
+                let mut ensemble = UsdEnsemble::try_new(config.clone(), seed.child(1), choice)
+                    .expect("batched base is always supported");
+                let start = Instant::now();
+                let outcome = ensemble.run(stop);
+                (outcome, start.elapsed().as_secs_f64().max(1e-9))
+            }
+            EnsembleWorkload::ThreeMajority => {
+                let dynamics = ThreeMajority::new(EnsembleWorkload::K);
+                let mut ensemble = sampler_ensemble(&dynamics, config, seed.child(1), choice)
+                    .expect("3-majority provides skip-ahead hooks");
+                let start = Instant::now();
+                let outcome = ensemble.run(stop);
+                (outcome, start.elapsed().as_secs_f64().max(1e-9))
+            }
+        };
+        assert!(
+            outcome.all_reached_goal(),
+            "ensemble throughput run did not converge (workload = {}, n = {}, R = {replicas})",
+            workload.name(),
+            config.population()
+        );
+        ArmSample {
+            reuse: Some(outcome.shared_reuse_fraction()),
+            results: outcome.results().to_vec(),
+            seconds,
+        }
+    }
+
+    /// Times the baseline arm: the same replicas run one at a time as
+    /// standalone batched engines with the identical per-replica seeds.
+    fn timed_loop(
+        &self,
+        workload: EnsembleWorkload,
+        config: &Configuration,
+        replicas: usize,
+        seed: SimSeed,
+        budget: u64,
+    ) -> ArmSample {
+        let seeds = EnsembleChoice::new(replicas).seeds(seed.child(1));
+        let stop = StopCondition::consensus().or_max_interactions(budget);
+        let start = Instant::now();
+        let results: Vec<RunResult> = match workload {
+            EnsembleWorkload::Usd => seeds
+                .into_iter()
+                .map(|s| {
+                    let protocol = usd_core::UndecidedStateDynamics::new(config.num_opinions());
+                    pp_core::BatchedEngine::new(protocol, config.clone(), s).run_engine(stop)
+                })
+                .collect(),
+            EnsembleWorkload::ThreeMajority => seeds
+                .into_iter()
+                .map(|s| {
+                    let dynamics = ThreeMajority::new(EnsembleWorkload::K);
+                    let mut sampler = SequentialSampler::new(dynamics, config.clone(), s);
+                    sampler
+                        .require_skip_ahead()
+                        .expect("3-majority provides skip-ahead hooks");
+                    sampler.run_engine(stop)
+                })
+                .collect(),
+        };
+        let seconds = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(
+            results.iter().all(|r| r.outcome().is_goal()),
+            "replica-loop throughput run did not converge (workload = {}, n = {})",
+            workload.name(),
+            config.population()
+        );
+        ArmSample {
+            results,
+            seconds,
+            reuse: None,
+        }
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self, seed: SimSeed) -> ExperimentReport {
+        self.run_with_samples(seed).0
+    }
+
+    /// Runs the experiment and additionally returns the stamped
+    /// [`BenchEntry`] records `engine_bench` persists for cross-PR trend
+    /// checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two arms of a cell disagree on any replica's result —
+    /// the bit-exactness contract of the ensemble layer.
+    #[must_use]
+    pub fn run_with_samples(&self, seed: SimSeed) -> (ExperimentReport, Vec<BenchEntry>) {
+        let mut entries = Vec::new();
+        let mut report = ExperimentReport::new(
+            "E15",
+            "lockstep replica-ensemble throughput: ensemble vs loop of standalone runs",
+            "advancing R same-seed replicas in lockstep with counts-deduplicated shared tables beats running them one at a time, at bit-identical per-replica results",
+            vec![
+                "workload".into(),
+                "n".into(),
+                "k".into(),
+                "bias".into(),
+                "replicas".into(),
+                "mode".into(),
+                "interactions".into(),
+                "seconds".into(),
+                "agg interactions/sec".into(),
+                "speedup vs loop".into(),
+                "hit-time CI95 ±".into(),
+                "shared reuse".into(),
+            ],
+        );
+
+        for (ci, &(workload, n, replicas)) in self.cells.iter().enumerate() {
+            let budget = self.scale.interaction_budget(n, EnsembleWorkload::K);
+            let mut best_loop: Option<ArmSample> = None;
+            let mut best_ensemble: Option<ArmSample> = None;
+            // One seed per cell, shared by every timing repetition and both
+            // arms: all `runs` repeats simulate the *identical* replica
+            // set, so best-of selection still compares bit-equal work and
+            // the paired rows report one set of results.
+            let cell_seed = seed.child(0xE15_0000_0000 | (ci as u64) << 16);
+            let config = Self::cell_config(workload, n, cell_seed);
+            for _ in 0..self.runs {
+                let looped = self.timed_loop(workload, &config, replicas, cell_seed, budget);
+                let ensembled = self.timed_ensemble(workload, &config, replicas, cell_seed, budget);
+                // The bit-exactness contract: identical replicas, identical
+                // results, so the speedup is pure wall-clock.
+                assert_eq!(
+                    looped.results,
+                    ensembled.results,
+                    "ensemble arm diverged from the replica loop \
+                     (workload = {}, n = {n}, R = {replicas})",
+                    workload.name()
+                );
+                if best_loop
+                    .as_ref()
+                    .is_none_or(|b| looped.seconds < b.seconds)
+                {
+                    best_loop = Some(looped);
+                }
+                if best_ensemble
+                    .as_ref()
+                    .is_none_or(|b| ensembled.seconds < b.seconds)
+                {
+                    best_ensemble = Some(ensembled);
+                }
+            }
+            let looped = best_loop.expect("at least one run");
+            let ensembled = best_ensemble.expect("at least one run");
+            let speedup = ensembled.aggregate_ips() / looped.aggregate_ips();
+
+            for (mode, arm, speedup_value) in [
+                ("replica-loop", &looped, 1.0),
+                ("ensemble", &ensembled, speedup),
+            ] {
+                let mut hit_times = StreamingSummary::new();
+                for result in &arm.results {
+                    hit_times.push(result.interactions() as f64);
+                }
+                let total = arm.total_interactions();
+                entries.push(BenchEntry {
+                    experiment: workload.experiment_key(),
+                    engine: mode.to_string(),
+                    // The replica count plays the row-multiplicity role the
+                    // shard count plays for E14.
+                    shards: replicas as u64,
+                    n,
+                    k: EnsembleWorkload::K as u64,
+                    bias: EnsembleWorkload::BIAS,
+                    interactions: u64::try_from(total).unwrap_or(u64::MAX),
+                    seconds: arm.seconds,
+                    interactions_per_sec: arm.aggregate_ips(),
+                    speedup: speedup_value,
+                });
+                report.push_row(vec![
+                    workload.name().to_string(),
+                    n.to_string(),
+                    EnsembleWorkload::K.to_string(),
+                    fmt_f64(EnsembleWorkload::BIAS),
+                    replicas.to_string(),
+                    mode.to_string(),
+                    total.to_string(),
+                    fmt_f64(arm.seconds),
+                    fmt_f64(arm.aggregate_ips()),
+                    fmt_f64(speedup_value),
+                    fmt_f64(hit_times.ci_half_width(1.96)),
+                    arm.reuse
+                        .map_or_else(|| "-".to_string(), |x| format!("{:.1}%", 100.0 * x)),
+                ]);
+            }
+        }
+        report.push_note(format!(
+            "both arms run the identical replica set (seeds master.child(i)); per-replica results are asserted bit-equal, so the speedup column is pure wall-clock; each cell reports the fastest of {} runs",
+            self.runs
+        ));
+        report.push_note(
+            "the ensemble's edge tracks the shared-table reuse fraction and the per-counts table cost: largest for the j-majority family (O(k²j³) adoption law skipped on every cache hit), bounded for the USD whose row table is already O(k)".to_string(),
+        );
+        report.push_note(
+            "CI95 column: half-width of the normal-approximation confidence interval of the mean hitting time, from the streaming Welford accumulator — identical across arms by bit-exactness".to_string(),
+        );
+        (report, entries)
+    }
+}
+
+impl super::Experiment for EnsembleThroughputExperiment {
+    fn id(&self) -> &'static str {
+        "E15"
+    }
+    fn run(&self, seed: SimSeed) -> ExperimentReport {
+        EnsembleThroughputExperiment::run(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_pairs_loop_and_ensemble_rows_per_cell() {
+        let exp = EnsembleThroughputExperiment {
+            cells: vec![
+                (EnsembleWorkload::Usd, 2_000, 3),
+                (EnsembleWorkload::ThreeMajority, 2_000, 3),
+            ],
+            runs: 1,
+            scale: Scale::Quick,
+        };
+        let (report, entries) = exp.run_with_samples(SimSeed::from_u64(5));
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(entries.len(), 4);
+        for pair in report.rows.chunks(2) {
+            assert_eq!(pair[0][5], "replica-loop");
+            assert_eq!(pair[1][5], "ensemble");
+            // Bit-exact arms advance the same interactions.
+            assert_eq!(pair[0][6], pair[1][6]);
+            // The loop arm reports no reuse fraction, the ensemble arm does.
+            assert_eq!(pair[0][11], "-");
+            assert!(pair[1][11].ends_with('%'));
+        }
+        for (entry, row) in entries.iter().zip(&report.rows) {
+            assert_eq!(entry.engine, row[5]);
+            assert_eq!(entry.shards, 3);
+            assert!(entry.interactions_per_sec > 0.0);
+        }
+        assert_eq!(entries[0].experiment, "E15");
+        assert_eq!(entries[2].experiment, "E15/3-majority");
+        assert_eq!(entries[0].speedup, 1.0);
+        assert!(entries[1].speedup > 0.0);
+    }
+}

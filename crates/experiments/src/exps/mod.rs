@@ -6,6 +6,7 @@ pub mod e11_undecided_sensitivity;
 pub mod e12_mean_field;
 pub mod e13_engine_throughput;
 pub mod e14_sharded_throughput;
+pub mod e15_ensemble_throughput;
 pub mod e1_phase_table;
 pub mod e2_multiplicative_bias;
 pub mod e3_additive_bias;
@@ -57,6 +58,9 @@ pub fn all_experiments(scale: crate::Scale) -> Vec<Box<dyn Experiment>> {
         Box::new(e14_sharded_throughput::ShardedThroughputExperiment::new(
             scale,
         )),
+        Box::new(e15_ensemble_throughput::EnsembleThroughputExperiment::new(
+            scale,
+        )),
     ]
 }
 
@@ -72,7 +76,7 @@ mod tests {
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14"
+                "E14", "E15"
             ]
         );
     }

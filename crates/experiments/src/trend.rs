@@ -530,8 +530,9 @@ impl TrendReport {
     }
 }
 
-/// Engines whose throughput the trend check guards.
-pub const GUARDED_ENGINES: [&str; 2] = ["batched", "sharded"];
+/// Engines whose throughput the trend check guards (the fast backends; the
+/// exact engine and the replica-loop reference arm are their own baselines).
+pub const GUARDED_ENGINES: [&str; 3] = ["batched", "sharded", "ensemble"];
 
 /// Compares `current` against `baseline`: every baseline cell of a guarded
 /// engine must stay above `(1 - threshold)` of its baseline value on the

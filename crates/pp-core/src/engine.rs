@@ -447,16 +447,22 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
         crate::shard::reconcile::productive_row(&self.protocol, &self.config, &self.config, cat)
     }
 
-    /// Refreshes the per-category productive weights and returns their sum.
-    fn refresh_rows(&mut self) -> u128 {
+    /// Fills `rows` with the per-category productive weights for the current
+    /// counts and returns their sum.  A pure function of the configuration —
+    /// the standalone `advance` fills its scratch buffer with it, and the
+    /// ensemble layer fills cache-shared [`crate::ensemble::RowTable`]s, so
+    /// both paths see bit-identical weights.
+    pub(crate) fn fill_rows(&self, rows: &mut Vec<u128>) -> u128 {
         let k = self.config.num_opinions();
+        rows.clear();
+        rows.resize(k + 1, 0);
         let mut total: u128 = 0;
-        for cat in 0..=k {
+        for (cat, row_slot) in rows.iter_mut().enumerate() {
             let row = self
                 .protocol
                 .productive_responder_weight(&self.config, cat)
                 .unwrap_or_else(|| self.enumerated_row(cat));
-            self.rows[cat] = row;
+            *row_slot = row;
             total += row;
         }
         #[cfg(debug_assertions)]
@@ -471,9 +477,9 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
                     self.config
                 );
             }
-            for cat in 0..=k {
+            for (cat, &row) in rows.iter().enumerate() {
                 debug_assert_eq!(
-                    self.rows[cat],
+                    row,
                     self.enumerated_row(cat),
                     "productive_responder_weight override disagrees with enumeration \
                      for category {cat} at {}",
@@ -482,6 +488,98 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
             }
         }
         total
+    }
+
+    /// Refreshes the per-category productive weights and returns their sum.
+    fn refresh_rows(&mut self) -> u128 {
+        let mut rows = std::mem::take(&mut self.rows);
+        let total = self.fill_rows(&mut rows);
+        self.rows = rows;
+        total
+    }
+
+    /// A freshly allocated row table for the current counts, as
+    /// `(rows, total)` (the ensemble layer caches these per counts key).
+    pub(crate) fn enumerate_rows(&self) -> (Vec<u128>, u128) {
+        let mut rows = Vec::new();
+        let total = self.fill_rows(&mut rows);
+        (rows, total)
+    }
+
+    /// The engine's RNG (the ensemble layer draws skips from it so lockstep
+    /// replicas consume randomness exactly as standalone runs do).
+    pub(crate) fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Records `skip` null interactions plus the event interaction itself.
+    pub(crate) fn record_event_interactions(&mut self, skip: u64) {
+        self.interactions += skip + 1;
+    }
+
+    /// Forwards the interaction counter to `limit` without an event.
+    pub(crate) fn forward_to(&mut self, limit: u64) {
+        self.interactions = limit;
+    }
+
+    /// Draws the category pair of the next state-changing event from the
+    /// given row table and applies it — the shared tail of the standalone
+    /// and lockstep advance paths.  One draw picks the whole event: a unit
+    /// below `total` decomposes as (responder category, responder identity
+    /// within the category, initiator unit); the row scan finds the
+    /// category, and because `row = c_r · S_r` factors into independent
+    /// responder-identity and initiator-weight parts, the remainder modulo
+    /// `S_r` is an exact uniform draw of the initiator unit.
+    pub(crate) fn draw_and_apply_event(&mut self, rows: &[u128], total: u128) {
+        let k = self.config.num_opinions();
+        let mut target = uniform_u128_below(&mut self.rng, total);
+        let mut responder_cat = k;
+        for (cat, &row) in rows.iter().enumerate() {
+            if target < row {
+                responder_cat = cat;
+                break;
+            }
+            target -= row;
+        }
+        let responder = AgentState::from_category(responder_cat, k);
+        let c_responder = u128::from(self.config.category_count(responder_cat));
+        debug_assert!(c_responder > 0);
+        // 64-bit fast paths: the weights fit u64 for any population ≤ ~4·10⁹,
+        // avoiding the 128-bit division intrinsics on the hot path.
+        let row = rows[responder_cat];
+        let initiator_total = match (u64::try_from(row), u64::try_from(c_responder)) {
+            (Ok(r), Ok(c)) => u128::from(r / c),
+            _ => row / c_responder,
+        };
+        let mut itarget = match (u64::try_from(target), u64::try_from(initiator_total)) {
+            (Ok(t), Ok(s)) => u128::from(t % s),
+            _ => target % initiator_total,
+        };
+
+        // Resolve the initiator unit to a category, restricted to categories
+        // whose interaction with this responder is productive.
+        let mut initiator = AgentState::Undecided;
+        for i in 0..=k {
+            let c_i = self.config.category_count(i);
+            if c_i == 0 {
+                continue;
+            }
+            let candidate = AgentState::from_category(i, k);
+            if self.protocol.respond(responder, candidate) == responder {
+                continue;
+            }
+            if itarget < u128::from(c_i) {
+                initiator = candidate;
+                break;
+            }
+            itarget -= u128::from(c_i);
+        }
+
+        let new_responder = self.protocol.respond(responder, initiator);
+        debug_assert_ne!(new_responder, responder, "sampled event must be productive");
+        self.config
+            .apply_move(responder, new_responder)
+            .expect("transition produced an inconsistent move");
     }
 
     /// The probability that the next interaction changes the state, computed
@@ -527,63 +625,9 @@ impl<P: OpinionProtocol> StepEngine for BatchedEngine<P> {
             return Advance::LimitReached;
         };
         self.interactions += skip + 1;
-
-        // One draw picks the whole event.  A unit below `total` decomposes as
-        // (responder category, responder identity within the category,
-        // initiator unit): the row scan finds the category, and because
-        // `row = c_r · S_r` factors into independent responder-identity and
-        // initiator-weight parts, the remainder modulo `S_r` is an exact
-        // uniform draw of the initiator unit.
-        let k = self.config.num_opinions();
-        let mut target = uniform_u128_below(&mut self.rng, total);
-        let mut responder_cat = k;
-        for cat in 0..=k {
-            let row = self.rows[cat];
-            if target < row {
-                responder_cat = cat;
-                break;
-            }
-            target -= row;
-        }
-        let responder = AgentState::from_category(responder_cat, k);
-        let c_responder = u128::from(self.config.category_count(responder_cat));
-        debug_assert!(c_responder > 0);
-        // 64-bit fast paths: the weights fit u64 for any population ≤ ~4·10⁹,
-        // avoiding the 128-bit division intrinsics on the hot path.
-        let row = self.rows[responder_cat];
-        let initiator_total = match (u64::try_from(row), u64::try_from(c_responder)) {
-            (Ok(r), Ok(c)) => u128::from(r / c),
-            _ => row / c_responder,
-        };
-        let mut itarget = match (u64::try_from(target), u64::try_from(initiator_total)) {
-            (Ok(t), Ok(s)) => u128::from(t % s),
-            _ => target % initiator_total,
-        };
-
-        // Resolve the initiator unit to a category, restricted to categories
-        // whose interaction with this responder is productive.
-        let mut initiator = AgentState::Undecided;
-        for i in 0..=k {
-            let c_i = self.config.category_count(i);
-            if c_i == 0 {
-                continue;
-            }
-            let candidate = AgentState::from_category(i, k);
-            if self.protocol.respond(responder, candidate) == responder {
-                continue;
-            }
-            if itarget < u128::from(c_i) {
-                initiator = candidate;
-                break;
-            }
-            itarget -= u128::from(c_i);
-        }
-
-        let new_responder = self.protocol.respond(responder, initiator);
-        debug_assert_ne!(new_responder, responder, "sampled event must be productive");
-        self.config
-            .apply_move(responder, new_responder)
-            .expect("transition produced an inconsistent move");
+        let rows = std::mem::take(&mut self.rows);
+        self.draw_and_apply_event(&rows, total);
+        self.rows = rows;
         Advance::Event
     }
 }

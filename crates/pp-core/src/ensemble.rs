@@ -1,0 +1,972 @@
+//! Lockstep multi-replica simulation with shared row computations.
+//!
+//! Every Monte Carlo experiment in this workspace (hitting times, phase
+//! durations, bias sweeps) averages over independent replicas of the same
+//! protocol and initial configuration.  Run one at a time, each replica
+//! re-derives the per-counts data its skip-ahead engine needs — the
+//! productive row table of a [`BatchedEngine`], the activation law of a
+//! sampling dynamic — even though those tables are pure functions of the
+//! count vector and the replicas walk heavily overlapping regions of the
+//! count space.  [`EnsembleEngine`] removes that waste by advancing `R`
+//! replicas in *lockstep epochs*:
+//!
+//! 1. **Shared row computations.** Between state-changing events a replica's
+//!    counts are frozen, so the per-counts tables are exact to share: the
+//!    ensemble keeps a counts-keyed cache of [`EnsembleReplica::Shared`]
+//!    values, computes each table once, and hands the cached copy to every
+//!    replica that currently sits at (or later revisits) the same counts.
+//!    All replicas start from the identical configuration, and events move
+//!    single agents, so the walks revisit cached counts constantly —
+//!    especially in effectively low-dimensional workloads (two opinions, no
+//!    undecided pool) where [`EnsembleRunResult::shared_reuse_fraction`]
+//!    typically exceeds 90%.  Sharing only pays when the table costs more
+//!    than the map traffic, so the cache is *adaptive* by default
+//!    ([`SharedCacheMode`]): windows with too little measured reuse turn
+//!    the map dormant and recompute into per-replica scratch instead.
+//! 2. **Batched draws.** Each lockstep round makes three passes over the
+//!    live replicas, stored contiguously: resolve the shared tables (no
+//!    RNG), draw every replica's geometric skip, then draw and apply every
+//!    replica's state-changing event.  The RNG work runs in tight
+//!    homogeneous passes instead of being interleaved with table
+//!    derivations.
+//!
+//! # Exactness
+//!
+//! The ensemble is *bit-exact*, not merely exact in distribution: replica
+//! `i` produces the same trajectory, interaction counter and [`RunResult`]
+//! as a standalone engine constructed with the same seed
+//! (conventionally `master.child(i)`, see [`EnsembleChoice::seeds`]).  The
+//! argument has two halves:
+//!
+//! * the shared tables consume no randomness and are pure functions of the
+//!   count vector, so dedup and caching cannot alter any replica's draws,
+//!   and
+//! * each replica owns its RNG stream, and [`EnsembleReplica`] splits the
+//!   standalone `advance` into the same sequence of draws (skip first, then
+//!   the event) the standalone path performs — interleaving replicas never
+//!   reorders draws *within* one stream.
+//!
+//! `tests/ensemble_equivalence.rs` pins this claim for the USD and for all
+//! five sampling dynamics.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_core::ensemble::{EnsembleChoice, EnsembleEngine};
+//! use pp_core::prelude::*;
+//!
+//! struct TinyUsd;
+//! impl OpinionProtocol for TinyUsd {
+//!     fn num_opinions(&self) -> usize { 2 }
+//!     fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+//!         match (r, i) {
+//!             (AgentState::Decided(a), AgentState::Decided(b)) if a != b => AgentState::Undecided,
+//!             (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
+//!             _ => r,
+//!         }
+//!     }
+//! }
+//!
+//! let config = Configuration::from_counts(vec![900, 100], 0).unwrap();
+//! let choice = EnsembleChoice::new(8);
+//! let replicas: Vec<_> = choice
+//!     .seeds(SimSeed::from_u64(7))
+//!     .into_iter()
+//!     .map(|seed| BatchedEngine::new(TinyUsd, config.clone(), seed))
+//!     .collect();
+//! let mut ensemble = EnsembleEngine::try_new(replicas).unwrap();
+//! let outcome = ensemble.run(StopCondition::consensus().or_max_interactions(10_000_000));
+//! assert!(outcome.all_reached_goal());
+//! assert_eq!(outcome.len(), 8);
+//! ```
+
+use crate::config::Configuration;
+use crate::engine::{geometric_skip, Advance, BatchedEngine, EngineChoice, StepEngine};
+use crate::error::PpError;
+use crate::protocol::OpinionProtocol;
+use crate::rng::SimSeed;
+use crate::run::{RunOutcome, RunResult};
+use crate::stopping::StopCondition;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Default bound on the number of counts-keyed shared tables the ensemble
+/// keeps alive (the cache is cleared wholesale when the bound is hit; see
+/// [`EnsembleEngine::with_cache_capacity`]).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
+/// A replica engine that can be advanced in lockstep with its siblings.
+///
+/// The trait decomposes a skip-ahead `advance` into the pieces the ensemble
+/// schedules separately: a per-counts [`Shared`](EnsembleReplica::Shared)
+/// table that consumes no randomness (and is therefore exact to dedup across
+/// replicas whose counts coincide), the geometric skip draw, and the event
+/// draw.  Implementations must consume their RNG in *exactly* the order the
+/// standalone [`StepEngine::advance`] does — skip first, then the event —
+/// so that a lockstep replica stays bit-identical to a standalone run with
+/// the same seed.
+pub trait EnsembleReplica: StepEngine {
+    /// The per-counts data shared between replicas at the same counts: the
+    /// productive row table for [`BatchedEngine`], the activation law for a
+    /// sampling dynamic.  Must be a pure function of the count vector.
+    type Shared;
+
+    /// Computes the shared table for the current counts.  Consumes no RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::UnsupportedEngine`] when the replica cannot
+    /// provide a shared skip-ahead table (e.g. a sampling dynamic without
+    /// closed-form hooks); [`EnsembleEngine::try_new`] surfaces this as a
+    /// construction-time diagnostic.
+    fn compute_shared(&self) -> Result<Self::Shared, PpError>;
+
+    /// The probability that one interaction changes the state, read from the
+    /// shared table.  Must equal the value the standalone `advance` derives.
+    fn event_probability(&self, shared: &Self::Shared) -> f64;
+
+    /// Draws the geometric number of null interactions preceding the next
+    /// event from this replica's own RNG (`None` = the skip provably
+    /// overshoots `headroom`; memorylessness makes re-sampling later exact).
+    fn draw_skip(&mut self, p: f64, headroom: u64) -> Option<u64>;
+
+    /// Records `skip` null interactions plus the event interaction, then
+    /// draws the state-changing event from the shared table (using this
+    /// replica's own RNG) and applies it.
+    fn apply_event(&mut self, shared: &Self::Shared, skip: u64);
+
+    /// Forwards the interaction counter to `limit` without an event (the
+    /// skip overshot, or the configuration is absorbing).
+    fn forward_to_limit(&mut self, limit: u64);
+}
+
+impl<P: OpinionProtocol> EnsembleReplica for BatchedEngine<P> {
+    type Shared = RowTable;
+
+    fn compute_shared(&self) -> Result<RowTable, PpError> {
+        let (rows, total) = self.enumerate_rows();
+        Ok(RowTable { rows, total })
+    }
+
+    fn event_probability(&self, shared: &RowTable) -> f64 {
+        let n = StepEngine::configuration(self).population() as f64;
+        shared.total as f64 / (n * n)
+    }
+
+    fn draw_skip(&mut self, p: f64, headroom: u64) -> Option<u64> {
+        geometric_skip(self.rng_mut(), p, headroom)
+    }
+
+    fn apply_event(&mut self, shared: &RowTable, skip: u64) {
+        self.record_event_interactions(skip);
+        self.draw_and_apply_event(&shared.rows, shared.total);
+    }
+
+    fn forward_to_limit(&mut self, limit: u64) {
+        self.forward_to(limit);
+    }
+}
+
+/// The shared per-counts table of a [`BatchedEngine`] replica: productive
+/// weight per responder category plus their sum (`W`; the event probability
+/// is `W/n²`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowTable {
+    /// Productive weight per responder category (`k + 1` entries, undecided
+    /// last), matching the standalone engine's scratch rows bit for bit.
+    pub rows: Vec<u128>,
+    /// Sum of the rows.
+    pub total: u128,
+}
+
+/// An `EngineChoice`-adjacent selector for ensemble runs: how many lockstep
+/// replicas to advance, and which per-replica backend drives each of them.
+///
+/// Only the batched backend is a valid base — the lockstep engine exists to
+/// share skip-ahead tables, which the exact backend does not use, the
+/// sharded backend manages per-shard (and spawns threads of its own), and
+/// the mean-field backend replaces with a deterministic ODE.  Those
+/// combinations are rejected by [`EnsembleChoice::validate`] with an
+/// [`PpError::UnsupportedEngine`] naming the offending nesting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnsembleChoice {
+    replicas: usize,
+    base: EngineChoice,
+}
+
+impl EnsembleChoice {
+    /// An ensemble of `replicas` lockstep copies on the batched base
+    /// backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    #[must_use]
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas >= 1, "an ensemble needs at least one replica");
+        EnsembleChoice {
+            replicas,
+            base: EngineChoice::Batched,
+        }
+    }
+
+    /// Overrides the per-replica base backend (validation will reject
+    /// everything but [`EngineChoice::Batched`]; the setter exists so
+    /// callers can funnel a user-selected engine through
+    /// [`EnsembleChoice::validate`] and get the precise diagnostic).
+    #[must_use]
+    pub fn with_base(mut self, base: EngineChoice) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Number of lockstep replicas.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The per-replica base backend.
+    #[must_use]
+    pub fn base(&self) -> EngineChoice {
+        self.base
+    }
+
+    /// Checks that the base backend can run inside the lockstep ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::UnsupportedEngine`] for every base but
+    /// [`EngineChoice::Batched`] (`"exact-inside-ensemble"`,
+    /// `"sharded-inside-ensemble"`, `"mean-field-inside-ensemble"`).
+    pub fn validate(&self) -> Result<(), PpError> {
+        match self.base {
+            EngineChoice::Batched => Ok(()),
+            EngineChoice::Exact => Err(PpError::UnsupportedEngine {
+                requested: "exact-inside-ensemble",
+            }),
+            EngineChoice::Sharded => Err(PpError::UnsupportedEngine {
+                requested: "sharded-inside-ensemble",
+            }),
+            EngineChoice::MeanField => Err(PpError::UnsupportedEngine {
+                requested: "mean-field-inside-ensemble",
+            }),
+        }
+    }
+
+    /// The per-replica seeds of an ensemble run: replica `i` gets
+    /// `master.child(i)`.  This is the workspace-wide convention the
+    /// bit-exactness guarantee is stated against — a standalone engine
+    /// seeded with `master.child(i)` reproduces ensemble replica `i`
+    /// exactly.
+    #[must_use]
+    pub fn seeds(&self, master: SimSeed) -> Vec<SimSeed> {
+        (0..self.replicas as u64).map(|i| master.child(i)).collect()
+    }
+}
+
+/// The aggregate outcome of one [`EnsembleEngine::run`]: every replica's
+/// [`RunResult`] (index-aligned with the construction order) plus the
+/// lockstep bookkeeping the throughput experiments report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleRunResult {
+    results: Vec<RunResult>,
+    rounds: u64,
+    shared_hits: u64,
+    shared_misses: u64,
+    cache_evictions: u64,
+}
+
+impl EnsembleRunResult {
+    /// Per-replica results, in construction order (replica `i` matches a
+    /// standalone run with seed `master.child(i)`).
+    #[must_use]
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// The result of replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn replica(&self, i: usize) -> &RunResult {
+        &self.results[i]
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the ensemble held no replicas (never true for results
+    /// produced by [`EnsembleEngine::run`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Lockstep rounds the run took (the longest replica's event count plus
+    /// its finishing round).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Shared-table lookups answered from the counts-keyed cache.
+    #[must_use]
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
+    }
+
+    /// Shared-table lookups that had to compute a fresh table.
+    #[must_use]
+    pub fn shared_misses(&self) -> u64 {
+        self.shared_misses
+    }
+
+    /// How often the cache was cleared because it hit its capacity bound.
+    #[must_use]
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions
+    }
+
+    /// Fraction of shared-table lookups served without recomputation — the
+    /// dedup win the lockstep design buys (0 when nothing was looked up).
+    #[must_use]
+    pub fn shared_reuse_fraction(&self) -> f64 {
+        let lookups = self.shared_hits + self.shared_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Total interactions advanced across all replicas (the numerator of
+    /// the aggregate interactions/sec metric).
+    #[must_use]
+    pub fn total_interactions(&self) -> u128 {
+        self.results
+            .iter()
+            .map(|r| u128::from(r.interactions()))
+            .sum()
+    }
+
+    /// Whether every replica reached its structural goal (consensus or
+    /// settlement) rather than running out of budget.
+    #[must_use]
+    pub fn all_reached_goal(&self) -> bool {
+        self.results.iter().all(|r| r.outcome().is_goal())
+    }
+}
+
+/// How the ensemble shares per-counts tables across replicas.
+///
+/// Sharing is only a win when the table is dearer than the map traffic that
+/// caches it: a hit saves one table computation but costs a hash lookup, a
+/// miss additionally pays an insert and two allocations.  For the j-Majority
+/// family (an `O(k²j³)` dynamic program per table, reuse above 90% in the
+/// two-opinion regime) the cache is the whole point; for the USD (an `O(k)`
+/// integer table) it can cost an order of magnitude more than it saves.
+/// The mode never affects *results* — only wall-clock — because shared
+/// tables are pure functions of the counts and consume no randomness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharedCacheMode {
+    /// Windowed self-tuning (the default): cache while the measured reuse
+    /// rate clears [`SharedCacheMode::ADAPTIVE_MIN_HIT`], go dormant when
+    /// it does not — dormant rounds advance each replica through its own
+    /// standalone `advance` in chunks, at standalone cost — and re-probe
+    /// after a dormancy period that backs off exponentially while probes
+    /// keep failing.
+    #[default]
+    Adaptive,
+    /// Cache unconditionally.
+    Always,
+    /// Never cache: every round advances the replicas through their own
+    /// standalone `advance` (the ensemble then costs what the replica loop
+    /// costs, interleaved at chunk granularity).
+    Never,
+}
+
+impl SharedCacheMode {
+    /// The window hit rate below which [`SharedCacheMode::Adaptive`] turns
+    /// the map dormant.
+    pub const ADAPTIVE_MIN_HIT: f64 = 0.75;
+    /// Lookups per adaptivity window.
+    pub const WINDOW: u64 = 4096;
+    /// Dormant scheduling rounds after the first failed probe; doubled per
+    /// consecutive failure up to `<< MAX_BACKOFF`.
+    pub const DORMANT_ROUNDS: u64 = 8;
+    /// Cap on the exponential dormancy backoff.
+    pub const MAX_BACKOFF: u32 = 6;
+    /// Events each live replica advances per dormant scheduling round
+    /// (chunking keeps the replica's state hot and the scheduling overhead
+    /// negligible).
+    pub const DORMANT_CHUNK_EVENTS: u32 = 256;
+}
+
+/// Counts-keyed cache of shared per-counts tables.  Keys are the full
+/// category count vector (supports then undecided); values are refcounted so
+/// a hit costs one pointer clone.
+#[derive(Debug)]
+struct SharedCache<S> {
+    map: HashMap<Box<[u64]>, Rc<S>>,
+    capacity: usize,
+    mode: SharedCacheMode,
+    key_scratch: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    window_lookups: u64,
+    window_hits: u64,
+    dormant_rounds: u64,
+    backoff: u32,
+}
+
+impl<S> SharedCache<S> {
+    fn new(capacity: usize, mode: SharedCacheMode) -> Self {
+        SharedCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            mode,
+            key_scratch: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            window_lookups: 0,
+            window_hits: 0,
+            dormant_rounds: 0,
+            backoff: 0,
+        }
+    }
+
+    /// Whether the coming scheduling round should resolve tables through
+    /// the map.  A `false` round is dormant: the replicas advance through
+    /// their standalone paths (in chunks) at standalone cost.
+    fn round_uses_map(&mut self) -> bool {
+        match self.mode {
+            SharedCacheMode::Always => true,
+            SharedCacheMode::Never => false,
+            SharedCacheMode::Adaptive => {
+                if self.dormant_rounds > 0 {
+                    self.dormant_rounds -= 1;
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// Accounts the events a dormant round advanced without any table
+    /// sharing (they enter the reuse statistics as misses).
+    fn note_dormant_events(&mut self, events: u64) {
+        self.misses += events;
+    }
+
+    /// Looks up the shared table for `config`, computing and caching it on a
+    /// miss.  When the cache is full it is cleared wholesale: the replicas
+    /// cluster around the current stretch of their (drifting) trajectories,
+    /// so dropping the long-departed tail costs a brief warm-up, not a
+    /// sustained miss rate.
+    fn get_or_compute(&mut self, config: &Configuration, compute: impl FnOnce() -> S) -> Rc<S> {
+        self.key_scratch.clear();
+        self.key_scratch.extend_from_slice(config.supports());
+        self.key_scratch.push(config.undecided());
+        let found = self.map.get(self.key_scratch.as_slice()).map(Rc::clone);
+        self.window_lookups += 1;
+        self.window_hits += u64::from(found.is_some());
+        if self.window_lookups >= SharedCacheMode::WINDOW {
+            // End of window: under the adaptive mode, a reuse rate that no
+            // longer pays for the map traffic turns the map dormant until
+            // the next probe, with exponentially backed-off dormancy while
+            // probes keep failing (entries are kept — probes start warm).
+            let rate = self.window_hits as f64 / self.window_lookups as f64;
+            if self.mode == SharedCacheMode::Adaptive {
+                if rate < SharedCacheMode::ADAPTIVE_MIN_HIT {
+                    self.dormant_rounds = SharedCacheMode::DORMANT_ROUNDS << self.backoff;
+                    self.backoff = (self.backoff + 1).min(SharedCacheMode::MAX_BACKOFF);
+                } else {
+                    self.backoff = 0;
+                }
+            }
+            self.window_lookups = 0;
+            self.window_hits = 0;
+        }
+        if let Some(found) = found {
+            self.hits += 1;
+            return found;
+        }
+        self.misses += 1;
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+            self.evictions += 1;
+        }
+        let value = Rc::new(compute());
+        self.map.insert(
+            self.key_scratch.clone().into_boxed_slice(),
+            Rc::clone(&value),
+        );
+        value
+    }
+}
+
+/// Where one live replica stands within the current lockstep round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundState {
+    /// Shared table resolved; the skip has not been drawn yet.
+    Pending,
+    /// The skip landed: an event with this many preceding nulls is due.
+    Event(u64),
+    /// The skip overshot the limit; the counter was forwarded.
+    LimitReached,
+    /// No state change is possible from the current configuration, ever.
+    Absorbed,
+}
+
+/// Advances `R` replicas of one protocol/configuration in lockstep epochs
+/// with counts-deduplicated shared tables and batched draws (module docs
+/// have the full design and exactness argument).
+///
+/// Not [`Send`]: the shared tables are refcounted with [`Rc`].  Ensemble
+/// parallelism composes with the *experiment*-level thread pool (each thread
+/// drives its own ensemble), not with threads inside one ensemble.
+#[derive(Debug)]
+pub struct EnsembleEngine<E: EnsembleReplica>
+where
+    E::Shared: std::fmt::Debug,
+{
+    replicas: Vec<E>,
+    cache: SharedCache<E::Shared>,
+    rounds: u64,
+}
+
+impl<E: EnsembleReplica> EnsembleEngine<E>
+where
+    E::Shared: std::fmt::Debug,
+{
+    /// Builds a lockstep ensemble over the given replicas (conventionally
+    /// all constructed from one configuration with seeds
+    /// [`EnsembleChoice::seeds`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Config`] (empty population) when `replicas` is
+    /// empty, [`PpError::OpinionCountMismatch`] when the replicas disagree
+    /// on the opinion count, and propagates the first replica's
+    /// [`EnsembleReplica::compute_shared`] error when the backend cannot
+    /// provide shared tables (e.g. a sampling dynamic without skip-ahead
+    /// hooks).
+    pub fn try_new(replicas: Vec<E>) -> Result<Self, PpError> {
+        let Some(first) = replicas.first() else {
+            return Err(PpError::Config(crate::error::ConfigError::EmptyPopulation));
+        };
+        let k = first.configuration().num_opinions();
+        for replica in &replicas {
+            if replica.configuration().num_opinions() != k {
+                return Err(PpError::OpinionCountMismatch {
+                    protocol: k,
+                    configuration: replica.configuration().num_opinions(),
+                });
+            }
+        }
+        // Surface "this backend cannot share tables" at construction, not
+        // mid-run: the shipped dynamics support every configuration, so a
+        // failure here is the caller requesting an unsupported combination.
+        first.compute_shared()?;
+        Ok(EnsembleEngine {
+            replicas,
+            cache: SharedCache::new(DEFAULT_CACHE_CAPACITY, SharedCacheMode::default()),
+            rounds: 0,
+        })
+    }
+
+    /// Bounds the number of cached shared tables (default
+    /// [`DEFAULT_CACHE_CAPACITY`]).  Smaller caches trade recomputation for
+    /// memory; the cache is cleared wholesale when the bound is hit.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = SharedCache::new(capacity, self.cache.mode);
+        self
+    }
+
+    /// Selects the shared-table caching policy (default
+    /// [`SharedCacheMode::Adaptive`]).  Never affects results, only
+    /// wall-clock — see [`SharedCacheMode`].
+    #[must_use]
+    pub fn with_cache_mode(mut self, mode: SharedCacheMode) -> Self {
+        self.cache = SharedCache::new(self.cache.capacity, mode);
+        self
+    }
+
+    /// The replicas, in construction order.
+    #[must_use]
+    pub fn replicas(&self) -> &[E] {
+        &self.replicas
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the ensemble holds no replicas (construction rejects this).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Runs every replica until it meets the stop condition, advancing the
+    /// live replicas in lockstep rounds, and returns the index-aligned
+    /// per-replica results.  Each replica's result is identical to what the
+    /// standalone `run_engine` would return for the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stop condition is unbounded, if a replica reaches an
+    /// absorbing configuration that cannot meet a budget-less stop
+    /// condition (the same loud-failure contract as
+    /// [`StepEngine::run_engine_recorded`]), or if a replica stops
+    /// providing shared tables mid-run (impossible for the shipped
+    /// backends).
+    pub fn run(&mut self, stop: StopCondition) -> EnsembleRunResult {
+        assert!(
+            stop.is_bounded(),
+            "stop condition can never terminate the run"
+        );
+        let rounds_before = self.rounds;
+        let hits_before = self.cache.hits;
+        let misses_before = self.cache.misses;
+        let evictions_before = self.cache.evictions;
+        let replica_count = self.replicas.len();
+        let mut results: Vec<Option<RunResult>> = (0..replica_count).map(|_| None).collect();
+        let mut live: Vec<usize> = (0..replica_count).collect();
+        let mut planned: Vec<(usize, Rc<E::Shared>, RoundState)> =
+            Vec::with_capacity(replica_count);
+        let limit = stop.max_interactions().unwrap_or(u64::MAX);
+
+        while !live.is_empty() {
+            self.rounds += 1;
+
+            // Pass 0: finish replicas whose stop condition is met, in the
+            // same goal-before-budget order as the standalone driver.
+            let replicas = &mut self.replicas;
+            live.retain(|&i| {
+                let replica = &replicas[i];
+                if stop.goal_met(replica.configuration()) {
+                    let outcome = if replica.configuration().is_consensus() {
+                        RunOutcome::Consensus
+                    } else {
+                        RunOutcome::OpinionSettled
+                    };
+                    results[i] = Some(finish(replica, outcome));
+                    return false;
+                }
+                if stop
+                    .max_interactions()
+                    .is_some_and(|b| replica.interactions() >= b)
+                {
+                    results[i] = Some(finish(replica, RunOutcome::BudgetExhausted));
+                    return false;
+                }
+                true
+            });
+
+            // A dormant round (cache policy decided the map does not pay)
+            // advances every live replica through its own standalone
+            // `advance`, a chunk of events at a time — bit-identical draws
+            // at standalone cost and locality, no table resolution, no
+            // refcount traffic.  Finishing is left to the next retain pass.
+            if !self.cache.round_uses_map() {
+                let mut advanced = 0u64;
+                for &i in &live {
+                    let replica = &mut self.replicas[i];
+                    for _ in 0..SharedCacheMode::DORMANT_CHUNK_EVENTS {
+                        if stop.goal_met(replica.configuration())
+                            || stop
+                                .max_interactions()
+                                .is_some_and(|b| replica.interactions() >= b)
+                        {
+                            break;
+                        }
+                        match StepEngine::advance(replica, limit) {
+                            Advance::Event => advanced += 1,
+                            Advance::LimitReached => break,
+                            Advance::Absorbed => {
+                                assert!(
+                                    stop.max_interactions().is_some()
+                                        || stop.goal_met(replica.configuration()),
+                                    "absorbing configuration {} can never meet the stop condition",
+                                    replica.configuration()
+                                );
+                                break;
+                            }
+                        }
+                    }
+                }
+                self.cache.note_dormant_events(advanced);
+                continue;
+            }
+
+            // Pass 1 (no RNG): resolve the shared tables, deduplicated by
+            // counts across the live replicas.
+            planned.clear();
+            for &i in &live {
+                let replica = &self.replicas[i];
+                let shared = self.cache.get_or_compute(replica.configuration(), || {
+                    replica
+                        .compute_shared()
+                        .expect("replica stopped providing shared tables mid-run")
+                });
+                planned.push((i, shared, RoundState::Pending));
+            }
+
+            // Pass 2 (one RNG draw per replica): the geometric skips.
+            for (i, shared, state) in planned.iter_mut() {
+                let replica = &mut self.replicas[*i];
+                let p = replica.event_probability(shared);
+                if p <= 0.0 {
+                    replica.forward_to_limit(limit);
+                    *state = RoundState::Absorbed;
+                    continue;
+                }
+                let headroom = limit - replica.interactions();
+                *state = match replica.draw_skip(p, headroom) {
+                    Some(skip) => RoundState::Event(skip),
+                    None => {
+                        replica.forward_to_limit(limit);
+                        RoundState::LimitReached
+                    }
+                };
+            }
+
+            // Pass 3 (event draws): realize the state-changing events.
+            for (i, shared, state) in planned.drain(..) {
+                match state {
+                    RoundState::Event(skip) => self.replicas[i].apply_event(&shared, skip),
+                    RoundState::Absorbed => {
+                        let replica = &self.replicas[i];
+                        assert!(
+                            stop.max_interactions().is_some()
+                                || stop.goal_met(replica.configuration()),
+                            "absorbing configuration {} can never meet the stop condition",
+                            replica.configuration()
+                        );
+                    }
+                    RoundState::LimitReached | RoundState::Pending => {}
+                }
+            }
+        }
+
+        EnsembleRunResult {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every replica finished"))
+                .collect(),
+            rounds: self.rounds - rounds_before,
+            shared_hits: self.cache.hits - hits_before,
+            shared_misses: self.cache.misses - misses_before,
+            cache_evictions: self.cache.evictions - evictions_before,
+        }
+    }
+}
+
+/// A finished replica's result, carrying the same metadata the standalone
+/// `run_engine` records.
+fn finish<E: StepEngine>(replica: &E, outcome: RunOutcome) -> RunResult {
+    RunResult::new(
+        outcome,
+        replica.interactions(),
+        replica.configuration().clone(),
+    )
+    .with_scheduler(replica.scheduler_name())
+    .with_rejection_misses(replica.rejection_misses())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opinion::AgentState;
+
+    /// The 2-opinion USD with closed-form batching hooks.
+    #[derive(Debug, Clone)]
+    struct Usd2;
+
+    impl OpinionProtocol for Usd2 {
+        fn num_opinions(&self) -> usize {
+            2
+        }
+        fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+            match (r, i) {
+                (AgentState::Decided(a), AgentState::Decided(b)) if a != b => AgentState::Undecided,
+                (AgentState::Undecided, AgentState::Decided(b)) => AgentState::Decided(b),
+                _ => r,
+            }
+        }
+        fn name(&self) -> &str {
+            "usd-2"
+        }
+    }
+
+    fn ensemble(
+        counts: Vec<u64>,
+        undecided: u64,
+        replicas: usize,
+    ) -> EnsembleEngine<BatchedEngine<Usd2>> {
+        let config = Configuration::from_counts(counts, undecided).unwrap();
+        let members = EnsembleChoice::new(replicas)
+            .seeds(SimSeed::from_u64(99))
+            .into_iter()
+            .map(|seed| BatchedEngine::new(Usd2, config.clone(), seed))
+            .collect();
+        EnsembleEngine::try_new(members).unwrap()
+    }
+
+    #[test]
+    fn replicas_match_standalone_runs_bit_for_bit() {
+        let config = Configuration::from_counts(vec![400, 100], 0).unwrap();
+        let stop = StopCondition::consensus().or_max_interactions(5_000_000);
+        let mut ens = ensemble(vec![400, 100], 0, 6);
+        let outcome = ens.run(stop);
+        for (i, seed) in EnsembleChoice::new(6)
+            .seeds(SimSeed::from_u64(99))
+            .into_iter()
+            .enumerate()
+        {
+            let mut standalone = BatchedEngine::new(Usd2, config.clone(), seed);
+            let expected = standalone.run_engine(stop);
+            assert_eq!(outcome.replica(i), &expected, "replica {i} diverged");
+        }
+        assert!(outcome.all_reached_goal());
+        assert!(outcome.rounds() > 0);
+    }
+
+    #[test]
+    fn shared_tables_are_deduplicated_across_identical_replicas() {
+        // All replicas start at identical counts, so round 1 computes one
+        // table for all of them: misses stay far below lookups.
+        let mut ens = ensemble(vec![900, 100], 0, 16).with_cache_mode(SharedCacheMode::Always);
+        let outcome = ens.run(StopCondition::consensus().or_max_interactions(5_000_000));
+        assert!(outcome.shared_hits() > 0);
+        assert!(
+            outcome.shared_reuse_fraction() > 0.3,
+            "reuse fraction {} too low",
+            outcome.shared_reuse_fraction()
+        );
+        assert_eq!(outcome.cache_evictions(), 0);
+        assert!(outcome.total_interactions() > 0);
+    }
+
+    #[test]
+    fn every_cache_mode_produces_identical_results() {
+        // The caching policy trades wall-clock only: all three modes must
+        // return bit-identical per-replica results.
+        let stop = StopCondition::consensus().or_max_interactions(5_000_000);
+        let reference = ensemble(vec![500, 150], 50, 5)
+            .with_cache_mode(SharedCacheMode::Always)
+            .run(stop);
+        for mode in [SharedCacheMode::Adaptive, SharedCacheMode::Never] {
+            let outcome = ensemble(vec![500, 150], 50, 5)
+                .with_cache_mode(mode)
+                .run(stop);
+            assert_eq!(outcome.results(), reference.results(), "{mode:?} diverged");
+        }
+        // The uncached mode never touches the map.
+        let never = ensemble(vec![500, 150], 50, 5)
+            .with_cache_mode(SharedCacheMode::Never)
+            .run(stop);
+        assert_eq!(never.shared_hits(), 0);
+        assert!(never.shared_misses() > 0);
+    }
+
+    #[test]
+    fn tiny_cache_capacity_still_produces_exact_results() {
+        let config = Configuration::from_counts(vec![300, 100], 0).unwrap();
+        let stop = StopCondition::consensus().or_max_interactions(5_000_000);
+        let mut ens = ensemble(vec![300, 100], 0, 4)
+            .with_cache_capacity(2)
+            .with_cache_mode(SharedCacheMode::Always);
+        let outcome = ens.run(stop);
+        assert!(outcome.cache_evictions() > 0, "capacity 2 must evict");
+        for (i, seed) in EnsembleChoice::new(4)
+            .seeds(SimSeed::from_u64(99))
+            .into_iter()
+            .enumerate()
+        {
+            let mut standalone = BatchedEngine::new(Usd2, config.clone(), seed);
+            assert_eq!(outcome.replica(i), &standalone.run_engine(stop));
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_matches_standalone_accounting() {
+        let stop = StopCondition::consensus().or_max_interactions(200);
+        let mut ens = ensemble(vec![500, 500], 0, 3);
+        let outcome = ens.run(stop);
+        for result in outcome.results() {
+            if result.outcome() == RunOutcome::BudgetExhausted {
+                assert_eq!(result.interactions(), 200);
+            } else {
+                assert!(result.interactions() <= 200);
+            }
+        }
+    }
+
+    #[test]
+    fn absorbed_replicas_exhaust_the_budget() {
+        // Every agent undecided: the USD can never change anything.
+        let mut ens = ensemble(vec![0, 0], 64, 3);
+        let outcome = ens.run(StopCondition::consensus().or_max_interactions(10_000));
+        for result in outcome.results() {
+            assert_eq!(result.outcome(), RunOutcome::BudgetExhausted);
+            assert_eq!(result.interactions(), 10_000);
+        }
+    }
+
+    #[test]
+    fn empty_ensembles_are_rejected() {
+        let err = EnsembleEngine::<BatchedEngine<Usd2>>::try_new(Vec::new()).unwrap_err();
+        assert!(matches!(err, PpError::Config(_)));
+    }
+
+    #[test]
+    fn ensemble_choice_validates_bases_and_derives_seeds() {
+        let choice = EnsembleChoice::new(4);
+        assert_eq!(choice.replicas(), 4);
+        assert_eq!(choice.base(), EngineChoice::Batched);
+        assert!(choice.validate().is_ok());
+        let seeds = choice.seeds(SimSeed::from_u64(5));
+        assert_eq!(seeds.len(), 4);
+        assert_eq!(seeds[2], SimSeed::from_u64(5).child(2));
+        for (base, name) in [
+            (EngineChoice::Exact, "exact-inside-ensemble"),
+            (EngineChoice::Sharded, "sharded-inside-ensemble"),
+            (EngineChoice::MeanField, "mean-field-inside-ensemble"),
+        ] {
+            let err = choice.with_base(base).validate().unwrap_err();
+            assert_eq!(err, PpError::UnsupportedEngine { requested: name });
+        }
+    }
+
+    #[test]
+    fn run_result_aggregates_are_consistent() {
+        let mut ens = ensemble(vec![190, 10], 0, 5);
+        let outcome = ens.run(StopCondition::consensus().or_max_interactions(2_000_000));
+        assert_eq!(outcome.len(), 5);
+        assert!(!outcome.is_empty());
+        let total: u128 = outcome
+            .results()
+            .iter()
+            .map(|r| u128::from(r.interactions()))
+            .sum();
+        assert_eq!(outcome.total_interactions(), total);
+        let lookups = outcome.shared_hits() + outcome.shared_misses();
+        assert!(lookups > 0);
+        assert!(outcome.shared_reuse_fraction() <= 1.0);
+    }
+}

@@ -35,6 +35,15 @@
 //!   the same trait.  Instant at any `n`, but an approximation: use it for
 //!   exploration, never for distributional statistics.
 //!
+//! Monte Carlo estimates over many independent runs go through the
+//! [`ensemble::EnsembleEngine`], which advances `R` replicas of one
+//! protocol/configuration in lockstep epochs: per-counts tables (row
+//! weights, activation laws) are computed once and shared across replicas
+//! whose counts coincide, and the geometric-skip and event draws run in
+//! batched passes over contiguous arrays.  Per-replica RNG streams keep
+//! every replica *bit-identical* to a standalone same-seed run — see
+//! [`ensemble`] for the exactness argument.
+//!
 //! [`AgentSimulator`] remains as the explicit agent-array ground truth for
 //! fidelity cross-checks and protocols with per-agent state.
 //!
@@ -76,6 +85,7 @@ pub mod agent_sim;
 pub mod config;
 pub mod count_sim;
 pub mod engine;
+pub mod ensemble;
 pub mod error;
 pub mod fenwick;
 pub mod opinion;
@@ -91,6 +101,9 @@ pub use agent_sim::AgentSimulator;
 pub use config::Configuration;
 pub use count_sim::CountSimulator;
 pub use engine::{Advance, BatchedEngine, CountEngine, EngineChoice, ExactEngine, StepEngine};
+pub use ensemble::{
+    EnsembleChoice, EnsembleEngine, EnsembleReplica, EnsembleRunResult, SharedCacheMode,
+};
 pub use error::{ConfigError, PpError};
 pub use fenwick::FenwickTree;
 pub use opinion::{AgentState, Opinion, UNDECIDED_INDEX};
@@ -109,6 +122,9 @@ pub mod prelude {
     pub use crate::count_sim::CountSimulator;
     pub use crate::engine::{
         Advance, BatchedEngine, CountEngine, EngineChoice, ExactEngine, StepEngine,
+    };
+    pub use crate::ensemble::{
+        EnsembleChoice, EnsembleEngine, EnsembleReplica, EnsembleRunResult, SharedCacheMode,
     };
     pub use crate::error::{ConfigError, PpError};
     pub use crate::opinion::{AgentState, Opinion};

@@ -1,7 +1,7 @@
 //! The [`InitialConfig`] builder.
 
 use crate::generators;
-use pp_core::{ConfigError, Configuration, EngineChoice, ShardPlan, SimSeed};
+use pp_core::{ConfigError, Configuration, EngineChoice, EnsembleChoice, ShardPlan, SimSeed};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -105,6 +105,7 @@ pub struct InitialConfig {
     undecided: UndecidedSpec,
     engine: EngineChoice,
     shards: Option<usize>,
+    replicas: Option<usize>,
 }
 
 impl InitialConfig {
@@ -119,6 +120,7 @@ impl InitialConfig {
             undecided: UndecidedSpec::None,
             engine: EngineChoice::Exact,
             shards: None,
+            replicas: None,
         }
     }
 
@@ -156,6 +158,63 @@ impl InitialConfig {
     #[must_use]
     pub fn shard_count(&self) -> Option<usize> {
         self.shards
+    }
+
+    /// Selects the lockstep replica count for ensemble simulations of this
+    /// workload (consumed by [`InitialConfig::build_ensemble`] and by
+    /// downstream ensemble constructors through
+    /// [`InitialConfig::ensemble_choice`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    #[must_use]
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas >= 1, "an ensemble needs at least one replica");
+        self.replicas = Some(replicas);
+        self
+    }
+
+    /// The lockstep replica count selected for this workload, if any.
+    #[must_use]
+    pub fn replica_count(&self) -> Option<usize> {
+        self.replicas
+    }
+
+    /// The [`EnsembleChoice`] this workload resolves to: the selected
+    /// replica count (1 when none was given) on the workload's engine as
+    /// base backend — only [`EngineChoice::Batched`] survives
+    /// [`EnsembleChoice::validate`], which is how downstream consumers turn
+    /// an unsupported nesting (e.g. sharded-inside-ensemble) into a clear
+    /// diagnostic.
+    #[must_use]
+    pub fn ensemble_choice(&self) -> EnsembleChoice {
+        EnsembleChoice::new(self.replicas.unwrap_or(1)).with_base(self.engine)
+    }
+
+    /// Builds the ensemble workload: the shared initial configuration every
+    /// replica starts from, together with the *validated*
+    /// [`EnsembleChoice`] to hand to the ensemble constructors
+    /// (`UsdEnsemble::try_new`, `sampler_ensemble`).  Replicas differ only
+    /// through their RNG streams, seeded `master.child(i)` downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the workload parameters are out of range or if
+    /// the selected engine cannot run inside the lockstep ensemble
+    /// (validated through [`InitialConfig::ensemble_choice`]).
+    pub fn build_ensemble(
+        &self,
+        seed: SimSeed,
+    ) -> Result<(Configuration, EnsembleChoice), WorkloadError> {
+        let choice = self.ensemble_choice();
+        choice.validate().map_err(|e| {
+            WorkloadError::InvalidParameter(format!(
+                "{e}: the lockstep ensemble shares skip-ahead row computations, \
+                 so only the batched base engine is supported"
+            ))
+        })?;
+        Ok((self.build(seed)?, choice))
     }
 
     /// The [`ShardPlan`] this workload resolves to: the selected shard count
@@ -560,6 +619,44 @@ mod tests {
         // Without an explicit shard count the default plan is clamped.
         let shards = InitialConfig::new(3, 2).build_sharded(seed()).unwrap();
         assert_eq!(shards.len(), 3);
+    }
+
+    #[test]
+    fn ensemble_workloads_build_the_shared_configuration_and_choice() {
+        let spec = InitialConfig::new(5_000, 3)
+            .multiplicative_bias(2.0)
+            .engine(EngineChoice::Batched)
+            .replicas(6);
+        assert_eq!(spec.replica_count(), Some(6));
+        let (config, choice) = spec.build_ensemble(seed()).unwrap();
+        assert_eq!(choice.replicas(), 6);
+        assert_eq!(choice.base(), EngineChoice::Batched);
+        assert_eq!(config, spec.build(seed()).unwrap());
+        // Without an explicit replica count the ensemble degenerates to one.
+        let single = InitialConfig::new(100, 2).engine(EngineChoice::Batched);
+        assert_eq!(single.replica_count(), None);
+        let (_, choice) = single.build_ensemble(seed()).unwrap();
+        assert_eq!(choice.replicas(), 1);
+    }
+
+    #[test]
+    fn ensemble_builds_reject_non_batched_bases() {
+        for engine in [
+            EngineChoice::Exact,
+            EngineChoice::Sharded,
+            EngineChoice::MeanField,
+        ] {
+            let err = InitialConfig::new(100, 2)
+                .engine(engine)
+                .replicas(4)
+                .build_ensemble(seed())
+                .unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("inside-ensemble") && msg.contains("batched"),
+                "diagnostic for {engine} lacks context: {msg}"
+            );
+        }
     }
 
     #[test]

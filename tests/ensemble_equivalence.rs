@@ -1,0 +1,323 @@
+//! Bit-exactness and conservation of the lockstep replica ensemble.
+//!
+//! The ensemble layer (`pp_core::ensemble`) claims more than distributional
+//! equivalence: replica `i` of an [`EnsembleEngine`] run must be
+//! *bit-identical* to a standalone engine seeded `master.child(i)` — same
+//! trajectory, same interaction counter, same final configuration, same
+//! [`RunResult`] metadata — because the shared per-counts tables consume no
+//! randomness and each replica owns its RNG stream.  This suite pins that
+//! claim:
+//!
+//! * **Per-replica bit-exactness** — for the USD (batched backend) and for
+//!   all five sampling dynamics (Voter, TwoChoices, 3-Majority, j-Majority,
+//!   MedianRule through [`SequentialSampler`]), ensemble results are
+//!   compared `==` against standalone same-seed runs, including full
+//!   recorded trajectories for the USD, under every [`SharedCacheMode`].
+//! * **Distributional sanity** — on top of exact equality, hitting times of
+//!   ensemble replicas are chi-squared against freshly seeded standalone
+//!   runs through `pp_analysis::conformance` (the same harness the other
+//!   equivalence suites use).
+//! * **Conservation** — a proptest drives random ensembles over random
+//!   configurations and verifies population conservation, configuration
+//!   consistency and budget accounting for every replica.
+//! * **Counters and diagnostics** — `rejection_misses` stays `Some(0)` for
+//!   every shipped dynamic under the ensemble backend, and unsupported
+//!   nestings (exact/sharded/mean-field inside the ensemble) fail with
+//!   their named `UnsupportedEngine` diagnostics.
+
+use consensus_dynamics::{
+    sampler_ensemble, JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
+    TwoChoices, Voter,
+};
+use pp_analysis::conformance::Conformance;
+use pp_core::engine::StepEngine;
+use pp_core::ensemble::{EnsembleChoice, EnsembleEngine, SharedCacheMode};
+use pp_core::{
+    BatchedEngine, Configuration, EngineChoice, PpError, RunResult, SimSeed, StopCondition,
+};
+use proptest::prelude::*;
+use usd_core::{UndecidedStateDynamics, UsdEnsemble};
+
+const MASTER: u64 = 0xE25E_7B1E;
+
+fn stop(budget: u64) -> StopCondition {
+    StopCondition::consensus().or_max_interactions(budget)
+}
+
+/// Standalone reference run for sampling dynamics: the sequential sampler's
+/// own skip-ahead driver with the ensemble's per-replica seed convention.
+fn standalone_sampler<D: SamplingDynamics + Clone>(
+    dynamics: &D,
+    config: &Configuration,
+    seed: SimSeed,
+    budget: u64,
+) -> RunResult {
+    let mut sim = SequentialSampler::new(dynamics.clone(), config.clone(), seed);
+    sim.run_engine(stop(budget))
+}
+
+/// Pins every ensemble replica of `dynamics` to its standalone same-seed
+/// run, exactly.
+fn pin_sampler_ensemble<D: SamplingDynamics + Clone>(
+    dynamics: D,
+    config: Configuration,
+    replicas: usize,
+    budget: u64,
+) {
+    let master = SimSeed::from_u64(MASTER);
+    let choice = EnsembleChoice::new(replicas);
+    let mut ensemble =
+        sampler_ensemble(&dynamics, &config, master, choice).expect("shipped dynamics support it");
+    let outcome = ensemble.run(stop(budget));
+    assert_eq!(outcome.len(), replicas);
+    for (i, seed) in choice.seeds(master).into_iter().enumerate() {
+        let expected = standalone_sampler(&dynamics, &config, seed, budget);
+        assert_eq!(
+            outcome.replica(i),
+            &expected,
+            "{} replica {i} diverged from its standalone run",
+            dynamics.name()
+        );
+    }
+    // The shipped dynamics never fall back to rejection sampling.
+    for result in outcome.results() {
+        assert_eq!(
+            result.rejection_misses(),
+            Some(0),
+            "{} rejection path fired under the ensemble backend",
+            dynamics.name()
+        );
+    }
+}
+
+#[test]
+fn all_five_dynamics_are_bit_exact_under_the_ensemble() {
+    let biased = Configuration::from_counts(vec![700, 300], 0).unwrap();
+    let with_undecided = Configuration::from_counts(vec![500, 250], 250).unwrap();
+    pin_sampler_ensemble(Voter::new(2), with_undecided.clone(), 5, 5_000_000);
+    pin_sampler_ensemble(TwoChoices::new(2), biased.clone(), 5, 5_000_000);
+    pin_sampler_ensemble(ThreeMajority::new(2), biased.clone(), 5, 5_000_000);
+    pin_sampler_ensemble(
+        JMajority::new(3, 5),
+        Configuration::from_counts(vec![500, 300, 200], 0).unwrap(),
+        4,
+        5_000_000,
+    );
+    pin_sampler_ensemble(
+        MedianRule::new(3),
+        Configuration::from_counts(vec![400, 350, 250], 0).unwrap(),
+        4,
+        5_000_000,
+    );
+}
+
+#[test]
+fn usd_ensemble_matches_standalone_batched_runs_and_trajectories() {
+    let config = Configuration::from_counts(vec![1_200, 500, 300], 0).unwrap();
+    let master = SimSeed::from_u64(MASTER ^ 1);
+    let choice = EnsembleChoice::new(6);
+    let mut ensemble = UsdEnsemble::try_new(config.clone(), master, choice).unwrap();
+    let outcome = ensemble.run(stop(50_000_000));
+    assert!(outcome.all_reached_goal());
+    for (i, seed) in choice.seeds(master).into_iter().enumerate() {
+        // Bit-exact final results…
+        let mut standalone =
+            BatchedEngine::new(UndecidedStateDynamics::new(3), config.clone(), seed);
+        let expected = standalone.run_engine(stop(50_000_000));
+        assert_eq!(outcome.replica(i), &expected, "replica {i} diverged");
+        // …including the whole recorded trajectory: replaying the replica's
+        // seed standalone visits the same (interactions, configuration)
+        // sequence the ensemble replica walked to its final state.
+        let mut replay = BatchedEngine::new(UndecidedStateDynamics::new(3), config.clone(), seed);
+        let mut trace: Vec<(u64, Configuration)> = Vec::new();
+        let mut recorder = |t: u64, c: &Configuration| trace.push((t, c.clone()));
+        replay.run_engine_recorded(stop(50_000_000), &mut recorder);
+        let (final_t, final_c) = trace.last().expect("trajectory is non-empty");
+        assert_eq!(*final_t, outcome.replica(i).interactions());
+        assert_eq!(final_c, outcome.replica(i).final_configuration());
+        assert!(trace.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}
+
+#[test]
+fn cache_modes_and_capacities_never_change_results() {
+    let config = Configuration::from_counts(vec![600, 250], 150).unwrap();
+    let master = SimSeed::from_u64(MASTER ^ 2);
+    let dynamics = ThreeMajority::new(2);
+    let reference: Vec<RunResult> = EnsembleChoice::new(4)
+        .seeds(master)
+        .into_iter()
+        .map(|seed| standalone_sampler(&dynamics, &config, seed, 5_000_000))
+        .collect();
+    for mode in [
+        SharedCacheMode::Adaptive,
+        SharedCacheMode::Always,
+        SharedCacheMode::Never,
+    ] {
+        for capacity in [2usize, 1 << 20] {
+            let mut ensemble = sampler_ensemble(&dynamics, &config, master, EnsembleChoice::new(4))
+                .unwrap()
+                .with_cache_mode(mode)
+                .with_cache_capacity(capacity);
+            let outcome = ensemble.run(stop(5_000_000));
+            assert_eq!(
+                outcome.results(),
+                &reference[..],
+                "{mode:?}/capacity {capacity} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn ensemble_hitting_times_conform_to_fresh_standalone_runs() {
+    // Beyond same-seed equality: ensemble replicas with seeds 0..runs and
+    // *independently seeded* standalone runs must draw from one hitting-time
+    // distribution (trajectory pinning via the conformance harness).
+    let config = Configuration::from_counts(vec![160, 40], 0).unwrap();
+    let conf = Conformance::default();
+    let dynamics = ThreeMajority::new(2);
+    let ensemble_times: Vec<f64> = {
+        let mut ensemble = sampler_ensemble(
+            &dynamics,
+            &config,
+            SimSeed::from_u64(0xA),
+            EnsembleChoice::new(conf.runs as usize),
+        )
+        .unwrap();
+        ensemble
+            .run(stop(5_000_000))
+            .results()
+            .iter()
+            .map(|r| r.interactions() as f64)
+            .collect()
+    };
+    let mut i = 0usize;
+    conf.pin_scalar(
+        "3-majority hitting times: ensemble replicas vs fresh standalone seeds",
+        |seed| {
+            standalone_sampler(
+                &dynamics,
+                &config,
+                SimSeed::from_u64(0xB00 + seed),
+                5_000_000,
+            )
+            .interactions() as f64
+        },
+        |_seed| {
+            let t = ensemble_times[i];
+            i += 1;
+            t
+        },
+    )
+    .assert_consistent();
+}
+
+#[test]
+fn unsupported_nestings_are_rejected_with_named_diagnostics() {
+    let config = Configuration::from_counts(vec![60, 40], 0).unwrap();
+    for (base, name) in [
+        (EngineChoice::Exact, "exact-inside-ensemble"),
+        (EngineChoice::Sharded, "sharded-inside-ensemble"),
+        (EngineChoice::MeanField, "mean-field-inside-ensemble"),
+    ] {
+        let choice = EnsembleChoice::new(2).with_base(base);
+        let err = UsdEnsemble::try_new(config.clone(), SimSeed::from_u64(1), choice).unwrap_err();
+        assert_eq!(err, PpError::UnsupportedEngine { requested: name });
+        let err =
+            sampler_ensemble(&Voter::new(2), &config, SimSeed::from_u64(1), choice).unwrap_err();
+        assert_eq!(err, PpError::UnsupportedEngine { requested: name });
+    }
+    // A dynamic without skip-ahead hooks is rejected at construction.
+    #[derive(Debug, Clone)]
+    struct NoHooks;
+    impl SamplingDynamics for NoHooks {
+        fn num_opinions(&self) -> usize {
+            2
+        }
+        fn sample_size(&self) -> usize {
+            1
+        }
+        fn update<R: rand::Rng + ?Sized>(
+            &self,
+            current: pp_core::AgentState,
+            samples: &[pp_core::AgentState],
+            _rng: &mut R,
+        ) -> pp_core::AgentState {
+            match samples[0] {
+                pp_core::AgentState::Decided(_) => samples[0],
+                pp_core::AgentState::Undecided => current,
+            }
+        }
+    }
+    let err = sampler_ensemble(
+        &NoHooks,
+        &config,
+        SimSeed::from_u64(1),
+        EnsembleChoice::new(2),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        PpError::UnsupportedEngine {
+            requested: "ensemble"
+        }
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation over the ensemble: every replica keeps its population,
+    /// stays internally consistent, and respects the budget exactly, for
+    /// random configurations, replica counts and budgets.
+    #[test]
+    fn ensemble_conserves_population_and_budget(
+        counts in proptest::collection::vec(1u64..60, 2..5),
+        undecided in 0u64..40,
+        replicas in 1usize..6,
+        budget in 1_000u64..40_000,
+        seed in 0u64..1_000,
+    ) {
+        let population: u64 = counts.iter().sum::<u64>() + undecided;
+        let config = Configuration::from_counts(counts, undecided).unwrap();
+        let protocol = UndecidedStateDynamics::new(config.num_opinions());
+        let members: Vec<_> = EnsembleChoice::new(replicas)
+            .seeds(SimSeed::from_u64(seed))
+            .into_iter()
+            .map(|s| BatchedEngine::new(protocol, config.clone(), s))
+            .collect();
+        let mut ensemble = EnsembleEngine::try_new(members).unwrap();
+        let outcome = ensemble.run(stop(budget));
+        prop_assert_eq!(outcome.len(), replicas);
+        for result in outcome.results() {
+            prop_assert!(result.interactions() <= budget);
+            prop_assert_eq!(result.final_configuration().population(), population);
+            prop_assert!(result.final_configuration().is_consistent());
+            if result.outcome() == pp_core::RunOutcome::BudgetExhausted {
+                prop_assert_eq!(result.interactions(), budget);
+            }
+        }
+    }
+
+    /// Bit-exactness as a property: for random two-opinion majorities the
+    /// ensemble replicas equal standalone same-seed runs.
+    #[test]
+    fn sampler_replicas_equal_standalone_runs(
+        lead in 30u64..200,
+        trail in 1u64..100,
+        replicas in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let config = Configuration::from_counts(vec![lead + trail, trail], 0).unwrap();
+        let dynamics = ThreeMajority::new(2);
+        let master = SimSeed::from_u64(seed);
+        let choice = EnsembleChoice::new(replicas);
+        let mut ensemble = sampler_ensemble(&dynamics, &config, master, choice).unwrap();
+        let outcome = ensemble.run(stop(2_000_000));
+        for (i, s) in choice.seeds(master).into_iter().enumerate() {
+            let expected = standalone_sampler(&dynamics, &config, s, 2_000_000);
+            prop_assert_eq!(outcome.replica(i), &expected);
+        }
+    }
+}
