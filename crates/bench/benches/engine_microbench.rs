@@ -258,11 +258,15 @@ fn sampling_dynamics_skip_ahead(c: &mut Criterion) {
 }
 
 /// The ensemble-layer acceptance benchmark: R = 32 same-seed replicas at
-/// n = 10⁶ run once through the lockstep `EnsembleEngine` and once as a
-/// plain loop of standalone batched runs.  The replicas are bit-identical
-/// across the two modes, so the wall-clock ratio is the aggregate
-/// interactions/sec speedup the lockstep sharing buys.  3-Majority is the
-/// headline row (its `O(k²j³)` adoption law is skipped on every cached
+/// n = 10⁶ run through the lockstep `EnsembleEngine` single-threaded
+/// (`ensemble`), through the worker-parallel pool at the machine's
+/// available parallelism (`ensemble-mt`), and as a plain loop of
+/// standalone batched runs (`replica-loop`).  The replicas are
+/// bit-identical across all three modes, so the wall-clock ratios are the
+/// aggregate interactions/sec speedups of the lockstep sharing and of the
+/// worker pool stacked on it (on a single-core box `ensemble-mt` resolves
+/// to one worker and measures pure scheduling overhead).  3-Majority is
+/// the headline row (its `O(k²j³)` adoption law is skipped on every cached
 /// activation-law hit, and the two-opinion count space keeps the reuse
 /// fraction high); the USD row bounds the win for an `O(k)`-table dynamic.
 fn ensemble_lockstep_comparison(c: &mut Criterion) {
@@ -274,7 +278,8 @@ fn ensemble_lockstep_comparison(c: &mut Criterion) {
         .expect("bench workload is valid");
     let budget = 4_000 * n;
     let stop = StopCondition::consensus().or_max_interactions(budget);
-    let choice = EnsembleChoice::new(replicas);
+    let choice = EnsembleChoice::new(replicas).threads(1);
+    let mt_choice = EnsembleChoice::new(replicas);
     let seeds = choice.seeds(SimSeed::from_u64(BENCH_SEED));
 
     let mut group = c.benchmark_group("engine/ensemble_consensus_3majority");
@@ -300,25 +305,27 @@ fn ensemble_lockstep_comparison(c: &mut Criterion) {
             );
         },
     );
-    group.bench_with_input(BenchmarkId::new("ensemble", replicas), &replicas, |b, _| {
-        b.iter_batched(
-            || {
-                sampler_ensemble(
-                    &ThreeMajority::new(2),
-                    &config,
-                    SimSeed::from_u64(BENCH_SEED),
-                    choice,
-                )
-                .expect("3-majority provides skip-ahead hooks")
-            },
-            |mut ensemble| {
-                let outcome = ensemble.run(stop);
-                assert!(outcome.all_reached_goal());
-                outcome.total_interactions()
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+    for (id, ensemble_choice) in [("ensemble", choice), ("ensemble-mt", mt_choice)] {
+        group.bench_with_input(BenchmarkId::new(id, replicas), &replicas, |b, _| {
+            b.iter_batched(
+                || {
+                    sampler_ensemble(
+                        &ThreeMajority::new(2),
+                        &config,
+                        SimSeed::from_u64(BENCH_SEED),
+                        ensemble_choice,
+                    )
+                    .expect("3-majority provides skip-ahead hooks")
+                },
+                |mut ensemble| {
+                    let outcome = ensemble.run(stop);
+                    assert!(outcome.all_reached_goal());
+                    outcome.total_interactions()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
     group.finish();
 
     let mut group = c.benchmark_group("engine/ensemble_consensus_usd");
@@ -347,20 +354,26 @@ fn ensemble_lockstep_comparison(c: &mut Criterion) {
             );
         },
     );
-    group.bench_with_input(BenchmarkId::new("ensemble", replicas), &replicas, |b, _| {
-        b.iter_batched(
-            || {
-                UsdEnsemble::try_new(config.clone(), SimSeed::from_u64(BENCH_SEED), choice)
+    for (id, ensemble_choice) in [("ensemble", choice), ("ensemble-mt", mt_choice)] {
+        group.bench_with_input(BenchmarkId::new(id, replicas), &replicas, |b, _| {
+            b.iter_batched(
+                || {
+                    UsdEnsemble::try_new(
+                        config.clone(),
+                        SimSeed::from_u64(BENCH_SEED),
+                        ensemble_choice,
+                    )
                     .expect("batched base is always supported")
-            },
-            |mut ensemble| {
-                let outcome = ensemble.run(stop);
-                assert!(outcome.all_reached_goal());
-                outcome.total_interactions()
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+                },
+                |mut ensemble| {
+                    let outcome = ensemble.run(stop);
+                    assert!(outcome.all_reached_goal());
+                    outcome.total_interactions()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
     group.finish();
 }
 

@@ -57,9 +57,18 @@ impl UsdEnsemble {
             .map(|seed| BatchedEngine::try_new(protocol, config.clone(), seed))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(UsdEnsemble {
-            inner: EnsembleEngine::try_new(replicas)?,
+            inner: EnsembleEngine::try_new(replicas)?.with_parallelism(choice.parallelism()),
             choice,
         })
+    }
+
+    /// Overrides the worker-thread knob (normally carried by the
+    /// [`EnsembleChoice`] this ensemble was built from).  Never affects
+    /// results, only wall-clock.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: pp_core::Parallelism) -> Self {
+        self.inner = self.inner.with_parallelism(parallelism);
+        self
     }
 
     /// The ensemble selector this engine was built from.

@@ -30,19 +30,27 @@
 //! activations the engine skips.
 //!
 //! Both skip-ahead hooks consume the same adoption law, so [`JMajority`]
-//! memoizes the most recent `(counts, q)` pair in a single-entry
-//! interior-mutability cache: per state-changing event the dynamic program
-//! runs once (the null-probability evaluation fills the memo, the
+//! memoizes the most recent `(parameters, counts, q)` triple in a
+//! single-entry *thread-local* cache: per state-changing event the dynamic
+//! program runs once (the null-probability evaluation fills the memo, the
 //! conditional event draw hits it), and under the lockstep ensemble —
 //! which shares whole [`crate::sampling::ActivationLaw`]s across replicas
 //! by counts — a cached law skips it entirely.  The memo is invisible to
-//! callers (pure-function semantics, values identical bit for bit); its
-//! cost is that `JMajority` is no longer `Copy`.
+//! callers (pure-function semantics, values identical bit for bit).  It
+//! lives in thread-local storage rather than inside the dynamic precisely
+//! so that `JMajority` stays a plain `Copy + Send + Sync` value: the
+//! parallel ensemble moves replicas (and the dynamics they own) across
+//! worker threads, and an interior-mutability memo field would poison
+//! every `SamplingDynamics` consumer's auto traits.  Each worker thread
+//! simply warms its own single-entry memo — worth it, since a worker
+//! advances its replica chunk round by round and consecutive events
+//! cluster in counts space.
 
 use crate::sampling::{ActivationLaw, SamplingDynamics};
 use pp_core::engine::uniform_u128_below;
 use pp_core::{AgentState, Configuration};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 
 /// `P(Binomial(n, p) = c)`, evaluated directly (exact for the tiny `n ≤ j`
@@ -64,19 +72,47 @@ fn binomial_pmf(n: usize, c: usize, p: f64) -> f64 {
     }
 }
 
-/// The single-entry adoption-law memo: the counts it was computed for and
-/// the law itself.
-#[derive(Debug, Clone, PartialEq)]
+/// The single-entry adoption-law memo: the dynamic's parameters and the
+/// counts the law was computed for, plus the law itself.  One per thread
+/// (see the module docs) — workers of the parallel ensemble each warm
+/// their own.
+#[derive(Debug, Default)]
 struct AdoptionMemo {
+    opinions: usize,
+    samples: usize,
     supports: Vec<u64>,
     undecided: u64,
     q: Vec<f64>,
+    valid: bool,
 }
 
 impl AdoptionMemo {
-    fn matches(&self, config: &Configuration) -> bool {
-        self.undecided == config.undecided() && self.supports == config.supports()
+    fn matches(&self, dynamics: &JMajority, config: &Configuration) -> bool {
+        self.valid
+            && self.opinions == dynamics.opinions
+            && self.samples == dynamics.samples
+            && self.undecided == config.undecided()
+            && self.supports == config.supports()
     }
+
+    fn store(&mut self, dynamics: &JMajority, config: &Configuration, q: Vec<f64>) {
+        self.opinions = dynamics.opinions;
+        self.samples = dynamics.samples;
+        self.supports.clear();
+        self.supports.extend_from_slice(config.supports());
+        self.undecided = config.undecided();
+        self.q = q;
+        self.valid = true;
+    }
+}
+
+thread_local! {
+    /// The per-thread adoption-law memo (module docs).  `RefCell` borrows
+    /// never nest: the memo is only touched at the top of
+    /// [`JMajority::with_adoption_probabilities`], and the consumers it
+    /// hands the law to (null-probability arithmetic, the conditional event
+    /// draw) never re-enter it.
+    static ADOPTION_MEMO: RefCell<AdoptionMemo> = RefCell::new(AdoptionMemo::default());
 }
 
 /// The general j-Majority dynamic: the activated agent samples `j` agents and
@@ -94,24 +130,11 @@ impl AdoptionMemo {
 /// assert_eq!(dyn5.sample_size(), 5);
 /// assert_eq!(dyn5.num_opinions(), 4);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JMajority {
     opinions: usize,
     samples: usize,
-    /// Counts-keyed single-entry memo of the adoption law (module docs).
-    /// Cloning deep-copies it, so clones never share state across threads.
-    memo: RefCell<Option<AdoptionMemo>>,
 }
-
-/// Equality is over the dynamic's parameters; the memo is a transparent
-/// cache and never observable.
-impl PartialEq for JMajority {
-    fn eq(&self, other: &Self) -> bool {
-        self.opinions == other.opinions && self.samples == other.samples
-    }
-}
-
-impl Eq for JMajority {}
 
 impl JMajority {
     /// Creates a j-Majority dynamic for `k` opinions sampling `j` agents per
@@ -127,7 +150,6 @@ impl JMajority {
         JMajority {
             opinions: k,
             samples: j,
-            memo: RefCell::new(None),
         }
     }
 
@@ -214,29 +236,21 @@ impl JMajority {
     }
 
     /// Runs `consume` on the adoption law for `config`, computing the
-    /// `O(k²j³)` dynamic program only when the single-entry memo holds a
-    /// different count vector.
+    /// `O(k²j³)` dynamic program only when this thread's single-entry memo
+    /// holds different parameters or a different count vector.
     fn with_adoption_probabilities<T>(
         &self,
         config: &Configuration,
         consume: impl FnOnce(&[f64]) -> T,
     ) -> T {
-        {
-            let memo = self.memo.borrow();
-            if let Some(entry) = memo.as_ref() {
-                if entry.matches(config) {
-                    return consume(&entry.q);
-                }
+        ADOPTION_MEMO.with(|memo| {
+            let mut memo = memo.borrow_mut();
+            if !memo.matches(self, config) {
+                let q = self.compute_adoption_probabilities(config);
+                memo.store(self, config, q);
             }
-        }
-        let q = self.compute_adoption_probabilities(config);
-        let result = consume(&q);
-        *self.memo.borrow_mut() = Some(AdoptionMemo {
-            supports: config.supports().to_vec(),
-            undecided: config.undecided(),
-            q,
-        });
-        result
+            consume(&memo.q)
+        })
     }
 
     /// The uncached adoption-law dynamic program.
@@ -415,7 +429,7 @@ impl SamplingDynamics for JMajority {
 
 /// The 3-Majority dynamic (`j = 3`), analyzed by Becchetti et al. and
 /// Ghaffari–Lengler.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ThreeMajority {
     inner: JMajority,
 }
@@ -707,6 +721,44 @@ mod tests {
             .unwrap();
         let v = Voter::new(2).null_activation_probability(&config).unwrap();
         assert!((m - v).abs() < 1e-12, "j-majority {m} vs voter {v}");
+    }
+
+    #[test]
+    fn majority_dynamics_are_plain_send_sync_values() {
+        // The parallel ensemble moves samplers (and the dynamics they own)
+        // across worker threads; the thread-local memo keeps JMajority a
+        // plain value.  A regression (interior mutability creeping back
+        // into the struct) fails here, not in the ensemble layer.
+        fn assert_send_sync<T: Send + Sync + Copy>() {}
+        assert_send_sync::<JMajority>();
+        assert_send_sync::<ThreeMajority>();
+    }
+
+    #[test]
+    fn memo_is_invisible_across_interleaved_parameters_and_counts() {
+        // Two dynamics with different parameters and two configurations,
+        // interleaved: every call must see the law for *its* inputs even
+        // though all four share one thread-local memo entry.
+        let c1 = Configuration::from_counts(vec![30, 20], 10).unwrap();
+        let c2 = Configuration::from_counts(vec![5, 45], 0).unwrap();
+        let m3 = JMajority::new(2, 3);
+        let m5 = JMajority::new(2, 5);
+        let fresh: Vec<f64> = [(&m3, &c1), (&m5, &c1), (&m3, &c2), (&m5, &c2)]
+            .iter()
+            .map(|(m, c)| m.compute_adoption_probabilities(c).into_iter().sum())
+            .collect();
+        for _ in 0..3 {
+            for (i, (m, c)) in [(&m3, &c1), (&m5, &c1), (&m3, &c2), (&m5, &c2)]
+                .iter()
+                .enumerate()
+            {
+                let memoized: f64 = m.adoption_probabilities(c).into_iter().sum();
+                assert!(
+                    (memoized - fresh[i]).abs() < 1e-15,
+                    "memoized law diverged for case {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -482,8 +482,12 @@ impl<D: SamplingDynamics> EnsembleReplica for SequentialSampler<D> {
 /// Builds a lockstep [`EnsembleEngine`] of `choice.replicas()` sequential
 /// samplers of `dynamics`, all starting from `config`, with the standard
 /// per-replica seed derivation (`master.child(i)` — see
-/// [`EnsembleChoice::seeds`]).  Works for every shipped sampling dynamic;
-/// replicas whose counts coincide share one activation-law computation.
+/// [`EnsembleChoice::seeds`]) and the choice's worker parallelism.  Works
+/// for every shipped sampling dynamic; replicas whose counts coincide share
+/// one activation-law computation, and the live replicas spread over
+/// `choice.parallelism()` worker threads (every shipped dynamic is
+/// `Send + Sync`, so samplers move freely between workers; results are
+/// bit-identical at every thread count).
 ///
 /// # Errors
 ///
@@ -503,7 +507,7 @@ pub fn sampler_ensemble<D: SamplingDynamics + Clone>(
         .into_iter()
         .map(|seed| SequentialSampler::try_new(dynamics.clone(), config.clone(), seed))
         .collect::<Result<Vec<_>, _>>()?;
-    EnsembleEngine::try_new(replicas)
+    Ok(EnsembleEngine::try_new(replicas)?.with_parallelism(choice.parallelism()))
 }
 
 /// Synchronous (gossip-round) execution of a sampling dynamic over an explicit

@@ -5,8 +5,8 @@
 //! usd_run --n 100000 --k 10 --bias-mult 2.0 [--mult-bias 1.5] [--undecided 0.2]
 //!         [--dynamic usd|voter|two-choices|3-majority|j-majority|median]
 //!         [--j 5] [--engine exact|batched|sharded|mean-field] [--shards 8]
-//!         [--epoch 1000000] [--replicas 32] [--seed 7] [--samples 500]
-//!         [--output trajectory.csv]
+//!         [--epoch 1000000] [--replicas 32] [--threads 4] [--seed 7]
+//!         [--samples 500] [--output trajectory.csv]
 //! ```
 //!
 //! Exactly one of `--bias-mult` (additive bias in `sqrt(n ln n)` units) or
@@ -25,12 +25,16 @@
 //!
 //! `--replicas R` (with `R > 1`) runs a lockstep ensemble instead of a
 //! single trajectory: `R` batched replicas advance together sharing their
-//! per-counts tables, and the tool prints a streaming summary
+//! per-counts tables across `--threads T` worker threads (default: the
+//! machine's available parallelism; results are bit-identical at every
+//! thread count), and the tool prints a streaming summary
 //! (mean/variance/CI of the hitting time, aggregate interactions/sec)
-//! instead of a trajectory CSV.  Works for the USD and every baseline
-//! dynamic; combinations the ensemble backend rejects (e.g.
-//! `--engine sharded --replicas 8`, sharded-inside-ensemble) fail with a
-//! clear diagnostic.
+//! instead of a trajectory CSV.  With `--output path` the summary — plus
+//! the per-replica hitting times — is additionally written as a JSON
+//! document.  Works for the USD and every baseline dynamic; combinations
+//! the ensemble backend rejects (e.g. `--engine sharded --replicas 8`,
+//! sharded-inside-ensemble) fail with a clear diagnostic.  `--threads`
+//! also caps the sharded engine's shard workers.
 
 use consensus_dynamics::{
     sampler_ensemble, JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
@@ -86,6 +90,7 @@ struct Options {
     shards: Option<usize>,
     epoch: Option<u64>,
     replicas: usize,
+    threads: Option<usize>,
     seed: u64,
     samples: u64,
     output: Option<String>,
@@ -105,6 +110,7 @@ impl Default for Options {
             shards: None,
             epoch: None,
             replicas: 1,
+            threads: None,
             seed: 1,
             samples: 400,
             output: None,
@@ -177,6 +183,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--replicas: {e}"))?
             }
+            "--threads" => {
+                opts.threads = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
             "--seed" => opts.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--samples" => {
                 opts.samples = value(&mut i)?
@@ -190,7 +203,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                      [--dynamic usd|voter|two-choices|3-majority|j-majority|median] [--j <samples>] \
                      [--engine exact|batched|sharded|mean-field] \
                      [--shards <count>] [--epoch <interactions>] [--replicas <count>] \
-                     [--seed <u64>] [--samples <count>] [--output <csv>]"
+                     [--threads <count>] [--seed <u64>] [--samples <count>] \
+                     [--output <csv, or json with --replicas>]"
                     .to_string(),
             ),
             other => return Err(format!("unknown flag: {other}")),
@@ -231,6 +245,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.replicas == 0 {
         return Err("--replicas must be positive".to_string());
     }
+    if opts.threads == Some(0) {
+        return Err("--threads must be positive".to_string());
+    }
+    if opts.threads.is_some() && opts.engine != EngineChoice::Sharded && opts.replicas <= 1 {
+        return Err(
+            "--threads caps the parallel engines' workers; it requires --engine sharded \
+             or --replicas > 1"
+                .to_string(),
+        );
+    }
     if opts.replicas > 1 {
         // The lockstep ensemble runs on the batched base backend only; an
         // unstated engine defaults to it, an explicit other engine is the
@@ -248,15 +272,95 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                      drop --replicas)"
                 )
             })?;
-        if opts.output.is_some() {
-            return Err(
-                "--output records a single trajectory; the replica ensemble prints a \
-                 streaming summary instead — drop --output or --replicas"
-                    .to_string(),
-            );
-        }
     }
     Ok(opts)
+}
+
+/// A finite float as JSON, `null` otherwise (JSON has no NaN/∞).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the ensemble outcome as a JSON document — the `--output` form of
+/// the streaming summary, plus the per-replica hitting times the printed
+/// summary aggregates away.
+fn ensemble_summary_json(outcome: &EnsembleRunResult, elapsed: f64, opts: &Options) -> String {
+    use std::fmt::Write as _;
+    let summary = summarize_ensemble(outcome);
+    let (goal, wilson_lo, wilson_hi) = summary.goal_proportion();
+    let mut replicas_json = String::new();
+    for (i, result) in outcome.results().iter().enumerate() {
+        if i > 0 {
+            replicas_json.push(',');
+        }
+        let outcome_name = match result.outcome() {
+            pp_core::RunOutcome::Consensus => "consensus",
+            pp_core::RunOutcome::OpinionSettled => "opinion-settled",
+            pp_core::RunOutcome::BudgetExhausted => "budget-exhausted",
+        };
+        let _ = write!(
+            replicas_json,
+            "{{\"replica\":{i},\"outcome\":\"{outcome_name}\",\"interactions\":{},\
+             \"parallel_time\":{},\"winner\":{},\"rejection_misses\":{}}}",
+            result.interactions(),
+            json_f64(result.parallel_time()),
+            result
+                .winner()
+                .map_or_else(|| "null".to_string(), |w| w.index().to_string()),
+            result
+                .rejection_misses()
+                .map_or_else(|| "null".to_string(), |m| m.to_string()),
+        );
+    }
+    let hitting_json = if summary.hitting_time.count() > 0 {
+        let (ci_lo, ci_hi) = summary.hitting_time.mean_confidence_interval(1.96);
+        format!(
+            "{{\"count\":{},\"mean\":{},\"ci95\":[{},{}],\"std_dev\":{},\"median\":{},\
+             \"min\":{},\"max\":{}}}",
+            summary.hitting_time.count(),
+            json_f64(summary.hitting_time.mean()),
+            json_f64(ci_lo),
+            json_f64(ci_hi),
+            json_f64(summary.hitting_time.std_dev()),
+            summary
+                .hitting_time
+                .median()
+                .map_or_else(|| "null".to_string(), json_f64),
+            json_f64(summary.hitting_time.min()),
+            json_f64(summary.hitting_time.max()),
+        )
+    } else {
+        "null".to_string()
+    };
+    let total = outcome.total_interactions();
+    format!(
+        "{{\"tool\":\"usd_run\",\"mode\":\"ensemble\",\"n\":{},\"k\":{},\"seed\":{},\
+         \"replicas\":{},\"workers\":{},\"rounds\":{},\
+         \"shared_reuse\":{},\"shared_hits\":{},\"shared_misses\":{},\
+         \"consensus\":{{\"reached\":{},\"proportion\":{},\"wilson95\":[{},{}]}},\
+         \"hitting_time\":{hitting_json},\
+         \"total_interactions\":{total},\"seconds\":{},\"interactions_per_sec\":{},\
+         \"results\":[{replicas_json}]}}",
+        opts.n,
+        opts.k,
+        opts.seed,
+        outcome.len(),
+        outcome.workers(),
+        outcome.rounds(),
+        json_f64(outcome.shared_reuse_fraction()),
+        outcome.shared_hits(),
+        outcome.shared_misses(),
+        summary.goal_reached,
+        json_f64(goal),
+        json_f64(wilson_lo),
+        json_f64(wilson_hi),
+        json_f64(elapsed),
+        json_f64(total as f64 / elapsed.max(1e-9)),
+    )
 }
 
 /// Prints the streaming ensemble summary (satisfies `--replicas`): hitting
@@ -266,8 +370,10 @@ fn print_ensemble_summary(outcome: &EnsembleRunResult, elapsed: f64) {
     let summary = summarize_ensemble(outcome);
     let (goal, lo, hi) = summary.goal_proportion();
     println!(
-        "ensemble: {} replicas, {} lockstep rounds, shared-table reuse {:.1}% ({} hits / {} misses)",
+        "ensemble: {} replicas over {} worker threads, {} lockstep rounds, \
+         shared-table reuse {:.1}% ({} hits / {} misses)",
         summary.replicas,
+        outcome.workers(),
         outcome.rounds(),
         100.0 * outcome.shared_reuse_fraction(),
         outcome.shared_hits(),
@@ -329,8 +435,9 @@ fn print_ensemble_summary(outcome: &EnsembleRunResult, elapsed: f64) {
     println!("rejection misses: {misses} across all replicas");
 }
 
-/// Runs a baseline sampling dynamic as a lockstep replica ensemble.
-fn run_sampling_ensemble<D: SamplingDynamics + Clone>(
+/// Runs a baseline sampling dynamic as a lockstep replica ensemble
+/// (`Send` because the ensemble spreads replicas over worker threads).
+fn run_sampling_ensemble<D: SamplingDynamics + Clone + Send>(
     dynamics: D,
     config: Configuration,
     seed: SimSeed,
@@ -428,6 +535,9 @@ fn main() -> ExitCode {
     if opts.replicas > 1 {
         spec = spec.replicas(opts.replicas);
     }
+    if let Some(threads) = opts.threads {
+        spec = spec.threads(threads);
+    }
     let seed = SimSeed::from_u64(opts.seed);
     let config = match spec.build(seed) {
         Ok(c) => c,
@@ -499,6 +609,14 @@ fn main() -> ExitCode {
         return match outcome {
             Ok((outcome, elapsed)) => {
                 print_ensemble_summary(&outcome, elapsed);
+                if let Some(path) = &opts.output {
+                    let json = ensemble_summary_json(&outcome, elapsed, &opts);
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("ensemble summary written to {path}");
+                }
                 ExitCode::SUCCESS
             }
             Err(msg) => {

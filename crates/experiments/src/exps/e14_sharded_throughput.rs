@@ -271,8 +271,9 @@ impl ShardedThroughputExperiment {
             ));
         }
         report.push_note(format!(
-            "deep-bias two-opinion USD consensus runs; each cell reports the fastest of {} runs; the batched baseline is single-threaded, the sharded rows use the plan's resolved worker threads (shards advance concurrently only when cores are available — on a single core the speedup column measures pure reconciliation overhead)",
-            self.runs
+            "deep-bias two-opinion USD consensus runs; each cell reports the fastest of {} runs; the batched baseline is single-threaded, the sharded rows use the plan's resolved worker threads through the shared pp_core::parallel layer (shards advance concurrently only when cores are available — on a single core the speedup column measures pure reconciliation overhead); this record was measured with available parallelism {}, so read the speedup column against that core count",
+            self.runs,
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         ));
         (report, entries)
     }

@@ -23,10 +23,21 @@
 //! one-dimensional two-opinion regime).  The USD rows bound the win for a
 //! dynamic whose per-event table is already `O(k)`.
 //!
+//! Each cell runs three arms over the identical replica set: the
+//! `replica-loop` baseline, the single-threaded lockstep `ensemble`
+//! (threads pinned to 1 — the sharing win in isolation), and the
+//! `parallel-ensemble` (automatic worker parallelism through
+//! `pp_core::parallel` — the sharing win stacked on core count).  All three
+//! arms are asserted bit-equal per replica, so both speedup columns are
+//! pure wall-clock.  On a single-core box the parallel arm resolves to one
+//! worker and measures pure scheduling overhead; the `threads` column
+//! records what it resolved to.
+//!
 //! `engine_bench` stamps each cell into `BENCH_engines.json` as
 //! `E15`/`E15/3-majority` entries (replica count in the `shards` column;
-//! `engine` is `ensemble` or `replica-loop`), and the CI `bench_trend` gate
-//! guards the ensemble rows' speedup like the batched and sharded engines'.
+//! `engine` is `ensemble`, `parallel-ensemble` or `replica-loop`), and the
+//! CI `bench_trend` gate guards the ensemble and parallel-ensemble rows'
+//! speedup like the batched and sharded engines'.
 
 use crate::report::{fmt_f64, ExperimentReport};
 use crate::trend::BenchEntry;
@@ -35,6 +46,7 @@ use consensus_dynamics::{sampler_ensemble, SequentialSampler, ThreeMajority};
 use pp_analysis::streaming::StreamingSummary;
 use pp_core::engine::StepEngine;
 use pp_core::ensemble::{EnsembleChoice, EnsembleRunResult};
+use pp_core::parallel::Parallelism;
 use pp_core::{Configuration, RunResult, SimSeed, StopCondition};
 use pp_workloads::InitialConfig;
 use std::time::Instant;
@@ -76,12 +88,14 @@ impl EnsembleWorkload {
     const BIAS: f64 = 4.0;
 }
 
-/// One measured arm of a cell: the per-replica results plus the wall time
-/// and (for the ensemble arm) the shared-table reuse fraction.
+/// One measured arm of a cell: the per-replica results plus the wall time,
+/// the worker threads the arm resolved to, and (for the ensemble arms) the
+/// shared-table reuse fraction.
 #[derive(Debug)]
 struct ArmSample {
     results: Vec<RunResult>,
     seconds: f64,
+    workers: u64,
     reuse: Option<f64>,
 }
 
@@ -152,16 +166,18 @@ impl EnsembleThroughputExperiment {
             .expect("throughput workload is valid")
     }
 
-    /// Times the lockstep-ensemble arm of one cell.
+    /// Times one lockstep-ensemble arm of one cell (single-threaded when
+    /// `parallelism` is [`Parallelism::single`], worker-parallel otherwise).
     fn timed_ensemble(
         &self,
         workload: EnsembleWorkload,
         config: &Configuration,
         replicas: usize,
+        parallelism: Parallelism,
         seed: SimSeed,
         budget: u64,
     ) -> ArmSample {
-        let choice = EnsembleChoice::new(replicas);
+        let choice = EnsembleChoice::new(replicas).with_parallelism(parallelism);
         let stop = StopCondition::consensus().or_max_interactions(budget);
         let (outcome, seconds): (EnsembleRunResult, f64) = match workload {
             EnsembleWorkload::Usd => {
@@ -188,6 +204,7 @@ impl EnsembleThroughputExperiment {
         );
         ArmSample {
             reuse: Some(outcome.shared_reuse_fraction()),
+            workers: outcome.workers(),
             results: outcome.results().to_vec(),
             seconds,
         }
@@ -236,6 +253,7 @@ impl EnsembleThroughputExperiment {
         ArmSample {
             results,
             seconds,
+            workers: 1,
             reuse: None,
         }
     }
@@ -259,8 +277,8 @@ impl EnsembleThroughputExperiment {
         let mut entries = Vec::new();
         let mut report = ExperimentReport::new(
             "E15",
-            "lockstep replica-ensemble throughput: ensemble vs loop of standalone runs",
-            "advancing R same-seed replicas in lockstep with counts-deduplicated shared tables beats running them one at a time, at bit-identical per-replica results",
+            "lockstep replica-ensemble throughput: ensemble (single- and multi-thread) vs loop of standalone runs",
+            "advancing R same-seed replicas in lockstep with counts-deduplicated shared tables beats running them one at a time, at bit-identical per-replica results; the parallel arm stacks worker threads on the sharing win",
             vec![
                 "workload".into(),
                 "n".into(),
@@ -268,6 +286,7 @@ impl EnsembleThroughputExperiment {
                 "bias".into(),
                 "replicas".into(),
                 "mode".into(),
+                "threads".into(),
                 "interactions".into(),
                 "seconds".into(),
                 "agg interactions/sec".into(),
@@ -279,47 +298,60 @@ impl EnsembleThroughputExperiment {
 
         for (ci, &(workload, n, replicas)) in self.cells.iter().enumerate() {
             let budget = self.scale.interaction_budget(n, EnsembleWorkload::K);
-            let mut best_loop: Option<ArmSample> = None;
-            let mut best_ensemble: Option<ArmSample> = None;
-            // One seed per cell, shared by every timing repetition and both
+            let mut best: [Option<ArmSample>; 3] = [None, None, None];
+            // One seed per cell, shared by every timing repetition and all
             // arms: all `runs` repeats simulate the *identical* replica
             // set, so best-of selection still compares bit-equal work and
-            // the paired rows report one set of results.
+            // the grouped rows report one set of results.
             let cell_seed = seed.child(0xE15_0000_0000 | (ci as u64) << 16);
             let config = Self::cell_config(workload, n, cell_seed);
             for _ in 0..self.runs {
-                let looped = self.timed_loop(workload, &config, replicas, cell_seed, budget);
-                let ensembled = self.timed_ensemble(workload, &config, replicas, cell_seed, budget);
+                let arms = [
+                    self.timed_loop(workload, &config, replicas, cell_seed, budget),
+                    self.timed_ensemble(
+                        workload,
+                        &config,
+                        replicas,
+                        Parallelism::single(),
+                        cell_seed,
+                        budget,
+                    ),
+                    self.timed_ensemble(
+                        workload,
+                        &config,
+                        replicas,
+                        Parallelism::auto(),
+                        cell_seed,
+                        budget,
+                    ),
+                ];
                 // The bit-exactness contract: identical replicas, identical
-                // results, so the speedup is pure wall-clock.
-                assert_eq!(
-                    looped.results,
-                    ensembled.results,
-                    "ensemble arm diverged from the replica loop \
-                     (workload = {}, n = {n}, R = {replicas})",
-                    workload.name()
-                );
-                if best_loop
-                    .as_ref()
-                    .is_none_or(|b| looped.seconds < b.seconds)
-                {
-                    best_loop = Some(looped);
+                // results across every arm and thread count, so the speedup
+                // columns are pure wall-clock.
+                for arm in &arms[1..] {
+                    assert_eq!(
+                        arms[0].results,
+                        arm.results,
+                        "an ensemble arm diverged from the replica loop \
+                         (workload = {}, n = {n}, R = {replicas})",
+                        workload.name()
+                    );
                 }
-                if best_ensemble
-                    .as_ref()
-                    .is_none_or(|b| ensembled.seconds < b.seconds)
-                {
-                    best_ensemble = Some(ensembled);
+                for (slot, arm) in best.iter_mut().zip(arms) {
+                    if slot.as_ref().is_none_or(|b| arm.seconds < b.seconds) {
+                        *slot = Some(arm);
+                    }
                 }
             }
-            let looped = best_loop.expect("at least one run");
-            let ensembled = best_ensemble.expect("at least one run");
-            let speedup = ensembled.aggregate_ips() / looped.aggregate_ips();
+            let [looped, ensembled, parallel] = best.map(|b| b.expect("at least one run"));
+            let loop_ips = looped.aggregate_ips();
 
-            for (mode, arm, speedup_value) in [
-                ("replica-loop", &looped, 1.0),
-                ("ensemble", &ensembled, speedup),
+            for (mode, arm) in [
+                ("replica-loop", &looped),
+                ("ensemble", &ensembled),
+                ("parallel-ensemble", &parallel),
             ] {
+                let speedup_value = arm.aggregate_ips() / loop_ips;
                 let mut hit_times = StreamingSummary::new();
                 for result in &arm.results {
                     hit_times.push(result.interactions() as f64);
@@ -346,6 +378,7 @@ impl EnsembleThroughputExperiment {
                     fmt_f64(EnsembleWorkload::BIAS),
                     replicas.to_string(),
                     mode.to_string(),
+                    arm.workers.to_string(),
                     total.to_string(),
                     fmt_f64(arm.seconds),
                     fmt_f64(arm.aggregate_ips()),
@@ -357,8 +390,12 @@ impl EnsembleThroughputExperiment {
             }
         }
         report.push_note(format!(
-            "both arms run the identical replica set (seeds master.child(i)); per-replica results are asserted bit-equal, so the speedup column is pure wall-clock; each cell reports the fastest of {} runs",
+            "all three arms run the identical replica set (seeds master.child(i)); per-replica results are asserted bit-equal, so the speedup columns are pure wall-clock; each cell reports the fastest of {} runs",
             self.runs
+        ));
+        report.push_note(format!(
+            "the parallel-ensemble arm resolves Parallelism::auto on the measuring box (available parallelism here: {}); on a single-core box it degenerates to the single-threaded ensemble plus scheduling overhead, so its scaling column is only meaningful on multi-core hardware",
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         ));
         report.push_note(
             "the ensemble's edge tracks the shared-table reuse fraction and the per-counts table cost: largest for the j-majority family (O(k²j³) adoption law skipped on every cache hit), bounded for the USD whose row table is already O(k)".to_string(),
@@ -384,7 +421,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn report_pairs_loop_and_ensemble_rows_per_cell() {
+    fn report_groups_loop_and_ensemble_arms_per_cell() {
         let exp = EnsembleThroughputExperiment {
             cells: vec![
                 (EnsembleWorkload::Usd, 2_000, 3),
@@ -394,16 +431,24 @@ mod tests {
             scale: Scale::Quick,
         };
         let (report, entries) = exp.run_with_samples(SimSeed::from_u64(5));
-        assert_eq!(report.rows.len(), 4);
-        assert_eq!(entries.len(), 4);
-        for pair in report.rows.chunks(2) {
-            assert_eq!(pair[0][5], "replica-loop");
-            assert_eq!(pair[1][5], "ensemble");
+        assert_eq!(report.rows.len(), 6);
+        assert_eq!(entries.len(), 6);
+        for arms in report.rows.chunks(3) {
+            assert_eq!(arms[0][5], "replica-loop");
+            assert_eq!(arms[1][5], "ensemble");
+            assert_eq!(arms[2][5], "parallel-ensemble");
+            // The single-threaded arms resolve to one worker; the parallel
+            // arm resolves to at least one.
+            assert_eq!(arms[0][6], "1");
+            assert_eq!(arms[1][6], "1");
+            assert!(arms[2][6].parse::<u64>().unwrap() >= 1);
             // Bit-exact arms advance the same interactions.
-            assert_eq!(pair[0][6], pair[1][6]);
-            // The loop arm reports no reuse fraction, the ensemble arm does.
-            assert_eq!(pair[0][11], "-");
-            assert!(pair[1][11].ends_with('%'));
+            assert_eq!(arms[0][7], arms[1][7]);
+            assert_eq!(arms[0][7], arms[2][7]);
+            // The loop arm reports no reuse fraction, the ensemble arms do.
+            assert_eq!(arms[0][12], "-");
+            assert!(arms[1][12].ends_with('%'));
+            assert!(arms[2][12].ends_with('%'));
         }
         for (entry, row) in entries.iter().zip(&report.rows) {
             assert_eq!(entry.engine, row[5]);
@@ -411,8 +456,9 @@ mod tests {
             assert!(entry.interactions_per_sec > 0.0);
         }
         assert_eq!(entries[0].experiment, "E15");
-        assert_eq!(entries[2].experiment, "E15/3-majority");
+        assert_eq!(entries[3].experiment, "E15/3-majority");
         assert_eq!(entries[0].speedup, 1.0);
         assert!(entries[1].speedup > 0.0);
+        assert!(entries[2].speedup > 0.0);
     }
 }

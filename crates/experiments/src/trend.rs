@@ -532,7 +532,7 @@ impl TrendReport {
 
 /// Engines whose throughput the trend check guards (the fast backends; the
 /// exact engine and the replica-loop reference arm are their own baselines).
-pub const GUARDED_ENGINES: [&str; 3] = ["batched", "sharded", "ensemble"];
+pub const GUARDED_ENGINES: [&str; 4] = ["batched", "sharded", "ensemble", "parallel-ensemble"];
 
 /// Compares `current` against `baseline`: every baseline cell of a guarded
 /// engine must stay above `(1 - threshold)` of its baseline value on the
@@ -669,6 +669,17 @@ mod tests {
         assert!(by_ips.has_regressions());
         assert!("speedup".parse::<TrendMetric>().unwrap() == TrendMetric::Speedup);
         assert!("nope".parse::<TrendMetric>().is_err());
+    }
+
+    #[test]
+    fn parallel_ensemble_rows_are_guarded() {
+        let mut base = entry("parallel-ensemble", 8, 1_000, 1.0e8);
+        base.experiment = "E15".to_string();
+        let mut cur = base.clone();
+        cur.interactions_per_sec = 0.5e8;
+        let report = compare_trend(&[base], &[cur], 0.30, TrendMetric::InteractionsPerSec);
+        assert_eq!(report.lines.len(), 1);
+        assert!(report.has_regressions());
     }
 
     #[test]

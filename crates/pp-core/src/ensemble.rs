@@ -1,4 +1,5 @@
-//! Lockstep multi-replica simulation with shared row computations.
+//! Lockstep multi-replica simulation with shared row computations and
+//! parallel replica advancement.
 //!
 //! Every Monte Carlo experiment in this workspace (hitting times, phase
 //! durations, bias sweeps) averages over independent replicas of the same
@@ -8,7 +9,7 @@
 //! sampling dynamic — even though those tables are pure functions of the
 //! count vector and the replicas walk heavily overlapping regions of the
 //! count space.  [`EnsembleEngine`] removes that waste by advancing `R`
-//! replicas in *lockstep epochs*:
+//! replicas in *lockstep rounds*:
 //!
 //! 1. **Shared row computations.** Between state-changing events a replica's
 //!    counts are frozen, so the per-counts tables are exact to share: the
@@ -23,31 +24,47 @@
 //!    than the map traffic, so the cache is *adaptive* by default
 //!    ([`SharedCacheMode`]): windows with too little measured reuse turn
 //!    the map dormant and recompute into per-replica scratch instead.
-//! 2. **Batched draws.** Each lockstep round makes three passes over the
-//!    live replicas, stored contiguously: resolve the shared tables (no
-//!    RNG), draw every replica's geometric skip, then draw and apply every
-//!    replica's state-changing event.  The RNG work runs in tight
-//!    homogeneous passes instead of being interleaved with table
-//!    derivations.
+//! 2. **Parallel replica advancement.** Rounds are scheduled in *windows*
+//!    of [`LOCKSTEP_WINDOW_ROUNDS`] rounds.  At each window boundary the
+//!    counts-keyed table map is *frozen*; within the window the live
+//!    replicas are partitioned into contiguous chunks over the worker
+//!    threads of the shared [`crate::parallel`] layer, and every worker
+//!    advances its chunk round by round — reading the frozen map
+//!    immutably, computing tables the map lacks into a worker-local
+//!    overlay, and drawing each replica's geometric skip and event from
+//!    that replica's own RNG.  At the window's end the workers' freshly
+//!    computed tables are merged back into the map (in worker order) and
+//!    the next window begins.  Freezing per window rather than per round
+//!    is what makes the pool affordable: scoped worker threads cost tens
+//!    of microseconds to fork/join, which a window of
+//!    `R × LOCKSTEP_WINDOW_ROUNDS` events amortizes and a single round of
+//!    `R` events would not.
 //!
 //! # Exactness
 //!
-//! The ensemble is *bit-exact*, not merely exact in distribution: replica
-//! `i` produces the same trajectory, interaction counter and [`RunResult`]
-//! as a standalone engine constructed with the same seed
-//! (conventionally `master.child(i)`, see [`EnsembleChoice::seeds`]).  The
-//! argument has two halves:
+//! The ensemble is *bit-exact*, not merely exact in distribution — at every
+//! thread count: replica `i` produces the same trajectory, interaction
+//! counter and [`RunResult`] as a standalone engine constructed with the
+//! same seed (conventionally `master.child(i)`, see
+//! [`EnsembleChoice::seeds`]).  The argument has three parts:
 //!
 //! * the shared tables consume no randomness and are pure functions of the
-//!   count vector, so dedup and caching cannot alter any replica's draws,
-//!   and
+//!   count vector, so dedup, caching, and *where* a table was computed
+//!   (map, overlay, or scratch) cannot alter any replica's draws,
 //! * each replica owns its RNG stream, and [`EnsembleReplica`] splits the
 //!   standalone `advance` into the same sequence of draws (skip first, then
 //!   the event) the standalone path performs — interleaving replicas never
-//!   reorders draws *within* one stream.
+//!   reorders draws *within* one stream, and
+//! * the worker partition is deterministic (contiguous chunks in replica
+//!   order — see the [`crate::parallel`] determinism contract) and workers
+//!   share no mutable state, so thread count and scheduling affect only
+//!   which core advances a replica, never what it computes.
 //!
 //! `tests/ensemble_equivalence.rs` pins this claim for the USD and for all
-//! five sampling dynamics.
+//! five sampling dynamics, including `threads = 1` vs `threads = T`
+//! bit-equality.  Cache statistics ([`EnsembleRunResult::shared_hits`] and
+//! friends) are *reported* bookkeeping and do depend on the thread count
+//! (each worker counts its own probes); per-replica results never do.
 //!
 //! # Example
 //!
@@ -74,7 +91,9 @@
 //!     .into_iter()
 //!     .map(|seed| BatchedEngine::new(TinyUsd, config.clone(), seed))
 //!     .collect();
-//! let mut ensemble = EnsembleEngine::try_new(replicas).unwrap();
+//! let mut ensemble = EnsembleEngine::try_new(replicas)
+//!     .unwrap()
+//!     .with_parallelism(choice.parallelism());
 //! let outcome = ensemble.run(StopCondition::consensus().or_max_interactions(10_000_000));
 //! assert!(outcome.all_reached_goal());
 //! assert_eq!(outcome.len(), 8);
@@ -83,18 +102,32 @@
 use crate::config::Configuration;
 use crate::engine::{geometric_skip, Advance, BatchedEngine, EngineChoice, StepEngine};
 use crate::error::PpError;
+use crate::parallel::{self, Parallelism};
 use crate::protocol::OpinionProtocol;
 use crate::rng::SimSeed;
 use crate::run::{RunOutcome, RunResult};
 use crate::stopping::StopCondition;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Default bound on the number of counts-keyed shared tables the ensemble
 /// keeps alive (the cache is cleared wholesale when the bound is hit; see
 /// [`EnsembleEngine::with_cache_capacity`]).
 pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
+/// Lockstep rounds per scheduling window: the table map freezes at every
+/// window boundary, workers advance their replica chunks for this many
+/// rounds against the frozen map, and freshly computed tables merge back at
+/// the window's end.  Large enough that a window of `R × 64` events
+/// amortizes the worker fork/join, small enough that newly discovered
+/// count regions become visible to every worker quickly.
+pub const LOCKSTEP_WINDOW_ROUNDS: u64 = 64;
+
+/// Workers are only forked when every worker gets at least this many live
+/// replicas: below that the per-window fork/join costs more than the
+/// advancement it parallelizes.
+const MIN_REPLICAS_PER_WORKER: usize = 2;
 
 /// A replica engine that can be advanced in lockstep with its siblings.
 ///
@@ -110,6 +143,9 @@ pub trait EnsembleReplica: StepEngine {
     /// The per-counts data shared between replicas at the same counts: the
     /// productive row table for [`BatchedEngine`], the activation law for a
     /// sampling dynamic.  Must be a pure function of the count vector.
+    /// Shared tables cross worker threads behind [`Arc`]s, so parallel runs
+    /// additionally need `Shared: Send + Sync` (every shipped table type
+    /// is plain data).
     type Shared;
 
     /// Computes the shared table for the current counts.  Consumes no RNG.
@@ -181,7 +217,8 @@ pub struct RowTable {
 }
 
 /// An `EngineChoice`-adjacent selector for ensemble runs: how many lockstep
-/// replicas to advance, and which per-replica backend drives each of them.
+/// replicas to advance, which per-replica backend drives each of them, and
+/// how many worker threads spread the replicas.
 ///
 /// Only the batched backend is a valid base — the lockstep engine exists to
 /// share skip-ahead tables, which the exact backend does not use, the
@@ -193,11 +230,16 @@ pub struct RowTable {
 pub struct EnsembleChoice {
     replicas: usize,
     base: EngineChoice,
+    /// Defaulted so pre-knob serialized choices keep deserializing once the
+    /// real serde is swapped back in (the vendored derive is a no-op).
+    #[serde(default)]
+    parallelism: Parallelism,
 }
 
 impl EnsembleChoice {
     /// An ensemble of `replicas` lockstep copies on the batched base
-    /// backend.
+    /// backend, with automatic worker parallelism (thread count never
+    /// affects results — see the module docs).
     ///
     /// # Panics
     ///
@@ -208,6 +250,7 @@ impl EnsembleChoice {
         EnsembleChoice {
             replicas,
             base: EngineChoice::Batched,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -221,6 +264,24 @@ impl EnsembleChoice {
         self
     }
 
+    /// Selects the worker-thread knob (default [`Parallelism::auto`]).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Caps the worker threads at `threads` (shorthand for
+    /// [`EnsembleChoice::with_parallelism`] with [`Parallelism::fixed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::fixed(threads))
+    }
+
     /// Number of lockstep replicas.
     #[must_use]
     pub fn replicas(&self) -> usize {
@@ -231,6 +292,12 @@ impl EnsembleChoice {
     #[must_use]
     pub fn base(&self) -> EngineChoice {
         self.base
+    }
+
+    /// The worker-thread knob.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Checks that the base backend can run inside the lockstep ensemble.
@@ -276,6 +343,7 @@ pub struct EnsembleRunResult {
     shared_hits: u64,
     shared_misses: u64,
     cache_evictions: u64,
+    workers: u64,
 }
 
 impl EnsembleRunResult {
@@ -309,14 +377,23 @@ impl EnsembleRunResult {
         self.results.is_empty()
     }
 
-    /// Lockstep rounds the run took (the longest replica's event count plus
-    /// its finishing round).
+    /// Lockstep rounds the run took (per scheduling window, the longest
+    /// worker's round count).
     #[must_use]
     pub fn rounds(&self) -> u64 {
         self.rounds
     }
 
-    /// Shared-table lookups answered from the counts-keyed cache.
+    /// The largest worker-thread count any scheduling window resolved to
+    /// (the count shrinks toward one as replicas finish and the live set
+    /// no longer feeds every worker).
+    #[must_use]
+    pub fn workers(&self) -> u64 {
+        self.workers
+    }
+
+    /// Shared-table lookups answered from the counts-keyed cache (the
+    /// frozen map or a worker's same-window overlay).
     #[must_use]
     pub fn shared_hits(&self) -> u64 {
         self.shared_hits
@@ -378,17 +455,18 @@ impl EnsembleRunResult {
 pub enum SharedCacheMode {
     /// Windowed self-tuning (the default): cache while the measured reuse
     /// rate clears [`SharedCacheMode::ADAPTIVE_MIN_HIT`], go dormant when
-    /// it does not — dormant rounds advance each replica through its own
-    /// standalone `advance` in chunks, at standalone cost — and re-probe
-    /// after a dormancy period that backs off exponentially while probes
-    /// keep failing.
+    /// it does not — dormant scheduling windows advance each replica
+    /// through its own standalone `advance` in chunks, at standalone cost —
+    /// and re-probe after a dormancy period that backs off exponentially
+    /// while probes keep failing.
     #[default]
     Adaptive,
     /// Cache unconditionally.
     Always,
-    /// Never cache: every round advances the replicas through their own
-    /// standalone `advance` (the ensemble then costs what the replica loop
-    /// costs, interleaved at chunk granularity).
+    /// Never cache: every scheduling window advances the replicas through
+    /// their own standalone `advance` (the ensemble then costs what the
+    /// replica loop costs, interleaved at chunk granularity — and still
+    /// parallelizes over the worker pool).
     Never,
 }
 
@@ -398,32 +476,34 @@ impl SharedCacheMode {
     pub const ADAPTIVE_MIN_HIT: f64 = 0.75;
     /// Lookups per adaptivity window.
     pub const WINDOW: u64 = 4096;
-    /// Dormant scheduling rounds after the first failed probe; doubled per
+    /// Dormant scheduling windows after the first failed probe; doubled per
     /// consecutive failure up to `<< MAX_BACKOFF`.
     pub const DORMANT_ROUNDS: u64 = 8;
     /// Cap on the exponential dormancy backoff.
     pub const MAX_BACKOFF: u32 = 6;
-    /// Events each live replica advances per dormant scheduling round
+    /// Events each live replica advances per dormant scheduling window
     /// (chunking keeps the replica's state hot and the scheduling overhead
     /// negligible).
     pub const DORMANT_CHUNK_EVENTS: u32 = 256;
 }
 
 /// Counts-keyed cache of shared per-counts tables.  Keys are the full
-/// category count vector (supports then undecided); values are refcounted so
-/// a hit costs one pointer clone.
+/// category count vector (supports then undecided); values are refcounted
+/// behind [`Arc`]s so a hit costs one pointer clone and tables flow to
+/// worker threads without copying.  The map is only ever *read* while
+/// workers run (it freezes per scheduling window) and only ever *written*
+/// between windows, on the coordinating thread.
 #[derive(Debug)]
 struct SharedCache<S> {
-    map: HashMap<Box<[u64]>, Rc<S>>,
+    map: HashMap<Box<[u64]>, Arc<S>>,
     capacity: usize,
     mode: SharedCacheMode,
-    key_scratch: Vec<u64>,
     hits: u64,
     misses: u64,
     evictions: u64,
     window_lookups: u64,
     window_hits: u64,
-    dormant_rounds: u64,
+    dormant_windows: u64,
     backoff: u32,
 }
 
@@ -433,27 +513,26 @@ impl<S> SharedCache<S> {
             map: HashMap::new(),
             capacity: capacity.max(1),
             mode,
-            key_scratch: Vec::new(),
             hits: 0,
             misses: 0,
             evictions: 0,
             window_lookups: 0,
             window_hits: 0,
-            dormant_rounds: 0,
+            dormant_windows: 0,
             backoff: 0,
         }
     }
 
-    /// Whether the coming scheduling round should resolve tables through
-    /// the map.  A `false` round is dormant: the replicas advance through
-    /// their standalone paths (in chunks) at standalone cost.
-    fn round_uses_map(&mut self) -> bool {
+    /// Whether the coming scheduling window should resolve tables through
+    /// the (frozen) map.  A `false` window is dormant: the replicas advance
+    /// through their standalone paths (in chunks) at standalone cost.
+    fn window_uses_map(&mut self) -> bool {
         match self.mode {
             SharedCacheMode::Always => true,
             SharedCacheMode::Never => false,
             SharedCacheMode::Adaptive => {
-                if self.dormant_rounds > 0 {
-                    self.dormant_rounds -= 1;
+                if self.dormant_windows > 0 {
+                    self.dormant_windows -= 1;
                     false
                 } else {
                     true
@@ -462,33 +541,44 @@ impl<S> SharedCache<S> {
         }
     }
 
-    /// Accounts the events a dormant round advanced without any table
+    /// Accounts the events a dormant window advanced without any table
     /// sharing (they enter the reuse statistics as misses).
     fn note_dormant_events(&mut self, events: u64) {
         self.misses += events;
     }
 
-    /// Looks up the shared table for `config`, computing and caching it on a
-    /// miss.  When the cache is full it is cleared wholesale: the replicas
-    /// cluster around the current stretch of their (drifting) trajectories,
-    /// so dropping the long-departed tail costs a brief warm-up, not a
-    /// sustained miss rate.
-    fn get_or_compute(&mut self, config: &Configuration, compute: impl FnOnce() -> S) -> Rc<S> {
-        self.key_scratch.clear();
-        self.key_scratch.extend_from_slice(config.supports());
-        self.key_scratch.push(config.undecided());
-        let found = self.map.get(self.key_scratch.as_slice()).map(Rc::clone);
-        self.window_lookups += 1;
-        self.window_hits += u64::from(found.is_some());
+    /// Merges one scheduling window's worker outputs back into the cache:
+    /// lookup statistics fold in worker order, freshly computed tables are
+    /// inserted in each worker's computation order (when the map is full it
+    /// is cleared wholesale: the replicas cluster around the current
+    /// stretch of their drifting trajectories, so dropping the
+    /// long-departed tail costs a brief warm-up, not a sustained miss
+    /// rate), and the adaptivity window advances.
+    fn merge_window(&mut self, outputs: Vec<WindowOutput<S>>) -> u64 {
+        let mut rounds = 0;
+        for output in outputs {
+            rounds = rounds.max(output.rounds);
+            self.hits += output.hits;
+            self.misses += output.misses;
+            self.window_hits += output.hits;
+            self.window_lookups += output.hits + output.misses;
+            for (key, table) in output.tables {
+                if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+                    self.map.clear();
+                    self.evictions += 1;
+                }
+                self.map.insert(key, table);
+            }
+        }
         if self.window_lookups >= SharedCacheMode::WINDOW {
-            // End of window: under the adaptive mode, a reuse rate that no
-            // longer pays for the map traffic turns the map dormant until
-            // the next probe, with exponentially backed-off dormancy while
-            // probes keep failing (entries are kept — probes start warm).
+            // End of an adaptivity window: a reuse rate that no longer pays
+            // for the map traffic turns the map dormant until the next
+            // probe, with exponentially backed-off dormancy while probes
+            // keep failing (entries are kept — probes start warm).
             let rate = self.window_hits as f64 / self.window_lookups as f64;
             if self.mode == SharedCacheMode::Adaptive {
                 if rate < SharedCacheMode::ADAPTIVE_MIN_HIT {
-                    self.dormant_rounds = SharedCacheMode::DORMANT_ROUNDS << self.backoff;
+                    self.dormant_windows = SharedCacheMode::DORMANT_ROUNDS << self.backoff;
                     self.backoff = (self.backoff + 1).min(SharedCacheMode::MAX_BACKOFF);
                 } else {
                     self.backoff = 0;
@@ -497,44 +587,180 @@ impl<S> SharedCache<S> {
             self.window_lookups = 0;
             self.window_hits = 0;
         }
-        if let Some(found) = found {
-            self.hits += 1;
-            return found;
-        }
-        self.misses += 1;
-        if self.map.len() >= self.capacity {
-            self.map.clear();
-            self.evictions += 1;
-        }
-        let value = Rc::new(compute());
-        self.map.insert(
-            self.key_scratch.clone().into_boxed_slice(),
-            Rc::clone(&value),
-        );
-        value
+        rounds
     }
 }
 
-/// Where one live replica stands within the current lockstep round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RoundState {
-    /// Shared table resolved; the skip has not been drawn yet.
-    Pending,
-    /// The skip landed: an event with this many preceding nulls is due.
-    Event(u64),
-    /// The skip overshot the limit; the counter was forwarded.
-    LimitReached,
-    /// No state change is possible from the current configuration, ever.
-    Absorbed,
+/// One worker's mutable view of a replica: the engine plus the slot its
+/// finished [`RunResult`] lands in (index-aligned with construction order
+/// through the deterministic partition).
+struct ReplicaSlot<'a, E> {
+    replica: &'a mut E,
+    result: &'a mut Option<RunResult>,
 }
 
-/// Advances `R` replicas of one protocol/configuration in lockstep epochs
-/// with counts-deduplicated shared tables and batched draws (module docs
-/// have the full design and exactness argument).
+/// What one worker brings back from a scheduling window: the tables it had
+/// to compute (in computation order), its lookup statistics, and how many
+/// rounds it actually ran (workers stop early once their chunk finishes).
+struct WindowOutput<S> {
+    tables: Vec<(Box<[u64]>, Arc<S>)>,
+    hits: u64,
+    misses: u64,
+    rounds: u64,
+}
+
+/// Builds the counts key of a configuration into `key` (supports then
+/// undecided — the same layout `SharedCache` stores).
+fn counts_key(config: &Configuration, key: &mut Vec<u64>) {
+    key.clear();
+    key.extend_from_slice(config.supports());
+    key.push(config.undecided());
+}
+
+/// Finishes a replica whose stop condition is met, mirroring the standalone
+/// driver's goal-before-budget order.  Returns `false` when the replica
+/// stays live.
+fn try_finish<E: EnsembleReplica>(slot: &mut ReplicaSlot<'_, E>, stop: &StopCondition) -> bool {
+    let replica = &*slot.replica;
+    if stop.goal_met(replica.configuration()) {
+        let outcome = if replica.configuration().is_consensus() {
+            RunOutcome::Consensus
+        } else {
+            RunOutcome::OpinionSettled
+        };
+        *slot.result = Some(finish(replica, outcome));
+        return true;
+    }
+    if stop
+        .max_interactions()
+        .is_some_and(|b| replica.interactions() >= b)
+    {
+        *slot.result = Some(finish(replica, RunOutcome::BudgetExhausted));
+        return true;
+    }
+    false
+}
+
+/// Advances one worker's chunk through a mapped scheduling window: up to
+/// [`LOCKSTEP_WINDOW_ROUNDS`] lockstep rounds against the frozen `map`,
+/// with misses computed into a worker-local overlay that the coordinator
+/// merges afterwards.
+fn advance_window_mapped<E: EnsembleReplica>(
+    slots: &mut [ReplicaSlot<'_, E>],
+    map: &HashMap<Box<[u64]>, Arc<E::Shared>>,
+    stop: &StopCondition,
+    limit: u64,
+) -> WindowOutput<E::Shared> {
+    let mut out = WindowOutput {
+        tables: Vec::new(),
+        hits: 0,
+        misses: 0,
+        rounds: 0,
+    };
+    let mut overlay: HashMap<Box<[u64]>, Arc<E::Shared>> = HashMap::new();
+    let mut key: Vec<u64> = Vec::new();
+    for _ in 0..LOCKSTEP_WINDOW_ROUNDS {
+        let mut advanced_any = false;
+        for slot in slots.iter_mut() {
+            if slot.result.is_some() || try_finish(slot, stop) {
+                continue;
+            }
+            advanced_any = true;
+            let replica = &mut *slot.replica;
+            // Resolve the shared table: frozen global map first, then this
+            // window's worker-local overlay, then compute.  All three paths
+            // yield bit-identical tables (pure functions of the counts).
+            counts_key(replica.configuration(), &mut key);
+            let shared = if let Some(table) = map.get(key.as_slice()) {
+                out.hits += 1;
+                Arc::clone(table)
+            } else if let Some(table) = overlay.get(key.as_slice()) {
+                out.hits += 1;
+                Arc::clone(table)
+            } else {
+                out.misses += 1;
+                let table = Arc::new(
+                    replica
+                        .compute_shared()
+                        .expect("replica stopped providing shared tables mid-run"),
+                );
+                let boxed = key.clone().into_boxed_slice();
+                overlay.insert(boxed.clone(), Arc::clone(&table));
+                out.tables.push((boxed, Arc::clone(&table)));
+                table
+            };
+            let p = replica.event_probability(&shared);
+            if p <= 0.0 {
+                replica.forward_to_limit(limit);
+                assert!(
+                    stop.max_interactions().is_some() || stop.goal_met(replica.configuration()),
+                    "absorbing configuration {} can never meet the stop condition",
+                    replica.configuration()
+                );
+                continue;
+            }
+            let headroom = limit - replica.interactions();
+            match replica.draw_skip(p, headroom) {
+                Some(skip) => replica.apply_event(&shared, skip),
+                None => replica.forward_to_limit(limit),
+            }
+        }
+        if !advanced_any {
+            break;
+        }
+        out.rounds += 1;
+    }
+    out
+}
+
+/// Advances one worker's chunk through a dormant scheduling window (cache
+/// policy decided the map does not pay): every live replica advances
+/// through its own standalone `advance`, a chunk of events at a time —
+/// bit-identical draws at standalone cost and locality, no table
+/// resolution, no refcount traffic.  Returns the events advanced.
+fn advance_window_dormant<E: EnsembleReplica>(
+    slots: &mut [ReplicaSlot<'_, E>],
+    stop: &StopCondition,
+    limit: u64,
+) -> u64 {
+    let mut events = 0u64;
+    for slot in slots.iter_mut() {
+        if slot.result.is_some() || try_finish(slot, stop) {
+            continue;
+        }
+        let replica = &mut *slot.replica;
+        for _ in 0..SharedCacheMode::DORMANT_CHUNK_EVENTS {
+            if stop.goal_met(replica.configuration())
+                || stop
+                    .max_interactions()
+                    .is_some_and(|b| replica.interactions() >= b)
+            {
+                break;
+            }
+            match StepEngine::advance(replica, limit) {
+                Advance::Event => events += 1,
+                Advance::LimitReached => break,
+                Advance::Absorbed => {
+                    assert!(
+                        stop.max_interactions().is_some() || stop.goal_met(replica.configuration()),
+                        "absorbing configuration {} can never meet the stop condition",
+                        replica.configuration()
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    events
+}
+
+/// Advances `R` replicas of one protocol/configuration in lockstep rounds
+/// with counts-deduplicated shared tables and worker-parallel replica
+/// advancement (module docs have the full design and exactness argument).
 ///
-/// Not [`Send`]: the shared tables are refcounted with [`Rc`].  Ensemble
-/// parallelism composes with the *experiment*-level thread pool (each thread
-/// drives its own ensemble), not with threads inside one ensemble.
+/// Worker threads come from the shared [`crate::parallel`] layer; select
+/// the count with [`EnsembleEngine::with_parallelism`].  Thread count never
+/// affects results, only wall-clock.
 #[derive(Debug)]
 pub struct EnsembleEngine<E: EnsembleReplica>
 where
@@ -542,6 +768,7 @@ where
 {
     replicas: Vec<E>,
     cache: SharedCache<E::Shared>,
+    parallelism: Parallelism,
     rounds: u64,
 }
 
@@ -581,6 +808,7 @@ where
         Ok(EnsembleEngine {
             replicas,
             cache: SharedCache::new(DEFAULT_CACHE_CAPACITY, SharedCacheMode::default()),
+            parallelism: Parallelism::auto(),
             rounds: 0,
         })
     }
@@ -603,6 +831,20 @@ where
         self
     }
 
+    /// Selects the worker-thread knob (default [`Parallelism::auto`]).
+    /// Never affects results, only wall-clock — see the module docs.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The worker-thread knob this engine runs with.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// The replicas, in construction order.
     #[must_use]
     pub fn replicas(&self) -> &[E] {
@@ -622,9 +864,10 @@ where
     }
 
     /// Runs every replica until it meets the stop condition, advancing the
-    /// live replicas in lockstep rounds, and returns the index-aligned
-    /// per-replica results.  Each replica's result is identical to what the
-    /// standalone `run_engine` would return for the same seed.
+    /// live replicas in worker-parallel lockstep windows, and returns the
+    /// index-aligned per-replica results.  Each replica's result is
+    /// identical to what the standalone `run_engine` would return for the
+    /// same seed, at every thread count.
     ///
     /// # Panics
     ///
@@ -634,7 +877,11 @@ where
     /// [`StepEngine::run_engine_recorded`]), or if a replica stops
     /// providing shared tables mid-run (impossible for the shipped
     /// backends).
-    pub fn run(&mut self, stop: StopCondition) -> EnsembleRunResult {
+    pub fn run(&mut self, stop: StopCondition) -> EnsembleRunResult
+    where
+        E: Send,
+        E::Shared: Send + Sync,
+    {
         assert!(
             stop.is_bounded(),
             "stop condition can never terminate the run"
@@ -644,122 +891,48 @@ where
         let misses_before = self.cache.misses;
         let evictions_before = self.cache.evictions;
         let replica_count = self.replicas.len();
-        let mut results: Vec<Option<RunResult>> = (0..replica_count).map(|_| None).collect();
-        let mut live: Vec<usize> = (0..replica_count).collect();
-        let mut planned: Vec<(usize, Rc<E::Shared>, RoundState)> =
-            Vec::with_capacity(replica_count);
+        let mut results: Vec<Option<RunResult>> = vec![None; replica_count];
         let limit = stop.max_interactions().unwrap_or(u64::MAX);
+        let mut workers_used = 1u64;
 
-        while !live.is_empty() {
-            self.rounds += 1;
-
-            // Pass 0: finish replicas whose stop condition is met, in the
-            // same goal-before-budget order as the standalone driver.
-            let replicas = &mut self.replicas;
-            live.retain(|&i| {
-                let replica = &replicas[i];
-                if stop.goal_met(replica.configuration()) {
-                    let outcome = if replica.configuration().is_consensus() {
-                        RunOutcome::Consensus
-                    } else {
-                        RunOutcome::OpinionSettled
-                    };
-                    results[i] = Some(finish(replica, outcome));
-                    return false;
-                }
-                if stop
-                    .max_interactions()
-                    .is_some_and(|b| replica.interactions() >= b)
-                {
-                    results[i] = Some(finish(replica, RunOutcome::BudgetExhausted));
-                    return false;
-                }
-                true
-            });
-
-            // A dormant round (cache policy decided the map does not pay)
-            // advances every live replica through its own standalone
-            // `advance`, a chunk of events at a time — bit-identical draws
-            // at standalone cost and locality, no table resolution, no
-            // refcount traffic.  Finishing is left to the next retain pass.
-            if !self.cache.round_uses_map() {
-                let mut advanced = 0u64;
-                for &i in &live {
-                    let replica = &mut self.replicas[i];
-                    for _ in 0..SharedCacheMode::DORMANT_CHUNK_EVENTS {
-                        if stop.goal_met(replica.configuration())
-                            || stop
-                                .max_interactions()
-                                .is_some_and(|b| replica.interactions() >= b)
-                        {
-                            break;
-                        }
-                        match StepEngine::advance(replica, limit) {
-                            Advance::Event => advanced += 1,
-                            Advance::LimitReached => break,
-                            Advance::Absorbed => {
-                                assert!(
-                                    stop.max_interactions().is_some()
-                                        || stop.goal_met(replica.configuration()),
-                                    "absorbing configuration {} can never meet the stop condition",
-                                    replica.configuration()
-                                );
-                                break;
-                            }
-                        }
-                    }
-                }
-                self.cache.note_dormant_events(advanced);
-                continue;
+        loop {
+            // Per-window live view: exclusive access to every unfinished
+            // replica and its result slot, in construction order, ready for
+            // the deterministic contiguous partition.
+            let mut slots: Vec<ReplicaSlot<'_, E>> = self
+                .replicas
+                .iter_mut()
+                .zip(results.iter_mut())
+                .filter(|(_, result)| result.is_none())
+                .map(|(replica, result)| ReplicaSlot { replica, result })
+                .collect();
+            if slots.is_empty() {
+                break;
             }
-
-            // Pass 1 (no RNG): resolve the shared tables, deduplicated by
-            // counts across the live replicas.
-            planned.clear();
-            for &i in &live {
-                let replica = &self.replicas[i];
-                let shared = self.cache.get_or_compute(replica.configuration(), || {
-                    replica
-                        .compute_shared()
-                        .expect("replica stopped providing shared tables mid-run")
+            // Re-resolved per window so tail windows (most replicas
+            // finished) fall back to inline execution instead of forking
+            // workers for a handful of live replicas.
+            let workers = self
+                .parallelism
+                .resolve(slots.len() / MIN_REPLICAS_PER_WORKER)
+                .max(1);
+            workers_used = workers_used.max(workers as u64);
+            if self.cache.window_uses_map() {
+                // Freeze the map for the window: workers read it immutably
+                // and compute anything it lacks into their own overlays.
+                let map = &self.cache.map;
+                let outputs = parallel::map_chunks(workers, &mut slots, |_, chunk| {
+                    advance_window_mapped(chunk, map, &stop, limit)
                 });
-                planned.push((i, shared, RoundState::Pending));
-            }
-
-            // Pass 2 (one RNG draw per replica): the geometric skips.
-            for (i, shared, state) in planned.iter_mut() {
-                let replica = &mut self.replicas[*i];
-                let p = replica.event_probability(shared);
-                if p <= 0.0 {
-                    replica.forward_to_limit(limit);
-                    *state = RoundState::Absorbed;
-                    continue;
-                }
-                let headroom = limit - replica.interactions();
-                *state = match replica.draw_skip(p, headroom) {
-                    Some(skip) => RoundState::Event(skip),
-                    None => {
-                        replica.forward_to_limit(limit);
-                        RoundState::LimitReached
-                    }
-                };
-            }
-
-            // Pass 3 (event draws): realize the state-changing events.
-            for (i, shared, state) in planned.drain(..) {
-                match state {
-                    RoundState::Event(skip) => self.replicas[i].apply_event(&shared, skip),
-                    RoundState::Absorbed => {
-                        let replica = &self.replicas[i];
-                        assert!(
-                            stop.max_interactions().is_some()
-                                || stop.goal_met(replica.configuration()),
-                            "absorbing configuration {} can never meet the stop condition",
-                            replica.configuration()
-                        );
-                    }
-                    RoundState::LimitReached | RoundState::Pending => {}
-                }
+                drop(slots);
+                self.rounds += self.cache.merge_window(outputs);
+            } else {
+                let events = parallel::map_chunks(workers, &mut slots, |_, chunk| {
+                    advance_window_dormant(chunk, &stop, limit)
+                });
+                drop(slots);
+                self.rounds += 1;
+                self.cache.note_dormant_events(events.into_iter().sum());
             }
         }
 
@@ -772,6 +945,7 @@ where
             shared_hits: self.cache.hits - hits_before,
             shared_misses: self.cache.misses - misses_before,
             cache_evictions: self.cache.evictions - evictions_before,
+            workers: workers_used,
         }
     }
 }
@@ -844,12 +1018,38 @@ mod tests {
         }
         assert!(outcome.all_reached_goal());
         assert!(outcome.rounds() > 0);
+        assert!(outcome.workers() >= 1);
+    }
+
+    #[test]
+    fn every_thread_count_produces_identical_results() {
+        // The worker partition is deterministic and workers share no
+        // mutable state, so the thread knob trades wall-clock only.
+        let stop = StopCondition::consensus().or_max_interactions(5_000_000);
+        let reference = ensemble(vec![400, 150], 50, 7)
+            .with_parallelism(Parallelism::single())
+            .run(stop);
+        for threads in [2usize, 3, 8] {
+            let outcome = ensemble(vec![400, 150], 50, 7)
+                .with_parallelism(Parallelism::fixed(threads))
+                .run(stop);
+            assert_eq!(
+                outcome.results(),
+                reference.results(),
+                "threads = {threads} diverged"
+            );
+        }
+        let auto = ensemble(vec![400, 150], 50, 7)
+            .with_parallelism(Parallelism::auto())
+            .run(stop);
+        assert_eq!(auto.results(), reference.results(), "auto diverged");
     }
 
     #[test]
     fn shared_tables_are_deduplicated_across_identical_replicas() {
-        // All replicas start at identical counts, so round 1 computes one
-        // table for all of them: misses stay far below lookups.
+        // All replicas start at identical counts, so the first rounds
+        // compute one table per worker at most: misses stay far below
+        // lookups.
         let mut ens = ensemble(vec![900, 100], 0, 16).with_cache_mode(SharedCacheMode::Always);
         let outcome = ens.run(StopCondition::consensus().or_max_interactions(5_000_000));
         assert!(outcome.shared_hits() > 0);
@@ -939,6 +1139,7 @@ mod tests {
         let choice = EnsembleChoice::new(4);
         assert_eq!(choice.replicas(), 4);
         assert_eq!(choice.base(), EngineChoice::Batched);
+        assert_eq!(choice.parallelism(), Parallelism::auto());
         assert!(choice.validate().is_ok());
         let seeds = choice.seeds(SimSeed::from_u64(5));
         assert_eq!(seeds.len(), 4);
@@ -951,6 +1152,11 @@ mod tests {
             let err = choice.with_base(base).validate().unwrap_err();
             assert_eq!(err, PpError::UnsupportedEngine { requested: name });
         }
+        // The thread knob rides along without affecting validation.
+        let threaded = choice.threads(3);
+        assert_eq!(threaded.parallelism(), Parallelism::fixed(3));
+        assert!(threaded.validate().is_ok());
+        assert_eq!(threaded.replicas(), 4);
     }
 
     #[test]
@@ -968,5 +1174,19 @@ mod tests {
         let lookups = outcome.shared_hits() + outcome.shared_misses();
         assert!(lookups > 0);
         assert!(outcome.shared_reuse_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn ensemble_engines_and_shared_tables_cross_threads() {
+        // The parallel path moves replicas to workers and shares tables
+        // behind Arcs: pin the auto-trait obligations so a regression (an
+        // Rc or RefCell sneaking back into the shared state) fails here,
+        // not in a consumer crate.
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send::<BatchedEngine<Usd2>>();
+        assert_send_sync::<RowTable>();
+        assert_send_sync::<Parallelism>();
+        assert_send_sync::<EnsembleChoice>();
     }
 }

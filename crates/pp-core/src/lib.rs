@@ -37,12 +37,20 @@
 //!
 //! Monte Carlo estimates over many independent runs go through the
 //! [`ensemble::EnsembleEngine`], which advances `R` replicas of one
-//! protocol/configuration in lockstep epochs: per-counts tables (row
+//! protocol/configuration in lockstep rounds: per-counts tables (row
 //! weights, activation laws) are computed once and shared across replicas
-//! whose counts coincide, and the geometric-skip and event draws run in
-//! batched passes over contiguous arrays.  Per-replica RNG streams keep
-//! every replica *bit-identical* to a standalone same-seed run — see
-//! [`ensemble`] for the exactness argument.
+//! whose counts coincide through an [`std::sync::Arc`]-shared map that
+//! freezes per scheduling window, and the live replicas spread over the
+//! worker threads of the shared [`parallel`] layer.  Per-replica RNG
+//! streams and the layer's deterministic partition keep every replica
+//! *bit-identical* to a standalone same-seed run at every thread count —
+//! see [`ensemble`] for the exactness argument.
+//!
+//! Both parallel engines (sharded, ensemble) draw their workers from
+//! [`parallel`]: a [`Parallelism`] knob plus scoped fork/join execution
+//! over a deterministic contiguous partition, under a shared determinism
+//! contract (see the module docs) that makes thread count a pure
+//! wall-clock dial.
 //!
 //! [`AgentSimulator`] remains as the explicit agent-array ground truth for
 //! fidelity cross-checks and protocols with per-agent state.
@@ -89,6 +97,7 @@ pub mod ensemble;
 pub mod error;
 pub mod fenwick;
 pub mod opinion;
+pub mod parallel;
 pub mod protocol;
 pub mod recorder;
 pub mod rng;
@@ -107,6 +116,7 @@ pub use ensemble::{
 pub use error::{ConfigError, PpError};
 pub use fenwick::FenwickTree;
 pub use opinion::{AgentState, Opinion, UNDECIDED_INDEX};
+pub use parallel::Parallelism;
 pub use protocol::{OpinionProtocol, PairwiseProtocol};
 pub use recorder::{NullRecorder, Recorder, Snapshot, TraceRecorder};
 pub use rng::{SimSeed, SplitMix64};
@@ -128,6 +138,7 @@ pub mod prelude {
     };
     pub use crate::error::{ConfigError, PpError};
     pub use crate::opinion::{AgentState, Opinion};
+    pub use crate::parallel::Parallelism;
     pub use crate::protocol::{OpinionProtocol, PairwiseProtocol};
     pub use crate::recorder::{NullRecorder, Recorder, Snapshot, TraceRecorder};
     pub use crate::rng::SimSeed;

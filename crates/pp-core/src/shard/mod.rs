@@ -13,8 +13,11 @@
 //!    responder in shard `a` and its initiator in shard `b`.
 //! 2. **Advance** — every shard consumes its *intra*-shard quota `N_aa`
 //!    independently on its own [`BatchedEngine`](crate::BatchedEngine)
-//!    (geometric skip-ahead, `O(k)` per event), in parallel across worker
-//!    threads.
+//!    (geometric skip-ahead, `O(k)` per event), in parallel across the
+//!    worker threads of the shared [`crate::parallel`] layer (the same
+//!    pool the replica ensemble uses; per-shard RNGs and the layer's
+//!    deterministic partition keep results independent of the thread
+//!    count).
 //! 3. **Reconcile** — the *cross*-shard quotas `N_ab` (`a ≠ b`) are realized
 //!    against boundary snapshots of the initiator shards by the batched
 //!    sampler in [`reconcile`]; responder updates land in shard `a`, and the
@@ -80,6 +83,7 @@ pub use plan::{ShardPlan, EPOCH_AUTO_DENOMINATOR};
 use crate::config::Configuration;
 use crate::engine::{Advance, BatchedEngine, StepEngine};
 use crate::error::PpError;
+use crate::parallel;
 use crate::protocol::OpinionProtocol;
 use crate::rng::SimSeed;
 use multinomial::{
@@ -301,32 +305,6 @@ impl<P: OpinionProtocol + Clone> ShardedEngine<P> {
         reconcile::cross_productive_weight(protocol, &self.merged, &self.merged)
     }
 
-    /// Runs the per-shard closure over every shard, spread over `threads`
-    /// workers (inline when one thread suffices).
-    fn for_each_shard_parallel<F>(&mut self, threads: usize, f: F)
-    where
-        P: Send,
-        F: Fn(usize, &mut ShardState<P>) + Sync,
-    {
-        if threads <= 1 || self.shards.len() <= 1 {
-            for (i, shard) in self.shards.iter_mut().enumerate() {
-                f(i, shard);
-            }
-            return;
-        }
-        let chunk_size = self.shards.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (c, chunk) in self.shards.chunks_mut(chunk_size).enumerate() {
-                let f = &f;
-                scope.spawn(move || {
-                    for (offset, shard) in chunk.iter_mut().enumerate() {
-                        f(c * chunk_size + offset, shard);
-                    }
-                });
-            }
-        });
-    }
-
     /// Runs one reconciliation epoch of exactly `epoch` interactions and
     /// returns the number of state-changing events it produced.
     fn run_epoch(&mut self, epoch: u64) -> u64
@@ -356,18 +334,23 @@ impl<P: OpinionProtocol + Clone> ShardedEngine<P> {
             }
         }
 
-        // Pass 1: independent intra-shard advancement.
-        self.for_each_shard_parallel(threads, |_, shard| shard.advance_intra());
+        // Pass 1: independent intra-shard advancement, spread over the
+        // shared worker layer's deterministic partition.
+        parallel::run_partitioned(threads, &mut self.shards, |_, shard| shard.advance_intra());
 
         // Pass 2: cross-shard reconciliation against boundary snapshots.
         // Writes stay within each responder shard, so the pass parallelizes
-        // over responder shards.
+        // over responder shards (the snapshots are frozen read-only data,
+        // exactly the sharing shape the parallel layer's determinism
+        // contract allows).
         let snapshots: Vec<Configuration> = self
             .shards
             .iter()
             .map(|s| s.engine.configuration().clone())
             .collect();
-        self.for_each_shard_parallel(threads, |a, shard| shard.reconcile_cross(a, &snapshots));
+        parallel::run_partitioned(threads, &mut self.shards, |a, shard| {
+            shard.reconcile_cross(a, &snapshots);
+        });
 
         self.epochs += 1;
         self.merged = merge_configurations(

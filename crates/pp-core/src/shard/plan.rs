@@ -1,5 +1,6 @@
 //! Shard-plan configuration: how a population is split and scheduled.
 
+use crate::parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Default denominator of the automatic epoch length: an epoch spans
@@ -33,7 +34,10 @@ pub const EPOCH_AUTO_DENOMINATOR: u64 = 32;
 pub struct ShardPlan {
     shards: usize,
     epoch_interactions: Option<u64>,
-    threads: Option<usize>,
+    /// Defaulted so pre-knob serialized plans keep deserializing once the
+    /// real serde is swapped back in (the vendored derive is a no-op).
+    #[serde(default)]
+    parallelism: Parallelism,
     rebalance_every: Option<u64>,
 }
 
@@ -51,7 +55,7 @@ impl ShardPlan {
         ShardPlan {
             shards,
             epoch_interactions: None,
-            threads: None,
+            parallelism: Parallelism::auto(),
             rebalance_every: None,
         }
     }
@@ -86,27 +90,37 @@ impl ShardPlan {
     }
 
     /// Caps the number of worker threads (the default is the machine's
-    /// available parallelism).  The thread count is additionally capped at
-    /// the shard count; with one thread the engine runs the shard loop
-    /// inline, which keeps tiny populations cheap.
+    /// available parallelism, via the shared [`Parallelism`] knob).  The
+    /// thread count is additionally capped at the shard count; with one
+    /// thread the engine runs the shard loop inline, which keeps tiny
+    /// populations cheap.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     #[must_use]
-    pub fn threads(mut self, threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one worker thread");
-        self.threads = Some(threads);
+    pub fn threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::fixed(threads))
+    }
+
+    /// Selects the worker-thread knob directly (the same [`Parallelism`]
+    /// the replica ensemble's `EnsembleChoice` carries).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
+    }
+
+    /// The worker-thread knob.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The worker-thread count the plan resolves to on this machine.
     #[must_use]
     pub fn resolved_threads(&self) -> usize {
-        self.threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
-            .min(self.shards)
-            .max(1)
+        self.parallelism.resolve(self.shards)
     }
 
     /// Re-splits the merged counts across shards every `epochs` epochs.
@@ -172,6 +186,16 @@ mod tests {
         let plan = ShardPlan::new(2).threads(16);
         assert_eq!(plan.resolved_threads(), 2);
         assert!(ShardPlan::new(64).resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn parallelism_knob_round_trips() {
+        assert_eq!(ShardPlan::new(4).parallelism(), Parallelism::auto());
+        let plan = ShardPlan::new(4).threads(3);
+        assert_eq!(plan.parallelism(), Parallelism::fixed(3));
+        assert_eq!(plan.resolved_threads(), 3);
+        let plan = ShardPlan::new(4).with_parallelism(Parallelism::single());
+        assert_eq!(plan.resolved_threads(), 1);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The [`InitialConfig`] builder.
 
 use crate::generators;
-use pp_core::{ConfigError, Configuration, EngineChoice, EnsembleChoice, ShardPlan, SimSeed};
+use pp_core::{
+    ConfigError, Configuration, EngineChoice, EnsembleChoice, Parallelism, ShardPlan, SimSeed,
+};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -106,6 +108,10 @@ pub struct InitialConfig {
     engine: EngineChoice,
     shards: Option<usize>,
     replicas: Option<usize>,
+    /// Defaulted so pre-knob serialized specs keep deserializing once the
+    /// real serde is swapped back in (the vendored derive is a no-op).
+    #[serde(default)]
+    parallelism: Parallelism,
 }
 
 impl InitialConfig {
@@ -121,6 +127,7 @@ impl InitialConfig {
             engine: EngineChoice::Exact,
             shards: None,
             replicas: None,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -181,6 +188,34 @@ impl InitialConfig {
         self.replicas
     }
 
+    /// Caps the worker threads of parallel simulations of this workload
+    /// (the sharded engine's shard workers through
+    /// [`InitialConfig::shard_plan`], the replica ensemble's workers
+    /// through [`InitialConfig::ensemble_choice`]).  Defaults to the
+    /// machine's available parallelism; thread count never affects results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.parallelism = Parallelism::fixed(threads);
+        self
+    }
+
+    /// Selects the worker-thread knob directly.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The worker-thread knob selected for this workload.
+    #[must_use]
+    pub fn parallelism_choice(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// The [`EnsembleChoice`] this workload resolves to: the selected
     /// replica count (1 when none was given) on the workload's engine as
     /// base backend — only [`EngineChoice::Batched`] survives
@@ -189,7 +224,9 @@ impl InitialConfig {
     /// diagnostic.
     #[must_use]
     pub fn ensemble_choice(&self) -> EnsembleChoice {
-        EnsembleChoice::new(self.replicas.unwrap_or(1)).with_base(self.engine)
+        EnsembleChoice::new(self.replicas.unwrap_or(1))
+            .with_base(self.engine)
+            .with_parallelism(self.parallelism)
     }
 
     /// Builds the ensemble workload: the shared initial configuration every
@@ -219,10 +256,12 @@ impl InitialConfig {
 
     /// The [`ShardPlan`] this workload resolves to: the selected shard count
     /// (or the plan default when none was given), automatic epoch length and
-    /// thread count.
+    /// the workload's worker-thread knob.
     #[must_use]
     pub fn shard_plan(&self) -> ShardPlan {
-        self.shards.map_or_else(ShardPlan::default, ShardPlan::new)
+        self.shards
+            .map_or_else(ShardPlan::default, ShardPlan::new)
+            .with_parallelism(self.parallelism)
     }
 
     /// Builds the configuration and splits it into per-shard count vectors
@@ -637,6 +676,30 @@ mod tests {
         assert_eq!(single.replica_count(), None);
         let (_, choice) = single.build_ensemble(seed()).unwrap();
         assert_eq!(choice.replicas(), 1);
+    }
+
+    #[test]
+    fn threads_knob_flows_into_plans_and_choices() {
+        let spec = InitialConfig::new(1_000, 2)
+            .shards(4)
+            .replicas(8)
+            .threads(3);
+        assert_eq!(spec.parallelism_choice(), Parallelism::fixed(3));
+        assert_eq!(spec.shard_plan().resolved_threads(), 3);
+        assert_eq!(spec.ensemble_choice().parallelism(), Parallelism::fixed(3));
+        // Default: automatic parallelism everywhere.
+        let auto = InitialConfig::new(1_000, 2);
+        assert_eq!(auto.parallelism_choice(), Parallelism::auto());
+        assert_eq!(auto.ensemble_choice().parallelism(), Parallelism::auto());
+        // The knob never affects the generated configuration.
+        assert_eq!(
+            spec.build(seed()).unwrap(),
+            InitialConfig::new(1_000, 2)
+                .shards(4)
+                .replicas(8)
+                .build(seed())
+                .unwrap()
+        );
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   MedianRule through [`SequentialSampler`]), ensemble results are
 //!   compared `==` against standalone same-seed runs, including full
 //!   recorded trajectories for the USD, under every [`SharedCacheMode`].
+//! * **Thread-count invariance** — the parallel worker pool
+//!   (`pp_core::parallel`) must be a pure wall-clock dial: `threads = 1`
+//!   and `threads = T` runs are compared `==` per replica for the USD and
+//!   all five dynamics, and a proptest drives random thread counts against
+//!   the single-threaded reference.
 //! * **Distributional sanity** — on top of exact equality, hitting times of
 //!   ensemble replicas are chi-squared against freshly seeded standalone
 //!   runs through `pp_analysis::conformance` (the same harness the other
@@ -32,6 +37,7 @@ use consensus_dynamics::{
 use pp_analysis::conformance::Conformance;
 use pp_core::engine::StepEngine;
 use pp_core::ensemble::{EnsembleChoice, EnsembleEngine, SharedCacheMode};
+use pp_core::parallel::Parallelism;
 use pp_core::{
     BatchedEngine, Configuration, EngineChoice, PpError, RunResult, SimSeed, StopCondition,
 };
@@ -57,8 +63,9 @@ fn standalone_sampler<D: SamplingDynamics + Clone>(
 }
 
 /// Pins every ensemble replica of `dynamics` to its standalone same-seed
-/// run, exactly.
-fn pin_sampler_ensemble<D: SamplingDynamics + Clone>(
+/// run, exactly (`Send` because the ensemble spreads replicas over worker
+/// threads).
+fn pin_sampler_ensemble<D: SamplingDynamics + Clone + Send>(
     dynamics: D,
     config: Configuration,
     replicas: usize,
@@ -136,6 +143,101 @@ fn usd_ensemble_matches_standalone_batched_runs_and_trajectories() {
         assert_eq!(*final_t, outcome.replica(i).interactions());
         assert_eq!(final_c, outcome.replica(i).final_configuration());
         assert!(trace.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}
+
+/// Pins the `threads = 1` vs `threads = T` bit-identity of a sampler
+/// ensemble: the worker pool must be a pure wall-clock dial.
+fn pin_sampler_threads<D: SamplingDynamics + Clone + Send>(
+    dynamics: D,
+    config: Configuration,
+    replicas: usize,
+    budget: u64,
+) {
+    let master = SimSeed::from_u64(MASTER ^ 7);
+    let single = sampler_ensemble(
+        &dynamics,
+        &config,
+        master,
+        EnsembleChoice::new(replicas).threads(1),
+    )
+    .expect("shipped dynamics support the ensemble")
+    .run(stop(budget));
+    for threads in [2usize, 4] {
+        let outcome = sampler_ensemble(
+            &dynamics,
+            &config,
+            master,
+            EnsembleChoice::new(replicas).threads(threads),
+        )
+        .unwrap()
+        .run(stop(budget));
+        assert_eq!(
+            outcome.results(),
+            single.results(),
+            "{} diverged between threads=1 and threads={threads}",
+            dynamics.name()
+        );
+    }
+    // The single-threaded arm is itself pinned to standalone runs, so the
+    // multi-threaded arms are transitively standalone-exact; spot-check
+    // replica 0 anyway to keep the chain visible.
+    let expected = standalone_sampler(&dynamics, &config, master.child(0), budget);
+    assert_eq!(single.replica(0), &expected);
+}
+
+#[test]
+fn all_five_dynamics_are_thread_count_invariant() {
+    let biased = Configuration::from_counts(vec![600, 250], 0).unwrap();
+    let with_undecided = Configuration::from_counts(vec![400, 200], 200).unwrap();
+    pin_sampler_threads(Voter::new(2), with_undecided.clone(), 6, 5_000_000);
+    pin_sampler_threads(TwoChoices::new(2), biased.clone(), 6, 5_000_000);
+    pin_sampler_threads(ThreeMajority::new(2), biased, 6, 5_000_000);
+    pin_sampler_threads(
+        JMajority::new(3, 5),
+        Configuration::from_counts(vec![450, 300, 150], 0).unwrap(),
+        6,
+        5_000_000,
+    );
+    pin_sampler_threads(
+        MedianRule::new(3),
+        Configuration::from_counts(vec![350, 300, 250], 0).unwrap(),
+        6,
+        5_000_000,
+    );
+}
+
+#[test]
+fn usd_ensemble_is_thread_count_invariant() {
+    let config = Configuration::from_counts(vec![900, 400, 200], 0).unwrap();
+    let master = SimSeed::from_u64(MASTER ^ 8);
+    let single = UsdEnsemble::try_new(config.clone(), master, EnsembleChoice::new(8).threads(1))
+        .unwrap()
+        .run(stop(50_000_000));
+    assert!(single.all_reached_goal());
+    for threads in [2usize, 3, 8] {
+        let outcome = UsdEnsemble::try_new(
+            config.clone(),
+            master,
+            EnsembleChoice::new(8).threads(threads),
+        )
+        .unwrap()
+        .run(stop(50_000_000));
+        assert_eq!(
+            outcome.results(),
+            single.results(),
+            "USD ensemble diverged between threads=1 and threads={threads}"
+        );
+    }
+    // And against standalone batched runs, closing the triangle.
+    for (i, seed) in EnsembleChoice::new(8).seeds(master).into_iter().enumerate() {
+        let mut standalone =
+            BatchedEngine::new(UndecidedStateDynamics::new(3), config.clone(), seed);
+        assert_eq!(
+            single.replica(i),
+            &standalone.run_engine(stop(50_000_000)),
+            "replica {i} diverged from its standalone run"
+        );
     }
 }
 
@@ -268,14 +370,16 @@ fn unsupported_nestings_are_rejected_with_named_diagnostics() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Conservation over the ensemble: every replica keeps its population,
-    /// stays internally consistent, and respects the budget exactly, for
-    /// random configurations, replica counts and budgets.
+    /// Conservation over the ensemble's *parallel* path: every replica
+    /// keeps its population, stays internally consistent, and respects the
+    /// budget exactly, for random configurations, replica counts, worker
+    /// thread counts and budgets.
     #[test]
     fn ensemble_conserves_population_and_budget(
         counts in proptest::collection::vec(1u64..60, 2..5),
         undecided in 0u64..40,
         replicas in 1usize..6,
+        threads in 1usize..5,
         budget in 1_000u64..40_000,
         seed in 0u64..1_000,
     ) {
@@ -287,7 +391,9 @@ proptest! {
             .into_iter()
             .map(|s| BatchedEngine::new(protocol, config.clone(), s))
             .collect();
-        let mut ensemble = EnsembleEngine::try_new(members).unwrap();
+        let mut ensemble = EnsembleEngine::try_new(members)
+            .unwrap()
+            .with_parallelism(Parallelism::fixed(threads));
         let outcome = ensemble.run(stop(budget));
         prop_assert_eq!(outcome.len(), replicas);
         for result in outcome.results() {
@@ -298,6 +404,39 @@ proptest! {
                 prop_assert_eq!(result.interactions(), budget);
             }
         }
+    }
+
+    /// Thread-count invariance as a property: random two-opinion majorities
+    /// under random worker counts equal the single-threaded reference bit
+    /// for bit.
+    #[test]
+    fn parallel_replicas_equal_single_threaded_runs(
+        lead in 30u64..150,
+        trail in 1u64..80,
+        replicas in 2usize..7,
+        threads in 2usize..6,
+        seed in 0u64..300,
+    ) {
+        let config = Configuration::from_counts(vec![lead + trail, trail], 0).unwrap();
+        let dynamics = ThreeMajority::new(2);
+        let master = SimSeed::from_u64(seed);
+        let single = sampler_ensemble(
+            &dynamics,
+            &config,
+            master,
+            EnsembleChoice::new(replicas).threads(1),
+        )
+        .unwrap()
+        .run(stop(2_000_000));
+        let parallel = sampler_ensemble(
+            &dynamics,
+            &config,
+            master,
+            EnsembleChoice::new(replicas).threads(threads),
+        )
+        .unwrap()
+        .run(stop(2_000_000));
+        prop_assert_eq!(parallel.results(), single.results());
     }
 
     /// Bit-exactness as a property: for random two-opinion majorities the
