@@ -7,7 +7,8 @@
 //! agent-level engine, and the gossip round engine.
 
 use consensus_dynamics::{
-    sampler_ensemble, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
+    sampler_ensemble, set_incremental_laws, MedianRule, SamplingDynamics, SequentialSampler,
+    ThreeMajority,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pp_core::engine::StepEngine;
@@ -377,6 +378,89 @@ fn ensemble_lockstep_comparison(c: &mut Criterion) {
     group.finish();
 }
 
+/// The incremental-maintenance acceptance benchmark (E13): full consensus
+/// runs with the `O(delta)` patch paths on vs off, everything else equal.
+///
+/// * `incremental_rows_usd` — the batched USD engine at n = 10⁶, k = 8,
+///   where the per-event work without patching is the `O(k)` row refill plus
+///   the alias/CDF rebuild over it.  Patching must never lose ground
+///   (acceptance: ≥ 0.95× the rebuild arm) and typically wins modestly,
+///   because the row table is small but the rebuild runs on *every* event.
+/// * `incremental_laws_3majority` — the sequential sampler at n = 10⁶,
+///   k = 8, where the per-event work without patching is the fresh
+///   `O(k²·j³)` integer adoption DP.  The patch replaces it with a
+///   single-category deconvolve/convolve pass, `O(k·j³)`, so the win scales
+///   with k (acceptance: ≥ 1.5× the rebuild arm at k = 8).
+///
+/// Both arms of each pair are bit-identical trajectories (pinned by
+/// `tests/incremental_equivalence.rs`), so the wall-clock ratio is purely
+/// the maintenance saving.
+fn incremental_maintenance_comparison(c: &mut Criterion) {
+    let n = 1_000_000u64;
+    let k = 8usize;
+    let config = InitialConfig::new(n, k)
+        .multiplicative_bias(2.0)
+        .build(SimSeed::from_u64(BENCH_SEED))
+        .expect("bench workload is valid");
+    let budget = 4_000 * n * (k as u64);
+    let stop = StopCondition::consensus().or_max_interactions(budget);
+
+    let mut group = c.benchmark_group("engine/incremental_rows_usd");
+    group.sample_size(3);
+    for patched in [true, false] {
+        let mode = if patched { "patched" } else { "rebuild" };
+        group.bench_with_input(BenchmarkId::new(mode, n), &patched, |b, &patched| {
+            b.iter_batched(
+                || {
+                    let mut engine = BatchedEngine::new(
+                        UndecidedStateDynamics::new(k),
+                        config.clone(),
+                        SimSeed::from_u64(BENCH_SEED),
+                    );
+                    engine.set_incremental_rows(patched);
+                    engine
+                },
+                |mut engine| {
+                    let result = engine.run_engine(stop);
+                    assert!(result.reached_consensus());
+                    result.interactions()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("engine/incremental_laws_3majority");
+    group.sample_size(3);
+    for patched in [true, false] {
+        let mode = if patched { "patched" } else { "rebuild" };
+        group.bench_with_input(BenchmarkId::new(mode, n), &patched, |b, &patched| {
+            b.iter_batched(
+                || {
+                    SequentialSampler::new(
+                        ThreeMajority::new(k),
+                        config.clone(),
+                        SimSeed::from_u64(BENCH_SEED),
+                    )
+                },
+                |mut sim| {
+                    // The switch is thread-local and criterion runs the
+                    // routine on the bench thread, so set it per run and
+                    // restore the default afterwards.
+                    set_incremental_laws(patched);
+                    let result = sim.run_engine(stop);
+                    set_incremental_laws(true);
+                    assert!(result.reached_consensus());
+                    result.interactions()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 fn gossip_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/gossip_round");
     group.sample_size(20);
@@ -404,6 +488,7 @@ criterion_group!(
     batched_engine_endgame,
     sharded_engine_shard_counts,
     sampling_dynamics_skip_ahead,
+    incremental_maintenance_comparison,
     ensemble_lockstep_comparison,
     agent_simulator_steps,
     gossip_rounds

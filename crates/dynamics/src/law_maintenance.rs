@@ -1,0 +1,94 @@
+//! Thread-local bookkeeping for incremental activation-law maintenance.
+//!
+//! The sampling dynamics keep their per-counts activation laws in
+//! single-entry thread-local memos (see [`crate::majority`] and
+//! [`crate::median`]): a law evaluated for counts that differ from the
+//! memoized ones by a small delta is *patched* in place instead of being
+//! recomputed from scratch.  Two pieces of shared state live here:
+//!
+//! * **Counters** — every patch/rebuild is noted on the executing thread;
+//!   [`SequentialSampler`](crate::sampling::SequentialSampler) snapshots the
+//!   counters around each `advance` call and attributes the delta to its own
+//!   [`pp_core::MaintenanceStats`].  Attribution is exact because law
+//!   evaluations happen synchronously inside the call being measured.
+//! * **The incremental switch** — [`set_incremental_laws`] disables patching
+//!   on the current thread, forcing every memo miss down the
+//!   rebuild-from-counts path.  This restores the pre-incremental behaviour
+//!   (the memo still serves exact-counts hits) and exists for benchmark
+//!   baselines and equivalence tests; patched and rebuilt laws are
+//!   bit-identical by construction, so the switch never changes results,
+//!   only cost.
+
+use std::cell::Cell;
+
+thread_local! {
+    static LAW_PATCHES: Cell<u64> = const { Cell::new(0) };
+    static LAW_REBUILDS: Cell<u64> = const { Cell::new(0) };
+    static INCREMENTAL_LAWS: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Counter snapshot `(patches, rebuilds)` for the current thread, used to
+/// attribute law-maintenance work to the engine that triggered it.
+#[must_use]
+pub fn law_event_snapshot() -> (u64, u64) {
+    (LAW_PATCHES.get(), LAW_REBUILDS.get())
+}
+
+/// `(patches, rebuilds)` noted on this thread since `before` was taken with
+/// [`law_event_snapshot`].
+#[must_use]
+pub fn law_events_since(before: (u64, u64)) -> (u64, u64) {
+    let (patches, rebuilds) = law_event_snapshot();
+    (patches - before.0, rebuilds - before.1)
+}
+
+/// Notes one in-place activation-law patch on this thread.
+pub(crate) fn note_law_patch() {
+    LAW_PATCHES.with(|c| c.set(c.get() + 1));
+}
+
+/// Notes one from-scratch activation-law computation on this thread.
+pub(crate) fn note_law_rebuild() {
+    LAW_REBUILDS.with(|c| c.set(c.get() + 1));
+}
+
+/// Enables or disables incremental law patching on the current thread
+/// (enabled by default).  Disabling never changes results — patched and
+/// rebuilt laws are bit-identical — it only forces every memo miss to pay
+/// the full per-counts computation, which is the baseline the
+/// `engine_microbench` incremental-vs-rebuild groups measure.
+pub fn set_incremental_laws(enabled: bool) {
+    INCREMENTAL_LAWS.with(|c| c.set(enabled));
+}
+
+/// Whether incremental law patching is enabled on the current thread.
+#[must_use]
+pub fn incremental_laws_enabled() -> bool {
+    INCREMENTAL_LAWS.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_deltas() {
+        let before = law_event_snapshot();
+        note_law_patch();
+        note_law_patch();
+        note_law_rebuild();
+        assert_eq!(law_events_since(before), (2, 1));
+    }
+
+    #[test]
+    fn incremental_switch_is_thread_local() {
+        assert!(incremental_laws_enabled());
+        set_incremental_laws(false);
+        assert!(!incremental_laws_enabled());
+        let other = std::thread::spawn(incremental_laws_enabled)
+            .join()
+            .expect("probe thread panicked");
+        assert!(other, "fresh threads must default to incremental");
+        set_incremental_laws(true);
+    }
+}

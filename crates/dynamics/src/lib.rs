@@ -52,9 +52,15 @@
 //! sampler against its per-activation reference (via
 //! `pp_analysis::conformance`).
 //!
-//! The j-Majority adoption law (`O(k²j³)` per evaluation) is computed once
-//! per state-changing event: both hooks share a counts-keyed single-entry
-//! memo inside [`JMajority`] (which therefore is no longer `Copy`).
+//! The expensive laws are *maintained*, not recomputed: the j-Majority
+//! adoption law and the MedianRule prefix/suffix sums live in counts-keyed
+//! single-entry thread-local memos that are **patched in `O(delta)`** across
+//! each event (exact-integer formulations, so patched and rebuilt laws are
+//! bit-identical — see [`majority`] and [`median`] for the delta rules) and
+//! rebuilt only on first use, parameter changes, or integer-headroom
+//! exhaustion.  The [`law_maintenance`] module holds the per-thread
+//! patch/rebuild counters (threaded into `pp_core::MaintenanceStats` by the
+//! sequential sampler) and the [`set_incremental_laws`] baseline switch.
 //!
 //! ## Replica ensembles
 //!
@@ -83,12 +89,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod law_maintenance;
 pub mod majority;
 pub mod median;
 pub mod sampling;
 pub mod sync_usd;
 pub mod voter;
 
+pub use law_maintenance::{
+    incremental_laws_enabled, law_event_snapshot, law_events_since, set_incremental_laws,
+};
 pub use majority::{JMajority, ThreeMajority};
 pub use median::MedianRule;
 pub use sampling::{

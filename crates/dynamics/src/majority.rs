@@ -18,34 +18,65 @@
 //!   category proportional to counts excluding `o`" — `O(k)` on top of the
 //!   `q` computation, no rejection loop.
 //!
-//! The `q_o` themselves are computed exactly (up to floating-point rounding)
-//! by marginalizing over sample compositions with the same
-//! conditional-binomial decomposition `pp_core::shard::multinomial` uses for
-//! count allocation: condition on `m_o = t ~ Binomial(j, π_o)`, then walk the
-//! remaining opinions as a chain of conditional binomials in a small dynamic
-//! program over (samples left, ties at `t`), pruning any branch where another
-//! opinion exceeds `t`; leftover samples are undecided and never affect the
-//! winner.  A tie among `1 + T` leaders contributes weight `1/(1 + T)`.  The
-//! cost is `O(k²·j³)` per evaluation — independent of how many null
-//! activations the engine skips.
+//! # The exact integer adoption law and its delta maintenance
+//!
+//! The adoption law is computed as an **exact integer**: with `L = lcm(1..k)`
+//! clearing every `1/(1 + T)` tie share, `Q_o = L·n^j·q_o ∈ ℕ` decomposes
+//! over the candidate's sample count `t = m_o` as
+//!
+//! ```text
+//! Q_o = Σ_{t=1..j} C(j,t) · c_o^t · N_{o,t}
+//! N_{o,t} = Σ_{assignments of the j−t other samples, all rival counts ≤ t}
+//!             multinomial · Π_i c_i^{m_i} · L/(1 + #{rivals tied at t})
+//! ```
+//!
+//! `N_{o,t}` is built by *convolving one factor per other category* into a
+//! table `D[s][T]` (samples assigned so far × rivals tied at `t`): category
+//! `i` with count `c` maps `D[s][T] += D[s−m][T−[m=t]]·C(s,m)·c^m` for
+//! `m ≤ t` (rival counts above `t` are pruned; the undecided factor is
+//! uncapped and never ties).  The factor operators commute, have unit
+//! constant term, and are therefore **exactly invertible** by ascending-`s`
+//! back-substitution — which is the delta rule the single-entry memo uses:
+//!
+//! * a `±1` change of one count *deconvolves* that category's old factor
+//!   and convolves the new one, an `O(k·j³)` patch instead of the
+//!   `O(k²·j³)`-per-candidate full rebuild (one factor touched instead of
+//!   `k`, for each of the `k·j` maintained `(o, t)` tables);
+//! * every maintained weight is an integer, so a patched law is
+//!   **bit-identical** to a freshly built one — the invariant the sampled
+//!   debug cross-check (and every refresh under the `exhaustive-checks`
+//!   feature) asserts by rebuilding and comparing tables;
+//! * all values are bounded by `L·(2n)^j`, checked up front: when that
+//!   exceeds `u128` (e.g. `j = 7` at `n = 10⁶`) the law falls back to the
+//!   float dynamic program over conditional binomials, rebuilt from the
+//!   counts on every change (no patching — float deconvolution would not
+//!   round-trip bit-identically).
+//!
+//! Patches and rebuilds are noted through [`crate::law_maintenance`], which
+//! `SequentialSampler` folds into `pp_core::MaintenanceStats`.
 //!
 //! Both skip-ahead hooks consume the same adoption law, so [`JMajority`]
-//! memoizes the most recent `(parameters, counts, q)` triple in a
-//! single-entry *thread-local* cache: per state-changing event the dynamic
-//! program runs once (the null-probability evaluation fills the memo, the
-//! conditional event draw hits it), and under the lockstep ensemble —
-//! which shares whole [`crate::sampling::ActivationLaw`]s across replicas
-//! by counts — a cached law skips it entirely.  The memo is invisible to
-//! callers (pure-function semantics, values identical bit for bit).  It
-//! lives in thread-local storage rather than inside the dynamic precisely
-//! so that `JMajority` stays a plain `Copy + Send + Sync` value: the
-//! parallel ensemble moves replicas (and the dynamics they own) across
-//! worker threads, and an interior-mutability memo field would poison
-//! every `SamplingDynamics` consumer's auto traits.  Each worker thread
-//! simply warms its own single-entry memo — worth it, since a worker
-//! advances its replica chunk round by round and consecutive events
-//! cluster in counts space.
+//! memoizes the most recent `(parameters, counts, law)` triple in a
+//! single-entry *thread-local* cache: per state-changing event the law is
+//! patched (or rebuilt) once — the null-probability evaluation refreshes the
+//! memo, the conditional event draw hits it — and under the lockstep
+//! ensemble, which shares whole [`crate::sampling::ActivationLaw`]s across
+//! replicas by counts, a cached law skips even the patch.  An ensemble
+//! counts-key *miss* lands back here, where the memo acts as the nearest
+//! cached neighbour: the new law derives from the previous counts by delta
+//! replay instead of a full rebuild.  The memo is invisible to callers
+//! (pure-function semantics, values identical bit for bit).  It lives in
+//! thread-local storage rather than inside the dynamic precisely so that
+//! `JMajority` stays a plain `Copy + Send + Sync` value: the parallel
+//! ensemble moves replicas (and the dynamics they own) across worker
+//! threads, and an interior-mutability memo field would poison every
+//! `SamplingDynamics` consumer's auto traits.  Each worker thread simply
+//! warms its own memo — worth it, since a worker advances its replica chunk
+//! round by round and consecutive events cluster in counts space (the delta
+//! replay handles arbitrary count jumps, so a replica migrating between
+//! workers patches from whatever counts its new worker saw last).
 
+use crate::law_maintenance;
 use crate::sampling::{ActivationLaw, SamplingDynamics};
 use pp_core::engine::uniform_u128_below;
 use pp_core::{AgentState, Configuration};
@@ -72,8 +103,277 @@ fn binomial_pmf(n: usize, c: usize, p: f64) -> f64 {
     }
 }
 
+/// `lcm(1..=k)`, or `None` on `u128` overflow (astronomical `k` only).
+fn lcm_up_to(k: usize) -> Option<u128> {
+    fn gcd(mut a: u128, mut b: u128) -> u128 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    let mut l: u128 = 1;
+    for i in 2..=k as u128 {
+        l = l.checked_mul(i / gcd(l, i))?;
+    }
+    Some(l)
+}
+
+/// The `lcm(1..=k)` tie clearer when every integer the adoption law
+/// manipulates — all bounded by `L·(2n)^j` — fits comfortably in `u128`,
+/// `None` otherwise (the caller then uses the float dynamic program).
+fn integer_law_headroom(k: usize, j: usize, n: u64) -> Option<u128> {
+    let l = lcm_up_to(k)?;
+    let l_bits = 128 - l.leading_zeros();
+    let n_bits = 128 - (2 * u128::from(n) + 1).leading_zeros();
+    let j_bits = u32::try_from(j).ok()?.checked_mul(n_bits)?;
+    (j_bits + l_bits < 126).then_some(l)
+}
+
+/// One category's factor in a tie-tracking convolution: its count `c`, the
+/// per-draw cap on how many of the `j − t` remaining samples it may absorb,
+/// and the sample count at which it ties the candidate (opinions tie at
+/// exactly `t` draws; the undecided state never ties).
+#[derive(Debug, Clone, Copy)]
+struct CategoryFactor {
+    count: u64,
+    cap: usize,
+    tie: Option<usize>,
+}
+
+/// Convolves one category factor into a tie-tracking table `D[s][T]`
+/// (row-major, `width` tie buckets): `D[s][T] += Σ_{m=1..cap}
+/// D[s−m][T−[m=tie]]·C(s,m)·c^m`.  Descending `s` makes the update in-place
+/// (`D[s]` only reads strictly smaller `s`).
+fn convolve_factor(
+    table: &mut [u128],
+    binom: &[u128],
+    stride: usize,
+    width: usize,
+    s_max: usize,
+    factor: CategoryFactor,
+) {
+    let c = u128::from(factor.count);
+    if c == 0 {
+        return;
+    }
+    for s in (1..=s_max).rev() {
+        for t_cur in 0..width {
+            let mut acc = table[s * width + t_cur];
+            let mut c_pow = 1u128;
+            for m in 1..=s.min(factor.cap) {
+                c_pow *= c;
+                let t_src = match factor.tie {
+                    Some(t) if m == t => {
+                        if t_cur == 0 {
+                            continue;
+                        }
+                        t_cur - 1
+                    }
+                    _ => t_cur,
+                };
+                acc += table[(s - m) * width + t_src] * binom[s * stride + m] * c_pow;
+            }
+            table[s * width + t_cur] = acc;
+        }
+    }
+}
+
+/// Exactly removes one category factor from a table built by
+/// [`convolve_factor`]: ascending-`s` back-substitution (the factor has unit
+/// constant term, so `old[s][T] = new[s][T] − Σ_{m≥1} old[s−m][…]·C(s,m)·c^m`
+/// with the already-recovered smaller-`s` rows).  Integer-exact: the
+/// round-trip convolve-then-deconvolve is the identity, bit for bit.
+fn deconvolve_factor(
+    table: &mut [u128],
+    binom: &[u128],
+    stride: usize,
+    width: usize,
+    s_max: usize,
+    factor: CategoryFactor,
+) {
+    let c = u128::from(factor.count);
+    if c == 0 {
+        return;
+    }
+    for s in 1..=s_max {
+        for t_cur in 0..width {
+            let mut acc = table[s * width + t_cur];
+            let mut c_pow = 1u128;
+            for m in 1..=s.min(factor.cap) {
+                c_pow *= c;
+                let t_src = match factor.tie {
+                    Some(t) if m == t => {
+                        if t_cur == 0 {
+                            continue;
+                        }
+                        t_cur - 1
+                    }
+                    _ => t_cur,
+                };
+                acc -= table[(s - m) * width + t_src] * binom[s * stride + m] * c_pow;
+            }
+            table[s * width + t_cur] = acc;
+        }
+    }
+}
+
+/// The maintained integer adoption law: one tie-tracking convolution table
+/// per `(candidate opinion o, candidate count t)` over the other categories,
+/// plus the count snapshot the tables currently reflect (module docs).
+#[derive(Debug, Clone, PartialEq)]
+struct AdoptionDp {
+    opinions: usize,
+    samples: usize,
+    /// `lcm(1..=k)`, clearing every `1/(1 + T)` tie share.
+    tie_lcm: u128,
+    /// Pascal's triangle `C(s, m)` for `s, m ≤ j`, row-major stride `j + 1`.
+    binom: Vec<u128>,
+    /// Counts the tables reflect: supports `0..k`, then `⊥` at index `k`.
+    counts: Vec<u64>,
+    /// `k·j` tables of `(j+1)·k` cells each, laid out `[o][t−1][s][T]`.
+    tables: Vec<u128>,
+}
+
+impl AdoptionDp {
+    /// Builds the tables from scratch for `config`, or `None` when the
+    /// `L·(2n)^j` bound does not fit `u128`.
+    fn build(dynamics: &JMajority, config: &Configuration) -> Option<AdoptionDp> {
+        let k = dynamics.opinions;
+        let j = dynamics.samples;
+        let tie_lcm = integer_law_headroom(k, j, config.population())?;
+        let stride = j + 1;
+        let mut binom = vec![0u128; stride * stride];
+        for s in 0..=j {
+            binom[s * stride] = 1;
+            for m in 1..=s {
+                binom[s * stride + m] =
+                    binom[(s - 1) * stride + m - 1] + binom[(s - 1) * stride + m];
+            }
+        }
+        let mut counts = Vec::with_capacity(k + 1);
+        counts.extend_from_slice(config.supports());
+        counts.push(config.undecided());
+        let cells = (j + 1) * k;
+        let mut dp = AdoptionDp {
+            opinions: k,
+            samples: j,
+            tie_lcm,
+            binom,
+            counts,
+            tables: vec![0u128; k * j * cells],
+        };
+        for o in 0..k {
+            for t in 1..=j {
+                dp.rebuild_table(o, t);
+            }
+        }
+        Some(dp)
+    }
+
+    /// The `(o, t)` table's cell range in the flat `tables` vector.
+    fn table_range(&self, o: usize, t: usize) -> std::ops::Range<usize> {
+        let cells = (self.samples + 1) * self.opinions;
+        let start = (o * self.samples + (t - 1)) * cells;
+        start..start + cells
+    }
+
+    /// Recomputes one `(o, t)` table by convolving every other category's
+    /// factor into the unit table.
+    fn rebuild_table(&mut self, o: usize, t: usize) {
+        let (k, j) = (self.opinions, self.samples);
+        let range = self.table_range(o, t);
+        let table = &mut self.tables[range];
+        table.fill(0);
+        table[0] = 1;
+        for i in 0..=k {
+            if i == o {
+                continue;
+            }
+            let (cap, tie) = if i == k { (j, None) } else { (t, Some(t)) };
+            let factor = CategoryFactor {
+                count: self.counts[i],
+                cap,
+                tie,
+            };
+            convolve_factor(table, &self.binom, j + 1, k, j - t, factor);
+        }
+    }
+
+    /// Replays the count delta between the maintained snapshot and `config`
+    /// onto every affected table: per changed category, deconvolve its old
+    /// factor and convolve the new one (module docs).  Bit-identical to
+    /// [`AdoptionDp::build`] at the new counts.
+    fn patch(&mut self, config: &Configuration) {
+        let (k, j) = (self.opinions, self.samples);
+        for i in 0..=k {
+            let old = self.counts[i];
+            let new = config.category_count(i);
+            if old == new {
+                continue;
+            }
+            for o in 0..k {
+                if o == i {
+                    // c_o only enters through the outer `c_o^t` weights.
+                    continue;
+                }
+                for t in 1..=j {
+                    let (cap, tie) = if i == k { (j, None) } else { (t, Some(t)) };
+                    let range = self.table_range(o, t);
+                    let table = &mut self.tables[range];
+                    let old = CategoryFactor {
+                        count: old,
+                        cap,
+                        tie,
+                    };
+                    let new = CategoryFactor {
+                        count: new,
+                        cap,
+                        tie,
+                    };
+                    deconvolve_factor(table, &self.binom, j + 1, k, j - t, old);
+                    convolve_factor(table, &self.binom, j + 1, k, j - t, new);
+                }
+            }
+            self.counts[i] = new;
+        }
+    }
+
+    /// The adoption law `q_o = Q_o / (L·n^j)` from the maintained tables.
+    /// Pure integer arithmetic up to the final (correctly rounded) `f64`
+    /// conversions, so patched and rebuilt tables give bit-equal vectors.
+    fn adoption_law(&self) -> Vec<f64> {
+        let (k, j) = (self.opinions, self.samples);
+        let stride = j + 1;
+        let n: u128 = self.counts.iter().map(|&c| u128::from(c)).sum();
+        #[allow(clippy::cast_possible_truncation)]
+        let denom = (self.tie_lcm * n.pow(j as u32)) as f64;
+        let mut q = vec![0.0; k];
+        for (o, slot) in q.iter_mut().enumerate() {
+            let c_o = u128::from(self.counts[o]);
+            if c_o == 0 {
+                continue;
+            }
+            let mut big_q = 0u128;
+            let mut c_pow = 1u128;
+            for t in 1..=j {
+                c_pow *= c_o;
+                let range = self.table_range(o, t);
+                let row = &self.tables[range][(j - t) * k..(j - t) * k + k];
+                let mut n_ot = 0u128;
+                for (ties, &w) in row.iter().enumerate() {
+                    n_ot += w * (self.tie_lcm / (ties as u128 + 1));
+                }
+                big_q += self.binom[j * stride + t] * c_pow * n_ot;
+            }
+            *slot = big_q as f64 / denom;
+        }
+        q
+    }
+}
+
 /// The single-entry adoption-law memo: the dynamic's parameters and the
-/// counts the law was computed for, plus the law itself.  One per thread
+/// counts the law was computed for, the law itself, and (when the integer
+/// formulation fits) the patchable tables behind it.  One per thread
 /// (see the module docs) — workers of the parallel ensemble each warm
 /// their own.
 #[derive(Debug, Default)]
@@ -83,6 +383,8 @@ struct AdoptionMemo {
     supports: Vec<u64>,
     undecided: u64,
     q: Vec<f64>,
+    dp: Option<AdoptionDp>,
+    patches: u64,
     valid: bool,
 }
 
@@ -95,13 +397,45 @@ impl AdoptionMemo {
             && self.supports == config.supports()
     }
 
-    fn store(&mut self, dynamics: &JMajority, config: &Configuration, q: Vec<f64>) {
+    /// Brings the memo to `config`: delta-patches the integer tables when
+    /// the parameters match and patching is enabled, otherwise rebuilds
+    /// (integer when it fits, float dynamic program when not).
+    fn refresh(&mut self, dynamics: &JMajority, config: &Configuration) {
+        let params_match =
+            self.valid && self.opinions == dynamics.opinions && self.samples == dynamics.samples;
+        let can_patch = params_match
+            && law_maintenance::incremental_laws_enabled()
+            && self.dp.is_some()
+            && integer_law_headroom(dynamics.opinions, dynamics.samples, config.population())
+                .is_some();
+        if can_patch {
+            let dp = self.dp.as_mut().expect("checked above");
+            dp.patch(config);
+            self.patches += 1;
+            law_maintenance::note_law_patch();
+            #[cfg(any(debug_assertions, feature = "exhaustive-checks"))]
+            if cfg!(feature = "exhaustive-checks") || self.patches.is_multiple_of(64) {
+                let fresh = AdoptionDp::build(dynamics, config)
+                    .expect("the headroom gate admitted this configuration");
+                assert_eq!(
+                    *dp, fresh,
+                    "patched adoption tables diverged from a fresh rebuild"
+                );
+            }
+            self.q = dp.adoption_law();
+        } else {
+            self.dp = AdoptionDp::build(dynamics, config);
+            self.q = match &self.dp {
+                Some(dp) => dp.adoption_law(),
+                None => dynamics.float_adoption_probabilities(config),
+            };
+            law_maintenance::note_law_rebuild();
+        }
         self.opinions = dynamics.opinions;
         self.samples = dynamics.samples;
         self.supports.clear();
         self.supports.extend_from_slice(config.supports());
         self.undecided = config.undecided();
-        self.q = q;
         self.valid = true;
     }
 }
@@ -235,9 +569,21 @@ impl JMajority {
         self.with_adoption_probabilities(config, <[f64]>::to_vec)
     }
 
-    /// Runs `consume` on the adoption law for `config`, computing the
-    /// `O(k²j³)` dynamic program only when this thread's single-entry memo
-    /// holds different parameters or a different count vector.
+    /// The memo-free adoption law: the integer formulation when it fits,
+    /// the float dynamic program otherwise — exactly what a memo rebuild
+    /// produces.
+    #[cfg(test)]
+    fn fresh_adoption_probabilities(&self, config: &Configuration) -> Vec<f64> {
+        match AdoptionDp::build(self, config) {
+            Some(dp) => dp.adoption_law(),
+            None => self.float_adoption_probabilities(config),
+        }
+    }
+
+    /// Runs `consume` on the adoption law for `config`.  On a memo miss the
+    /// law is delta-patched from the memoized counts (integer formulation)
+    /// or rebuilt (first use, parameter change, patching disabled, or
+    /// `u128` headroom exhausted — see the module docs).
     fn with_adoption_probabilities<T>(
         &self,
         config: &Configuration,
@@ -246,15 +592,15 @@ impl JMajority {
         ADOPTION_MEMO.with(|memo| {
             let mut memo = memo.borrow_mut();
             if !memo.matches(self, config) {
-                let q = self.compute_adoption_probabilities(config);
-                memo.store(self, config, q);
+                memo.refresh(self, config);
             }
             consume(&memo.q)
         })
     }
 
-    /// The uncached adoption-law dynamic program.
-    fn compute_adoption_probabilities(&self, config: &Configuration) -> Vec<f64> {
+    /// The float-fallback adoption-law dynamic program (conditional-binomial
+    /// chain), used when the integer tables would overflow `u128`.
+    fn float_adoption_probabilities(&self, config: &Configuration) -> Vec<f64> {
         let k = self.opinions;
         let j = self.samples;
         let n = config.population() as f64;
@@ -389,7 +735,7 @@ impl SamplingDynamics for JMajority {
 
     /// Closed form (module docs): null iff every sample is undecided or the
     /// winning opinion matches the activated agent's own —
-    /// `π_⊥^j + Σ_o π_o·q_o`.  One memoized adoption-law pass; the
+    /// `π_⊥^j + Σ_o π_o·q_o`.  One memoized adoption-law refresh; the
     /// companion event draw reuses it.
     fn null_activation_probability(&self, config: &Configuration) -> Option<f64> {
         Some(self.with_adoption_probabilities(config, |q| self.null_from_q(config, q)))
@@ -408,7 +754,7 @@ impl SamplingDynamics for JMajority {
     }
 
     /// The ensemble-shared law carries the full adoption vector, so a
-    /// cached law skips the `O(k²j³)` dynamic program entirely.
+    /// cached law skips the adoption-law computation entirely.
     fn activation_law(&self, config: &Configuration) -> Option<ActivationLaw> {
         Some(self.with_adoption_probabilities(config, |q| ActivationLaw {
             p_null: self.null_from_q(config, q),
@@ -652,6 +998,147 @@ mod tests {
     }
 
     #[test]
+    fn integer_law_agrees_with_the_float_dynamic_program() {
+        for (counts, undecided, j) in [
+            (vec![5, 3], 2u64, 3usize),
+            (vec![7, 0, 2, 1], 4, 3),
+            (vec![1, 2, 3, 4, 5], 0, 5),
+            (vec![40, 25, 15, 20], 20, 5),
+        ] {
+            let config = Configuration::from_counts(counts, undecided).unwrap();
+            let m = JMajority::new(config.num_opinions(), j);
+            let dp = AdoptionDp::build(&m, &config).expect("small configs fit the integer law");
+            let integer = dp.adoption_law();
+            let float = m.float_adoption_probabilities(&config);
+            for (o, (&a, &b)) in integer.iter().zip(&float).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "q[{o}]: integer {a} vs float DP {b} at {config}, j = {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn patched_tables_are_bit_identical_to_fresh_builds() {
+        // Walk a random-ish trajectory of single moves and patch the tables
+        // across each; after every patch the tables and the derived law must
+        // equal a from-scratch build exactly (not approximately).
+        let mut config = Configuration::from_counts(vec![30, 20, 10, 5], 15).unwrap();
+        let m = JMajority::new(4, 5);
+        let mut dp = AdoptionDp::build(&m, &config).unwrap();
+        let moves = [
+            (AgentState::Undecided, d(0)),
+            (d(1), d(0)),
+            (d(2), d(3)),
+            (d(3), d(0)),
+            (AgentState::Undecided, d(2)),
+            (d(0), d(1)),
+        ];
+        for &(from, to) in &moves {
+            config.apply_move(from, to).unwrap();
+            dp.patch(&config);
+            let fresh = AdoptionDp::build(&m, &config).unwrap();
+            assert_eq!(dp, fresh, "patched tables diverged after {from} -> {to}");
+            let (patched_q, fresh_q) = (dp.adoption_law(), fresh.adoption_law());
+            for (a, b) in patched_q.iter().zip(&fresh_q) {
+                assert_eq!(a.to_bits(), b.to_bits(), "law not bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn deconvolution_round_trips_exactly() {
+        let m = JMajority::new(3, 5);
+        let config = Configuration::from_counts(vec![12, 7, 4], 6).unwrap();
+        let mut dp = AdoptionDp::build(&m, &config).unwrap();
+        let reference = dp.clone();
+        // Remove and re-add one opinion factor and the undecided factor on
+        // every table: the round trip must be the identity, bit for bit.
+        for o in 0..3 {
+            for t in 1..=5 {
+                for i in [1usize, 3] {
+                    if i == o {
+                        continue;
+                    }
+                    let (cap, tie) = if i == 3 { (5, None) } else { (t, Some(t)) };
+                    let factor = CategoryFactor {
+                        count: dp.counts[i],
+                        cap,
+                        tie,
+                    };
+                    let range = dp.table_range(o, t);
+                    let binom = dp.binom.clone();
+                    let table = &mut dp.tables[range];
+                    deconvolve_factor(table, &binom, 6, 3, 5 - t, factor);
+                    convolve_factor(table, &binom, 6, 3, 5 - t, factor);
+                }
+            }
+        }
+        assert_eq!(dp, reference);
+    }
+
+    #[test]
+    fn oversized_laws_fall_back_to_the_float_program() {
+        // j = 7 at n = 10⁶ needs ~150 bits: the gate must reject it and the
+        // memoized law must come from the float program, rebuilt per counts.
+        let config = Configuration::from_counts(vec![600_000, 400_000], 0).unwrap();
+        let m = JMajority::new(2, 7);
+        assert!(integer_law_headroom(2, 7, config.population()).is_none());
+        assert!(AdoptionDp::build(&m, &config).is_none());
+        let before = crate::law_maintenance::law_event_snapshot();
+        let p = m.null_activation_probability(&config).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+        let moved = Configuration::from_counts(vec![600_001, 399_999], 0).unwrap();
+        let p2 = m.null_activation_probability(&moved).unwrap();
+        assert!((0.0..=1.0).contains(&p2));
+        let (patches, rebuilds) = crate::law_maintenance::law_events_since(before);
+        assert_eq!(patches, 0, "float laws must never be patched");
+        assert_eq!(rebuilds, 2);
+    }
+
+    #[test]
+    fn law_refreshes_are_patches_after_the_first_rebuild() {
+        let m = JMajority::new(3, 3);
+        let mut config = Configuration::from_counts(vec![40, 30, 20], 10).unwrap();
+        let before = crate::law_maintenance::law_event_snapshot();
+        let first = m.adoption_probabilities(&config);
+        config.apply_move(AgentState::Undecided, d(1)).unwrap();
+        let second = m.adoption_probabilities(&config);
+        assert_ne!(first, second, "the law must react to the count change");
+        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 1));
+        // Same counts again: memo hit, no maintenance at all.
+        let _ = m.adoption_probabilities(&config);
+        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 1));
+    }
+
+    #[test]
+    fn disabling_incremental_laws_forces_rebuilds_with_identical_values() {
+        let m = JMajority::new(3, 3);
+        let c1 = Configuration::from_counts(vec![40, 30, 20], 10).unwrap();
+        let mut c2 = c1.clone();
+        c2.apply_move(d(0), d(2)).unwrap();
+        let _ = m.adoption_probabilities(&c1);
+        let before = crate::law_maintenance::law_event_snapshot();
+        let patched = m.adoption_probabilities(&c2);
+        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 0));
+        // A fresh thread (fresh memo) with patching disabled rebuilds from
+        // scratch; the values must still be bit-identical.
+        let rebuilt = std::thread::spawn(move || {
+            crate::law_maintenance::set_incremental_laws(false);
+            let before = crate::law_maintenance::law_event_snapshot();
+            let q = m.adoption_probabilities(&c2);
+            assert_eq!(crate::law_maintenance::law_events_since(before), (0, 1));
+            q
+        })
+        .join()
+        .expect("rebuild thread panicked");
+        for (a, b) in patched.iter().zip(&rebuilt) {
+            assert_eq!(a.to_bits(), b.to_bits(), "patched vs rebuilt law differ");
+        }
+    }
+
+    #[test]
     fn null_probability_matches_empirical_null_frequency() {
         let config = Configuration::from_counts(vec![40, 25, 15], 20).unwrap();
         let m = JMajority::new(3, 3);
@@ -708,6 +1195,12 @@ mod tests {
         assert!(result.reached_consensus());
         assert_eq!(result.rejection_misses(), Some(0));
         assert_eq!(sim.rejection_fallbacks(), 0);
+        // The incremental layer reports through the run result: one rebuild
+        // to seed the memo, patches from then on.
+        let maintenance = result.maintenance().expect("samplers count law work");
+        assert!(maintenance.law_patches > 0, "patching never engaged");
+        assert!(maintenance.law_rebuilds >= 1);
+        assert!(maintenance.law_patches > maintenance.law_rebuilds);
     }
 
     #[test]
@@ -745,7 +1238,7 @@ mod tests {
         let m5 = JMajority::new(2, 5);
         let fresh: Vec<f64> = [(&m3, &c1), (&m5, &c1), (&m3, &c2), (&m5, &c2)]
             .iter()
-            .map(|(m, c)| m.compute_adoption_probabilities(c).into_iter().sum())
+            .map(|(m, c)| m.fresh_adoption_probabilities(c).into_iter().sum())
             .collect();
         for _ in 0..3 {
             for (i, (m, c)) in [(&m3, &c1), (&m5, &c1), (&m3, &c2), (&m5, &c2)]

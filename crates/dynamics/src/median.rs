@@ -25,12 +25,34 @@
 //! via prefix/suffix sums in `O(k)` — no rejection loop, no floating point.
 //! Counts are multiplied three deep, so `u128` arithmetic is exact for every
 //! population below ~6·10¹² agents.
+//!
+//! # Delta maintenance
+//!
+//! The law's ingredients — the strict prefix sums `L_x`, suffix sums `G_x`
+//! and the total productive weight `W` — are kept in a single-entry
+//! *thread-local* memo and **patched** across each counts change instead of
+//! being recomputed: a `δ` change of opinion `y`'s count shifts `L_x` by `δ`
+//! for every `x > y` and `G_x` by `δ` for every `x < y` (undecided changes
+//! touch neither), after which `W` is re-accumulated in one `O(k)` pass over
+//! the patched sums.  Everything is exact `u128` arithmetic, so a patched
+//! law is **bit-identical** to a rebuilt one — asserted by a sampled debug
+//! cross-check (every refresh under the `exhaustive-checks` feature) against
+//! [`MedianRule::prefix_suffix`] / [`MedianRule::productive_weight`], which
+//! remain the from-scratch reference.  Patches and rebuilds are counted
+//! through [`crate::law_maintenance`]; the
+//! [`crate::law_maintenance::set_incremental_laws`] switch forces the
+//! rebuild path for baselines.  The memo is thread-local for the same
+//! reason the j-Majority one is (see [`crate::majority`]): `MedianRule`
+//! stays a plain `Copy + Send + Sync` value the parallel ensemble can move
+//! freely across workers, each of which warms its own memo.
 
+use crate::law_maintenance;
 use crate::sampling::SamplingDynamics;
 use pp_core::engine::uniform_u128_below;
 use pp_core::{AgentState, Configuration};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// The MedianRule: opinions are totally ordered (by index); an activated agent
 /// samples two agents and adopts the *median* of its own opinion and the two
@@ -91,6 +113,13 @@ impl MedianRule {
     /// `n³`.
     fn productive_weight(config: &Configuration) -> u128 {
         let (below, above) = Self::prefix_suffix(config);
+        Self::weight_from(config, &below, &above)
+    }
+
+    /// `W = u·(n² − u²) + Σ_x c_x·(L_x² + G_x²)` from already-computed
+    /// prefix/suffix sums — the `O(k)` tail both the rebuild and the patch
+    /// path share, so their weights agree bit for bit.
+    fn weight_from(config: &Configuration, below: &[u128], above: &[u128]) -> u128 {
         let n = u128::from(config.population());
         let u = u128::from(config.undecided());
         let mut total = u * (n * n - u * u);
@@ -100,6 +129,104 @@ impl MedianRule {
         }
         total
     }
+
+    /// Runs `consume` on the maintained law for `config` (module docs): on a
+    /// memo miss the prefix/suffix sums are delta-patched from the memoized
+    /// counts, or rebuilt on first use, parameter change, or with patching
+    /// disabled.
+    fn with_law<T>(&self, config: &Configuration, consume: impl FnOnce(&MedianMemo) -> T) -> T {
+        MEDIAN_MEMO.with(|memo| {
+            let mut memo = memo.borrow_mut();
+            if !memo.matches(self, config) {
+                memo.refresh(self, config);
+            }
+            consume(&memo)
+        })
+    }
+}
+
+/// The single-entry maintained MedianRule law: the counts it reflects, the
+/// strict prefix/suffix sums, and the total productive weight.  One per
+/// thread (module docs).
+#[derive(Debug, Default)]
+struct MedianMemo {
+    opinions: usize,
+    /// Counts the sums reflect: supports `0..k`, then `⊥` at index `k`.
+    counts: Vec<u64>,
+    below: Vec<u128>,
+    above: Vec<u128>,
+    weight: u128,
+    patches: u64,
+    valid: bool,
+}
+
+impl MedianMemo {
+    fn matches(&self, dynamics: &MedianRule, config: &Configuration) -> bool {
+        self.valid
+            && self.opinions == dynamics.opinions
+            && self.counts[..self.opinions] == *config.supports()
+            && self.counts[self.opinions] == config.undecided()
+    }
+
+    /// Brings the memo to `config`: shifts the prefix/suffix sums by each
+    /// opinion's count delta and re-accumulates the weight (`O(k)` total),
+    /// or rebuilds from scratch when the parameters changed or patching is
+    /// disabled.  Patched and rebuilt sums are bit-identical.
+    fn refresh(&mut self, dynamics: &MedianRule, config: &Configuration) {
+        let k = dynamics.opinions;
+        let params_match = self.valid && self.opinions == k;
+        if params_match && law_maintenance::incremental_laws_enabled() {
+            for y in 0..k {
+                let (old, new) = (self.counts[y], config.support(y));
+                if old == new {
+                    continue;
+                }
+                let delta = i128::from(new) - i128::from(old);
+                for x in 0..y {
+                    self.above[x] = self.above[x]
+                        .checked_add_signed(delta)
+                        .expect("suffix sums stay within the population");
+                }
+                for x in y + 1..k {
+                    self.below[x] = self.below[x]
+                        .checked_add_signed(delta)
+                        .expect("prefix sums stay within the population");
+                }
+            }
+            self.weight = MedianRule::weight_from(config, &self.below, &self.above);
+            self.patches += 1;
+            law_maintenance::note_law_patch();
+            #[cfg(any(debug_assertions, feature = "exhaustive-checks"))]
+            if cfg!(feature = "exhaustive-checks") || self.patches.is_multiple_of(64) {
+                let (below, above) = MedianRule::prefix_suffix(config);
+                assert_eq!(self.below, below, "patched prefix sums diverged");
+                assert_eq!(self.above, above, "patched suffix sums diverged");
+                assert_eq!(
+                    self.weight,
+                    MedianRule::productive_weight(config),
+                    "patched productive weight diverged"
+                );
+            }
+        } else {
+            let (below, above) = MedianRule::prefix_suffix(config);
+            self.weight = MedianRule::weight_from(config, &below, &above);
+            self.below = below;
+            self.above = above;
+            self.opinions = k;
+            law_maintenance::note_law_rebuild();
+        }
+        self.counts.clear();
+        self.counts.extend_from_slice(config.supports());
+        self.counts.push(config.undecided());
+        self.valid = true;
+    }
+}
+
+thread_local! {
+    /// The per-thread MedianRule law memo (module docs).  Borrows never
+    /// nest: the memo is only touched at the top of [`MedianRule::with_law`]
+    /// and its consumers never re-enter it.
+    static MEDIAN_MEMO: RefCell<MedianMemo> = RefCell::new(MedianMemo::default());
 }
 
 impl SamplingDynamics for MedianRule {
@@ -139,30 +266,44 @@ impl SamplingDynamics for MedianRule {
     }
 
     /// Closed form (module docs): `1 − W/n³` with `W` the integer productive
-    /// weight.
+    /// weight, served from (and maintaining) the thread-local memo.
     fn null_activation_probability(&self, config: &Configuration) -> Option<f64> {
         let n = config.population() as f64;
-        let p = 1.0 - Self::productive_weight(config) as f64 / (n * n * n);
+        let weight = self.with_law(config, |law| law.weight);
+        let p = 1.0 - weight as f64 / (n * n * n);
         Some(p.clamp(0.0, 1.0))
     }
 
     /// Closed form (module docs): all sub-draws are exact integer draws over
-    /// prefix/suffix pair counts — `O(k)` per event, no rejection loop.
+    /// prefix/suffix pair counts — `O(k)` per event, no rejection loop.  The
+    /// sums come from the memo the null-probability evaluation maintained,
+    /// so the per-event prefix/suffix recomputation this draw used to pay is
+    /// gone.
     fn sample_productive_move<R: Rng + ?Sized>(
         &self,
         config: &Configuration,
+        rng: &mut R,
+    ) -> Option<(AgentState, AgentState)> {
+        self.with_law(config, |law| {
+            Self::draw_from_law(config, &law.below, &law.above, law.weight, rng)
+        })
+    }
+}
+
+impl MedianRule {
+    /// The conditional event draw against precomputed prefix/suffix sums and
+    /// total weight (see [`MedianRule::sample_productive_move`]).
+    fn draw_from_law<R: Rng + ?Sized>(
+        config: &Configuration,
+        below: &[u128],
+        above: &[u128],
+        total: u128,
         rng: &mut R,
     ) -> Option<(AgentState, AgentState)> {
         let k = config.num_opinions();
         let n = u128::from(config.population());
         let u = u128::from(config.undecided());
         let d = n - u;
-        let (below, above) = Self::prefix_suffix(config);
-        let mut total = u * (n * n - u * u);
-        for x in 0..k {
-            let c = u128::from(config.support(x));
-            total += c * (below[x] * below[x] + above[x] * above[x]);
-        }
         debug_assert!(total > 0, "no productive activation exists");
         if total == 0 {
             return None;
@@ -392,6 +533,66 @@ mod tests {
         assert_eq!(result.rejection_misses(), Some(0));
         assert_eq!(sim.rejection_fallbacks(), 0);
         assert_eq!(result.winner().unwrap().index(), 1);
+    }
+
+    #[test]
+    fn patched_law_is_bit_identical_to_a_fresh_rebuild() {
+        let m = MedianRule::new(5);
+        let mut config = Configuration::from_counts(vec![20, 35, 5, 25, 10], 15).unwrap();
+        let before = crate::law_maintenance::law_event_snapshot();
+        let p0 = m.null_activation_probability(&config).unwrap();
+        assert!((0.0..=1.0).contains(&p0));
+        assert_eq!(crate::law_maintenance::law_events_since(before), (0, 1));
+        let moves = [
+            (AgentState::Undecided, d(0)),
+            (d(1), d(2)),
+            (d(3), d(4)),
+            (d(0), d(1)),
+            (AgentState::Undecided, d(4)),
+            (d(4), d(0)),
+        ];
+        for &(from, to) in &moves {
+            config.apply_move(from, to).unwrap();
+            let patched = m.null_activation_probability(&config).unwrap();
+            // Memo-free reference: same expression over a from-scratch weight.
+            let n = config.population() as f64;
+            let fresh =
+                (1.0 - MedianRule::productive_weight(&config) as f64 / (n * n * n)).clamp(0.0, 1.0);
+            assert_eq!(
+                patched.to_bits(),
+                fresh.to_bits(),
+                "patched law not bit-identical after {from} -> {to}"
+            );
+        }
+        assert_eq!(
+            crate::law_maintenance::law_events_since(before),
+            (moves.len() as u64, 1),
+            "every refresh after the first must be a patch"
+        );
+    }
+
+    #[test]
+    fn disabling_incremental_laws_forces_rebuilds_with_identical_values() {
+        let m = MedianRule::new(4);
+        let c1 = Configuration::from_counts(vec![25, 40, 10, 15], 10).unwrap();
+        let mut c2 = c1.clone();
+        c2.apply_move(d(1), d(3)).unwrap();
+        let _ = m.null_activation_probability(&c1);
+        let before = crate::law_maintenance::law_event_snapshot();
+        let patched = m.null_activation_probability(&c2).unwrap();
+        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 0));
+        // A fresh thread (fresh memo) with patching disabled rebuilds from
+        // scratch; the value must still be bit-identical.
+        let rebuilt = std::thread::spawn(move || {
+            crate::law_maintenance::set_incremental_laws(false);
+            let before = crate::law_maintenance::law_event_snapshot();
+            let p = m.null_activation_probability(&c2).unwrap();
+            assert_eq!(crate::law_maintenance::law_events_since(before), (0, 1));
+            p
+        })
+        .join()
+        .expect("rebuild thread panicked");
+        assert_eq!(patched.to_bits(), rebuilt.to_bits());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The sampling-dynamics trait and its two runners.
 
+use crate::law_maintenance;
 use pp_core::engine::{Advance, StepEngine};
 use pp_core::ensemble::{EnsembleChoice, EnsembleEngine, EnsembleReplica};
 use pp_core::{
-    AgentState, Configuration, FenwickTree, PpError, Recorder, RunOutcome, RunResult, SimSeed,
-    StopCondition,
+    AgentState, Configuration, FenwickTree, MaintenanceStats, PpError, Recorder, RunOutcome,
+    RunResult, SimSeed, StopCondition,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -152,6 +153,11 @@ pub struct SequentialSampler<D> {
     rejection_fallbacks: u64,
     /// Unproductive draws discarded inside the rejection fallback.
     rejection_misses: u64,
+    /// Activation-law maintenance attributed to this sampler: the
+    /// [`crate::law_maintenance`] counter deltas observed across each
+    /// `advance`/`apply_event` call (law evaluations happen synchronously
+    /// inside those calls, so the attribution is exact).
+    law_stats: MaintenanceStats,
 }
 
 impl<D: SamplingDynamics> SequentialSampler<D> {
@@ -192,6 +198,7 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
             sample_buf: Vec::with_capacity(sample_size),
             rejection_fallbacks: 0,
             rejection_misses: 0,
+            law_stats: MaintenanceStats::default(),
         })
     }
 
@@ -337,6 +344,18 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
         self.weights.add(to.category(k), 1);
     }
 
+    /// Runs `work` and attributes the activation-law patches/rebuilds it
+    /// triggered (on this thread, synchronously) to this sampler's
+    /// maintenance counters.
+    fn attributing_law_events<T>(&mut self, work: impl FnOnce(&mut Self) -> T) -> T {
+        let before = law_maintenance::law_event_snapshot();
+        let out = work(self);
+        let (patches, rebuilds) = law_maintenance::law_events_since(before);
+        self.law_stats.law_patches += patches;
+        self.law_stats.law_rebuilds += rebuilds;
+        out
+    }
+
     /// Realizes one state-changing activation by rejection: draws activations
     /// from the unconditional distribution until one is productive.  Exact,
     /// used when the dynamic provides no closed-form conditional sampler.
@@ -386,12 +405,30 @@ impl<D: SamplingDynamics> StepEngine for SequentialSampler<D> {
         Some(self.rejection_misses)
     }
 
+    /// Activation-law maintenance attributed to this sampler's own
+    /// `advance`/`apply_event` calls.  Under the lockstep ensemble the
+    /// shared `compute_shared` law evaluations happen *outside* any
+    /// per-replica call and are not attributed here (only dormant-window
+    /// work lands in replica counters), which is why run-result equality
+    /// deliberately ignores these counters.
+    fn maintenance(&self) -> Option<MaintenanceStats> {
+        Some(self.law_stats)
+    }
+
     /// Advances to the next state-changing activation.  When the dynamic
     /// provides [`SamplingDynamics::null_activation_probability`], the null
     /// activations in between are skipped with one geometric draw (and the
     /// event realized via the conditional sampler, falling back to rejection);
-    /// otherwise activations are stepped one by one.
+    /// otherwise activations are stepped one by one.  Law-maintenance work
+    /// the hooks trigger is attributed to this sampler's counters.
     fn advance(&mut self, limit: u64) -> Advance {
+        self.attributing_law_events(|sim| sim.advance_inner(limit))
+    }
+}
+
+impl<D: SamplingDynamics> SequentialSampler<D> {
+    /// [`StepEngine::advance`] minus the counter attribution.
+    fn advance_inner(&mut self, limit: u64) -> Advance {
         if self.steps >= limit {
             return Advance::LimitReached;
         }
@@ -459,19 +496,21 @@ impl<D: SamplingDynamics> EnsembleReplica for SequentialSampler<D> {
     }
 
     fn apply_event(&mut self, shared: &ActivationLaw, skip: u64) {
-        self.steps += skip + 1;
-        let (from, to) = match self
-            .dynamics
-            .sample_from_law(&self.config, shared, &mut self.rng)
-        {
-            Some(transition) => transition,
-            None => {
-                self.rejection_fallbacks += 1;
-                self.rejection_sample_move()
-            }
-        };
-        debug_assert_ne!(from, to, "sampled event must change the agent's state");
-        self.apply_transition(from, to);
+        self.attributing_law_events(|sim| {
+            sim.steps += skip + 1;
+            let (from, to) = match sim
+                .dynamics
+                .sample_from_law(&sim.config, shared, &mut sim.rng)
+            {
+                Some(transition) => transition,
+                None => {
+                    sim.rejection_fallbacks += 1;
+                    sim.rejection_sample_move()
+                }
+            };
+            debug_assert_ne!(from, to, "sampled event must change the agent's state");
+            sim.apply_transition(from, to);
+        });
     }
 
     fn forward_to_limit(&mut self, limit: u64) {

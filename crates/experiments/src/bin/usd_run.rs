@@ -337,10 +337,22 @@ fn ensemble_summary_json(outcome: &EnsembleRunResult, elapsed: f64, opts: &Optio
         "null".to_string()
     };
     let total = outcome.total_interactions();
+    let maintenance_json = aggregate_maintenance(outcome.results()).map_or_else(
+        || "null".to_string(),
+        |stats| {
+            format!(
+                "{{\"rows_patched\":{},\"rows_rebuilt\":{},\"law_patches\":{},\
+                 \"law_rebuilds\":{}}}",
+                stats.rows_patched, stats.rows_rebuilt, stats.law_patches, stats.law_rebuilds
+            )
+        },
+    );
     format!(
         "{{\"tool\":\"usd_run\",\"mode\":\"ensemble\",\"n\":{},\"k\":{},\"seed\":{},\
          \"replicas\":{},\"workers\":{},\"rounds\":{},\
          \"shared_reuse\":{},\"shared_hits\":{},\"shared_misses\":{},\
+         \"shared_derived\":{},\
+         \"maintenance\":{maintenance_json},\
          \"consensus\":{{\"reached\":{},\"proportion\":{},\"wilson95\":[{},{}]}},\
          \"hitting_time\":{hitting_json},\
          \"total_interactions\":{total},\"seconds\":{},\"interactions_per_sec\":{},\
@@ -354,6 +366,7 @@ fn ensemble_summary_json(outcome: &EnsembleRunResult, elapsed: f64, opts: &Optio
         json_f64(outcome.shared_reuse_fraction()),
         outcome.shared_hits(),
         outcome.shared_misses(),
+        outcome.shared_derived(),
         summary.goal_reached,
         json_f64(goal),
         json_f64(wilson_lo),
@@ -361,6 +374,16 @@ fn ensemble_summary_json(outcome: &EnsembleRunResult, elapsed: f64, opts: &Optio
         json_f64(elapsed),
         json_f64(total as f64 / elapsed.max(1e-9)),
     )
+}
+
+/// Sums the per-replica law-maintenance counters, or `None` when no replica
+/// reported any (the engine does not maintain laws across events).
+fn aggregate_maintenance(results: &[pp_core::RunResult]) -> Option<pp_core::MaintenanceStats> {
+    let mut aggregate: Option<pp_core::MaintenanceStats> = None;
+    for stats in results.iter().filter_map(pp_core::RunResult::maintenance) {
+        aggregate.get_or_insert_with(Default::default).absorb(stats);
+    }
+    aggregate
 }
 
 /// Prints the streaming ensemble summary (satisfies `--replicas`): hitting
@@ -379,6 +402,13 @@ fn print_ensemble_summary(outcome: &EnsembleRunResult, elapsed: f64) {
         outcome.shared_hits(),
         outcome.shared_misses(),
     );
+    if outcome.shared_derived() > 0 {
+        println!(
+            "shared-table derivation: {} of {} misses served by neighbour-delta replay",
+            outcome.shared_derived(),
+            outcome.shared_misses(),
+        );
+    }
     println!(
         "consensus: {}/{} replicas ({:.1}%, Wilson 95% [{:.3}, {:.3}])",
         summary.goal_reached,
@@ -433,6 +463,19 @@ fn print_ensemble_summary(outcome: &EnsembleRunResult, elapsed: f64) {
         .filter_map(pp_core::RunResult::rejection_misses)
         .sum();
     println!("rejection misses: {misses} across all replicas");
+    if let Some(stats) = aggregate_maintenance(outcome.results()) {
+        let rows = stats
+            .rows_patched_fraction()
+            .map_or_else(|| "n/a".to_string(), |f| format!("{:.1}%", 100.0 * f));
+        let laws = stats
+            .law_patched_fraction()
+            .map_or_else(|| "n/a".to_string(), |f| format!("{:.1}%", 100.0 * f));
+        println!(
+            "law maintenance: rows {} patched / {} rebuilt ({rows} incremental), \
+             laws {} patched / {} rebuilt ({laws} incremental)",
+            stats.rows_patched, stats.rows_rebuilt, stats.law_patches, stats.law_rebuilds
+        );
+    }
 }
 
 /// Runs a baseline sampling dynamic as a lockstep replica ensemble
@@ -504,6 +547,12 @@ fn run_sampling_dynamic<D: SamplingDynamics>(
     };
     if let Some(misses) = result.rejection_misses() {
         eprintln!("rejection misses: {misses}");
+    }
+    if let Some(stats) = result.maintenance() {
+        eprintln!(
+            "law maintenance: rows {} patched / {} rebuilt, laws {} patched / {} rebuilt",
+            stats.rows_patched, stats.rows_rebuilt, stats.law_patches, stats.law_rebuilds
+        );
     }
     Ok(result)
 }

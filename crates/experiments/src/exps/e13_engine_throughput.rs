@@ -18,12 +18,14 @@
 use crate::report::{fmt_f64, ExperimentReport};
 use crate::trend::BenchEntry;
 use crate::Scale;
-use consensus_dynamics::{MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority};
+use consensus_dynamics::{
+    set_incremental_laws, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
+};
 use pp_core::engine::StepEngine;
-use pp_core::{Configuration, EngineChoice, SimSeed, StopCondition};
+use pp_core::{BatchedEngine, Configuration, EngineChoice, SimSeed, StopCondition};
 use pp_workloads::InitialConfig;
 use std::time::Instant;
-use usd_core::UsdSimulator;
+use usd_core::{UndecidedStateDynamics, UsdSimulator};
 
 /// A baseline sampling dynamic swept per-activation vs skip-ahead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +44,32 @@ impl SamplingWorkload {
         match self {
             SamplingWorkload::ThreeMajority => "3-majority",
             SamplingWorkload::MedianRule => "median-rule",
+        }
+    }
+}
+
+/// An incremental-maintenance cell, swept with the `O(delta)` patch path on
+/// (`incremental`) vs off (`rebuild`, the per-event from-scratch reference).
+/// Both arms are bit-identical trajectories (pinned by
+/// `tests/incremental_equivalence.rs`), so the speedup column is purely the
+/// maintenance saving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceWorkload {
+    /// Batched USD engine: the per-event productive-row refill and weight
+    /// resummation vs the `(from, to)` delta patch.
+    UsdRows,
+    /// 3-Majority through the sequential sampler: the per-event `O(k²·j³)`
+    /// integer adoption DP vs the single-category `O(k·j³)` patch.
+    MajorityLaws,
+}
+
+impl MaintenanceWorkload {
+    /// Stable identifier used in report rows and stamped entry keys.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            MaintenanceWorkload::UsdRows => "usd-rows",
+            MaintenanceWorkload::MajorityLaws => "3-majority-laws",
         }
     }
 }
@@ -69,6 +97,14 @@ pub struct EngineThroughputExperiment {
     /// stepping bounds the affordable `n`, so it is capped lower than the
     /// USD sweep at full scale).
     pub sampling_populations: Vec<u64>,
+    /// Incremental-maintenance cells swept rebuild vs patched, as
+    /// `(workload, k, multiplicative bias)`.  The many-opinion mild-bias
+    /// regime maximises per-event maintenance churn (large row tables /
+    /// adoption DPs, frequent productive events), which is what the
+    /// `O(delta)` layer targets.
+    pub maintenance_workloads: Vec<(MaintenanceWorkload, usize, f64)>,
+    /// Population sizes for the maintenance sweep.
+    pub maintenance_populations: Vec<u64>,
 }
 
 impl EngineThroughputExperiment {
@@ -94,6 +130,14 @@ impl EngineThroughputExperiment {
                 (SamplingWorkload::MedianRule, 5, 2.0),
             ],
             sampling_populations: match scale {
+                Scale::Quick => vec![10_000, 50_000],
+                Scale::Full => vec![100_000, 1_000_000],
+            },
+            maintenance_workloads: vec![
+                (MaintenanceWorkload::UsdRows, 8, 2.0),
+                (MaintenanceWorkload::MajorityLaws, 8, 2.0),
+            ],
+            maintenance_populations: match scale {
                 Scale::Quick => vec![10_000, 50_000],
                 Scale::Full => vec![100_000, 1_000_000],
             },
@@ -151,6 +195,59 @@ impl EngineThroughputExperiment {
             }
             SamplingWorkload::MedianRule => {
                 time_sampler(MedianRule::new(opinions), config, seed, batched, budget)
+            }
+        }
+    }
+
+    /// One timed consensus run of an incremental-maintenance cell with the
+    /// `O(delta)` patch path on or off; returns (interactions, seconds).
+    fn timed_maintenance_run(
+        &self,
+        workload: MaintenanceWorkload,
+        n: u64,
+        opinions: usize,
+        bias_factor: f64,
+        patched: bool,
+        seed: SimSeed,
+    ) -> (u64, f64) {
+        let config = InitialConfig::new(n, opinions)
+            .multiplicative_bias(bias_factor)
+            .build(seed.child(0))
+            .expect("throughput workload is valid");
+        let budget = self.scale.interaction_budget(n, opinions);
+        let stop = StopCondition::consensus().or_max_interactions(budget);
+        match workload {
+            MaintenanceWorkload::UsdRows => {
+                let mut engine = BatchedEngine::new(
+                    UndecidedStateDynamics::new(opinions),
+                    config,
+                    seed.child(1),
+                );
+                engine.set_incremental_rows(patched);
+                let start = Instant::now();
+                let result = engine.run_engine(stop);
+                let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+                assert!(
+                    result.reached_consensus(),
+                    "usd-rows maintenance run did not converge within {budget} interactions"
+                );
+                (result.interactions(), elapsed)
+            }
+            MaintenanceWorkload::MajorityLaws => {
+                // The law switch is thread-local, so flip it for the timed
+                // run and restore the default afterwards.
+                let mut sim =
+                    SequentialSampler::new(ThreeMajority::new(opinions), config, seed.child(1));
+                set_incremental_laws(patched);
+                let start = Instant::now();
+                let result = sim.run_engine(stop);
+                let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+                set_incremental_laws(true);
+                assert!(
+                    result.reached_consensus(),
+                    "3-majority maintenance run did not converge within {budget} interactions"
+                );
+                (result.interactions(), elapsed)
             }
         }
     }
@@ -311,6 +408,72 @@ impl EngineThroughputExperiment {
                 }
             }
         }
+        // The incremental-maintenance arm: the same consensus workload with
+        // the O(delta) patch path off (per-event rebuild) vs on.
+        for (wi, &(workload, opinions, bias)) in self.maintenance_workloads.iter().enumerate() {
+            for (ni, &n) in self.maintenance_populations.iter().enumerate() {
+                let mut ips_by_mode = [0.0f64; 2];
+                for (ei, patched) in [false, true].into_iter().enumerate() {
+                    let mut best: Option<(u64, f64)> = None;
+                    for r in 0..self.runs {
+                        // Unlike the engine sweeps, both arms share the seed:
+                        // patched and rebuild runs are bit-identical, so the
+                        // comparison is exactly like-for-like per trajectory.
+                        let cell_seed = seed
+                            .child(0xE0_0000_0000_0000 | (wi as u64) << 48 | (ni as u64) << 32 | r);
+                        let (interactions, secs) = self
+                            .timed_maintenance_run(workload, n, opinions, bias, patched, cell_seed);
+                        let better = match best {
+                            Some((bi, bs)) => interactions as f64 / secs > bi as f64 / bs,
+                            None => true,
+                        };
+                        if better {
+                            best = Some((interactions, secs));
+                        }
+                    }
+                    let (interactions, secs) = best.expect("at least one run");
+                    let ips = interactions as f64 / secs;
+                    ips_by_mode[ei] = ips;
+                    let speedup_value = if ei == 1 && ips_by_mode[0] > 0.0 {
+                        ips / ips_by_mode[0]
+                    } else {
+                        1.0
+                    };
+                    let engine_name = if patched { "incremental" } else { "rebuild" };
+                    entries.push(BenchEntry {
+                        // Namespaced per workload; the "incremental" rows are
+                        // in GUARDED_ENGINES, so the patched-over-rebuild
+                        // speedup is regression-gated across PRs.
+                        experiment: format!("E13/{}", workload.name()),
+                        engine: engine_name.to_string(),
+                        shards: 1,
+                        n,
+                        k: opinions as u64,
+                        bias,
+                        interactions,
+                        seconds: secs,
+                        interactions_per_sec: ips,
+                        speedup: speedup_value,
+                    });
+                    report.push_row(vec![
+                        workload.name().to_string(),
+                        n.to_string(),
+                        opinions.to_string(),
+                        fmt_f64(bias),
+                        engine_name.to_string(),
+                        interactions.to_string(),
+                        fmt_f64(secs),
+                        fmt_f64(ips),
+                        if ei == 1 {
+                            fmt_f64(speedup_value)
+                        } else {
+                            "1.00".to_string()
+                        },
+                    ]);
+                }
+            }
+        }
+
         report.push_note(format!(
             "USD consensus runs from a multiplicative-bias start; each cell reports the fastest of {} runs; both engines induce the same trajectory distribution (verified by the equivalence test suite)",
             self.runs
@@ -320,6 +483,9 @@ impl EngineThroughputExperiment {
         );
         report.push_note(
             "sampling-dynamics rows (3-majority, median-rule) compare per-activation stepping against the geometric skip-ahead with closed-form conditional samplers; rejection misses are asserted to be exactly 0, and the batched rows are stamped as E13/<dynamic> entries so the CI trend gate guards them like the USD engines".to_string(),
+        );
+        report.push_note(
+            "maintenance rows (usd-rows, 3-majority-laws) compare per-event from-scratch row-table / activation-law rebuilds against the O(delta) incremental patch path on otherwise identical (bit-exact) runs; the incremental rows are stamped as E13/<workload> entries and regression-gated by the trend check".to_string(),
         );
         (report, entries)
     }
@@ -383,6 +549,8 @@ mod tests {
             scale: Scale::Quick,
             sampling_workloads: vec![],
             sampling_populations: vec![],
+            maintenance_workloads: vec![],
+            maintenance_populations: vec![],
         };
         let (report, entries) = exp.run_with_samples(SimSeed::from_u64(5));
         assert_eq!(report.rows.len(), 4);
@@ -418,6 +586,8 @@ mod tests {
                 (SamplingWorkload::MedianRule, 4, 2.0),
             ],
             sampling_populations: vec![2_000],
+            maintenance_workloads: vec![],
+            maintenance_populations: vec![],
         };
         let (report, entries) = exp.run_with_samples(SimSeed::from_u64(8));
         // Two workloads × one population × {exact, batched}.
@@ -433,5 +603,43 @@ mod tests {
         assert_eq!(entries[0].speedup, 1.0);
         assert!(entries[1].speedup > 0.0);
         assert_eq!(entries[1].engine, "batched");
+    }
+
+    #[test]
+    fn maintenance_rows_are_stamped_with_guarded_incremental_cells() {
+        let exp = EngineThroughputExperiment {
+            populations: vec![],
+            workloads: vec![],
+            runs: 1,
+            scale: Scale::Quick,
+            sampling_workloads: vec![],
+            sampling_populations: vec![],
+            maintenance_workloads: vec![
+                (MaintenanceWorkload::UsdRows, 4, 2.0),
+                (MaintenanceWorkload::MajorityLaws, 4, 2.0),
+            ],
+            maintenance_populations: vec![2_000],
+        };
+        let (report, entries) = exp.run_with_samples(SimSeed::from_u64(11));
+        // Two workloads × one population × {rebuild, incremental}.
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(entries.len(), 4);
+        for (entry, row) in entries.iter().zip(&report.rows) {
+            assert_eq!(entry.experiment, format!("E13/{}", row[0]));
+            assert_eq!(entry.engine, row[4]);
+            assert!(entry.interactions_per_sec > 0.0);
+        }
+        // The rebuild rows are their own reference; the incremental rows
+        // carry the patched-over-rebuild speedup the trend check gates, and
+        // their engine name is in the guarded set.
+        assert_eq!(entries[0].engine, "rebuild");
+        assert_eq!(entries[0].speedup, 1.0);
+        assert_eq!(entries[1].engine, "incremental");
+        assert!(entries[1].speedup > 0.0);
+        assert!(crate::trend::GUARDED_ENGINES.contains(&"incremental"));
+        // Both arms of one cell run the same workload: the interaction
+        // counts agree bit-for-bit (same seed, same trajectory).
+        assert_eq!(entries[0].interactions, entries[1].interactions);
+        assert_eq!(entries[2].interactions, entries[3].interactions);
     }
 }

@@ -530,9 +530,16 @@ impl TrendReport {
     }
 }
 
-/// Engines whose throughput the trend check guards (the fast backends; the
-/// exact engine and the replica-loop reference arm are their own baselines).
-pub const GUARDED_ENGINES: [&str; 4] = ["batched", "sharded", "ensemble", "parallel-ensemble"];
+/// Engines whose throughput the trend check guards (the fast backends plus
+/// the incremental-maintenance arm; the exact engine and the rebuild /
+/// replica-loop reference arms are their own baselines).
+pub const GUARDED_ENGINES: [&str; 5] = [
+    "batched",
+    "sharded",
+    "ensemble",
+    "parallel-ensemble",
+    "incremental",
+];
 
 /// Compares `current` against `baseline`: every baseline cell of a guarded
 /// engine must stay above `(1 - threshold)` of its baseline value on the

@@ -32,6 +32,32 @@
 //! the batched engine falls back to exact `O(k²)`-per-event enumeration, so
 //! the refactor is incremental per protocol.
 //!
+//! # Incremental row maintenance
+//!
+//! On top of the hooks, [`BatchedEngine`] maintains its row table *across*
+//! events instead of recomputing it before each one.  The invariants:
+//!
+//! * Productivity is a pure function of the (responder, initiator) category
+//!   pair ([`OpinionProtocol::productivity_matrix`]), so each row factors as
+//!   `row_cat = c_cat · S_cat` with `S_cat` the count-weighted sum of
+//!   productive initiator categories.
+//! * A state-changing event moves exactly one agent `from → to`; every
+//!   `S_cat` shifts by `[matrix[cat][to]] − [matrix[cat][from]]`, and the
+//!   table is re-derived as `c_cat · S_cat` — `O(k)` exact integer adds per
+//!   event, no protocol calls.
+//! * All weights are exact `u128` integers, so the patched table is
+//!   **bit-identical** to a full rebuild: trajectories do not depend on
+//!   whether maintenance was on.
+//!
+//! The engine falls back to a full rebuild when the protocol opts out of the
+//! matrix, when maintenance is disabled via
+//! [`BatchedEngine::set_incremental_rows`] (the benchmark baseline), and
+//! after external count edits (the shard reconciler's cross-shard updates
+//! invalidate the maintained state).  Patch/rebuild counts are reported
+//! through [`StepEngine::maintenance`] into [`RunResult`].  Debug builds
+//! cross-check a sample (every 64th refresh) of tables against direct
+//! enumeration; the `exhaustive-checks` feature checks every refresh.
+//!
 //! # Example
 //!
 //! ```
@@ -63,7 +89,7 @@ use crate::opinion::AgentState;
 use crate::protocol::OpinionProtocol;
 use crate::recorder::Recorder;
 use crate::rng::SimSeed;
-use crate::run::{RunOutcome, RunResult};
+use crate::run::{MaintenanceStats, RunOutcome, RunResult};
 use crate::stopping::StopCondition;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -184,6 +210,14 @@ pub trait StepEngine {
         None
     }
 
+    /// How this engine kept its sampling laws in sync with the counts so far
+    /// (tables patched in `O(delta)` vs rebuilt from scratch), if it
+    /// maintains any.  Engines without a maintained law report `None`; the
+    /// provided drivers record a `Some` value into the [`RunResult`].
+    fn maintenance(&self) -> Option<MaintenanceStats> {
+        None
+    }
+
     /// Advances to the next state-changing event, or to `limit` interactions,
     /// whichever comes first.
     fn advance(&mut self, limit: u64) -> Advance;
@@ -227,7 +261,8 @@ pub trait StepEngine {
                 };
                 return RunResult::new(outcome, self.interactions(), self.configuration().clone())
                     .with_scheduler(self.scheduler_name())
-                    .with_rejection_misses(self.rejection_misses());
+                    .with_rejection_misses(self.rejection_misses())
+                    .with_maintenance(self.maintenance());
             }
             let limit = match stop.max_interactions() {
                 Some(budget) if self.interactions() >= budget => {
@@ -237,7 +272,8 @@ pub trait StepEngine {
                         self.configuration().clone(),
                     )
                     .with_scheduler(self.scheduler_name())
-                    .with_rejection_misses(self.rejection_misses());
+                    .with_rejection_misses(self.rejection_misses())
+                    .with_maintenance(self.maintenance());
                 }
                 Some(budget) => budget,
                 None => u64::MAX,
@@ -368,18 +404,35 @@ pub fn geometric_skip<R: Rng + ?Sized>(rng: &mut R, p: f64, max_skip: u64) -> Op
 /// interaction count) have the same law as under [`ExactEngine`] — this is
 /// verified statistically in the test suite.
 ///
-/// Cost: `O(k)` per state-changing event for protocols overriding the
-/// batching hooks ([`OpinionProtocol::null_interaction_weight`] /
-/// [`OpinionProtocol::productive_responder_weight`]), `O(k²)` otherwise —
-/// but never proportional to the number of skipped null interactions.
+/// Cost: `O(k)` exact integer adds per state-changing event while the
+/// incremental delta rule holds (see the module docs) — with *no* protocol
+/// calls on the hot path; `O(k)` hook calls or `O(k²)` enumeration per
+/// rebuild otherwise — but never proportional to the number of skipped null
+/// interactions.
 #[derive(Debug)]
 pub struct BatchedEngine<P> {
     protocol: P,
     config: Configuration,
     interactions: u64,
     rng: SmallRng,
-    /// Scratch: productive weight per responder category, refreshed per event.
+    /// Productive weight per responder category (`row_cat = c_cat · S_cat`),
+    /// maintained across events while `rows_valid`.
     rows: Vec<u128>,
+    /// The per-category productive initiator sums `S_cat` behind `rows`;
+    /// meaningful only while `rows_valid` and `matrix` is present.
+    sums: Vec<u128>,
+    /// Cached `Σ rows`, meaningful only while `rows_valid`.
+    total: u128,
+    /// Whether `rows`/`sums`/`total` describe the current counts.
+    rows_valid: bool,
+    /// Flat `(k+1)²` productivity table (`None`: protocol opted out of the
+    /// delta rule, every event rebuilds).
+    matrix: Option<Vec<bool>>,
+    /// Runtime switch for the delta rule (off = the benchmark baseline).
+    incremental: bool,
+    /// Refreshes served so far, for the sampled debug cross-check.
+    refreshes: u64,
+    stats: MaintenanceStats,
 }
 
 impl<P: OpinionProtocol> BatchedEngine<P> {
@@ -409,13 +462,45 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
             });
         }
         let k = config.num_opinions();
+        let matrix = protocol.productivity_matrix();
+        if let Some(m) = &matrix {
+            assert_eq!(
+                m.len(),
+                (k + 1) * (k + 1),
+                "productivity_matrix must be a flat (k+1)² table"
+            );
+        }
         Ok(BatchedEngine {
             protocol,
             config,
             interactions: 0,
             rng: seed.rng(),
             rows: vec![0; k + 1],
+            sums: vec![0; k + 1],
+            total: 0,
+            rows_valid: false,
+            matrix,
+            incremental: true,
+            refreshes: 0,
+            stats: MaintenanceStats::default(),
         })
+    }
+
+    /// Enables or disables incremental row maintenance at runtime.  Disabled,
+    /// the engine rebuilds the full row table before every event — exactly
+    /// the pre-incremental behaviour, used as the measured baseline by
+    /// `engine_microbench`.  Trajectories are bit-identical either way.
+    pub fn set_incremental_rows(&mut self, enabled: bool) {
+        self.incremental = enabled;
+        if !enabled {
+            self.rows_valid = false;
+        }
+    }
+
+    /// The engine's patch/rebuild counters so far.
+    #[must_use]
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.stats
     }
 
     /// The protocol driving this engine.
@@ -433,7 +518,10 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
     /// Simultaneous access to the protocol and the mutable configuration —
     /// the shard reconciler applies cross-shard responder updates directly to
     /// a shard's counts (without advancing the local interaction counter).
+    /// Handing out the mutable configuration invalidates the maintained row
+    /// table: the next event rebuilds from the edited counts.
     pub(crate) fn parts_mut(&mut self) -> (&P, &mut Configuration) {
+        self.rows_valid = false;
         (&self.protocol, &mut self.config)
     }
 
@@ -465,37 +553,130 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
             *row_slot = row;
             total += row;
         }
-        #[cfg(debug_assertions)]
-        {
-            // Cross-check closed-form hooks against direct enumeration.
-            if let Some(null) = self.protocol.null_interaction_weight(&self.config) {
-                let n = u128::from(self.config.population());
-                debug_assert_eq!(
-                    total + null,
-                    n * n,
-                    "null_interaction_weight override disagrees with enumeration at {}",
-                    self.config
-                );
+        #[cfg(feature = "exhaustive-checks")]
+        self.cross_check_rows(rows, total);
+        total
+    }
+
+    /// Asserts `rows`/`total` for the current counts against direct
+    /// enumeration — the ground truth for both the closed-form hooks and the
+    /// incremental patch.  `O(k²)`: debug builds run it on a sample of
+    /// refreshes (every 64th); the `exhaustive-checks` feature on every one.
+    #[cfg(any(debug_assertions, feature = "exhaustive-checks"))]
+    fn cross_check_rows(&self, rows: &[u128], total: u128) {
+        if let Some(null) = self.protocol.null_interaction_weight(&self.config) {
+            let n = u128::from(self.config.population());
+            assert_eq!(
+                total + null,
+                n * n,
+                "null_interaction_weight override disagrees with enumeration at {}",
+                self.config
+            );
+        }
+        let mut enumerated_total = 0u128;
+        for (cat, &row) in rows.iter().enumerate() {
+            let enumerated = self.enumerated_row(cat);
+            assert_eq!(
+                row, enumerated,
+                "row weight disagrees with enumeration for category {cat} at {}",
+                self.config
+            );
+            enumerated_total += enumerated;
+        }
+        assert_eq!(
+            total, enumerated_total,
+            "row total disagrees with enumeration at {}",
+            self.config
+        );
+    }
+
+    /// Whether this refresh is one of the sampled debug cross-checks.
+    #[cfg(any(debug_assertions, feature = "exhaustive-checks"))]
+    fn should_cross_check(&self) -> bool {
+        cfg!(feature = "exhaustive-checks") || self.refreshes.is_multiple_of(64)
+    }
+
+    /// Rebuilds `rows`, `sums` and `total` from the full counts.
+    fn rebuild_rows(&mut self) -> u128 {
+        let mut rows = std::mem::take(&mut self.rows);
+        let total = self.fill_rows(&mut rows);
+        self.rows = rows;
+        if let Some(matrix) = &self.matrix {
+            let k = self.config.num_opinions();
+            for (cat, sum_slot) in self.sums.iter_mut().enumerate() {
+                let mut s = 0u128;
+                for i in 0..=k {
+                    if matrix[cat * (k + 1) + i] {
+                        s += u128::from(self.config.category_count(i));
+                    }
+                }
+                *sum_slot = s;
             }
-            for (cat, &row) in rows.iter().enumerate() {
-                debug_assert_eq!(
-                    row,
-                    self.enumerated_row(cat),
-                    "productive_responder_weight override disagrees with enumeration \
-                     for category {cat} at {}",
-                    self.config
-                );
-            }
+        }
+        self.total = total;
+        self.rows_valid = true;
+        self.refreshes += 1;
+        self.stats.rows_rebuilt += 1;
+        #[cfg(any(debug_assertions, feature = "exhaustive-checks"))]
+        if self.should_cross_check() {
+            let rows = std::mem::take(&mut self.rows);
+            self.cross_check_rows(&rows, total);
+            self.rows = rows;
         }
         total
     }
 
-    /// Refreshes the per-category productive weights and returns their sum.
-    fn refresh_rows(&mut self) -> u128 {
-        let mut rows = std::mem::take(&mut self.rows);
-        let total = self.fill_rows(&mut rows);
-        self.rows = rows;
-        total
+    /// The row total for the current counts, from the maintained table when
+    /// it is valid and from a full rebuild otherwise.
+    fn ensure_rows(&mut self) -> u128 {
+        if self.rows_valid {
+            self.total
+        } else {
+            self.rebuild_rows()
+        }
+    }
+
+    /// Patches `sums`, `rows` and `total` across an applied `from → to` move
+    /// (the delta rule; see the module docs), or invalidates the table when
+    /// the protocol opted out or maintenance is disabled.
+    fn apply_row_delta(&mut self, from: AgentState, to: AgentState) {
+        let Some(matrix) = &self.matrix else {
+            self.rows_valid = false;
+            return;
+        };
+        if !self.incremental {
+            self.rows_valid = false;
+            return;
+        }
+        let k = self.config.num_opinions();
+        let from_cat = from.category(k);
+        let to_cat = to.category(k);
+        let mut total = 0u128;
+        for cat in 0..=k {
+            let base = cat * (k + 1);
+            let mut s = self.sums[cat];
+            if matrix[base + to_cat] {
+                s += 1;
+            }
+            if matrix[base + from_cat] {
+                debug_assert!(s > 0, "productive initiator sum underflow");
+                s -= 1;
+            }
+            self.sums[cat] = s;
+            let row = u128::from(self.config.category_count(cat)) * s;
+            self.rows[cat] = row;
+            total += row;
+        }
+        self.total = total;
+        self.rows_valid = true;
+        self.refreshes += 1;
+        self.stats.rows_patched += 1;
+        #[cfg(any(debug_assertions, feature = "exhaustive-checks"))]
+        if self.should_cross_check() {
+            let rows = std::mem::take(&mut self.rows);
+            self.cross_check_rows(&rows, total);
+            self.rows = rows;
+        }
     }
 
     /// A freshly allocated row table for the current counts, as
@@ -504,6 +685,33 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
         let mut rows = Vec::new();
         let total = self.fill_rows(&mut rows);
         (rows, total)
+    }
+
+    /// The protocol's productivity table, when it opted into the delta rule.
+    pub(crate) fn productivity_matrix_ref(&self) -> Option<&[bool]> {
+        self.matrix.as_deref()
+    }
+
+    /// Freshly computed per-category productive initiator sums `S_cat` for
+    /// the current counts (empty when the protocol opted out of the delta
+    /// rule) — the payload that lets the ensemble layer derive a neighbor's
+    /// row table by replaying a count delta.
+    pub(crate) fn initiator_sums(&self) -> Vec<u128> {
+        let Some(matrix) = &self.matrix else {
+            return Vec::new();
+        };
+        let k = self.config.num_opinions();
+        (0..=k)
+            .map(|cat| {
+                let mut s = 0u128;
+                for i in 0..=k {
+                    if matrix[cat * (k + 1) + i] {
+                        s += u128::from(self.config.category_count(i));
+                    }
+                }
+                s
+            })
+            .collect()
     }
 
     /// The engine's RNG (the ensemble layer draws skips from it so lockstep
@@ -530,7 +738,15 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
     /// category, and because `row = c_r · S_r` factors into independent
     /// responder-identity and initiator-weight parts, the remainder modulo
     /// `S_r` is an exact uniform draw of the initiator unit.
-    pub(crate) fn draw_and_apply_event(&mut self, rows: &[u128], total: u128) {
+    ///
+    /// Returns the applied `(from, to)` responder move and invalidates the
+    /// maintained row table (callers on the incremental path re-validate it
+    /// by patching).
+    pub(crate) fn draw_and_apply_event(
+        &mut self,
+        rows: &[u128],
+        total: u128,
+    ) -> (AgentState, AgentState) {
         let k = self.config.num_opinions();
         let mut target = uniform_u128_below(&mut self.rng, total);
         let mut responder_cat = k;
@@ -580,6 +796,8 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
         self.config
             .apply_move(responder, new_responder)
             .expect("transition produced an inconsistent move");
+        self.rows_valid = false;
+        (responder, new_responder)
     }
 
     /// The probability that the next interaction changes the state, computed
@@ -587,7 +805,7 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
     #[must_use]
     pub fn productive_probability(&mut self) -> f64 {
         let n = self.config.population() as f64;
-        let total = self.refresh_rows();
+        let total = self.ensure_rows();
         total as f64 / (n * n)
     }
 }
@@ -605,11 +823,15 @@ impl<P: OpinionProtocol> StepEngine for BatchedEngine<P> {
         "batched"
     }
 
+    fn maintenance(&self) -> Option<MaintenanceStats> {
+        Some(self.stats)
+    }
+
     fn advance(&mut self, limit: u64) -> Advance {
         if self.interactions >= limit {
             return Advance::LimitReached;
         }
-        let total = self.refresh_rows();
+        let total = self.ensure_rows();
         if total == 0 {
             self.interactions = limit;
             return Advance::Absorbed;
@@ -626,8 +848,9 @@ impl<P: OpinionProtocol> StepEngine for BatchedEngine<P> {
         };
         self.interactions += skip + 1;
         let rows = std::mem::take(&mut self.rows);
-        self.draw_and_apply_event(&rows, total);
+        let (from, to) = self.draw_and_apply_event(&rows, total);
         self.rows = rows;
+        self.apply_row_delta(from, to);
         Advance::Event
     }
 }
@@ -709,6 +932,13 @@ impl<P: OpinionProtocol> StepEngine for CountEngine<P> {
         }
     }
 
+    fn maintenance(&self) -> Option<MaintenanceStats> {
+        match self {
+            CountEngine::Exact(e) => e.maintenance(),
+            CountEngine::Batched(e) => e.maintenance(),
+        }
+    }
+
     fn advance(&mut self, limit: u64) -> Advance {
         match self {
             CountEngine::Exact(e) => e.advance(limit),
@@ -773,6 +1003,72 @@ mod tests {
                 x * (d - x)
             })
         }
+    }
+
+    /// `Usd2Plain` with the delta rule disabled (exercises the
+    /// rebuild-every-event fallback for protocols that opt out).
+    #[derive(Debug)]
+    struct Usd2NoDelta;
+
+    impl OpinionProtocol for Usd2NoDelta {
+        fn num_opinions(&self) -> usize {
+            2
+        }
+        fn respond(&self, r: AgentState, i: AgentState) -> AgentState {
+            Usd2Plain.respond(r, i)
+        }
+        fn productivity_matrix(&self) -> Option<Vec<bool>> {
+            None
+        }
+    }
+
+    #[test]
+    fn incremental_rows_produce_the_same_trajectory_as_rebuilds() {
+        // Same seed, maintenance on vs off vs opted out: the three engines
+        // must walk bit-identical trajectories (the rows are exact integers
+        // either way), differing only in their maintenance counters.
+        let config = Configuration::from_counts(vec![600, 300], 100).unwrap();
+        let mut patched = BatchedEngine::new(Usd2Plain, config.clone(), SimSeed::from_u64(21));
+        let mut rebuilt = BatchedEngine::new(Usd2Plain, config.clone(), SimSeed::from_u64(21));
+        rebuilt.set_incremental_rows(false);
+        let mut opted_out = BatchedEngine::new(Usd2NoDelta, config, SimSeed::from_u64(21));
+        let mut events = 0u64;
+        loop {
+            let a = patched.advance(u64::MAX);
+            let b = rebuilt.advance(u64::MAX);
+            let c = opted_out.advance(u64::MAX);
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+            assert_eq!(patched.configuration(), rebuilt.configuration());
+            assert_eq!(patched.configuration(), opted_out.configuration());
+            assert_eq!(patched.interactions(), rebuilt.interactions());
+            if a != Advance::Event {
+                break;
+            }
+            events += 1;
+        }
+        assert!(events > 10, "run too short to exercise the patch path");
+        let stats = patched.maintenance_stats();
+        assert_eq!(stats.rows_rebuilt, 1, "only the first refresh rebuilds");
+        assert_eq!(stats.rows_patched, events);
+        let baseline = rebuilt.maintenance_stats();
+        assert_eq!(baseline.rows_patched, 0);
+        assert_eq!(baseline.rows_rebuilt, events + 1);
+        let fallback = opted_out.maintenance_stats();
+        assert_eq!(fallback.rows_patched, 0);
+        assert!(fallback.rows_rebuilt >= events);
+    }
+
+    #[test]
+    fn maintenance_counters_flow_into_run_results() {
+        let config = Configuration::from_counts(vec![900, 100], 0).unwrap();
+        let mut engine = BatchedEngine::new(Usd2Plain, config, SimSeed::from_u64(5));
+        let result = engine.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+        let stats = result.maintenance().expect("batched engine counts");
+        assert_eq!(stats.rows_rebuilt, 1);
+        assert!(stats.rows_patched > 0);
+        assert_eq!(stats.law_patches, 0);
+        assert_eq!(stats.law_rebuilds, 0);
     }
 
     #[test]

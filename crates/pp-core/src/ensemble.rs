@@ -158,6 +158,18 @@ pub trait EnsembleReplica: StepEngine {
     /// construction-time diagnostic.
     fn compute_shared(&self) -> Result<Self::Shared, PpError>;
 
+    /// Derives the shared table for this replica's *current* counts from a
+    /// table previously computed at the counts in `prev_key` (cache-key
+    /// layout: supports then undecided), by replaying the count delta —
+    /// `O(k · changed categories)` instead of a full rebuild.  Consumes no
+    /// RNG.  Must be **bit-identical** to
+    /// [`compute_shared`](EnsembleReplica::compute_shared); the default
+    /// returns `None` (no derivation; the ensemble computes fresh).
+    fn derive_shared(&self, prev: &Self::Shared, prev_key: &[u64]) -> Option<Self::Shared> {
+        let _ = (prev, prev_key);
+        None
+    }
+
     /// The probability that one interaction changes the state, read from the
     /// shared table.  Must equal the value the standalone `advance` derives.
     fn event_probability(&self, shared: &Self::Shared) -> f64;
@@ -181,8 +193,58 @@ impl<P: OpinionProtocol> EnsembleReplica for BatchedEngine<P> {
     type Shared = RowTable;
 
     fn compute_shared(&self) -> Result<RowTable, PpError> {
+        let sums = self.initiator_sums();
         let (rows, total) = self.enumerate_rows();
-        Ok(RowTable { rows, total })
+        Ok(RowTable { rows, total, sums })
+    }
+
+    fn derive_shared(&self, prev: &RowTable, prev_key: &[u64]) -> Option<RowTable> {
+        let matrix = self.productivity_matrix_ref()?;
+        let config = StepEngine::configuration(self);
+        let k = config.num_opinions();
+        if prev.sums.len() != k + 1 || prev_key.len() != k + 1 {
+            return None;
+        }
+        // Replay the count delta onto the productive initiator sums, then
+        // re-derive `row = c_cat · S_cat` — exact integers throughout, so
+        // the result is bit-identical to `compute_shared` at these counts.
+        let mut sums = prev.sums.clone();
+        for i in 0..=k {
+            let old = prev_key[i];
+            let new = config.category_count(i);
+            if old == new {
+                continue;
+            }
+            for (cat, sum) in sums.iter_mut().enumerate() {
+                if matrix[cat * (k + 1) + i] {
+                    if new >= old {
+                        *sum += u128::from(new - old);
+                    } else {
+                        *sum -= u128::from(old - new);
+                    }
+                }
+            }
+        }
+        let mut rows = vec![0u128; k + 1];
+        let mut total = 0u128;
+        for (cat, row_slot) in rows.iter_mut().enumerate() {
+            let row = u128::from(config.category_count(cat)) * sums[cat];
+            *row_slot = row;
+            total += row;
+        }
+        let derived = RowTable { rows, total, sums };
+        #[cfg(any(debug_assertions, feature = "exhaustive-checks"))]
+        {
+            let fresh = self
+                .compute_shared()
+                .expect("batched replicas always provide row tables");
+            assert_eq!(
+                derived, fresh,
+                "neighbor-delta derivation diverged from a fresh table at {}",
+                config
+            );
+        }
+        Some(derived)
     }
 
     fn event_probability(&self, shared: &RowTable) -> f64 {
@@ -206,7 +268,8 @@ impl<P: OpinionProtocol> EnsembleReplica for BatchedEngine<P> {
 
 /// The shared per-counts table of a [`BatchedEngine`] replica: productive
 /// weight per responder category plus their sum (`W`; the event probability
-/// is `W/n²`).
+/// is `W/n²`), and the per-category productive initiator sums `S_cat` that
+/// let a neighbor's table be derived by replaying a count delta.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowTable {
     /// Productive weight per responder category (`k + 1` entries, undecided
@@ -214,6 +277,10 @@ pub struct RowTable {
     pub rows: Vec<u128>,
     /// Sum of the rows.
     pub total: u128,
+    /// Per-category productive initiator sums (`row_cat = c_cat · S_cat`);
+    /// empty when the protocol opted out of the delta rule, in which case
+    /// neighbor-delta derivation is disabled and misses compute fresh.
+    pub sums: Vec<u128>,
 }
 
 /// An `EngineChoice`-adjacent selector for ensemble runs: how many lockstep
@@ -342,6 +409,8 @@ pub struct EnsembleRunResult {
     rounds: u64,
     shared_hits: u64,
     shared_misses: u64,
+    #[serde(default)]
+    shared_derived: u64,
     cache_evictions: u64,
     workers: u64,
 }
@@ -403,6 +472,17 @@ impl EnsembleRunResult {
     #[must_use]
     pub fn shared_misses(&self) -> u64 {
         self.shared_misses
+    }
+
+    /// Counts-key misses answered by *neighbor-delta derivation*: the table
+    /// was derived from the replica's previously used table by replaying
+    /// the count delta ([`EnsembleReplica::derive_shared`]) instead of
+    /// being rebuilt from the full counts.  Derivations are counted as
+    /// misses by the adaptive cache policy (they bypass the map), so
+    /// `shared_misses − shared_derived` is the number of full rebuilds.
+    #[must_use]
+    pub fn shared_derived(&self) -> u64 {
+        self.shared_derived
     }
 
     /// How often the cache was cleared because it hit its capacity bound.
@@ -500,6 +580,7 @@ struct SharedCache<S> {
     mode: SharedCacheMode,
     hits: u64,
     misses: u64,
+    derived: u64,
     evictions: u64,
     window_lookups: u64,
     window_hits: u64,
@@ -515,6 +596,7 @@ impl<S> SharedCache<S> {
             mode,
             hits: 0,
             misses: 0,
+            derived: 0,
             evictions: 0,
             window_lookups: 0,
             window_hits: 0,
@@ -560,6 +642,7 @@ impl<S> SharedCache<S> {
             rounds = rounds.max(output.rounds);
             self.hits += output.hits;
             self.misses += output.misses;
+            self.derived += output.derived;
             self.window_hits += output.hits;
             self.window_lookups += output.hits + output.misses;
             for (key, table) in output.tables {
@@ -591,12 +674,18 @@ impl<S> SharedCache<S> {
     }
 }
 
-/// One worker's mutable view of a replica: the engine plus the slot its
+/// A replica's most recently used shared table together with the counts key
+/// it was computed at — the *neighbor* that counts-key misses derive from.
+type PrevShared<S> = Option<(Box<[u64]>, Arc<S>)>;
+
+/// One worker's mutable view of a replica: the engine, the slot its
 /// finished [`RunResult`] lands in (index-aligned with construction order
-/// through the deterministic partition).
-struct ReplicaSlot<'a, E> {
+/// through the deterministic partition), and the replica's neighbor table
+/// for delta derivation.
+struct ReplicaSlot<'a, E: EnsembleReplica> {
     replica: &'a mut E,
     result: &'a mut Option<RunResult>,
+    prev: &'a mut PrevShared<E::Shared>,
 }
 
 /// What one worker brings back from a scheduling window: the tables it had
@@ -606,6 +695,7 @@ struct WindowOutput<S> {
     tables: Vec<(Box<[u64]>, Arc<S>)>,
     hits: u64,
     misses: u64,
+    derived: u64,
     rounds: u64,
 }
 
@@ -655,6 +745,7 @@ fn advance_window_mapped<E: EnsembleReplica>(
         tables: Vec::new(),
         hits: 0,
         misses: 0,
+        derived: 0,
         rounds: 0,
     };
     let mut overlay: HashMap<Box<[u64]>, Arc<E::Shared>> = HashMap::new();
@@ -668,8 +759,10 @@ fn advance_window_mapped<E: EnsembleReplica>(
             advanced_any = true;
             let replica = &mut *slot.replica;
             // Resolve the shared table: frozen global map first, then this
-            // window's worker-local overlay, then compute.  All three paths
-            // yield bit-identical tables (pure functions of the counts).
+            // window's worker-local overlay, then derive from the replica's
+            // previously used table by replaying the count delta, then
+            // compute fresh.  All four paths yield bit-identical tables
+            // (pure functions of the counts).
             counts_key(replica.configuration(), &mut key);
             let shared = if let Some(table) = map.get(key.as_slice()) {
                 out.hits += 1;
@@ -679,13 +772,24 @@ fn advance_window_mapped<E: EnsembleReplica>(
                 Arc::clone(table)
             } else {
                 out.misses += 1;
-                let table = Arc::new(
-                    replica
-                        .compute_shared()
-                        .expect("replica stopped providing shared tables mid-run"),
-                );
+                let derived = slot
+                    .prev
+                    .as_ref()
+                    .and_then(|(prev_key, prev)| replica.derive_shared(prev, prev_key));
+                let table = match derived {
+                    Some(table) => {
+                        out.derived += 1;
+                        Arc::new(table)
+                    }
+                    None => Arc::new(
+                        replica
+                            .compute_shared()
+                            .expect("replica stopped providing shared tables mid-run"),
+                    ),
+                };
                 let boxed = key.clone().into_boxed_slice();
                 overlay.insert(boxed.clone(), Arc::clone(&table));
+                *slot.prev = Some((boxed.clone(), Arc::clone(&table)));
                 out.tables.push((boxed, Arc::clone(&table)));
                 table
             };
@@ -889,9 +993,15 @@ where
         let rounds_before = self.rounds;
         let hits_before = self.cache.hits;
         let misses_before = self.cache.misses;
+        let derived_before = self.cache.derived;
         let evictions_before = self.cache.evictions;
         let replica_count = self.replicas.len();
         let mut results: Vec<Option<RunResult>> = vec![None; replica_count];
+        // Per-replica neighbor tables for delta derivation; scoped to one
+        // run (stale tables from a previous run would still derive
+        // correctly, but the counts jump at re-initialization makes a
+        // fresh start cheaper).
+        let mut prevs: Vec<PrevShared<E::Shared>> = (0..replica_count).map(|_| None).collect();
         let limit = stop.max_interactions().unwrap_or(u64::MAX);
         let mut workers_used = 1u64;
 
@@ -903,8 +1013,13 @@ where
                 .replicas
                 .iter_mut()
                 .zip(results.iter_mut())
-                .filter(|(_, result)| result.is_none())
-                .map(|(replica, result)| ReplicaSlot { replica, result })
+                .zip(prevs.iter_mut())
+                .filter(|((_, result), _)| result.is_none())
+                .map(|((replica, result), prev)| ReplicaSlot {
+                    replica,
+                    result,
+                    prev,
+                })
                 .collect();
             if slots.is_empty() {
                 break;
@@ -944,6 +1059,7 @@ where
             rounds: self.rounds - rounds_before,
             shared_hits: self.cache.hits - hits_before,
             shared_misses: self.cache.misses - misses_before,
+            shared_derived: self.cache.derived - derived_before,
             cache_evictions: self.cache.evictions - evictions_before,
             workers: workers_used,
         }
@@ -960,6 +1076,7 @@ fn finish<E: StepEngine>(replica: &E, outcome: RunOutcome) -> RunResult {
     )
     .with_scheduler(replica.scheduler_name())
     .with_rejection_misses(replica.rejection_misses())
+    .with_maintenance(replica.maintenance())
 }
 
 #[cfg(test)]

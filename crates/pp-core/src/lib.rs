@@ -120,7 +120,7 @@ pub use parallel::Parallelism;
 pub use protocol::{OpinionProtocol, PairwiseProtocol};
 pub use recorder::{NullRecorder, Recorder, Snapshot, TraceRecorder};
 pub use rng::{SimSeed, SplitMix64};
-pub use run::{RunOutcome, RunResult};
+pub use run::{MaintenanceStats, RunOutcome, RunResult};
 pub use scheduler::{InteractionScheduler, OrderedPair, UniformPairScheduler};
 pub use shard::{ShardPlan, ShardedEngine};
 pub use stopping::StopCondition;
@@ -142,7 +142,7 @@ pub mod prelude {
     pub use crate::protocol::{OpinionProtocol, PairwiseProtocol};
     pub use crate::recorder::{NullRecorder, Recorder, Snapshot, TraceRecorder};
     pub use crate::rng::SimSeed;
-    pub use crate::run::{RunOutcome, RunResult};
+    pub use crate::run::{MaintenanceStats, RunOutcome, RunResult};
     pub use crate::shard::{ShardPlan, ShardedEngine};
     pub use crate::stopping::StopCondition;
 }

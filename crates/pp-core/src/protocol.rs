@@ -114,6 +114,40 @@ pub trait OpinionProtocol {
         let _ = (config, responder_category);
         None
     }
+
+    /// The productivity table behind the *delta rule* for incremental row
+    /// maintenance: a flat row-major `(k+1)×(k+1)` boolean matrix whose entry
+    /// `[cat·(k+1) + i]` says whether an initiator in category `i` changes a
+    /// responder in category `cat` (categories `0..k` are the opinions, `k`
+    /// is `⊥`).
+    ///
+    /// Because [`respond`](OpinionProtocol::respond) is a pure function of
+    /// the two agent states, productivity is independent of the counts, so
+    /// the per-category row weight factors as `row_cat = c_cat · S_cat` with
+    /// `S_cat = Σ_{i : matrix[cat][i]} c_i`.  A state-changing event moves
+    /// exactly one agent `from → to`, which shifts every `S_cat` by
+    /// `[matrix[cat][to]] − [matrix[cat][from]]` — the engine patches its
+    /// row table in `O(k)` exact integer adds per event, with no protocol
+    /// calls, and the patched table is bit-identical to a full rebuild.
+    ///
+    /// The default derives the matrix from `respond` once per engine, so
+    /// every `OpinionProtocol` opts into incremental maintenance
+    /// automatically.  Return `None` only if productivity is *not* a pure
+    /// function of the category pair (e.g. a protocol whose `respond`
+    /// consults interior mutability); the engine then rebuilds the rows from
+    /// the counts on every event, as before.
+    fn productivity_matrix(&self) -> Option<Vec<bool>> {
+        let k = self.num_opinions();
+        let mut matrix = vec![false; (k + 1) * (k + 1)];
+        for cat in 0..=k {
+            let responder = AgentState::from_category(cat, k);
+            for i in 0..=k {
+                matrix[cat * (k + 1) + i] =
+                    self.is_productive(responder, AgentState::from_category(i, k));
+            }
+        }
+        Some(matrix)
+    }
 }
 
 impl<P: OpinionProtocol> PairwiseProtocol for P {
@@ -169,6 +203,26 @@ mod tests {
         let p = AdoptAlways { k: 2 };
         assert!(p.is_productive(AgentState::decided(0), AgentState::decided(1)));
         assert!(!p.is_productive(AgentState::decided(0), AgentState::Undecided));
+    }
+
+    #[test]
+    fn default_productivity_matrix_matches_is_productive() {
+        let p = AdoptAlways { k: 3 };
+        let k = p.num_opinions();
+        let matrix = p.productivity_matrix().expect("default opts in");
+        assert_eq!(matrix.len(), (k + 1) * (k + 1));
+        for cat in 0..=k {
+            for i in 0..=k {
+                assert_eq!(
+                    matrix[cat * (k + 1) + i],
+                    p.is_productive(
+                        AgentState::from_category(cat, k),
+                        AgentState::from_category(i, k)
+                    ),
+                    "matrix disagrees with is_productive at ({cat}, {i})"
+                );
+            }
+        }
     }
 
     #[test]

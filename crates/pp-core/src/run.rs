@@ -25,6 +25,54 @@ impl RunOutcome {
     }
 }
 
+/// How an engine kept its sampling law (row table or activation law) in sync
+/// with the evolving counts over one run: how often the law was *patched* in
+/// `O(delta)` from the applied event versus *rebuilt* from scratch.
+///
+/// Incremental maintenance is bit-identical to rebuilding by construction
+/// (all maintained weights are exact integers), so these counters measure
+/// cost, not accuracy: a run dominated by `rows_rebuilt`/`law_rebuilds` is
+/// paying the full per-event law cost the incremental layer exists to avoid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenanceStats {
+    /// Row tables updated in place by applying the event's `(from, to)` delta.
+    pub rows_patched: u64,
+    /// Row tables recomputed from the full counts (first event, invalidation
+    /// after external count edits, or a protocol without the delta rule).
+    pub rows_rebuilt: u64,
+    /// Activation laws updated in place across a `±1` counts change.
+    pub law_patches: u64,
+    /// Activation laws recomputed from the full counts.
+    pub law_rebuilds: u64,
+}
+
+impl MaintenanceStats {
+    /// Accumulates another engine's counters into this one (used when a run
+    /// aggregates several engines, e.g. ensemble replicas or shards).
+    pub fn absorb(&mut self, other: MaintenanceStats) {
+        self.rows_patched += other.rows_patched;
+        self.rows_rebuilt += other.rows_rebuilt;
+        self.law_patches += other.law_patches;
+        self.law_rebuilds += other.law_rebuilds;
+    }
+
+    /// Fraction of row-table refreshes served by the incremental patch, if
+    /// any refresh happened.
+    #[must_use]
+    pub fn rows_patched_fraction(&self) -> Option<f64> {
+        let total = self.rows_patched + self.rows_rebuilt;
+        (total > 0).then(|| self.rows_patched as f64 / total as f64)
+    }
+
+    /// Fraction of activation-law refreshes served by the incremental patch,
+    /// if any refresh happened.
+    #[must_use]
+    pub fn law_patched_fraction(&self) -> Option<f64> {
+        let total = self.law_patches + self.law_rebuilds;
+        (total > 0).then(|| self.law_patches as f64 / total as f64)
+    }
+}
+
 /// The result of a single simulation run.
 ///
 /// # Examples
@@ -38,13 +86,32 @@ impl RunOutcome {
 /// assert_eq!(r.winner().unwrap().index(), 0);
 /// assert!((r.parallel_time() - 123.45).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     outcome: RunOutcome,
     interactions: u64,
     final_configuration: Configuration,
     scheduler: Option<String>,
     rejection_misses: Option<u64>,
+    #[serde(default)]
+    maintenance: Option<MaintenanceStats>,
+}
+
+/// Equality compares what the run *computed* — outcome, interaction count,
+/// final configuration, scheduler, rejection counters — and deliberately
+/// ignores the [`MaintenanceStats`]: patch-vs-rebuild counts describe how an
+/// engine kept its tables in sync and may legitimately differ between
+/// bit-identical runs (a lockstep ensemble replica and its standalone twin,
+/// or the same ensemble at two thread counts, produce the same trajectory
+/// with different maintenance schedules).
+impl PartialEq for RunResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcome == other.outcome
+            && self.interactions == other.interactions
+            && self.final_configuration == other.final_configuration
+            && self.scheduler == other.scheduler
+            && self.rejection_misses == other.rejection_misses
+    }
 }
 
 impl RunResult {
@@ -58,6 +125,7 @@ impl RunResult {
             final_configuration,
             scheduler: None,
             rejection_misses: None,
+            maintenance: None,
         }
     }
 
@@ -91,6 +159,21 @@ impl RunResult {
     #[must_use]
     pub fn rejection_misses(&self) -> Option<u64> {
         self.rejection_misses
+    }
+
+    /// Records the engine's law-maintenance counters (`None` = the engine
+    /// does not maintain laws across events; see `StepEngine::maintenance`).
+    #[must_use]
+    pub fn with_maintenance(mut self, maintenance: Option<MaintenanceStats>) -> Self {
+        self.maintenance = maintenance;
+        self
+    }
+
+    /// How the engine's sampling laws were kept in sync with the counts
+    /// (patched in `O(delta)` vs rebuilt from scratch), if it counted.
+    #[must_use]
+    pub fn maintenance(&self) -> Option<MaintenanceStats> {
+        self.maintenance
     }
 
     /// Why the run stopped.
@@ -182,6 +265,54 @@ mod tests {
         assert_eq!(r.rejection_misses(), None);
         let r = r.with_rejection_misses(Some(42));
         assert_eq!(r.rejection_misses(), Some(42));
+    }
+
+    #[test]
+    fn maintenance_stats_are_recorded_and_aggregated() {
+        let cfg = Configuration::from_counts(vec![10, 0], 0).unwrap();
+        let r = RunResult::new(RunOutcome::Consensus, 5, cfg);
+        assert_eq!(r.maintenance(), None);
+        let mut stats = MaintenanceStats {
+            rows_patched: 30,
+            rows_rebuilt: 10,
+            law_patches: 0,
+            law_rebuilds: 0,
+        };
+        stats.absorb(MaintenanceStats {
+            rows_patched: 0,
+            rows_rebuilt: 0,
+            law_patches: 3,
+            law_rebuilds: 1,
+        });
+        let r = r.with_maintenance(Some(stats));
+        let recorded = r.maintenance().unwrap();
+        assert_eq!(recorded.rows_patched, 30);
+        assert_eq!(recorded.law_rebuilds, 1);
+        assert_eq!(recorded.rows_patched_fraction(), Some(0.75));
+        assert_eq!(recorded.law_patched_fraction(), Some(0.75));
+        assert_eq!(MaintenanceStats::default().rows_patched_fraction(), None);
+    }
+
+    #[test]
+    fn equality_ignores_maintenance_counters() {
+        // A lockstep replica and its standalone twin produce bit-identical
+        // trajectories under different maintenance schedules; equality must
+        // not distinguish them.
+        let cfg = Configuration::from_counts(vec![10, 0], 0).unwrap();
+        let bare = RunResult::new(RunOutcome::Consensus, 5, cfg);
+        let counted = bare.clone().with_maintenance(Some(MaintenanceStats {
+            rows_patched: 4,
+            rows_rebuilt: 1,
+            law_patches: 0,
+            law_rebuilds: 0,
+        }));
+        assert_eq!(bare, counted);
+        let other = RunResult::new(
+            RunOutcome::Consensus,
+            6,
+            Configuration::from_counts(vec![10, 0], 0).unwrap(),
+        );
+        assert_ne!(bare, other);
     }
 
     #[test]

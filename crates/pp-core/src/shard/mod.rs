@@ -86,6 +86,7 @@ use crate::error::PpError;
 use crate::parallel;
 use crate::protocol::OpinionProtocol;
 use crate::rng::SimSeed;
+use crate::run::MaintenanceStats;
 use multinomial::{
     merge_configurations, sample_multinomial, shard_populations, split_configuration,
 };
@@ -399,6 +400,18 @@ impl<P: OpinionProtocol + Clone + Send> StepEngine for ShardedEngine<P> {
 
     fn scheduler_name(&self) -> &'static str {
         SHARDED_EPOCH_SCHEDULER_NAME
+    }
+
+    /// Sums the per-shard engines' patch/rebuild counters.  Intra-shard
+    /// windows patch incrementally inside each [`BatchedEngine`]; the
+    /// cross-block reconciler edits counts through `parts_mut`, which
+    /// invalidates the shard's row table and shows up here as rebuilds.
+    fn maintenance(&self) -> Option<MaintenanceStats> {
+        let mut stats = MaintenanceStats::default();
+        for shard in &self.shards {
+            stats.absorb(shard.engine.maintenance_stats());
+        }
+        Some(stats)
     }
 
     /// Advances by whole reconciliation epochs until at least one
