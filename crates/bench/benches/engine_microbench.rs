@@ -461,6 +461,55 @@ fn incremental_maintenance_comparison(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability acceptance benchmark: the batched deep-bias consensus
+/// run at n = 10⁶ with the telemetry registry detached (`telemetry-off`)
+/// vs attached and live (`telemetry-on`).  Telemetry never consumes RNG,
+/// so both arms advance the identical trajectory and the wall-clock ratio
+/// is purely the instrumentation overhead (acceptance: telemetry-on within
+/// 5% of telemetry-off; the quick-scale arm of this pair is gated by
+/// `bench_trend` through the `telemetry-on` entries E13 stamps).
+fn telemetry_overhead_comparison(c: &mut Criterion) {
+    let n = 1_000_000u64;
+    let config = InitialConfig::new(n, 2)
+        .multiplicative_bias(4.0)
+        .build(SimSeed::from_u64(BENCH_SEED))
+        .expect("bench workload is valid");
+    let budget = 4_000 * n;
+    let mut group = c.benchmark_group("engine/telemetry_overhead");
+    group.sample_size(3);
+    for enabled in [false, true] {
+        let mode = if enabled {
+            "telemetry-on"
+        } else {
+            "telemetry-off"
+        };
+        group.bench_with_input(BenchmarkId::new(mode, n), &enabled, |b, &enabled| {
+            b.iter_batched(
+                || {
+                    let mut sim = UsdSimulator::with_engine(
+                        config.clone(),
+                        SimSeed::from_u64(BENCH_SEED),
+                        EngineChoice::Batched,
+                    );
+                    sim.set_telemetry(if enabled {
+                        pp_core::Telemetry::enabled()
+                    } else {
+                        pp_core::Telemetry::disabled()
+                    });
+                    sim
+                },
+                |mut sim| {
+                    let result = sim.run_to_consensus(budget);
+                    assert!(result.reached_consensus());
+                    result.interactions()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 fn gossip_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/gossip_round");
     group.sample_size(20);
@@ -489,6 +538,7 @@ criterion_group!(
     sharded_engine_shard_counts,
     sampling_dynamics_skip_ahead,
     incremental_maintenance_comparison,
+    telemetry_overhead_comparison,
     ensemble_lockstep_comparison,
     agent_simulator_steps,
     gossip_rounds

@@ -97,6 +97,13 @@ impl UsdEnsemble {
         self
     }
 
+    /// Attaches a telemetry handle (window spans, worker tracks, `ensemble.*`
+    /// counters — see `pp_core::ensemble::EnsembleEngine::set_telemetry`).
+    /// Never affects results.
+    pub fn set_telemetry(&mut self, tel: pp_core::Telemetry) {
+        self.inner.set_telemetry(tel);
+    }
+
     /// Runs every replica until the stop condition is met (lockstep rounds;
     /// per-replica results identical to standalone batched runs).
     ///
@@ -105,6 +112,24 @@ impl UsdEnsemble {
     /// Panics if the stop condition is unbounded.
     pub fn run(&mut self, stop: StopCondition) -> EnsembleRunResult {
         self.inner.run(stop)
+    }
+
+    /// Runs like [`UsdEnsemble::run`] with one [`pp_core::Recorder`] per
+    /// replica: recorder `i` sees replica `i`'s initial configuration and
+    /// every state-changing event, exactly the stream a standalone
+    /// [`crate::UsdSimulator::run_recorded`] on the batched backend with
+    /// seed `master.child(i)` would see.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recorders.len() != self.len()` or the stop condition is
+    /// unbounded.
+    pub fn run_recorded<R: pp_core::Recorder + Send>(
+        &mut self,
+        stop: StopCondition,
+        recorders: &mut [R],
+    ) -> EnsembleRunResult {
+        self.inner.run_recorded(stop, recorders)
     }
 
     /// Runs every replica to consensus (or until the safety budget is
@@ -152,6 +177,31 @@ mod tests {
             )
             .unwrap_err();
             assert_eq!(err, PpError::UnsupportedEngine { requested: name });
+        }
+    }
+
+    #[test]
+    fn per_replica_recorders_observe_standalone_streams() {
+        #[derive(Debug, Clone, Default, PartialEq, Eq)]
+        struct Log(Vec<(u64, u64)>);
+        impl pp_core::Recorder for Log {
+            fn record(&mut self, interactions: u64, config: &Configuration) {
+                self.0.push((interactions, config.undecided()));
+            }
+        }
+        let config = Configuration::from_counts(vec![400, 100], 0).unwrap();
+        let master = SimSeed::from_u64(17);
+        let stop = StopCondition::consensus().or_max_interactions(50_000_000);
+        let mut ensemble =
+            UsdEnsemble::try_new(config.clone(), master, EnsembleChoice::new(4)).unwrap();
+        let mut recorders = vec![Log::default(); 4];
+        ensemble.run_recorded(stop, &mut recorders);
+        for (i, seed) in EnsembleChoice::new(4).seeds(master).into_iter().enumerate() {
+            let protocol = UndecidedStateDynamics::new(2);
+            let mut expected = Log::default();
+            BatchedEngine::new(protocol, config.clone(), seed)
+                .run_engine_recorded(stop, &mut expected);
+            assert_eq!(recorders[i], expected, "replica {i} stream diverged");
         }
     }
 

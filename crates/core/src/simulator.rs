@@ -8,12 +8,13 @@
 //! parallel-time accounting.
 
 use crate::mean_field::MeanFieldEngine;
-use crate::phases::{EnginePolicy, PhaseTimes, PhaseTracker};
+use crate::phases::{EnginePolicy, Phase, PhaseTimes, PhaseTracker};
 use crate::protocol::UndecidedStateDynamics;
 use pp_core::engine::{Advance, StepEngine};
+use pp_core::run::MaintenanceStats;
 use pp_core::{
-    BatchedEngine, Configuration, CountSimulator, EngineChoice, Opinion, Recorder, RunOutcome,
-    RunResult, ShardPlan, ShardedEngine, SimSeed, StopCondition,
+    BatchedEngine, Configuration, CountSimulator, EngineChoice, MetricsSnapshot, Opinion, Recorder,
+    RunOutcome, RunResult, ShardPlan, ShardedEngine, SimSeed, StopCondition, Telemetry,
 };
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,16 @@ impl UsdEngine {
             UsdEngine::MeanField(_) => EngineChoice::MeanField,
         }
     }
+
+    /// Attaches a telemetry handle to the backends that emit their own
+    /// spans (currently the sharded engine's epoch/reconcile tracks; the
+    /// single-threaded backends expose counters through
+    /// [`StepEngine::telemetry`] and need no handle).
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        if let UsdEngine::Sharded(e) = self {
+            e.set_telemetry(tel.clone());
+        }
+    }
 }
 
 impl StepEngine for UsdEngine {
@@ -115,6 +126,33 @@ impl StepEngine for UsdEngine {
             UsdEngine::Batched(e) => e.scheduler_name(),
             UsdEngine::Sharded(e) => e.scheduler_name(),
             UsdEngine::MeanField(e) => e.scheduler_name(),
+        }
+    }
+
+    fn rejection_misses(&self) -> Option<u64> {
+        match self {
+            UsdEngine::Exact(e) => e.rejection_misses(),
+            UsdEngine::Batched(e) => e.rejection_misses(),
+            UsdEngine::Sharded(e) => e.rejection_misses(),
+            UsdEngine::MeanField(e) => e.rejection_misses(),
+        }
+    }
+
+    fn maintenance(&self) -> Option<MaintenanceStats> {
+        match self {
+            UsdEngine::Exact(e) => e.maintenance(),
+            UsdEngine::Batched(e) => e.maintenance(),
+            UsdEngine::Sharded(e) => e.maintenance(),
+            UsdEngine::MeanField(e) => e.maintenance(),
+        }
+    }
+
+    fn telemetry(&self) -> Option<MetricsSnapshot> {
+        match self {
+            UsdEngine::Exact(e) => e.telemetry(),
+            UsdEngine::Batched(e) => e.telemetry(),
+            UsdEngine::Sharded(e) => e.telemetry(),
+            UsdEngine::MeanField(e) => e.telemetry(),
         }
     }
 
@@ -156,6 +194,11 @@ pub struct UsdSimulator {
     /// Interactions accumulated by engines retired through policy switches.
     consumed: u64,
     rebuilds: u64,
+    /// Metrics carried over from engines retired through policy switches,
+    /// so a phased run's snapshot covers the whole run, not just the engine
+    /// that happened to finish it.
+    retired: MetricsSnapshot,
+    tel: Telemetry,
 }
 
 impl UsdSimulator {
@@ -191,7 +234,47 @@ impl UsdSimulator {
             plan,
             consumed: 0,
             rebuilds: 0,
+            retired: MetricsSnapshot::new(),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: phase-aware runs open a
+    /// `usd.phase.<number>` span per paper phase, the sharded backend (when
+    /// scheduled) emits its epoch/worker spans on the same handle, and run
+    /// results carry the engine's metrics snapshot.  Telemetry never
+    /// consumes randomness, so attaching a handle cannot change a
+    /// trajectory (see [`pp_core::telemetry`]).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+        self.engine.set_telemetry(&self.tel);
+    }
+
+    /// The unified metrics snapshot for the run so far: the current
+    /// engine's [`StepEngine::telemetry`] counters plus everything absorbed
+    /// from engines retired by per-phase policy switches (`None` when no
+    /// engine reported anything — e.g. a pure exact or mean-field run).
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Option<MetricsSnapshot> {
+        let mut snap = self.retired.clone();
+        if let Some(current) = self.engine.telemetry() {
+            snap.absorb(&current);
+        }
+        // Fraction gauges absorb last-write-wins; recompute them from the
+        // aggregated counters so a mixed run reports whole-run fractions.
+        let stats = MaintenanceStats {
+            rows_patched: snap.counter("maintenance.rows_patched").unwrap_or(0),
+            rows_rebuilt: snap.counter("maintenance.rows_rebuilt").unwrap_or(0),
+            law_patches: snap.counter("maintenance.law_patches").unwrap_or(0),
+            law_rebuilds: snap.counter("maintenance.law_rebuilds").unwrap_or(0),
+        };
+        if let Some(f) = stats.rows_patched_fraction() {
+            snap.set_gauge("maintenance.rows_patched_fraction", f);
+        }
+        if let Some(f) = stats.law_patched_fraction() {
+            snap.set_gauge("maintenance.law_patched_fraction", f);
+        }
+        (!snap.is_empty()).then_some(snap)
     }
 
     /// Builds a lockstep replica ensemble over `config` — the Monte Carlo
@@ -261,11 +344,15 @@ impl UsdSimulator {
         }
         self.consumed += StepEngine::interactions(&self.engine);
         self.rebuilds += 1;
+        if let Some(snap) = self.engine.telemetry() {
+            self.retired.absorb(&snap);
+        }
         let config = self.configuration().clone();
         // Derive a fresh child seed per switch so engine streams never
         // overlap (the mean-field backend ignores it).
         let seed = self.seed.child(0x5EED_u64 + self.rebuilds);
         self.engine = UsdEngine::new(config, seed, choice, &self.plan);
+        self.engine.set_telemetry(&self.tel);
     }
 
     /// The driver shared by all run methods: like
@@ -276,6 +363,11 @@ impl UsdSimulator {
             stop.is_bounded(),
             "stop condition can never terminate the run"
         );
+        // One coordinator span covering the whole drive, so even backends
+        // that only report counters (exact, batched) produce a loadable
+        // chrome trace.  Spans consume no RNG — the trajectory is
+        // unaffected (pinned by tests/telemetry_equivalence.rs).
+        let _run_span = self.tel.span("usd.run");
         loop {
             if stop.goal_met(self.configuration()) {
                 let outcome = if self.configuration().is_consensus() {
@@ -284,7 +376,10 @@ impl UsdSimulator {
                     RunOutcome::OpinionSettled
                 };
                 return RunResult::new(outcome, self.interactions(), self.configuration().clone())
-                    .with_scheduler(self.engine.scheduler_name());
+                    .with_scheduler(self.engine.scheduler_name())
+                    .with_rejection_misses(self.engine.rejection_misses())
+                    .with_maintenance(self.engine.maintenance())
+                    .with_telemetry(self.telemetry_snapshot());
             }
             let limit = match stop.max_interactions() {
                 Some(budget) if self.interactions() >= budget => {
@@ -293,7 +388,10 @@ impl UsdSimulator {
                         self.interactions(),
                         self.configuration().clone(),
                     )
-                    .with_scheduler(self.engine.scheduler_name());
+                    .with_scheduler(self.engine.scheduler_name())
+                    .with_rejection_misses(self.engine.rejection_misses())
+                    .with_maintenance(self.engine.maintenance())
+                    .with_telemetry(self.telemetry_snapshot());
                 }
                 Some(budget) => budget - self.consumed,
                 None => u64::MAX,
@@ -372,6 +470,11 @@ impl UsdSimulator {
         // mixed policy (e.g. sharded for one phase only) must not label the
         // whole run with whichever engine happened to finish it.
         let mut schedulers: Vec<&'static str> = Vec::new();
+        // One `usd.phase.<number>` span per paper phase, rotated at phase
+        // boundaries (the previous span must close before the next opens so
+        // the coordinator track stays properly nested).
+        let mut span_phase: Option<Phase> = None;
+        let mut phase_span: Option<pp_core::telemetry::Span> = None;
         let run = loop {
             let Some(phase) = tracker.current_phase() else {
                 // All five phases registered; Phase 5's end condition is
@@ -382,6 +485,13 @@ impl UsdSimulator {
                     self.configuration().clone(),
                 );
             };
+            if span_phase != Some(phase) {
+                // Close the outgoing phase's span before opening the next one
+                // — two live spans on the coordinator track would overlap.
+                drop(phase_span.take());
+                phase_span = Some(self.tel.span(&format!("usd.phase.{}", phase.number())));
+                span_phase = Some(phase);
+            }
             self.switch_engine(policy.choice_for(phase));
             let scheduler = self.engine.scheduler_name();
             if !schedulers.contains(&scheduler) {
@@ -403,10 +513,15 @@ impl UsdSimulator {
                 }
             }
         };
+        drop(phase_span);
         if schedulers.is_empty() {
             schedulers.push(self.engine.scheduler_name());
         }
-        let run = run.with_scheduler(schedulers.join(" + "));
+        let run = run
+            .with_scheduler(schedulers.join(" + "))
+            .with_rejection_misses(self.engine.rejection_misses())
+            .with_maintenance(self.engine.maintenance())
+            .with_telemetry(self.telemetry_snapshot());
         let plurality_won = run.winner().map(|w| w == initial_plurality);
         PhasedRunResult {
             run,
@@ -547,6 +662,54 @@ mod tests {
                 pp_core::shard::SHARDED_EPOCH_SCHEDULER_NAME
             ),
             "mixed policies must label every scheduler used"
+        );
+    }
+
+    #[test]
+    fn telemetry_spans_cover_every_phase_without_changing_the_run() {
+        let config = Configuration::from_counts(vec![2_000, 500, 500], 0).unwrap();
+        let policy = EnginePolicy::recommended();
+        let mut silent = UsdSimulator::new(config.clone(), SimSeed::from_u64(21));
+        let expected = silent.run_with_phases_policy(1.0, 100_000_000, &policy);
+        let tel = Telemetry::enabled();
+        let mut sim = UsdSimulator::new(config, SimSeed::from_u64(21));
+        sim.set_telemetry(tel.clone());
+        let traced = sim.run_with_phases_policy(1.0, 100_000_000, &policy);
+        // Attaching telemetry must not perturb the trajectory or the
+        // measured hitting times.
+        assert_eq!(traced.run, expected.run);
+        assert_eq!(traced.phases, expected.phases);
+        let spans = tel.spans();
+        // A phase the run never spent an event in (its end condition
+        // registered together with the previous phase's) opens no span;
+        // every phase with a positive duration must have one.
+        assert!(spans.iter().any(|s| s.name.starts_with("usd.phase.")));
+        for p in Phase::ALL {
+            if traced.phases.duration(p).unwrap_or(0) == 0 {
+                continue;
+            }
+            let label = format!("usd.phase.{}", p.number());
+            assert!(
+                spans.iter().any(|s| s.name == label),
+                "missing span {label}"
+            );
+        }
+        pp_core::telemetry::check_span_nesting(&spans).expect("phase spans must nest");
+        // The policy retires the exact engine after Phase 1; the run's
+        // snapshot still covers the batched stretch of the run.
+        let snap = traced
+            .run
+            .telemetry()
+            .expect("batched phases report metrics");
+        assert!(snap.counter("batched.events_drawn").unwrap() > 0);
+        assert_eq!(
+            snap.counter("maintenance.rows_patched").unwrap()
+                + snap.counter("maintenance.rows_rebuilt").unwrap(),
+            traced
+                .run
+                .maintenance()
+                .map_or(0, |m| m.rows_patched + m.rows_rebuilt),
+            "snapshot and alias accessors agree on the final engine's counters"
         );
     }
 

@@ -93,6 +93,21 @@ fn main() -> ExitCode {
     print!("{}", e15_report.render());
     entries.extend(e15_entries);
 
+    // The observability budget: telemetry-on should stay within 5% of the
+    // telemetry-off reference.  A warning, not a failure — single-shot CI
+    // timings are noisy, and the committed trend baseline is the real gate.
+    for entry in entries.iter().filter(|e| e.engine == "telemetry-on") {
+        if entry.speedup < 0.95 {
+            eprintln!(
+                "warning: telemetry overhead {:.1}% at n = {} exceeds the 5% budget \
+                 (telemetry-on ran at {:.2}x the telemetry-off throughput)",
+                (1.0 - entry.speedup) * 100.0,
+                entry.n,
+                entry.speedup,
+            );
+        }
+    }
+
     let document = render_stamped_document(
         env!("CARGO_PKG_VERSION"),
         scale_name,

@@ -35,6 +35,20 @@
 //! the ensemble backend rejects (e.g. `--engine sharded --replicas 8`,
 //! sharded-inside-ensemble) fail with a clear diagnostic.  `--threads`
 //! also caps the sharded engine's shard workers.
+//!
+//! Observability (`pp_core::telemetry`; enabling it never changes a
+//! trajectory):
+//!
+//! * `--trace out.json` writes a chrome-trace JSON of the run's timing
+//!   spans (load in Perfetto or `chrome://tracing`): shard epochs and
+//!   per-worker reconcile tracks for `--engine sharded`, lockstep windows
+//!   and per-worker advancement tracks for `--replicas R`.
+//! * `--metrics` prints the run's flat metrics snapshot as a one-line
+//!   `{"metrics":{...}}` JSON object on stdout — the same object the
+//!   ensemble `--output` document embeds under `"metrics"` (skip/draw
+//!   counts, law-maintenance patch rates, shared-table cache statistics).
+//!   Human-readable summaries go to stderr in both modes, so stdout stays
+//!   machine-parseable.
 
 use consensus_dynamics::{
     sampler_ensemble, JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
@@ -43,7 +57,10 @@ use consensus_dynamics::{
 use pp_analysis::streaming::summarize_ensemble;
 use pp_core::engine::StepEngine;
 use pp_core::ensemble::{EnsembleChoice, EnsembleRunResult};
-use pp_core::{Configuration, EngineChoice, RunResult, ShardPlan, SimSeed, StopCondition};
+use pp_core::{
+    Configuration, EngineChoice, MetricsSnapshot, RunResult, ShardPlan, SimSeed, StopCondition,
+    Telemetry,
+};
 use pp_workloads::InitialConfig;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -94,6 +111,8 @@ struct Options {
     seed: u64,
     samples: u64,
     output: Option<String>,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 impl Default for Options {
@@ -114,6 +133,8 @@ impl Default for Options {
             seed: 1,
             samples: 400,
             output: None,
+            trace: None,
+            metrics: false,
         }
     }
 }
@@ -197,6 +218,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--samples: {e}"))?
             }
             "--output" => opts.output = Some(value(&mut i)?),
+            "--trace" => opts.trace = Some(value(&mut i)?),
+            "--metrics" => opts.metrics = true,
             "--help" | "-h" => return Err(
                 "usage: usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
                      [--undecided <fraction>] \
@@ -204,7 +227,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                      [--engine exact|batched|sharded|mean-field] \
                      [--shards <count>] [--epoch <interactions>] [--replicas <count>] \
                      [--threads <count>] [--seed <u64>] [--samples <count>] \
-                     [--output <csv, or json with --replicas>]"
+                     [--output <csv, or json with --replicas>] \
+                     [--trace <chrome-trace json>] [--metrics]"
                     .to_string(),
             ),
             other => return Err(format!("unknown flag: {other}")),
@@ -337,6 +361,11 @@ fn ensemble_summary_json(outcome: &EnsembleRunResult, elapsed: f64, opts: &Optio
         "null".to_string()
     };
     let total = outcome.total_interactions();
+    // The canonical per-run metrics object (same names as `--metrics` and
+    // the printed summaries).  The flat `maintenance`/`shared_*` fields
+    // below duplicate it and are deprecated aliases, kept for one release
+    // so existing consumers keep parsing.
+    let metrics_json = outcome.metrics_snapshot().to_json();
     let maintenance_json = aggregate_maintenance(outcome.results()).map_or_else(
         || "null".to_string(),
         |stats| {
@@ -350,6 +379,7 @@ fn ensemble_summary_json(outcome: &EnsembleRunResult, elapsed: f64, opts: &Optio
     format!(
         "{{\"tool\":\"usd_run\",\"mode\":\"ensemble\",\"n\":{},\"k\":{},\"seed\":{},\
          \"replicas\":{},\"workers\":{},\"rounds\":{},\
+         \"metrics\":{metrics_json},\
          \"shared_reuse\":{},\"shared_hits\":{},\"shared_misses\":{},\
          \"shared_derived\":{},\
          \"maintenance\":{maintenance_json},\
@@ -386,13 +416,71 @@ fn aggregate_maintenance(results: &[pp_core::RunResult]) -> Option<pp_core::Main
     aggregate
 }
 
+/// Prints the engine-counter lines shared by the single-run and ensemble
+/// summaries, reading the canonical metric names of the unified snapshot so
+/// both modes report the same fields in the same shape (on stderr, like the
+/// rest of the human-readable summary).
+fn print_engine_metrics(snap: &MetricsSnapshot) {
+    if let Some(misses) = snap.counter("engine.rejection_misses") {
+        eprintln!("rejection misses: {misses}");
+    }
+    let rows_patched = snap.counter("maintenance.rows_patched").unwrap_or(0);
+    let rows_rebuilt = snap.counter("maintenance.rows_rebuilt").unwrap_or(0);
+    let law_patches = snap.counter("maintenance.law_patches").unwrap_or(0);
+    let law_rebuilds = snap.counter("maintenance.law_rebuilds").unwrap_or(0);
+    if rows_patched + rows_rebuilt + law_patches + law_rebuilds > 0 {
+        let pct = |gauge: Option<f64>| {
+            gauge.map_or_else(|| "n/a".to_string(), |f| format!("{:.1}%", 100.0 * f))
+        };
+        eprintln!(
+            "law maintenance: rows {rows_patched} patched / {rows_rebuilt} rebuilt \
+             ({} incremental), laws {law_patches} patched / {law_rebuilds} rebuilt \
+             ({} incremental)",
+            pct(snap.gauge("maintenance.rows_patched_fraction")),
+            pct(snap.gauge("maintenance.law_patched_fraction")),
+        );
+    }
+}
+
+/// The run's canonical metrics snapshot: the one the engine attached, or —
+/// for backends predating the registry — one reconstructed from the legacy
+/// per-run accessors, so every code path reports the same field names.
+fn run_metrics_snapshot(result: &RunResult) -> MetricsSnapshot {
+    result.telemetry().cloned().unwrap_or_else(|| {
+        let mut snap = MetricsSnapshot::new();
+        if let Some(misses) = result.rejection_misses() {
+            snap.add_counter("engine.rejection_misses", misses);
+        }
+        if let Some(stats) = result.maintenance() {
+            snap.absorb_maintenance(&stats);
+        }
+        snap
+    })
+}
+
+/// Writes the chrome trace (`--trace`) and prints the run's metrics
+/// snapshot (`--metrics`) once the run is over.  The metrics line is the
+/// only thing `--metrics` puts on stdout, so it stays machine-parseable.
+fn emit_telemetry(tel: &Telemetry, opts: &Options, snap: &MetricsSnapshot) -> Result<(), String> {
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, tel.chrome_trace_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("chrome trace written to {path} (load in Perfetto or chrome://tracing)");
+    }
+    if opts.metrics {
+        println!("{{\"metrics\":{}}}", snap.to_json());
+    }
+    Ok(())
+}
+
 /// Prints the streaming ensemble summary (satisfies `--replicas`): hitting
 /// time statistics, goal proportion, shared-table reuse and aggregate
-/// throughput.
+/// throughput.  Everything goes to stderr, matching the single-run summary,
+/// so stdout carries machine output (`--metrics`) only.
 fn print_ensemble_summary(outcome: &EnsembleRunResult, elapsed: f64) {
     let summary = summarize_ensemble(outcome);
     let (goal, lo, hi) = summary.goal_proportion();
-    println!(
+    eprintln!(
         "ensemble: {} replicas over {} worker threads, {} lockstep rounds, \
          shared-table reuse {:.1}% ({} hits / {} misses)",
         summary.replicas,
@@ -403,13 +491,13 @@ fn print_ensemble_summary(outcome: &EnsembleRunResult, elapsed: f64) {
         outcome.shared_misses(),
     );
     if outcome.shared_derived() > 0 {
-        println!(
+        eprintln!(
             "shared-table derivation: {} of {} misses served by neighbour-delta replay",
             outcome.shared_derived(),
             outcome.shared_misses(),
         );
     }
-    println!(
+    eprintln!(
         "consensus: {}/{} replicas ({:.1}%, Wilson 95% [{:.3}, {:.3}])",
         summary.goal_reached,
         summary.replicas,
@@ -422,7 +510,7 @@ fn print_ensemble_summary(outcome: &EnsembleRunResult, elapsed: f64) {
     // hitting time.
     if summary.hitting_time.count() > 0 {
         let (ci_lo, ci_hi) = summary.hitting_time.mean_confidence_interval(1.96);
-        println!(
+        eprintln!(
             "hitting time (interactions, {} converged replicas): mean {:.0} \
              (95% CI [{:.0}, {:.0}]), std-dev {:.0}, median ~{:.0}, min {:.0}, max {:.0}",
             summary.hitting_time.count(),
@@ -435,47 +523,29 @@ fn print_ensemble_summary(outcome: &EnsembleRunResult, elapsed: f64) {
             summary.hitting_time.max(),
         );
     } else {
-        println!("hitting time: no replica reached the goal within the budget");
+        eprintln!("hitting time: no replica reached the goal within the budget");
     }
     if summary.goal_reached < summary.replicas {
-        println!(
+        eprintln!(
             "interactions at stop (all replicas, incl. {} budget-capped): mean {:.0}",
             summary.replicas - summary.goal_reached,
             summary.interactions.mean(),
         );
     }
-    println!(
+    eprintln!(
         "parallel time: mean {:.2}, std-dev {:.2}",
         summary.parallel_time.mean(),
         summary.parallel_time.std_dev()
     );
     let total = outcome.total_interactions();
-    println!(
+    eprintln!(
         "aggregate throughput: {:.3e} interactions/sec ({} interactions across all replicas \
          in {:.3} s)",
         total as f64 / elapsed.max(1e-9),
         total,
         elapsed
     );
-    let misses: u64 = outcome
-        .results()
-        .iter()
-        .filter_map(pp_core::RunResult::rejection_misses)
-        .sum();
-    println!("rejection misses: {misses} across all replicas");
-    if let Some(stats) = aggregate_maintenance(outcome.results()) {
-        let rows = stats
-            .rows_patched_fraction()
-            .map_or_else(|| "n/a".to_string(), |f| format!("{:.1}%", 100.0 * f));
-        let laws = stats
-            .law_patched_fraction()
-            .map_or_else(|| "n/a".to_string(), |f| format!("{:.1}%", 100.0 * f));
-        println!(
-            "law maintenance: rows {} patched / {} rebuilt ({rows} incremental), \
-             laws {} patched / {} rebuilt ({laws} incremental)",
-            stats.rows_patched, stats.rows_rebuilt, stats.law_patches, stats.law_rebuilds
-        );
-    }
+    print_engine_metrics(&outcome.metrics_snapshot());
 }
 
 /// Runs a baseline sampling dynamic as a lockstep replica ensemble
@@ -486,6 +556,7 @@ fn run_sampling_ensemble<D: SamplingDynamics + Clone + Send>(
     seed: SimSeed,
     choice: EnsembleChoice,
     budget: u64,
+    tel: &Telemetry,
 ) -> Result<(EnsembleRunResult, f64), String> {
     let name = dynamics.name().to_string();
     let mut ensemble = sampler_ensemble(&dynamics, &config, seed, choice).map_err(|e| {
@@ -494,6 +565,7 @@ fn run_sampling_ensemble<D: SamplingDynamics + Clone + Send>(
              (it provides no closed-form skip-ahead hooks)"
         )
     })?;
+    ensemble.set_telemetry(tel.clone());
     eprintln!(
         "dynamic: {name}; step engine: lockstep ensemble of {} batched replicas",
         choice.replicas()
@@ -545,15 +617,9 @@ fn run_sampling_dynamic<D: SamplingDynamics>(
         }
         other => unreachable!("parse_args rejects {other} for sampling dynamics"),
     };
-    if let Some(misses) = result.rejection_misses() {
-        eprintln!("rejection misses: {misses}");
-    }
-    if let Some(stats) = result.maintenance() {
-        eprintln!(
-            "law maintenance: rows {} patched / {} rebuilt, laws {} patched / {} rebuilt",
-            stats.rows_patched, stats.rows_rebuilt, stats.law_patches, stats.law_rebuilds
-        );
-    }
+    // Engine counters (rejection misses, law maintenance) are printed by the
+    // caller through `print_engine_metrics`, the same formatter the USD and
+    // ensemble paths use.
     Ok(result)
 }
 
@@ -587,6 +653,15 @@ fn main() -> ExitCode {
     if let Some(threads) = opts.threads {
         spec = spec.threads(threads);
     }
+    // One registry for the whole run: enabled only when an export sink was
+    // requested, so the default path keeps the disabled (no-clock) handle.
+    // Telemetry never consumes RNG either way — the trajectory is identical.
+    let tel = if opts.trace.is_some() || opts.metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
     let seed = SimSeed::from_u64(opts.seed);
     let config = match spec.build(seed) {
         Ok(c) => c,
@@ -620,6 +695,7 @@ fn main() -> ExitCode {
             );
             match UsdEnsemble::try_new(config, run_seed, choice) {
                 Ok(mut ensemble) => {
+                    ensemble.set_telemetry(tel.clone());
                     let start = Instant::now();
                     let outcome =
                         ensemble.run(StopCondition::consensus().or_max_interactions(budget));
@@ -629,18 +705,29 @@ fn main() -> ExitCode {
             }
         } else {
             match opts.dynamic {
-                Dynamic::Voter => {
-                    run_sampling_ensemble(Voter::new(opts.k), config, run_seed, choice, budget)
-                }
-                Dynamic::TwoChoices => {
-                    run_sampling_ensemble(TwoChoices::new(opts.k), config, run_seed, choice, budget)
-                }
+                Dynamic::Voter => run_sampling_ensemble(
+                    Voter::new(opts.k),
+                    config,
+                    run_seed,
+                    choice,
+                    budget,
+                    &tel,
+                ),
+                Dynamic::TwoChoices => run_sampling_ensemble(
+                    TwoChoices::new(opts.k),
+                    config,
+                    run_seed,
+                    choice,
+                    budget,
+                    &tel,
+                ),
                 Dynamic::ThreeMajority => run_sampling_ensemble(
                     ThreeMajority::new(opts.k),
                     config,
                     run_seed,
                     choice,
                     budget,
+                    &tel,
                 ),
                 Dynamic::JMajority => run_sampling_ensemble(
                     JMajority::new(opts.k, opts.majority_samples),
@@ -648,10 +735,16 @@ fn main() -> ExitCode {
                     run_seed,
                     choice,
                     budget,
+                    &tel,
                 ),
-                Dynamic::Median => {
-                    run_sampling_ensemble(MedianRule::new(opts.k), config, run_seed, choice, budget)
-                }
+                Dynamic::Median => run_sampling_ensemble(
+                    MedianRule::new(opts.k),
+                    config,
+                    run_seed,
+                    choice,
+                    budget,
+                    &tel,
+                ),
                 Dynamic::Usd => unreachable!("handled above"),
             }
         };
@@ -666,6 +759,10 @@ fn main() -> ExitCode {
                     }
                     eprintln!("ensemble summary written to {path}");
                 }
+                if let Err(e) = emit_telemetry(&tel, &opts, &outcome.metrics_snapshot()) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
                 ExitCode::SUCCESS
             }
             Err(msg) => {
@@ -679,6 +776,7 @@ fn main() -> ExitCode {
         let plan = shard_plan(&spec, &opts);
         let mut sim =
             UsdSimulator::with_engine_plan(config, seed.child(1), spec.engine_choice(), plan);
+        sim.set_telemetry(tel.clone());
         match sim.engine_choice() {
             EngineChoice::Sharded => eprintln!(
                 "step engine: sharded ({} shards, epoch {} interactions, {} threads)",
@@ -768,6 +866,12 @@ fn main() -> ExitCode {
                 eprintln!("T{} = {t}", phase.number());
             }
         }
+    }
+    let snap = run_metrics_snapshot(&result);
+    print_engine_metrics(&snap);
+    if let Err(e) = emit_telemetry(&tel, &opts, &snap) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
 
     let csv = trajectory.to_csv();

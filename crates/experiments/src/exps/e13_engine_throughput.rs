@@ -22,10 +22,14 @@ use consensus_dynamics::{
     set_incremental_laws, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
 };
 use pp_core::engine::StepEngine;
-use pp_core::{BatchedEngine, Configuration, EngineChoice, SimSeed, StopCondition};
+use pp_core::{BatchedEngine, Configuration, EngineChoice, SimSeed, StopCondition, Telemetry};
 use pp_workloads::InitialConfig;
 use std::time::Instant;
 use usd_core::{UndecidedStateDynamics, UsdSimulator};
+
+/// One timed telemetry-arm sample: interactions, seconds, and the flat
+/// counter/gauge payload stamped into the bench entry.
+type TelemetrySample = (u64, f64, Vec<(String, f64)>);
 
 /// A baseline sampling dynamic swept per-activation vs skip-ahead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +109,13 @@ pub struct EngineThroughputExperiment {
     pub maintenance_workloads: Vec<(MaintenanceWorkload, usize, f64)>,
     /// Population sizes for the maintenance sweep.
     pub maintenance_populations: Vec<u64>,
+    /// Population sizes for the telemetry-overhead sweep: the same batched
+    /// deep-bias consensus run with the metrics registry detached
+    /// (`telemetry-off`, the reference) vs attached and live
+    /// (`telemetry-on`).  Both arms share the seed — telemetry never
+    /// consumes RNG, so the trajectories are bit-identical and the speedup
+    /// column is purely the instrumentation overhead.
+    pub telemetry_populations: Vec<u64>,
 }
 
 impl EngineThroughputExperiment {
@@ -139,6 +150,11 @@ impl EngineThroughputExperiment {
             ],
             maintenance_populations: match scale {
                 Scale::Quick => vec![10_000, 50_000],
+                Scale::Full => vec![100_000, 1_000_000],
+            },
+            telemetry_populations: match scale {
+                Scale::Quick => vec![10_000, 50_000],
+                // The 5%-overhead budget is stated at n = 10⁶.
                 Scale::Full => vec![100_000, 1_000_000],
             },
         }
@@ -252,6 +268,46 @@ impl EngineThroughputExperiment {
         }
     }
 
+    /// One timed batched consensus run with the telemetry registry enabled
+    /// or disabled; returns (interactions, seconds, stamped payload).
+    fn timed_telemetry_run(
+        &self,
+        n: u64,
+        opinions: usize,
+        bias_factor: f64,
+        enabled: bool,
+        seed: SimSeed,
+    ) -> TelemetrySample {
+        let config = InitialConfig::new(n, opinions)
+            .multiplicative_bias(bias_factor)
+            .engine(EngineChoice::Batched)
+            .build(seed.child(0))
+            .expect("throughput workload is valid");
+        let budget = self.scale.interaction_budget(n, opinions);
+        let mut sim = UsdSimulator::with_engine(config, seed.child(1), EngineChoice::Batched);
+        let tel = if enabled {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        sim.set_telemetry(tel);
+        let start = Instant::now();
+        let result = sim.run_to_consensus(budget);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(
+            result.reached_consensus(),
+            "telemetry-overhead run did not converge within {budget} interactions"
+        );
+        let payload = result.telemetry().map_or_else(Vec::new, |snap| {
+            snap.counters()
+                .iter()
+                .map(|(name, v)| (name.clone(), *v as f64))
+                .chain(snap.gauges().iter().cloned())
+                .collect()
+        });
+        (result.interactions(), elapsed, payload)
+    }
+
     /// Runs the experiment.
     #[must_use]
     pub fn run(&self, seed: SimSeed) -> ExperimentReport {
@@ -326,6 +382,7 @@ impl EngineThroughputExperiment {
                         seconds: secs,
                         interactions_per_sec: ips,
                         speedup: speedup_value,
+                        telemetry: Vec::new(),
                     });
                     report.push_row(vec![
                         "usd".to_string(),
@@ -389,6 +446,7 @@ impl EngineThroughputExperiment {
                         seconds: secs,
                         interactions_per_sec: ips,
                         speedup: speedup_value,
+                        telemetry: Vec::new(),
                     });
                     report.push_row(vec![
                         workload.name().to_string(),
@@ -454,6 +512,7 @@ impl EngineThroughputExperiment {
                         seconds: secs,
                         interactions_per_sec: ips,
                         speedup: speedup_value,
+                        telemetry: Vec::new(),
                     });
                     report.push_row(vec![
                         workload.name().to_string(),
@@ -474,6 +533,73 @@ impl EngineThroughputExperiment {
             }
         }
 
+        // The telemetry-overhead arm: the same batched deep-bias run with
+        // the registry detached vs live.  Shared seed per repetition, so
+        // the arms advance bit-identical trajectories.
+        for (ni, &n) in self.telemetry_populations.iter().enumerate() {
+            let (opinions, bias) = (2usize, 4.0f64);
+            let mut ips_by_mode = [0.0f64; 2];
+            for (ei, enabled) in [false, true].into_iter().enumerate() {
+                let mut best: Option<TelemetrySample> = None;
+                for r in 0..self.runs {
+                    let cell_seed = seed.child(0xF0_0000_0000_0000 | (ni as u64) << 32 | r);
+                    let (interactions, secs, payload) =
+                        self.timed_telemetry_run(n, opinions, bias, enabled, cell_seed);
+                    let better = match &best {
+                        Some((bi, bs, _)) => interactions as f64 / secs > *bi as f64 / bs,
+                        None => true,
+                    };
+                    if better {
+                        best = Some((interactions, secs, payload));
+                    }
+                }
+                let (interactions, secs, telemetry) = best.expect("at least one run");
+                let ips = interactions as f64 / secs;
+                ips_by_mode[ei] = ips;
+                let speedup_value = if ei == 1 && ips_by_mode[0] > 0.0 {
+                    ips / ips_by_mode[0]
+                } else {
+                    1.0
+                };
+                let engine_name = if enabled {
+                    "telemetry-on"
+                } else {
+                    "telemetry-off"
+                };
+                entries.push(BenchEntry {
+                    // "telemetry-on" is in GUARDED_ENGINES: its speedup
+                    // against the telemetry-off reference is the
+                    // observability overhead the trend check gates.
+                    experiment: "E13/telemetry".into(),
+                    engine: engine_name.to_string(),
+                    shards: 1,
+                    n,
+                    k: opinions as u64,
+                    bias,
+                    interactions,
+                    seconds: secs,
+                    interactions_per_sec: ips,
+                    speedup: speedup_value,
+                    telemetry,
+                });
+                report.push_row(vec![
+                    "telemetry".to_string(),
+                    n.to_string(),
+                    opinions.to_string(),
+                    fmt_f64(bias),
+                    engine_name.to_string(),
+                    interactions.to_string(),
+                    fmt_f64(secs),
+                    fmt_f64(ips),
+                    if ei == 1 {
+                        fmt_f64(speedup_value)
+                    } else {
+                        "1.00".to_string()
+                    },
+                ]);
+            }
+        }
+
         report.push_note(format!(
             "USD consensus runs from a multiplicative-bias start; each cell reports the fastest of {} runs; both engines induce the same trajectory distribution (verified by the equivalence test suite)",
             self.runs
@@ -486,6 +612,9 @@ impl EngineThroughputExperiment {
         );
         report.push_note(
             "maintenance rows (usd-rows, 3-majority-laws) compare per-event from-scratch row-table / activation-law rebuilds against the O(delta) incremental patch path on otherwise identical (bit-exact) runs; the incremental rows are stamped as E13/<workload> entries and regression-gated by the trend check".to_string(),
+        );
+        report.push_note(
+            "telemetry rows compare the batched deep-bias run with the metrics registry detached vs live on bit-identical trajectories; the telemetry-on speedup is the observability overhead (budget: within 5% of telemetry-off), and each entry is stamped with the run's counter snapshot".to_string(),
         );
         (report, entries)
     }
@@ -551,6 +680,7 @@ mod tests {
             sampling_populations: vec![],
             maintenance_workloads: vec![],
             maintenance_populations: vec![],
+            telemetry_populations: vec![],
         };
         let (report, entries) = exp.run_with_samples(SimSeed::from_u64(5));
         assert_eq!(report.rows.len(), 4);
@@ -588,6 +718,7 @@ mod tests {
             sampling_populations: vec![2_000],
             maintenance_workloads: vec![],
             maintenance_populations: vec![],
+            telemetry_populations: vec![],
         };
         let (report, entries) = exp.run_with_samples(SimSeed::from_u64(8));
         // Two workloads × one population × {exact, batched}.
@@ -619,6 +750,7 @@ mod tests {
                 (MaintenanceWorkload::MajorityLaws, 4, 2.0),
             ],
             maintenance_populations: vec![2_000],
+            telemetry_populations: vec![],
         };
         let (report, entries) = exp.run_with_samples(SimSeed::from_u64(11));
         // Two workloads × one population × {rebuild, incremental}.
@@ -641,5 +773,44 @@ mod tests {
         // counts agree bit-for-bit (same seed, same trajectory).
         assert_eq!(entries[0].interactions, entries[1].interactions);
         assert_eq!(entries[2].interactions, entries[3].interactions);
+    }
+
+    #[test]
+    fn telemetry_rows_are_stamped_with_the_run_counters() {
+        let exp = EngineThroughputExperiment {
+            populations: vec![],
+            workloads: vec![],
+            runs: 1,
+            scale: Scale::Quick,
+            sampling_workloads: vec![],
+            sampling_populations: vec![],
+            maintenance_workloads: vec![],
+            maintenance_populations: vec![],
+            telemetry_populations: vec![2_000],
+        };
+        let (report, entries) = exp.run_with_samples(SimSeed::from_u64(13));
+        // One population × {telemetry-off, telemetry-on}.
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].engine, "telemetry-off");
+        assert_eq!(entries[0].speedup, 1.0);
+        assert_eq!(entries[1].engine, "telemetry-on");
+        assert!(entries[1].speedup > 0.0);
+        assert!(crate::trend::GUARDED_ENGINES.contains(&"telemetry-on"));
+        // Attaching the registry never consumes RNG: with a single shared
+        // seed both arms advance the identical trajectory.
+        assert_eq!(entries[0].interactions, entries[1].interactions);
+        // Both arms stamp the run's counters (the batched engine keeps its
+        // plain counters even with the registry detached).
+        for entry in &entries {
+            assert!(
+                entry
+                    .telemetry
+                    .iter()
+                    .any(|(name, v)| name == "batched.events_drawn" && *v > 0.0),
+                "{} row lacks the batched.events_drawn stamp",
+                entry.engine
+            );
+        }
     }
 }

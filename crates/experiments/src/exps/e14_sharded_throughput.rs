@@ -198,6 +198,7 @@ impl ShardedThroughputExperiment {
                 seconds: base_secs,
                 interactions_per_sec: base_ips,
                 speedup: 1.0,
+                telemetry: Vec::new(),
             });
             report.push_row(vec![
                 n.to_string(),
@@ -233,6 +234,7 @@ impl ShardedThroughputExperiment {
                     seconds: secs,
                     interactions_per_sec: ips,
                     speedup: ips / base_ips,
+                    telemetry: Vec::new(),
                 });
                 report.push_row(vec![
                     n.to_string(),

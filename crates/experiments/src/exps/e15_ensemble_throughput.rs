@@ -370,6 +370,7 @@ impl EnsembleThroughputExperiment {
                     seconds: arm.seconds,
                     interactions_per_sec: arm.aggregate_ips(),
                     speedup: speedup_value,
+                    telemetry: Vec::new(),
                 });
                 report.push_row(vec![
                     workload.name().to_string(),

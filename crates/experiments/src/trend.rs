@@ -39,6 +39,11 @@ pub struct BenchEntry {
     pub interactions_per_sec: f64,
     /// Throughput relative to the run's reference engine.
     pub speedup: f64,
+    /// Flat engine-counter payload stamped from the measured run's metrics
+    /// snapshot (`pp_core::telemetry` names → values).  Context for humans
+    /// reading the record, never part of the comparison key; empty for
+    /// cells whose backend predates the registry and in old baselines.
+    pub telemetry: Vec<(String, f64)>,
 }
 
 impl BenchEntry {
@@ -57,9 +62,19 @@ impl BenchEntry {
     }
 
     fn to_json(&self) -> String {
+        let telemetry = if self.telemetry.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = self
+                .telemetry
+                .iter()
+                .map(|(name, value)| format!("\"{name}\":{value}"))
+                .collect();
+            format!(",\"telemetry\":{{{}}}", pairs.join(","))
+        };
         format!(
             "{{\"experiment\":\"{}\",\"engine\":\"{}\",\"shards\":{},\"n\":{},\"k\":{},\"bias\":{},\
-             \"interactions\":{},\"seconds\":{},\"interactions_per_sec\":{},\"speedup\":{}}}",
+             \"interactions\":{},\"seconds\":{},\"interactions_per_sec\":{},\"speedup\":{}{}}}",
             self.experiment,
             self.engine,
             self.shards,
@@ -70,6 +85,7 @@ impl BenchEntry {
             self.seconds,
             self.interactions_per_sec,
             self.speedup,
+            telemetry,
         )
     }
 }
@@ -399,6 +415,16 @@ pub fn parse_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
                 seconds: f("seconds")?,
                 interactions_per_sec: f("interactions_per_sec")?,
                 speedup: f("speedup")?,
+                // Optional and lenient: absent in records written before the
+                // telemetry registry, and non-numeric values are skipped
+                // rather than failing the whole baseline.
+                telemetry: match e.get("telemetry") {
+                    Some(Json::Obj(pairs)) => pairs
+                        .iter()
+                        .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+                        .collect(),
+                    _ => Vec::new(),
+                },
             })
         })
         .collect()
@@ -530,15 +556,18 @@ impl TrendReport {
     }
 }
 
-/// Engines whose throughput the trend check guards (the fast backends plus
-/// the incremental-maintenance arm; the exact engine and the rebuild /
-/// replica-loop reference arms are their own baselines).
-pub const GUARDED_ENGINES: [&str; 5] = [
+/// Engines whose throughput the trend check guards (the fast backends, the
+/// incremental-maintenance arm, and the telemetry-on arm whose speedup
+/// against telemetry-off is the observability overhead; the exact engine and
+/// the rebuild / replica-loop / telemetry-off reference arms are their own
+/// baselines).
+pub const GUARDED_ENGINES: [&str; 6] = [
     "batched",
     "sharded",
     "ensemble",
     "parallel-ensemble",
     "incremental",
+    "telemetry-on",
 ];
 
 /// Compares `current` against `baseline`: every baseline cell of a guarded
@@ -595,6 +624,7 @@ mod tests {
             seconds: 1.0,
             interactions_per_sec: ips,
             speedup: 1.0,
+            telemetry: Vec::new(),
         }
     }
 
@@ -638,6 +668,32 @@ mod tests {
             Some("0.1.0")
         );
         assert_eq!(json.get("seed").unwrap().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn telemetry_payloads_round_trip_and_stay_optional() {
+        let mut with_payload = entry("telemetry-on", 1, 1_000_000, 4.2e8);
+        with_payload.telemetry = vec![
+            ("batched.events_drawn".to_string(), 51119.0),
+            ("maintenance.rows_patched_fraction".to_string(), 0.925),
+        ];
+        let bare = entry("batched", 1, 1_000_000, 4.5e8);
+        let doc = render_stamped_document(
+            "0.1.0",
+            "quick",
+            3,
+            &[with_payload.clone(), bare.clone()],
+            &[],
+        );
+        let parsed = parse_entries(&doc).unwrap();
+        assert_eq!(parsed, vec![with_payload, bare]);
+        // Records written before the telemetry registry lack the field
+        // entirely; parsing stays lenient instead of failing the baseline.
+        let legacy = r#"{"entries":[{"experiment":"E13","engine":"batched","shards":1,
+            "n":1000,"k":2,"bias":4.0,"interactions":10,"seconds":1.0,
+            "interactions_per_sec":10.0,"speedup":1.0}]}"#;
+        assert_eq!(parse_entries(legacy).unwrap()[0].telemetry, Vec::new());
+        assert!(GUARDED_ENGINES.contains(&"telemetry-on"));
     }
 
     #[test]

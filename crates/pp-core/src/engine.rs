@@ -91,6 +91,7 @@ use crate::recorder::Recorder;
 use crate::rng::SimSeed;
 use crate::run::{MaintenanceStats, RunOutcome, RunResult};
 use crate::stopping::StopCondition;
+use crate::telemetry::MetricsSnapshot;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -218,6 +219,27 @@ pub trait StepEngine {
         None
     }
 
+    /// The engine's unified observability surface: one flat
+    /// [`MetricsSnapshot`] covering everything the bespoke accessors
+    /// ([`rejection_misses`](StepEngine::rejection_misses),
+    /// [`maintenance`](StepEngine::maintenance), the ensemble's shared-table
+    /// counters) expose, under the canonical registry names
+    /// (`engine.rejection_misses`, `maintenance.rows_patched`, …).  The
+    /// provided drivers record it into every [`RunResult`]; engines with
+    /// richer instrumentation (batched skip/draw counts, shard epochs)
+    /// override the default, which assembles the snapshot from the legacy
+    /// accessors.
+    fn telemetry(&self) -> Option<MetricsSnapshot> {
+        let mut snap = MetricsSnapshot::new();
+        if let Some(misses) = self.rejection_misses() {
+            snap.add_counter("engine.rejection_misses", misses);
+        }
+        if let Some(stats) = self.maintenance() {
+            snap.absorb_maintenance(&stats);
+        }
+        (!snap.is_empty()).then_some(snap)
+    }
+
     /// Advances to the next state-changing event, or to `limit` interactions,
     /// whichever comes first.
     fn advance(&mut self, limit: u64) -> Advance;
@@ -262,7 +284,8 @@ pub trait StepEngine {
                 return RunResult::new(outcome, self.interactions(), self.configuration().clone())
                     .with_scheduler(self.scheduler_name())
                     .with_rejection_misses(self.rejection_misses())
-                    .with_maintenance(self.maintenance());
+                    .with_maintenance(self.maintenance())
+                    .with_telemetry(self.telemetry());
             }
             let limit = match stop.max_interactions() {
                 Some(budget) if self.interactions() >= budget => {
@@ -273,7 +296,8 @@ pub trait StepEngine {
                     )
                     .with_scheduler(self.scheduler_name())
                     .with_rejection_misses(self.rejection_misses())
-                    .with_maintenance(self.maintenance());
+                    .with_maintenance(self.maintenance())
+                    .with_telemetry(self.telemetry());
                 }
                 Some(budget) => budget,
                 None => u64::MAX,
@@ -433,6 +457,11 @@ pub struct BatchedEngine<P> {
     /// Refreshes served so far, for the sampled debug cross-check.
     refreshes: u64,
     stats: MaintenanceStats,
+    /// State-changing events drawn so far (standalone and lockstep paths).
+    events_drawn: u64,
+    /// Null interactions jumped over by geometric skips (and limit
+    /// forwarding) so far.
+    nulls_skipped: u64,
 }
 
 impl<P: OpinionProtocol> BatchedEngine<P> {
@@ -483,6 +512,8 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
             incremental: true,
             refreshes: 0,
             stats: MaintenanceStats::default(),
+            events_drawn: 0,
+            nulls_skipped: 0,
         })
     }
 
@@ -723,10 +754,13 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
     /// Records `skip` null interactions plus the event interaction itself.
     pub(crate) fn record_event_interactions(&mut self, skip: u64) {
         self.interactions += skip + 1;
+        self.nulls_skipped += skip;
+        self.events_drawn += 1;
     }
 
     /// Forwards the interaction counter to `limit` without an event.
     pub(crate) fn forward_to(&mut self, limit: u64) {
+        self.nulls_skipped += limit.saturating_sub(self.interactions);
         self.interactions = limit;
     }
 
@@ -827,13 +861,22 @@ impl<P: OpinionProtocol> StepEngine for BatchedEngine<P> {
         Some(self.stats)
     }
 
+    fn telemetry(&self) -> Option<MetricsSnapshot> {
+        let mut snap = MetricsSnapshot::new();
+        snap.add_counter("batched.events_drawn", self.events_drawn);
+        snap.add_counter("batched.nulls_skipped", self.nulls_skipped);
+        snap.add_counter("batched.table_refreshes", self.refreshes);
+        snap.absorb_maintenance(&self.stats);
+        Some(snap)
+    }
+
     fn advance(&mut self, limit: u64) -> Advance {
         if self.interactions >= limit {
             return Advance::LimitReached;
         }
         let total = self.ensure_rows();
         if total == 0 {
-            self.interactions = limit;
+            self.forward_to(limit);
             return Advance::Absorbed;
         }
         let n = self.config.population() as f64;
@@ -843,10 +886,10 @@ impl<P: OpinionProtocol> StepEngine for BatchedEngine<P> {
         // itself occupies one, so the skip must stay strictly below this.
         let headroom = limit - self.interactions;
         let Some(skip) = geometric_skip(&mut self.rng, p, headroom) else {
-            self.interactions = limit;
+            self.forward_to(limit);
             return Advance::LimitReached;
         };
-        self.interactions += skip + 1;
+        self.record_event_interactions(skip);
         let rows = std::mem::take(&mut self.rows);
         let (from, to) = self.draw_and_apply_event(&rows, total);
         self.rows = rows;
@@ -936,6 +979,20 @@ impl<P: OpinionProtocol> StepEngine for CountEngine<P> {
         match self {
             CountEngine::Exact(e) => e.maintenance(),
             CountEngine::Batched(e) => e.maintenance(),
+        }
+    }
+
+    fn rejection_misses(&self) -> Option<u64> {
+        match self {
+            CountEngine::Exact(e) => e.rejection_misses(),
+            CountEngine::Batched(e) => e.rejection_misses(),
+        }
+    }
+
+    fn telemetry(&self) -> Option<MetricsSnapshot> {
+        match self {
+            CountEngine::Exact(e) => e.telemetry(),
+            CountEngine::Batched(e) => e.telemetry(),
         }
     }
 
@@ -1069,6 +1126,43 @@ mod tests {
         assert!(stats.rows_patched > 0);
         assert_eq!(stats.law_patches, 0);
         assert_eq!(stats.law_rebuilds, 0);
+    }
+
+    #[test]
+    fn batched_telemetry_counts_skips_draws_and_patches() {
+        let config = Configuration::from_counts(vec![900, 100], 0).unwrap();
+        let mut engine = BatchedEngine::new(Usd2Plain, config, SimSeed::from_u64(5));
+        let result = engine.run_engine(StopCondition::consensus().or_max_interactions(5_000_000));
+        let snap = result
+            .telemetry()
+            .expect("batched engine reports telemetry");
+        let events = snap.counter("batched.events_drawn").unwrap();
+        assert!(events > 0);
+        // Every interaction is either a drawn event or a skipped null.
+        assert_eq!(
+            events + snap.counter("batched.nulls_skipped").unwrap(),
+            result.interactions()
+        );
+        // The snapshot carries the maintenance counters under canonical names.
+        let stats = result.maintenance().unwrap();
+        assert_eq!(
+            snap.counter("maintenance.rows_patched"),
+            Some(stats.rows_patched)
+        );
+        assert_eq!(
+            snap.counter("maintenance.rows_rebuilt"),
+            Some(stats.rows_rebuilt)
+        );
+    }
+
+    #[test]
+    fn default_telemetry_reflects_bespoke_accessors() {
+        // The exact engine has no counters of its own: its default
+        // `telemetry()` surfaces nothing beyond what the legacy accessors
+        // say (no maintenance, no rejection path → no snapshot).
+        let config = Configuration::from_counts(vec![9, 1], 0).unwrap();
+        let engine = CountSimulator::new(Usd2Plain, config, SimSeed::from_u64(5));
+        assert!(StepEngine::telemetry(&engine).is_none());
     }
 
     #[test]

@@ -104,9 +104,11 @@ use crate::engine::{geometric_skip, Advance, BatchedEngine, EngineChoice, StepEn
 use crate::error::PpError;
 use crate::parallel::{self, Parallelism};
 use crate::protocol::OpinionProtocol;
+use crate::recorder::{NullRecorder, Recorder};
 use crate::rng::SimSeed;
-use crate::run::{RunOutcome, RunResult};
+use crate::run::{MaintenanceStats, RunOutcome, RunResult};
 use crate::stopping::StopCondition;
+use crate::telemetry::{MetricsSnapshot, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -413,6 +415,10 @@ pub struct EnsembleRunResult {
     shared_derived: u64,
     cache_evictions: u64,
     workers: u64,
+    /// Events advanced by dormant scheduling windows (a subset of
+    /// `shared_misses` — the adaptive cache books dormant events as misses).
+    #[serde(default)]
+    dormant_events: u64,
 }
 
 impl EnsembleRunResult {
@@ -489,6 +495,62 @@ impl EnsembleRunResult {
     #[must_use]
     pub fn cache_evictions(&self) -> u64 {
         self.cache_evictions
+    }
+
+    /// Events advanced through dormant scheduling windows (the adaptive
+    /// cache's standalone fallback; always 0 under [`SharedCacheMode::Always`]).
+    #[must_use]
+    pub fn dormant_events(&self) -> u64 {
+        self.dormant_events
+    }
+
+    /// The run's lockstep bookkeeping and the replicas' engine counters as
+    /// one flat [`MetricsSnapshot`] under the canonical metric names — the
+    /// surface `usd_run` serializes and the summary printers read, replacing
+    /// per-caller aggregation over the bespoke accessors.
+    ///
+    /// Per-replica counters (`batched.*`, `maintenance.*`,
+    /// `engine.rejection_misses`) are summed across replicas; the
+    /// `maintenance.*_fraction` gauges are recomputed from the aggregated
+    /// counters rather than absorbed (a gauge absorb is last-write-wins).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let mut agg = MaintenanceStats::default();
+        for result in &self.results {
+            if let Some(t) = result.telemetry() {
+                snap.absorb(t);
+            } else {
+                if let Some(misses) = result.rejection_misses() {
+                    snap.add_counter("engine.rejection_misses", misses);
+                }
+                if let Some(stats) = result.maintenance() {
+                    snap.absorb_maintenance(&stats);
+                }
+            }
+            if let Some(stats) = result.maintenance() {
+                agg.absorb(stats);
+            }
+        }
+        if let Some(f) = agg.rows_patched_fraction() {
+            snap.set_gauge("maintenance.rows_patched_fraction", f);
+        }
+        if let Some(f) = agg.law_patched_fraction() {
+            snap.set_gauge("maintenance.law_patched_fraction", f);
+        }
+        snap.add_counter("ensemble.rounds", self.rounds);
+        snap.add_counter("ensemble.shared_hits", self.shared_hits);
+        snap.add_counter("ensemble.shared_misses", self.shared_misses);
+        snap.add_counter("ensemble.shared_derived", self.shared_derived);
+        snap.add_counter("ensemble.cache_evictions", self.cache_evictions);
+        snap.add_counter("ensemble.dormant_events", self.dormant_events);
+        snap.set_gauge("ensemble.replicas", self.results.len() as f64);
+        snap.set_gauge("ensemble.workers", self.workers as f64);
+        snap.set_gauge(
+            "ensemble.shared_reuse_fraction",
+            self.shared_reuse_fraction(),
+        );
+        snap
     }
 
     /// Fraction of shared-table lookups served without recomputation — the
@@ -680,12 +742,15 @@ type PrevShared<S> = Option<(Box<[u64]>, Arc<S>)>;
 
 /// One worker's mutable view of a replica: the engine, the slot its
 /// finished [`RunResult`] lands in (index-aligned with construction order
-/// through the deterministic partition), and the replica's neighbor table
-/// for delta derivation.
-struct ReplicaSlot<'a, E: EnsembleReplica> {
+/// through the deterministic partition), the replica's neighbor table
+/// for delta derivation, and the replica's recorder (fed the same
+/// event-by-event observation stream [`StepEngine::run_engine_recorded`]
+/// produces; [`NullRecorder`]s on the plain [`EnsembleEngine::run`] path).
+struct ReplicaSlot<'a, E: EnsembleReplica, R: Recorder> {
     replica: &'a mut E,
     result: &'a mut Option<RunResult>,
     prev: &'a mut PrevShared<E::Shared>,
+    recorder: &'a mut R,
 }
 
 /// What one worker brings back from a scheduling window: the tables it had
@@ -697,6 +762,7 @@ struct WindowOutput<S> {
     misses: u64,
     derived: u64,
     rounds: u64,
+    events: u64,
 }
 
 /// Builds the counts key of a configuration into `key` (supports then
@@ -710,7 +776,10 @@ fn counts_key(config: &Configuration, key: &mut Vec<u64>) {
 /// Finishes a replica whose stop condition is met, mirroring the standalone
 /// driver's goal-before-budget order.  Returns `false` when the replica
 /// stays live.
-fn try_finish<E: EnsembleReplica>(slot: &mut ReplicaSlot<'_, E>, stop: &StopCondition) -> bool {
+fn try_finish<E: EnsembleReplica, R: Recorder>(
+    slot: &mut ReplicaSlot<'_, E, R>,
+    stop: &StopCondition,
+) -> bool {
     let replica = &*slot.replica;
     if stop.goal_met(replica.configuration()) {
         let outcome = if replica.configuration().is_consensus() {
@@ -735,8 +804,8 @@ fn try_finish<E: EnsembleReplica>(slot: &mut ReplicaSlot<'_, E>, stop: &StopCond
 /// [`LOCKSTEP_WINDOW_ROUNDS`] lockstep rounds against the frozen `map`,
 /// with misses computed into a worker-local overlay that the coordinator
 /// merges afterwards.
-fn advance_window_mapped<E: EnsembleReplica>(
-    slots: &mut [ReplicaSlot<'_, E>],
+fn advance_window_mapped<E: EnsembleReplica, R: Recorder>(
+    slots: &mut [ReplicaSlot<'_, E, R>],
     map: &HashMap<Box<[u64]>, Arc<E::Shared>>,
     stop: &StopCondition,
     limit: u64,
@@ -747,6 +816,7 @@ fn advance_window_mapped<E: EnsembleReplica>(
         misses: 0,
         derived: 0,
         rounds: 0,
+        events: 0,
     };
     let mut overlay: HashMap<Box<[u64]>, Arc<E::Shared>> = HashMap::new();
     let mut key: Vec<u64> = Vec::new();
@@ -805,7 +875,12 @@ fn advance_window_mapped<E: EnsembleReplica>(
             }
             let headroom = limit - replica.interactions();
             match replica.draw_skip(p, headroom) {
-                Some(skip) => replica.apply_event(&shared, skip),
+                Some(skip) => {
+                    replica.apply_event(&shared, skip);
+                    out.events += 1;
+                    slot.recorder
+                        .record(replica.interactions(), replica.configuration());
+                }
                 None => replica.forward_to_limit(limit),
             }
         }
@@ -822,8 +897,8 @@ fn advance_window_mapped<E: EnsembleReplica>(
 /// through its own standalone `advance`, a chunk of events at a time —
 /// bit-identical draws at standalone cost and locality, no table
 /// resolution, no refcount traffic.  Returns the events advanced.
-fn advance_window_dormant<E: EnsembleReplica>(
-    slots: &mut [ReplicaSlot<'_, E>],
+fn advance_window_dormant<E: EnsembleReplica, R: Recorder>(
+    slots: &mut [ReplicaSlot<'_, E, R>],
     stop: &StopCondition,
     limit: u64,
 ) -> u64 {
@@ -842,7 +917,11 @@ fn advance_window_dormant<E: EnsembleReplica>(
                 break;
             }
             match StepEngine::advance(replica, limit) {
-                Advance::Event => events += 1,
+                Advance::Event => {
+                    events += 1;
+                    slot.recorder
+                        .record(replica.interactions(), replica.configuration());
+                }
                 Advance::LimitReached => break,
                 Advance::Absorbed => {
                     assert!(
@@ -874,6 +953,8 @@ where
     cache: SharedCache<E::Shared>,
     parallelism: Parallelism,
     rounds: u64,
+    dormant_events: u64,
+    tel: Telemetry,
 }
 
 impl<E: EnsembleReplica> EnsembleEngine<E>
@@ -914,7 +995,19 @@ where
             cache: SharedCache::new(DEFAULT_CACHE_CAPACITY, SharedCacheMode::default()),
             parallelism: Parallelism::auto(),
             rounds: 0,
+            dormant_events: 0,
+            tel: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: scheduling windows open
+    /// `ensemble.window` spans, worker chunks open `ensemble.mapped` /
+    /// `ensemble.dormant` spans on their worker track, and each run folds
+    /// its lockstep counters (`ensemble.*`) into the registry.  Telemetry
+    /// never consumes randomness, so attaching a handle cannot change any
+    /// replica's trajectory (see [`crate::telemetry`]).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Bounds the number of cached shared tables (default
@@ -986,11 +1079,49 @@ where
         E: Send,
         E::Shared: Send + Sync,
     {
+        let mut recorders = vec![NullRecorder; self.replicas.len()];
+        self.run_recorded(stop, &mut recorders)
+    }
+
+    /// Runs every replica like [`EnsembleEngine::run`], feeding replica
+    /// `i`'s initial and every changed configuration to `recorders[i]` —
+    /// the same observation stream [`StepEngine::run_engine_recorded`]
+    /// produces for a standalone same-seed run: one `record` call with the
+    /// starting configuration, then one per state-changing event (skipped
+    /// null interactions are not observed; budget-exhausted forwarding
+    /// records nothing, exactly like the standalone skip-ahead path).
+    ///
+    /// Recorders run on the worker threads (hence `R: Send`) but only ever
+    /// observe their own replica, in that replica's event order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recorders.len() != self.len()`, plus everything
+    /// [`EnsembleEngine::run`] panics on.
+    pub fn run_recorded<R>(&mut self, stop: StopCondition, recorders: &mut [R]) -> EnsembleRunResult
+    where
+        E: Send,
+        E::Shared: Send + Sync,
+        R: Recorder + Send,
+    {
         assert!(
             stop.is_bounded(),
             "stop condition can never terminate the run"
         );
+        assert_eq!(
+            recorders.len(),
+            self.replicas.len(),
+            "one recorder per replica"
+        );
+        for (replica, recorder) in self.replicas.iter().zip(recorders.iter_mut()) {
+            recorder.record(replica.interactions(), replica.configuration());
+        }
         let rounds_before = self.rounds;
+        let dormant_before = self.dormant_events;
+        // Events observed by the recorders this run (one `record` call per
+        // event, plus the initial snapshot) — drained into the registry as
+        // `ensemble.recorded_events` when telemetry is attached.
+        let mut events_observed = 0u64;
         let hits_before = self.cache.hits;
         let misses_before = self.cache.misses;
         let derived_before = self.cache.derived;
@@ -1007,18 +1138,20 @@ where
 
         loop {
             // Per-window live view: exclusive access to every unfinished
-            // replica and its result slot, in construction order, ready for
-            // the deterministic contiguous partition.
-            let mut slots: Vec<ReplicaSlot<'_, E>> = self
+            // replica, its result slot and its recorder, in construction
+            // order, ready for the deterministic contiguous partition.
+            let mut slots: Vec<ReplicaSlot<'_, E, R>> = self
                 .replicas
                 .iter_mut()
                 .zip(results.iter_mut())
                 .zip(prevs.iter_mut())
-                .filter(|((_, result), _)| result.is_none())
-                .map(|((replica, result), prev)| ReplicaSlot {
+                .zip(recorders.iter_mut())
+                .filter(|(((_, result), _), _)| result.is_none())
+                .map(|(((replica, result), prev), recorder)| ReplicaSlot {
                     replica,
                     result,
                     prev,
+                    recorder,
                 })
                 .collect();
             if slots.is_empty() {
@@ -1032,26 +1165,39 @@ where
                 .resolve(slots.len() / MIN_REPLICAS_PER_WORKER)
                 .max(1);
             workers_used = workers_used.max(workers as u64);
+            let _window = self.tel.span("ensemble.window");
             if self.cache.window_uses_map() {
                 // Freeze the map for the window: workers read it immutably
                 // and compute anything it lacks into their own overlays.
                 let map = &self.cache.map;
-                let outputs = parallel::map_chunks(workers, &mut slots, |_, chunk| {
-                    advance_window_mapped(chunk, map, &stop, limit)
-                });
+                let outputs = parallel::map_chunks_traced(
+                    workers,
+                    &self.tel,
+                    "ensemble.mapped",
+                    &mut slots,
+                    |_, chunk| advance_window_mapped(chunk, map, &stop, limit),
+                );
                 drop(slots);
+                events_observed += outputs.iter().map(|o| o.events).sum::<u64>();
                 self.rounds += self.cache.merge_window(outputs);
             } else {
-                let events = parallel::map_chunks(workers, &mut slots, |_, chunk| {
-                    advance_window_dormant(chunk, &stop, limit)
-                });
+                let events = parallel::map_chunks_traced(
+                    workers,
+                    &self.tel,
+                    "ensemble.dormant",
+                    &mut slots,
+                    |_, chunk| advance_window_dormant(chunk, &stop, limit),
+                );
                 drop(slots);
                 self.rounds += 1;
-                self.cache.note_dormant_events(events.into_iter().sum());
+                let events: u64 = events.into_iter().sum();
+                events_observed += events;
+                self.dormant_events += events;
+                self.cache.note_dormant_events(events);
             }
         }
 
-        EnsembleRunResult {
+        let result = EnsembleRunResult {
             results: results
                 .into_iter()
                 .map(|r| r.expect("every replica finished"))
@@ -1062,7 +1208,36 @@ where
             shared_derived: self.cache.derived - derived_before,
             cache_evictions: self.cache.evictions - evictions_before,
             workers: workers_used,
+            dormant_events: self.dormant_events - dormant_before,
+        };
+        if self.tel.is_enabled() {
+            self.tel.counter("ensemble.rounds").add(result.rounds);
+            self.tel
+                .counter("ensemble.shared_hits")
+                .add(result.shared_hits);
+            self.tel
+                .counter("ensemble.shared_misses")
+                .add(result.shared_misses);
+            self.tel
+                .counter("ensemble.shared_derived")
+                .add(result.shared_derived);
+            self.tel
+                .counter("ensemble.cache_evictions")
+                .add(result.cache_evictions);
+            self.tel
+                .counter("ensemble.dormant_events")
+                .add(result.dormant_events);
+            self.tel
+                .counter("ensemble.recorded_events")
+                .add(events_observed);
+            self.tel
+                .gauge("ensemble.replicas")
+                .set(result.results.len() as f64);
+            self.tel
+                .gauge("ensemble.workers")
+                .set(result.workers as f64);
         }
+        result
     }
 }
 
@@ -1077,6 +1252,7 @@ fn finish<E: StepEngine>(replica: &E, outcome: RunOutcome) -> RunResult {
     .with_scheduler(replica.scheduler_name())
     .with_rejection_misses(replica.rejection_misses())
     .with_maintenance(replica.maintenance())
+    .with_telemetry(replica.telemetry())
 }
 
 #[cfg(test)]
@@ -1291,6 +1467,137 @@ mod tests {
         let lookups = outcome.shared_hits() + outcome.shared_misses();
         assert!(lookups > 0);
         assert!(outcome.shared_reuse_fraction() <= 1.0);
+    }
+
+    /// A recorder that keeps the full observation stream, for comparing the
+    /// ensemble's per-replica callbacks against the standalone driver's.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    struct Log(Vec<(u64, Vec<u64>, u64)>);
+
+    impl Recorder for Log {
+        fn record(&mut self, interactions: u64, config: &Configuration) {
+            self.0
+                .push((interactions, config.supports().to_vec(), config.undecided()));
+        }
+    }
+
+    #[test]
+    fn recorder_streams_match_standalone_runs() {
+        let config = Configuration::from_counts(vec![300, 100], 20).unwrap();
+        let stop = StopCondition::consensus().or_max_interactions(2_000_000);
+        let expected: Vec<Log> = EnsembleChoice::new(5)
+            .seeds(SimSeed::from_u64(99))
+            .into_iter()
+            .map(|seed| {
+                let mut log = Log::default();
+                BatchedEngine::new(Usd2, config.clone(), seed).run_engine_recorded(stop, &mut log);
+                log
+            })
+            .collect();
+        assert!(expected.iter().all(|log| log.0.len() > 1));
+        // Mapped windows (Always), dormant windows (Never) and the mix
+        // (Adaptive) must all produce the standalone observation stream,
+        // at any thread count.
+        for mode in [
+            SharedCacheMode::Always,
+            SharedCacheMode::Never,
+            SharedCacheMode::Adaptive,
+        ] {
+            for threads in [1usize, 3] {
+                let mut ens = ensemble(vec![300, 100], 20, 5)
+                    .with_cache_mode(mode)
+                    .with_parallelism(Parallelism::fixed(threads));
+                let mut recorders = vec![Log::default(); 5];
+                let outcome = ens.run_recorded(stop, &mut recorders);
+                assert!(outcome.all_reached_goal());
+                assert_eq!(
+                    recorders, expected,
+                    "{mode:?} at {threads} threads diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_count_must_match_replica_count() {
+        let mut ens = ensemble(vec![50, 50], 0, 3);
+        let mut recorders = vec![Log::default(); 2];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ens.run_recorded(
+                StopCondition::consensus().or_max_interactions(100),
+                &mut recorders,
+            )
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn telemetry_records_window_spans_without_changing_results() {
+        let stop = StopCondition::consensus().or_max_interactions(5_000_000);
+        let silent = ensemble(vec![400, 100], 30, 6)
+            .with_parallelism(Parallelism::fixed(2))
+            .run(stop);
+        let tel = Telemetry::enabled();
+        let mut ens = ensemble(vec![400, 100], 30, 6).with_parallelism(Parallelism::fixed(2));
+        ens.set_telemetry(tel.clone());
+        let traced = ens.run(stop);
+        // Attaching telemetry must not perturb a single replica.
+        assert_eq!(silent.results(), traced.results());
+        let spans = tel.spans();
+        assert!(spans.iter().any(|s| s.name == "ensemble.window"));
+        assert!(spans.iter().any(|s| s.name == "ensemble.mapped.forkjoin"));
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "ensemble.mapped" && s.tid >= 1));
+        crate::telemetry::check_span_nesting(&spans).expect("window spans must nest");
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counter("ensemble.shared_hits"),
+            Some(traced.shared_hits())
+        );
+        assert_eq!(snap.counter("ensemble.rounds"), Some(traced.rounds()));
+        assert!(snap.counter("ensemble.recorded_events").unwrap() > 0);
+        assert_eq!(snap.gauge("ensemble.replicas"), Some(6.0));
+    }
+
+    #[test]
+    fn metrics_snapshot_aggregates_replica_counters() {
+        let mut ens = ensemble(vec![500, 100], 0, 4).with_cache_mode(SharedCacheMode::Always);
+        let outcome = ens.run(StopCondition::consensus().or_max_interactions(5_000_000));
+        let snap = outcome.metrics_snapshot();
+        assert_eq!(
+            snap.counter("ensemble.shared_hits"),
+            Some(outcome.shared_hits())
+        );
+        assert_eq!(snap.counter("ensemble.dormant_events"), Some(0));
+        assert_eq!(snap.gauge("ensemble.replicas"), Some(4.0));
+        // Replica engine counters fold in under the canonical names.
+        let drawn = snap.counter("batched.events_drawn").unwrap();
+        assert!(drawn > 0);
+        let total_events: u64 = outcome
+            .results()
+            .iter()
+            .map(|r| {
+                r.telemetry()
+                    .unwrap()
+                    .counter("batched.events_drawn")
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(drawn, total_events);
+        // Fraction gauges are recomputed from the aggregate, not absorbed.
+        let agg: MaintenanceStats =
+            outcome
+                .results()
+                .iter()
+                .fold(MaintenanceStats::default(), |mut acc, r| {
+                    acc.absorb(r.maintenance().unwrap());
+                    acc
+                });
+        assert_eq!(
+            snap.gauge("maintenance.rows_patched_fraction"),
+            agg.rows_patched_fraction()
+        );
     }
 
     #[test]

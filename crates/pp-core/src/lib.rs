@@ -59,6 +59,12 @@
 //! bias/support metrics), stopping rules, trace recorders and reproducible
 //! seed management.
 //!
+//! Observability goes through [`telemetry`]: a zero-dependency metrics
+//! registry (counters / gauges / log-bucket histograms) plus RAII timing
+//! spans with a chrome-trace export, attached to engines via a cloneable
+//! [`Telemetry`] handle.  Telemetry never consumes randomness — enabling it
+//! cannot change a trajectory (see the module docs for the contract).
+//!
 //! ## Example
 //!
 //! ```
@@ -105,6 +111,7 @@ pub mod run;
 pub mod scheduler;
 pub mod shard;
 pub mod stopping;
+pub mod telemetry;
 
 pub use agent_sim::AgentSimulator;
 pub use config::Configuration;
@@ -124,6 +131,7 @@ pub use run::{MaintenanceStats, RunOutcome, RunResult};
 pub use scheduler::{InteractionScheduler, OrderedPair, UniformPairScheduler};
 pub use shard::{ShardPlan, ShardedEngine};
 pub use stopping::StopCondition;
+pub use telemetry::{MetricsSnapshot, Telemetry};
 
 /// Convenience prelude re-exporting the types needed by most users.
 pub mod prelude {
@@ -145,4 +153,5 @@ pub mod prelude {
     pub use crate::run::{MaintenanceStats, RunOutcome, RunResult};
     pub use crate::shard::{ShardPlan, ShardedEngine};
     pub use crate::stopping::StopCondition;
+    pub use crate::telemetry::{MetricsSnapshot, Telemetry};
 }

@@ -48,6 +48,7 @@
 //! epochs inline, the ensemble advances whole scheduling windows of rounds
 //! per call).
 
+use crate::telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// The worker-thread knob shared by every parallel engine
@@ -166,6 +167,40 @@ where
     })
 }
 
+/// [`map_chunks`] with telemetry: the whole fork/join is bracketed in a
+/// `{label}.forkjoin` span on the coordinator track and each worker's busy
+/// time in a `{label}` span on track `1 + chunk_index`, so the chrome trace
+/// shows one lane per worker.  With a disabled handle this is exactly
+/// [`map_chunks`] — no clock reads, no allocation.
+///
+/// Timing never feeds back into the partition or the reduction order, so
+/// the determinism contract is untouched.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn map_chunks_traced<T, R, F>(
+    workers: usize,
+    tel: &Telemetry,
+    label: &str,
+    items: &mut [T],
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    if !tel.is_enabled() {
+        return map_chunks(workers, items, f);
+    }
+    let _forkjoin = tel.span(&format!("{label}.forkjoin"));
+    map_chunks(workers, items, |c, chunk| {
+        let _busy = tel.span_on(label, u32::try_from(c + 1).unwrap_or(u32::MAX));
+        f(c, chunk)
+    })
+}
+
 /// Runs `f` once per task, spread over at most `workers` threads with the
 /// deterministic contiguous partition.  `f` receives each task's global
 /// index.  The per-item counterpart of [`map_chunks`] for callers without
@@ -180,8 +215,27 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    run_partitioned_traced(workers, &Telemetry::disabled(), "", items, f);
+}
+
+/// [`run_partitioned`] with telemetry (see [`map_chunks_traced`] for the
+/// span layout).
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_partitioned_traced<T, F>(
+    workers: usize,
+    tel: &Telemetry,
+    label: &str,
+    items: &mut [T],
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
     let chunk = chunk_size(items.len(), workers);
-    map_chunks(workers, items, |c, tasks| {
+    map_chunks_traced(workers, tel, label, items, |c, tasks| {
         for (offset, task) in tasks.iter_mut().enumerate() {
             f(c * chunk + offset, task);
         }
@@ -247,6 +301,30 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn traced_fork_join_records_per_worker_spans() {
+        let tel = Telemetry::enabled();
+        let mut items: Vec<u64> = (0..8).collect();
+        let sums = map_chunks_traced(4, &tel, "work", &mut items, |_, c| c.iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), 28);
+        let spans = tel.spans();
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "work.forkjoin" && s.tid == 0));
+        let worker_tids: std::collections::BTreeSet<u32> = spans
+            .iter()
+            .filter(|s| s.name == "work")
+            .map(|s| s.tid)
+            .collect();
+        assert_eq!(worker_tids, (1..=4).collect());
+        crate::telemetry::check_span_nesting(&spans).unwrap();
+        // Disabled telemetry records nothing and produces the same outputs.
+        let silent = map_chunks_traced(4, &Telemetry::disabled(), "work", &mut items, |_, c| {
+            c.iter().sum::<u64>()
+        });
+        assert_eq!(silent, sums);
     }
 
     #[test]

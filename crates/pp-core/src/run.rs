@@ -2,6 +2,7 @@
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
+use crate::telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Why a run stopped.
@@ -95,15 +96,18 @@ pub struct RunResult {
     rejection_misses: Option<u64>,
     #[serde(default)]
     maintenance: Option<MaintenanceStats>,
+    #[serde(default)]
+    telemetry: Option<MetricsSnapshot>,
 }
 
 /// Equality compares what the run *computed* — outcome, interaction count,
 /// final configuration, scheduler, rejection counters — and deliberately
-/// ignores the [`MaintenanceStats`]: patch-vs-rebuild counts describe how an
+/// ignores the [`MaintenanceStats`] and the telemetry snapshot:
+/// patch-vs-rebuild counts, cache statistics and timings describe how an
 /// engine kept its tables in sync and may legitimately differ between
 /// bit-identical runs (a lockstep ensemble replica and its standalone twin,
 /// or the same ensemble at two thread counts, produce the same trajectory
-/// with different maintenance schedules).
+/// with different maintenance schedules and wall times).
 impl PartialEq for RunResult {
     fn eq(&self, other: &Self) -> bool {
         self.outcome == other.outcome
@@ -126,6 +130,7 @@ impl RunResult {
             scheduler: None,
             rejection_misses: None,
             maintenance: None,
+            telemetry: None,
         }
     }
 
@@ -174,6 +179,23 @@ impl RunResult {
     #[must_use]
     pub fn maintenance(&self) -> Option<MaintenanceStats> {
         self.maintenance
+    }
+
+    /// Records the engine's flat telemetry snapshot (`None` = the engine
+    /// exposes no metrics; see `StepEngine::telemetry`).  Like the
+    /// maintenance counters, the snapshot is ignored by equality.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Option<MetricsSnapshot>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's unified metrics snapshot for this run (the one-surface
+    /// replacement for the bespoke `rejection_misses` / `maintenance`
+    /// accessors, which remain as deprecated-in-spirit aliases).
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&MetricsSnapshot> {
+        self.telemetry.as_ref()
     }
 
     /// Why the run stopped.

@@ -87,6 +87,7 @@ use crate::parallel;
 use crate::protocol::OpinionProtocol;
 use crate::rng::SimSeed;
 use crate::run::MaintenanceStats;
+use crate::telemetry::{MetricsSnapshot, Telemetry};
 use multinomial::{
     merge_configurations, sample_multinomial, shard_populations, split_configuration,
 };
@@ -170,6 +171,10 @@ pub struct ShardedEngine<P> {
     threads: usize,
     rebalance_every: Option<u64>,
     alloc_rng: SmallRng,
+    /// Telemetry handle (disabled by default; see [`crate::telemetry`]).
+    /// Recording only reads the clock — trajectories are bit-identical with
+    /// telemetry on or off.
+    tel: Telemetry,
 }
 
 impl<P: OpinionProtocol + Clone> ShardedEngine<P> {
@@ -262,7 +267,17 @@ impl<P: OpinionProtocol + Clone> ShardedEngine<P> {
             threads: plan.resolved_threads().min(shard_count),
             rebalance_every: plan.rebalance_cadence(),
             alloc_rng: seed.child(0xA_110C).rng(),
+            tel: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: reconciliation epochs are bracketed in
+    /// `shard.epoch` spans with per-worker `shard.intra` / `shard.reconcile`
+    /// busy spans underneath (see [`crate::telemetry`] for the trace
+    /// layout).  Telemetry never consumes RNG, so attaching a live handle
+    /// cannot change the trajectory.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// The number of shards.
@@ -322,6 +337,7 @@ impl<P: OpinionProtocol + Clone> ShardedEngine<P> {
             self.threads
         };
         let shard_count = self.shards.len();
+        let _epoch_span = self.tel.span("shard.epoch");
         let allocation = sample_multinomial(&mut self.alloc_rng, epoch, &self.pair_weights);
         for (a, shard) in self.shards.iter_mut().enumerate() {
             shard.events = 0;
@@ -337,7 +353,15 @@ impl<P: OpinionProtocol + Clone> ShardedEngine<P> {
 
         // Pass 1: independent intra-shard advancement, spread over the
         // shared worker layer's deterministic partition.
-        parallel::run_partitioned(threads, &mut self.shards, |_, shard| shard.advance_intra());
+        parallel::run_partitioned_traced(
+            threads,
+            &self.tel,
+            "shard.intra",
+            &mut self.shards,
+            |_, shard| {
+                shard.advance_intra();
+            },
+        );
 
         // Pass 2: cross-shard reconciliation against boundary snapshots.
         // Writes stay within each responder shard, so the pass parallelizes
@@ -349,9 +373,15 @@ impl<P: OpinionProtocol + Clone> ShardedEngine<P> {
             .iter()
             .map(|s| s.engine.configuration().clone())
             .collect();
-        parallel::run_partitioned(threads, &mut self.shards, |a, shard| {
-            shard.reconcile_cross(a, &snapshots);
-        });
+        parallel::run_partitioned_traced(
+            threads,
+            &self.tel,
+            "shard.reconcile",
+            &mut self.shards,
+            |a, shard| {
+                shard.reconcile_cross(a, &snapshots);
+            },
+        );
 
         self.epochs += 1;
         self.merged = merge_configurations(
@@ -412,6 +442,32 @@ impl<P: OpinionProtocol + Clone + Send> StepEngine for ShardedEngine<P> {
             stats.absorb(shard.engine.maintenance_stats());
         }
         Some(stats)
+    }
+
+    /// Aggregates the per-shard batched snapshots (skip/draw/patch counts)
+    /// and adds the epoch counters.
+    fn telemetry(&self) -> Option<MetricsSnapshot> {
+        let mut snap = MetricsSnapshot::new();
+        for shard in &self.shards {
+            if let Some(s) = shard.engine.telemetry() {
+                snap.absorb(&s);
+            }
+        }
+        // Absorbing per-shard snapshots left the fraction gauges at the last
+        // shard's value; recompute them from the aggregated counters.
+        let mut stats = MaintenanceStats::default();
+        for shard in &self.shards {
+            stats.absorb(shard.engine.maintenance_stats());
+        }
+        if let Some(f) = stats.rows_patched_fraction() {
+            snap.set_gauge("maintenance.rows_patched_fraction", f);
+        }
+        if let Some(f) = stats.law_patched_fraction() {
+            snap.set_gauge("maintenance.law_patched_fraction", f);
+        }
+        snap.add_counter("shard.epochs", self.epochs);
+        snap.set_gauge("shard.shards", self.shards.len() as f64);
+        Some(snap)
     }
 
     /// Advances by whole reconciliation epochs until at least one
@@ -534,6 +590,35 @@ mod tests {
         let config = Configuration::from_counts(vec![2, 1], 0).unwrap();
         let engine = ShardedEngine::new(Usd2, config, SimSeed::from_u64(1), &ShardPlan::new(16));
         assert_eq!(engine.num_shards(), 3);
+    }
+
+    #[test]
+    fn telemetry_records_epoch_spans_without_changing_the_run() {
+        let config = Configuration::from_counts(vec![700, 300], 0).unwrap();
+        let run = |tel: Option<Telemetry>| {
+            let plan = ShardPlan::new(4).threads(2);
+            let mut engine = ShardedEngine::new(Usd2, config.clone(), SimSeed::from_u64(11), &plan);
+            let handle = tel.unwrap_or_default();
+            engine.set_telemetry(handle.clone());
+            let result =
+                engine.run_engine(StopCondition::consensus().or_max_interactions(20_000_000));
+            (result, handle)
+        };
+        let (silent, _) = run(None);
+        let (traced, tel) = run(Some(Telemetry::enabled()));
+        // Bit-identity: telemetry only reads the clock.
+        assert_eq!(silent, traced);
+        let spans = tel.spans();
+        assert!(spans.iter().any(|s| s.name == "shard.epoch"));
+        assert!(spans.iter().any(|s| s.name == "shard.intra.forkjoin"));
+        assert!(spans.iter().any(|s| s.name == "shard.reconcile"));
+        crate::telemetry::check_span_nesting(&spans).unwrap();
+        let snap = traced
+            .telemetry()
+            .expect("sharded engine reports telemetry");
+        assert!(snap.counter("shard.epochs").unwrap() > 0);
+        assert!(snap.counter("batched.events_drawn").unwrap() > 0);
+        assert!(snap.counter("maintenance.rows_rebuilt").unwrap() > 0);
     }
 
     #[test]
