@@ -8,6 +8,7 @@
 //! `master.child(i)`.
 
 use crate::protocol::UndecidedStateDynamics;
+use pp_core::checkpoint::{Checkpoint, EngineState};
 use pp_core::ensemble::{EnsembleChoice, EnsembleEngine, EnsembleRunResult};
 use pp_core::{BatchedEngine, Configuration, PpError, SimSeed, StopCondition};
 
@@ -137,6 +138,73 @@ impl UsdEnsemble {
     pub fn run_to_consensus(&mut self, max_interactions: u64) -> EnsembleRunResult {
         self.run(StopCondition::consensus().or_max_interactions(max_interactions))
     }
+
+    /// Runs at most `max_windows` lockstep scheduling windows toward the
+    /// stop condition.  `None` means the window budget ran out with live
+    /// replicas remaining — the pause point [`UsdEnsemble::capture`]
+    /// snapshots at; resume (here or in a restored ensemble) by calling
+    /// again **with the same `stop`** (see
+    /// `pp_core::ensemble::EnsembleEngine::run_windows`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stop condition is unbounded.
+    pub fn run_windows(
+        &mut self,
+        stop: StopCondition,
+        max_windows: u64,
+    ) -> Option<EnsembleRunResult> {
+        self.inner.run_windows(stop, max_windows)
+    }
+
+    /// Captures every replica's resumable state as a [`Checkpoint`].  Call
+    /// only at a pause point — between [`UsdEnsemble::run_windows`] calls
+    /// (see [`pp_core::checkpoint`] for the bit-exactness rules).
+    #[must_use]
+    pub fn capture(&self) -> Checkpoint {
+        Checkpoint::capture(&self.inner)
+    }
+
+    /// Restores an ensemble from a checkpoint captured by
+    /// [`UsdEnsemble::capture`].  `choice` supplies the run-time knobs the
+    /// checkpoint deliberately omits (worker parallelism — wall-clock
+    /// only); its replica count must match the captured state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] when the checkpoint holds a
+    /// non-ensemble engine state or its replica count disagrees with
+    /// `choice`, and propagates `choice` validation and replica-restore
+    /// errors.
+    pub fn restore(checkpoint: &Checkpoint, choice: EnsembleChoice) -> Result<Self, PpError> {
+        choice.validate()?;
+        let EngineState::Ensemble(snapshot) = checkpoint.engine() else {
+            return Err(PpError::Checkpoint {
+                reason: format!(
+                    "checkpoint holds {:?} engine state, expected \"ensemble\"",
+                    checkpoint.kind()
+                ),
+            });
+        };
+        if snapshot.replicas.len() != choice.replicas() {
+            return Err(PpError::Checkpoint {
+                reason: format!(
+                    "checkpoint holds {} replicas but the ensemble choice requests {}",
+                    snapshot.replicas.len(),
+                    choice.replicas()
+                ),
+            });
+        }
+        let k = snapshot
+            .replicas
+            .first()
+            .map(|r| r.supports.len())
+            .unwrap_or(0);
+        let protocol = UndecidedStateDynamics::new(k);
+        let inner =
+            EnsembleEngine::restore(&protocol, checkpoint)?.with_parallelism(choice.parallelism());
+        Ok(UsdEnsemble { inner, choice })
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +271,31 @@ mod tests {
                 .run_engine_recorded(stop, &mut expected);
             assert_eq!(recorders[i], expected, "replica {i} stream diverged");
         }
+    }
+
+    #[test]
+    fn paused_ensembles_restore_to_bit_identical_outcomes() {
+        let config = Configuration::from_counts(vec![700, 200, 100], 0).unwrap();
+        let master = SimSeed::from_u64(31);
+        let stop = StopCondition::consensus().or_max_interactions(100_000_000);
+        let mut reference =
+            UsdEnsemble::try_new(config.clone(), master, EnsembleChoice::new(5)).unwrap();
+        let expected = reference.run(stop);
+        let mut paused = UsdEnsemble::try_new(config, master, EnsembleChoice::new(5)).unwrap();
+        assert!(paused.run_windows(stop, 2).is_none());
+        let json = paused.capture().to_json();
+        let checkpoint = Checkpoint::from_json(&json).unwrap();
+        // A replica-count mismatch is rejected by name.
+        let err = UsdEnsemble::restore(&checkpoint, EnsembleChoice::new(4)).unwrap_err();
+        assert!(
+            matches!(&err, PpError::Checkpoint { reason } if reason.contains("5")),
+            "{err:?}"
+        );
+        let mut restored = UsdEnsemble::restore(&checkpoint, EnsembleChoice::new(5)).unwrap();
+        let outcome = restored
+            .run_windows(stop, u64::MAX)
+            .expect("unbounded window budget always finishes");
+        assert_eq!(outcome.results(), expected.results());
     }
 
     #[test]

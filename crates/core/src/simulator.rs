@@ -10,13 +10,15 @@
 use crate::mean_field::MeanFieldEngine;
 use crate::phases::{EnginePolicy, Phase, PhaseTimes, PhaseTracker};
 use crate::protocol::UndecidedStateDynamics;
+use pp_core::checkpoint::{Checkpoint, EngineState};
 use pp_core::engine::{Advance, StepEngine};
 use pp_core::run::MaintenanceStats;
 use pp_core::{
-    BatchedEngine, Configuration, CountSimulator, EngineChoice, MetricsSnapshot, Opinion, Recorder,
-    RunOutcome, RunResult, ShardPlan, ShardedEngine, SimSeed, StopCondition, Telemetry,
+    BatchedEngine, Configuration, CountSimulator, EngineChoice, MetricsSnapshot, Opinion, PpError,
+    Recorder, RunOutcome, RunResult, ShardPlan, ShardedEngine, SimSeed, StopCondition, Telemetry,
 };
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// The result of a phase-aware USD run: the ordinary [`RunResult`] plus the
 /// measured phase hitting times.
@@ -199,6 +201,17 @@ pub struct UsdSimulator {
     /// that happened to finish it.
     retired: MetricsSnapshot,
     tel: Telemetry,
+    /// Periodic checkpoint sink (see [`UsdSimulator::set_checkpoint_sink`]).
+    sink: Option<CheckpointSink>,
+}
+
+/// Where and how often the drive loop writes periodic checkpoints.
+#[derive(Debug)]
+struct CheckpointSink {
+    path: PathBuf,
+    every: u64,
+    /// Interaction count at the last capture (cadence anchor).
+    last_capture: u64,
 }
 
 impl UsdSimulator {
@@ -236,6 +249,7 @@ impl UsdSimulator {
             rebuilds: 0,
             retired: MetricsSnapshot::new(),
             tel: Telemetry::disabled(),
+            sink: None,
         }
     }
 
@@ -267,6 +281,9 @@ impl UsdSimulator {
             rows_rebuilt: snap.counter("maintenance.rows_rebuilt").unwrap_or(0),
             law_patches: snap.counter("maintenance.law_patches").unwrap_or(0),
             law_rebuilds: snap.counter("maintenance.law_rebuilds").unwrap_or(0),
+            law_fallback_rebuilds: snap
+                .counter("maintenance.law_fallback_rebuilds")
+                .unwrap_or(0),
         };
         if let Some(f) = stats.rows_patched_fraction() {
             snap.set_gauge("maintenance.rows_patched_fraction", f);
@@ -275,6 +292,188 @@ impl UsdSimulator {
             snap.set_gauge("maintenance.law_patched_fraction", f);
         }
         (!snap.is_empty()).then_some(snap)
+    }
+
+    /// Captures the simulator's complete resumable state as a
+    /// [`Checkpoint`]: the current backend's engine snapshot plus simulator
+    /// metadata (master seed, interactions consumed by retired engines,
+    /// engine-switch count, and the initial configuration) stamped into the
+    /// checkpoint's `meta` section.  Call between `advance` boundaries only
+    /// — the drive loop and the phase-boundary hook do; see
+    /// [`pp_core::checkpoint`] for the bit-exactness rules.
+    ///
+    /// Metrics retired by earlier engine switches are *not* captured (they
+    /// are reporting state; a restored run's snapshot covers the restored
+    /// leg only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] for the mean-field backend, whose
+    /// deterministic ODE state is not checkpointable (re-run it instead —
+    /// it is instant at any `n`).
+    pub fn capture(&self) -> Result<Checkpoint, PpError> {
+        let checkpoint = match &self.engine {
+            UsdEngine::Exact(e) => Checkpoint::capture(e),
+            UsdEngine::Batched(e) => Checkpoint::capture(e),
+            UsdEngine::Sharded(e) => Checkpoint::capture(e),
+            UsdEngine::MeanField(_) => {
+                return Err(PpError::Checkpoint {
+                    reason: "the mean-field backend holds no resumable stochastic state; \
+                             re-run the ODE instead of checkpointing it"
+                        .to_string(),
+                })
+            }
+        };
+        let mut checkpoint = checkpoint
+            .with_meta("sim.seed", self.seed.value())
+            .with_meta("sim.consumed", self.consumed)
+            .with_meta("sim.rebuilds", self.rebuilds)
+            .with_meta("sim.initial.undecided", self.initial.undecided());
+        for (i, &support) in self.initial.supports().iter().enumerate() {
+            checkpoint = checkpoint.with_meta(&format!("sim.initial.support.{i}"), support);
+        }
+        Ok(checkpoint)
+    }
+
+    /// Restores a simulator from a checkpoint captured by
+    /// [`UsdSimulator::capture`].  Resuming toward the **same stop
+    /// condition** the interrupted run used produces a bit-identical
+    /// trajectory tail (see [`pp_core::checkpoint`]); `plan` applies if a
+    /// per-phase policy later schedules the sharded backend (the restored
+    /// sharded engine itself carries its own plan inside the checkpoint).
+    ///
+    /// Telemetry starts detached and retired-engine metrics start empty —
+    /// both are reporting state; reattach a handle with
+    /// [`UsdSimulator::set_telemetry`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] when the checkpoint was captured
+    /// from a bare engine (no simulator metadata), holds an ensemble state
+    /// (restore those through [`crate::UsdEnsemble`]), or fails the
+    /// engine-level restore validation.
+    pub fn restore(checkpoint: &Checkpoint, plan: ShardPlan) -> Result<Self, PpError> {
+        let seed = checkpoint
+            .meta("sim.seed")
+            .ok_or_else(|| PpError::Checkpoint {
+                reason: "checkpoint carries no simulator metadata (sim.seed); \
+                     it was captured from a bare engine, not a UsdSimulator"
+                    .to_string(),
+            })?;
+        let seed = SimSeed::from_u64(seed);
+        let engine = match checkpoint.engine() {
+            EngineState::Exact(s) => {
+                let protocol = UndecidedStateDynamics::new(s.supports.len());
+                UsdEngine::Exact(CountSimulator::restore(protocol, checkpoint)?)
+            }
+            EngineState::Batched(s) => {
+                let protocol = UndecidedStateDynamics::new(s.supports.len());
+                UsdEngine::Batched(BatchedEngine::restore(protocol, checkpoint)?)
+            }
+            EngineState::Sharded(s) => {
+                let k = s
+                    .shards
+                    .first()
+                    .map(|shard| shard.engine.supports.len())
+                    .unwrap_or(0);
+                let protocol = UndecidedStateDynamics::new(k);
+                UsdEngine::Sharded(ShardedEngine::restore(protocol, checkpoint)?)
+            }
+            EngineState::Ensemble(_) => {
+                return Err(PpError::Checkpoint {
+                    reason: "checkpoint holds \"ensemble\" engine state; restore it through \
+                             UsdEnsemble, not UsdSimulator"
+                        .to_string(),
+                })
+            }
+        };
+        let k = StepEngine::configuration(&engine).num_opinions();
+        let initial = match checkpoint.meta("sim.initial.undecided") {
+            Some(undecided) => {
+                let supports = (0..k)
+                    .map(|i| {
+                        checkpoint
+                            .meta(&format!("sim.initial.support.{i}"))
+                            .ok_or_else(|| PpError::Checkpoint {
+                                reason: format!(
+                                    "simulator metadata is missing sim.initial.support.{i}"
+                                ),
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Configuration::from_counts(supports, undecided).map_err(|e| {
+                    PpError::Checkpoint {
+                        reason: format!(
+                            "captured initial counts are not a valid configuration: {e}"
+                        ),
+                    }
+                })?
+            }
+            None => StepEngine::configuration(&engine).clone(),
+        };
+        Ok(UsdSimulator {
+            engine,
+            initial,
+            seed,
+            plan,
+            consumed: checkpoint.meta("sim.consumed").unwrap_or(0),
+            rebuilds: checkpoint.meta("sim.rebuilds").unwrap_or(0),
+            retired: MetricsSnapshot::new(),
+            tel: Telemetry::disabled(),
+            sink: None,
+        })
+    }
+
+    /// Configures periodic checkpointing: every `every_interactions`
+    /// interactions (checked between `advance` boundaries, so actual
+    /// spacing is quantized to event batches) and at every phase boundary
+    /// of a phase-aware run, the drive loop captures a checkpoint and
+    /// (over)writes it at `path`.  When telemetry is attached, each write
+    /// bumps `checkpoint.captures` and adds the document size to
+    /// `checkpoint.bytes`.
+    ///
+    /// The mean-field backend is skipped silently (nothing to capture);
+    /// runs that never advance past `every_interactions` write only the
+    /// phase-boundary captures, if any.
+    ///
+    /// # Panics
+    ///
+    /// The drive loop panics if a periodic checkpoint cannot be written —
+    /// a dead checkpoint path defeats the crash-recovery purpose, so it
+    /// fails loudly rather than silently dropping captures.
+    pub fn set_checkpoint_sink(&mut self, path: impl Into<PathBuf>, every_interactions: u64) {
+        self.sink = Some(CheckpointSink {
+            path: path.into(),
+            every: every_interactions.max(1),
+            last_capture: self.interactions(),
+        });
+    }
+
+    /// Writes a checkpoint to the sink if one is configured, the backend is
+    /// checkpointable, and (when `respect_cadence`) the cadence has
+    /// elapsed.  Called between `advance` calls only.
+    fn sink_checkpoint(&mut self, respect_cadence: bool) {
+        let Some(sink) = &self.sink else { return };
+        if respect_cadence && self.interactions().saturating_sub(sink.last_capture) < sink.every {
+            return;
+        }
+        if matches!(self.engine, UsdEngine::MeanField(_)) {
+            return;
+        }
+        let path = sink.path.clone();
+        let checkpoint = self
+            .capture()
+            .expect("non-mean-field backends always capture");
+        let bytes = checkpoint
+            .save(&path)
+            .unwrap_or_else(|e| panic!("periodic checkpoint failed: {e}"));
+        if let Some(sink) = &mut self.sink {
+            sink.last_capture = self.consumed + StepEngine::interactions(&self.engine);
+        }
+        if self.tel.is_enabled() {
+            self.tel.counter("checkpoint.captures").add(1);
+            self.tel.counter("checkpoint.bytes").add(bytes);
+        }
     }
 
     /// Builds a lockstep replica ensemble over `config` — the Monte Carlo
@@ -407,6 +606,8 @@ impl UsdSimulator {
                     );
                 }
             }
+            // Between `advance` calls — the only place a capture is exact.
+            self.sink_checkpoint(true);
         }
     }
 
@@ -490,6 +691,13 @@ impl UsdSimulator {
                 // — two live spans on the coordinator track would overlap.
                 drop(phase_span.take());
                 phase_span = Some(self.tel.span(&format!("usd.phase.{}", phase.number())));
+                // Phase boundaries sit between `advance` calls, so they are
+                // valid capture points: write a checkpoint regardless of the
+                // periodic cadence when a sink is configured (skipped for
+                // the very first phase — nothing has run yet).
+                if span_phase.is_some() {
+                    self.sink_checkpoint(false);
+                }
                 span_phase = Some(phase);
             }
             self.switch_engine(policy.choice_for(phase));
@@ -710,6 +918,98 @@ mod tests {
                 .maintenance()
                 .map_or(0, |m| m.rows_patched + m.rows_rebuilt),
             "snapshot and alias accessors agree on the final engine's counters"
+        );
+    }
+
+    #[test]
+    fn checkpoint_sink_restores_bit_identical_runs_on_every_backend() {
+        let dir = std::env::temp_dir().join("usd_core_simulator_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = Configuration::from_counts(vec![900, 300, 300], 0).unwrap();
+        for choice in [
+            EngineChoice::Exact,
+            EngineChoice::Batched,
+            EngineChoice::Sharded,
+        ] {
+            // Uninterrupted reference.
+            let mut reference =
+                UsdSimulator::with_engine(config.clone(), SimSeed::from_u64(17), choice);
+            let expected = reference.run_to_consensus(100_000_000);
+            assert!(expected.reached_consensus());
+
+            // Same run with a periodic sink: the sink must not perturb the
+            // trajectory, and the file must hold a resumable mid-run state.
+            let path = dir.join(format!("{choice}.ckpt.json"));
+            let mut observed =
+                UsdSimulator::with_engine(config.clone(), SimSeed::from_u64(17), choice);
+            observed.set_checkpoint_sink(&path, expected.interactions() / 3);
+            assert_eq!(observed.run_to_consensus(100_000_000), expected);
+
+            // Restore from the last periodic capture and finish under the
+            // same stop condition: bit-identical tail.
+            let checkpoint = Checkpoint::load(&path).unwrap();
+            let mut restored = UsdSimulator::restore(&checkpoint, ShardPlan::default()).unwrap();
+            assert_eq!(restored.engine_choice(), choice);
+            assert_eq!(restored.initial_configuration(), &config);
+            assert!(restored.interactions() < expected.interactions());
+            assert_eq!(
+                restored.run_to_consensus(100_000_000),
+                expected,
+                "{choice} restored tail diverged"
+            );
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn phase_boundaries_write_checkpoints_and_count_captures() {
+        let dir = std::env::temp_dir().join("usd_core_phase_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("phased.ckpt.json");
+        let config = Configuration::from_counts(vec![2_000, 500, 500], 0).unwrap();
+        let mut silent = UsdSimulator::new(config.clone(), SimSeed::from_u64(21));
+        let expected = silent.run_with_phases(1.0, 100_000_000);
+        let tel = Telemetry::enabled();
+        let mut sim = UsdSimulator::new(config, SimSeed::from_u64(21));
+        sim.set_telemetry(tel.clone());
+        // A cadence far beyond the budget: only phase boundaries capture.
+        sim.set_checkpoint_sink(&path, u64::MAX);
+        let traced = sim.run_with_phases(1.0, 100_000_000);
+        assert_eq!(traced.run, expected.run, "sink perturbed the trajectory");
+        assert_eq!(traced.phases, expected.phases);
+        let snap = tel.snapshot();
+        let captures = snap.counter("checkpoint.captures").unwrap_or(0);
+        assert!(captures > 0, "phase boundaries must capture");
+        assert!(snap.counter("checkpoint.bytes").unwrap() > 0);
+        // The file on disk is a loadable simulator checkpoint.
+        let checkpoint = Checkpoint::load(&path).unwrap();
+        assert!(UsdSimulator::restore(&checkpoint, ShardPlan::default()).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn mean_field_capture_and_foreign_restores_fail_by_name() {
+        let config = Configuration::from_counts(vec![600, 400], 0).unwrap();
+        let sim = UsdSimulator::with_engine(
+            config.clone(),
+            SimSeed::from_u64(3),
+            EngineChoice::MeanField,
+        );
+        let err = sim.capture().unwrap_err();
+        assert!(
+            matches!(&err, PpError::Checkpoint { reason } if reason.contains("mean-field")),
+            "{err:?}"
+        );
+        // A bare engine checkpoint (no simulator metadata) is rejected.
+        let exact = UsdSimulator::new(config, SimSeed::from_u64(3));
+        let bare = match &exact.engine {
+            UsdEngine::Exact(e) => Checkpoint::capture(e),
+            _ => unreachable!(),
+        };
+        let err = UsdSimulator::restore(&bare, ShardPlan::default()).unwrap_err();
+        assert!(
+            matches!(&err, PpError::Checkpoint { reason } if reason.contains("sim.seed")),
+            "{err:?}"
         );
     }
 

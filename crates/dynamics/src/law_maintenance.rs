@@ -4,13 +4,20 @@
 //! single-entry thread-local memos (see [`crate::majority`] and
 //! [`crate::median`]): a law evaluated for counts that differ from the
 //! memoized ones by a small delta is *patched* in place instead of being
-//! recomputed from scratch.  Two pieces of shared state live here:
+//! recomputed from scratch.  Three pieces of shared state live here:
 //!
 //! * **Counters** — every patch/rebuild is noted on the executing thread;
 //!   [`SequentialSampler`](crate::sampling::SequentialSampler) snapshots the
 //!   counters around each `advance` call and attributes the delta to its own
 //!   [`pp_core::MaintenanceStats`].  Attribution is exact because law
 //!   evaluations happen synchronously inside the call being measured.
+//!   Rebuilds split into two counters: *intentional* cold rebuilds (first
+//!   use, parameter change, patching disabled) and *fallback* rebuilds — the
+//!   per-event recomputations a workload pays when its law exceeds the
+//!   integer-headroom gate and falls back to the floating-point program
+//!   (see `crate::majority::integer_law_headroom`).  Lumping the two
+//!   together silently hid the u128-headroom caveat; they are reported
+//!   separately through [`pp_core::MaintenanceStats::law_fallback_rebuilds`].
 //! * **The incremental switch** — [`set_incremental_laws`] disables patching
 //!   on the current thread, forcing every memo miss down the
 //!   rebuild-from-counts path.  This restores the pre-incremental behaviour
@@ -18,28 +25,56 @@
 //!   baselines and equivalence tests; patched and rebuilt laws are
 //!   bit-identical by construction, so the switch never changes results,
 //!   only cost.
+//! * **The run generation** — memos outlive the run that warmed them (they
+//!   are thread-local, runs are not), so a second run scheduled on the same
+//!   worker thread used to inherit the previous run's memo and silently
+//!   *patch* from its counts: bit-identical values (patches are exact), but
+//!   cross-run state leakage and misattributed maintenance counters.  Every
+//!   engine that owns law evaluations now takes a fresh token from
+//!   [`new_run_generation`] and announces it via [`set_active_generation`]
+//!   before touching a law; memos record the generation that warmed them
+//!   and treat a mismatch as a cold miss (full rebuild, no cross-run
+//!   patch).
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 thread_local! {
     static LAW_PATCHES: Cell<u64> = const { Cell::new(0) };
     static LAW_REBUILDS: Cell<u64> = const { Cell::new(0) };
+    static LAW_FALLBACK_REBUILDS: Cell<u64> = const { Cell::new(0) };
     static INCREMENTAL_LAWS: Cell<bool> = const { Cell::new(true) };
+    /// The run generation law evaluations on this thread belong to right
+    /// now.  `0` is the "no run announced" generation fresh threads (and
+    /// direct law calls outside any engine) evaluate under.
+    static ACTIVE_GENERATION: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Counter snapshot `(patches, rebuilds)` for the current thread, used to
-/// attribute law-maintenance work to the engine that triggered it.
+/// Process-wide source of run-generation tokens (see [`new_run_generation`]).
+static RUN_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// Counter snapshot `(patches, rebuilds, fallback_rebuilds)` for the current
+/// thread, used to attribute law-maintenance work to the engine that
+/// triggered it.
 #[must_use]
-pub fn law_event_snapshot() -> (u64, u64) {
-    (LAW_PATCHES.get(), LAW_REBUILDS.get())
+pub fn law_event_snapshot() -> (u64, u64, u64) {
+    (
+        LAW_PATCHES.get(),
+        LAW_REBUILDS.get(),
+        LAW_FALLBACK_REBUILDS.get(),
+    )
 }
 
-/// `(patches, rebuilds)` noted on this thread since `before` was taken with
-/// [`law_event_snapshot`].
+/// `(patches, rebuilds, fallback_rebuilds)` noted on this thread since
+/// `before` was taken with [`law_event_snapshot`].
 #[must_use]
-pub fn law_events_since(before: (u64, u64)) -> (u64, u64) {
-    let (patches, rebuilds) = law_event_snapshot();
-    (patches - before.0, rebuilds - before.1)
+pub fn law_events_since(before: (u64, u64, u64)) -> (u64, u64, u64) {
+    let (patches, rebuilds, fallbacks) = law_event_snapshot();
+    (
+        patches - before.0,
+        rebuilds - before.1,
+        fallbacks - before.2,
+    )
 }
 
 /// Notes one in-place activation-law patch on this thread.
@@ -47,9 +82,17 @@ pub(crate) fn note_law_patch() {
     LAW_PATCHES.with(|c| c.set(c.get() + 1));
 }
 
-/// Notes one from-scratch activation-law computation on this thread.
+/// Notes one intentional from-scratch activation-law computation on this
+/// thread (first use, parameter change, or patching disabled).
 pub(crate) fn note_law_rebuild() {
     LAW_REBUILDS.with(|c| c.set(c.get() + 1));
+}
+
+/// Notes one *fallback* law computation on this thread: the law exceeded the
+/// integer-headroom gate and was recomputed through the floating-point
+/// program — a per-event cost the headroom caveat makes visible.
+pub(crate) fn note_law_fallback_rebuild() {
+    LAW_FALLBACK_REBUILDS.with(|c| c.set(c.get() + 1));
 }
 
 /// Enables or disables incremental law patching on the current thread
@@ -67,6 +110,29 @@ pub fn incremental_laws_enabled() -> bool {
     INCREMENTAL_LAWS.get()
 }
 
+/// Takes a fresh run-generation token (process-wide unique, never `0`).
+/// Engines that own law evaluations take one at construction and announce
+/// it through [`set_active_generation`] before each stretch of law work.
+#[must_use]
+pub fn new_run_generation() -> u64 {
+    RUN_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Announces the run generation subsequent law evaluations on this thread
+/// belong to.  Memos warmed under a different generation treat their next
+/// refresh as a cold miss (full rebuild) instead of patching from the
+/// previous run's counts.
+pub fn set_active_generation(generation: u64) {
+    ACTIVE_GENERATION.with(|c| c.set(generation));
+}
+
+/// The run generation law evaluations on this thread currently belong to
+/// (`0` when no engine announced one).
+#[must_use]
+pub fn active_generation() -> u64 {
+    ACTIVE_GENERATION.get()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,7 +143,8 @@ mod tests {
         note_law_patch();
         note_law_patch();
         note_law_rebuild();
-        assert_eq!(law_events_since(before), (2, 1));
+        note_law_fallback_rebuild();
+        assert_eq!(law_events_since(before), (2, 1, 1));
     }
 
     #[test]
@@ -90,5 +157,20 @@ mod tests {
             .expect("probe thread panicked");
         assert!(other, "fresh threads must default to incremental");
         set_incremental_laws(true);
+    }
+
+    #[test]
+    fn run_generations_are_unique_and_thread_locally_announced() {
+        let a = new_run_generation();
+        let b = new_run_generation();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        set_active_generation(a);
+        assert_eq!(active_generation(), a);
+        let other = std::thread::spawn(active_generation)
+            .join()
+            .expect("probe thread panicked");
+        assert_eq!(other, 0, "fresh threads start at the null generation");
+        set_active_generation(0);
     }
 }

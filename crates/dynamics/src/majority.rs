@@ -386,11 +386,18 @@ struct AdoptionMemo {
     dp: Option<AdoptionDp>,
     patches: u64,
     valid: bool,
+    /// The run generation that warmed the memo
+    /// ([`law_maintenance::active_generation`] at the last refresh).  A
+    /// mismatch is a cold miss: memos outlive runs, and a later run scheduled
+    /// on the same thread must not hit — or patch from — a previous run's
+    /// entry (stale counts masquerading as the current run's law state).
+    generation: u64,
 }
 
 impl AdoptionMemo {
     fn matches(&self, dynamics: &JMajority, config: &Configuration) -> bool {
         self.valid
+            && self.generation == law_maintenance::active_generation()
             && self.opinions == dynamics.opinions
             && self.samples == dynamics.samples
             && self.undecided == config.undecided()
@@ -401,8 +408,10 @@ impl AdoptionMemo {
     /// the parameters match and patching is enabled, otherwise rebuilds
     /// (integer when it fits, float dynamic program when not).
     fn refresh(&mut self, dynamics: &JMajority, config: &Configuration) {
-        let params_match =
-            self.valid && self.opinions == dynamics.opinions && self.samples == dynamics.samples;
+        let params_match = self.valid
+            && self.generation == law_maintenance::active_generation()
+            && self.opinions == dynamics.opinions
+            && self.samples == dynamics.samples;
         let can_patch = params_match
             && law_maintenance::incremental_laws_enabled()
             && self.dp.is_some()
@@ -425,11 +434,19 @@ impl AdoptionMemo {
             self.q = dp.adoption_law();
         } else {
             self.dp = AdoptionDp::build(dynamics, config);
-            self.q = match &self.dp {
-                Some(dp) => dp.adoption_law(),
-                None => dynamics.float_adoption_probabilities(config),
-            };
-            law_maintenance::note_law_rebuild();
+            match &self.dp {
+                Some(dp) => {
+                    self.q = dp.adoption_law();
+                    law_maintenance::note_law_rebuild();
+                }
+                None => {
+                    // Past the u128-headroom gate: the float program runs
+                    // again on *every* counts change — a per-event cost
+                    // counted apart from intentional cold rebuilds.
+                    self.q = dynamics.float_adoption_probabilities(config);
+                    law_maintenance::note_law_fallback_rebuild();
+                }
+            }
         }
         self.opinions = dynamics.opinions;
         self.samples = dynamics.samples;
@@ -437,6 +454,7 @@ impl AdoptionMemo {
         self.supports.extend_from_slice(config.supports());
         self.undecided = config.undecided();
         self.valid = true;
+        self.generation = law_maintenance::active_generation();
     }
 }
 
@@ -1092,9 +1110,13 @@ mod tests {
         let moved = Configuration::from_counts(vec![600_001, 399_999], 0).unwrap();
         let p2 = m.null_activation_probability(&moved).unwrap();
         assert!((0.0..=1.0).contains(&p2));
-        let (patches, rebuilds) = crate::law_maintenance::law_events_since(before);
+        let (patches, rebuilds, fallbacks) = crate::law_maintenance::law_events_since(before);
         assert_eq!(patches, 0, "float laws must never be patched");
-        assert_eq!(rebuilds, 2);
+        assert_eq!(
+            rebuilds, 0,
+            "per-event float recomputations must not be reported as intentional rebuilds"
+        );
+        assert_eq!(fallbacks, 2, "each counts change pays one fallback rebuild");
     }
 
     #[test]
@@ -1106,10 +1128,10 @@ mod tests {
         config.apply_move(AgentState::Undecided, d(1)).unwrap();
         let second = m.adoption_probabilities(&config);
         assert_ne!(first, second, "the law must react to the count change");
-        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 1));
+        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 1, 0));
         // Same counts again: memo hit, no maintenance at all.
         let _ = m.adoption_probabilities(&config);
-        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 1));
+        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 1, 0));
     }
 
     #[test]
@@ -1121,14 +1143,14 @@ mod tests {
         let _ = m.adoption_probabilities(&c1);
         let before = crate::law_maintenance::law_event_snapshot();
         let patched = m.adoption_probabilities(&c2);
-        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 0));
+        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 0, 0));
         // A fresh thread (fresh memo) with patching disabled rebuilds from
         // scratch; the values must still be bit-identical.
         let rebuilt = std::thread::spawn(move || {
             crate::law_maintenance::set_incremental_laws(false);
             let before = crate::law_maintenance::law_event_snapshot();
             let q = m.adoption_probabilities(&c2);
-            assert_eq!(crate::law_maintenance::law_events_since(before), (0, 1));
+            assert_eq!(crate::law_maintenance::law_events_since(before), (0, 1, 0));
             q
         })
         .join()
@@ -1252,6 +1274,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn generation_change_is_a_cold_miss_never_a_cross_run_patch() {
+        // Two "runs" (generations) back to back on one thread, same dynamic
+        // parameters but different counts: the second run's first refresh
+        // must be a full rebuild, not a patch replayed from the first run's
+        // memoized counts.  Before memos were keyed on the run generation
+        // this asserted (1, 0, 0) — cross-run state leakage.
+        let m = JMajority::new(3, 3);
+        let c1 = Configuration::from_counts(vec![40, 30, 20], 10).unwrap();
+        let c2 = Configuration::from_counts(vec![10, 60, 20], 10).unwrap();
+        let g1 = crate::law_maintenance::new_run_generation();
+        let g2 = crate::law_maintenance::new_run_generation();
+        crate::law_maintenance::set_active_generation(g1);
+        let _ = m.adoption_probabilities(&c1);
+        crate::law_maintenance::set_active_generation(g2);
+        let before = crate::law_maintenance::law_event_snapshot();
+        let second = m.adoption_probabilities(&c2);
+        assert_eq!(
+            crate::law_maintenance::law_events_since(before),
+            (0, 1, 0),
+            "a new generation must rebuild, not patch the previous run's memo"
+        );
+        let fresh = m.fresh_adoption_probabilities(&c2);
+        for (a, b) in second.iter().zip(&fresh) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        crate::law_maintenance::set_active_generation(0);
     }
 
     #[test]

@@ -158,11 +158,17 @@ struct MedianMemo {
     weight: u128,
     patches: u64,
     valid: bool,
+    /// The run generation that warmed the memo (see
+    /// [`crate::majority`]'s `AdoptionMemo`): a mismatch is a cold miss, so
+    /// back-to-back runs on one worker thread never hit — or patch from —
+    /// each other's entries.
+    generation: u64,
 }
 
 impl MedianMemo {
     fn matches(&self, dynamics: &MedianRule, config: &Configuration) -> bool {
         self.valid
+            && self.generation == law_maintenance::active_generation()
             && self.opinions == dynamics.opinions
             && self.counts[..self.opinions] == *config.supports()
             && self.counts[self.opinions] == config.undecided()
@@ -174,7 +180,9 @@ impl MedianMemo {
     /// disabled.  Patched and rebuilt sums are bit-identical.
     fn refresh(&mut self, dynamics: &MedianRule, config: &Configuration) {
         let k = dynamics.opinions;
-        let params_match = self.valid && self.opinions == k;
+        let params_match = self.valid
+            && self.generation == law_maintenance::active_generation()
+            && self.opinions == k;
         if params_match && law_maintenance::incremental_laws_enabled() {
             for y in 0..k {
                 let (old, new) = (self.counts[y], config.support(y));
@@ -219,6 +227,7 @@ impl MedianMemo {
         self.counts.extend_from_slice(config.supports());
         self.counts.push(config.undecided());
         self.valid = true;
+        self.generation = law_maintenance::active_generation();
     }
 }
 
@@ -542,7 +551,7 @@ mod tests {
         let before = crate::law_maintenance::law_event_snapshot();
         let p0 = m.null_activation_probability(&config).unwrap();
         assert!((0.0..=1.0).contains(&p0));
-        assert_eq!(crate::law_maintenance::law_events_since(before), (0, 1));
+        assert_eq!(crate::law_maintenance::law_events_since(before), (0, 1, 0));
         let moves = [
             (AgentState::Undecided, d(0)),
             (d(1), d(2)),
@@ -566,7 +575,7 @@ mod tests {
         }
         assert_eq!(
             crate::law_maintenance::law_events_since(before),
-            (moves.len() as u64, 1),
+            (moves.len() as u64, 1, 0),
             "every refresh after the first must be a patch"
         );
     }
@@ -580,14 +589,14 @@ mod tests {
         let _ = m.null_activation_probability(&c1);
         let before = crate::law_maintenance::law_event_snapshot();
         let patched = m.null_activation_probability(&c2).unwrap();
-        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 0));
+        assert_eq!(crate::law_maintenance::law_events_since(before), (1, 0, 0));
         // A fresh thread (fresh memo) with patching disabled rebuilds from
         // scratch; the value must still be bit-identical.
         let rebuilt = std::thread::spawn(move || {
             crate::law_maintenance::set_incremental_laws(false);
             let before = crate::law_maintenance::law_event_snapshot();
             let p = m.null_activation_probability(&c2).unwrap();
-            assert_eq!(crate::law_maintenance::law_events_since(before), (0, 1));
+            assert_eq!(crate::law_maintenance::law_events_since(before), (0, 1, 0));
             p
         })
         .join()

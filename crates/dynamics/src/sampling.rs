@@ -1,6 +1,7 @@
 //! The sampling-dynamics trait and its two runners.
 
 use crate::law_maintenance;
+use pp_core::checkpoint::{EngineSnapshot, ReplicaCheckpoint};
 use pp_core::engine::{Advance, StepEngine};
 use pp_core::ensemble::{EnsembleChoice, EnsembleEngine, EnsembleReplica};
 use pp_core::{
@@ -158,6 +159,12 @@ pub struct SequentialSampler<D> {
     /// `advance`/`apply_event` call (law evaluations happen synchronously
     /// inside those calls, so the attribution is exact).
     law_stats: MaintenanceStats,
+    /// This run's law-memo generation token
+    /// ([`law_maintenance::new_run_generation`]), announced on the executing
+    /// thread before every stretch of law work so the thread-local memos of
+    /// [`crate::majority`] / [`crate::median`] never hit — or patch from —
+    /// entries warmed by a previous run on the same thread.
+    generation: u64,
 }
 
 impl<D: SamplingDynamics> SequentialSampler<D> {
@@ -199,6 +206,7 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
             rejection_fallbacks: 0,
             rejection_misses: 0,
             law_stats: MaintenanceStats::default(),
+            generation: law_maintenance::new_run_generation(),
         })
     }
 
@@ -346,13 +354,16 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
 
     /// Runs `work` and attributes the activation-law patches/rebuilds it
     /// triggered (on this thread, synchronously) to this sampler's
-    /// maintenance counters.
+    /// maintenance counters.  Announces this sampler's run generation first,
+    /// so the thread-local memos treat entries from other runs as cold.
     fn attributing_law_events<T>(&mut self, work: impl FnOnce(&mut Self) -> T) -> T {
+        law_maintenance::set_active_generation(self.generation);
         let before = law_maintenance::law_event_snapshot();
         let out = work(self);
-        let (patches, rebuilds) = law_maintenance::law_events_since(before);
+        let (patches, rebuilds, fallbacks) = law_maintenance::law_events_since(before);
         self.law_stats.law_patches += patches;
         self.law_stats.law_rebuilds += rebuilds;
+        self.law_stats.law_fallback_rebuilds += fallbacks;
         out
     }
 
@@ -515,6 +526,49 @@ impl<D: SamplingDynamics> EnsembleReplica for SequentialSampler<D> {
 
     fn forward_to_limit(&mut self, limit: u64) {
         self.steps = limit;
+    }
+}
+
+impl<D: SamplingDynamics + Clone> ReplicaCheckpoint for SequentialSampler<D> {
+    type Context = D;
+
+    /// Snapshots the sampler's trajectory-relevant state: counts, step
+    /// counter and RNG state, plus the reporting counters.  The Fenwick
+    /// weights are a pure function of the counts and the law-memo
+    /// generation is deliberately *not* captured — a restored sampler gets
+    /// a fresh generation, so its first law refresh is a cold rebuild with
+    /// bit-identical results (memos never consume randomness).
+    fn capture_replica(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            supports: self.config.supports().to_vec(),
+            undecided: self.config.undecided(),
+            interactions: self.steps,
+            rng: self.rng.state(),
+            counters: vec![
+                ("rejection_fallbacks".to_string(), self.rejection_fallbacks),
+                ("rejection_misses".to_string(), self.rejection_misses),
+                ("law_patches".to_string(), self.law_stats.law_patches),
+                ("law_rebuilds".to_string(), self.law_stats.law_rebuilds),
+                (
+                    "law_fallback_rebuilds".to_string(),
+                    self.law_stats.law_fallback_rebuilds,
+                ),
+            ],
+        }
+    }
+
+    fn restore_replica(ctx: &D, snapshot: &EngineSnapshot) -> Result<Self, PpError> {
+        let config = snapshot.configuration()?;
+        let mut sampler = Self::try_new(ctx.clone(), config, SimSeed::from_u64(0))?;
+        sampler.rng = SmallRng::from_state(snapshot.rng);
+        sampler.steps = snapshot.interactions;
+        sampler.rejection_fallbacks = snapshot.counter("rejection_fallbacks").unwrap_or(0);
+        sampler.rejection_misses = snapshot.counter("rejection_misses").unwrap_or(0);
+        sampler.law_stats.law_patches = snapshot.counter("law_patches").unwrap_or(0);
+        sampler.law_stats.law_rebuilds = snapshot.counter("law_rebuilds").unwrap_or(0);
+        sampler.law_stats.law_fallback_rebuilds =
+            snapshot.counter("law_fallback_rebuilds").unwrap_or(0);
+        Ok(sampler)
     }
 }
 
@@ -830,6 +884,95 @@ mod tests {
         use crate::voter::Voter;
         let sim = SequentialSampler::new(Voter::new(2), config, SimSeed::from_u64(7));
         assert!(sim.require_skip_ahead().is_ok());
+    }
+
+    #[test]
+    fn back_to_back_runs_on_one_thread_never_patch_each_others_memos() {
+        // Regression for the stale thread-local law memo: two samplers with
+        // the same dynamic parameters but different counts, interleaved on
+        // one thread.  Before memos were keyed on the run generation, the
+        // second sampler's first law refresh *patched* from the first
+        // sampler's memoized counts (cross-run state leakage, reported as a
+        // patch); it must be a cold rebuild attributed to the second run.
+        use crate::majority::JMajority;
+        let mut a = SequentialSampler::new(
+            JMajority::new(3, 3),
+            Configuration::from_counts(vec![400, 300, 200], 100).unwrap(),
+            SimSeed::from_u64(41),
+        );
+        let mut b = SequentialSampler::new(
+            JMajority::new(3, 3),
+            Configuration::from_counts(vec![50, 800, 50], 100).unwrap(),
+            SimSeed::from_u64(42),
+        );
+        assert_eq!(a.advance(u64::MAX), Advance::Event);
+        assert_eq!(b.advance(u64::MAX), Advance::Event);
+        let stats = b.maintenance().expect("samplers count law work");
+        assert_eq!(
+            stats.law_patches, 0,
+            "a fresh run must not patch another run's thread-local memo"
+        );
+        assert_eq!(stats.law_rebuilds, 1, "first refresh is a cold rebuild");
+        // Interleaving further events keeps each run patching only from its
+        // own previous counts.
+        assert_eq!(a.advance(u64::MAX), Advance::Event);
+        assert_eq!(b.advance(u64::MAX), Advance::Event);
+        let (a_stats, b_stats) = (a.maintenance().unwrap(), b.maintenance().unwrap());
+        assert_eq!(a_stats.law_rebuilds, 2, "generation flips rebuild cold");
+        assert_eq!(b_stats.law_rebuilds, 2, "generation flips rebuild cold");
+    }
+
+    #[test]
+    fn sampler_checkpoints_restore_the_exact_trajectory_tail() {
+        // Standalone sampler: run, capture mid-flight, restore, and check
+        // the tails agree draw for draw (JMajority exercises the law memos,
+        // whose generation deliberately restarts cold after a restore).
+        use crate::majority::JMajority;
+        use pp_core::Checkpoint;
+        let config = Configuration::from_counts(vec![400, 300, 200], 100).unwrap();
+        let mut warm =
+            SequentialSampler::new(JMajority::new(3, 3), config.clone(), SimSeed::from_u64(77));
+        for _ in 0..200 {
+            assert_eq!(warm.advance(u64::MAX), Advance::Event);
+        }
+        let snapshot = warm.capture_replica();
+        let mut cold =
+            SequentialSampler::<JMajority>::restore_replica(&JMajority::new(3, 3), &snapshot)
+                .unwrap();
+        assert_eq!(cold.configuration(), warm.configuration());
+        assert_eq!(cold.steps(), warm.steps());
+        for _ in 0..500 {
+            assert_eq!(warm.advance(u64::MAX), cold.advance(u64::MAX));
+            assert_eq!(cold.configuration(), warm.configuration());
+            assert_eq!(cold.steps(), warm.steps());
+        }
+        // Reporting counters survive the round trip (modulo the cold law
+        // rebuild the fresh generation forces, which is a rebuild, never a
+        // patch from the dead run's memo).
+        assert_eq!(cold.rejection_miss_count(), warm.rejection_miss_count());
+
+        // Ensemble of samplers: pause on a window budget, checkpoint
+        // through the serialized form, and finish both legs identically.
+        use crate::voter::Voter;
+        let config = Configuration::from_counts(vec![700, 300], 0).unwrap();
+        let stop = StopCondition::consensus().or_max_interactions(5_000_000);
+        let choice = EnsembleChoice::new(4);
+        let mut uninterrupted =
+            sampler_ensemble(&Voter::new(2), &config, SimSeed::from_u64(5), choice).unwrap();
+        let expected = uninterrupted
+            .run_windows(stop, u64::MAX)
+            .expect("unbounded window budget always finishes");
+        let mut paused =
+            sampler_ensemble(&Voter::new(2), &config, SimSeed::from_u64(5), choice).unwrap();
+        assert!(paused.run_windows(stop, 1).is_none());
+        let json = Checkpoint::capture(&paused).to_json();
+        let restored = Checkpoint::from_json(&json).unwrap();
+        let mut resumed =
+            EnsembleEngine::<SequentialSampler<Voter>>::restore(&Voter::new(2), &restored).unwrap();
+        let outcome = resumed
+            .run_windows(stop, u64::MAX)
+            .expect("unbounded window budget always finishes");
+        assert_eq!(outcome.results(), expected.results());
     }
 
     #[test]

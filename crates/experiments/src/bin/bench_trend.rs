@@ -11,8 +11,11 @@
 //! on the guarded metric: raw `ips` (interactions/sec; only meaningful when
 //! both records come from comparable hardware) or `speedup` (the cell's
 //! throughput relative to its same-run reference engine —
-//! machine-independent, the right gate for CI).  Cells present on only one
-//! side are reported but do not fail — sweeps legitimately grow across PRs.
+//! machine-independent, the right gate for CI).  Cells present only in the
+//! current record never fail — sweeps legitimately grow across PRs — but a
+//! guarded baseline cell that vanished from the current record, or a
+//! guarded cell carrying a non-finite or non-positive measurement, is a
+//! hard failure with a named diagnostic (both used to pass silently).
 
 use std::process::ExitCode;
 use usd_experiments::trend::{compare_trend, parse_entries, TrendMetric};
@@ -94,7 +97,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = compare_trend(&baseline, &current, opts.threshold, opts.metric);
+    let report = match compare_trend(&baseline, &current, opts.threshold, opts.metric) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("FAIL: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     print!("{}", report.render(opts.threshold));
     if report.lines.is_empty() {
         eprintln!(

@@ -49,6 +49,25 @@
 //!   counts, law-maintenance patch rates, shared-table cache statistics).
 //!   Human-readable summaries go to stderr in both modes, so stdout stays
 //!   machine-parseable.
+//!
+//! Crash recovery (`pp_core::checkpoint`; single USD runs only):
+//!
+//! * `--checkpoint ckpt.json [--checkpoint-every N]` writes a resumable
+//!   snapshot of the complete engine state to `ckpt.json` every `N`
+//!   interactions (default: `n`, one parallel-time unit) and at every
+//!   phase boundary of phase-aware runs.  Captures never perturb the
+//!   trajectory; each write bumps the `checkpoint.captures` /
+//!   `checkpoint.bytes` telemetry counters.
+//! * `--resume ckpt.json` restores the snapshot and drives it to the
+//!   run's usual stop condition.  Pass the original `--n`/`--k` — the
+//!   interaction budget derives from them, and resuming toward a
+//!   different budget would break the bit-exactness contract, so a
+//!   mismatch against the checkpoint's captured initial configuration is
+//!   a hard error.  The resumed trajectory tail is bit-identical to the
+//!   uninterrupted run's.  The mean-field backend cannot checkpoint or
+//!   resume (the ODE holds no stochastic state; re-running it is
+//!   instant), and the replica ensemble checkpoints through the library
+//!   API (`UsdEnsemble::capture`), not these flags.
 
 use consensus_dynamics::{
     sampler_ensemble, JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
@@ -58,8 +77,8 @@ use pp_analysis::streaming::summarize_ensemble;
 use pp_core::engine::StepEngine;
 use pp_core::ensemble::{EnsembleChoice, EnsembleRunResult};
 use pp_core::{
-    Configuration, EngineChoice, MetricsSnapshot, RunResult, ShardPlan, SimSeed, StopCondition,
-    Telemetry,
+    Checkpoint, Configuration, EngineChoice, MetricsSnapshot, RunResult, ShardPlan, SimSeed,
+    StopCondition, Telemetry,
 };
 use pp_workloads::InitialConfig;
 use std::process::ExitCode;
@@ -104,6 +123,7 @@ struct Options {
     dynamic: Dynamic,
     majority_samples: usize,
     engine: EngineChoice,
+    engine_given: bool,
     shards: Option<usize>,
     epoch: Option<u64>,
     replicas: usize,
@@ -113,6 +133,9 @@ struct Options {
     output: Option<String>,
     trace: Option<String>,
     metrics: bool,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    resume: Option<String>,
 }
 
 impl Default for Options {
@@ -126,6 +149,7 @@ impl Default for Options {
             dynamic: Dynamic::Usd,
             majority_samples: 3,
             engine: EngineChoice::Exact,
+            engine_given: false,
             shards: None,
             epoch: None,
             replicas: 1,
@@ -135,6 +159,9 @@ impl Default for Options {
             output: None,
             trace: None,
             metrics: false,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
         }
     }
 }
@@ -142,7 +169,6 @@ impl Default for Options {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut j_given = false;
-    let mut engine_given = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -180,7 +206,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.majority_samples = value(&mut i)?.parse().map_err(|e| format!("--j: {e}"))?
             }
             "--engine" => {
-                engine_given = true;
+                opts.engine_given = true;
                 opts.engine = value(&mut i)?
                     .parse()
                     .map_err(|e| format!("--engine: {e}"))?
@@ -220,6 +246,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--output" => opts.output = Some(value(&mut i)?),
             "--trace" => opts.trace = Some(value(&mut i)?),
             "--metrics" => opts.metrics = true,
+            "--checkpoint" => opts.checkpoint = Some(value(&mut i)?),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every: {e}"))?,
+                )
+            }
+            "--resume" => opts.resume = Some(value(&mut i)?),
             "--help" | "-h" => return Err(
                 "usage: usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
                      [--undecided <fraction>] \
@@ -228,7 +263,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                      [--shards <count>] [--epoch <interactions>] [--replicas <count>] \
                      [--threads <count>] [--seed <u64>] [--samples <count>] \
                      [--output <csv, or json with --replicas>] \
-                     [--trace <chrome-trace json>] [--metrics]"
+                     [--trace <chrome-trace json>] [--metrics] \
+                     [--checkpoint <path> [--checkpoint-every <interactions>]] \
+                     [--resume <path>]"
                     .to_string(),
             ),
             other => return Err(format!("unknown flag: {other}")),
@@ -272,6 +309,55 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.threads == Some(0) {
         return Err("--threads must be positive".to_string());
     }
+    if opts.checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be positive".to_string());
+    }
+    if opts.checkpoint_every.is_some() && opts.checkpoint.is_none() {
+        return Err(
+            "--checkpoint-every sets the cadence of --checkpoint; give --checkpoint <path> too"
+                .to_string(),
+        );
+    }
+    if opts.checkpoint.is_some() || opts.resume.is_some() {
+        if opts.dynamic != Dynamic::Usd {
+            return Err(
+                "--checkpoint/--resume drive the USD simulator; the baseline sampling \
+                 dynamics checkpoint through the library API (ReplicaCheckpoint), not the CLI"
+                    .to_string(),
+            );
+        }
+        if opts.replicas > 1 {
+            return Err(
+                "--checkpoint/--resume cover single runs; the replica ensemble checkpoints \
+                 through the library API (UsdEnsemble::capture), not the CLI"
+                    .to_string(),
+            );
+        }
+        if opts.engine == EngineChoice::MeanField {
+            return Err(
+                "the mean-field backend holds no resumable stochastic state, so it cannot \
+                 checkpoint or resume — re-running the ODE is instant at any n"
+                    .to_string(),
+            );
+        }
+    }
+    if opts.resume.is_some()
+        && (opts.additive_mult.is_some() || opts.mult_bias.is_some() || opts.undecided > 0.0)
+    {
+        return Err(
+            "--bias-mult/--mult-bias/--undecided shape the initial configuration, which \
+             --resume takes from the checkpoint — drop them"
+                .to_string(),
+        );
+    }
+    if opts.resume.is_some() && opts.output.is_some() {
+        return Err(
+            "--output records the trajectory from the start of the run, but a resumed run \
+             cannot reconstruct the pre-checkpoint samples — drop --output (use --metrics \
+             or --trace for resumed-leg observability)"
+                .to_string(),
+        );
+    }
     if opts.threads.is_some() && opts.engine != EngineChoice::Sharded && opts.replicas <= 1 {
         return Err(
             "--threads caps the parallel engines' workers; it requires --engine sharded \
@@ -283,7 +369,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         // The lockstep ensemble runs on the batched base backend only; an
         // unstated engine defaults to it, an explicit other engine is the
         // user asking for an unsupported nesting.
-        if !engine_given {
+        if !opts.engine_given {
             opts.engine = EngineChoice::Batched;
         }
         EnsembleChoice::new(opts.replicas)
@@ -364,18 +450,35 @@ fn ensemble_summary_json(outcome: &EnsembleRunResult, elapsed: f64, opts: &Optio
     // The canonical per-run metrics object (same names as `--metrics` and
     // the printed summaries).  The flat `maintenance`/`shared_*` fields
     // below duplicate it and are deprecated aliases, kept for one release
-    // so existing consumers keep parsing.
-    let metrics_json = outcome.metrics_snapshot().to_json();
-    let maintenance_json = aggregate_maintenance(outcome.results()).map_or_else(
-        || "null".to_string(),
-        |stats| {
-            format!(
-                "{{\"rows_patched\":{},\"rows_rebuilt\":{},\"law_patches\":{},\
-                 \"law_rebuilds\":{}}}",
-                stats.rows_patched, stats.rows_rebuilt, stats.law_patches, stats.law_rebuilds
-            )
-        },
-    );
+    // so existing consumers keep parsing — they are read back from the
+    // snapshot itself, so the aliases can never drift from the canonical
+    // values (telemetry_check asserts the equality).
+    let snap = outcome.metrics_snapshot();
+    let metrics_json = snap.to_json();
+    let maintenance_counters = [
+        "maintenance.rows_patched",
+        "maintenance.rows_rebuilt",
+        "maintenance.law_patches",
+        "maintenance.law_rebuilds",
+        "maintenance.law_fallback_rebuilds",
+    ];
+    let maintenance_json = if maintenance_counters
+        .iter()
+        .any(|name| snap.counter(name).is_some())
+    {
+        let count = |name: &str| snap.counter(name).unwrap_or(0);
+        format!(
+            "{{\"rows_patched\":{},\"rows_rebuilt\":{},\"law_patches\":{},\
+             \"law_rebuilds\":{},\"law_fallback_rebuilds\":{}}}",
+            count("maintenance.rows_patched"),
+            count("maintenance.rows_rebuilt"),
+            count("maintenance.law_patches"),
+            count("maintenance.law_rebuilds"),
+            count("maintenance.law_fallback_rebuilds"),
+        )
+    } else {
+        "null".to_string()
+    };
     format!(
         "{{\"tool\":\"usd_run\",\"mode\":\"ensemble\",\"n\":{},\"k\":{},\"seed\":{},\
          \"replicas\":{},\"workers\":{},\"rounds\":{},\
@@ -393,10 +496,10 @@ fn ensemble_summary_json(outcome: &EnsembleRunResult, elapsed: f64, opts: &Optio
         outcome.len(),
         outcome.workers(),
         outcome.rounds(),
-        json_f64(outcome.shared_reuse_fraction()),
-        outcome.shared_hits(),
-        outcome.shared_misses(),
-        outcome.shared_derived(),
+        json_f64(snap.gauge("ensemble.shared_reuse_fraction").unwrap_or(0.0)),
+        snap.counter("ensemble.shared_hits").unwrap_or(0),
+        snap.counter("ensemble.shared_misses").unwrap_or(0),
+        snap.counter("ensemble.shared_derived").unwrap_or(0),
         summary.goal_reached,
         json_f64(goal),
         json_f64(wilson_lo),
@@ -404,16 +507,6 @@ fn ensemble_summary_json(outcome: &EnsembleRunResult, elapsed: f64, opts: &Optio
         json_f64(elapsed),
         json_f64(total as f64 / elapsed.max(1e-9)),
     )
-}
-
-/// Sums the per-replica law-maintenance counters, or `None` when no replica
-/// reported any (the engine does not maintain laws across events).
-fn aggregate_maintenance(results: &[pp_core::RunResult]) -> Option<pp_core::MaintenanceStats> {
-    let mut aggregate: Option<pp_core::MaintenanceStats> = None;
-    for stats in results.iter().filter_map(pp_core::RunResult::maintenance) {
-        aggregate.get_or_insert_with(Default::default).absorb(stats);
-    }
-    aggregate
 }
 
 /// Prints the engine-counter lines shared by the single-run and ensemble
@@ -438,6 +531,24 @@ fn print_engine_metrics(snap: &MetricsSnapshot) {
              ({} incremental)",
             pct(snap.gauge("maintenance.rows_patched_fraction")),
             pct(snap.gauge("maintenance.law_patched_fraction")),
+        );
+        // Rebuild provenance: guardrail fallbacks are rebuilds the
+        // incremental path *should* have avoided, so they get their own
+        // line instead of hiding inside the rebuild total.
+        let law_fallbacks = snap
+            .counter("maintenance.law_fallback_rebuilds")
+            .unwrap_or(0);
+        if law_rebuilds > 0 {
+            eprintln!(
+                "law rebuild causes: {law_fallbacks} guardrail fallbacks / {} scheduled or cold",
+                law_rebuilds.saturating_sub(law_fallbacks),
+            );
+        }
+    }
+    if let Some(captures) = snap.counter("checkpoint.captures") {
+        eprintln!(
+            "checkpoints: {captures} captured ({} bytes written)",
+            snap.counter("checkpoint.bytes").unwrap_or(0),
         );
     }
 }
@@ -586,6 +697,89 @@ fn shard_plan(spec: &InitialConfig, opts: &Options) -> ShardPlan {
     plan
 }
 
+/// The periodic checkpoint cadence: `--checkpoint-every`, or one
+/// parallel-time unit (`n` interactions) when only `--checkpoint` was given.
+fn checkpoint_cadence(opts: &Options) -> u64 {
+    opts.checkpoint_every.unwrap_or(opts.n.max(1))
+}
+
+/// Restores a `--resume` checkpoint and drives it to the run's usual stop
+/// condition.  `budget` derives from `--n`/`--k`, and the bit-exactness
+/// contract requires the resumed run to chase the *same* final limit the
+/// interrupted run used (see `pp_core::checkpoint`), so the command line
+/// must restate the original parameters — the checkpoint's captured initial
+/// configuration is the witness, and a mismatch is a hard error rather than
+/// a silently different trajectory.
+fn run_resume(
+    path: &str,
+    spec: &InitialConfig,
+    opts: &Options,
+    budget: u64,
+    tel: &Telemetry,
+) -> ExitCode {
+    let checkpoint = match Checkpoint::load(std::path::Path::new(path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot resume from {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut sim = match UsdSimulator::restore(&checkpoint, shard_plan(spec, opts)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot resume from {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ckpt_n = sim.initial_configuration().population();
+    let ckpt_k = sim.initial_configuration().num_opinions();
+    if ckpt_n != opts.n || ckpt_k != opts.k {
+        eprintln!(
+            "checkpoint {path} was captured from a run with n={ckpt_n}, k={ckpt_k}, but the \
+             command line says n={}, k={}: the interaction budget derives from n and k, and \
+             resuming toward a different budget breaks bit-exactness — pass the original \
+             values",
+            opts.n, opts.k
+        );
+        return ExitCode::from(2);
+    }
+    if opts.engine_given && opts.engine != sim.engine_choice() {
+        eprintln!(
+            "checkpoint {path} holds {} engine state but the command line says --engine {}: \
+             the backend rides in the checkpoint, so drop the flag or pass the matching one",
+            sim.engine_choice(),
+            opts.engine
+        );
+        return ExitCode::from(2);
+    }
+    sim.set_telemetry(tel.clone());
+    if let Some(ckpt) = &opts.checkpoint {
+        sim.set_checkpoint_sink(ckpt, checkpoint_cadence(opts));
+    }
+    eprintln!(
+        "resumed from {path}: engine {}, {} interactions already consumed",
+        sim.engine_choice(),
+        sim.interactions()
+    );
+    let result = sim.run_to_consensus(budget);
+    eprintln!(
+        "finished after {} interactions (parallel time {:.1}); consensus: {}",
+        result.interactions(),
+        result.parallel_time(),
+        result.reached_consensus()
+    );
+    if let Some(winner) = result.winner() {
+        eprintln!("winner: {winner}");
+    }
+    let snap = run_metrics_snapshot(&result);
+    print_engine_metrics(&snap);
+    if let Err(e) = emit_telemetry(tel, opts, &snap) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// Runs one baseline sampling dynamic through the sequential sampler on the
 /// requested backend, feeding the trajectory recorder.
 ///
@@ -663,6 +857,17 @@ fn main() -> ExitCode {
     };
 
     let seed = SimSeed::from_u64(opts.seed);
+    let n_f = opts.n as f64;
+    let budget = (400.0 * opts.k as f64 * n_f * n_f.ln()) as u64 + 10_000_000;
+    let sample_period = (budget / opts.samples).max(1).min(opts.n.max(1));
+
+    if let Some(path) = &opts.resume {
+        // A resumed run rebuilds nothing from the workload spec — the
+        // engine state, RNG and initial configuration all ride in the
+        // checkpoint.
+        return run_resume(path, &spec, &opts, budget, &tel);
+    }
+
     let config = match spec.build(seed) {
         Ok(c) => c,
         Err(e) => {
@@ -671,10 +876,6 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("initial configuration: {config}");
-
-    let n_f = opts.n as f64;
-    let budget = (400.0 * opts.k as f64 * n_f * n_f.ln()) as u64 + 10_000_000;
-    let sample_period = (budget / opts.samples).max(1).min(opts.n.max(1));
 
     if opts.replicas > 1 {
         // The workload spec owns the replica count and (validated) base
@@ -777,6 +978,11 @@ fn main() -> ExitCode {
         let mut sim =
             UsdSimulator::with_engine_plan(config, seed.child(1), spec.engine_choice(), plan);
         sim.set_telemetry(tel.clone());
+        if let Some(ckpt) = &opts.checkpoint {
+            let every = checkpoint_cadence(&opts);
+            sim.set_checkpoint_sink(ckpt, every);
+            eprintln!("checkpointing to {ckpt} every {every} interactions");
+        }
         match sim.engine_choice() {
             EngineChoice::Sharded => eprintln!(
                 "step engine: sharded ({} shards, epoch {} interactions, {} threads)",

@@ -6,7 +6,9 @@
 //! PRs produce *comparable* records.  The `bench_trend` binary re-reads two
 //! such files and fails loudly when the batched or sharded engines'
 //! interactions/sec regress beyond a threshold against the committed
-//! baseline.
+//! baseline — or when a guarded cell carries corrupt (non-finite or
+//! non-positive) measurements or has vanished from the current record,
+//! both of which previously passed silently.
 //!
 //! The offline build vendors `serde` as annotation-only, so this module
 //! carries its own minimal JSON reader — just enough for the documents this
@@ -502,8 +504,6 @@ pub struct TrendReport {
     pub metric: TrendMetric,
     /// Per-cell comparisons for the guarded engines.
     pub lines: Vec<TrendLine>,
-    /// Guarded baseline cells with no matching current entry.
-    pub unmatched: Vec<BenchEntry>,
 }
 
 impl TrendReport {
@@ -540,20 +540,16 @@ impl TrendReport {
                 if line.regressed { "  REGRESSION" } else { "" },
             );
         }
-        for entry in &self.unmatched {
-            let _ = writeln!(
-                out,
-                "  {:<4} {:<8} shards={:<3} n={:<12} k={:<3} bias={:<5} has no matching current entry",
-                entry.experiment,
-                entry.engine,
-                entry.shards,
-                entry.n,
-                entry.k,
-                fmt_f64(entry.bias),
-            );
-        }
         out
     }
+}
+
+/// Names one benchmark cell in diagnostics.
+fn cell_label(entry: &BenchEntry) -> String {
+    format!(
+        "{}/{} shards={} n={} k={} bias={:.2}",
+        entry.experiment, entry.engine, entry.shards, entry.n, entry.k, entry.bias
+    )
 }
 
 /// Engines whose throughput the trend check guards (the fast backends, the
@@ -572,32 +568,62 @@ pub const GUARDED_ENGINES: [&str; 6] = [
 
 /// Compares `current` against `baseline`: every baseline cell of a guarded
 /// engine must stay above `(1 - threshold)` of its baseline value on the
-/// chosen metric.  Cells present only on one side are reported but do not
-/// fail the check (sweeps legitimately grow across PRs).
-#[must_use]
+/// chosen metric.  Cells present only in `current` never fail (sweeps
+/// legitimately grow across PRs).
+///
+/// # Errors
+///
+/// Returns a named diagnostic (one line per offending cell) when a guarded
+/// baseline cell has no matching current entry — a vanished cell can hide a
+/// regression, so shrinking the sweep requires pruning the baseline — or
+/// when either side of a guarded comparison carries a non-finite or
+/// non-positive metric value.  Both used to slip through silently: a NaN
+/// fails every `<` comparison (so a corrupt record always "passed"), and a
+/// non-positive baseline read as ratio 1.0.
 pub fn compare_trend(
     baseline: &[BenchEntry],
     current: &[BenchEntry],
     threshold: f64,
     metric: TrendMetric,
-) -> TrendReport {
+) -> Result<TrendReport, String> {
     let mut report = TrendReport {
         metric,
         ..TrendReport::default()
     };
+    let mut problems: Vec<String> = Vec::new();
     for base in baseline {
         if !GUARDED_ENGINES.contains(&base.engine.as_str()) {
             continue;
         }
         let Some(cur) = current.iter().find(|c| c.key() == base.key()) else {
-            report.unmatched.push(base.clone());
+            problems.push(format!(
+                "guarded baseline cell {} has no matching current entry — a vanished cell \
+                 can hide a regression; prune the baseline if the sweep shrank on purpose",
+                cell_label(base)
+            ));
             continue;
         };
-        let ratio = if metric.value(base) > 0.0 {
-            metric.value(cur) / metric.value(base)
-        } else {
-            1.0
-        };
+        let base_value = metric.value(base);
+        let cur_value = metric.value(cur);
+        if !base_value.is_finite() || base_value <= 0.0 {
+            problems.push(format!(
+                "guarded baseline cell {} has unusable {} {base_value} — re-record the \
+                 baseline",
+                cell_label(base),
+                metric.unit()
+            ));
+            continue;
+        }
+        if !cur_value.is_finite() || cur_value <= 0.0 {
+            problems.push(format!(
+                "guarded current cell {} has unusable {} {cur_value} — the measurement \
+                 is corrupt",
+                cell_label(cur),
+                metric.unit()
+            ));
+            continue;
+        }
+        let ratio = cur_value / base_value;
         report.lines.push(TrendLine {
             baseline: base.clone(),
             current: cur.clone(),
@@ -605,7 +631,10 @@ pub fn compare_trend(
             regressed: ratio < 1.0 - threshold,
         });
     }
-    report
+    if !problems.is_empty() {
+        return Err(problems.join("\n"));
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -708,7 +737,8 @@ mod tests {
             entry("sharded", 4, 1_000_000, 0.65e8), // -35%: regression
             entry("exact", 1, 1_000_000, 0.1e8),    // not guarded
         ];
-        let report = compare_trend(&baseline, &current, 0.30, TrendMetric::InteractionsPerSec);
+        let report =
+            compare_trend(&baseline, &current, 0.30, TrendMetric::InteractionsPerSec).unwrap();
         assert_eq!(report.lines.len(), 2);
         assert!(!report.lines[0].regressed);
         assert!(report.lines[1].regressed);
@@ -725,10 +755,11 @@ mod tests {
         base.speedup = 0.8;
         let mut cur = base.clone();
         cur.interactions_per_sec = 0.5e8;
-        let by_speedup = compare_trend(&[base.clone()], &[cur.clone()], 0.30, TrendMetric::Speedup);
+        let by_speedup =
+            compare_trend(&[base.clone()], &[cur.clone()], 0.30, TrendMetric::Speedup).unwrap();
         assert!(!by_speedup.has_regressions());
         assert!(by_speedup.render(0.30).contains("speedup"));
-        let by_ips = compare_trend(&[base], &[cur], 0.30, TrendMetric::InteractionsPerSec);
+        let by_ips = compare_trend(&[base], &[cur], 0.30, TrendMetric::InteractionsPerSec).unwrap();
         assert!(by_ips.has_regressions());
         assert!("speedup".parse::<TrendMetric>().unwrap() == TrendMetric::Speedup);
         assert!("nope".parse::<TrendMetric>().is_err());
@@ -740,17 +771,66 @@ mod tests {
         base.experiment = "E15".to_string();
         let mut cur = base.clone();
         cur.interactions_per_sec = 0.5e8;
-        let report = compare_trend(&[base], &[cur], 0.30, TrendMetric::InteractionsPerSec);
+        let report = compare_trend(&[base], &[cur], 0.30, TrendMetric::InteractionsPerSec).unwrap();
         assert_eq!(report.lines.len(), 1);
         assert!(report.has_regressions());
     }
 
     #[test]
-    fn unmatched_baseline_cells_are_reported_not_fatal() {
+    fn missing_guarded_baseline_cells_are_a_hard_error() {
         let baseline = vec![entry("batched", 1, 123, 1.0e8)];
-        let report = compare_trend(&baseline, &[], 0.30, TrendMetric::InteractionsPerSec);
-        assert!(!report.has_regressions());
-        assert_eq!(report.unmatched.len(), 1);
-        assert!(report.render(0.30).contains("no matching current entry"));
+        let err = compare_trend(&baseline, &[], 0.30, TrendMetric::InteractionsPerSec).unwrap_err();
+        assert!(err.contains("batched") && err.contains("n=123"), "{err}");
+        assert!(err.contains("no matching current entry"), "{err}");
+        // Unguarded cells may come and go freely, and cells present only in
+        // the current record never fail — sweeps legitimately grow.
+        let unguarded = vec![entry("exact", 1, 123, 1.0e8)];
+        assert!(
+            compare_trend(&unguarded, &[], 0.30, TrendMetric::InteractionsPerSec)
+                .unwrap()
+                .lines
+                .is_empty()
+        );
+        let grown = compare_trend(
+            &[],
+            &[entry("batched", 1, 123, 1.0e8)],
+            0.30,
+            TrendMetric::InteractionsPerSec,
+        )
+        .unwrap();
+        assert!(grown.lines.is_empty());
+    }
+
+    #[test]
+    fn non_finite_or_zero_guarded_metrics_are_a_hard_error() {
+        // A NaN fails every `<` comparison, so before this check a corrupt
+        // record sailed through the regression gate unnoticed.
+        let good = entry("batched", 1, 123, 1.0e8);
+        let nan = entry("batched", 1, 123, f64::NAN);
+        let err = compare_trend(
+            std::slice::from_ref(&nan),
+            std::slice::from_ref(&good),
+            0.30,
+            TrendMetric::InteractionsPerSec,
+        )
+        .unwrap_err();
+        assert!(err.contains("baseline") && err.contains("NaN"), "{err}");
+        let err = compare_trend(
+            std::slice::from_ref(&good),
+            &[nan],
+            0.30,
+            TrendMetric::InteractionsPerSec,
+        )
+        .unwrap_err();
+        assert!(err.contains("current") && err.contains("NaN"), "{err}");
+        // A non-positive baseline used to read as ratio 1.0 (silent pass).
+        let err = compare_trend(
+            &[entry("batched", 1, 123, 0.0)],
+            &[good],
+            0.30,
+            TrendMetric::InteractionsPerSec,
+        )
+        .unwrap_err();
+        assert!(err.contains("unusable"), "{err}");
     }
 }

@@ -1,0 +1,1024 @@
+//! Deterministic checkpoint/restore for every count-based engine.
+//!
+//! A [`Checkpoint`] is a versioned, self-describing snapshot of a running
+//! engine's *complete* resumable state: the count vector, the interaction
+//! counter, the position of every RNG stream the engine owns, and the
+//! bookkeeping counters that flow into [`RunResult`](crate::RunResult)s.
+//! Capture one with [`Checkpoint::capture`] (any engine implementing
+//! [`EngineCheckpoint`]), serialize it with [`Checkpoint::to_json`] /
+//! [`Checkpoint::save`], and hand it back to the matching engine's
+//! `restore` constructor ([`CountSimulator::restore`],
+//! [`BatchedEngine::restore`], [`ShardedEngine::restore`],
+//! [`EnsembleEngine::restore`]).
+//!
+//! # The bit-exactness contract
+//!
+//! A run interrupted at a capture point and restored from the checkpoint
+//! produces the **identical trajectory tail** — every configuration, every
+//! interaction count, every final [`RunResult`](crate::RunResult) — as the
+//! uninterrupted run, at every thread count.  Two rules make this hold:
+//!
+//! 1. **Capture between `advance` calls only.**  Every engine's RNG streams
+//!    are consumed in whole-`advance` units; a checkpoint taken between two
+//!    `advance` calls records every stream at a draw boundary.  (The
+//!    `UsdSimulator` drive loop in `usd-core` captures exactly there.)
+//! 2. **Resume against the same final limit.**  A skip-ahead engine's
+//!    geometric draw near a budget boundary depends on the remaining
+//!    headroom; both legs must run toward the same
+//!    [`StopCondition`](crate::StopCondition) budget.  Memorylessness makes
+//!    the overshoot re-sample exact, but only when the limit agrees.
+//!
+//! # What is captured — and what deliberately is not
+//!
+//! Captured: category counts, interaction counters, the xoshiro256++ state
+//! words of every owned RNG stream (per-shard engine and cross RNGs, the
+//! sharded allocator RNG, every ensemble replica's RNG), the incremental
+//! maintenance switch, and the maintenance/throughput counters
+//! (patches, rebuilds, skips, draws) so a restored run's reports continue
+//! where the interrupted run left off.
+//!
+//! Not captured, because each is a pure function of the captured state and
+//! is rebuilt deterministically on restore:
+//!
+//! * the batched engine's maintained row table (`rows`/`sums`/`total`) —
+//!   rebuilt from the counts at the first event after restore, bit-identical
+//!   to the maintained table (the restored run may therefore report **one
+//!   extra `rows_rebuilt`** per engine than the uninterrupted run; result
+//!   equality ignores maintenance bookkeeping),
+//! * the exact engine's Fenwick tree (rebuilt from the counts),
+//! * the sharded engine's merged configuration, pair weights, and per-epoch
+//!   quota/scratch buffers (dead between `advance` calls — captures land on
+//!   epoch boundaries),
+//! * the ensemble's shared-table cache, per-replica neighbor tables, and
+//!   adaptive-cache statistics — performance state only; shared tables are
+//!   pure functions of counts and consume no randomness, so a cold cache
+//!   cannot change any replica's draws (cache hit/round *statistics* may
+//!   differ between legs; per-replica results never do),
+//! * thread-local activation-law memos in `consensus-dynamics` — restored
+//!   samplers announce a fresh run generation, so the first refresh is a
+//!   cold rebuild with bit-identical values.
+//!
+//! # Format
+//!
+//! Checkpoints serialize as a small hand-rolled JSON document (the
+//! workspace's vendored `serde` facade is a no-op, so derives are not
+//! available): `{"format": 1, "kind": "<engine>", "engine": {…}}`, plus an
+//! optional `"meta": {…}` object of named `u64` values that wrappers above
+//! the engine layer (the `usd-core` simulator) use to stamp their own
+//! resumable state — seed, consumed interactions, initial counts — onto an
+//! engine checkpoint without a second file format.
+//! [`CHECKPOINT_FORMAT_VERSION`] is bumped on any incompatible layout
+//! change; [`Checkpoint::from_json`] rejects unknown versions with a named
+//! [`PpError::Checkpoint`] diagnostic instead of misreading newer state.
+//!
+//! [`CountSimulator::restore`]: crate::CountSimulator::restore
+//! [`BatchedEngine::restore`]: crate::BatchedEngine::restore
+//! [`ShardedEngine::restore`]: crate::ShardedEngine::restore
+//! [`EnsembleEngine::restore`]: crate::EnsembleEngine::restore
+
+use crate::config::Configuration;
+use crate::error::PpError;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The current checkpoint layout version.  Bumped on any incompatible
+/// change; loaders reject versions they do not understand.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// Snapshot of one single-stream count engine: an exact simulator, a
+/// standalone batched engine, one shard's engine, or one ensemble replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Per-opinion decided counts (length `k`).
+    pub supports: Vec<u64>,
+    /// Undecided-agent count.
+    pub undecided: u64,
+    /// Interactions elapsed (null interactions included).
+    pub interactions: u64,
+    /// The engine RNG's xoshiro256++ state words.
+    pub rng: [u64; 4],
+    /// Engine-specific bookkeeping counters (maintenance, skip/draw counts,
+    /// runtime switches), stored by name so each engine round-trips only
+    /// what it has.  Missing counters restore as their defaults — they are
+    /// reporting state, never trajectory state.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl EngineSnapshot {
+    /// The named bookkeeping counter, if the snapshot carries it.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Rebuilds the configuration from the captured counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] when the counts are not a valid
+    /// configuration (e.g. an all-zero population from a corrupt file).
+    pub fn configuration(&self) -> Result<Configuration, PpError> {
+        Configuration::from_counts(self.supports.clone(), self.undecided).map_err(|e| {
+            PpError::Checkpoint {
+                reason: format!("snapshot counts do not form a valid configuration: {e}"),
+            }
+        })
+    }
+}
+
+/// Snapshot of one shard of a [`ShardedEngine`](crate::ShardedEngine): the
+/// shard's batched engine plus its cross-block reconciliation RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// The shard's local batched engine.
+    pub engine: EngineSnapshot,
+    /// The shard's cross-reconciliation RNG state words.
+    pub cross_rng: [u64; 4],
+}
+
+/// Snapshot of a [`ShardedEngine`](crate::ShardedEngine).  Self-contained:
+/// the epoch length, thread count and re-balance cadence ride along, so
+/// restore needs no [`ShardPlan`](crate::ShardPlan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedSnapshot {
+    /// Per-shard state, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// The multinomial epoch allocator's RNG state words.
+    pub alloc_rng: [u64; 4],
+    /// Merged interactions elapsed.
+    pub interactions: u64,
+    /// Reconciliation epochs completed.
+    pub epochs: u64,
+    /// Epoch length in interactions.
+    pub epoch_len: u64,
+    /// Worker-thread cap (wall-clock only; never affects the trajectory).
+    pub threads: u64,
+    /// Re-balance cadence in epochs (`None` = never).
+    pub rebalance_every: Option<u64>,
+}
+
+/// Snapshot of an [`EnsembleEngine`](crate::EnsembleEngine): every replica
+/// plus the lifetime lockstep counters.  The shared-table cache is *not*
+/// captured (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleSnapshot {
+    /// Per-replica state, in construction order.
+    pub replicas: Vec<EngineSnapshot>,
+    /// Lifetime lockstep rounds.
+    pub rounds: u64,
+    /// Lifetime dormant-window events.
+    pub dormant_events: u64,
+}
+
+/// The engine-specific payload of a [`Checkpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineState {
+    /// An exact per-interaction simulator.
+    Exact(EngineSnapshot),
+    /// A standalone batched skip-ahead engine.
+    Batched(EngineSnapshot),
+    /// A sharded parallel engine.
+    Sharded(ShardedSnapshot),
+    /// A lockstep replica ensemble.
+    Ensemble(EnsembleSnapshot),
+}
+
+impl EngineState {
+    /// The stable engine identifier stored in the `kind` field.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineState::Exact(_) => "exact",
+            EngineState::Batched(_) => "batched",
+            EngineState::Sharded(_) => "sharded",
+            EngineState::Ensemble(_) => "ensemble",
+        }
+    }
+}
+
+/// An engine that can capture its complete resumable state (the capture
+/// half of the checkpoint contract; restore goes through each engine's
+/// `restore` constructor because it needs the protocol or dynamics value,
+/// which checkpoints deliberately do not serialize).
+pub trait EngineCheckpoint {
+    /// Captures the engine's state.  Must be called between `advance`
+    /// calls — see the module docs for the exactness rules.
+    fn capture_engine(&self) -> EngineState;
+}
+
+/// A replica engine that can be captured and rebuilt inside a generic
+/// [`EnsembleEngine`](crate::EnsembleEngine) checkpoint.
+pub trait ReplicaCheckpoint: Sized {
+    /// What a restored replica needs besides its snapshot (the protocol
+    /// for a batched engine, the dynamics for a sequential sampler).
+    type Context;
+
+    /// Captures this replica's resumable state.
+    fn capture_replica(&self) -> EngineSnapshot;
+
+    /// Rebuilds a replica from `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] (or the context's own construction
+    /// error) when the snapshot does not fit the context.
+    fn restore_replica(ctx: &Self::Context, snapshot: &EngineSnapshot) -> Result<Self, PpError>;
+}
+
+/// A versioned engine checkpoint (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    version: u32,
+    engine: EngineState,
+    /// Named `u64` metadata stamped by wrappers above the engine layer
+    /// (empty for bare engine checkpoints; never read by engine restores).
+    meta: Vec<(String, u64)>,
+}
+
+impl Checkpoint {
+    /// Wraps an engine state at the current format version.
+    #[must_use]
+    pub fn new(engine: EngineState) -> Self {
+        Checkpoint {
+            version: CHECKPOINT_FORMAT_VERSION,
+            engine,
+            meta: Vec::new(),
+        }
+    }
+
+    /// Captures `engine` between `advance` calls.
+    #[must_use]
+    pub fn capture<E: EngineCheckpoint + ?Sized>(engine: &E) -> Self {
+        Checkpoint::new(engine.capture_engine())
+    }
+
+    /// The format version this checkpoint was written at.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The engine payload.
+    #[must_use]
+    pub fn engine(&self) -> &EngineState {
+        &self.engine
+    }
+
+    /// The stable engine identifier (`"exact"`, `"batched"`, `"sharded"`,
+    /// `"ensemble"`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        self.engine.kind()
+    }
+
+    /// Adds (or replaces) a named metadata value.  Metadata is wrapper
+    /// state — the `usd-core` simulator stamps its seed, consumed
+    /// interactions and initial counts here — and is never read by the
+    /// engine-level restore constructors.
+    #[must_use]
+    pub fn with_meta(mut self, name: &str, value: u64) -> Self {
+        if let Some(slot) = self.meta.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.meta.push((name.to_string(), value));
+        }
+        self
+    }
+
+    /// The named metadata value, if present.
+    #[must_use]
+    pub fn meta(&self, name: &str) -> Option<u64> {
+        self.meta.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Serializes the checkpoint to its JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"format\":{},\"kind\":\"{}\",\"engine\":",
+            self.version,
+            self.kind()
+        );
+        match &self.engine {
+            EngineState::Exact(s) | EngineState::Batched(s) => write_snapshot(&mut out, s),
+            EngineState::Sharded(s) => write_sharded(&mut out, s),
+            EngineState::Ensemble(s) => write_ensemble(&mut out, s),
+        }
+        if !self.meta.is_empty() {
+            out.push_str(",\"meta\":{");
+            for (i, (name, value)) in self.meta.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(&mut out, name);
+                let _ = write!(out, ":{value}");
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a checkpoint from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] on malformed JSON, a missing or
+    /// misshaped field, an unknown `kind`, or a format version this build
+    /// does not understand.
+    pub fn from_json(text: &str) -> Result<Self, PpError> {
+        let value = parse_json(text)?;
+        let root = value.as_object("checkpoint root")?;
+        let version = get(root, "format")?.as_u64("format")?;
+        let version = u32::try_from(version).map_err(|_| bad("format version out of range"))?;
+        if version != CHECKPOINT_FORMAT_VERSION {
+            return Err(bad(&format!(
+                "unsupported checkpoint format version {version} \
+                 (this build reads version {CHECKPOINT_FORMAT_VERSION})"
+            )));
+        }
+        let kind = get(root, "kind")?.as_str("kind")?;
+        let payload = get(root, "engine")?;
+        let engine = match kind {
+            "exact" => EngineState::Exact(read_snapshot(payload)?),
+            "batched" => EngineState::Batched(read_snapshot(payload)?),
+            "sharded" => EngineState::Sharded(read_sharded(payload)?),
+            "ensemble" => EngineState::Ensemble(read_ensemble(payload)?),
+            other => return Err(bad(&format!("unknown engine kind {other:?}"))),
+        };
+        let meta = match root.iter().find(|(n, _)| n == "meta") {
+            Some((_, v)) => v
+                .as_object("meta")?
+                .iter()
+                .map(|(name, v)| Ok((name.clone(), v.as_u64(name)?)))
+                .collect::<Result<Vec<_>, PpError>>()?,
+            None => Vec::new(),
+        };
+        Ok(Checkpoint {
+            version,
+            engine,
+            meta,
+        })
+    }
+
+    /// Writes the JSON document to `path` and returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] wrapping the I/O failure.
+    pub fn save(&self, path: &Path) -> Result<u64, PpError> {
+        let json = self.to_json();
+        std::fs::write(path, &json).map_err(|e| {
+            bad(&format!(
+                "failed to write checkpoint {}: {e}",
+                path.display()
+            ))
+        })?;
+        Ok(json.len() as u64)
+    }
+
+    /// Reads and parses a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] on I/O failure or any
+    /// [`Checkpoint::from_json`] diagnostic.
+    pub fn load(path: &Path) -> Result<Self, PpError> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            bad(&format!(
+                "failed to read checkpoint {}: {e}",
+                path.display()
+            ))
+        })?;
+        Self::from_json(&text)
+    }
+
+    /// Unwraps a single-engine snapshot of the expected `kind`, with a
+    /// named diagnostic on mismatch (the restore constructors' shared
+    /// validation path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] when the checkpoint holds a
+    /// different engine kind.
+    pub fn expect_single(&self, kind: &'static str) -> Result<&EngineSnapshot, PpError> {
+        match (&self.engine, kind) {
+            (EngineState::Exact(s), "exact") | (EngineState::Batched(s), "batched") => Ok(s),
+            _ => Err(self.kind_mismatch(kind)),
+        }
+    }
+
+    /// The standard kind-mismatch diagnostic.
+    pub(crate) fn kind_mismatch(&self, expected: &'static str) -> PpError {
+        bad(&format!(
+            "checkpoint holds {:?} engine state, expected {expected:?}",
+            self.kind()
+        ))
+    }
+}
+
+/// Shorthand for a named checkpoint diagnostic.
+fn bad(reason: &str) -> PpError {
+    PpError::Checkpoint {
+        reason: reason.to_string(),
+    }
+}
+
+// --- JSON writer --------------------------------------------------------
+
+fn write_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_snapshot(out: &mut String, s: &EngineSnapshot) {
+    out.push_str("{\"supports\":");
+    write_u64_array(out, &s.supports);
+    let _ = write!(
+        out,
+        ",\"undecided\":{},\"interactions\":{},\"rng\":",
+        s.undecided, s.interactions
+    );
+    write_u64_array(out, &s.rng);
+    out.push_str(",\"counters\":{");
+    for (i, (name, value)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("}}");
+}
+
+fn write_sharded(out: &mut String, s: &ShardedSnapshot) {
+    out.push_str("{\"shards\":[");
+    for (i, shard) in s.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"engine\":");
+        write_snapshot(out, &shard.engine);
+        out.push_str(",\"cross_rng\":");
+        write_u64_array(out, &shard.cross_rng);
+        out.push('}');
+    }
+    out.push_str("],\"alloc_rng\":");
+    write_u64_array(out, &s.alloc_rng);
+    let _ = write!(
+        out,
+        ",\"interactions\":{},\"epochs\":{},\"epoch_len\":{},\"threads\":{},\"rebalance_every\":",
+        s.interactions, s.epochs, s.epoch_len, s.threads
+    );
+    match s.rebalance_every {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+fn write_ensemble(out: &mut String, s: &EnsembleSnapshot) {
+    out.push_str("{\"replicas\":[");
+    for (i, replica) in s.replicas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_snapshot(out, replica);
+    }
+    let _ = write!(
+        out,
+        "],\"rounds\":{},\"dormant_events\":{}}}",
+        s.rounds, s.dormant_events
+    );
+}
+
+// --- JSON reader --------------------------------------------------------
+//
+// A minimal recursive-descent parser covering exactly the subset the writer
+// emits: objects, arrays, strings, unsigned integers, and `null`.  The
+// vendored `serde` facade is a no-op, so this is deliberate, not an
+// oversight.
+
+#[derive(Debug)]
+enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+    Null,
+}
+
+impl Json {
+    fn as_u64(&self, what: &str) -> Result<u64, PpError> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            _ => Err(bad(&format!("field {what:?} is not an unsigned integer"))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, PpError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(bad(&format!("field {what:?} is not a string"))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], PpError> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(bad(&format!("field {what:?} is not an array"))),
+        }
+    }
+
+    fn as_object(&self, what: &str) -> Result<&[(String, Json)], PpError> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            _ => Err(bad(&format!("field {what:?} is not an object"))),
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a Json, PpError> {
+    obj.iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| bad(&format!("missing checkpoint field {name:?}")))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, PpError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| bad("unexpected end of checkpoint document"))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), PpError> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(bad(&format!(
+                "expected {:?} at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, PpError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'n' => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(bad(&format!("unrecognized token at byte {}", self.pos)))
+                }
+            }
+            b'0'..=b'9' => self.number(),
+            other => Err(bad(&format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, PpError> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are utf-8");
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| bad(&format!("number out of range at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String, PpError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(bad("unterminated string in checkpoint document"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(bad("unterminated escape in checkpoint document"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| bad("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(hex);
+                        }
+                        other => {
+                            return Err(bad(&format!("unsupported escape \\{}", other as char)))
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Re-sync on the UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while self.bytes.get(end).is_some_and(|b| b & 0xC0 == 0x80) {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| bad("invalid utf-8 in checkpoint string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, PpError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(bad(&format!(
+                        "expected ',' or ']' but found {:?} at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, PpError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.expect(b':')?;
+            fields.push((name, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(bad(&format!(
+                        "expected ',' or '}}' but found {:?} at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, PpError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(bad(&format!(
+            "trailing garbage at byte {} of checkpoint document",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+fn read_u64_array(value: &Json, what: &str) -> Result<Vec<u64>, PpError> {
+    value
+        .as_array(what)?
+        .iter()
+        .map(|v| v.as_u64(what))
+        .collect()
+}
+
+fn read_rng(value: &Json, what: &str) -> Result<[u64; 4], PpError> {
+    let words = read_u64_array(value, what)?;
+    <[u64; 4]>::try_from(words)
+        .map_err(|w| bad(&format!("field {what:?} has {} words, expected 4", w.len())))
+}
+
+fn read_snapshot(value: &Json) -> Result<EngineSnapshot, PpError> {
+    let obj = value.as_object("engine snapshot")?;
+    let counters = get(obj, "counters")?
+        .as_object("counters")?
+        .iter()
+        .map(|(name, v)| Ok((name.clone(), v.as_u64(name)?)))
+        .collect::<Result<Vec<_>, PpError>>()?;
+    Ok(EngineSnapshot {
+        supports: read_u64_array(get(obj, "supports")?, "supports")?,
+        undecided: get(obj, "undecided")?.as_u64("undecided")?,
+        interactions: get(obj, "interactions")?.as_u64("interactions")?,
+        rng: read_rng(get(obj, "rng")?, "rng")?,
+        counters,
+    })
+}
+
+fn read_sharded(value: &Json) -> Result<ShardedSnapshot, PpError> {
+    let obj = value.as_object("sharded state")?;
+    let shards = get(obj, "shards")?
+        .as_array("shards")?
+        .iter()
+        .map(|shard| {
+            let s = shard.as_object("shard")?;
+            Ok(ShardSnapshot {
+                engine: read_snapshot(get(s, "engine")?)?,
+                cross_rng: read_rng(get(s, "cross_rng")?, "cross_rng")?,
+            })
+        })
+        .collect::<Result<Vec<_>, PpError>>()?;
+    let rebalance_every = match get(obj, "rebalance_every")? {
+        Json::Null => None,
+        v => Some(v.as_u64("rebalance_every")?),
+    };
+    Ok(ShardedSnapshot {
+        shards,
+        alloc_rng: read_rng(get(obj, "alloc_rng")?, "alloc_rng")?,
+        interactions: get(obj, "interactions")?.as_u64("interactions")?,
+        epochs: get(obj, "epochs")?.as_u64("epochs")?,
+        epoch_len: get(obj, "epoch_len")?.as_u64("epoch_len")?,
+        threads: get(obj, "threads")?.as_u64("threads")?,
+        rebalance_every,
+    })
+}
+
+fn read_ensemble(value: &Json) -> Result<EnsembleSnapshot, PpError> {
+    let obj = value.as_object("ensemble state")?;
+    Ok(EnsembleSnapshot {
+        replicas: get(obj, "replicas")?
+            .as_array("replicas")?
+            .iter()
+            .map(read_snapshot)
+            .collect::<Result<Vec<_>, PpError>>()?,
+        rounds: get(obj, "rounds")?.as_u64("rounds")?,
+        dormant_events: get(obj, "dormant_events")?.as_u64("dormant_events")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> EngineSnapshot {
+        EngineSnapshot {
+            supports: vec![12, 0, 7],
+            undecided: 3,
+            interactions: 123_456,
+            rng: [1, u64::MAX, 0, 42],
+            counters: vec![
+                ("events_drawn".to_string(), 99),
+                ("incremental".to_string(), 1),
+            ],
+        }
+    }
+
+    #[test]
+    fn every_engine_state_round_trips_through_json() {
+        let states = [
+            EngineState::Exact(sample_snapshot()),
+            EngineState::Batched(sample_snapshot()),
+            EngineState::Sharded(ShardedSnapshot {
+                shards: vec![
+                    ShardSnapshot {
+                        engine: sample_snapshot(),
+                        cross_rng: [5, 6, 7, 8],
+                    },
+                    ShardSnapshot {
+                        engine: sample_snapshot(),
+                        cross_rng: [9, 10, 11, 12],
+                    },
+                ],
+                alloc_rng: [13, 14, 15, 16],
+                interactions: 999,
+                epochs: 31,
+                epoch_len: 32,
+                threads: 4,
+                rebalance_every: Some(64),
+            }),
+            EngineState::Ensemble(EnsembleSnapshot {
+                replicas: vec![sample_snapshot(); 3],
+                rounds: 17,
+                dormant_events: 5,
+            }),
+        ];
+        for state in states {
+            let checkpoint = Checkpoint::new(state);
+            let json = checkpoint.to_json();
+            let parsed =
+                Checkpoint::from_json(&json).unwrap_or_else(|e| panic!("{e} while parsing {json}"));
+            assert_eq!(parsed, checkpoint);
+            assert_eq!(parsed.version(), CHECKPOINT_FORMAT_VERSION);
+        }
+    }
+
+    #[test]
+    fn none_rebalance_round_trips_as_null() {
+        let checkpoint = Checkpoint::new(EngineState::Sharded(ShardedSnapshot {
+            shards: vec![ShardSnapshot {
+                engine: sample_snapshot(),
+                cross_rng: [0, 1, 2, 3],
+            }],
+            alloc_rng: [4, 5, 6, 7],
+            interactions: 1,
+            epochs: 0,
+            epoch_len: 10,
+            threads: 1,
+            rebalance_every: None,
+        }));
+        let json = checkpoint.to_json();
+        assert!(json.contains("\"rebalance_every\":null"));
+        assert_eq!(Checkpoint::from_json(&json).unwrap(), checkpoint);
+    }
+
+    #[test]
+    fn unknown_format_versions_are_rejected_by_name() {
+        let json = Checkpoint::new(EngineState::Exact(sample_snapshot()))
+            .to_json()
+            .replace("\"format\":1", "\"format\":9999");
+        let err = Checkpoint::from_json(&json).unwrap_err();
+        let PpError::Checkpoint { reason } = &err else {
+            panic!("expected a checkpoint error, got {err:?}");
+        };
+        assert!(
+            reason.contains("unsupported checkpoint format version 9999"),
+            "diagnostic must name the version: {reason}"
+        );
+    }
+
+    #[test]
+    fn malformed_documents_fail_with_named_diagnostics() {
+        for (doc, needle) in [
+            ("", "unexpected end"),
+            ("{\"format\":1}", "missing checkpoint field \"kind\""),
+            ("[1,2,3]", "is not an object"),
+            (
+                "{\"format\":1,\"kind\":\"warp\",\"engine\":{}}",
+                "unknown engine kind",
+            ),
+            ("{\"format\":1} trailing", "trailing garbage"),
+        ] {
+            let err = Checkpoint::from_json(doc).unwrap_err();
+            let PpError::Checkpoint { reason } = &err else {
+                panic!("expected a checkpoint error for {doc:?}, got {err:?}");
+            };
+            assert!(reason.contains(needle), "{doc:?} gave {reason:?}");
+        }
+    }
+
+    #[test]
+    fn counter_names_with_escapes_survive_the_round_trip() {
+        let mut snap = sample_snapshot();
+        snap.counters
+            .push(("weird\"name\\with\nescapes".to_string(), 7));
+        let checkpoint = Checkpoint::new(EngineState::Batched(snap));
+        let parsed = Checkpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(parsed, checkpoint);
+        let EngineState::Batched(s) = parsed.engine() else {
+            panic!("kind changed in flight");
+        };
+        assert_eq!(s.counter("weird\"name\\with\nescapes"), Some(7));
+    }
+
+    #[test]
+    fn wrapper_metadata_rides_along_and_round_trips() {
+        let bare = Checkpoint::new(EngineState::Exact(sample_snapshot()));
+        assert!(!bare.to_json().contains("\"meta\""));
+        assert_eq!(bare.meta("sim.seed"), None);
+        let stamped = bare
+            .clone()
+            .with_meta("sim.seed", 42)
+            .with_meta("sim.consumed", 7)
+            .with_meta("sim.seed", 43); // replaces, never duplicates
+        assert_eq!(stamped.meta("sim.seed"), Some(43));
+        assert_eq!(stamped.meta("sim.consumed"), Some(7));
+        let parsed = Checkpoint::from_json(&stamped.to_json()).unwrap();
+        assert_eq!(parsed, stamped);
+        // Bare documents (no meta object) still parse.
+        assert_eq!(Checkpoint::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn snapshot_rejects_invalid_counts() {
+        let snap = EngineSnapshot {
+            supports: vec![],
+            undecided: 0,
+            interactions: 0,
+            rng: [0; 4],
+            counters: Vec::new(),
+        };
+        assert!(matches!(
+            snap.configuration(),
+            Err(PpError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn expect_single_names_the_kind_mismatch() {
+        let checkpoint = Checkpoint::new(EngineState::Exact(sample_snapshot()));
+        assert!(checkpoint.expect_single("exact").is_ok());
+        let err = checkpoint.expect_single("batched").unwrap_err();
+        let PpError::Checkpoint { reason } = err else {
+            panic!("expected a checkpoint error");
+        };
+        assert!(reason.contains("\"exact\"") && reason.contains("\"batched\""));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_disk() {
+        let checkpoint = Checkpoint::new(EngineState::Exact(sample_snapshot()));
+        let dir = std::env::temp_dir().join("pp_core_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt.json");
+        let bytes = checkpoint.save(&path).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(Checkpoint::load(&path).unwrap(), checkpoint);
+        let missing = dir.join("does-not-exist.ckpt.json");
+        assert!(matches!(
+            Checkpoint::load(&missing),
+            Err(PpError::Checkpoint { .. })
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+}

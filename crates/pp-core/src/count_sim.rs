@@ -13,6 +13,7 @@
 //! configuration trajectories as the agent-level simulator (this is verified
 //! statistically in the integration tests).
 
+use crate::checkpoint::{Checkpoint, EngineCheckpoint, EngineSnapshot, EngineState};
 use crate::config::Configuration;
 use crate::error::PpError;
 use crate::fenwick::FenwickTree;
@@ -215,6 +216,49 @@ impl<P: OpinionProtocol> CountSimulator<P> {
         self.config
     }
 
+    /// Captures this simulator's resumable state (counts, interaction
+    /// counter, RNG stream position).  Call between steps/`advance` calls —
+    /// see [`crate::checkpoint`] for the exactness rules.
+    #[must_use]
+    pub fn capture_state(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            supports: self.config.supports().to_vec(),
+            undecided: self.config.undecided(),
+            interactions: self.interactions,
+            rng: self.rng.state(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a simulator from a checkpoint captured by
+    /// [`CountSimulator::capture_state`].  The Fenwick tree is rebuilt
+    /// deterministically from the counts; the restored simulator walks the
+    /// identical trajectory tail the interrupted run would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] when the checkpoint holds a
+    /// different engine kind or invalid counts, and
+    /// [`PpError::OpinionCountMismatch`] when the protocol disagrees with
+    /// the captured counts on `k`.
+    pub fn restore(protocol: P, checkpoint: &Checkpoint) -> Result<Self, PpError> {
+        let snapshot = checkpoint.expect_single("exact")?;
+        Self::restore_snapshot(protocol, snapshot)
+    }
+
+    /// Snapshot-level counterpart of [`CountSimulator::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CountSimulator::restore`], minus the kind check.
+    pub fn restore_snapshot(protocol: P, snapshot: &EngineSnapshot) -> Result<Self, PpError> {
+        let config = snapshot.configuration()?;
+        let mut sim = Self::try_new(protocol, config, SimSeed::from_u64(0))?;
+        sim.rng = SmallRng::from_state(snapshot.rng);
+        sim.interactions = snapshot.interactions;
+        Ok(sim)
+    }
+
     /// Probability that the next interaction is productive, computed from the
     /// current counts (used by tests and by variance-reduction experiments).
     #[must_use]
@@ -240,6 +284,12 @@ impl<P: OpinionProtocol> CountSimulator<P> {
             }
         }
         productive_pairs / (n * n)
+    }
+}
+
+impl<P: OpinionProtocol> EngineCheckpoint for CountSimulator<P> {
+    fn capture_engine(&self) -> EngineState {
+        EngineState::Exact(self.capture_state())
     }
 }
 
@@ -373,6 +423,53 @@ mod tests {
         }
         let frac = f64::from(productive) / f64::from(trials);
         assert!((frac - 0.42).abs() < 0.03, "frac = {frac}");
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_the_exact_trajectory() {
+        let cfg = Configuration::from_counts(vec![700, 300], 0).unwrap();
+        let mut reference = CountSimulator::new(Usd2, cfg.clone(), SimSeed::from_u64(5));
+        let mut interrupted = CountSimulator::new(Usd2, cfg, SimSeed::from_u64(5));
+        for _ in 0..500 {
+            reference.step();
+            interrupted.step();
+        }
+        let checkpoint = Checkpoint::capture(&interrupted);
+        assert_eq!(checkpoint.kind(), "exact");
+        drop(interrupted);
+        let mut restored = CountSimulator::restore(Usd2, &checkpoint).unwrap();
+        assert_eq!(restored.interactions(), reference.interactions());
+        for _ in 0..2_000 {
+            assert_eq!(reference.step(), restored.step());
+            assert_eq!(reference.configuration(), restored.configuration());
+            assert_eq!(reference.interactions(), restored.interactions());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_foreign_kinds_and_mismatched_protocols() {
+        let cfg = Configuration::from_counts(vec![10, 10], 0).unwrap();
+        let sim = CountSimulator::new(Usd2, cfg, SimSeed::from_u64(1));
+        let snapshot = sim.capture_state();
+        let foreign = Checkpoint::new(EngineState::Batched(snapshot.clone()));
+        assert!(matches!(
+            CountSimulator::restore(Usd2, &foreign),
+            Err(PpError::Checkpoint { .. })
+        ));
+        #[derive(Debug)]
+        struct ThreeOpinions;
+        impl OpinionProtocol for ThreeOpinions {
+            fn num_opinions(&self) -> usize {
+                3
+            }
+            fn respond(&self, r: AgentState, _i: AgentState) -> AgentState {
+                r
+            }
+        }
+        assert!(matches!(
+            CountSimulator::restore_snapshot(ThreeOpinions, &snapshot),
+            Err(PpError::OpinionCountMismatch { .. })
+        ));
     }
 
     #[test]

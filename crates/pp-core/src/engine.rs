@@ -82,6 +82,9 @@
 //! assert!(result.reached_consensus());
 //! ```
 
+use crate::checkpoint::{
+    Checkpoint, EngineCheckpoint, EngineSnapshot, EngineState, ReplicaCheckpoint,
+};
 use crate::config::Configuration;
 use crate::count_sim::CountSimulator;
 use crate::error::PpError;
@@ -834,6 +837,74 @@ impl<P: OpinionProtocol> BatchedEngine<P> {
         (responder, new_responder)
     }
 
+    /// Captures this engine's resumable state.  The maintained row table is
+    /// *not* captured: it is a pure function of the counts and the first
+    /// event after restore rebuilds it bit-identically (showing up as one
+    /// extra `rows_rebuilt` in the restored run's maintenance counters).
+    /// Call between `advance` calls — see [`crate::checkpoint`].
+    #[must_use]
+    pub fn capture_state(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            supports: self.config.supports().to_vec(),
+            undecided: self.config.undecided(),
+            interactions: self.interactions,
+            rng: self.rng.state(),
+            counters: vec![
+                ("events_drawn".to_string(), self.events_drawn),
+                ("nulls_skipped".to_string(), self.nulls_skipped),
+                ("refreshes".to_string(), self.refreshes),
+                ("rows_patched".to_string(), self.stats.rows_patched),
+                ("rows_rebuilt".to_string(), self.stats.rows_rebuilt),
+                ("law_patches".to_string(), self.stats.law_patches),
+                ("law_rebuilds".to_string(), self.stats.law_rebuilds),
+                (
+                    "law_fallback_rebuilds".to_string(),
+                    self.stats.law_fallback_rebuilds,
+                ),
+                ("incremental".to_string(), u64::from(self.incremental)),
+            ],
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint captured by
+    /// [`BatchedEngine::capture_state`].  The restored engine walks the
+    /// identical trajectory tail the interrupted run would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] when the checkpoint holds a
+    /// different engine kind or invalid counts, and
+    /// [`PpError::OpinionCountMismatch`] when the protocol disagrees with
+    /// the captured counts on `k`.
+    pub fn restore(protocol: P, checkpoint: &Checkpoint) -> Result<Self, PpError> {
+        let snapshot = checkpoint.expect_single("batched")?;
+        Self::restore_snapshot(protocol, snapshot)
+    }
+
+    /// Snapshot-level counterpart of [`BatchedEngine::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BatchedEngine::restore`], minus the kind check.
+    pub fn restore_snapshot(protocol: P, snapshot: &EngineSnapshot) -> Result<Self, PpError> {
+        let config = snapshot.configuration()?;
+        let mut engine = Self::try_new(protocol, config, SimSeed::from_u64(0))?;
+        engine.rng = SmallRng::from_state(snapshot.rng);
+        engine.interactions = snapshot.interactions;
+        engine.incremental = snapshot.counter("incremental") != Some(0);
+        engine.refreshes = snapshot.counter("refreshes").unwrap_or(0);
+        engine.stats = MaintenanceStats {
+            rows_patched: snapshot.counter("rows_patched").unwrap_or(0),
+            rows_rebuilt: snapshot.counter("rows_rebuilt").unwrap_or(0),
+            law_patches: snapshot.counter("law_patches").unwrap_or(0),
+            law_rebuilds: snapshot.counter("law_rebuilds").unwrap_or(0),
+            law_fallback_rebuilds: snapshot.counter("law_fallback_rebuilds").unwrap_or(0),
+        };
+        engine.events_drawn = snapshot.counter("events_drawn").unwrap_or(0);
+        engine.nulls_skipped = snapshot.counter("nulls_skipped").unwrap_or(0);
+        Ok(engine)
+    }
+
     /// The probability that the next interaction changes the state, computed
     /// from the current counts (used by tests and diagnostics).
     #[must_use]
@@ -895,6 +966,24 @@ impl<P: OpinionProtocol> StepEngine for BatchedEngine<P> {
         self.rows = rows;
         self.apply_row_delta(from, to);
         Advance::Event
+    }
+}
+
+impl<P: OpinionProtocol> EngineCheckpoint for BatchedEngine<P> {
+    fn capture_engine(&self) -> EngineState {
+        EngineState::Batched(self.capture_state())
+    }
+}
+
+impl<P: OpinionProtocol + Clone> ReplicaCheckpoint for BatchedEngine<P> {
+    type Context = P;
+
+    fn capture_replica(&self) -> EngineSnapshot {
+        self.capture_state()
+    }
+
+    fn restore_replica(ctx: &P, snapshot: &EngineSnapshot) -> Result<Self, PpError> {
+        Self::restore_snapshot(ctx.clone(), snapshot)
     }
 }
 
@@ -1323,6 +1412,44 @@ mod tests {
             seen.iter().all(|&s| s),
             "some residues never sampled: {seen:?}"
         );
+    }
+
+    #[test]
+    fn batched_checkpoint_restores_the_identical_trajectory_tail() {
+        let config = Configuration::from_counts(vec![600, 300], 100).unwrap();
+        let stop = StopCondition::consensus().or_max_interactions(5_000_000);
+        let limit = stop.max_interactions().unwrap();
+        let mut reference = BatchedEngine::new(Usd2Plain, config.clone(), SimSeed::from_u64(77));
+        let mut interrupted = BatchedEngine::new(Usd2Plain, config, SimSeed::from_u64(77));
+        // Interrupt between `advance` calls, against the same final limit —
+        // the two rules the checkpoint contract requires.
+        for _ in 0..40 {
+            assert_eq!(reference.advance(limit), interrupted.advance(limit));
+        }
+        let checkpoint = Checkpoint::capture(&interrupted);
+        assert_eq!(checkpoint.kind(), "batched");
+        drop(interrupted);
+        let mut restored = BatchedEngine::restore(Usd2Plain, &checkpoint).unwrap();
+        assert_eq!(
+            StepEngine::configuration(&restored),
+            StepEngine::configuration(&reference)
+        );
+        // The bookkeeping counters continue where the interrupted run left
+        // off (a checkpoint after 40 events carries 40 draws).
+        assert_eq!(
+            restored.capture_state().counter("events_drawn"),
+            Some(reference.events_drawn)
+        );
+        let expected = reference.run_engine(stop);
+        let resumed = restored.run_engine(stop);
+        // RunResult equality covers outcome, interactions, the final
+        // configuration, the scheduler and rejection misses; maintenance
+        // counters legitimately differ by the restore's one warm-up rebuild.
+        assert_eq!(resumed, expected);
+        let warm = expected.maintenance().unwrap();
+        let cold = resumed.maintenance().unwrap();
+        assert_eq!(cold.rows_rebuilt, warm.rows_rebuilt + 1);
+        assert_eq!(cold.rows_patched, warm.rows_patched);
     }
 
     #[test]

@@ -99,6 +99,9 @@
 //! assert_eq!(outcome.len(), 8);
 //! ```
 
+use crate::checkpoint::{
+    Checkpoint, EngineCheckpoint, EngineState, EnsembleSnapshot, ReplicaCheckpoint,
+};
 use crate::config::Configuration;
 use crate::engine::{geometric_skip, Advance, BatchedEngine, EngineChoice, StepEngine};
 use crate::error::PpError;
@@ -1104,6 +1107,57 @@ where
         E::Shared: Send + Sync,
         R: Recorder + Send,
     {
+        self.run_windows_recorded(stop, recorders, u64::MAX)
+            .expect("an unbounded window budget can never pause")
+    }
+
+    /// Runs at most `max_windows` scheduling windows toward the stop
+    /// condition, recording nothing.  Returns `None` when the window budget
+    /// ran out with live replicas remaining — the *pause* point the
+    /// checkpoint layer captures at (see [`crate::checkpoint`]): call
+    /// [`Checkpoint::capture`] on the paused engine, and resume (here or in
+    /// a restored engine) by calling this again **with the same `stop`**.
+    /// Pausing discards the paused leg's partial bookkeeping; the
+    /// completing call recomputes every replica's [`RunResult`] purely from
+    /// replica state, so per-replica results are bit-identical to an
+    /// uninterrupted [`EnsembleEngine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Everything [`EnsembleEngine::run`] panics on.
+    pub fn run_windows(
+        &mut self,
+        stop: StopCondition,
+        max_windows: u64,
+    ) -> Option<EnsembleRunResult>
+    where
+        E: Send,
+        E::Shared: Send + Sync,
+    {
+        let mut recorders = vec![NullRecorder; self.replicas.len()];
+        self.run_windows_recorded(stop, &mut recorders, max_windows)
+    }
+
+    /// Recorded counterpart of [`EnsembleEngine::run_windows`].  Every call
+    /// re-records each replica's current configuration first (the same
+    /// leading snapshot [`StepEngine::run_engine_recorded`] emits), so a
+    /// resumed run's stream starts with a duplicate of the pause-point
+    /// entry; splice streams accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Everything [`EnsembleEngine::run_recorded`] panics on.
+    pub fn run_windows_recorded<R>(
+        &mut self,
+        stop: StopCondition,
+        recorders: &mut [R],
+        max_windows: u64,
+    ) -> Option<EnsembleRunResult>
+    where
+        E: Send,
+        E::Shared: Send + Sync,
+        R: Recorder + Send,
+    {
         assert!(
             stop.is_bounded(),
             "stop condition can never terminate the run"
@@ -1135,6 +1189,7 @@ where
         let mut prevs: Vec<PrevShared<E::Shared>> = (0..replica_count).map(|_| None).collect();
         let limit = stop.max_interactions().unwrap_or(u64::MAX);
         let mut workers_used = 1u64;
+        let mut windows_run = 0u64;
 
         loop {
             // Per-window live view: exclusive access to every unfinished
@@ -1156,6 +1211,12 @@ where
                 .collect();
             if slots.is_empty() {
                 break;
+            }
+            if windows_run >= max_windows {
+                // Pause: live replicas remain but the window budget is
+                // spent.  Partial results and neighbor tables are dropped —
+                // the completing call recomputes both, bit-identically.
+                return None;
             }
             // Re-resolved per window so tail windows (most replicas
             // finished) fall back to inline execution instead of forking
@@ -1195,6 +1256,7 @@ where
                 self.dormant_events += events;
                 self.cache.note_dormant_events(events);
             }
+            windows_run += 1;
         }
 
         let result = EnsembleRunResult {
@@ -1237,7 +1299,86 @@ where
                 .gauge("ensemble.workers")
                 .set(result.workers as f64);
         }
-        result
+        Some(result)
+    }
+
+    /// Snapshots the ensemble's trajectory-relevant state for
+    /// [`Checkpoint::capture`]: every replica's [`EngineSnapshot`] (in
+    /// construction order) plus the cumulative `rounds` / `dormant_events`
+    /// bookkeeping.  Capture only at a *pause* point — between
+    /// [`EnsembleEngine::run_windows`] calls — never mid-window.  The
+    /// shared-table cache, neighbor tables and adaptivity statistics are
+    /// *not* captured: tables are pure functions of the counts, so a
+    /// restored ensemble recomputes them bit-identically (a cold cache
+    /// costs wall-clock, never a diverged draw).
+    pub fn capture_state(&self) -> EnsembleSnapshot
+    where
+        E: ReplicaCheckpoint,
+    {
+        EnsembleSnapshot {
+            replicas: self
+                .replicas
+                .iter()
+                .map(ReplicaCheckpoint::capture_replica)
+                .collect(),
+            rounds: self.rounds,
+            dormant_events: self.dormant_events,
+        }
+    }
+
+    /// Restores an ensemble from a checkpoint captured by
+    /// [`Checkpoint::capture`] on an [`EnsembleEngine`].  Resuming with
+    /// [`EnsembleEngine::run_windows`] **under the same stop condition** the
+    /// interrupted run used produces per-replica results bit-identical to
+    /// the uninterrupted run, at every thread count (parallelism, cache
+    /// mode/capacity and telemetry are construction-time knobs — reapply
+    /// them with the usual builders; none of them affects results).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] when the checkpoint holds a
+    /// different engine kind, and propagates replica-restore and
+    /// [`EnsembleEngine::try_new`] validation errors.
+    pub fn restore(ctx: &E::Context, checkpoint: &Checkpoint) -> Result<Self, PpError>
+    where
+        E: ReplicaCheckpoint,
+    {
+        match checkpoint.engine() {
+            EngineState::Ensemble(snapshot) => Self::restore_snapshot(ctx, snapshot),
+            _ => Err(checkpoint.kind_mismatch("ensemble")),
+        }
+    }
+
+    /// Restores an ensemble directly from an [`EnsembleSnapshot`] (the
+    /// payload [`EnsembleEngine::restore`] unwraps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-replica restore errors and
+    /// [`EnsembleEngine::try_new`] validation errors.
+    pub fn restore_snapshot(ctx: &E::Context, snapshot: &EnsembleSnapshot) -> Result<Self, PpError>
+    where
+        E: ReplicaCheckpoint,
+    {
+        let replicas = snapshot
+            .replicas
+            .iter()
+            .map(|s| E::restore_replica(ctx, s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut engine = Self::try_new(replicas)?;
+        engine.rounds = snapshot.rounds;
+        engine.dormant_events = snapshot.dormant_events;
+        Ok(engine)
+    }
+}
+
+impl<E> EngineCheckpoint for EnsembleEngine<E>
+where
+    E: EnsembleReplica + ReplicaCheckpoint,
+    E::Shared: std::fmt::Debug,
+{
+    fn capture_engine(&self) -> EngineState {
+        EngineState::Ensemble(self.capture_state())
     }
 }
 
@@ -1598,6 +1739,73 @@ mod tests {
             snap.gauge("maintenance.rows_patched_fraction"),
             agg.rows_patched_fraction()
         );
+    }
+
+    #[test]
+    fn checkpoint_restores_the_identical_trajectory_tail_at_any_thread_count() {
+        // Uninterrupted reference run.
+        let stop = StopCondition::consensus().or_max_interactions(5_000_000);
+        let expected = ensemble(vec![400, 100], 30, 6).run(stop);
+
+        for threads in [1usize, 3] {
+            // Interrupted run: spend a few scheduling windows, pause with
+            // live replicas, capture, and throw the engine away.
+            let mut paused =
+                ensemble(vec![400, 100], 30, 6).with_parallelism(Parallelism::fixed(threads));
+            assert!(
+                paused.run_windows(stop, 2).is_none(),
+                "two windows must not finish six replicas"
+            );
+            let json = Checkpoint::capture(&paused).to_json();
+            drop(paused);
+
+            // Restore from the serialized checkpoint and finish under the
+            // same stop condition.
+            let checkpoint = Checkpoint::from_json(&json).unwrap();
+            let mut restored = EnsembleEngine::<BatchedEngine<Usd2>>::restore(&Usd2, &checkpoint)
+                .unwrap()
+                .with_parallelism(Parallelism::fixed(threads));
+            let resumed = restored
+                .run_windows(stop, u64::MAX)
+                .expect("an unbounded window budget always finishes");
+            assert_eq!(
+                resumed.results(),
+                expected.results(),
+                "restored tail diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn pause_and_resume_in_place_matches_the_uninterrupted_run() {
+        // Pausing the *same* engine (no serialization round-trip) and
+        // resuming must also be invisible to the per-replica results.
+        let stop = StopCondition::consensus().or_max_interactions(5_000_000);
+        let expected = ensemble(vec![300, 100], 20, 5).run(stop);
+        let mut ens = ensemble(vec![300, 100], 20, 5);
+        let mut outcome = ens.run_windows(stop, 1);
+        let mut pauses = 0u32;
+        while outcome.is_none() {
+            pauses += 1;
+            assert!(pauses < 1_000_000, "run never completed");
+            outcome = ens.run_windows(stop, 1);
+        }
+        assert!(pauses > 0, "a one-window budget must pause at least once");
+        assert_eq!(outcome.unwrap().results(), expected.results());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_kinds() {
+        let ens = ensemble(vec![50, 50], 0, 2);
+        let replica_only = Checkpoint::capture(&ens.replicas()[0]);
+        let err = EnsembleEngine::<BatchedEngine<Usd2>>::restore(&Usd2, &replica_only).unwrap_err();
+        match err {
+            PpError::Checkpoint { reason } => {
+                assert!(reason.contains("batched"), "{reason}");
+                assert!(reason.contains("ensemble"), "{reason}");
+            }
+            other => panic!("expected a checkpoint error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -82,6 +82,12 @@ pub enum PpError {
         /// The name of the requested backend.
         requested: &'static str,
     },
+    /// A checkpoint could not be captured, parsed, or restored (see
+    /// [`crate::checkpoint`]).
+    Checkpoint {
+        /// Human-readable diagnostic naming the offending field or mismatch.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PpError {
@@ -104,6 +110,7 @@ impl fmt::Display for PpError {
             PpError::UnsupportedEngine { requested } => {
                 write!(f, "the {requested} engine is not available in this context")
             }
+            PpError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
         }
     }
 }

@@ -96,6 +96,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod agent_sim;
+pub mod checkpoint;
 pub mod config;
 pub mod count_sim;
 pub mod engine;
@@ -114,6 +115,10 @@ pub mod stopping;
 pub mod telemetry;
 
 pub use agent_sim::AgentSimulator;
+pub use checkpoint::{
+    Checkpoint, EngineCheckpoint, EngineSnapshot, EngineState, EnsembleSnapshot, ReplicaCheckpoint,
+    ShardSnapshot, ShardedSnapshot, CHECKPOINT_FORMAT_VERSION,
+};
 pub use config::Configuration;
 pub use count_sim::CountSimulator;
 pub use engine::{Advance, BatchedEngine, CountEngine, EngineChoice, ExactEngine, StepEngine};
@@ -136,6 +141,7 @@ pub use telemetry::{MetricsSnapshot, Telemetry};
 /// Convenience prelude re-exporting the types needed by most users.
 pub mod prelude {
     pub use crate::agent_sim::AgentSimulator;
+    pub use crate::checkpoint::{Checkpoint, EngineCheckpoint, ReplicaCheckpoint};
     pub use crate::config::Configuration;
     pub use crate::count_sim::CountSimulator;
     pub use crate::engine::{

@@ -43,8 +43,15 @@ pub struct MaintenanceStats {
     pub rows_rebuilt: u64,
     /// Activation laws updated in place across a `±1` counts change.
     pub law_patches: u64,
-    /// Activation laws recomputed from the full counts.
+    /// Activation laws recomputed from the full counts on purpose (first
+    /// event, parameter change, or incremental maintenance disabled).
     pub law_rebuilds: u64,
+    /// Activation laws recomputed because the integer closed form ran out of
+    /// headroom and the evaluation fell back to the floating-point program —
+    /// a *per-event* cost (e.g. the j-Majority at `j = 7`, `n = 10⁶`), kept
+    /// separate from `law_rebuilds` so the u128-headroom caveat is visible
+    /// instead of lumped in with intentional cold rebuilds.
+    pub law_fallback_rebuilds: u64,
 }
 
 impl MaintenanceStats {
@@ -55,6 +62,7 @@ impl MaintenanceStats {
         self.rows_rebuilt += other.rows_rebuilt;
         self.law_patches += other.law_patches;
         self.law_rebuilds += other.law_rebuilds;
+        self.law_fallback_rebuilds += other.law_fallback_rebuilds;
     }
 
     /// Fraction of row-table refreshes served by the incremental patch, if
@@ -66,10 +74,12 @@ impl MaintenanceStats {
     }
 
     /// Fraction of activation-law refreshes served by the incremental patch,
-    /// if any refresh happened.
+    /// if any refresh happened.  Fallback rebuilds count toward the
+    /// denominator: a workload past the integer-headroom gate pays the full
+    /// law cost per event, and this fraction should say so.
     #[must_use]
     pub fn law_patched_fraction(&self) -> Option<f64> {
-        let total = self.law_patches + self.law_rebuilds;
+        let total = self.law_patches + self.law_rebuilds + self.law_fallback_rebuilds;
         (total > 0).then(|| self.law_patches as f64 / total as f64)
     }
 }
@@ -299,19 +309,22 @@ mod tests {
             rows_rebuilt: 10,
             law_patches: 0,
             law_rebuilds: 0,
+            law_fallback_rebuilds: 0,
         };
         stats.absorb(MaintenanceStats {
             rows_patched: 0,
             rows_rebuilt: 0,
             law_patches: 3,
             law_rebuilds: 1,
+            law_fallback_rebuilds: 4,
         });
         let r = r.with_maintenance(Some(stats));
         let recorded = r.maintenance().unwrap();
         assert_eq!(recorded.rows_patched, 30);
         assert_eq!(recorded.law_rebuilds, 1);
+        assert_eq!(recorded.law_fallback_rebuilds, 4);
         assert_eq!(recorded.rows_patched_fraction(), Some(0.75));
-        assert_eq!(recorded.law_patched_fraction(), Some(0.75));
+        assert_eq!(recorded.law_patched_fraction(), Some(0.375));
         assert_eq!(MaintenanceStats::default().rows_patched_fraction(), None);
     }
 
@@ -327,6 +340,7 @@ mod tests {
             rows_rebuilt: 1,
             law_patches: 0,
             law_rebuilds: 0,
+            law_fallback_rebuilds: 0,
         }));
         assert_eq!(bare, counted);
         let other = RunResult::new(

@@ -80,6 +80,9 @@ pub(crate) mod reconcile;
 
 pub use plan::{ShardPlan, EPOCH_AUTO_DENOMINATOR};
 
+use crate::checkpoint::{
+    Checkpoint, EngineCheckpoint, EngineState, ShardSnapshot, ShardedSnapshot,
+};
 use crate::config::Configuration;
 use crate::engine::{Advance, BatchedEngine, StepEngine};
 use crate::error::PpError;
@@ -399,6 +402,103 @@ impl<P: OpinionProtocol + Clone> ShardedEngine<P> {
         self.shards.iter().map(|s| s.events).sum()
     }
 
+    /// Captures this engine's resumable state: every shard's batched engine
+    /// and cross-reconciliation RNG, the epoch allocator RNG, and the epoch
+    /// schedule.  The merged configuration, pair weights and per-epoch
+    /// quota/scratch buffers are *not* captured — captures land between
+    /// `advance` calls, i.e. on epoch boundaries, where all of them are
+    /// either recomputable from the shards or dead.  See
+    /// [`crate::checkpoint`] for the exactness rules.
+    #[must_use]
+    pub fn capture_state(&self) -> ShardedSnapshot {
+        ShardedSnapshot {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardSnapshot {
+                    engine: s.engine.capture_state(),
+                    cross_rng: s.cross_rng.state(),
+                })
+                .collect(),
+            alloc_rng: self.alloc_rng.state(),
+            interactions: self.interactions,
+            epochs: self.epochs,
+            epoch_len: self.epoch_len,
+            threads: self.threads as u64,
+            rebalance_every: self.rebalance_every,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint captured by
+    /// [`ShardedEngine::capture_state`].  The snapshot is self-contained
+    /// (epoch length, thread cap and re-balance cadence ride along), so no
+    /// [`ShardPlan`] is needed; the restored engine walks the identical
+    /// trajectory tail at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] when the checkpoint holds a
+    /// different engine kind, no shards, or invalid counts, and
+    /// [`PpError::OpinionCountMismatch`] when the protocol disagrees with
+    /// the captured counts on `k`.
+    pub fn restore(protocol: P, checkpoint: &Checkpoint) -> Result<Self, PpError> {
+        let EngineState::Sharded(snapshot) = checkpoint.engine() else {
+            return Err(checkpoint.kind_mismatch("sharded"));
+        };
+        Self::restore_snapshot(protocol, snapshot)
+    }
+
+    /// Snapshot-level counterpart of [`ShardedEngine::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedEngine::restore`], minus the kind check.
+    pub fn restore_snapshot(protocol: P, snapshot: &ShardedSnapshot) -> Result<Self, PpError> {
+        if snapshot.shards.is_empty() {
+            return Err(PpError::Checkpoint {
+                reason: "sharded checkpoint holds no shards".to_string(),
+            });
+        }
+        let shard_count = snapshot.shards.len();
+        let mut shards = Vec::with_capacity(shard_count);
+        for shard in &snapshot.shards {
+            shards.push(ShardState {
+                engine: BatchedEngine::restore_snapshot(protocol.clone(), &shard.engine)?,
+                cross_rng: SmallRng::from_state(shard.cross_rng),
+                intra_quota: 0,
+                cross_quotas: vec![0; shard_count],
+                rows: Vec::new(),
+                events: 0,
+            });
+        }
+        let parts: Vec<Configuration> = shards
+            .iter()
+            .map(|s| s.engine.configuration().clone())
+            .collect();
+        let merged = merge_configurations(&parts);
+        let populations: Vec<u64> = parts.iter().map(Configuration::population).collect();
+        let mut pair_weights = Vec::with_capacity(shard_count * shard_count);
+        for &na in &populations {
+            for &nb in &populations {
+                pair_weights.push(u128::from(na) * u128::from(nb));
+            }
+        }
+        Ok(ShardedEngine {
+            shards,
+            pair_weights,
+            merged,
+            interactions: snapshot.interactions,
+            epochs: snapshot.epochs,
+            epoch_len: snapshot.epoch_len.max(1),
+            threads: usize::try_from(snapshot.threads)
+                .unwrap_or(1)
+                .clamp(1, shard_count),
+            rebalance_every: snapshot.rebalance_every,
+            alloc_rng: SmallRng::from_state(snapshot.alloc_rng),
+            tel: Telemetry::disabled(),
+        })
+    }
+
     /// Re-splits the merged counts proportionally across the (fixed) shard
     /// populations — a load-leveling relabeling that leaves the merged
     /// configuration untouched (see [`ShardPlan::rebalance_every`]).
@@ -412,6 +512,12 @@ impl<P: OpinionProtocol + Clone> ShardedEngine<P> {
         for (shard, part) in self.shards.iter_mut().zip(fresh) {
             *shard.engine.parts_mut().1 = part;
         }
+    }
+}
+
+impl<P: OpinionProtocol + Clone> EngineCheckpoint for ShardedEngine<P> {
+    fn capture_engine(&self) -> EngineState {
+        EngineState::Sharded(self.capture_state())
     }
 }
 
@@ -671,6 +777,49 @@ mod tests {
             assert_eq!(remerged.population(), 1_000);
         }
         assert!(engine.epochs() >= 1);
+    }
+
+    #[test]
+    fn checkpoint_restores_the_identical_trajectory_tail_at_any_thread_count() {
+        let config = Configuration::from_counts(vec![1_400, 600], 0).unwrap();
+        let stop = StopCondition::consensus().or_max_interactions(50_000_000);
+        let limit = stop.max_interactions().unwrap();
+        let plan = ShardPlan::new(4).threads(2);
+        let mut reference = ShardedEngine::new(Usd2, config.clone(), SimSeed::from_u64(23), &plan);
+        let mut interrupted = ShardedEngine::new(Usd2, config, SimSeed::from_u64(23), &plan);
+        for _ in 0..10 {
+            assert_eq!(reference.advance(limit), interrupted.advance(limit));
+        }
+        let checkpoint = Checkpoint::capture(&interrupted);
+        assert_eq!(checkpoint.kind(), "sharded");
+        // Round-trip through the serialized document, like a real resume.
+        let reloaded = Checkpoint::from_json(&checkpoint.to_json()).unwrap();
+        drop(interrupted);
+        let mut restored = ShardedEngine::restore(Usd2, &reloaded).unwrap();
+        assert_eq!(restored.num_shards(), 4);
+        assert_eq!(restored.epoch_length(), reference.epoch_length());
+        assert_eq!(restored.configuration(), reference.configuration());
+        assert_eq!(restored.interactions(), reference.interactions());
+        let expected = reference.run_engine(stop);
+        let resumed = restored.run_engine(stop);
+        assert_eq!(resumed, expected);
+    }
+
+    #[test]
+    fn restore_rejects_foreign_kinds_and_empty_shard_lists() {
+        let config = Configuration::from_counts(vec![100, 100], 0).unwrap();
+        let engine = ShardedEngine::new(Usd2, config, SimSeed::from_u64(1), &ShardPlan::new(2));
+        let mut snapshot = engine.capture_state();
+        snapshot.shards.clear();
+        assert!(matches!(
+            ShardedEngine::restore_snapshot(Usd2, &snapshot),
+            Err(PpError::Checkpoint { .. })
+        ));
+        let foreign = Checkpoint::new(EngineState::Sharded(engine.capture_state()));
+        assert!(matches!(
+            crate::count_sim::CountSimulator::restore(Usd2, &foreign),
+            Err(PpError::Checkpoint { .. })
+        ));
     }
 
     #[test]

@@ -644,6 +644,10 @@ impl MetricsSnapshot {
         self.add_counter("maintenance.rows_rebuilt", stats.rows_rebuilt);
         self.add_counter("maintenance.law_patches", stats.law_patches);
         self.add_counter("maintenance.law_rebuilds", stats.law_rebuilds);
+        self.add_counter(
+            "maintenance.law_fallback_rebuilds",
+            stats.law_fallback_rebuilds,
+        );
         if let Some(f) = stats.rows_patched_fraction() {
             self.set_gauge("maintenance.rows_patched_fraction", f);
         }
@@ -933,13 +937,15 @@ mod tests {
             rows_rebuilt: 1,
             law_patches: 4,
             law_rebuilds: 0,
+            law_fallback_rebuilds: 12,
         };
         let mut snap = MetricsSnapshot::new();
         snap.absorb_maintenance(&stats);
         assert_eq!(snap.counter("maintenance.rows_patched"), Some(9));
         assert_eq!(snap.counter("maintenance.law_rebuilds"), Some(0));
+        assert_eq!(snap.counter("maintenance.law_fallback_rebuilds"), Some(12));
         assert_eq!(snap.gauge("maintenance.rows_patched_fraction"), Some(0.9));
-        assert_eq!(snap.gauge("maintenance.law_patched_fraction"), Some(1.0));
+        assert_eq!(snap.gauge("maintenance.law_patched_fraction"), Some(0.25));
     }
 
     #[test]

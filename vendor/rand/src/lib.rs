@@ -131,6 +131,26 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's raw xoshiro256++ state.
+        ///
+        /// Workspace extension over the `rand` 0.8 API surface: checkpointing
+        /// needs to persist and re-own RNG stream positions.  The state is
+        /// the full generator — [`SmallRng::from_state`] resumes the stream
+        /// exactly where [`SmallRng::state`] observed it.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a raw state captured by
+        /// [`SmallRng::state`] (workspace extension, see there).
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl Rng for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.s;
@@ -185,6 +205,18 @@ mod tests {
         let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream_exactly() {
+        let mut a = SmallRng::seed_from_u64(11);
+        for _ in 0..5 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
     }
 
     #[test]
