@@ -17,8 +17,9 @@
 //! (experiment E12).  This module provides the vector field, a fixed-step
 //! RK4 integrator and convergence helpers.
 
+use pp_core::checkpoint::{Checkpoint, EngineCheckpoint, EngineState, MeanFieldSnapshot};
 use pp_core::engine::{Advance, StepEngine};
-use pp_core::Configuration;
+use pp_core::{Configuration, PpError};
 use serde::{Deserialize, Serialize};
 
 /// A point of the fluid-limit system: the opinion fractions `a_1..a_k` and the
@@ -305,6 +306,79 @@ impl MeanFieldEngine {
         &self.state
     }
 
+    /// Restores an engine from a checkpoint captured by
+    /// [`Checkpoint::capture`] on a mean-field engine.  The ODE state rides
+    /// in the checkpoint as exact IEEE-754 bit patterns, so the restored
+    /// engine continues bit-identically — the deterministic integrator has
+    /// no RNG, making the tail trivially exact once the `f64`s agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpError::Checkpoint`] when the checkpoint holds a
+    /// different engine kind, the decoded floats are not a valid simplex
+    /// point, or the quantized counts disagree with the population.
+    pub fn restore(checkpoint: &Checkpoint) -> Result<Self, PpError> {
+        let EngineState::MeanField(s) = checkpoint.engine() else {
+            return Err(PpError::Checkpoint {
+                reason: format!(
+                    "checkpoint holds {:?} engine state, expected \"mean-field\"",
+                    checkpoint.kind()
+                ),
+            });
+        };
+        let fail = |reason: String| PpError::Checkpoint { reason };
+        let fractions: Vec<f64> = s.fraction_bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let undecided = f64::from_bits(s.undecided_bits);
+        if fractions.is_empty()
+            || fractions.iter().any(|a| !a.is_finite() || *a < 0.0)
+            || !undecided.is_finite()
+            || undecided < 0.0
+        {
+            return Err(fail(
+                "mean-field state bits decode to negative or non-finite fractions".to_string(),
+            ));
+        }
+        let total: f64 = fractions.iter().sum::<f64>() + undecided;
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(fail(format!(
+                "mean-field fractions sum to {total}, not 1 — the checkpoint is corrupt"
+            )));
+        }
+        let dt = f64::from_bits(s.dt_bits);
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(fail(format!("mean-field step size {dt} must be positive")));
+        }
+        if s.supports.len() != fractions.len() {
+            return Err(fail(format!(
+                "mean-field checkpoint has {} fractions but {} supports",
+                fractions.len(),
+                s.supports.len()
+            )));
+        }
+        let config = Configuration::from_counts(s.supports.clone(), s.undecided).map_err(|e| {
+            fail(format!(
+                "captured quantized counts are not a valid configuration: {e}"
+            ))
+        })?;
+        if config.population() != s.population {
+            return Err(fail(format!(
+                "quantized counts cover {} agents but the checkpoint says n={}",
+                config.population(),
+                s.population
+            )));
+        }
+        Ok(MeanFieldEngine {
+            state: MeanFieldState {
+                fractions,
+                undecided,
+            },
+            config,
+            population: s.population,
+            interactions: s.interactions,
+            dt,
+        })
+    }
+
     /// Elapsed parallel time.
     #[must_use]
     pub fn parallel_time(&self) -> f64 {
@@ -338,6 +412,20 @@ impl MeanFieldEngine {
         let undecided = counts.pop().expect("k+1 categories");
         Configuration::from_counts(counts, undecided)
             .expect("quantization preserves the population")
+    }
+}
+
+impl EngineCheckpoint for MeanFieldEngine {
+    fn capture_engine(&self) -> EngineState {
+        EngineState::MeanField(MeanFieldSnapshot {
+            fraction_bits: self.state.fractions.iter().map(|a| a.to_bits()).collect(),
+            undecided_bits: self.state.undecided.to_bits(),
+            supports: self.config.supports().to_vec(),
+            undecided: self.config.undecided(),
+            population: self.population,
+            interactions: self.interactions,
+            dt_bits: self.dt.to_bits(),
+        })
     }
 }
 
@@ -545,6 +633,86 @@ mod tests {
         let result = engine.run_engine(StopCondition::consensus().or_max_interactions(10_000_000));
         assert_eq!(result.outcome(), RunOutcome::BudgetExhausted);
         assert_eq!(result.interactions(), 10_000_000);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_bit_identically() {
+        use pp_core::StopCondition;
+        let config = Configuration::from_counts(vec![450, 350, 200], 0).unwrap();
+        // Uninterrupted reference.
+        let mut reference = MeanFieldEngine::new(config.clone());
+        let expected =
+            reference.run_engine(StopCondition::consensus().or_max_interactions(100_000_000));
+        assert!(expected.reached_consensus());
+
+        // Interrupt mid-run (between advance calls toward the SAME final
+        // limit — shrinking it would clamp a step), capture, serialize,
+        // restore, finish: the tail must be bit-identical — the ODE state
+        // rides as exact bit patterns.
+        let mut interrupted = MeanFieldEngine::new(config);
+        while interrupted.interactions() < expected.interactions() / 2 {
+            if interrupted.advance(100_000_000) != Advance::Event {
+                break;
+            }
+        }
+        let checkpoint = Checkpoint::capture(&interrupted);
+        assert_eq!(checkpoint.kind(), "mean-field");
+        let parsed = Checkpoint::from_json(&checkpoint.to_json()).unwrap();
+        let mut restored = MeanFieldEngine::restore(&parsed).unwrap();
+        assert_eq!(restored.interactions(), interrupted.interactions());
+        assert_eq!(restored.state(), interrupted.state());
+        assert_eq!(
+            restored.state().fractions()[0].to_bits(),
+            interrupted.state().fractions()[0].to_bits(),
+            "restored fractions must match bit-for-bit"
+        );
+        assert_eq!(restored.configuration(), interrupted.configuration());
+        let resumed =
+            restored.run_engine(StopCondition::consensus().or_max_interactions(100_000_000));
+        assert_eq!(resumed, expected, "restored tail diverged");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_state_by_name() {
+        let config = Configuration::from_counts(vec![600, 400], 0).unwrap();
+        let engine = MeanFieldEngine::new(config);
+        let good = Checkpoint::capture(&engine);
+        // Wrong kind.
+        let exact = Checkpoint::new(pp_core::EngineState::Exact(pp_core::EngineSnapshot {
+            supports: vec![600, 400],
+            undecided: 0,
+            interactions: 0,
+            rng: [1, 2, 3, 4],
+            counters: Vec::new(),
+        }));
+        let err = MeanFieldEngine::restore(&exact).unwrap_err();
+        assert!(
+            matches!(&err, PpError::Checkpoint { reason } if reason.contains("mean-field")),
+            "{err:?}"
+        );
+        // Corrupt floats: a NaN fraction must be rejected, not integrated.
+        let pp_core::EngineState::MeanField(snap) = good.engine() else {
+            panic!("capture produced the wrong kind");
+        };
+        let mut corrupt = snap.clone();
+        corrupt.fraction_bits[0] = f64::NAN.to_bits();
+        let err =
+            MeanFieldEngine::restore(&Checkpoint::new(pp_core::EngineState::MeanField(corrupt)))
+                .unwrap_err();
+        assert!(
+            matches!(&err, PpError::Checkpoint { reason } if reason.contains("non-finite")),
+            "{err:?}"
+        );
+        // A broken conservation law is a corrupt checkpoint.
+        let mut skewed = snap.clone();
+        skewed.undecided_bits = 0.5f64.to_bits();
+        let err =
+            MeanFieldEngine::restore(&Checkpoint::new(pp_core::EngineState::MeanField(skewed)))
+                .unwrap_err();
+        assert!(
+            matches!(&err, PpError::Checkpoint { reason } if reason.contains("sum to")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -308,21 +308,15 @@ impl UsdSimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`PpError::Checkpoint`] for the mean-field backend, whose
-    /// deterministic ODE state is not checkpointable (re-run it instead —
-    /// it is instant at any `n`).
+    /// Infallible for every current backend (the mean-field engine stores
+    /// its `f64` ODE state as exact IEEE-754 bit patterns); the `Result`
+    /// stays so future non-checkpointable backends can fail by name.
     pub fn capture(&self) -> Result<Checkpoint, PpError> {
         let checkpoint = match &self.engine {
             UsdEngine::Exact(e) => Checkpoint::capture(e),
             UsdEngine::Batched(e) => Checkpoint::capture(e),
             UsdEngine::Sharded(e) => Checkpoint::capture(e),
-            UsdEngine::MeanField(_) => {
-                return Err(PpError::Checkpoint {
-                    reason: "the mean-field backend holds no resumable stochastic state; \
-                             re-run the ODE instead of checkpointing it"
-                        .to_string(),
-                })
-            }
+            UsdEngine::MeanField(e) => Checkpoint::capture(e),
         };
         let mut checkpoint = checkpoint
             .with_meta("sim.seed", self.seed.value())
@@ -386,6 +380,9 @@ impl UsdSimulator {
                         .to_string(),
                 })
             }
+            EngineState::MeanField(_) => {
+                UsdEngine::MeanField(MeanFieldEngine::restore(checkpoint)?)
+            }
         };
         let k = StepEngine::configuration(&engine).num_opinions();
         let initial = match checkpoint.meta("sim.initial.undecided") {
@@ -432,8 +429,7 @@ impl UsdSimulator {
     /// bumps `checkpoint.captures` and adds the document size to
     /// `checkpoint.bytes`.
     ///
-    /// The mean-field backend is skipped silently (nothing to capture);
-    /// runs that never advance past `every_interactions` write only the
+    /// Runs that never advance past `every_interactions` write only the
     /// phase-boundary captures, if any.
     ///
     /// # Panics
@@ -457,13 +453,8 @@ impl UsdSimulator {
         if respect_cadence && self.interactions().saturating_sub(sink.last_capture) < sink.every {
             return;
         }
-        if matches!(self.engine, UsdEngine::MeanField(_)) {
-            return;
-        }
         let path = sink.path.clone();
-        let checkpoint = self
-            .capture()
-            .expect("non-mean-field backends always capture");
+        let checkpoint = self.capture().expect("every backend captures");
         let bytes = checkpoint
             .save(&path)
             .unwrap_or_else(|e| panic!("periodic checkpoint failed: {e}"));
@@ -558,6 +549,23 @@ impl UsdSimulator {
     /// [`StepEngine::run_engine_recorded`], but budget accounting spans
     /// engine switches.
     fn drive<R: Recorder>(&mut self, stop: StopCondition, recorder: &mut R) -> RunResult {
+        self.drive_pausable(stop, recorder, &mut |_| false)
+            .expect("a never-pausing drive always finishes")
+    }
+
+    /// [`UsdSimulator::drive`] with a cooperative pause hook, checked
+    /// between `advance` calls only — the same boundary where periodic
+    /// checkpoints are exact.  Returns `None` when the hook asked to pause;
+    /// the simulator state is then a valid capture point and a later call
+    /// toward the **same** stop condition continues the identical
+    /// trajectory (pausing consumes no RNG and never shrinks an `advance`
+    /// limit, so the drawn event sequence is unchanged).
+    fn drive_pausable<R: Recorder>(
+        &mut self,
+        stop: StopCondition,
+        recorder: &mut R,
+        pause: &mut dyn FnMut(u64) -> bool,
+    ) -> Option<RunResult> {
         assert!(
             stop.is_bounded(),
             "stop condition can never terminate the run"
@@ -574,23 +582,27 @@ impl UsdSimulator {
                 } else {
                     RunOutcome::OpinionSettled
                 };
-                return RunResult::new(outcome, self.interactions(), self.configuration().clone())
-                    .with_scheduler(self.engine.scheduler_name())
-                    .with_rejection_misses(self.engine.rejection_misses())
-                    .with_maintenance(self.engine.maintenance())
-                    .with_telemetry(self.telemetry_snapshot());
+                return Some(
+                    RunResult::new(outcome, self.interactions(), self.configuration().clone())
+                        .with_scheduler(self.engine.scheduler_name())
+                        .with_rejection_misses(self.engine.rejection_misses())
+                        .with_maintenance(self.engine.maintenance())
+                        .with_telemetry(self.telemetry_snapshot()),
+                );
             }
             let limit = match stop.max_interactions() {
                 Some(budget) if self.interactions() >= budget => {
-                    return RunResult::new(
-                        RunOutcome::BudgetExhausted,
-                        self.interactions(),
-                        self.configuration().clone(),
-                    )
-                    .with_scheduler(self.engine.scheduler_name())
-                    .with_rejection_misses(self.engine.rejection_misses())
-                    .with_maintenance(self.engine.maintenance())
-                    .with_telemetry(self.telemetry_snapshot());
+                    return Some(
+                        RunResult::new(
+                            RunOutcome::BudgetExhausted,
+                            self.interactions(),
+                            self.configuration().clone(),
+                        )
+                        .with_scheduler(self.engine.scheduler_name())
+                        .with_rejection_misses(self.engine.rejection_misses())
+                        .with_maintenance(self.engine.maintenance())
+                        .with_telemetry(self.telemetry_snapshot()),
+                    );
                 }
                 Some(budget) => budget - self.consumed,
                 None => u64::MAX,
@@ -608,6 +620,9 @@ impl UsdSimulator {
             }
             // Between `advance` calls — the only place a capture is exact.
             self.sink_checkpoint(true);
+            if pause(self.interactions()) {
+                return None;
+            }
         }
     }
 
@@ -640,6 +655,30 @@ impl UsdSimulator {
     ) -> RunResult {
         recorder.record(self.interactions(), self.configuration());
         self.drive(stop, recorder)
+    }
+
+    /// Runs like [`UsdSimulator::run_recorded`], but checks the cooperative
+    /// `pause` hook between `advance` calls and returns `None` when it asks
+    /// to stop — with the simulator parked at an exact capture point.
+    ///
+    /// The hook receives the interaction count so far.  Pausing consumes no
+    /// RNG and never shrinks an `advance` limit, so calling this again with
+    /// the **same** stop condition continues the bit-identical trajectory;
+    /// the final [`RunResult`] equals an uninterrupted run's.  This is the
+    /// seam job servers use to multiplex long runs: pause, emit progress or
+    /// a [`Checkpoint`], then resume (or hand the capture to a fresh
+    /// process via [`UsdSimulator::restore`]).
+    ///
+    /// Unlike [`UsdSimulator::run_recorded`], the recorder does *not* see
+    /// the initial configuration on every call — only the first segment of
+    /// an interrupted run should record it, so the caller does so once.
+    pub fn run_interruptible<R: Recorder>(
+        &mut self,
+        stop: StopCondition,
+        recorder: &mut R,
+        pause: &mut dyn FnMut(u64) -> bool,
+    ) -> Option<RunResult> {
+        self.drive_pausable(stop, recorder, pause)
     }
 
     /// Runs to consensus while tracking the paper's five phase hitting times
@@ -988,18 +1027,68 @@ mod tests {
     }
 
     #[test]
-    fn mean_field_capture_and_foreign_restores_fail_by_name() {
+    fn mean_field_pause_capture_and_restore_are_bit_exact() {
         let config = Configuration::from_counts(vec![600, 400], 0).unwrap();
-        let sim = UsdSimulator::with_engine(
+        let stop = StopCondition::consensus().or_max_interactions(100_000_000);
+        let mut reference = UsdSimulator::with_engine(
             config.clone(),
             SimSeed::from_u64(3),
             EngineChoice::MeanField,
         );
-        let err = sim.capture().unwrap_err();
-        assert!(
-            matches!(&err, PpError::Checkpoint { reason } if reason.contains("mean-field")),
-            "{err:?}"
+        let expected = reference.run_to_consensus(100_000_000);
+        assert!(expected.reached_consensus());
+
+        // Pause via the cooperative hook after the first advance; the
+        // simulator is then a valid capture point.
+        let mut paused = UsdSimulator::with_engine(
+            config.clone(),
+            SimSeed::from_u64(3),
+            EngineChoice::MeanField,
         );
+        let mut sink = pp_core::NullRecorder;
+        let mut fired = false;
+        let segment = paused.run_interruptible(stop, &mut sink, &mut |_| {
+            !std::mem::replace(&mut fired, true)
+        });
+        assert!(segment.is_none(), "the hook pauses the first segment");
+        assert!(paused.interactions() < expected.interactions());
+        let checkpoint = paused.capture().unwrap();
+        assert_eq!(checkpoint.kind(), "mean-field");
+
+        // A fresh process restores the capture and finishes identically.
+        let mut restored = UsdSimulator::restore(&checkpoint, ShardPlan::default()).unwrap();
+        assert_eq!(restored.engine_choice(), EngineChoice::MeanField);
+        assert_eq!(restored.run_to_consensus(100_000_000), expected);
+
+        // Resuming the paused simulator in place is also bit-exact.
+        assert_eq!(
+            paused.run_interruptible(stop, &mut sink, &mut |_| false),
+            Some(expected.clone())
+        );
+
+        // The periodic sink handles the mean-field backend too (it used to
+        // reject it), without perturbing the run, and the file on disk is a
+        // loadable, finishable capture.
+        let dir = std::env::temp_dir().join("usd_core_mean_field_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mean-field.ckpt.json");
+        let mut observed = UsdSimulator::with_engine(
+            config.clone(),
+            SimSeed::from_u64(3),
+            EngineChoice::MeanField,
+        );
+        observed.set_checkpoint_sink(&path, expected.interactions() / 3);
+        assert_eq!(observed.run_to_consensus(100_000_000), expected);
+        let sunk = Checkpoint::load(&path).unwrap();
+        assert_eq!(sunk.kind(), "mean-field");
+        let mut resumed = UsdSimulator::restore(&sunk, ShardPlan::default()).unwrap();
+        assert_eq!(resumed.run_to_consensus(100_000_000), expected);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn foreign_restores_fail_by_name() {
+        let config = Configuration::from_counts(vec![600, 400], 0).unwrap();
         // A bare engine checkpoint (no simulator metadata) is rejected.
         let exact = UsdSimulator::new(config, SimSeed::from_u64(3));
         let bare = match &exact.engine {

@@ -5,8 +5,9 @@
 //! ```
 //!
 //! Runs the engine-throughput experiments — E13 (exact vs batched), E14
-//! (shard count vs throughput, up to `n = 10⁹` at full scale) and E15
-//! (lockstep replica ensemble vs a loop of standalone runs) — and writes a
+//! (shard count vs throughput, up to `n = 10⁹` at full scale), E15
+//! (lockstep replica ensemble vs a loop of standalone runs) and E16
+//! (pp-service job scheduler vs a serial loop of runs) — and writes a
 //! *stamped* JSON document: workspace version, scale and seed at the top,
 //! then one flat `entries` record per `(engine, shards, n, k, bias)` cell,
 //! then the full reports.  The stamp makes records comparable across PRs;
@@ -18,6 +19,7 @@ use std::process::ExitCode;
 use usd_experiments::exps::e13_engine_throughput::EngineThroughputExperiment;
 use usd_experiments::exps::e14_sharded_throughput::ShardedThroughputExperiment;
 use usd_experiments::exps::e15_ensemble_throughput::EnsembleThroughputExperiment;
+use usd_experiments::exps::e16_service_throughput::ServiceThroughputExperiment;
 use usd_experiments::trend::render_stamped_document;
 use usd_experiments::Scale;
 
@@ -93,6 +95,15 @@ fn main() -> ExitCode {
     print!("{}", e15_report.render());
     entries.extend(e15_entries);
 
+    let e16 = ServiceThroughputExperiment::new(opts.scale);
+    eprintln!(
+        "E16: benchmarking the service job scheduler over {:?}…",
+        e16.cells
+    );
+    let (e16_report, e16_entries) = e16.run_with_samples(SimSeed::from_u64(opts.seed ^ 0xE16));
+    print!("{}", e16_report.render());
+    entries.extend(e16_entries);
+
     // The observability budget: telemetry-on should stay within 5% of the
     // telemetry-off reference.  A warning, not a failure — single-shot CI
     // timings are noisy, and the committed trend baseline is the real gate.
@@ -113,7 +124,7 @@ fn main() -> ExitCode {
         scale_name,
         opts.seed,
         &entries,
-        &[e13_report, e14_report, e15_report],
+        &[e13_report, e14_report, e15_report, e16_report],
     );
     if let Err(e) = std::fs::write(&opts.output, document + "\n") {
         eprintln!("cannot write {}: {e}", opts.output);

@@ -64,10 +64,19 @@
 //!   different budget would break the bit-exactness contract, so a
 //!   mismatch against the checkpoint's captured initial configuration is
 //!   a hard error.  The resumed trajectory tail is bit-identical to the
-//!   uninterrupted run's.  The mean-field backend cannot checkpoint or
-//!   resume (the ODE holds no stochastic state; re-running it is
-//!   instant), and the replica ensemble checkpoints through the library
-//!   API (`UsdEnsemble::capture`), not these flags.
+//!   uninterrupted run's.  Every backend checkpoints, including the
+//!   mean-field ODE (its `f64` state rides as exact bit patterns); the
+//!   replica ensemble checkpoints through the library API
+//!   (`UsdEnsemble::capture`), not these flags.
+//!
+//! Scenario files (`pp_service::ScenarioConfig`):
+//!
+//! * `--scenario run.json` (alone — it *is* the whole command line) loads
+//!   a versioned scenario document, runs it through the service layer's
+//!   `run_scenario`, and prints the canonical result JSON on stdout.  The
+//!   result is bit-identical to submitting the same document to a
+//!   `pp_serve` job server, and to the equivalent hand-typed flags —
+//!   `tests/service_equivalence.rs` pins all three.
 
 use consensus_dynamics::{
     sampler_ensemble, JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
@@ -256,7 +265,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--resume" => opts.resume = Some(value(&mut i)?),
             "--help" | "-h" => return Err(
-                "usage: usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
+                "usage: usd_run --scenario <scenario json> | \
+                 usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
                      [--undecided <fraction>] \
                      [--dynamic usd|voter|two-choices|3-majority|j-majority|median] [--j <samples>] \
                      [--engine exact|batched|sharded|mean-field] \
@@ -330,13 +340,6 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             return Err(
                 "--checkpoint/--resume cover single runs; the replica ensemble checkpoints \
                  through the library API (UsdEnsemble::capture), not the CLI"
-                    .to_string(),
-            );
-        }
-        if opts.engine == EngineChoice::MeanField {
-            return Err(
-                "the mean-field backend holds no resumable stochastic state, so it cannot \
-                 checkpoint or resume — re-running the ODE is instant at any n"
                     .to_string(),
             );
         }
@@ -817,8 +820,50 @@ fn run_sampling_dynamic<D: SamplingDynamics>(
     Ok(result)
 }
 
+/// Runs a `--scenario FILE` document through the service layer's shared
+/// runner and prints the canonical result JSON on stdout (bit-identical to
+/// submitting the same file to a `pp_serve` job server).
+fn run_scenario_file(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = match pp_service::ScenarioConfig::from_json(&text) {
+        Ok(scenario) => scenario,
+        Err(message) => {
+            eprintln!("{path}: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    match pp_service::run_scenario(&scenario, pp_service::RunControl::default()) {
+        Ok(pp_service::RunVerdict::Finished(outcome)) => {
+            println!("{}", pp_service::result_json(&outcome));
+            ExitCode::SUCCESS
+        }
+        Ok(pp_service::RunVerdict::Interrupted(_)) => {
+            unreachable!("a default RunControl carries no interrupt hook")
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|flag| flag == "--scenario") {
+        // The scenario document *is* the command line; mixing it with
+        // flags would create two sources of truth for one run.
+        if args.len() != 2 || args[0] != "--scenario" {
+            eprintln!("--scenario takes exactly one file and no other flags");
+            return ExitCode::from(2);
+        }
+        return run_scenario_file(&args[1]);
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {

@@ -7,6 +7,7 @@ pub mod e12_mean_field;
 pub mod e13_engine_throughput;
 pub mod e14_sharded_throughput;
 pub mod e15_ensemble_throughput;
+pub mod e16_service_throughput;
 pub mod e1_phase_table;
 pub mod e2_multiplicative_bias;
 pub mod e3_additive_bias;
@@ -61,6 +62,9 @@ pub fn all_experiments(scale: crate::Scale) -> Vec<Box<dyn Experiment>> {
         Box::new(e15_ensemble_throughput::EnsembleThroughputExperiment::new(
             scale,
         )),
+        Box::new(e16_service_throughput::ServiceThroughputExperiment::new(
+            scale,
+        )),
     ]
 }
 
@@ -76,7 +80,7 @@ mod tests {
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14", "E15"
+                "E14", "E15", "E16"
             ]
         );
     }

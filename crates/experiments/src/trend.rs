@@ -553,17 +553,20 @@ fn cell_label(entry: &BenchEntry) -> String {
 }
 
 /// Engines whose throughput the trend check guards (the fast backends, the
-/// incremental-maintenance arm, and the telemetry-on arm whose speedup
-/// against telemetry-off is the observability overhead; the exact engine and
-/// the rebuild / replica-loop / telemetry-off reference arms are their own
-/// baselines).
-pub const GUARDED_ENGINES: [&str; 6] = [
+/// incremental-maintenance arm, the telemetry-on arm whose speedup against
+/// telemetry-off is the observability overhead, and the two pp-service
+/// arms — single-worker queue overhead and the multiplexing pool; the exact
+/// engine and the rebuild / replica-loop / scenario-loop / telemetry-off
+/// reference arms are their own baselines).
+pub const GUARDED_ENGINES: [&str; 8] = [
     "batched",
     "sharded",
     "ensemble",
     "parallel-ensemble",
     "incremental",
     "telemetry-on",
+    "service",
+    "service-pool",
 ];
 
 /// Compares `current` against `baseline`: every baseline cell of a guarded

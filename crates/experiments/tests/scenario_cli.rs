@@ -1,0 +1,75 @@
+//! `usd_run --scenario FILE` is a front-end over `pp_service::run_scenario`;
+//! its stdout must be the same canonical result bytes, and scenario-file
+//! diagnostics must match the CLI's named sentences.
+
+use pp_service::runner::{result_json, run_scenario, RunControl, RunVerdict};
+use pp_service::scenario::ScenarioConfig;
+
+fn standalone_json(scenario: &ScenarioConfig) -> String {
+    let RunVerdict::Finished(outcome) =
+        run_scenario(scenario, RunControl::default()).expect("standalone scenario run failed")
+    else {
+        panic!("a default RunControl cannot be interrupted");
+    };
+    result_json(&outcome)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("usd_run_scenario_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn scenario_flag_matches_standalone_bytes() {
+    let scenario = ScenarioConfig::new(640, 3).with_seed(13);
+    let expected = standalone_json(&scenario);
+    let dir = temp_dir("ok");
+    let file = dir.join("scenario.json");
+    std::fs::write(&file, scenario.to_json()).expect("write scenario");
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_usd_run"))
+        .args(["--scenario", file.to_str().unwrap()])
+        .output()
+        .expect("run usd_run --scenario");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&output.stdout).trim(),
+        expected,
+        "usd_run --scenario diverged from the in-process runner"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scenario_flag_rejects_invalid_files_with_named_diagnostics() {
+    let dir = temp_dir("bad");
+    let file = dir.join("scenario.json");
+    // An invalid cross-field combination must fail with the CLI's sentence.
+    let mut bad = ScenarioConfig::new(100, 3);
+    bad.samples = 0;
+    std::fs::write(&file, bad.to_json()).expect("write scenario");
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_usd_run"))
+        .args(["--scenario", file.to_str().unwrap()])
+        .output()
+        .expect("run usd_run --scenario");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--samples must be positive"),
+        "unexpected diagnostic: {stderr}"
+    );
+    // Mixing --scenario with other flags is refused outright.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_usd_run"))
+        .args(["--scenario", file.to_str().unwrap(), "--n", "100"])
+        .output()
+        .expect("run usd_run with mixed flags");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr)
+        .contains("--scenario takes exactly one file and no other flags"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

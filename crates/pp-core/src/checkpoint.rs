@@ -35,7 +35,10 @@
 //! sharded allocator RNG, every ensemble replica's RNG), the incremental
 //! maintenance switch, and the maintenance/throughput counters
 //! (patches, rebuilds, skips, draws) so a restored run's reports continue
-//! where the interrupted run left off.
+//! where the interrupted run left off.  The mean-field engine holds no RNG
+//! at all; its [`MeanFieldSnapshot`] instead stores the exact IEEE-754 bit
+//! patterns of its `f64` ODE state, so even the deterministic backend
+//! resumes bit-identically.
 //!
 //! Not captured, because each is a pure function of the captured state and
 //! is rebuilt deterministically on restore:
@@ -173,6 +176,32 @@ pub struct EnsembleSnapshot {
     pub dormant_events: u64,
 }
 
+/// Snapshot of a mean-field (fluid-limit) engine.  The ODE state is `f64`,
+/// which the checkpoint format's unsigned-integer-only parser cannot carry
+/// directly, so every float is stored as its exact IEEE-754 bit pattern
+/// ([`f64::to_bits`]) — the round trip is bit-exact, never a decimal
+/// approximation.  The quantized configuration rides along as plain counts
+/// (largest-remainder rounding of the exact fractions could disagree with
+/// the captured configuration by one agent under floating-point re-derive,
+/// so it is state, not a pure function).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeanFieldSnapshot {
+    /// Bit patterns of the per-opinion fractions `a_1..a_k`.
+    pub fraction_bits: Vec<u64>,
+    /// Bit pattern of the undecided fraction `w`.
+    pub undecided_bits: u64,
+    /// Per-opinion decided counts of the quantized configuration.
+    pub supports: Vec<u64>,
+    /// Undecided count of the quantized configuration.
+    pub undecided: u64,
+    /// Population size `n`.
+    pub population: u64,
+    /// Interactions elapsed (parallel time × `n`).
+    pub interactions: u64,
+    /// Bit pattern of the RK4 step size `dt`.
+    pub dt_bits: u64,
+}
+
 /// The engine-specific payload of a [`Checkpoint`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineState {
@@ -184,6 +213,8 @@ pub enum EngineState {
     Sharded(ShardedSnapshot),
     /// A lockstep replica ensemble.
     Ensemble(EnsembleSnapshot),
+    /// A mean-field (fluid-limit) ODE engine.
+    MeanField(MeanFieldSnapshot),
 }
 
 impl EngineState {
@@ -195,6 +226,7 @@ impl EngineState {
             EngineState::Batched(_) => "batched",
             EngineState::Sharded(_) => "sharded",
             EngineState::Ensemble(_) => "ensemble",
+            EngineState::MeanField(_) => "mean-field",
         }
     }
 }
@@ -268,7 +300,7 @@ impl Checkpoint {
     }
 
     /// The stable engine identifier (`"exact"`, `"batched"`, `"sharded"`,
-    /// `"ensemble"`).
+    /// `"ensemble"`, `"mean-field"`).
     #[must_use]
     pub fn kind(&self) -> &'static str {
         self.engine.kind()
@@ -308,6 +340,7 @@ impl Checkpoint {
             EngineState::Exact(s) | EngineState::Batched(s) => write_snapshot(&mut out, s),
             EngineState::Sharded(s) => write_sharded(&mut out, s),
             EngineState::Ensemble(s) => write_ensemble(&mut out, s),
+            EngineState::MeanField(s) => write_mean_field(&mut out, s),
         }
         if !self.meta.is_empty() {
             out.push_str(",\"meta\":{");
@@ -349,6 +382,7 @@ impl Checkpoint {
             "batched" => EngineState::Batched(read_snapshot(payload)?),
             "sharded" => EngineState::Sharded(read_sharded(payload)?),
             "ensemble" => EngineState::Ensemble(read_ensemble(payload)?),
+            "mean-field" => EngineState::MeanField(read_mean_field(payload)?),
             other => return Err(bad(&format!("unknown engine kind {other:?}"))),
         };
         let meta = match root.iter().find(|(n, _)| n == "meta") {
@@ -517,6 +551,22 @@ fn write_ensemble(out: &mut String, s: &EnsembleSnapshot) {
         out,
         "],\"rounds\":{},\"dormant_events\":{}}}",
         s.rounds, s.dormant_events
+    );
+}
+
+fn write_mean_field(out: &mut String, s: &MeanFieldSnapshot) {
+    out.push_str("{\"fraction_bits\":");
+    write_u64_array(out, &s.fraction_bits);
+    let _ = write!(
+        out,
+        ",\"undecided_bits\":{},\"supports\":",
+        s.undecided_bits
+    );
+    write_u64_array(out, &s.supports);
+    let _ = write!(
+        out,
+        ",\"undecided\":{},\"population\":{},\"interactions\":{},\"dt_bits\":{}}}",
+        s.undecided, s.population, s.interactions, s.dt_bits
     );
 }
 
@@ -837,6 +887,19 @@ fn read_ensemble(value: &Json) -> Result<EnsembleSnapshot, PpError> {
     })
 }
 
+fn read_mean_field(value: &Json) -> Result<MeanFieldSnapshot, PpError> {
+    let obj = value.as_object("mean-field state")?;
+    Ok(MeanFieldSnapshot {
+        fraction_bits: read_u64_array(get(obj, "fraction_bits")?, "fraction_bits")?,
+        undecided_bits: get(obj, "undecided_bits")?.as_u64("undecided_bits")?,
+        supports: read_u64_array(get(obj, "supports")?, "supports")?,
+        undecided: get(obj, "undecided")?.as_u64("undecided")?,
+        population: get(obj, "population")?.as_u64("population")?,
+        interactions: get(obj, "interactions")?.as_u64("interactions")?,
+        dt_bits: get(obj, "dt_bits")?.as_u64("dt_bits")?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -881,6 +944,19 @@ mod tests {
                 replicas: vec![sample_snapshot(); 3],
                 rounds: 17,
                 dormant_events: 5,
+            }),
+            EngineState::MeanField(MeanFieldSnapshot {
+                fraction_bits: vec![
+                    0.5f64.to_bits(),
+                    (1.0f64 / 3.0).to_bits(),
+                    f64::MIN_POSITIVE.to_bits(),
+                ],
+                undecided_bits: 0.2f64.to_bits(),
+                supports: vec![500, 333, 0],
+                undecided: 167,
+                population: 1_000,
+                interactions: 4_200,
+                dt_bits: 0.01f64.to_bits(),
             }),
         ];
         for state in states {
@@ -977,6 +1053,30 @@ mod tests {
         assert_eq!(parsed, stamped);
         // Bare documents (no meta object) still parse.
         assert_eq!(Checkpoint::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn mean_field_bit_patterns_round_trip_exactly() {
+        // Values with no finite decimal representation must survive the
+        // round trip bit-for-bit — the whole point of the bits encoding.
+        let awkward = [1.0f64 / 3.0, 0.1 + 0.2, f64::MIN_POSITIVE, 1.0 - 1e-16];
+        let state = EngineState::MeanField(MeanFieldSnapshot {
+            fraction_bits: awkward.iter().map(|f| f.to_bits()).collect(),
+            undecided_bits: (1.0f64 / 7.0).to_bits(),
+            supports: vec![1, 2, 3, 4],
+            undecided: 10,
+            population: 20,
+            interactions: 7,
+            dt_bits: 0.001f64.to_bits(),
+        });
+        let parsed = Checkpoint::from_json(&Checkpoint::new(state.clone()).to_json()).unwrap();
+        let EngineState::MeanField(s) = parsed.engine() else {
+            panic!("kind changed in flight");
+        };
+        for (bits, original) in s.fraction_bits.iter().zip(awkward) {
+            assert_eq!(f64::from_bits(*bits).to_bits(), original.to_bits());
+        }
+        assert_eq!(parsed, Checkpoint::new(state));
     }
 
     #[test]

@@ -116,8 +116,8 @@ pub mod telemetry;
 
 pub use agent_sim::AgentSimulator;
 pub use checkpoint::{
-    Checkpoint, EngineCheckpoint, EngineSnapshot, EngineState, EnsembleSnapshot, ReplicaCheckpoint,
-    ShardSnapshot, ShardedSnapshot, CHECKPOINT_FORMAT_VERSION,
+    Checkpoint, EngineCheckpoint, EngineSnapshot, EngineState, EnsembleSnapshot, MeanFieldSnapshot,
+    ReplicaCheckpoint, ShardSnapshot, ShardedSnapshot, CHECKPOINT_FORMAT_VERSION,
 };
 pub use config::Configuration;
 pub use count_sim::CountSimulator;

@@ -1,0 +1,164 @@
+//! Property tests for the scenario schema (issue satellite): random valid
+//! configs serialize → parse → serialize to byte-identical JSON, and
+//! invalid configs fail with the same named diagnostics the CLI prints.
+//!
+//! The vendored proptest harness only offers range/tuple strategies, so
+//! enum variants are selected by drawn indices and assembled in plain code.
+
+use pp_core::EngineChoice;
+use pp_service::scenario::{Dynamic, ScenarioConfig};
+use pp_workloads::{BiasSpec, UndecidedSpec};
+use proptest::prelude::*;
+
+/// Everything a case draws, as plain numbers.
+type Draw = (
+    (u64, u64, usize, usize),   // seed, n, k, dynamic index
+    (usize, f64, u64, usize),   // bias index, bias float, bias integer, undecided index
+    (f64, u64, usize),          // undecided fraction, undecided count, plan index
+    (usize, u64, usize, usize), // shards, epoch selector, threads, replicas
+    (usize, u64, u64),          // j, samples, budget selector
+);
+
+/// Assembles a scenario that satisfies every cross-field rule, exercising
+/// all bias/undecided kinds, all dynamics and all legal engine plans.
+fn assemble(draw: Draw) -> ScenarioConfig {
+    let (
+        (seed, n, k, dyn_idx),
+        (bias_idx, bias_f, bias_u, und_idx),
+        (und_f, und_u, plan_idx),
+        (shards, epoch_sel, threads, replicas),
+        (j, samples, budget_sel),
+    ) = draw;
+    let dynamic = Dynamic::ALL[dyn_idx % Dynamic::ALL.len()];
+    let mut scenario = ScenarioConfig::new(n, k)
+        .with_seed(seed)
+        .with_dynamic(dynamic)
+        .with_samples(samples);
+    scenario.bias = match bias_idx % 7 {
+        0 => BiasSpec::None,
+        1 => BiasSpec::Additive(bias_u),
+        2 => BiasSpec::AdditiveInSqrtNLogN(bias_f),
+        3 => BiasSpec::Multiplicative(1.0 + bias_f / 4.0),
+        4 => BiasSpec::TwoWayTie(0.05 + bias_f / 12.0),
+        5 => BiasSpec::PowerLaw(bias_f),
+        _ => BiasSpec::DirichletLike(bias_u as u32 % 16 + 1),
+    };
+    scenario.undecided = match und_idx % 4 {
+        0 => UndecidedSpec::None,
+        1 => UndecidedSpec::Count(und_u),
+        2 => UndecidedSpec::Fraction(und_f),
+        _ => UndecidedSpec::MaxAdmissible,
+    };
+    if dynamic == Dynamic::JMajority {
+        scenario = scenario.with_majority_samples(j);
+    }
+    // Sampling dynamics only admit the serial engines; the USD takes every
+    // plan shape (serial, sharded with knobs, replica ensemble, mean-field).
+    let plan_idx = if dynamic == Dynamic::Usd {
+        plan_idx % 6
+    } else {
+        plan_idx % 3
+    };
+    match plan_idx {
+        0 => {}
+        1 => scenario.engine = Some(EngineChoice::Exact),
+        2 => scenario.engine = Some(EngineChoice::Batched),
+        3 => {
+            scenario.engine = Some(EngineChoice::Sharded);
+            if shards > 0 {
+                scenario.shards = Some(shards);
+            }
+            if epoch_sel > 0 {
+                scenario.epoch = Some(epoch_sel * 10_000);
+            }
+            if threads > 0 {
+                scenario.threads = Some(threads);
+            }
+        }
+        4 => {
+            scenario.replicas = replicas;
+            if shards % 2 == 0 {
+                scenario.engine = Some(EngineChoice::Batched);
+            }
+            if threads > 0 {
+                scenario.threads = Some(threads);
+            }
+        }
+        _ => scenario.engine = Some(EngineChoice::MeanField),
+    }
+    if budget_sel > 0 {
+        scenario.budget = Some(budget_sel * 1_000_000);
+    }
+    scenario
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn valid_scenarios_round_trip_byte_identically(
+        g1 in (0u64..u64::MAX, 2u64..50_000, 2usize..10, 0usize..6),
+        g2 in (0usize..7, 0.1f64..4.0, 1u64..1_000, 0usize..4),
+        g3 in (0.0f64..0.9, 0u64..500, 0usize..6),
+        g4 in (0usize..8, 0u64..10, 0usize..8, 2usize..6),
+        g5 in (1usize..9, 1u64..2_000, 0u64..4),
+    ) {
+        let scenario = assemble((g1, g2, g3, g4, g5));
+        prop_assert!(
+            scenario.validate().is_ok(),
+            "generator emitted an invalid scenario: {:?} ({})",
+            scenario,
+            scenario.validate().unwrap_err()
+        );
+        let json = scenario.to_json();
+        let back = match ScenarioConfig::from_json(&json) {
+            Ok(back) => back,
+            Err(e) => return Err(TestCaseError::Fail(format!("parse failed: {e} on {json}"))),
+        };
+        prop_assert_eq!(back, scenario, "parse changed the scenario");
+        prop_assert_eq!(back.to_json(), json, "re-serialization changed the bytes");
+    }
+
+    #[test]
+    fn invalid_scenarios_reproduce_cli_diagnostics(
+        g1 in (0u64..u64::MAX, 2u64..50_000, 2usize..10, 0usize..6),
+        g2 in (0usize..7, 0.1f64..4.0, 1u64..1_000, 0usize..4),
+        g3 in (0.0f64..0.9, 0u64..500, 0usize..6),
+        g4 in (0usize..8, 0u64..10, 0usize..8, 2usize..6),
+        g5 in (1usize..9, 1u64..2_000, 0u64..4),
+        which in 0usize..4,
+    ) {
+        // Break one cross-field rule and demand the CLI's exact sentence.
+        let mut broken = assemble((g1, g2, g3, g4, g5));
+        let expected: &str = match which {
+            0 => {
+                broken.samples = 0;
+                "--samples must be positive"
+            }
+            1 => {
+                broken.replicas = 0;
+                "--replicas must be positive"
+            }
+            2 => {
+                broken.engine = Some(EngineChoice::Exact);
+                broken.shards = Some(4);
+                broken.epoch = None;
+                broken.replicas = 1;
+                broken.threads = None;
+                "--shards/--epoch require --engine sharded"
+            }
+            _ => {
+                broken.budget = Some(0);
+                "budget must be positive"
+            }
+        };
+        prop_assert_eq!(broken.validate().unwrap_err(), expected.to_string());
+        // The same document, parsed back, fails validation identically —
+        // the service path and the CLI path reject with one voice.
+        let reparsed = match ScenarioConfig::from_json(&broken.to_json()) {
+            Ok(back) => back,
+            Err(e) => return Err(TestCaseError::Fail(format!("parse failed: {e}"))),
+        };
+        prop_assert_eq!(reparsed.validate().unwrap_err(), expected.to_string());
+    }
+}

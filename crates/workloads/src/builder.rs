@@ -304,6 +304,18 @@ impl InitialConfig {
         self.opinions
     }
 
+    /// The bias specification selected for this workload.
+    #[must_use]
+    pub fn bias_spec(&self) -> BiasSpec {
+        self.bias
+    }
+
+    /// The undecided-seeding specification selected for this workload.
+    #[must_use]
+    pub fn undecided_spec(&self) -> UndecidedSpec {
+        self.undecided
+    }
+
     /// Uses the given bias specification.
     #[must_use]
     pub fn bias(mut self, bias: BiasSpec) -> Self {

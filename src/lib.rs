@@ -13,6 +13,7 @@
 //! | [`gossip`] | `gossip-model` | gossip-model engine, USD-in-gossip, Poisson-clock variant |
 //! | [`analysis`] | `pp-analysis` | statistics, regression, random walks, drift, concentration |
 //! | [`workloads`] | `pp-workloads` | initial-configuration generators |
+//! | [`service`] | `pp-service` | simulation-as-a-service: scenario configs, job queue/server, NDJSON protocol |
 //! | [`experiments`] | `usd-experiments` | the E1–E10 experiment harness |
 //!
 //! ## Quickstart
@@ -38,6 +39,7 @@ pub use consensus_dynamics as dynamics;
 pub use gossip_model as gossip;
 pub use pp_analysis as analysis;
 pub use pp_core as core;
+pub use pp_service as service;
 pub use pp_workloads as workloads;
 pub use usd_core as usd;
 pub use usd_experiments as experiments;
