@@ -11,6 +11,8 @@
 //!   ([`regression`]),
 //! * check the analytic reductions themselves against simulation
 //!   ([`random_walk`], [`drift`], [`concentration`]),
+//! * feed the hybrid engine's online fidelity detector with deterministic
+//!   drift-vs-fluctuation statistics ([`fluctuation`]),
 //! * and pin fast stepping backends to their reference implementations with
 //!   reusable statistical-conformance checkers ([`conformance`]:
 //!   trajectory pinning, single-event-distribution tallies, and conservation
@@ -44,6 +46,7 @@
 pub mod concentration;
 pub mod conformance;
 pub mod drift;
+pub mod fluctuation;
 pub mod histogram;
 pub mod random_walk;
 pub mod regression;
@@ -51,6 +54,7 @@ pub mod stats;
 pub mod streaming;
 
 pub use conformance::{check_conservation, Conformance, EventTally, Verdict};
+pub use fluctuation::{drift_noise_ratio, gap_to_absorption, min_drift_noise_ratio, min_live_mass};
 pub use histogram::Histogram;
 pub use regression::{log_log_fit, LinearFit};
 pub use stats::{chi_squared_binned, chi_squared_two_sample, ChiSquaredTest, Summary};

@@ -15,7 +15,9 @@
 //!   truth, `Batched` for large-`n` speed at identical trajectory law,
 //!   `Sharded` for parallel per-shard batching at `n ≥ 10⁸` (tunably
 //!   approximate; plan it with [`UsdSimulator::with_engine_plan`]),
-//!   `MeanField` for instant ODE approximation — or per *phase* with
+//!   `MeanField` for instant ODE approximation, `Hybrid` for adaptive
+//!   mean-field ↔ batched switching under an online fluctuation detector
+//!   ([`hybrid::HybridEngine`]) — or per *phase* with
 //!   [`EnginePolicy`] ([`UsdSimulator::run_with_phases_policy`]): the
 //!   recommended policy steps Phase 1 exactly and batches the null-dominated
 //!   Phases 2–5.  For Monte Carlo estimates over many runs,
@@ -59,6 +61,7 @@ pub mod bounds;
 pub mod coupling;
 pub mod ensemble;
 pub mod exact;
+pub mod hybrid;
 pub mod mean_field;
 pub mod phases;
 pub mod potential;
@@ -70,6 +73,7 @@ pub mod two_opinion;
 pub use coupling::CoupledUsd;
 pub use ensemble::UsdEnsemble;
 pub use exact::TwoOpinionChain;
+pub use hybrid::HybridEngine;
 pub use mean_field::{MeanFieldEngine, MeanFieldState};
 pub use phases::{EnginePolicy, Phase, PhaseTimes, PhaseTracker};
 pub use protocol::UndecidedStateDynamics;
@@ -83,6 +87,7 @@ pub mod prelude {
     pub use crate::bounds;
     pub use crate::ensemble::UsdEnsemble;
     pub use crate::exact::TwoOpinionChain;
+    pub use crate::hybrid::HybridEngine;
     pub use crate::mean_field::{MeanFieldEngine, MeanFieldState};
     pub use crate::phases::{EnginePolicy, Phase, PhaseTimes, PhaseTracker};
     pub use crate::potential;

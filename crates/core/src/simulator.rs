@@ -1,12 +1,14 @@
 //! A convenience simulator for the USD, generic over the step-engine layer.
 //!
 //! [`UsdSimulator`] drives the [`UndecidedStateDynamics`] through any of the
-//! four [`StepEngine`] backends ([`pp_core::ExactEngine`],
+//! five [`StepEngine`] backends ([`pp_core::ExactEngine`],
 //! [`pp_core::BatchedEngine`], [`pp_core::ShardedEngine`],
-//! [`crate::mean_field::MeanFieldEngine`]) and adds USD-specific helpers:
+//! [`crate::mean_field::MeanFieldEngine`],
+//! [`crate::hybrid::HybridEngine`]) and adds USD-specific helpers:
 //! phase-aware runs (with a per-phase engine policy), winner queries, and
 //! parallel-time accounting.
 
+use crate::hybrid::HybridEngine;
 use crate::mean_field::MeanFieldEngine;
 use crate::phases::{EnginePolicy, Phase, PhaseTimes, PhaseTracker};
 use crate::protocol::UndecidedStateDynamics;
@@ -14,8 +16,9 @@ use pp_core::checkpoint::{Checkpoint, EngineState};
 use pp_core::engine::{Advance, StepEngine};
 use pp_core::run::MaintenanceStats;
 use pp_core::{
-    BatchedEngine, Configuration, CountSimulator, EngineChoice, MetricsSnapshot, Opinion, PpError,
-    Recorder, RunOutcome, RunResult, ShardPlan, ShardedEngine, SimSeed, StopCondition, Telemetry,
+    BatchedEngine, Configuration, CountSimulator, EngineChoice, FidelityConfig, MetricsSnapshot,
+    Opinion, PpError, Recorder, RunOutcome, RunResult, ShardPlan, ShardedEngine, SimSeed,
+    StopCondition, Telemetry,
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -48,18 +51,24 @@ pub enum UsdEngine {
     Sharded(ShardedEngine<UndecidedStateDynamics>),
     /// The deterministic fluid limit (approximation).
     MeanField(MeanFieldEngine),
+    /// Adaptive mean-field ↔ batched switching under the online fluctuation
+    /// detector (approximation during the ODE stretches; see
+    /// [`crate::hybrid`]).
+    Hybrid(HybridEngine),
 }
 
 impl UsdEngine {
     /// Builds the backend selected by `choice` from an initial configuration
     /// (the sharded backend takes its shard count, epoch length and thread
-    /// cap from `plan`; the other backends ignore it).
+    /// cap from `plan`; the hybrid backend takes its detector thresholds
+    /// from `fidelity`; the other backends ignore both).
     #[must_use]
     pub fn new(
         config: Configuration,
         seed: SimSeed,
         choice: EngineChoice,
         plan: &ShardPlan,
+        fidelity: &FidelityConfig,
     ) -> Self {
         let protocol = UndecidedStateDynamics::new(config.num_opinions());
         match choice {
@@ -69,6 +78,7 @@ impl UsdEngine {
                 UsdEngine::Sharded(ShardedEngine::new(protocol, config, seed, plan))
             }
             EngineChoice::MeanField => UsdEngine::MeanField(MeanFieldEngine::new(config)),
+            EngineChoice::Hybrid => UsdEngine::Hybrid(HybridEngine::new(config, seed, *fidelity)),
         }
     }
 
@@ -80,6 +90,7 @@ impl UsdEngine {
             UsdEngine::Batched(_) => EngineChoice::Batched,
             UsdEngine::Sharded(_) => EngineChoice::Sharded,
             UsdEngine::MeanField(_) => EngineChoice::MeanField,
+            UsdEngine::Hybrid(_) => EngineChoice::Hybrid,
         }
     }
 
@@ -101,6 +112,7 @@ impl StepEngine for UsdEngine {
             UsdEngine::Batched(e) => StepEngine::configuration(e),
             UsdEngine::Sharded(e) => StepEngine::configuration(e),
             UsdEngine::MeanField(e) => StepEngine::configuration(e),
+            UsdEngine::Hybrid(e) => StepEngine::configuration(e),
         }
     }
 
@@ -110,6 +122,7 @@ impl StepEngine for UsdEngine {
             UsdEngine::Batched(e) => StepEngine::interactions(e),
             UsdEngine::Sharded(e) => StepEngine::interactions(e),
             UsdEngine::MeanField(e) => StepEngine::interactions(e),
+            UsdEngine::Hybrid(e) => StepEngine::interactions(e),
         }
     }
 
@@ -119,6 +132,7 @@ impl StepEngine for UsdEngine {
             UsdEngine::Batched(e) => e.engine_name(),
             UsdEngine::Sharded(e) => e.engine_name(),
             UsdEngine::MeanField(e) => e.engine_name(),
+            UsdEngine::Hybrid(e) => e.engine_name(),
         }
     }
 
@@ -128,6 +142,7 @@ impl StepEngine for UsdEngine {
             UsdEngine::Batched(e) => e.scheduler_name(),
             UsdEngine::Sharded(e) => e.scheduler_name(),
             UsdEngine::MeanField(e) => e.scheduler_name(),
+            UsdEngine::Hybrid(e) => e.scheduler_name(),
         }
     }
 
@@ -137,6 +152,7 @@ impl StepEngine for UsdEngine {
             UsdEngine::Batched(e) => e.rejection_misses(),
             UsdEngine::Sharded(e) => e.rejection_misses(),
             UsdEngine::MeanField(e) => e.rejection_misses(),
+            UsdEngine::Hybrid(e) => e.rejection_misses(),
         }
     }
 
@@ -146,6 +162,7 @@ impl StepEngine for UsdEngine {
             UsdEngine::Batched(e) => e.maintenance(),
             UsdEngine::Sharded(e) => e.maintenance(),
             UsdEngine::MeanField(e) => e.maintenance(),
+            UsdEngine::Hybrid(e) => e.maintenance(),
         }
     }
 
@@ -155,6 +172,7 @@ impl StepEngine for UsdEngine {
             UsdEngine::Batched(e) => e.telemetry(),
             UsdEngine::Sharded(e) => e.telemetry(),
             UsdEngine::MeanField(e) => e.telemetry(),
+            UsdEngine::Hybrid(e) => e.telemetry(),
         }
     }
 
@@ -164,6 +182,7 @@ impl StepEngine for UsdEngine {
             UsdEngine::Batched(e) => e.advance(limit),
             UsdEngine::Sharded(e) => e.advance(limit),
             UsdEngine::MeanField(e) => e.advance(limit),
+            UsdEngine::Hybrid(e) => e.advance(limit),
         }
     }
 }
@@ -193,6 +212,9 @@ pub struct UsdSimulator {
     seed: SimSeed,
     /// Shard plan applied whenever the sharded backend is (re)constructed.
     plan: ShardPlan,
+    /// Fidelity thresholds applied whenever the hybrid backend is
+    /// (re)constructed.
+    fidelity: FidelityConfig,
     /// Interactions accumulated by engines retired through policy switches.
     consumed: u64,
     rebuilds: u64,
@@ -240,11 +262,32 @@ impl UsdSimulator {
         choice: EngineChoice,
         plan: ShardPlan,
     ) -> Self {
+        Self::with_engine_fidelity(config, seed, choice, plan, FidelityConfig::default())
+    }
+
+    /// Creates a USD simulator with the selected backend, an explicit shard
+    /// plan, and explicit fidelity thresholds that apply whenever the
+    /// hybrid backend runs (see [`crate::hybrid::HybridEngine`]; the other
+    /// backends ignore them).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fidelity` fails [`FidelityConfig::validate`] — validate
+    /// user-supplied thresholds at the boundary and report the message.
+    #[must_use]
+    pub fn with_engine_fidelity(
+        config: Configuration,
+        seed: SimSeed,
+        choice: EngineChoice,
+        plan: ShardPlan,
+        fidelity: FidelityConfig,
+    ) -> Self {
         UsdSimulator {
-            engine: UsdEngine::new(config.clone(), seed, choice, &plan),
+            engine: UsdEngine::new(config.clone(), seed, choice, &plan, &fidelity),
             initial: config,
             seed,
             plan,
+            fidelity,
             consumed: 0,
             rebuilds: 0,
             retired: MetricsSnapshot::new(),
@@ -317,6 +360,9 @@ impl UsdSimulator {
             UsdEngine::Batched(e) => Checkpoint::capture(e),
             UsdEngine::Sharded(e) => Checkpoint::capture(e),
             UsdEngine::MeanField(e) => Checkpoint::capture(e),
+            // The hybrid engine stamps its controller state and interaction
+            // bookkeeping into the meta section itself.
+            UsdEngine::Hybrid(e) => e.checkpoint(),
         };
         let mut checkpoint = checkpoint
             .with_meta("sim.seed", self.seed.value())
@@ -355,33 +401,41 @@ impl UsdSimulator {
                     .to_string(),
             })?;
         let seed = SimSeed::from_u64(seed);
-        let engine = match checkpoint.engine() {
-            EngineState::Exact(s) => {
-                let protocol = UndecidedStateDynamics::new(s.supports.len());
-                UsdEngine::Exact(CountSimulator::restore(protocol, checkpoint)?)
-            }
-            EngineState::Batched(s) => {
-                let protocol = UndecidedStateDynamics::new(s.supports.len());
-                UsdEngine::Batched(BatchedEngine::restore(protocol, checkpoint)?)
-            }
-            EngineState::Sharded(s) => {
-                let k = s
-                    .shards
-                    .first()
-                    .map(|shard| shard.engine.supports.len())
-                    .unwrap_or(0);
-                let protocol = UndecidedStateDynamics::new(k);
-                UsdEngine::Sharded(ShardedEngine::restore(protocol, checkpoint)?)
-            }
-            EngineState::Ensemble(_) => {
-                return Err(PpError::Checkpoint {
-                    reason: "checkpoint holds \"ensemble\" engine state; restore it through \
+        // A hybrid capture carries the *active backend's* engine state
+        // (batched or mean-field) plus `hybrid.*` metadata — dispatch on the
+        // metadata first, or the run would resume as the bare backend and
+        // lose the fidelity controller.
+        let engine = if HybridEngine::is_hybrid_checkpoint(checkpoint) {
+            UsdEngine::Hybrid(HybridEngine::restore(checkpoint)?)
+        } else {
+            match checkpoint.engine() {
+                EngineState::Exact(s) => {
+                    let protocol = UndecidedStateDynamics::new(s.supports.len());
+                    UsdEngine::Exact(CountSimulator::restore(protocol, checkpoint)?)
+                }
+                EngineState::Batched(s) => {
+                    let protocol = UndecidedStateDynamics::new(s.supports.len());
+                    UsdEngine::Batched(BatchedEngine::restore(protocol, checkpoint)?)
+                }
+                EngineState::Sharded(s) => {
+                    let k = s
+                        .shards
+                        .first()
+                        .map(|shard| shard.engine.supports.len())
+                        .unwrap_or(0);
+                    let protocol = UndecidedStateDynamics::new(k);
+                    UsdEngine::Sharded(ShardedEngine::restore(protocol, checkpoint)?)
+                }
+                EngineState::Ensemble(_) => {
+                    return Err(PpError::Checkpoint {
+                        reason: "checkpoint holds \"ensemble\" engine state; restore it through \
                              UsdEnsemble, not UsdSimulator"
-                        .to_string(),
-                })
-            }
-            EngineState::MeanField(_) => {
-                UsdEngine::MeanField(MeanFieldEngine::restore(checkpoint)?)
+                            .to_string(),
+                    })
+                }
+                EngineState::MeanField(_) => {
+                    UsdEngine::MeanField(MeanFieldEngine::restore(checkpoint)?)
+                }
             }
         };
         let k = StepEngine::configuration(&engine).num_opinions();
@@ -408,11 +462,18 @@ impl UsdSimulator {
             }
             None => StepEngine::configuration(&engine).clone(),
         };
+        // A restored hybrid engine carries its thresholds in the metadata;
+        // keep applying them if a later policy switch rebuilds it.
+        let fidelity = match &engine {
+            UsdEngine::Hybrid(e) => *e.fidelity_config(),
+            _ => FidelityConfig::default(),
+        };
         Ok(UsdSimulator {
             engine,
             initial,
             seed,
             plan,
+            fidelity,
             consumed: checkpoint.meta("sim.consumed").unwrap_or(0),
             rebuilds: checkpoint.meta("sim.rebuilds").unwrap_or(0),
             retired: MetricsSnapshot::new(),
@@ -541,7 +602,7 @@ impl UsdSimulator {
         // Derive a fresh child seed per switch so engine streams never
         // overlap (the mean-field backend ignores it).
         let seed = self.seed.child(0x5EED_u64 + self.rebuilds);
-        self.engine = UsdEngine::new(config, seed, choice, &self.plan);
+        self.engine = UsdEngine::new(config, seed, choice, &self.plan, &self.fidelity);
         self.engine.set_telemetry(&self.tel);
     }
 

@@ -341,6 +341,133 @@ impl<D: SamplingDynamics> SequentialSampler<D> {
         }
     }
 
+    /// Runs like [`SequentialSampler::run_recorded`] (per-activation
+    /// stepping, same [`RunResult`] construction), but polls `pause` with
+    /// the activation count after every step — the boundary where
+    /// [`ReplicaCheckpoint::capture_replica`] is exact — and returns `None`
+    /// when it asks to stop.  Pausing consumes no randomness, so slicing a
+    /// run over any number of pauses leaves the trajectory bit-identical;
+    /// unlike the uninterrupted twin this method never records the entry
+    /// state, so re-entering after a pause emits no duplicate sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stop condition is unbounded.
+    pub fn run_interruptible<R: Recorder>(
+        &mut self,
+        stop: StopCondition,
+        recorder: &mut R,
+        pause: &mut dyn FnMut(u64) -> bool,
+    ) -> Option<RunResult> {
+        assert!(
+            stop.is_bounded(),
+            "stop condition can never terminate the run"
+        );
+        loop {
+            if stop.goal_met(&self.config) {
+                let outcome = if self.config.is_consensus() {
+                    RunOutcome::Consensus
+                } else {
+                    RunOutcome::OpinionSettled
+                };
+                return Some(
+                    RunResult::new(outcome, self.steps, self.config.clone())
+                        .with_scheduler(SEQUENTIAL_ACTIVATION_SCHEDULER_NAME)
+                        .with_rejection_misses(Some(self.rejection_misses)),
+                );
+            }
+            if let Some(budget) = stop.max_interactions() {
+                if self.steps >= budget {
+                    return Some(
+                        RunResult::new(
+                            RunOutcome::BudgetExhausted,
+                            self.steps,
+                            self.config.clone(),
+                        )
+                        .with_scheduler(SEQUENTIAL_ACTIVATION_SCHEDULER_NAME)
+                        .with_rejection_misses(Some(self.rejection_misses)),
+                    );
+                }
+            }
+            if self.step() {
+                recorder.record(self.steps, &self.config);
+            }
+            if pause(self.steps) {
+                return None;
+            }
+        }
+    }
+
+    /// The skip-ahead twin of [`SequentialSampler::run_interruptible`]:
+    /// mirrors [`StepEngine::run_engine_recorded`] (same [`RunResult`]
+    /// construction, including maintenance and telemetry), polling `pause`
+    /// between `advance` calls.  The budget limit handed to `advance` is
+    /// always the stop condition's full budget, so pausing never truncates
+    /// a skip-ahead headroom and the trajectory stays bit-identical under
+    /// any pause slicing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stop condition is unbounded.
+    pub fn run_engine_interruptible<R: Recorder>(
+        &mut self,
+        stop: StopCondition,
+        recorder: &mut R,
+        pause: &mut dyn FnMut(u64) -> bool,
+    ) -> Option<RunResult> {
+        assert!(
+            stop.is_bounded(),
+            "stop condition can never terminate the run"
+        );
+        loop {
+            if stop.goal_met(&self.config) {
+                let outcome = if self.config.is_consensus() {
+                    RunOutcome::Consensus
+                } else {
+                    RunOutcome::OpinionSettled
+                };
+                return Some(
+                    RunResult::new(outcome, self.steps, self.config.clone())
+                        .with_scheduler(self.scheduler_name())
+                        .with_rejection_misses(StepEngine::rejection_misses(self))
+                        .with_maintenance(StepEngine::maintenance(self))
+                        .with_telemetry(StepEngine::telemetry(self)),
+                );
+            }
+            let limit = match stop.max_interactions() {
+                Some(budget) if self.steps >= budget => {
+                    return Some(
+                        RunResult::new(
+                            RunOutcome::BudgetExhausted,
+                            self.steps,
+                            self.config.clone(),
+                        )
+                        .with_scheduler(self.scheduler_name())
+                        .with_rejection_misses(StepEngine::rejection_misses(self))
+                        .with_maintenance(StepEngine::maintenance(self))
+                        .with_telemetry(StepEngine::telemetry(self)),
+                    );
+                }
+                Some(budget) => budget,
+                None => u64::MAX,
+            };
+            match self.advance(limit) {
+                Advance::Event => recorder.record(self.steps, &self.config),
+                Advance::LimitReached => {}
+                Advance::Absorbed => {
+                    assert!(
+                        stop.max_interactions().is_some() || stop.goal_met(&self.config),
+                        "absorbing configuration {} can never meet the stop condition",
+                        self.config
+                    );
+                }
+            }
+            if pause(self.steps) {
+                return None;
+            }
+        }
+    }
+
     /// Applies a sampled state transition, keeping the Fenwick weights in
     /// sync with the configuration.
     fn apply_transition(&mut self, from: AgentState, to: AgentState) {

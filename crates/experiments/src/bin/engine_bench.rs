@@ -6,8 +6,10 @@
 //!
 //! Runs the engine-throughput experiments — E13 (exact vs batched), E14
 //! (shard count vs throughput, up to `n = 10⁹` at full scale), E15
-//! (lockstep replica ensemble vs a loop of standalone runs) and E16
-//! (pp-service job scheduler vs a serial loop of runs) — and writes a
+//! (lockstep replica ensemble vs a loop of standalone runs), E16
+//! (pp-service job scheduler vs a serial loop of runs) and E17 (the
+//! multi-fidelity hybrid engine vs fixed backends, with the winner-tally
+//! conformance column) — and writes a
 //! *stamped* JSON document: workspace version, scale and seed at the top,
 //! then one flat `entries` record per `(engine, shards, n, k, bias)` cell,
 //! then the full reports.  The stamp makes records comparable across PRs;
@@ -20,6 +22,7 @@ use usd_experiments::exps::e13_engine_throughput::EngineThroughputExperiment;
 use usd_experiments::exps::e14_sharded_throughput::ShardedThroughputExperiment;
 use usd_experiments::exps::e15_ensemble_throughput::EnsembleThroughputExperiment;
 use usd_experiments::exps::e16_service_throughput::ServiceThroughputExperiment;
+use usd_experiments::exps::e17_hybrid_fidelity::HybridFidelityExperiment;
 use usd_experiments::trend::render_stamped_document;
 use usd_experiments::Scale;
 
@@ -104,6 +107,15 @@ fn main() -> ExitCode {
     print!("{}", e16_report.render());
     entries.extend(e16_entries);
 
+    let e17 = HybridFidelityExperiment::new(opts.scale);
+    eprintln!(
+        "E17: benchmarking the multi-fidelity hybrid engine over n = {:?}…",
+        e17.populations
+    );
+    let (e17_report, e17_entries) = e17.run_with_samples(SimSeed::from_u64(opts.seed ^ 0xE17));
+    print!("{}", e17_report.render());
+    entries.extend(e17_entries);
+
     // The observability budget: telemetry-on should stay within 5% of the
     // telemetry-off reference.  A warning, not a failure — single-shot CI
     // timings are noisy, and the committed trend baseline is the real gate.
@@ -124,7 +136,7 @@ fn main() -> ExitCode {
         scale_name,
         opts.seed,
         &entries,
-        &[e13_report, e14_report, e15_report, e16_report],
+        &[e13_report, e14_report, e15_report, e16_report, e17_report],
     );
     if let Err(e) = std::fs::write(&opts.output, document + "\n") {
         eprintln!("cannot write {}: {e}", opts.output);

@@ -4,8 +4,10 @@
 //! ```text
 //! usd_run --n 100000 --k 10 --bias-mult 2.0 [--mult-bias 1.5] [--undecided 0.2]
 //!         [--dynamic usd|voter|two-choices|3-majority|j-majority|median]
-//!         [--j 5] [--engine exact|batched|sharded|mean-field] [--shards 8]
-//!         [--epoch 1000000] [--replicas 32] [--threads 4] [--seed 7]
+//!         [--j 5] [--engine exact|batched|sharded|mean-field|hybrid] [--shards 8]
+//!         [--epoch 1000000] [--fidelity-promote 8 --fidelity-demote 1.5]
+//!         [--fidelity-mass-floor 0.25 --fidelity-dwell 100000]
+//!         [--replicas 32] [--threads 4] [--seed 7]
 //!         [--samples 500] [--output trajectory.csv]
 //! ```
 //!
@@ -13,15 +15,22 @@
 //! `--mult-bias` (multiplicative factor) may be given; with neither the run
 //! starts from the uniform configuration.
 //!
-//! `--dynamic` selects the process: the USD (default, all four engines) or
+//! `--dynamic` selects the process: the USD (default, all five engines) or
 //! one of the baseline sampling dynamics, which run through the sequential
 //! sampler with `--engine exact` (per-activation stepping) or
 //! `--engine batched` (geometric skip-ahead over null activations — every
 //! shipped dynamic now provides the closed-form conditional samplers this
 //! needs; requesting it for a dynamic without the hooks is a hard error, not
-//! a silent fallback).  The sharded and mean-field backends are USD-only:
-//! sampling dynamics touch `j` agents per activation, so the pairwise
-//! cross-shard reconciliation and the USD's ODE limit do not apply.
+//! a silent fallback).  The sharded, mean-field, and hybrid backends are
+//! USD-only: sampling dynamics touch `j` agents per activation, so the
+//! pairwise cross-shard reconciliation and the USD's ODE limit do not apply.
+//!
+//! `--engine hybrid` runs the multi-fidelity engine: an online fluctuation
+//! detector switches between the batched stochastic backend and the
+//! mean-field ODE at pause boundaries (`usd_core::hybrid::HybridEngine`).
+//! The `--fidelity-*` flags tune its thresholds (promote/demote drift-to-
+//! noise ratios, the `√n`-scaled minimum-mass floor, and the post-switch
+//! dwell in interactions; dwell 0 means one parallel-time unit `n`).
 //!
 //! `--replicas R` (with `R > 1`) runs a lockstep ensemble instead of a
 //! single trajectory: `R` batched replicas advance together sharing their
@@ -86,8 +95,8 @@ use pp_analysis::streaming::summarize_ensemble;
 use pp_core::engine::StepEngine;
 use pp_core::ensemble::{EnsembleChoice, EnsembleRunResult};
 use pp_core::{
-    Checkpoint, Configuration, EngineChoice, MetricsSnapshot, RunResult, ShardPlan, SimSeed,
-    StopCondition, Telemetry,
+    Checkpoint, Configuration, EngineChoice, FidelityConfig, MetricsSnapshot, RunResult, ShardPlan,
+    SimSeed, StopCondition, Telemetry,
 };
 use pp_workloads::InitialConfig;
 use std::process::ExitCode;
@@ -145,6 +154,10 @@ struct Options {
     checkpoint: Option<String>,
     checkpoint_every: Option<u64>,
     resume: Option<String>,
+    fidelity_promote: Option<f64>,
+    fidelity_demote: Option<f64>,
+    fidelity_mass_floor: Option<f64>,
+    fidelity_dwell: Option<u64>,
 }
 
 impl Default for Options {
@@ -171,7 +184,41 @@ impl Default for Options {
             checkpoint: None,
             checkpoint_every: None,
             resume: None,
+            fidelity_promote: None,
+            fidelity_demote: None,
+            fidelity_mass_floor: None,
+            fidelity_dwell: None,
         }
+    }
+}
+
+impl Options {
+    /// The fidelity thresholds the run resolves to: the defaults with any
+    /// `--fidelity-*` overrides applied.
+    fn fidelity_config(&self) -> FidelityConfig {
+        let mut config = FidelityConfig::default();
+        if let Some(v) = self.fidelity_promote {
+            config.promote_ratio = v;
+        }
+        if let Some(v) = self.fidelity_demote {
+            config.demote_ratio = v;
+        }
+        if let Some(v) = self.fidelity_mass_floor {
+            config.mass_floor = v;
+        }
+        if let Some(v) = self.fidelity_dwell {
+            config.min_dwell = v;
+        }
+        config
+    }
+
+    /// `Some` when any `--fidelity-*` flag was given.
+    fn fidelity_override(&self) -> Option<FidelityConfig> {
+        let given = self.fidelity_promote.is_some()
+            || self.fidelity_demote.is_some()
+            || self.fidelity_mass_floor.is_some()
+            || self.fidelity_dwell.is_some();
+        given.then(|| self.fidelity_config())
     }
 }
 
@@ -264,13 +311,44 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--resume" => opts.resume = Some(value(&mut i)?),
+            "--fidelity-promote" => {
+                opts.fidelity_promote = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--fidelity-promote: {e}"))?,
+                )
+            }
+            "--fidelity-demote" => {
+                opts.fidelity_demote = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--fidelity-demote: {e}"))?,
+                )
+            }
+            "--fidelity-mass-floor" => {
+                opts.fidelity_mass_floor = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--fidelity-mass-floor: {e}"))?,
+                )
+            }
+            "--fidelity-dwell" => {
+                opts.fidelity_dwell = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--fidelity-dwell: {e}"))?,
+                )
+            }
             "--help" | "-h" => return Err(
                 "usage: usd_run --scenario <scenario json> | \
                  usd_run --n <agents> --k <opinions> [--bias-mult <x> | --mult-bias <f>] \
                      [--undecided <fraction>] \
                      [--dynamic usd|voter|two-choices|3-majority|j-majority|median] [--j <samples>] \
-                     [--engine exact|batched|sharded|mean-field] \
-                     [--shards <count>] [--epoch <interactions>] [--replicas <count>] \
+                     [--engine exact|batched|sharded|mean-field|hybrid] \
+                     [--shards <count>] [--epoch <interactions>] \
+                     [--fidelity-promote <ratio>] [--fidelity-demote <ratio>] \
+                     [--fidelity-mass-floor <x>] [--fidelity-dwell <interactions>] \
+                     [--replicas <count>] \
                      [--threads <count>] [--seed <u64>] [--samples <count>] \
                      [--output <csv, or json with --replicas>] \
                      [--trace <chrome-trace json>] [--metrics] \
@@ -295,17 +373,31 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err("--j only applies to --dynamic j-majority".to_string());
     }
     if opts.dynamic != Dynamic::Usd
-        && matches!(opts.engine, EngineChoice::Sharded | EngineChoice::MeanField)
+        && matches!(
+            opts.engine,
+            EngineChoice::Sharded | EngineChoice::MeanField | EngineChoice::Hybrid
+        )
     {
         return Err(format!(
             "the {} engine only drives the USD: sampling dynamics update from j-agent \
              samples, so the pairwise cross-shard reconciliation and the USD's ODE limit \
-             do not apply — use --engine exact or --engine batched",
+             (which the hybrid engine switches into) do not apply — use --engine exact \
+             or --engine batched",
             opts.engine
         ));
     }
     if (opts.shards.is_some() || opts.epoch.is_some()) && opts.engine != EngineChoice::Sharded {
         return Err("--shards/--epoch require --engine sharded".to_string());
+    }
+    if opts.fidelity_override().is_some() && opts.engine != EngineChoice::Hybrid {
+        return Err(
+            "--fidelity-promote/--fidelity-demote/--fidelity-mass-floor/--fidelity-dwell \
+             tune the hybrid fidelity controller; they require --engine hybrid"
+                .to_string(),
+        );
+    }
+    if let Err(msg) = opts.fidelity_config().validate() {
+        return Err(format!("invalid fidelity thresholds: {msg}"));
     }
     if opts.shards == Some(0) {
         return Err("--shards must be positive".to_string());
@@ -350,6 +442,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err(
             "--bias-mult/--mult-bias/--undecided shape the initial configuration, which \
              --resume takes from the checkpoint — drop them"
+                .to_string(),
+        );
+    }
+    if opts.resume.is_some() && opts.fidelity_override().is_some() {
+        return Err(
+            "--fidelity-* configure a fresh fidelity controller, which --resume restores \
+             from the checkpoint (thresholds ride in the snapshot) — drop them"
                 .to_string(),
         );
     }
@@ -886,6 +985,9 @@ fn main() -> ExitCode {
     if let Some(shards) = opts.shards {
         spec = spec.shards(shards);
     }
+    if let Some(fidelity) = opts.fidelity_override() {
+        spec = spec.fidelity(fidelity);
+    }
     if opts.replicas > 1 {
         spec = spec.replicas(opts.replicas);
     }
@@ -1020,8 +1122,13 @@ fn main() -> ExitCode {
 
     let (result, trajectory, phases) = if opts.dynamic == Dynamic::Usd {
         let plan = shard_plan(&spec, &opts);
-        let mut sim =
-            UsdSimulator::with_engine_plan(config, seed.child(1), spec.engine_choice(), plan);
+        let mut sim = UsdSimulator::with_engine_fidelity(
+            config,
+            seed.child(1),
+            spec.engine_choice(),
+            plan,
+            spec.fidelity_config(),
+        );
         sim.set_telemetry(tel.clone());
         if let Some(ckpt) = &opts.checkpoint {
             let every = checkpoint_cadence(&opts);
@@ -1035,6 +1142,17 @@ fn main() -> ExitCode {
                 plan.epoch_for(opts.n),
                 plan.resolved_threads(),
             ),
+            EngineChoice::Hybrid => {
+                let f = spec.fidelity_config();
+                eprintln!(
+                    "step engine: hybrid (promote ratio {}, demote ratio {}, mass floor {}, \
+                     dwell {} interactions)",
+                    f.promote_ratio,
+                    f.demote_ratio,
+                    f.mass_floor,
+                    f.resolved_dwell(opts.n),
+                );
+            }
             choice => eprintln!("step engine: {choice}"),
         }
         let mut recorder = pp_core::recorder::PairRecorder::new(

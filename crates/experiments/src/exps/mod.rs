@@ -8,6 +8,7 @@ pub mod e13_engine_throughput;
 pub mod e14_sharded_throughput;
 pub mod e15_ensemble_throughput;
 pub mod e16_service_throughput;
+pub mod e17_hybrid_fidelity;
 pub mod e1_phase_table;
 pub mod e2_multiplicative_bias;
 pub mod e3_additive_bias;
@@ -65,6 +66,7 @@ pub fn all_experiments(scale: crate::Scale) -> Vec<Box<dyn Experiment>> {
         Box::new(e16_service_throughput::ServiceThroughputExperiment::new(
             scale,
         )),
+        Box::new(e17_hybrid_fidelity::HybridFidelityExperiment::new(scale)),
     ]
 }
 
@@ -80,7 +82,7 @@ mod tests {
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14", "E15", "E16"
+                "E14", "E15", "E16", "E17"
             ]
         );
     }

@@ -552,17 +552,20 @@ fn cell_label(entry: &BenchEntry) -> String {
     )
 }
 
-/// Engines whose throughput the trend check guards (the fast backends, the
-/// incremental-maintenance arm, the telemetry-on arm whose speedup against
-/// telemetry-off is the observability overhead, and the two pp-service
-/// arms — single-worker queue overhead and the multiplexing pool; the exact
-/// engine and the rebuild / replica-loop / scenario-loop / telemetry-off
-/// reference arms are their own baselines).
-pub const GUARDED_ENGINES: [&str; 8] = [
+/// Engines whose throughput the trend check guards (the fast backends —
+/// including the multi-fidelity hybrid, whose E17 time-to-solution speedup
+/// over batched is the gated metric — the incremental-maintenance arm, the
+/// telemetry-on arm whose speedup against telemetry-off is the
+/// observability overhead, and the two pp-service arms — single-worker
+/// queue overhead and the multiplexing pool; the exact engine and the
+/// rebuild / replica-loop / scenario-loop / telemetry-off reference arms
+/// are their own baselines).
+pub const GUARDED_ENGINES: [&str; 9] = [
     "batched",
     "sharded",
     "ensemble",
     "parallel-ensemble",
+    "hybrid",
     "incremental",
     "telemetry-on",
     "service",

@@ -119,6 +119,10 @@ pub enum EngineChoice {
     Sharded,
     /// The deterministic ODE limit (approximation; `usd-core` only).
     MeanField,
+    /// Adaptive multi-fidelity switching between the mean-field ODE and the
+    /// batched stochastic backend under an online fluctuation detector
+    /// (approximation; `usd-core` only — see [`crate::hybrid`]).
+    Hybrid,
 }
 
 impl EngineChoice {
@@ -130,15 +134,17 @@ impl EngineChoice {
             EngineChoice::Batched => "batched",
             EngineChoice::Sharded => "sharded",
             EngineChoice::MeanField => "mean-field",
+            EngineChoice::Hybrid => "hybrid",
         }
     }
 
     /// All selectable backends.
-    pub const ALL: [EngineChoice; 4] = [
+    pub const ALL: [EngineChoice; 5] = [
         EngineChoice::Exact,
         EngineChoice::Batched,
         EngineChoice::Sharded,
         EngineChoice::MeanField,
+        EngineChoice::Hybrid,
     ];
 }
 
@@ -157,8 +163,10 @@ impl FromStr for EngineChoice {
             "batched" => Ok(EngineChoice::Batched),
             "sharded" => Ok(EngineChoice::Sharded),
             "mean-field" | "meanfield" => Ok(EngineChoice::MeanField),
+            "hybrid" => Ok(EngineChoice::Hybrid),
             other => Err(format!(
-                "unknown engine {other:?} (expected exact, batched, sharded, or mean-field)"
+                "unknown engine {other:?} (expected exact, batched, sharded, mean-field, or \
+                 hybrid)"
             )),
         }
     }
@@ -1005,10 +1013,11 @@ impl<P: OpinionProtocol> CountEngine<P> {
     ///
     /// Returns [`PpError::OpinionCountMismatch`] on a protocol/configuration
     /// mismatch and [`PpError::UnsupportedEngine`] for
-    /// [`EngineChoice::MeanField`] (the ODE limit is protocol-specific; see
-    /// `usd-core`) and [`EngineChoice::Sharded`] (the sharded engine needs a
-    /// [`crate::shard::ShardPlan`] and `Clone + Send` protocols — construct
-    /// [`crate::shard::ShardedEngine`] directly).
+    /// [`EngineChoice::MeanField`] and [`EngineChoice::Hybrid`] (the ODE
+    /// limit and the fidelity controller built on it are protocol-specific;
+    /// see `usd-core`) and [`EngineChoice::Sharded`] (the sharded engine
+    /// needs a [`crate::shard::ShardPlan`] and `Clone + Send` protocols —
+    /// construct [`crate::shard::ShardedEngine`] directly).
     pub fn try_new(
         protocol: P,
         config: Configuration,
@@ -1027,6 +1036,9 @@ impl<P: OpinionProtocol> CountEngine<P> {
             }),
             EngineChoice::MeanField => Err(PpError::UnsupportedEngine {
                 requested: "mean-field",
+            }),
+            EngineChoice::Hybrid => Err(PpError::UnsupportedEngine {
+                requested: "hybrid",
             }),
         }
     }

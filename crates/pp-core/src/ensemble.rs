@@ -378,7 +378,8 @@ impl EnsembleChoice {
     ///
     /// Returns [`PpError::UnsupportedEngine`] for every base but
     /// [`EngineChoice::Batched`] (`"exact-inside-ensemble"`,
-    /// `"sharded-inside-ensemble"`, `"mean-field-inside-ensemble"`).
+    /// `"sharded-inside-ensemble"`, `"mean-field-inside-ensemble"`,
+    /// `"hybrid-inside-ensemble"`).
     pub fn validate(&self) -> Result<(), PpError> {
         match self.base {
             EngineChoice::Batched => Ok(()),
@@ -390,6 +391,9 @@ impl EnsembleChoice {
             }),
             EngineChoice::MeanField => Err(PpError::UnsupportedEngine {
                 requested: "mean-field-inside-ensemble",
+            }),
+            EngineChoice::Hybrid => Err(PpError::UnsupportedEngine {
+                requested: "hybrid-inside-ensemble",
             }),
         }
     }
@@ -1582,6 +1586,7 @@ mod tests {
             (EngineChoice::Exact, "exact-inside-ensemble"),
             (EngineChoice::Sharded, "sharded-inside-ensemble"),
             (EngineChoice::MeanField, "mean-field-inside-ensemble"),
+            (EngineChoice::Hybrid, "hybrid-inside-ensemble"),
         ] {
             let err = choice.with_base(base).validate().unwrap_err();
             assert_eq!(err, PpError::UnsupportedEngine { requested: name });

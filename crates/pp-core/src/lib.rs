@@ -34,6 +34,11 @@
 //! * `MeanFieldEngine` (in `usd-core`) — the deterministic ODE limit behind
 //!   the same trait.  Instant at any `n`, but an approximation: use it for
 //!   exploration, never for distributional statistics.
+//! * `HybridEngine` (in `usd-core`) — adaptive multi-fidelity: mean-field
+//!   speed through drift-dominated bulk transit, dropping back to batched
+//!   stochastic sampling whenever the [`hybrid`] fluctuation detector trips
+//!   (hysteresis + minimum dwell; see the module docs for the derivation
+//!   and the determinism contract).
 //!
 //! Monte Carlo estimates over many independent runs go through the
 //! [`ensemble::EnsembleEngine`], which advances `R` replicas of one
@@ -103,6 +108,7 @@ pub mod engine;
 pub mod ensemble;
 pub mod error;
 pub mod fenwick;
+pub mod hybrid;
 pub mod opinion;
 pub mod parallel;
 pub mod protocol;
@@ -127,6 +133,7 @@ pub use ensemble::{
 };
 pub use error::{ConfigError, PpError};
 pub use fenwick::FenwickTree;
+pub use hybrid::{Fidelity, FidelityConfig, FidelityController, FidelitySignal};
 pub use opinion::{AgentState, Opinion, UNDECIDED_INDEX};
 pub use parallel::Parallelism;
 pub use protocol::{OpinionProtocol, PairwiseProtocol};
@@ -151,6 +158,7 @@ pub mod prelude {
         EnsembleChoice, EnsembleEngine, EnsembleReplica, EnsembleRunResult, SharedCacheMode,
     };
     pub use crate::error::{ConfigError, PpError};
+    pub use crate::hybrid::{Fidelity, FidelityConfig, FidelityController, FidelitySignal};
     pub use crate::opinion::{AgentState, Opinion};
     pub use crate::parallel::Parallelism;
     pub use crate::protocol::{OpinionProtocol, PairwiseProtocol};

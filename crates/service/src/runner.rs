@@ -22,22 +22,29 @@
 //! Single USD runs pause cooperatively between `advance` calls (the
 //! checkpoint-exact boundary) via `UsdSimulator::run_interruptible`;
 //! replica ensembles pause between lockstep windows via
-//! `UsdEnsemble::run_windows`.  Both resume bit-exactly — in place or from
-//! a persisted [`Checkpoint`] in a fresh process.  Sampling-dynamic runs
-//! have no pause seam: they ignore interrupts mid-run and simply re-run
-//! from scratch after a crash (determinism makes the re-run's result
-//! identical, so the contract holds there too — it just costs wall time).
+//! `UsdEnsemble::run_windows`; single sampling-dynamic runs pause between
+//! activations (exact stepping) or between skip-ahead `advance` calls
+//! (batched) via `SequentialSampler::run_interruptible` /
+//! `run_engine_interruptible`.  All three resume bit-exactly — in place or
+//! from a persisted [`Checkpoint`] in a fresh process.  Sampler
+//! checkpoints carry the replica snapshot in the `exact` engine slot,
+//! stamped with `sampler.format`/`sampler.dynamic` meta so feeding one to
+//! a USD scenario (or vice versa, or to the wrong dynamic) fails loudly
+//! instead of silently diverging.  Sampling *ensembles* remain the one
+//! seam-free path: they run to completion and re-run from scratch after a
+//! crash (determinism makes the re-run's result identical — it just costs
+//! wall time).
 
 use crate::scenario::{Dynamic, ScenarioConfig};
 use consensus_dynamics::{
     sampler_ensemble, JMajority, MedianRule, SamplingDynamics, SequentialSampler, ThreeMajority,
     TwoChoices, Voter,
 };
-use pp_core::engine::StepEngine;
+use pp_core::checkpoint::ReplicaCheckpoint;
 use pp_core::ensemble::EnsembleRunResult;
 use pp_core::{
-    Checkpoint, Configuration, EngineChoice, MetricsSnapshot, Recorder, RunOutcome, RunResult,
-    SimSeed, StopCondition, Telemetry,
+    Checkpoint, Configuration, EngineChoice, MetricsSnapshot, RunOutcome, RunResult, SimSeed,
+    StopCondition, Telemetry,
 };
 use std::path::Path;
 
@@ -108,7 +115,8 @@ pub struct RunControl<'a> {
     /// `Halted` interrupt so the resume point is never stale.
     pub checkpoint: Option<(&'a Path, u64)>,
     /// Resume from this capture instead of building the initial state
-    /// (single USD and USD-ensemble checkpoints).
+    /// (single USD, USD-ensemble, and single sampling-dynamic
+    /// checkpoints).
     pub resume: Option<&'a Checkpoint>,
 }
 
@@ -236,16 +244,22 @@ pub fn run_scenario(
         return run_single_usd(scenario, &spec, seed, stop, &tel, &mut control);
     }
 
-    // Single sampling dynamic: no pause seam — run to completion, with
-    // progress driven by the (RNG-free) recorder stream.
-    let config = spec
-        .build(seed)
-        .map_err(|e| format!("invalid configuration: {e}"))?;
+    // Single sampling dynamic: pauses between activations (exact) or
+    // skip-ahead `advance` calls (batched) — the capture-exact boundaries.
+    let config = match control.resume {
+        // A resumed run takes its counts from the checkpoint.
+        Some(_) => None,
+        None => Some(
+            spec.build(seed)
+                .map_err(|e| format!("invalid configuration: {e}"))?,
+        ),
+    };
     let run_seed = seed.child(1);
     let engine = scenario.effective_engine();
-    let result = match scenario.dynamic {
+    match scenario.dynamic {
         Dynamic::Voter => run_sampling_dynamic(
             Voter::new(scenario.opinions),
+            Dynamic::Voter,
             config,
             run_seed,
             engine,
@@ -254,6 +268,7 @@ pub fn run_scenario(
         ),
         Dynamic::TwoChoices => run_sampling_dynamic(
             TwoChoices::new(scenario.opinions),
+            Dynamic::TwoChoices,
             config,
             run_seed,
             engine,
@@ -262,6 +277,7 @@ pub fn run_scenario(
         ),
         Dynamic::ThreeMajority => run_sampling_dynamic(
             ThreeMajority::new(scenario.opinions),
+            Dynamic::ThreeMajority,
             config,
             run_seed,
             engine,
@@ -270,6 +286,7 @@ pub fn run_scenario(
         ),
         Dynamic::JMajority => run_sampling_dynamic(
             JMajority::new(scenario.opinions, scenario.majority_samples),
+            Dynamic::JMajority,
             config,
             run_seed,
             engine,
@@ -278,6 +295,7 @@ pub fn run_scenario(
         ),
         Dynamic::Median => run_sampling_dynamic(
             MedianRule::new(scenario.opinions),
+            Dynamic::Median,
             config,
             run_seed,
             engine,
@@ -285,8 +303,7 @@ pub fn run_scenario(
             &mut control,
         ),
         Dynamic::Usd => unreachable!("handled above"),
-    }?;
-    Ok(RunVerdict::Finished(ScenarioOutcome::Single(result)))
+    }
 }
 
 /// A single USD run through the cooperative pause seam.
@@ -303,17 +320,27 @@ fn run_single_usd(
         plan = plan.epoch_interactions(epoch);
     }
     let mut sim = match control.resume {
-        Some(checkpoint) => usd_core::UsdSimulator::restore(checkpoint, plan)
-            .map_err(|e| format!("cannot resume: {e}"))?,
+        Some(checkpoint) => {
+            if checkpoint.meta(SAMPLER_FORMAT_META).is_some() {
+                return Err(
+                    "cannot resume: the checkpoint was captured from a sampling-dynamic run, \
+                     not a USD run"
+                        .to_string(),
+                );
+            }
+            usd_core::UsdSimulator::restore(checkpoint, plan)
+                .map_err(|e| format!("cannot resume: {e}"))?
+        }
         None => {
             let config = spec
                 .build(seed)
                 .map_err(|e| format!("invalid configuration: {e}"))?;
-            usd_core::UsdSimulator::with_engine_plan(
+            usd_core::UsdSimulator::with_engine_fidelity(
                 config,
                 seed.child(1),
                 spec.engine_choice(),
                 plan,
+                spec.fidelity_config(),
             )
         }
     };
@@ -385,64 +412,172 @@ fn emit(
     });
 }
 
-/// A recorder that forwards periodic count snapshots as progress events —
-/// the progress channel for backends without a pause seam.  Recorders
-/// consume no RNG, so attaching one never moves the trajectory.
-struct ProgressRecorder<'a, 'b> {
-    progress: &'a mut Option<&'b mut dyn FnMut(ProgressEvent)>,
-    tel: &'a Telemetry,
-    every: u64,
-    next: u64,
+/// The meta stamp marking a checkpoint as a sampling-dynamic capture (the
+/// snapshot itself rides in the `exact` engine slot — the sampler *is* a
+/// per-activation engine).
+const SAMPLER_FORMAT_META: &str = "sampler.format";
+/// The meta stamp naming which dynamic captured the checkpoint (an index
+/// into [`Dynamic::ALL`]), so resuming under a different dynamic fails
+/// loudly instead of silently diverging.
+const SAMPLER_DYNAMIC_META: &str = "sampler.dynamic";
+
+fn dynamic_index(dynamic: Dynamic) -> u64 {
+    Dynamic::ALL
+        .iter()
+        .position(|&d| d == dynamic)
+        .expect("every dynamic is listed in Dynamic::ALL") as u64
 }
 
-impl Recorder for ProgressRecorder<'_, '_> {
-    fn record(&mut self, interactions: u64, config: &Configuration) {
-        if interactions < self.next {
-            return;
+fn capture_sampler<D: SamplingDynamics + Clone>(
+    sim: &SequentialSampler<D>,
+    dynamic: Dynamic,
+) -> Checkpoint {
+    Checkpoint::new(pp_core::checkpoint::EngineState::Exact(
+        sim.capture_replica(),
+    ))
+    .with_meta(SAMPLER_FORMAT_META, 1)
+    .with_meta(SAMPLER_DYNAMIC_META, dynamic_index(dynamic))
+}
+
+fn restore_sampler<D: SamplingDynamics + Clone>(
+    dynamics: &D,
+    dynamic: Dynamic,
+    checkpoint: &Checkpoint,
+) -> Result<SequentialSampler<D>, String> {
+    match checkpoint.meta(SAMPLER_FORMAT_META) {
+        Some(1) => {}
+        Some(version) => {
+            return Err(format!(
+                "cannot resume: sampler checkpoint format {version} is not supported \
+                 (this build reads format 1)"
+            ))
         }
-        self.next = interactions.saturating_add(self.every);
-        emit(self.progress, self.tel, Some(interactions), Some(config));
+        None => {
+            return Err(format!(
+                "cannot resume: the {} checkpoint was not captured from a sampling-dynamic \
+                 run (missing the \"sampler.format\" stamp)",
+                checkpoint.kind()
+            ))
+        }
     }
+    let stamped = checkpoint.meta(SAMPLER_DYNAMIC_META);
+    if stamped != Some(dynamic_index(dynamic)) {
+        let stamped_name = stamped
+            .and_then(|i| usize::try_from(i).ok())
+            .and_then(|i| Dynamic::ALL.get(i))
+            .map_or("an unknown dynamic", |d| d.name());
+        return Err(format!(
+            "cannot resume: the checkpoint was captured from {stamped_name}, not {dynamic}"
+        ));
+    }
+    let snapshot = checkpoint
+        .expect_single("exact")
+        .map_err(|e| format!("cannot resume: {e}"))?;
+    SequentialSampler::restore_replica(dynamics, snapshot)
+        .map_err(|e| format!("cannot resume: {e}"))
 }
 
 /// Mirrors `usd_run`'s single sampling-dynamic path (same engine gating
-/// and diagnostics).
-fn run_sampling_dynamic<D: SamplingDynamics>(
+/// and diagnostics), threading the cooperative pause seam through
+/// [`SequentialSampler::run_interruptible`] (exact) or
+/// [`SequentialSampler::run_engine_interruptible`] (batched): interrupts,
+/// progress events and checkpoint captures all happen at activation or
+/// `advance`-call boundaries, where the replica snapshot is exact.
+fn run_sampling_dynamic<D: SamplingDynamics + Clone>(
     dynamics: D,
-    config: Configuration,
+    dynamic: Dynamic,
+    config: Option<Configuration>,
     seed: SimSeed,
     engine: EngineChoice,
     stop: StopCondition,
     control: &mut RunControl<'_>,
-) -> Result<RunResult, String> {
+) -> Result<RunVerdict, String> {
     let name = dynamics.name().to_string();
-    let mut sim = SequentialSampler::try_new(dynamics, config, seed).map_err(|e| e.to_string())?;
+    let mut sim = match (control.resume, config) {
+        (Some(checkpoint), _) => restore_sampler(&dynamics, dynamic, checkpoint)?,
+        (None, Some(config)) => {
+            SequentialSampler::try_new(dynamics, config, seed).map_err(|e| e.to_string())?
+        }
+        (None, None) => unreachable!("run_scenario builds a configuration when not resuming"),
+    };
+    if engine == EngineChoice::Batched {
+        sim.require_skip_ahead().map_err(|e| {
+            format!(
+                "{e}: the {name} dynamic provides no closed-form skip-ahead hooks \
+                 — use --engine exact"
+            )
+        })?;
+    }
     let every = if control.progress_every == 0 {
         sim.configuration().population().max(1)
     } else {
         control.progress_every
     };
+    let checkpoint_every = control
+        .checkpoint
+        .map(|(_, cadence)| {
+            if cadence == 0 {
+                sim.configuration().population().max(1)
+            } else {
+                cadence
+            }
+        })
+        .unwrap_or(u64::MAX);
     let tel = Telemetry::disabled();
-    let mut recorder = ProgressRecorder {
-        progress: &mut control.progress,
-        tel: &tel,
-        every,
-        next: every,
-    };
-    let result = match engine {
-        EngineChoice::Exact => sim.run_recorded(stop, &mut recorder),
-        EngineChoice::Batched => {
-            sim.require_skip_ahead().map_err(|e| {
-                format!(
-                    "{e}: the {name} dynamic provides no closed-form skip-ahead hooks \
-                     — use --engine exact"
-                )
-            })?;
-            sim.run_engine_recorded(stop, &mut recorder)
+    let mut recorder = pp_core::NullRecorder;
+    let mut next_progress = sim.steps().saturating_add(every);
+    let mut next_checkpoint = sim.steps().saturating_add(checkpoint_every);
+    loop {
+        // Same one-shot interrupt contract as the USD seam: poll once per
+        // pause boundary and park the verdict.  Pausing consumes no RNG.
+        let want_interrupt = control.interrupt;
+        let mut pending: Option<Interrupt> = None;
+        let pause_at = next_progress.min(next_checkpoint);
+        let mut pause = |i: u64| {
+            if let Some(kind) = want_interrupt.and_then(|f| f()) {
+                pending = Some(kind);
+                return true;
+            }
+            i >= pause_at
+        };
+        let result = match engine {
+            EngineChoice::Exact => sim.run_interruptible(stop, &mut recorder, &mut pause),
+            EngineChoice::Batched => sim.run_engine_interruptible(stop, &mut recorder, &mut pause),
+            other => unreachable!("validate rejects {other} for sampling dynamics"),
+        };
+        match result {
+            Some(result) => return Ok(RunVerdict::Finished(ScenarioOutcome::Single(result))),
+            None => {
+                if let Some(kind) = pending {
+                    if kind == Interrupt::Halted {
+                        if let Some((path, _)) = control.checkpoint {
+                            capture_sampler(&sim, dynamic)
+                                .save(path)
+                                .map_err(|e| format!("cannot checkpoint: {e}"))?;
+                        }
+                    }
+                    return Ok(RunVerdict::Interrupted(kind));
+                }
+                if sim.steps() >= next_checkpoint {
+                    if let Some((path, _)) = control.checkpoint {
+                        capture_sampler(&sim, dynamic)
+                            .save(path)
+                            .map_err(|e| format!("cannot checkpoint: {e}"))?;
+                    }
+                    next_checkpoint = sim.steps().saturating_add(checkpoint_every);
+                }
+                if sim.steps() >= next_progress {
+                    emit(
+                        &mut control.progress,
+                        &tel,
+                        Some(sim.steps()),
+                        Some(sim.configuration()),
+                    );
+                    next_progress = sim.steps().saturating_add(every);
+                }
+            }
         }
-        other => unreachable!("validate rejects {other} for sampling dynamics"),
-    };
-    Ok(result)
+    }
 }
 
 /// Mirrors `usd_run`'s sampling-ensemble path (same diagnostics).
@@ -655,6 +790,154 @@ mod tests {
         .unwrap();
         assert_eq!(resumed, RunVerdict::Finished(reference));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn sampler_halt_checkpoint_resume_is_bit_exact() {
+        let scenario = ScenarioConfig::new(600, 3)
+            .with_seed(5)
+            .with_dynamic(Dynamic::Voter)
+            .with_engine(EngineChoice::Batched);
+        let dir = std::env::temp_dir().join("pp_service_runner_sampler_halt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("halt.ckpt.json");
+        let RunVerdict::Finished(reference) =
+            run_scenario(&scenario, RunControl::default()).unwrap()
+        else {
+            panic!("reference run must finish");
+        };
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let fired = AtomicBool::new(false);
+        let halt = move || {
+            if fired.swap(true, Ordering::Relaxed) {
+                None
+            } else {
+                Some(Interrupt::Halted)
+            }
+        };
+        let verdict = run_scenario(
+            &scenario,
+            RunControl {
+                interrupt: Some(&halt),
+                checkpoint: Some((&path, u64::MAX)),
+                progress_every: 50,
+                ..RunControl::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(verdict, RunVerdict::Interrupted(Interrupt::Halted));
+        let checkpoint = Checkpoint::load(&path).unwrap();
+        assert_eq!(checkpoint.meta(SAMPLER_FORMAT_META), Some(1));
+        let resumed = run_scenario(
+            &scenario,
+            RunControl {
+                resume: Some(&checkpoint),
+                ..RunControl::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed, RunVerdict::Finished(reference));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn sampler_hooks_never_move_the_trajectory() {
+        let scenario = ScenarioConfig::new(500, 3)
+            .with_seed(11)
+            .with_dynamic(Dynamic::ThreeMajority);
+        let RunVerdict::Finished(reference) =
+            run_scenario(&scenario, RunControl::default()).unwrap()
+        else {
+            panic!("reference run must finish");
+        };
+        let mut events = Vec::new();
+        let mut on_progress = |event: ProgressEvent| events.push(event);
+        let control = RunControl {
+            progress: Some(&mut on_progress),
+            progress_every: 75,
+            interrupt: Some(&|| None),
+            ..RunControl::default()
+        };
+        let RunVerdict::Finished(observed) = run_scenario(&scenario, control).unwrap() else {
+            panic!("hooked run must finish");
+        };
+        assert_eq!(observed, reference, "hooks perturbed the trajectory");
+        assert!(!events.is_empty(), "progress cadence 75 must fire");
+        assert_eq!(events[0].supports.as_ref().map(Vec::len), Some(3));
+    }
+
+    #[test]
+    fn cross_restores_between_usd_and_sampler_checkpoints_fail_loudly() {
+        let dir = std::env::temp_dir().join("pp_service_runner_cross_restore_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let capture = |scenario: &ScenarioConfig, file: &str| -> Checkpoint {
+            let path = dir.join(file);
+            let fired = AtomicBool::new(false);
+            let halt = move || {
+                if fired.swap(true, Ordering::Relaxed) {
+                    None
+                } else {
+                    Some(Interrupt::Halted)
+                }
+            };
+            let verdict = run_scenario(
+                scenario,
+                RunControl {
+                    interrupt: Some(&halt),
+                    checkpoint: Some((&path, u64::MAX)),
+                    ..RunControl::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(verdict, RunVerdict::Interrupted(Interrupt::Halted));
+            let checkpoint = Checkpoint::load(&path).unwrap();
+            let _ = std::fs::remove_file(path);
+            checkpoint
+        };
+        let usd = small();
+        let voter = small().with_dynamic(Dynamic::Voter);
+        let usd_ckpt = capture(&usd, "usd.ckpt.json");
+        let voter_ckpt = capture(&voter, "voter.ckpt.json");
+        // USD checkpoint into a sampler scenario: missing sampler stamp.
+        let err = run_scenario(
+            &voter,
+            RunControl {
+                resume: Some(&usd_ckpt),
+                ..RunControl::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("not captured from a sampling-dynamic run"),
+            "diagnostic must name the mismatch: {err}"
+        );
+        // Sampler checkpoint into a USD scenario: rejected by the stamp.
+        let err = run_scenario(
+            &usd,
+            RunControl {
+                resume: Some(&voter_ckpt),
+                ..RunControl::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("captured from a sampling-dynamic run, not a USD run"),
+            "diagnostic must name the mismatch: {err}"
+        );
+        // Sampler checkpoint into the wrong dynamic: rejected by name.
+        let err = run_scenario(
+            &small().with_dynamic(Dynamic::Median),
+            RunControl {
+                resume: Some(&voter_ckpt),
+                ..RunControl::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("captured from voter, not median"),
+            "diagnostic must name both dynamics: {err}"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //!   "engine": "batched",
 //!   "shards": 8,
 //!   "epoch": 1000000,
+//!   "fidelity": {"promote": 8.0, "demote": 1.5, "mass-floor": 0.25, "dwell": 100000},
 //!   "threads": 4,
 //!   "budget": 500000000,
 //!   "j": 5
@@ -42,9 +43,16 @@
 //!   `multiplicative`, `two-way-tie`, `power-law`, `dirichlet-like`);
 //!   `undecided` mirrors [`UndecidedSpec`] (kinds `count`, `fraction`,
 //!   `max-admissible`).
-//! * `engine` is one of `exact`, `batched`, `sharded`, `mean-field`; when
-//!   absent the run uses the CLI's defaulting rule (exact, or batched when
-//!   `replicas > 1`).
+//! * `engine` is one of `exact`, `batched`, `sharded`, `mean-field`,
+//!   `hybrid`; when absent the run uses the CLI's defaulting rule (exact,
+//!   or batched when `replicas > 1`).
+//! * `fidelity` tunes the hybrid engine's fluctuation detector (the
+//!   `usd_run --fidelity-*` flags): `promote`/`demote` are the
+//!   drift-to-noise switch ratios, `mass-floor` the `√n`-scaled
+//!   minimum-mass guard, `dwell` the post-switch dwell in interactions
+//!   (0 = one parallel-time unit `n`).  Subfields are optional and default
+//!   like the flags; the whole object is only legal with
+//!   `"engine": "hybrid"`.
 //! * `j` carries the j-majority sample count and is only written (and only
 //!   legal) when `dynamic` is `j-majority` — the same rule as `usd_run --j`.
 //! * `budget` overrides the derived interaction budget
@@ -57,7 +65,7 @@
 
 use crate::json::{Json, ObjBuilder};
 use pp_core::ensemble::EnsembleChoice;
-use pp_core::{EngineChoice, Parallelism};
+use pp_core::{EngineChoice, FidelityConfig, Parallelism};
 use pp_workloads::{BiasSpec, InitialConfig, UndecidedSpec};
 
 /// The scenario format version this build writes and reads.
@@ -67,7 +75,7 @@ pub const SCENARIO_FORMAT_VERSION: u32 = 1;
 /// dynamic (same names as `usd_run --dynamic`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dynamic {
-    /// The k-opinion undecided state dynamics (default; all four engines).
+    /// The k-opinion undecided state dynamics (default; all five engines).
     Usd,
     /// The voter model (copy one sampled opinion).
     Voter,
@@ -165,6 +173,8 @@ pub struct ScenarioConfig {
     pub shards: Option<usize>,
     /// Epoch length override for the sharded backend.
     pub epoch: Option<u64>,
+    /// Fidelity-controller thresholds for the hybrid backend.
+    pub fidelity: Option<FidelityConfig>,
     /// Lockstep replica count (`1` = a single run).
     pub replicas: usize,
     /// Worker-thread cap for the parallel engines.
@@ -190,6 +200,7 @@ impl Default for ScenarioConfig {
             engine: None,
             shards: None,
             epoch: None,
+            fidelity: None,
             replicas: 1,
             threads: None,
             samples: 400,
@@ -266,6 +277,13 @@ impl ScenarioConfig {
         self
     }
 
+    /// Sets the hybrid backend's fidelity thresholds.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: FidelityConfig) -> Self {
+        self.fidelity = Some(fidelity);
+        self
+    }
+
     /// Sets the lockstep replica count.
     #[must_use]
     pub fn with_replicas(mut self, replicas: usize) -> Self {
@@ -319,6 +337,13 @@ impl ScenarioConfig {
         self.budget.unwrap_or_else(|| self.derived_budget())
     }
 
+    /// The fidelity thresholds the run resolves to: the explicit object, or
+    /// the controller defaults (the CLI's `--fidelity-*` defaulting rule).
+    #[must_use]
+    pub fn effective_fidelity(&self) -> FidelityConfig {
+        self.fidelity.unwrap_or_default()
+    }
+
     /// The trajectory recorder's sample period (the CLI's
     /// `(budget / samples).max(1).min(n)` rule).
     #[must_use]
@@ -344,16 +369,30 @@ impl ScenarioConfig {
         }
         let engine = self.effective_engine();
         if self.dynamic != Dynamic::Usd
-            && matches!(engine, EngineChoice::Sharded | EngineChoice::MeanField)
+            && matches!(
+                engine,
+                EngineChoice::Sharded | EngineChoice::MeanField | EngineChoice::Hybrid
+            )
         {
             return Err(format!(
                 "the {engine} engine only drives the USD: sampling dynamics update from \
                  j-agent samples, so the pairwise cross-shard reconciliation and the USD's \
-                 ODE limit do not apply — use --engine exact or --engine batched"
+                 ODE limit (which the hybrid engine switches into) do not apply — use \
+                 --engine exact or --engine batched"
             ));
         }
         if (self.shards.is_some() || self.epoch.is_some()) && engine != EngineChoice::Sharded {
             return Err("--shards/--epoch require --engine sharded".to_string());
+        }
+        if self.fidelity.is_some() && engine != EngineChoice::Hybrid {
+            return Err(
+                "--fidelity-promote/--fidelity-demote/--fidelity-mass-floor/--fidelity-dwell \
+                 tune the hybrid fidelity controller; they require --engine hybrid"
+                    .to_string(),
+            );
+        }
+        if let Err(msg) = self.effective_fidelity().validate() {
+            return Err(format!("invalid fidelity thresholds: {msg}"));
         }
         if self.shards == Some(0) {
             return Err("--shards must be positive".to_string());
@@ -402,6 +441,9 @@ impl ScenarioConfig {
         if let Some(shards) = self.shards {
             spec = spec.shards(shards);
         }
+        if let Some(fidelity) = self.fidelity {
+            spec = spec.fidelity(fidelity);
+        }
         if self.replicas > 1 {
             spec = spec.replicas(self.replicas);
         }
@@ -425,6 +467,9 @@ impl ScenarioConfig {
             .with_engine(spec.engine_choice());
         if let Some(shards) = spec.shard_count() {
             scenario = scenario.with_shards(shards);
+        }
+        if let Some(fidelity) = spec.fidelity_override() {
+            scenario = scenario.with_fidelity(fidelity);
         }
         if let Some(replicas) = spec.replica_count() {
             scenario.replicas = replicas;
@@ -481,6 +526,7 @@ impl ScenarioConfig {
             )
             .opt("shards", self.shards.map(|s| Json::U64(s as u64)))
             .opt("epoch", self.epoch.map(Json::U64))
+            .opt("fidelity", self.fidelity.map(fidelity_to_json))
             .field("replicas", Json::U64(self.replicas as u64))
             .opt("threads", self.threads.map(|t| Json::U64(t as u64)))
             .field("samples", Json::U64(self.samples))
@@ -552,6 +598,7 @@ impl ScenarioConfig {
                 }
                 "shards" => scenario.shards = Some(field_usize(value, "shards")?),
                 "epoch" => scenario.epoch = Some(field_u64(value, "epoch")?),
+                "fidelity" => scenario.fidelity = Some(fidelity_from_json(value)?),
                 "replicas" => scenario.replicas = field_usize(value, "replicas")?,
                 "threads" => scenario.threads = Some(field_usize(value, "threads")?),
                 "samples" => scenario.samples = field_u64(value, "samples")?,
@@ -559,8 +606,8 @@ impl ScenarioConfig {
                 other => {
                     return Err(format!(
                         "unknown scenario field {other:?} (scenario 1 fields: scenario, seed, \
-                         n, k, dynamic, j, bias, undecided, engine, shards, epoch, replicas, \
-                         threads, samples, budget)"
+                         n, k, dynamic, j, bias, undecided, engine, shards, epoch, fidelity, \
+                         replicas, threads, samples, budget)"
                     ))
                 }
             }
@@ -587,6 +634,37 @@ fn field_f64(value: &Json, name: &str) -> Result<f64, String> {
     value
         .as_f64()
         .ok_or_else(|| format!("{name:?} must be a number"))
+}
+
+fn fidelity_to_json(fidelity: FidelityConfig) -> Json {
+    ObjBuilder::new()
+        .field("promote", Json::F64(fidelity.promote_ratio))
+        .field("demote", Json::F64(fidelity.demote_ratio))
+        .field("mass-floor", Json::F64(fidelity.mass_floor))
+        .field("dwell", Json::U64(fidelity.min_dwell))
+        .build()
+}
+
+fn fidelity_from_json(value: &Json) -> Result<FidelityConfig, String> {
+    let pairs = value
+        .as_object()
+        .ok_or_else(|| "\"fidelity\" must be an object".to_string())?;
+    let mut fidelity = FidelityConfig::default();
+    for (key, subvalue) in pairs {
+        match key.as_str() {
+            "promote" => fidelity.promote_ratio = field_f64(subvalue, "promote")?,
+            "demote" => fidelity.demote_ratio = field_f64(subvalue, "demote")?,
+            "mass-floor" => fidelity.mass_floor = field_f64(subvalue, "mass-floor")?,
+            "dwell" => fidelity.min_dwell = field_u64(subvalue, "dwell")?,
+            other => {
+                return Err(format!(
+                    "unknown fidelity field {other:?} (fidelity fields: promote, demote, \
+                     mass-floor, dwell)"
+                ))
+            }
+        }
+    }
+    Ok(fidelity)
 }
 
 fn bias_to_json(bias: BiasSpec) -> Option<Json> {
@@ -813,6 +891,73 @@ mod tests {
         assert_eq!(back.bias, scenario.bias);
         assert_eq!(back.undecided, scenario.undecided);
         assert_eq!(back.engine, Some(EngineChoice::Batched));
+    }
+
+    #[test]
+    fn fidelity_round_trips_and_validates() {
+        let scenario = ScenarioConfig::new(50_000, 3)
+            .with_engine(EngineChoice::Hybrid)
+            .with_fidelity(FidelityConfig {
+                promote_ratio: 12.0,
+                demote_ratio: 3.0,
+                mass_floor: 6.0,
+                min_dwell: 25_000,
+            });
+        scenario.validate().unwrap();
+        let json = scenario.to_json();
+        let back = ScenarioConfig::from_json(&json).unwrap();
+        assert_eq!(back, scenario);
+        assert_eq!(back.to_json(), json);
+        // The workload-spec round trip carries the thresholds too.
+        let spec = scenario.to_initial_config();
+        assert_eq!(spec.fidelity_override(), scenario.fidelity);
+        assert_eq!(
+            ScenarioConfig::from_initial_config(&spec, 1).fidelity,
+            scenario.fidelity
+        );
+    }
+
+    #[test]
+    fn fidelity_diagnostics_match_the_cli() {
+        let stray = ScenarioConfig::new(1_000, 2).with_fidelity(FidelityConfig::default());
+        assert!(
+            stray
+                .validate()
+                .unwrap_err()
+                .ends_with("they require --engine hybrid"),
+            "{}",
+            stray.validate().unwrap_err()
+        );
+        let bad = ScenarioConfig::new(1_000, 2)
+            .with_engine(EngineChoice::Hybrid)
+            .with_fidelity(FidelityConfig {
+                promote_ratio: 2.0,
+                demote_ratio: 4.0,
+                ..FidelityConfig::default()
+            });
+        assert!(
+            bad.validate()
+                .unwrap_err()
+                .starts_with("invalid fidelity thresholds"),
+            "{}",
+            bad.validate().unwrap_err()
+        );
+        // Partial objects default like the flags; unknown subfields fail by
+        // name, the same rule as the top-level schema.
+        let partial = ScenarioConfig::from_json(
+            "{\"scenario\":1,\"engine\":\"hybrid\",\"fidelity\":{\"promote\":10.0}}",
+        )
+        .unwrap();
+        assert_eq!(
+            partial.fidelity,
+            Some(FidelityConfig {
+                promote_ratio: 10.0,
+                ..FidelityConfig::default()
+            })
+        );
+        let err =
+            ScenarioConfig::from_json("{\"scenario\":1,\"fidelity\":{\"haste\":1}}").unwrap_err();
+        assert!(err.contains("haste"), "{err}");
     }
 
     #[test]

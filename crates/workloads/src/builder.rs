@@ -2,7 +2,8 @@
 
 use crate::generators;
 use pp_core::{
-    ConfigError, Configuration, EngineChoice, EnsembleChoice, Parallelism, ShardPlan, SimSeed,
+    ConfigError, Configuration, EngineChoice, EnsembleChoice, FidelityConfig, Parallelism,
+    ShardPlan, SimSeed,
 };
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -112,6 +113,9 @@ pub struct InitialConfig {
     /// real serde is swapped back in (the vendored derive is a no-op).
     #[serde(default)]
     parallelism: Parallelism,
+    /// Defaulted for the same forward-compatibility reason as `parallelism`.
+    #[serde(default)]
+    fidelity: Option<FidelityConfig>,
 }
 
 impl InitialConfig {
@@ -128,6 +132,7 @@ impl InitialConfig {
             shards: None,
             replicas: None,
             parallelism: Parallelism::auto(),
+            fidelity: None,
         }
     }
 
@@ -165,6 +170,38 @@ impl InitialConfig {
     #[must_use]
     pub fn shard_count(&self) -> Option<usize> {
         self.shards
+    }
+
+    /// Selects the fidelity-controller thresholds for hybrid simulations of
+    /// this workload (consumed by downstream simulator constructors through
+    /// [`InitialConfig::fidelity_config`]; ignored by every non-hybrid
+    /// engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholds are invalid under
+    /// [`FidelityConfig::validate`] (e.g. a demote ratio at or above the
+    /// promote ratio, which would defeat the hysteresis band).
+    #[must_use]
+    pub fn fidelity(mut self, config: FidelityConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid fidelity configuration: {msg}");
+        }
+        self.fidelity = Some(config);
+        self
+    }
+
+    /// The fidelity thresholds selected for this workload, if any.
+    #[must_use]
+    pub fn fidelity_override(&self) -> Option<FidelityConfig> {
+        self.fidelity
+    }
+
+    /// The [`FidelityConfig`] this workload resolves to: the selected
+    /// thresholds, or the defaults when none were given.
+    #[must_use]
+    pub fn fidelity_config(&self) -> FidelityConfig {
+        self.fidelity.unwrap_or_default()
     }
 
     /// Selects the lockstep replica count for ensemble simulations of this
@@ -712,6 +749,38 @@ mod tests {
                 .build(seed())
                 .unwrap()
         );
+    }
+
+    #[test]
+    fn fidelity_knob_flows_into_config_resolution() {
+        let spec = InitialConfig::new(1_000, 2).engine(EngineChoice::Hybrid);
+        assert_eq!(spec.fidelity_override(), None);
+        assert_eq!(spec.fidelity_config(), FidelityConfig::default());
+        let custom = FidelityConfig {
+            promote_ratio: 16.0,
+            demote_ratio: 2.0,
+            mass_floor: 8.0,
+            min_dwell: 500,
+        };
+        let spec = spec.fidelity(custom);
+        assert_eq!(spec.fidelity_override(), Some(custom));
+        assert_eq!(spec.fidelity_config(), custom);
+        // The knob never affects the generated configuration.
+        assert_eq!(
+            spec.build(seed()).unwrap(),
+            InitialConfig::new(1_000, 2).build(seed()).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fidelity configuration")]
+    fn invalid_fidelity_thresholds_panic() {
+        let _ = InitialConfig::new(100, 2).fidelity(FidelityConfig {
+            promote_ratio: 2.0,
+            demote_ratio: 4.0,
+            mass_floor: 4.0,
+            min_dwell: 0,
+        });
     }
 
     #[test]

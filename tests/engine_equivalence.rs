@@ -80,7 +80,7 @@ fn voter_budgeted_support(choice: EngineChoice, seed: u64) -> f64 {
             config,
             SimSeed::from_u64(seed),
         )),
-        EngineChoice::Sharded | EngineChoice::MeanField => {
+        EngineChoice::Sharded | EngineChoice::MeanField | EngineChoice::Hybrid => {
             unreachable!("not under test")
         }
     };
